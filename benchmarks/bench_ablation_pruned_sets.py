@@ -1,0 +1,14 @@
+"""Ablation -- partial pruned sets vs full group-level signatures (Section 5.1).
+
+The paper stores only the routing-index value per node; this ablation
+quantifies how much pruning the full signature would add and what it costs in
+index size.
+"""
+
+from repro.experiments import figures
+
+
+def test_ablation_pruned_sets(record_figure):
+    result = record_figure(figures.ablation_pruned_sets)
+    modes = {row["mode"]: row for row in result.rows}
+    assert modes["full"]["pe"] >= modes["partial"]["pe"] - 1e-9

@@ -1,0 +1,18 @@
+"""Figure 7.1 -- data distribution.
+
+Number of entities forming AjPIs with a query entity at each sp-index level,
+and the per-level histogram of total AjPI duration, on the SYN and WiFi
+(REAL-substitute) datasets.  The paper's shape to reproduce: counts decrease
+monotonically from level 1 to level m, and most associated entities share
+only short durations.
+"""
+
+from repro.experiments import figures
+
+
+def test_figure_7_1_data_distribution(record_figure):
+    result = record_figure(figures.figure_7_1)
+    for dataset in ("SYN", "REAL(wifi)"):
+        series = result.filter(series="ajpi_counts", dataset=dataset)
+        values = [row["entities"] for row in sorted(series.rows, key=lambda r: r["level"])]
+        assert values == sorted(values, reverse=True)

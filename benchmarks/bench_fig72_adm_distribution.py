@@ -1,0 +1,18 @@
+"""Figure 7.2 -- association degree distribution.
+
+Histogram of association degrees between a query entity and the population
+for ADM parameter combinations (u, v) in {2, 5}^2.  The paper's shape to
+reproduce: most entities have a low degree with any given query entity, and
+(u=2, v=5) assigns high degrees to the fewest entities.
+"""
+
+from repro.experiments import figures
+
+
+def test_figure_7_2_adm_distribution(record_figure):
+    result = record_figure(figures.figure_7_2)
+    for dataset in ("SYN", "REAL(wifi)"):
+        rows = result.filter(dataset=dataset, u=2, v=2).rows
+        low = sum(row["entities"] for row in rows if row["degree_from"] < 0.3)
+        high = sum(row["entities"] for row in rows if row["degree_from"] >= 0.5)
+        assert low >= high

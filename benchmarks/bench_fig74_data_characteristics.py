@@ -1,0 +1,17 @@
+"""Figure 7.4 -- pruning effectiveness vs data characteristics.
+
+Checked fraction for Top-1/10/50 queries while sweeping each hierarchical-IM
+parameter (alpha, beta, rho, gamma, zeta, a, b, m) one at a time.  The
+paper's shapes to reproduce: alpha/gamma/zeta sweeps trend (higher locality
+-> fewer entities checked), beta/a/b sweeps are nearly flat, larger m
+increases the checked fraction.
+"""
+
+from repro.experiments import figures
+
+
+def test_figure_7_4_pe_vs_data_characteristics(record_figure):
+    result = record_figure(figures.figure_7_4)
+    assert {row["parameter"] for row in result.rows} >= {"alpha", "beta", "rho", "gamma", "zeta", "a", "b", "m"}
+    for row in result.rows:
+        assert 0.0 <= row["checked_fraction"] <= 1.0

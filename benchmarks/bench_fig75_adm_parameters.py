@@ -1,0 +1,20 @@
+"""Figure 7.5 -- pruning effectiveness vs ADM parameters.
+
+Checked fraction while sweeping the ADM exponents u (level weight) and v
+(duration weight) on both datasets.  The paper's shape to reproduce: larger v
+(duration-dominated association) helps pruning; larger u (level-dominated)
+hurts it, because AjPI level is not encoded in the signatures.
+"""
+
+from repro.experiments import figures
+
+
+def test_figure_7_5_pe_vs_adm_parameters(record_figure):
+    result = record_figure(figures.figure_7_5)
+    for row in result.rows:
+        assert 0.0 <= row["checked_fraction"] <= 1.0
+    for dataset in ("SYN", "REAL(wifi)"):
+        low_v = [row["checked_fraction"] for row in result.filter(dataset=dataset, v=2).rows]
+        high_v = [row["checked_fraction"] for row in result.filter(dataset=dataset, v=5).rows]
+        if low_v and high_v:
+            assert sum(high_v) / len(high_v) <= sum(low_v) / len(low_v) + 0.1

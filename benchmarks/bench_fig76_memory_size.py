@@ -1,0 +1,20 @@
+"""Figure 7.6 -- search time vs memory size.
+
+Simulated search time for Top-1/10/50 queries as the buffer pool grows from
+10% to 100% of the data, with entity records laid out in MinSigTree leaf
+order.  The paper's shape to reproduce: search time decreases (super-linearly
+at first) as the memory fraction grows, then flattens around 40-50%.
+"""
+
+from repro.experiments import figures
+
+
+def test_figure_7_6_search_time_vs_memory(record_figure):
+    result = record_figure(figures.figure_7_6)
+    for dataset in ("SYN", "REAL(wifi)"):
+        for k in {row["k"] for row in result.rows}:
+            series = sorted(
+                result.filter(dataset=dataset, k=k).rows, key=lambda r: r["memory_fraction"]
+            )
+            times = [row["simulated_ms"] for row in series]
+            assert times[-1] <= times[0]

@@ -1,0 +1,22 @@
+"""Figure 7.7 -- pruning effectiveness vs result size (k), against the baseline.
+
+PE of the MinSigTree with a smaller and a larger hash-function budget and of
+the Section 7.2 cluster-bitmap baseline as k grows.  The paper's shapes to
+reproduce: PE decreases slightly with k, more hash functions help, and the
+MinSigTree dominates the baseline by a wide margin.
+"""
+
+from repro.experiments import figures
+
+
+def test_figure_7_7_pe_vs_result_size(record_figure):
+    result = record_figure(figures.figure_7_7)
+    for dataset in ("SYN", "REAL(wifi)"):
+        methods = {row["method"] for row in result.filter(dataset=dataset).rows}
+        tree_methods = sorted(m for m in methods if m.startswith("minsigtree"))
+        baseline_rows = result.filter(dataset=dataset, method="cluster-bitmap").rows
+        tree_rows = result.filter(dataset=dataset, method=tree_methods[-1]).rows
+        tree_pe = sum(row["pe"] for row in tree_rows) / len(tree_rows)
+        baseline_pe = sum(row["pe"] for row in baseline_rows) / len(baseline_rows)
+        # The MinSigTree should not lose to the baseline on average.
+        assert tree_pe >= baseline_pe - 0.1

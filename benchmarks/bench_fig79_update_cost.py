@@ -1,0 +1,20 @@
+"""Figure 7.9 -- update cost.
+
+Time to apply a batch of new records through incremental MinSigTree updates,
+for batches where 100%, 70% and 40% of the affected entities already exist.
+The paper's shapes to reproduce: update time grows with n_h, and batches with
+more brand-new entities are cheaper (no removal step).
+"""
+
+from repro.experiments import figures
+
+
+def test_figure_7_9_update_cost(record_figure):
+    result = record_figure(figures.figure_7_9)
+    sweeps = sorted({row["num_hashes"] for row in result.rows})
+    for fraction in {row["existing_fraction"] for row in result.rows}:
+        series = sorted(
+            result.filter(existing_fraction=fraction).rows, key=lambda r: r["num_hashes"]
+        )
+        assert all(row["update_seconds"] >= 0 for row in series)
+    assert len(sweeps) >= 2

@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one figure of the paper's evaluation chapter by
+calling the corresponding generator in :mod:`repro.experiments.figures` and
+prints the resulting data table (run pytest with ``-s`` to see it, or check
+the written CSVs under ``benchmarks/results/``).
+
+The scale is controlled by the ``REPRO_SCALE`` environment variable
+(``tiny`` / ``small`` / ``medium``); benchmarks default to ``tiny`` so that
+``pytest benchmarks/ --benchmark-only`` finishes in a few minutes, while
+``REPRO_SCALE=medium`` reproduces the paper-shaped sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult, resolve_scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def benchmark_scale():
+    """The scale used by the benchmark suite (defaults to tiny)."""
+    return resolve_scale(os.environ.get("REPRO_SCALE", "tiny"))
+
+
+@pytest.fixture
+def record_figure(benchmark):
+    """Run a figure generator once under pytest-benchmark and print its table.
+
+    Usage::
+
+        def test_figure_7_3(record_figure):
+            record_figure(figures.figure_7_3)
+    """
+
+    def runner(generator, **kwargs) -> ExperimentResult:
+        scale = benchmark_scale()
+        result = benchmark.pedantic(
+            lambda: generator(scale=scale, **kwargs), rounds=1, iterations=1
+        )
+        print()
+        print(result.to_table(max_rows=60))
+        RESULTS_DIR.mkdir(exist_ok=True)
+        csv_name = result.name.split()[0].replace("-", "_").replace(".", "_") + ".csv"
+        result.save_csv(RESULTS_DIR / csv_name)
+        return result
+
+    return runner

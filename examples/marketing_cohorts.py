@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Location-based marketing: find co-moving cohorts inside a city.
+
+Marketers want groups of people who move together in the physical world
+(families, couples, colleagues) to target location-based campaigns.  This
+example:
+
+1. simulates a city with the hierarchical individual-mobility model,
+2. builds the engine once,
+3. runs a top-k query for every member of a seed audience and stitches the
+   results into cohorts (connected components of the "strongly associated"
+   graph),
+4. prints where each cohort spends its time, which is what a campaign planner
+   would act on.
+
+Run with ``python examples/marketing_cohorts.py``.
+"""
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Set
+
+from repro import HierarchicalADM, TraceQueryEngine
+from repro.mobility import generate_synthetic_dataset
+
+
+def build_cohorts(edges: Dict[str, Set[str]]) -> List[Set[str]]:
+    """Connected components of the association graph."""
+    seen: Set[str] = set()
+    cohorts: List[Set[str]] = []
+    for start in edges:
+        if start in seen:
+            continue
+        component: Set[str] = set()
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            if node in component:
+                continue
+            component.add(node)
+            frontier.extend(edges.get(node, ()))
+        seen |= component
+        if len(component) > 1:
+            cohorts.append(component)
+    return cohorts
+
+
+def main() -> None:
+    dataset, config = generate_synthetic_dataset(
+        num_entities=500,
+        horizon=24 * 7,
+        grid_side=14,
+        max_group_size=6,
+        group_copy_probability=0.85,
+        observation_rate_range=(0.2, 0.9),
+        seed=2024,
+    )
+    print(f"city simulation: {dataset.describe()}")
+
+    measure = HierarchicalADM(num_levels=dataset.num_levels, u=2, v=2)
+    engine = TraceQueryEngine(dataset, measure=measure, num_hashes=256, seed=9).build()
+
+    # Seed audience: the first 60 people (e.g. loyalty-programme members).
+    audience = list(dataset.entities[:60])
+    association_threshold = 0.25
+    edges: Dict[str, Set[str]] = defaultdict(set)
+    for person in audience:
+        result = engine.top_k(person, k=5)
+        for other, degree in result:
+            if degree >= association_threshold:
+                edges[person].add(other)
+                edges[other].add(person)
+
+    cohorts = sorted(build_cohorts(edges), key=len, reverse=True)
+    print(f"\nfound {len(cohorts)} co-moving cohorts "
+          f"(association degree >= {association_threshold}):")
+    for index, cohort in enumerate(cohorts[:8]):
+        # Where does the cohort spend its time?  Count shared districts.
+        district_counter: Counter = Counter()
+        for member in cohort:
+            for cell in dataset.cell_sequence(member).at_level(2):
+                district_counter[cell.unit] += 1
+        top_places = ", ".join(place for place, _count in district_counter.most_common(3))
+        print(f"  cohort {index + 1}: {len(cohort)} people "
+              f"({', '.join(sorted(cohort)[:4])}{'…' if len(cohort) > 4 else ''}) "
+              f"-- most time in {top_places}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Regenerate every table/figure of the paper's evaluation chapter in one go.
+
+This drives the same experiment generators the benchmarks use
+(``repro.experiments.figures``) and prints one text table per figure; pass
+``--scale tiny|small|medium`` to trade runtime for fidelity and ``--only``
+to regenerate a subset, e.g.::
+
+    python examples/reproduce_figures.py --scale tiny --only 7.3 7.7
+
+CSV files are written next to the script when ``--csv-dir`` is given, which
+is how EXPERIMENTS.md's numbers were produced.
+"""
+
+import argparse
+import os
+import time
+
+from repro.experiments import figures
+
+FIGURES = {
+    "7.1": figures.figure_7_1,
+    "7.2": figures.figure_7_2,
+    "7.3": figures.figure_7_3,
+    "7.4": figures.figure_7_4,
+    "7.5": figures.figure_7_5,
+    "7.6": figures.figure_7_6,
+    "7.7": figures.figure_7_7,
+    "7.8": figures.figure_7_8,
+    "7.9": figures.figure_7_9,
+    "ablation-bounds": figures.ablation_bound_mode,
+    "ablation-grouping": figures.ablation_grouping,
+    "ablation-pruned-sets": figures.ablation_pruned_sets,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default=os.environ.get("REPRO_SCALE", "small"),
+                        choices=["tiny", "small", "medium"])
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="figure ids to regenerate (default: all)")
+    parser.add_argument("--csv-dir", default=None, help="directory to write CSV files to")
+    parser.add_argument("--max-rows", type=int, default=30,
+                        help="max rows to print per table")
+    args = parser.parse_args()
+
+    selected = args.only or list(FIGURES)
+    unknown = [name for name in selected if name not in FIGURES]
+    if unknown:
+        parser.error(f"unknown figure ids: {unknown}; choose from {sorted(FIGURES)}")
+
+    if args.csv_dir:
+        os.makedirs(args.csv_dir, exist_ok=True)
+
+    for name in selected:
+        generator = FIGURES[name]
+        started = time.perf_counter()
+        result = generator(scale=args.scale)
+        elapsed = time.perf_counter() - started
+        print(result.to_table(max_rows=args.max_rows))
+        print(f"({len(result)} rows in {elapsed:.1f}s)\n")
+        if args.csv_dir:
+            path = os.path.join(args.csv_dir, f"figure_{name.replace('.', '_')}.csv")
+            result.save_csv(path)
+            print(f"wrote {path}\n")
+
+
+if __name__ == "__main__":
+    main()

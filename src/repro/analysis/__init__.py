@@ -1,0 +1,29 @@
+"""Analysis utilities: the analytic pruning-effectiveness model, measured PE,
+and the data-distribution statistics behind Figures 7.1 and 7.2.
+
+* :mod:`~repro.analysis.pruning_model` -- the closed-form pruning
+  effectiveness estimate of Section 6.3 (Equations 6.12–6.15).
+* :mod:`~repro.analysis.pe` -- measured pruning effectiveness averaged over a
+  sample of query entities (Definition 5 and the "fraction pruned"
+  orientation used by Figures 7.3 and 7.7).
+* :mod:`~repro.analysis.distribution` -- AjPI counts and durations per level
+  (Figure 7.1) and the association-degree histogram (Figure 7.2).
+"""
+
+from repro.analysis.distribution import (
+    adm_histogram,
+    ajpi_duration_histogram,
+    ajpi_entity_counts,
+)
+from repro.analysis.pe import PESummary, measure_pruning_effectiveness
+from repro.analysis.pruning_model import PruningModel, PruningModelParams
+
+__all__ = [
+    "PESummary",
+    "PruningModel",
+    "PruningModelParams",
+    "adm_histogram",
+    "ajpi_duration_histogram",
+    "ajpi_entity_counts",
+    "measure_pruning_effectiveness",
+]

@@ -1,0 +1,125 @@
+"""Data-distribution statistics: Figures 7.1 and 7.2.
+
+* :func:`ajpi_entity_counts` -- for a query entity, how many other entities
+  form at least one AjPI with it at each sp-index level (Figure 7.1 a/b).
+* :func:`ajpi_duration_histogram` -- how those entities distribute over total
+  AjPI duration buckets, per level (Figure 7.1 c/d).
+* :func:`adm_histogram` -- the association-degree histogram between a query
+  entity and the rest of the population (Figure 7.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.measures.base import AssociationMeasure, level_overlaps
+from repro.traces.adjoint import adjoint_durations_by_level
+from repro.traces.dataset import TraceDataset
+
+__all__ = ["ajpi_entity_counts", "ajpi_duration_histogram", "adm_histogram"]
+
+
+def ajpi_entity_counts(
+    dataset: TraceDataset,
+    query_entity: str,
+    candidates: Optional[Sequence[str]] = None,
+) -> Dict[int, int]:
+    """Number of entities forming AjPIs with the query at each level.
+
+    An entity forming an AjPI at a fine level is counted at every coarser
+    level too (the cumulative reading of Figure 7.1): counts are
+    non-increasing from level 1 to level ``m``.
+    """
+    query_sequence = dataset.cell_sequence(query_entity)
+    counts = {level: 0 for level in range(1, dataset.num_levels + 1)}
+    pool = dataset.entities if candidates is None else tuple(candidates)
+    for entity in pool:
+        if entity == query_entity:
+            continue
+        sequence = dataset.cell_sequence(entity)
+        for level in range(dataset.num_levels, 0, -1):
+            if query_sequence.at_level(level) & sequence.at_level(level):
+                for coarser in range(1, level + 1):
+                    counts[coarser] += 1
+                break
+    return counts
+
+
+def ajpi_duration_histogram(
+    dataset: TraceDataset,
+    query_entity: str,
+    bucket_edges: Sequence[int] = (0, 25, 50, 75, 100),
+    candidates: Optional[Sequence[str]] = None,
+) -> Dict[int, List[int]]:
+    """Histogram of per-entity total AjPI duration with the query, per level.
+
+    ``bucket_edges`` are the lower edges (in base temporal units) of the
+    duration buckets; the last bucket is open-ended.  The paper uses 100-hour
+    buckets; the defaults here match laptop-scale horizons.
+
+    Returns
+    -------
+    dict
+        ``{level: [count per bucket]}`` counting entities whose total shared
+        duration at that level falls in each bucket (entities with zero
+        shared duration are not counted).
+    """
+    if not bucket_edges or list(bucket_edges) != sorted(bucket_edges):
+        raise ValueError("bucket_edges must be a non-empty increasing sequence")
+    histogram = {
+        level: [0] * len(bucket_edges) for level in range(1, dataset.num_levels + 1)
+    }
+    query_trace = dataset.trace(query_entity)
+    pool = dataset.entities if candidates is None else tuple(candidates)
+    for entity in pool:
+        if entity == query_entity:
+            continue
+        durations = adjoint_durations_by_level(
+            query_trace, dataset.trace(entity), dataset.hierarchy
+        )
+        for level, duration in durations.items():
+            if duration <= 0:
+                continue
+            bucket = 0
+            for index, edge in enumerate(bucket_edges):
+                if duration >= edge:
+                    bucket = index
+            histogram[level][bucket] += 1
+    return histogram
+
+
+def adm_histogram(
+    dataset: TraceDataset,
+    query_entity: str,
+    measure: AssociationMeasure,
+    bucket_width: float = 0.1,
+    candidates: Optional[Sequence[str]] = None,
+) -> Tuple[List[float], List[int]]:
+    """Histogram of association degrees between the query and the population.
+
+    Returns
+    -------
+    (edges, counts)
+        ``edges[i]`` is the lower edge of bucket ``i`` and ``counts[i]`` the
+        number of entities whose degree falls in ``[edges[i], edges[i] +
+        bucket_width)``; entities with zero degree are not counted, matching
+        Figure 7.2 which only shows associated entities.
+    """
+    if not 0.0 < bucket_width <= 1.0:
+        raise ValueError(f"bucket_width must be in (0, 1], got {bucket_width}")
+    num_buckets = int(round(1.0 / bucket_width))
+    edges = [round(index * bucket_width, 10) for index in range(num_buckets)]
+    counts = [0] * num_buckets
+    query_sequence = dataset.cell_sequence(query_entity)
+    pool = dataset.entities if candidates is None else tuple(candidates)
+    for entity in pool:
+        if entity == query_entity:
+            continue
+        degree = measure.score_levels(
+            level_overlaps(dataset.cell_sequence(entity), query_sequence)
+        )
+        if degree <= 0.0:
+            continue
+        bucket = min(num_buckets - 1, int(degree / bucket_width))
+        counts[bucket] += 1
+    return edges, counts

@@ -1,0 +1,104 @@
+"""Measured pruning effectiveness (Definition 5) averaged over query samples."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.query import TopKResult
+
+__all__ = ["PESummary", "measure_pruning_effectiveness"]
+
+Searcher = Callable[[str, int], TopKResult]
+
+
+@dataclass(frozen=True)
+class PESummary:
+    """Aggregated pruning statistics over a sample of queries."""
+
+    #: Number of queries executed.
+    num_queries: int
+    #: Result size the queries asked for.
+    k: int
+    #: Mean fraction of the population pruned (higher is better).
+    mean_pruning_effectiveness: float
+    #: Mean fraction of the population whose exact score was computed.
+    mean_checked_fraction: float
+    #: Mean of the literal Definition 5 quantity ``(|E'| - k) / |E|``.
+    mean_definition5_pe: float
+    #: Mean number of entities scored per query.
+    mean_entities_scored: float
+    #: Fraction of queries that terminated early.
+    early_termination_rate: float
+
+    def as_row(self) -> dict:
+        """Flat dictionary representation for experiment tables."""
+        return {
+            "queries": self.num_queries,
+            "k": self.k,
+            "pe": round(self.mean_pruning_effectiveness, 4),
+            "checked_fraction": round(self.mean_checked_fraction, 4),
+            "definition5_pe": round(self.mean_definition5_pe, 4),
+            "entities_scored": round(self.mean_entities_scored, 1),
+            "early_termination_rate": round(self.early_termination_rate, 3),
+        }
+
+
+def measure_pruning_effectiveness(
+    search: Searcher,
+    query_entities: Sequence[str],
+    k: int,
+    sample_size: Optional[int] = None,
+    seed: int = 0,
+) -> PESummary:
+    """Run top-k queries over a sample of entities and aggregate the statistics.
+
+    Parameters
+    ----------
+    search:
+        Any callable ``(entity, k) -> TopKResult`` -- e.g.
+        ``engine.top_k`` or ``baseline.search``.
+    query_entities:
+        Candidate pool of query entities.
+    k:
+        Result size requested.
+    sample_size:
+        Number of queries to draw (without replacement); the full pool is
+        used when omitted or larger than the pool.
+    seed:
+        Seed of the sampling RNG (queries are sampled reproducibly).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    pool: List[str] = list(query_entities)
+    if not pool:
+        raise ValueError("query_entities must not be empty")
+    if sample_size is not None and sample_size < len(pool):
+        rng = random.Random(seed)
+        pool = rng.sample(pool, sample_size)
+
+    pruning: List[float] = []
+    checked: List[float] = []
+    definition5: List[float] = []
+    scored: List[float] = []
+    early = 0
+    for entity in pool:
+        result = search(entity, k)
+        stats = result.stats
+        pruning.append(stats.pruning_effectiveness)
+        checked.append(stats.checked_fraction)
+        definition5.append(stats.definition5_pe)
+        scored.append(float(stats.entities_scored))
+        early += int(stats.terminated_early)
+
+    count = len(pool)
+    return PESummary(
+        num_queries=count,
+        k=k,
+        mean_pruning_effectiveness=sum(pruning) / count,
+        mean_checked_fraction=sum(checked) / count,
+        mean_definition5_pe=sum(definition5) / count,
+        mean_entities_scored=sum(scored) / count,
+        early_termination_rate=early / count,
+    )

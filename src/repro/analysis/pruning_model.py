@@ -1,0 +1,197 @@
+"""The analytic pruning-effectiveness model of Section 6.3.
+
+Given the size of the ST-cell universe, the typical number of base ST-cells
+per entity, the number of hash functions and the minimal number of shared
+cells ``n_c`` an entity needs to beat the expected k-th best association
+degree, the model predicts which fraction of MinSigTree leaves can be
+discarded:
+
+* Equation 6.12 -- the distribution of one signature coordinate (the minimum
+  of ``C`` uniform hashes over ``[0, |S|)``);
+* Equation 6.13 -- the distribution of a node's routing-index value (the
+  maximum of ``n_h`` signature coordinates);
+* Equation 6.14 -- the probability ``q(R[j])`` that at least ``n_c`` of the
+  query's cells survive a node whose routing value falls in sub-range
+  ``R[j]`` (such a node cannot be discarded);
+* Equation 6.15 -- the expected fraction of leaves that cannot be discarded,
+  ``sum_j V[j] * q(R[j])``.
+
+The paper plots the complementary quantity (fraction of leaves that *can* be
+discarded) in Figure 7.3; both orientations are exposed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+__all__ = ["PruningModelParams", "PruningModel"]
+
+
+@dataclass(frozen=True)
+class PruningModelParams:
+    """Inputs of the analytic model.
+
+    Attributes
+    ----------
+    universe_size:
+        ``|S| = n * t``, the number of possible base ST-cells (also the hash
+        range).
+    cells_per_entity:
+        Typical number of base ST-cells per indexed entity (``|seq^m_a|``);
+        the average is a good stand-in for the thesis' per-entity value.
+    query_cells:
+        Number of base ST-cells of the query entity (defaults to
+        ``cells_per_entity`` when 0).
+    num_hashes:
+        Number of hash functions ``n_h``.
+    min_shared_cells:
+        ``n_c``: the minimal number of base cells an entity must share with
+        the query for its association degree to exceed the expected k-th
+        best.
+    num_ranges:
+        ``n_r``: number of equal sub-ranges the hash range is divided into
+        when tabulating the routing-value distribution.
+    """
+
+    universe_size: int
+    cells_per_entity: int
+    num_hashes: int
+    min_shared_cells: int
+    query_cells: int = 0
+    num_ranges: int = 64
+    #: Optional empirical distribution of per-entity cell counts.  When given,
+    #: the routing-value distribution is averaged over it, which matters for
+    #: heavy-tailed activity (most pruning comes from low-activity entities
+    #: whose signatures are large).  ``cells_per_entity`` is still used for
+    #: the query side when ``query_cells`` is 0.
+    cells_distribution: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.universe_size < 1:
+            raise ValueError("universe_size must be >= 1")
+        if self.cells_per_entity < 1:
+            raise ValueError("cells_per_entity must be >= 1")
+        if self.num_hashes < 1:
+            raise ValueError("num_hashes must be >= 1")
+        if self.min_shared_cells < 0:
+            raise ValueError("min_shared_cells must be >= 0")
+        if self.num_ranges < 2:
+            raise ValueError("num_ranges must be >= 2")
+
+    @property
+    def effective_query_cells(self) -> int:
+        """Query cell count, defaulting to the per-entity cell count."""
+        return self.query_cells if self.query_cells > 0 else self.cells_per_entity
+
+
+class PruningModel:
+    """Evaluate the Section 6.3 model for one parameter setting."""
+
+    def __init__(self, params: PruningModelParams) -> None:
+        self.params = params
+
+    # ------------------------------------------------------------------
+    def signature_value_cdf(self, thresholds: np.ndarray, cells: int | None = None) -> np.ndarray:
+        """``P(sig[u] <= x)`` for one coordinate (Equation 6.12 in CDF form).
+
+        One coordinate is the minimum of ``cells`` independent hashes, each
+        uniform on ``[0, universe_size)``, so
+        ``P(min <= x) = 1 - (1 - (x + 1) / |S|) ** C``.
+        """
+        universe = float(self.params.universe_size)
+        if cells is None:
+            cells = self.params.cells_per_entity
+        proportion = np.clip((thresholds + 1.0) / universe, 0.0, 1.0)
+        return 1.0 - (1.0 - proportion) ** cells
+
+    def routing_value_cdf(self, thresholds: np.ndarray) -> np.ndarray:
+        """``P(SIG[r] <= x)`` for the routing-index value (Equation 6.13).
+
+        The routing value is the maximum of the ``n_h`` coordinates, hence
+        the per-coordinate CDF raised to the ``n_h``-th power.  When an
+        empirical distribution of per-entity cell counts is supplied, the CDF
+        is averaged over it (a random leaf belongs to a random entity); with
+        heavy-tailed activity this is what makes low-activity entities --
+        whose signatures are large -- discardable.  (For interior nodes the
+        group minimum lowers the value further; the leaf-level approximation
+        matches the paper's ``p(SIG_N[u]=i) ≈ p(sig^m_a[u]=i)``.)
+        """
+        counts = self.params.cells_distribution or (self.params.cells_per_entity,)
+        stacked = np.stack(
+            [
+                self.signature_value_cdf(thresholds, cells=max(1, int(count)))
+                ** self.params.num_hashes
+                for count in counts
+            ]
+        )
+        return stacked.mean(axis=0)
+
+    def routing_value_distribution(self) -> np.ndarray:
+        """``V[j]``: probability the routing value falls in each sub-range."""
+        edges = np.linspace(0, self.params.universe_size - 1, self.params.num_ranges + 1)
+        cdf = self.routing_value_cdf(edges)
+        distribution = np.diff(cdf)
+        total = distribution.sum()
+        if total > 0:
+            distribution = distribution / total
+        return distribution
+
+    def survival_probability(self, range_upper_bounds: np.ndarray) -> np.ndarray:
+        """``q(R[j])``: probability a node with that routing value survives (Eq. 6.14).
+
+        A node survives (cannot be discarded) when at least ``n_c`` of the
+        query's cells hash *above* the routing value, i.e. stay out of the
+        pruned set.
+        """
+        universe = float(self.params.universe_size)
+        query_cells = self.params.effective_query_cells
+        min_shared = min(self.params.min_shared_cells, query_cells)
+        # Probability one query cell survives a node with routing value x.
+        survive = np.clip(1.0 - (range_upper_bounds + 1.0) / universe, 0.0, 1.0)
+        # P(at least min_shared of query_cells survive) via the binomial tail.
+        counts = np.arange(0, query_cells + 1)
+        result = np.zeros_like(survive, dtype=float)
+        for index, probability in enumerate(survive):
+            pmf = _binomial_pmf(query_cells, probability, counts)
+            result[index] = pmf[min_shared:].sum()
+        return result
+
+    # ------------------------------------------------------------------
+    def expected_checked_fraction(self) -> float:
+        """Equation 6.15: expected fraction of leaves that cannot be discarded."""
+        edges = np.linspace(0, self.params.universe_size - 1, self.params.num_ranges + 1)
+        uppers = edges[1:]
+        weights = self.routing_value_distribution()
+        survival = self.survival_probability(uppers)
+        return float(np.clip((weights * survival).sum(), 0.0, 1.0))
+
+    def expected_pruning_effectiveness(self) -> float:
+        """Fraction of leaves expected to be discarded (Figure 7.3 orientation)."""
+        return 1.0 - self.expected_checked_fraction()
+
+
+def _binomial_pmf(trials: int, probability: float, counts: np.ndarray) -> np.ndarray:
+    """Binomial PMF computed in log space (no scipy dependency needed)."""
+    if probability <= 0.0:
+        pmf = np.zeros(len(counts))
+        pmf[0] = 1.0
+        return pmf
+    if probability >= 1.0:
+        pmf = np.zeros(len(counts))
+        pmf[-1] = 1.0
+        return pmf
+    from math import lgamma, log
+
+    log_p = log(probability)
+    log_q = log(1.0 - probability)
+    values: List[float] = []
+    for count in counts:
+        log_choose = lgamma(trials + 1) - lgamma(count + 1) - lgamma(trials - count + 1)
+        values.append(log_choose + count * log_p + (trials - count) * log_q)
+    values_array = np.array(values)
+    values_array -= values_array.max()
+    pmf = np.exp(values_array)
+    return pmf / pmf.sum()

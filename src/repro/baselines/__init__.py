@@ -1,0 +1,24 @@
+"""Baseline approaches the paper compares against.
+
+* :class:`~repro.baselines.brute_force.BruteForceTopK` -- the exhaustive scan
+  mentioned at the start of Chapter 4; also the ground truth every
+  correctness test compares the MinSigTree searcher against.
+* :mod:`~repro.baselines.fpm` -- a small frequent-pattern-mining substrate
+  (Apriori-style itemset counting and a co-occurrence based ST-cell
+  clustering), needed by
+* :class:`~repro.baselines.cluster_bitmap.ClusterBitmapIndex` -- the
+  Section 7.2 baseline: cluster ST-cells by co-occurrence, represent each
+  entity as a bit vector over clusters, group entities by bit vector, and
+  search groups in decreasing upper-bound order.
+"""
+
+from repro.baselines.brute_force import BruteForceTopK
+from repro.baselines.cluster_bitmap import ClusterBitmapIndex
+from repro.baselines.fpm import FrequentPatternMiner, cluster_cells_by_cooccurrence
+
+__all__ = [
+    "BruteForceTopK",
+    "ClusterBitmapIndex",
+    "FrequentPatternMiner",
+    "cluster_cells_by_cooccurrence",
+]

@@ -1,0 +1,172 @@
+"""The locality/cluster-bitmap baseline of Section 7.2.
+
+The baseline partitions base ST-cells into clusters of frequently
+co-occurring cells (using the frequent-pattern substrate in
+:mod:`repro.baselines.fpm`), represents every entity as a bit vector over the
+clusters (bit ``i`` set iff the entity has presence in at least one cell of
+cluster ``i``), groups entities by identical bit vectors, and answers top-k
+queries by visiting groups in decreasing order of an association-degree upper
+bound, scoring the contained entities exactly, and stopping once the k-th
+best exact score dominates all remaining groups.
+
+Because an entity's base cells are contained in the union of its set
+clusters, restricting the query to the cells of those clusters yields an
+admissible upper bound for every entity of the group (the coarser levels are
+left un-restricted, which keeps the bound valid at the price of looseness --
+exactly the weakness the paper attributes to this approach).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.baselines.fpm import cluster_cells_by_cooccurrence
+from repro.core.query import QueryStats, TopKResult
+from repro.measures.base import AssociationMeasure
+from repro.traces.dataset import TraceDataset
+from repro.traces.events import STCell
+
+__all__ = ["ClusterBitmapIndex"]
+
+BitVector = FrozenSet[int]
+
+
+class ClusterBitmapIndex:
+    """Bit-vector grouping of entities over co-occurrence clusters of ST-cells.
+
+    Parameters
+    ----------
+    dataset:
+        The trace dataset to index.
+    measure:
+        The association degree measure used both for bounds and exact scores.
+    num_clusters:
+        Target number of ST-cell clusters (the bit-vector width).
+    max_cluster_size:
+        Cap on the number of cells merged into one cluster.
+    """
+
+    def __init__(
+        self,
+        dataset: TraceDataset,
+        measure: AssociationMeasure,
+        num_clusters: int = 64,
+        max_cluster_size: int = 64,
+    ) -> None:
+        self.dataset = dataset
+        self.measure = measure
+        self.num_clusters = num_clusters
+        self.max_cluster_size = max_cluster_size
+        self._cell_cluster: Dict[STCell, int] = {}
+        self._groups: Dict[BitVector, List[str]] = {}
+        self._built = False
+
+    # ------------------------------------------------------------------
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has run."""
+        return self._built
+
+    @property
+    def num_groups(self) -> int:
+        """Number of distinct bit vectors (entity groups)."""
+        return len(self._groups)
+
+    def build(self) -> "ClusterBitmapIndex":
+        """Cluster ST-cells and group entities by their cluster bit vectors."""
+        transactions = [
+            self.dataset.cell_sequence(entity).base_cells for entity in self.dataset.entities
+        ]
+        self._cell_cluster = cluster_cells_by_cooccurrence(
+            transactions, num_clusters=self.num_clusters, max_cluster_size=self.max_cluster_size
+        )
+        self._groups = {}
+        for entity in self.dataset.entities:
+            vector = self._bit_vector(self.dataset.cell_sequence(entity).base_cells)
+            self._groups.setdefault(vector, []).append(entity)
+        self._built = True
+        return self
+
+    def _bit_vector(self, base_cells: FrozenSet[STCell]) -> BitVector:
+        return frozenset(
+            self._cell_cluster[cell] for cell in base_cells if cell in self._cell_cluster
+        )
+
+    def cluster_of(self, cell: STCell) -> Optional[int]:
+        """Cluster id of a base ST-cell, or ``None`` if the cell was unseen."""
+        return self._cell_cluster.get(cell)
+
+    # ------------------------------------------------------------------
+    def _group_upper_bound(
+        self,
+        vector: BitVector,
+        query_cells: Tuple[STCell, ...],
+        query_clusters: Tuple[Optional[int], ...],
+        query_level_sizes: Tuple[int, ...],
+    ) -> float:
+        """Upper bound on the degree between the query and any entity of a group."""
+        surviving_base = sum(
+            1 for cluster in query_clusters if cluster is not None and cluster in vector
+        )
+        # Coarse levels stay unrestricted (loose but admissible): entities can
+        # form coarse-level AjPIs with the query even when they share none of
+        # its base cells, so the bound must not collapse to zero with them.
+        overlaps = [(size, size, size) for size in query_level_sizes[:-1]]
+        base_total = query_level_sizes[-1]
+        overlaps.append((surviving_base, base_total, surviving_base))
+        value = self.measure.score_levels(overlaps)
+        return min(max(value, 0.0), 1.0)
+
+    def search(self, query_entity: str, k: int) -> TopKResult:
+        """Answer a top-k query with the bitmap grouping (baseline algorithm)."""
+        if not self._built:
+            raise RuntimeError("the cluster-bitmap index has not been built yet")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+
+        query_sequence = self.dataset.cell_sequence(query_entity)
+        query_cells = tuple(sorted(query_sequence.base_cells))
+        query_clusters = tuple(self._cell_cluster.get(cell) for cell in query_cells)
+        query_level_sizes = tuple(len(level) for level in query_sequence.levels)
+
+        stats = QueryStats(population=self.dataset.num_entities, k=k)
+        result_heap: List[Tuple[float, str]] = []
+        tie_breaker = itertools.count()
+
+        # Order groups by decreasing upper bound.
+        ordered: List[Tuple[float, int, BitVector]] = []
+        for vector in self._groups:
+            bound = self._group_upper_bound(
+                vector, query_cells, query_clusters, query_level_sizes
+            )
+            stats.bound_computations += 1
+            heapq.heappush(ordered, (-bound, next(tie_breaker), vector))
+
+        while ordered:
+            negative_bound, _tie, vector = heapq.heappop(ordered)
+            bound = -negative_bound
+            stats.nodes_visited += 1
+            if len(result_heap) == k and result_heap[0][0] >= bound:
+                stats.terminated_early = True
+                break
+            stats.leaves_visited += 1
+            for entity in self._groups[vector]:
+                if entity == query_entity:
+                    continue
+                score = self.measure.score(self.dataset.cell_sequence(entity), query_sequence)
+                stats.entities_scored += 1
+                if score <= 0.0:
+                    continue
+                if len(result_heap) < k:
+                    heapq.heappush(result_heap, (score, entity))
+                elif score > result_heap[0][0]:
+                    heapq.heapreplace(result_heap, (score, entity))
+
+        items = sorted(result_heap, key=lambda pair: (-pair[0], pair[1]))
+        return TopKResult(
+            query_entity=query_entity,
+            items=[(entity, score) for score, entity in items],
+            stats=stats,
+        )

@@ -1,0 +1,46 @@
+"""The paper's primary contribution: signatures, the MinSigTree, and top-k search.
+
+Modules
+-------
+``hashing``
+    The hierarchical MinHash family -- ``n_h`` hash functions over base
+    ST-cells, extended to coarser cells through the parent constraint
+    ``h(t, parent(l)) = min over children h(t, child)`` (Section 4.2.1).
+``signatures``
+    Per-entity, per-level signature computation (the ``sig_a`` lists).
+``minsigtree``
+    The MinSigTree index: construction (Algorithm 1), incremental updates,
+    and size accounting.
+``pruning``
+    Pruned sets and partial pruned sets derived from node signatures
+    (Theorems 2 and 3, Section 5.1).
+``query``
+    Best-first top-k search with early termination (Theorem 4, Algorithm 2).
+``engine``
+    :class:`~repro.core.engine.TraceQueryEngine`, the high-level facade that
+    wires a dataset, a measure, the hash family, the index and the searcher
+    together.
+"""
+
+from repro.core.engine import EngineConfig, TraceQueryEngine
+from repro.core.hashing import HierarchicalHashFamily
+from repro.core.join import JoinResult, association_graph, mutual_top_k_pairs, top_k_join
+from repro.core.minsigtree import MinSigTree, MinSigTreeNode
+from repro.core.query import QueryStats, TopKResult, TopKSearcher
+from repro.core.signatures import SignatureComputer
+
+__all__ = [
+    "EngineConfig",
+    "HierarchicalHashFamily",
+    "JoinResult",
+    "MinSigTree",
+    "MinSigTreeNode",
+    "QueryStats",
+    "SignatureComputer",
+    "TopKResult",
+    "TopKSearcher",
+    "TraceQueryEngine",
+    "association_graph",
+    "mutual_top_k_pairs",
+    "top_k_join",
+]

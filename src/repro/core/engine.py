@@ -1,0 +1,264 @@
+"""The high-level facade: :class:`TraceQueryEngine`.
+
+The engine wires together the pieces a downstream user needs to run top-k
+queries over digital traces:
+
+1. a :class:`~repro.traces.dataset.TraceDataset` (the digital traces and the
+   sp-index),
+2. an association degree measure (default: the paper's
+   :class:`~repro.measures.adm.HierarchicalADM` with ``u = v = 2``),
+3. the hierarchical MinHash family and per-entity signatures,
+4. the MinSigTree, and
+5. the best-first top-k searcher.
+
+Typical usage::
+
+    engine = TraceQueryEngine(dataset, num_hashes=256, seed=7)
+    engine.build()
+    result = engine.top_k("device-123", k=10)
+    for entity, degree in result:
+        print(entity, degree)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.hashing import HierarchicalHashFamily
+from repro.core.minsigtree import MinSigTree
+from repro.core.query import SequenceFetcher, TopKResult, TopKSearcher
+from repro.core.signatures import SignatureComputer
+from repro.measures.adm import HierarchicalADM
+from repro.measures.base import AssociationMeasure
+from repro.traces.dataset import TraceDataset
+from repro.traces.events import PresenceInstance
+
+__all__ = ["EngineConfig", "TraceQueryEngine"]
+
+
+@dataclass
+class EngineConfig:
+    """Tunable knobs of the engine.
+
+    Attributes
+    ----------
+    num_hashes:
+        Number of hash functions ``n_h`` (signature dimensionality).  The
+        paper sweeps 200–2000; the default of 256 is a good laptop-scale
+        compromise between pruning power and indexing cost.
+    seed:
+        Seed of the hash family (index construction is deterministic given
+        the seed and the dataset).
+    store_full_signatures:
+        Keep full group-level signatures on MinSigTree nodes (Section 4.2.2's
+        storage/pruning trade-off knob; off by default, as in the paper).
+    use_full_signatures:
+        Evaluate query bounds with the full signatures (requires the above).
+    bound_mode:
+        ``"lift"`` (default, the paper's Theorem 4 construction) or
+        ``"per_level"`` (strictly admissible, looser); see
+        :func:`repro.core.pruning.upper_bound`.
+    """
+
+    num_hashes: int = 256
+    seed: int = 0
+    store_full_signatures: bool = False
+    use_full_signatures: bool = False
+    bound_mode: str = "lift"
+
+    def __post_init__(self) -> None:
+        if self.num_hashes < 1:
+            raise ValueError(f"num_hashes must be >= 1, got {self.num_hashes}")
+        if self.use_full_signatures and not self.store_full_signatures:
+            raise ValueError("use_full_signatures requires store_full_signatures")
+        if self.bound_mode not in ("lift", "per_level"):
+            raise ValueError(f"unknown bound mode {self.bound_mode!r}")
+
+
+class TraceQueryEngine:
+    """End-to-end top-k query processing over a trace dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The digital traces to index.
+    measure:
+        The association degree measure; defaults to the paper's
+        :class:`HierarchicalADM` with ``u = v = 2`` over the dataset's depth.
+    config:
+        Engine knobs; individual keyword arguments (``num_hashes``, ``seed``,
+        ...) are accepted as a convenience and override the config.
+    """
+
+    def __init__(
+        self,
+        dataset: TraceDataset,
+        measure: Optional[AssociationMeasure] = None,
+        config: Optional[EngineConfig] = None,
+        **overrides: object,
+    ) -> None:
+        if config is None:
+            config = EngineConfig()
+        if overrides:
+            config = EngineConfig(
+                num_hashes=int(overrides.pop("num_hashes", config.num_hashes)),
+                seed=int(overrides.pop("seed", config.seed)),
+                store_full_signatures=bool(
+                    overrides.pop("store_full_signatures", config.store_full_signatures)
+                ),
+                use_full_signatures=bool(
+                    overrides.pop("use_full_signatures", config.use_full_signatures)
+                ),
+                bound_mode=str(overrides.pop("bound_mode", config.bound_mode)),
+            )
+            if overrides:
+                raise TypeError(f"unknown engine options: {sorted(overrides)}")
+        self.dataset = dataset
+        self.config = config
+        self.measure = measure or HierarchicalADM(num_levels=dataset.num_levels)
+
+        self._hash_family: Optional[HierarchicalHashFamily] = None
+        self._signature_computer: Optional[SignatureComputer] = None
+        self._tree: Optional[MinSigTree] = None
+        self._searcher: Optional[TopKSearcher] = None
+        #: Wall-clock seconds spent in the last :meth:`build` call.
+        self.last_build_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Index lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has been called."""
+        return self._tree is not None
+
+    @property
+    def hash_family(self) -> HierarchicalHashFamily:
+        """The hash family (available after :meth:`build`)."""
+        self._require_built()
+        assert self._hash_family is not None
+        return self._hash_family
+
+    @property
+    def tree(self) -> MinSigTree:
+        """The MinSigTree (available after :meth:`build`)."""
+        self._require_built()
+        assert self._tree is not None
+        return self._tree
+
+    @property
+    def searcher(self) -> TopKSearcher:
+        """The top-k searcher bound to the current index."""
+        self._require_built()
+        assert self._searcher is not None
+        return self._searcher
+
+    def _require_built(self) -> None:
+        if self._tree is None:
+            raise RuntimeError("the engine index has not been built yet; call build() first")
+
+    def build(self) -> "TraceQueryEngine":
+        """Compute signatures for every entity and build the MinSigTree."""
+        started = time.perf_counter()
+        horizon = max(self.dataset.horizon, 1)
+        self._hash_family = HierarchicalHashFamily(
+            self.dataset.hierarchy,
+            horizon=horizon,
+            num_hashes=self.config.num_hashes,
+            seed=self.config.seed,
+        )
+        self._signature_computer = SignatureComputer(self._hash_family)
+        signatures = self._signature_computer.signatures_for_dataset(self.dataset)
+        self._tree = MinSigTree.build(
+            signatures,
+            num_levels=self.dataset.num_levels,
+            num_hashes=self.config.num_hashes,
+            store_full_signatures=self.config.store_full_signatures,
+        )
+        self._searcher = TopKSearcher(
+            self._tree,
+            self.dataset,
+            self.measure,
+            self._hash_family,
+            use_full_signatures=self.config.use_full_signatures,
+            bound_mode=self.config.bound_mode,
+        )
+        self.last_build_seconds = time.perf_counter() - started
+        return self
+
+    def index_size_bytes(self) -> int:
+        """Approximate size of the MinSigTree in bytes."""
+        return self.tree.size_bytes()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def top_k(
+        self,
+        query_entity: str,
+        k: int = 10,
+        sequence_fetcher: Optional[SequenceFetcher] = None,
+        approximation: float = 0.0,
+    ) -> TopKResult:
+        """Return the ``k`` entities most associated with ``query_entity``.
+
+        ``approximation`` > 0 enables approximate top-k with an additive
+        guarantee (see :meth:`repro.core.query.TopKSearcher.search`).
+        """
+        return self.searcher.search(
+            query_entity,
+            k,
+            sequence_fetcher=sequence_fetcher,
+            approximation=approximation,
+        )
+
+    def top_k_many(self, query_entities: Sequence[str], k: int = 10) -> List[TopKResult]:
+        """Answer one top-k query per query entity."""
+        return self.searcher.search_many(query_entities, k)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (Section 4.2.3)
+    # ------------------------------------------------------------------
+    def add_records(self, presences: Iterable[PresenceInstance]) -> List[str]:
+        """Append new trace records and re-index the affected entities.
+
+        New entities are inserted; existing ones are removed from their
+        current leaf, re-signed, and re-inserted (the Figure 7.9 update path).
+        Returns the list of affected entity identifiers.
+        """
+        self._require_built()
+        assert self._signature_computer is not None and self._tree is not None
+        affected: List[str] = []
+        for presence in presences:
+            self.dataset.add_presence(presence)
+            if presence.entity not in affected:
+                affected.append(presence.entity)
+        for entity in affected:
+            matrix = self._signature_computer.signature_matrix(self.dataset.cell_sequence(entity))
+            self._tree.update(entity, matrix)
+        return affected
+
+    def refresh_entities(self, entities: Iterable[str]) -> None:
+        """Re-sign and re-insert entities whose traces changed out of band."""
+        self._require_built()
+        assert self._signature_computer is not None and self._tree is not None
+        for entity in entities:
+            matrix = self._signature_computer.signature_matrix(self.dataset.cell_sequence(entity))
+            self._tree.update(entity, matrix)
+
+    def remove_entity(self, entity: str) -> None:
+        """Drop an entity from both the dataset and the index."""
+        self._require_built()
+        assert self._tree is not None
+        self.dataset.remove_entity(entity)
+        if entity in self._tree:
+            self._tree.remove(entity)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        built = "built" if self.is_built else "not built"
+        return (
+            f"TraceQueryEngine({self.dataset.describe()}, measure={self.measure.name}, "
+            f"num_hashes={self.config.num_hashes}, {built})"
+        )

@@ -1,0 +1,176 @@
+"""The hierarchical MinHash family (Section 4.2.1).
+
+A family of ``n_h`` universal hash functions maps every *base* ST-cell
+``(t, l)`` -- encoded as the integer ``t * |L| + index(l)`` -- to a value in
+``[0, |S| - 1]`` where ``|S| = |L| * horizon`` is the size of the ST-cell
+universe.  Cells at coarser levels are hashed through the paper's parent
+constraint:
+
+    ``h_u(t, l_x) = min over children l_c of l_x of h_u(t, l_c)``
+
+applied recursively, i.e. the hash of a coarse cell is the minimum hash of
+all its *base* descendants at the same time.  This guarantees Theorem 1
+(signatures at coarser levels are element-wise no larger than at finer
+levels) and makes signatures of different levels comparable, which is what
+the MinSigTree's pruning relies on.
+
+Hash evaluation is vectorised with numpy across the whole family and cached
+per (time, unit) cell because popular coarse cells are shared by many
+entities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.traces.events import STCell
+from repro.traces.spatial import SpatialHierarchy
+
+__all__ = ["HierarchicalHashFamily"]
+
+# A Mersenne prime: universal hashing modulus.  Coefficients and (reduced)
+# cell codes are both below 2^31, so products fit comfortably in uint64.
+_MERSENNE_PRIME = (1 << 31) - 1
+
+
+class HierarchicalHashFamily:
+    """``n_h`` universal hash functions over ST-cells with the parent constraint.
+
+    Parameters
+    ----------
+    hierarchy:
+        The sp-index; needed to enumerate base descendants of coarse units.
+    horizon:
+        Number of base temporal units; together with the number of base
+        spatial units it fixes the hash range ``|S|``.
+    num_hashes:
+        Family size ``n_h`` (the signature dimensionality).
+    seed:
+        Seed for the hash coefficients; two families built with the same seed
+        and shape are identical, which the incremental-update path relies on.
+    """
+
+    def __init__(
+        self,
+        hierarchy: SpatialHierarchy,
+        horizon: int,
+        num_hashes: int,
+        seed: int = 0,
+    ) -> None:
+        if num_hashes < 1:
+            raise ValueError(f"num_hashes must be >= 1, got {num_hashes}")
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        hierarchy.validate()
+        self.hierarchy = hierarchy
+        self.horizon = int(horizon)
+        self.num_hashes = int(num_hashes)
+        self.seed = int(seed)
+        self.num_base_units = hierarchy.num_base_units
+        #: Size of the ST-cell universe; hash values live in [0, hash_range).
+        self.hash_range = self.num_base_units * self.horizon
+        if self.hash_range >= _MERSENNE_PRIME:
+            raise ValueError(
+                f"ST-cell universe of size {self.hash_range} exceeds the hash modulus; "
+                "reduce the horizon or the number of base units"
+            )
+
+        rng = np.random.default_rng(seed)
+        # Multipliers must be non-zero modulo the prime for universality.
+        self._a = rng.integers(1, _MERSENNE_PRIME, size=self.num_hashes, dtype=np.uint64)
+        self._b = rng.integers(0, _MERSENNE_PRIME, size=self.num_hashes, dtype=np.uint64)
+        # Cache of hash vectors per cell; keyed by (time, unit_id).
+        self._cell_cache: Dict[Tuple[int, str], np.ndarray] = {}
+        # Cache of base descendant index arrays per non-base unit.
+        self._descendant_indexes: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode_base_cell(self, time: int, unit_id: str) -> int:
+        """Integer code of a base ST-cell (row-major over time then unit)."""
+        index = self.hierarchy.base_unit_index(unit_id)
+        return int(time) * self.num_base_units + index
+
+    def _codes_for_unit(self, time: int, unit_id: str) -> np.ndarray:
+        """Codes of all base descendants of ``unit_id`` at ``time``."""
+        indexes = self._descendant_indexes.get(unit_id)
+        if indexes is None:
+            descendants = self.hierarchy.base_descendants(unit_id)
+            indexes = np.array(
+                [self.hierarchy.base_unit_index(base) for base in descendants],
+                dtype=np.uint64,
+            )
+            self._descendant_indexes[unit_id] = indexes
+        return np.uint64(time) * np.uint64(self.num_base_units) + indexes
+
+    # ------------------------------------------------------------------
+    # Hash evaluation
+    # ------------------------------------------------------------------
+    def _hash_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Hash a vector of cell codes with every function: shape (n_h, len(codes))."""
+        if codes.size == 0:
+            return np.empty((self.num_hashes, 0), dtype=np.int64)
+        reduced = codes.astype(np.uint64) % np.uint64(_MERSENNE_PRIME)
+        # a, reduced < 2^31, so a * reduced < 2^62 fits in uint64.
+        product = (self._a[:, None] * reduced[None, :] + self._b[:, None]) % np.uint64(
+            _MERSENNE_PRIME
+        )
+        return (product % np.uint64(self.hash_range)).astype(np.int64)
+
+    def hash_base_cell(self, time: int, unit_id: str) -> np.ndarray:
+        """Hash vector (length ``n_h``) of a base ST-cell."""
+        code = np.array([self.encode_base_cell(time, unit_id)], dtype=np.uint64)
+        return self._hash_codes(code)[:, 0]
+
+    def hash_cell(self, cell: STCell) -> np.ndarray:
+        """Hash vector of an ST-cell at any level (cached).
+
+        For base cells this is the direct universal hash; for coarser cells it
+        is the element-wise minimum over all base descendants at the same
+        time, which realises the parent constraint exactly.
+        """
+        key = (cell.time, cell.unit)
+        cached = self._cell_cache.get(key)
+        if cached is not None:
+            return cached
+        unit = self.hierarchy.unit(cell.unit)
+        if unit.is_base:
+            values = self.hash_base_cell(cell.time, cell.unit)
+        else:
+            codes = self._codes_for_unit(cell.time, cell.unit)
+            values = self._hash_codes(codes).min(axis=1)
+        self._cell_cache[key] = values
+        return values
+
+    def hash_value(self, function_index: int, cell: STCell) -> int:
+        """Scalar hash ``h_u(cell)`` for one function of the family."""
+        if not 0 <= function_index < self.num_hashes:
+            raise IndexError(f"hash function index {function_index} out of range")
+        return int(self.hash_cell(cell)[function_index])
+
+    def hash_matrix(self, cells: Iterable[STCell]) -> np.ndarray:
+        """Stack hash vectors of many cells into a matrix of shape (n_cells, n_h)."""
+        rows = [self.hash_cell(cell) for cell in cells]
+        if not rows:
+            return np.empty((0, self.num_hashes), dtype=np.int64)
+        return np.stack(rows, axis=0)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def cache_size(self) -> int:
+        """Number of cached cell hash vectors (useful for memory accounting)."""
+        return len(self._cell_cache)
+
+    def clear_cache(self) -> None:
+        """Drop the cell hash cache (e.g. between unrelated experiments)."""
+        self._cell_cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HierarchicalHashFamily(num_hashes={self.num_hashes}, "
+            f"range={self.hash_range}, seed={self.seed})"
+        )

@@ -1,0 +1,156 @@
+"""Batch queries and similarity joins over digital traces.
+
+The paper lists kNN-join style workloads as a natural follow-up to single
+top-k queries (Section 8.2): issuing the top-k query for *every* entity of a
+set and combining the answers.  This module provides that layer on top of an
+existing :class:`~repro.core.query.TopKSearcher` / engine:
+
+* :func:`top_k_join` -- the top-k associates of every entity in a probe set
+  (a kNN join of the probe set against the indexed population);
+* :func:`mutual_top_k_pairs` -- pairs of entities that appear in each other's
+  top-k, the "strong ties" used by the marketing example to stitch cohorts;
+* :func:`association_graph` -- an adjacency representation of every
+  association above a threshold discovered by a join, ready to feed graph
+  tooling (connected components, clustering, networkx, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.query import TopKResult
+
+__all__ = ["JoinResult", "top_k_join", "mutual_top_k_pairs", "association_graph"]
+
+Searcher = Callable[..., TopKResult]
+
+
+@dataclass
+class JoinResult:
+    """The outcome of a top-k join."""
+
+    #: Per-probe-entity top-k results.
+    results: Dict[str, TopKResult] = field(default_factory=dict)
+    #: Result size each probe asked for.
+    k: int = 0
+
+    @property
+    def probe_entities(self) -> List[str]:
+        """The probe entities, in join order."""
+        return list(self.results)
+
+    @property
+    def total_entities_scored(self) -> int:
+        """Total exact-scoring work across all probes."""
+        return sum(result.stats.entities_scored for result in self.results.values())
+
+    def pairs(self, min_degree: float = 0.0) -> List[Tuple[str, str, float]]:
+        """All ``(probe, associate, degree)`` triples above ``min_degree``."""
+        found: List[Tuple[str, str, float]] = []
+        for probe, result in self.results.items():
+            for entity, degree in result:
+                if degree >= min_degree:
+                    found.append((probe, entity, degree))
+        return found
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def top_k_join(
+    search: Searcher,
+    probe_entities: Sequence[str],
+    k: int,
+    approximation: float = 0.0,
+) -> JoinResult:
+    """Run one top-k query per probe entity (a kNN join against the index).
+
+    Parameters
+    ----------
+    search:
+        Any ``(entity, k, ...) -> TopKResult`` callable -- typically
+        ``engine.searcher.search`` or ``engine.top_k``; the brute-force
+        baseline works as well.
+    probe_entities:
+        Entities to probe with (duplicates are collapsed, order preserved).
+    k:
+        Result size per probe.
+    approximation:
+        Additive slack forwarded to searchers that support approximate
+        queries; ignored for searchers that do not accept it.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    join = JoinResult(k=k)
+    seen: Set[str] = set()
+    for probe in probe_entities:
+        if probe in seen:
+            continue
+        seen.add(probe)
+        try:
+            result = search(probe, k, approximation=approximation)
+        except TypeError:
+            result = search(probe, k)
+        join.results[probe] = result
+    return join
+
+
+def mutual_top_k_pairs(
+    search: Searcher,
+    entities: Sequence[str],
+    k: int = 5,
+    min_degree: float = 0.0,
+) -> List[Tuple[str, str, float]]:
+    """Pairs of entities that rank in each other's top-k.
+
+    The returned degree is the minimum of the two directed degrees (they are
+    equal for symmetric measures).  Pairs are reported once with the two
+    entities in lexicographic order, sorted by decreasing degree.
+    """
+    join = top_k_join(search, entities, k)
+    probe_set = set(join.results)
+    directed: Dict[Tuple[str, str], float] = {}
+    for probe, result in join.results.items():
+        for entity, degree in result:
+            directed[(probe, entity)] = degree
+
+    pairs: Dict[Tuple[str, str], float] = {}
+    for (probe, entity), degree in directed.items():
+        if entity not in probe_set:
+            continue
+        reverse = directed.get((entity, probe))
+        if reverse is None:
+            continue
+        key = (probe, entity) if probe < entity else (entity, probe)
+        strength = min(degree, reverse)
+        if strength >= min_degree:
+            pairs[key] = max(pairs.get(key, 0.0), strength)
+    return sorted(
+        [(left, right, degree) for (left, right), degree in pairs.items()],
+        key=lambda item: (-item[2], item[0], item[1]),
+    )
+
+
+def association_graph(
+    search: Searcher,
+    entities: Sequence[str],
+    k: int = 5,
+    min_degree: float = 0.0,
+) -> Dict[str, Dict[str, float]]:
+    """An undirected weighted adjacency mapping of discovered associations.
+
+    Every probe's top-k associates above ``min_degree`` contribute an edge;
+    the edge weight is the association degree (the maximum of the two
+    directions when both were probed).
+    """
+    join = top_k_join(search, entities, k)
+    graph: Dict[str, Dict[str, float]] = {}
+    for probe, associate, degree in join.pairs(min_degree=min_degree):
+        graph.setdefault(probe, {})
+        graph.setdefault(associate, {})
+        existing = graph[probe].get(associate, 0.0)
+        weight = max(existing, degree)
+        graph[probe][associate] = weight
+        graph[associate][probe] = weight
+    return graph

@@ -1,0 +1,338 @@
+"""The MinSigTree index (Section 4.2.2, Algorithm 1).
+
+The MinSigTree is an ``m``-level tree that recursively partitions entities by
+the *routing index* of their per-level signatures -- the position of the
+largest hash value -- so that entities sharing presence patterns at every
+level of the sp-index end up in the same leaf.  Each node stores:
+
+* its routing index ``u`` (which hash function the group maximises), and
+* the group-level signature value at that index, ``SIG_N[u]`` -- the minimum
+  of the member entities' values there, which is what the partial-pruned-set
+  bound of Section 5.1 needs;
+* optionally the full group-level signature vector (``store_full_signatures``)
+  to support the tighter, more storage-hungry pruned sets of Section 4.2.2 --
+  kept as an ablation knob.
+
+Leaves (at tree level ``m``) own the entity lists.  The index supports
+incremental updates (Section 4.2.3): inserting a new entity, removing one,
+and re-signing an existing entity after new trace records arrive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["MinSigTree", "MinSigTreeNode"]
+
+
+@dataclass
+class MinSigTreeNode:
+    """One node of the MinSigTree.
+
+    ``level`` is the tree level: 0 for the virtual root, 1..m for signature
+    levels; nodes at level ``m`` are leaves and carry entities.
+    """
+
+    level: int
+    routing_index: int = -1
+    routing_value: int = 0
+    parent: Optional["MinSigTreeNode"] = None
+    children: Dict[int, "MinSigTreeNode"] = field(default_factory=dict)
+    entities: List[str] = field(default_factory=list)
+    full_signature: Optional[np.ndarray] = None
+
+    @property
+    def is_root(self) -> bool:
+        """Whether this is the virtual root node."""
+        return self.level == 0
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node carries entities (no children will be added)."""
+        return not self.children and not self.is_root
+
+    def child(self, routing_index: int) -> Optional["MinSigTreeNode"]:
+        """The child with the given routing index, if any."""
+        return self.children.get(routing_index)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "root" if self.is_root else ("leaf" if not self.children else "node")
+        return (
+            f"MinSigTreeNode({kind}, level={self.level}, u={self.routing_index}, "
+            f"value={self.routing_value}, children={len(self.children)}, "
+            f"entities={len(self.entities)})"
+        )
+
+
+class MinSigTree:
+    """The MinSigTree index over a set of entity signature matrices.
+
+    Parameters
+    ----------
+    num_levels:
+        Depth ``m`` of the sp-index (and of the tree).
+    num_hashes:
+        Signature dimensionality ``n_h``; the maximal fan-out of every node.
+    store_full_signatures:
+        When true every node keeps the full group-level signature vector,
+        enabling the (tighter) full pruned sets at ``n_h`` times the per-node
+        storage cost.  The paper's default -- and ours -- is to store only the
+        routing-index value.
+    routing_strategy:
+        ``"argmax"`` (the paper's grouping principle: route on the position of
+        the largest hash value, which keeps group-level signatures from
+        collapsing towards zero) or ``"random"`` (ablation: route on a
+        position chosen pseudo-randomly per entity and level).
+    """
+
+    def __init__(
+        self,
+        num_levels: int,
+        num_hashes: int,
+        store_full_signatures: bool = False,
+        routing_strategy: str = "argmax",
+    ) -> None:
+        if num_levels < 1:
+            raise ValueError(f"num_levels must be >= 1, got {num_levels}")
+        if num_hashes < 1:
+            raise ValueError(f"num_hashes must be >= 1, got {num_hashes}")
+        if routing_strategy not in ("argmax", "random"):
+            raise ValueError(f"unknown routing strategy {routing_strategy!r}")
+        self.num_levels = num_levels
+        self.num_hashes = num_hashes
+        self.store_full_signatures = store_full_signatures
+        self.routing_strategy = routing_strategy
+        self.root = MinSigTreeNode(level=0)
+        self._signatures: Dict[str, np.ndarray] = {}
+        self._leaf_of: Dict[str, MinSigTreeNode] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        signatures: Dict[str, np.ndarray],
+        num_levels: int,
+        num_hashes: int,
+        store_full_signatures: bool = False,
+        routing_strategy: str = "argmax",
+    ) -> "MinSigTree":
+        """Build a MinSigTree from per-entity signature matrices (Algorithm 1).
+
+        ``signatures`` maps each entity to its ``(m, n_h)`` signature matrix.
+        The construction is equivalent to the paper's breadth-first grouping:
+        entities are routed level by level on the arg-max position of the
+        corresponding signature row, and each node's group-level signature is
+        the element-wise minimum over its members.
+        """
+        tree = cls(num_levels, num_hashes, store_full_signatures, routing_strategy)
+        for entity, matrix in signatures.items():
+            tree.insert(entity, matrix)
+        return tree
+
+    def _validate_matrix(self, entity: str, matrix: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(matrix, dtype=np.int64)
+        if matrix.shape != (self.num_levels, self.num_hashes):
+            raise ValueError(
+                f"signature matrix of {entity!r} has shape {matrix.shape}, "
+                f"expected {(self.num_levels, self.num_hashes)}"
+            )
+        return matrix
+
+    def insert(self, entity: str, signature_matrix: np.ndarray) -> MinSigTreeNode:
+        """Insert a new entity, creating nodes along its routing path as needed.
+
+        Returns the leaf the entity was placed in.
+
+        Raises
+        ------
+        ValueError
+            If the entity is already indexed (use :meth:`update` instead).
+        """
+        if entity in self._signatures:
+            raise ValueError(f"entity {entity!r} is already indexed; use update()")
+        matrix = self._validate_matrix(entity, signature_matrix)
+        node = self.root
+        for level in range(1, self.num_levels + 1):
+            row = matrix[level - 1]
+            routing_index = self._route(entity, level, row)
+            child = node.children.get(routing_index)
+            if child is None:
+                child = MinSigTreeNode(
+                    level=level,
+                    routing_index=routing_index,
+                    routing_value=int(row[routing_index]),
+                    parent=node,
+                    full_signature=row.copy() if self.store_full_signatures else None,
+                )
+                node.children[routing_index] = child
+            else:
+                # The group-level signature is the element-wise minimum of all
+                # member signatures, so inserting can only lower the stored
+                # values (keeping them valid lower bounds).
+                child.routing_value = min(child.routing_value, int(row[routing_index]))
+                if self.store_full_signatures and child.full_signature is not None:
+                    np.minimum(child.full_signature, row, out=child.full_signature)
+            node = child
+        node.entities.append(entity)
+        self._signatures[entity] = matrix
+        self._leaf_of[entity] = node
+        return node
+
+    def _route(self, entity: str, level: int, row: np.ndarray) -> int:
+        """Routing index for one entity and level under the configured strategy."""
+        if self.routing_strategy == "argmax":
+            return int(np.argmax(row))
+        # Random ablation: deterministic pseudo-random position per entity/level.
+        return hash((entity, level)) % self.num_hashes
+
+    def remove(self, entity: str) -> None:
+        """Remove an entity from the index.
+
+        Empty nodes along the path are pruned.  Group-level signature values
+        of the remaining ancestors are *not* re-tightened (they stay valid
+        lower bounds); call :meth:`rebuild` to re-tighten after many removals.
+        """
+        leaf = self._leaf_of.pop(entity, None)
+        if leaf is None:
+            raise KeyError(f"entity {entity!r} is not indexed")
+        del self._signatures[entity]
+        leaf.entities.remove(entity)
+        node: Optional[MinSigTreeNode] = leaf
+        while node is not None and not node.is_root and not node.entities and not node.children:
+            parent = node.parent
+            if parent is not None:
+                del parent.children[node.routing_index]
+            node = parent
+
+    def update(self, entity: str, signature_matrix: np.ndarray) -> MinSigTreeNode:
+        """Re-index an existing entity with a new signature matrix.
+
+        This is the Section 4.2.3 update path: locate and remove the entity,
+        then insert it along the path of its new signatures.  New entities are
+        accepted too (the removal step is skipped), matching the experiment of
+        Figure 7.9 which mixes new and existing entities.
+        """
+        if entity in self._signatures:
+            self.remove(entity)
+        return self.insert(entity, signature_matrix)
+
+    def rebuild(self) -> None:
+        """Recompute every node's group-level signature from current members.
+
+        Useful after many removals, when stored values may have become looser
+        than necessary (they are never incorrect, only less effective for
+        pruning).
+        """
+        signatures = dict(self._signatures)
+        self.root = MinSigTreeNode(level=0)
+        self._signatures.clear()
+        self._leaf_of.clear()
+        for entity, matrix in signatures.items():
+            self.insert(entity, matrix)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_entities(self) -> int:
+        """Number of entities currently indexed."""
+        return len(self._signatures)
+
+    def __contains__(self, entity: str) -> bool:
+        return entity in self._signatures
+
+    def signature_of(self, entity: str) -> np.ndarray:
+        """The signature matrix the entity was last indexed with."""
+        try:
+            return self._signatures[entity]
+        except KeyError:
+            raise KeyError(f"entity {entity!r} is not indexed") from None
+
+    def leaf_of(self, entity: str) -> MinSigTreeNode:
+        """The leaf currently containing ``entity``."""
+        try:
+            return self._leaf_of[entity]
+        except KeyError:
+            raise KeyError(f"entity {entity!r} is not indexed") from None
+
+    def iter_nodes(self) -> Iterator[MinSigTreeNode]:
+        """Depth-first iteration over all nodes (root first)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            # Sort for determinism of traversal order.
+            stack.extend(node.children[key] for key in sorted(node.children, reverse=True))
+
+    def leaves(self) -> List[MinSigTreeNode]:
+        """All leaf nodes in depth-first order."""
+        return [node for node in self.iter_nodes() if not node.is_root and not node.children]
+
+    def leaf_order(self) -> Dict[str, int]:
+        """Position of every entity when leaves are laid out in DFS order.
+
+        This is the physical layout used by the disk-backed store in the
+        memory-size experiment (closely associated entities end up adjacent).
+        """
+        order: Dict[str, int] = {}
+        position = 0
+        for leaf in self.leaves():
+            for entity in leaf.entities:
+                order[entity] = position
+                position += 1
+        return order
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes excluding the virtual root."""
+        return sum(1 for node in self.iter_nodes() if not node.is_root)
+
+    def size_bytes(self) -> int:
+        """Approximate index size in bytes.
+
+        Each node stores two integers (routing index and value) plus, for
+        leaves, one pointer per entity; with ``store_full_signatures`` every
+        node additionally stores ``n_h`` integers.  Mirrors the accounting in
+        Figure 7.8(b).
+        """
+        per_node = 2 * 8
+        if self.store_full_signatures:
+            per_node += self.num_hashes * 8
+        total = 0
+        for node in self.iter_nodes():
+            if node.is_root:
+                continue
+            total += per_node
+            if not node.children:
+                total += 8 * len(node.entities)
+        return total
+
+    def depth_histogram(self) -> Dict[int, int]:
+        """Number of nodes per tree level (diagnostics and tests)."""
+        histogram: Dict[int, int] = {}
+        for node in self.iter_nodes():
+            if node.is_root:
+                continue
+            histogram[node.level] = histogram.get(node.level, 0) + 1
+        return histogram
+
+    def path_to_leaf(self, entity: str) -> Tuple[MinSigTreeNode, ...]:
+        """The root-to-leaf node path of an indexed entity (excluding the root)."""
+        leaf = self.leaf_of(entity)
+        path: List[MinSigTreeNode] = []
+        node: Optional[MinSigTreeNode] = leaf
+        while node is not None and not node.is_root:
+            path.append(node)
+            node = node.parent
+        return tuple(reversed(path))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MinSigTree(entities={self.num_entities}, nodes={self.num_nodes}, "
+            f"levels={self.num_levels}, num_hashes={self.num_hashes})"
+        )

@@ -1,0 +1,262 @@
+"""Top-k query processing over the MinSigTree (Chapter 5, Algorithm 2).
+
+The searcher runs a best-first traversal of the MinSigTree.  Every node is
+assigned an upper bound on the association degree between the query entity
+and any entity in its subtree (Theorem 4, computed from the node's partial
+pruned set); nodes are explored in decreasing bound order, leaves have their
+entities scored exactly, and the search stops as soon as the k-th best exact
+score is at least the best outstanding bound (early termination).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.minsigtree import MinSigTree, MinSigTreeNode
+from repro.core.pruning import PruningState, QueryHashes, upper_bound
+from repro.core.hashing import HierarchicalHashFamily
+from repro.measures.base import AssociationMeasure
+from repro.traces.dataset import TraceDataset
+from repro.traces.events import CellSequence
+
+__all__ = ["QueryStats", "TopKResult", "TopKSearcher"]
+
+SequenceFetcher = Callable[[str], CellSequence]
+
+
+@dataclass
+class QueryStats:
+    """Work counters collected while answering one top-k query."""
+
+    #: Number of candidate entities whose exact association degree was computed.
+    entities_scored: int = 0
+    #: Number of MinSigTree nodes popped from the candidate queue.
+    nodes_visited: int = 0
+    #: Number of leaf nodes whose entities were scored.
+    leaves_visited: int = 0
+    #: Number of upper-bound evaluations (one per child pushed).
+    bound_computations: int = 0
+    #: Whether the early-termination condition fired before the queue drained.
+    terminated_early: bool = False
+    #: Total number of entities in the dataset (excluding nobody).
+    population: int = 0
+    #: Result size requested.
+    k: int = 0
+
+    @property
+    def checked_fraction(self) -> float:
+        """Fraction of the population whose exact score was computed."""
+        if self.population == 0:
+            return 0.0
+        return self.entities_scored / self.population
+
+    @property
+    def pruning_effectiveness(self) -> float:
+        """Fraction of the population pruned without exact scoring.
+
+        This is the "higher is better" orientation used by Figures 7.3 and
+        7.7 of the paper; :attr:`definition5_pe` gives the literal
+        Definition 5 quantity (extra entities checked, lower is better) used
+        by Figures 7.4 and 7.5.
+        """
+        return max(0.0, min(1.0, 1.0 - self.checked_fraction))
+
+    @property
+    def definition5_pe(self) -> float:
+        """``(|E'| - k) / |E|`` exactly as in Definition 5 (lower is better)."""
+        if self.population == 0:
+            return 0.0
+        return max(0, self.entities_scored - self.k) / self.population
+
+
+@dataclass
+class TopKResult:
+    """The outcome of one top-k query."""
+
+    query_entity: str
+    #: ``(entity, association degree)`` pairs, best first.
+    items: List[Tuple[str, float]] = field(default_factory=list)
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    @property
+    def entities(self) -> List[str]:
+        """Result entities, best first."""
+        return [entity for entity, _score in self.items]
+
+    @property
+    def scores(self) -> List[float]:
+        """Association degrees aligned with :attr:`entities`."""
+        return [score for _entity, score in self.items]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+
+class TopKSearcher:
+    """Best-first top-k search over a built MinSigTree.
+
+    Parameters
+    ----------
+    tree:
+        The MinSigTree indexing every candidate entity.
+    dataset:
+        The trace dataset; used (by default) to fetch candidate cell
+        sequences for exact scoring and to size the population statistics.
+    measure:
+        The association degree measure; must satisfy the Section 3.2
+        properties for the bounds to be admissible.
+    hash_family:
+        The hash family the tree was built with (query cells are hashed with
+        it to evaluate pruned sets).
+    use_full_signatures:
+        Evaluate bounds with full node signatures where available (ablation;
+        requires the tree to have been built with ``store_full_signatures``).
+    bound_mode:
+        ``"lift"`` (default) rebuilds the artificial entity's coarse cell sets
+        from its surviving base cells, exactly as in Theorem 4; ``"per_level"``
+        keeps coarse query cells unless a coarse-level node explicitly pruned
+        them, which is strictly admissible but much looser (see
+        :func:`repro.core.pruning.upper_bound`).
+    """
+
+    def __init__(
+        self,
+        tree: MinSigTree,
+        dataset: TraceDataset,
+        measure: AssociationMeasure,
+        hash_family: HierarchicalHashFamily,
+        use_full_signatures: bool = False,
+        bound_mode: str = "lift",
+    ) -> None:
+        if bound_mode not in ("lift", "per_level"):
+            raise ValueError(f"unknown bound mode {bound_mode!r}")
+        self.tree = tree
+        self.dataset = dataset
+        self.measure = measure
+        self.hash_family = hash_family
+        self.use_full_signatures = use_full_signatures
+        self.bound_mode = bound_mode
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query_entity: str,
+        k: int,
+        sequence_fetcher: Optional[SequenceFetcher] = None,
+        candidate_filter: Optional[Callable[[str], bool]] = None,
+        approximation: float = 0.0,
+    ) -> TopKResult:
+        """Answer a top-k query (Algorithm 2).
+
+        Parameters
+        ----------
+        query_entity:
+            The entity whose closest associates are sought.  Must exist in
+            the dataset (it does not need to be indexed in the tree).
+        k:
+            Number of results requested (``1 <= k < |E|``).
+        sequence_fetcher:
+            Optional override used to fetch candidate cell sequences; the
+            disk-backed store passes an accounting fetcher here so that the
+            memory-size experiment can charge I/O for every scored entity.
+        candidate_filter:
+            Optional predicate; entities for which it returns ``False`` are
+            skipped (used by tests and by incremental-maintenance tooling).
+        approximation:
+            Additive slack for approximate top-k (the paper's first
+            future-work item).  With a value ``eps > 0`` the search stops as
+            soon as the current k-th best score is within ``eps`` of the best
+            outstanding bound, so every returned score is guaranteed to be at
+            least ``(true k-th best) - eps``.  ``0`` (default) gives exact
+            results under an admissible bound.
+
+        Returns
+        -------
+        TopKResult
+            Up to ``k`` entities with strictly positive association degree,
+            best first, plus the work counters.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if approximation < 0.0:
+            raise ValueError(f"approximation slack must be >= 0, got {approximation}")
+        fetch = sequence_fetcher or self.dataset.cell_sequence
+        query_sequence = self.dataset.cell_sequence(query_entity)
+        query_hashes = QueryHashes.from_sequence(query_sequence, self.hash_family)
+
+        stats = QueryStats(population=self.dataset.num_entities, k=k)
+        result_heap: List[Tuple[float, str]] = []  # min-heap of (score, entity)
+        tie_breaker = itertools.count()
+        candidate_heap: List[Tuple[float, int, MinSigTreeNode, PruningState]] = []
+
+        root_state = PruningState.initial(query_hashes)
+        heapq.heappush(candidate_heap, (-1.0, next(tie_breaker), self.tree.root, root_state))
+
+        while candidate_heap:
+            negative_bound, _tie, node, state = heapq.heappop(candidate_heap)
+            bound = -negative_bound
+            stats.nodes_visited += 1
+
+            if len(result_heap) == k and result_heap[0][0] >= bound - approximation:
+                stats.terminated_early = True
+                break
+
+            if node.is_root or node.children:
+                for child in node.children.values():
+                    child_state = state.refine(child, query_hashes, self.use_full_signatures)
+                    child_bound = min(
+                        bound,
+                        upper_bound(child_state, query_hashes, self.measure, self.bound_mode),
+                    )
+                    stats.bound_computations += 1
+                    if len(result_heap) == k and result_heap[0][0] >= child_bound - approximation:
+                        # The child can never beat the current k-th best
+                        # (by more than the allowed approximation slack).
+                        continue
+                    heapq.heappush(
+                        candidate_heap,
+                        (-child_bound, next(tie_breaker), child, child_state),
+                    )
+                continue
+
+            # Leaf: score every contained entity exactly.
+            stats.leaves_visited += 1
+            for entity in node.entities:
+                if entity == query_entity:
+                    continue
+                if candidate_filter is not None and not candidate_filter(entity):
+                    continue
+                score = self.measure.score(fetch(entity), query_sequence)
+                stats.entities_scored += 1
+                if score <= 0.0:
+                    continue
+                if len(result_heap) < k:
+                    heapq.heappush(result_heap, (score, entity))
+                elif score > result_heap[0][0]:
+                    heapq.heapreplace(result_heap, (score, entity))
+
+        items = sorted(result_heap, key=lambda pair: (-pair[0], pair[1]))
+        return TopKResult(
+            query_entity=query_entity,
+            items=[(entity, score) for score, entity in items],
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    def search_many(
+        self,
+        query_entities: Sequence[str],
+        k: int,
+        sequence_fetcher: Optional[SequenceFetcher] = None,
+    ) -> List[TopKResult]:
+        """Answer one top-k query per entity in ``query_entities``."""
+        return [
+            self.search(entity, k, sequence_fetcher=sequence_fetcher)
+            for entity in query_entities
+        ]

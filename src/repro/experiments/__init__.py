@@ -1,0 +1,24 @@
+"""The evaluation harness: one experiment generator per figure of Chapter 7.
+
+* :mod:`~repro.experiments.harness` -- experiment results, table rendering,
+  CSV export and the scale presets (``tiny`` / ``small`` / ``medium``).
+* :mod:`~repro.experiments.workloads` -- the SYN and WiFi workload
+  configurations shared by the figures, with per-process caching.
+* :mod:`~repro.experiments.figures` -- ``figure_7_1`` … ``figure_7_9`` and
+  the ablation studies; each returns an
+  :class:`~repro.experiments.harness.ExperimentResult` whose rows are what
+  the corresponding benchmark prints.
+"""
+
+from repro.experiments.harness import ExperimentResult, Scale, resolve_scale
+from repro.experiments.workloads import syn_workload, wifi_workload
+from repro.experiments import figures
+
+__all__ = [
+    "ExperimentResult",
+    "Scale",
+    "figures",
+    "resolve_scale",
+    "syn_workload",
+    "wifi_workload",
+]

@@ -1,0 +1,109 @@
+"""The SYN and WiFi workloads shared by the figure experiments.
+
+The generator parameters below are the laptop-scale stand-ins for the paper's
+datasets (see the substitution table in DESIGN.md): heavy-tailed per-entity
+activity, power-law social groups, and -- for the WiFi workload -- clustered
+hotspots with anchor-based detections.  Datasets are cached per process so
+that a benchmark sweeping one knob does not regenerate the same data for
+every point.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.experiments.harness import Scale, resolve_scale
+from repro.mobility.hierarchical import HierarchicalMobilityConfig, generate_synthetic_dataset
+from repro.mobility.im_model import IMModelParams
+from repro.mobility.wifi import WiFiConfig, generate_wifi_dataset
+from repro.traces.dataset import TraceDataset
+
+__all__ = ["syn_workload", "wifi_workload", "sample_queries", "clear_workload_cache"]
+
+_CACHE: Dict[Tuple, TraceDataset] = {}
+
+
+def clear_workload_cache() -> None:
+    """Drop every cached dataset (tests use this to bound memory)."""
+    _CACHE.clear()
+
+
+def syn_config(scale: Union[str, Scale, None] = None, **overrides: object) -> HierarchicalMobilityConfig:
+    """The SYN generator configuration for a scale, with optional overrides."""
+    resolved = resolve_scale(scale)
+    config = HierarchicalMobilityConfig(
+        num_entities=resolved.num_entities,
+        horizon=resolved.horizon,
+        grid_side=resolved.grid_side,
+        num_levels=4,
+        im_params=IMModelParams(),
+        width_exponent=2.0,
+        density_exponent=2.0,
+        max_group_size=12,
+        group_size_exponent=1.3,
+        group_copy_probability=0.8,
+        observation_rate_range=(0.05, 0.6),
+        observation_rate_exponent=1.3,
+        home_concentration=0.5,
+        seed=11,
+    )
+    if overrides:
+        config = config.with_params(**overrides)
+    return config
+
+
+def syn_workload(scale: Union[str, Scale, None] = None, **overrides: object) -> TraceDataset:
+    """The SYN dataset for a scale (cached per parameterisation)."""
+    config = syn_config(scale, **overrides)
+    key = ("syn", config)
+    if key not in _CACHE:
+        dataset, _config = generate_synthetic_dataset(config)
+        _CACHE[key] = dataset
+    return _CACHE[key]
+
+
+def wifi_config(scale: Union[str, Scale, None] = None, **overrides: object) -> WiFiConfig:
+    """The WiFi generator configuration for a scale, with optional overrides."""
+    resolved = resolve_scale(scale)
+    config = WiFiConfig(
+        num_devices=resolved.num_entities,
+        num_hotspots=max(60, resolved.grid_side**2),
+        horizon=resolved.horizon,
+        # Keep per-device activity modest (sparse probe logs): pruning power
+        # depends on n_h exceeding the typical per-entity cell count.
+        mean_detections=15,
+        max_dwell=3,
+        anchors_per_device=4,
+        anchor_probability=0.85,
+        companion_fraction=0.3,
+        companion_copy_probability=0.8,
+        seed=13,
+    )
+    if overrides:
+        config = config.with_params(**overrides)
+    return config
+
+
+def wifi_workload(scale: Union[str, Scale, None] = None, **overrides: object) -> TraceDataset:
+    """The WiFi (REAL-substitute) dataset for a scale (cached)."""
+    config = wifi_config(scale, **overrides)
+    key = ("wifi", config)
+    if key not in _CACHE:
+        dataset, _config = generate_wifi_dataset(config)
+        _CACHE[key] = dataset
+    return _CACHE[key]
+
+
+def sample_queries(
+    dataset: TraceDataset,
+    count: int,
+    seed: int = 7,
+    exclude: Optional[Sequence[str]] = None,
+) -> list:
+    """Sample query entities reproducibly from a dataset."""
+    pool = [entity for entity in dataset.entities if not exclude or entity not in set(exclude)]
+    if count >= len(pool):
+        return list(pool)
+    rng = random.Random(seed)
+    return rng.sample(pool, count)

@@ -1,0 +1,92 @@
+"""The abstract association degree measure contract.
+
+An association degree measure scores a pair of entities from their ST-cell
+set sequences.  Section 3.2 of the paper only demands three generic
+properties, which every concrete measure in this package satisfies and which
+the property-based tests verify:
+
+* **Normalisation** -- scores lie in ``[0, 1]``.
+* **Monotonicity** -- shrinking one entity's trace to a subset of the overlap
+  can only increase the score (fewer "wasted" presences), and growing the
+  overlap while activity stays fixed can only increase it.
+* **Upper-bound admissibility** -- for a query ``q`` and any candidate ``p``,
+  the score of ``q`` against the *restriction of q to any superset of the
+  overlap with p* bounds the true score from above (this is what Theorem 4
+  exploits; see :meth:`AssociationMeasure.score`).
+
+Scores are computed per sp-index level on the sizes of the per-level cell
+sets and their intersections, which correspond to the durations ``|P^l_ab|``
+of the paper because each base-level ST-cell accounts for exactly one base
+temporal unit of co-presence.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Tuple
+
+from repro.traces.events import CellSequence
+
+__all__ = ["AssociationMeasure", "level_overlaps"]
+
+
+def level_overlaps(seq_a: CellSequence, seq_b: CellSequence) -> List[Tuple[int, int, int]]:
+    """Per-level ``(|A_l|, |B_l|, |A_l ∩ B_l|)`` triples for two sequences.
+
+    The list is ordered from level 1 (coarsest) to level ``m`` (base units).
+
+    Raises
+    ------
+    ValueError
+        If the two sequences were built over sp-indexes of different depth.
+    """
+    if seq_a.num_levels != seq_b.num_levels:
+        raise ValueError(
+            f"cell sequences have different depths: {seq_a.num_levels} vs {seq_b.num_levels}"
+        )
+    triples: List[Tuple[int, int, int]] = []
+    for level_a, level_b in zip(seq_a.levels, seq_b.levels):
+        # Intersect from the smaller side; sets of namedtuples hash cheaply.
+        smaller, larger = (level_a, level_b) if len(level_a) <= len(level_b) else (level_b, level_a)
+        shared = sum(1 for cell in smaller if cell in larger)
+        triples.append((len(level_a), len(level_b), shared))
+    return triples
+
+
+class AssociationMeasure(abc.ABC):
+    """Base class for association degree measures.
+
+    Concrete measures implement :meth:`score_levels`, which receives the
+    per-level set sizes and overlap counts; :meth:`score` adapts it to a pair
+    of :class:`~repro.traces.events.CellSequence` objects.
+    """
+
+    #: Human-readable name used in experiment tables.
+    name: str = "adm"
+
+    @abc.abstractmethod
+    def score_levels(self, overlaps: List[Tuple[int, int, int]]) -> float:
+        """Score a pair of entities from per-level ``(|A|, |B|, |A ∩ B|)`` triples.
+
+        Implementations must return a value in ``[0, 1]`` and must be
+        non-decreasing in every intersection size and non-increasing in the
+        individual set sizes (for a fixed intersection).
+        """
+
+    def score(self, seq_a: CellSequence, seq_b: CellSequence) -> float:
+        """Association degree between two entities' ST-cell set sequences."""
+        if seq_a.is_empty() or seq_b.is_empty():
+            return 0.0
+        value = self.score_levels(level_overlaps(seq_a, seq_b))
+        # Guard against floating point drift outside the contract range.
+        if value < 0.0:
+            return 0.0
+        if value > 1.0:
+            return 1.0
+        return value
+
+    def __call__(self, seq_a: CellSequence, seq_b: CellSequence) -> float:
+        return self.score(seq_a, seq_b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

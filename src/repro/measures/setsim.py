@@ -1,0 +1,143 @@
+"""Classic set similarities lifted to per-level ST-cell sets.
+
+Section 3.2 presents the association degree as "a generalisation of a large
+family of set similarity functions; e.g. Jaccard similarity, Dice similarity,
+F-score".  These measures instantiate that family: each one applies a classic
+set similarity to every level of the ST-cell set sequence and combines the
+levels with non-negative weights (uniform by default), normalised so that two
+identical non-empty traces score exactly 1.
+
+All of them satisfy the generic ADM properties, and -- because the per-level
+similarity is non-decreasing in the intersection size once the candidate set
+is replaced by the intersection itself -- they are compatible with the
+Theorem 4 upper bound used by the search algorithm (verified by the
+property-based tests in ``tests/test_measure_properties.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.measures.base import AssociationMeasure
+
+__all__ = ["JaccardADM", "DiceADM", "OverlapADM", "FScoreADM"]
+
+
+def _normalise_weights(num_levels: int, weights: Optional[Sequence[float]]) -> Tuple[float, ...]:
+    if weights is None:
+        weights = [1.0] * num_levels
+    weights = tuple(float(weight) for weight in weights)
+    if len(weights) != num_levels:
+        raise ValueError(f"expected {num_levels} level weights, got {len(weights)}")
+    if any(weight < 0 for weight in weights):
+        raise ValueError("level weights must be non-negative")
+    total = sum(weights)
+    if total <= 0:
+        raise ValueError("at least one level weight must be positive")
+    return tuple(weight / total for weight in weights)
+
+
+class _WeightedLevelMeasure(AssociationMeasure):
+    """Shared machinery: weighted average of a per-level similarity in [0, 1]."""
+
+    def __init__(self, num_levels: int, weights: Optional[Sequence[float]] = None) -> None:
+        if num_levels < 1:
+            raise ValueError(f"num_levels must be >= 1, got {num_levels}")
+        self.num_levels = num_levels
+        self.weights = _normalise_weights(num_levels, weights)
+
+    def _level_similarity(self, size_a: int, size_b: int, shared: int) -> float:
+        raise NotImplementedError
+
+    def score_levels(self, overlaps: List[Tuple[int, int, int]]) -> float:
+        if len(overlaps) != self.num_levels:
+            raise ValueError(
+                f"expected overlaps for {self.num_levels} levels, got {len(overlaps)}"
+            )
+        total = 0.0
+        for weight, (size_a, size_b, shared) in zip(self.weights, overlaps):
+            if shared == 0 or weight == 0.0:
+                continue
+            total += weight * self._level_similarity(size_a, size_b, shared)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(num_levels={self.num_levels})"
+
+
+class JaccardADM(_WeightedLevelMeasure):
+    """Weighted per-level Jaccard similarity ``|A ∩ B| / |A ∪ B|``."""
+
+    name = "jaccard-adm"
+
+    def _level_similarity(self, size_a: int, size_b: int, shared: int) -> float:
+        union = size_a + size_b - shared
+        if union == 0:
+            return 0.0
+        return shared / union
+
+
+class DiceADM(_WeightedLevelMeasure):
+    """Weighted per-level Dice coefficient ``2 |A ∩ B| / (|A| + |B|)``."""
+
+    name = "dice-adm"
+
+    def _level_similarity(self, size_a: int, size_b: int, shared: int) -> float:
+        denominator = size_a + size_b
+        if denominator == 0:
+            return 0.0
+        return 2.0 * shared / denominator
+
+
+class OverlapADM(_WeightedLevelMeasure):
+    """Weighted per-level overlap coefficient ``|A ∩ B| / min(|A|, |B|)``.
+
+    This measure scores 1 whenever one trace is contained in the other, which
+    makes it the most permissive member of the family; it is mainly useful to
+    stress the search algorithm with very loose upper bounds.
+    """
+
+    name = "overlap-adm"
+
+    def _level_similarity(self, size_a: int, size_b: int, shared: int) -> float:
+        smallest = min(size_a, size_b)
+        if smallest == 0:
+            return 0.0
+        return shared / smallest
+
+
+class FScoreADM(_WeightedLevelMeasure):
+    """Weighted per-level F\\ :sub:`β` score of the overlap.
+
+    Precision is ``|A ∩ B| / |A|`` (how much of the candidate's presence is
+    shared) and recall is ``|A ∩ B| / |B|`` (how much of the query's presence
+    is shared); ``beta`` trades them off exactly as in information retrieval.
+    With ``beta = 1`` the measure coincides with the Dice coefficient.
+    """
+
+    name = "fscore-adm"
+
+    def __init__(
+        self,
+        num_levels: int,
+        beta: float = 0.5,
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(num_levels, weights)
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        self.beta = float(beta)
+
+    def _level_similarity(self, size_a: int, size_b: int, shared: int) -> float:
+        if size_a == 0 or size_b == 0 or shared == 0:
+            return 0.0
+        precision = shared / size_a
+        recall = shared / size_b
+        beta_sq = self.beta * self.beta
+        denominator = beta_sq * precision + recall
+        if denominator == 0:
+            return 0.0
+        return (1.0 + beta_sq) * precision * recall / denominator
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FScoreADM(num_levels={self.num_levels}, beta={self.beta})"

@@ -1,0 +1,30 @@
+"""Mobility models and synthetic trace generators (Chapter 6 substrate).
+
+* :mod:`~repro.mobility.im_model` -- the single-level individual mobility
+  (IM) model of Song et al. (Equations 6.1–6.6): power-law waiting times,
+  exploration vs. preferential return, power-law jump displacements.
+* :mod:`~repro.mobility.hierarchy_gen` -- the power-law sp-index generator of
+  Section 6.2 (Equations 6.7 and 6.8): level widths ``W_l = Q * l^a`` and
+  relative node sizes ``D^i_l ∝ i^b`` over a square grid of base units.
+* :mod:`~repro.mobility.hierarchical` -- the hierarchical IM model: grid +
+  sp-index + per-entity IM walkers, producing a
+  :class:`~repro.traces.dataset.TraceDataset` (the paper's SYN dataset).
+* :mod:`~repro.mobility.wifi` -- the WiFi-handshake workload generator that
+  substitutes for the proprietary REAL dataset (see DESIGN.md).
+"""
+
+from repro.mobility.hierarchical import HierarchicalMobilityConfig, generate_synthetic_dataset
+from repro.mobility.hierarchy_gen import GridHierarchyBuilder
+from repro.mobility.im_model import Grid, IMModelParams, IndividualMobilityModel
+from repro.mobility.wifi import WiFiConfig, generate_wifi_dataset
+
+__all__ = [
+    "Grid",
+    "GridHierarchyBuilder",
+    "HierarchicalMobilityConfig",
+    "IMModelParams",
+    "IndividualMobilityModel",
+    "WiFiConfig",
+    "generate_synthetic_dataset",
+    "generate_wifi_dataset",
+]

@@ -1,0 +1,165 @@
+"""Power-law sp-index generation over a grid (Section 6.2).
+
+The area of interest is a square of side ``L`` divided into a grid of base
+spatial units.  The sp-index above the grid follows two power laws:
+
+* **width** -- the number of spatial units at level ``l`` is
+  ``W_l = Q * l^a`` with ``Q = (L / L_bsu)^2 / m^a`` (Equation 6.7), so the
+  tree widens towards the base level;
+* **relative density** -- the sizes of the units at one level follow
+  ``D_i ∝ i^b`` (Equation 6.8), so a few units (business districts) are much
+  larger than the rest (rural areas).
+
+The generator assigns grid cells to parents in Morton (Z-curve) order so that
+spatially close base units share ancestors, which is what gives the
+hierarchical IM model its locality at coarse levels.  The paper validates
+``a, b ∈ [1, 2]`` against New York City point-of-interest data; those are the
+defaults here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.mobility.im_model import Grid
+from repro.traces.spatial import SpatialHierarchy
+
+__all__ = ["GridHierarchyBuilder"]
+
+
+def _morton_key(x: int, y: int, bits: int = 16) -> int:
+    """Interleave the bits of ``x`` and ``y`` (Z-order curve key)."""
+    key = 0
+    for bit in range(bits):
+        key |= ((x >> bit) & 1) << (2 * bit)
+        key |= ((y >> bit) & 1) << (2 * bit + 1)
+    return key
+
+
+def _power_law_partition(total: int, parts: int, exponent: float) -> List[int]:
+    """Split ``total`` items into ``parts`` groups with sizes ∝ ``(i+1)^exponent``.
+
+    Every group receives at least one item; rounding remainders are assigned
+    to the largest groups first so the sum is exactly ``total``.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    if total < parts:
+        raise ValueError(f"cannot split {total} items into {parts} non-empty groups")
+    weights = [(index + 1) ** exponent for index in range(parts)]
+    weight_sum = sum(weights)
+    sizes = [max(1, int(total * weight / weight_sum)) for weight in weights]
+    # Fix the rounding drift.
+    drift = total - sum(sizes)
+    index = parts - 1
+    while drift != 0:
+        if drift > 0:
+            sizes[index] += 1
+            drift -= 1
+        elif sizes[index] > 1:
+            sizes[index] -= 1
+            drift += 1
+        index = (index - 1) % parts
+    return sizes
+
+
+class GridHierarchyBuilder:
+    """Builds an sp-index over the cells of a :class:`~repro.mobility.im_model.Grid`.
+
+    Parameters
+    ----------
+    grid:
+        The square grid whose cells become the base spatial units.
+    num_levels:
+        Depth ``m`` of the sp-index (the paper uses 4 as the typical depth of
+        a city hierarchy and sweeps 3–6 in Figure 7.4(h)).
+    width_exponent:
+        The ``a`` parameter of Equation 6.7.
+    density_exponent:
+        The ``b`` parameter of Equation 6.8.
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        num_levels: int = 4,
+        width_exponent: float = 2.0,
+        density_exponent: float = 2.0,
+    ) -> None:
+        if num_levels < 1:
+            raise ValueError(f"num_levels must be >= 1, got {num_levels}")
+        if grid.num_cells < num_levels:
+            raise ValueError(
+                f"grid of {grid.num_cells} cells is too small for {num_levels} levels"
+            )
+        self.grid = grid
+        self.num_levels = num_levels
+        self.width_exponent = width_exponent
+        self.density_exponent = density_exponent
+
+    # ------------------------------------------------------------------
+    def level_widths(self) -> List[int]:
+        """Number of spatial units per level (Equation 6.7), level 1 first."""
+        base_count = self.grid.num_cells
+        normaliser = base_count / (self.num_levels**self.width_exponent)
+        widths: List[int] = []
+        for level in range(1, self.num_levels + 1):
+            width = int(round(normaliser * level**self.width_exponent))
+            widths.append(max(1, width))
+        widths[-1] = base_count
+        # Enforce monotonicity so every parent has at least one child.
+        for index in range(len(widths) - 2, -1, -1):
+            widths[index] = min(widths[index], widths[index + 1])
+        return widths
+
+    def build(self) -> Tuple[SpatialHierarchy, Dict[int, str]]:
+        """Generate the sp-index.
+
+        Returns
+        -------
+        (hierarchy, cell_to_unit)
+            The hierarchy, and the mapping from grid cell index to the
+            identifier of the corresponding base spatial unit.
+        """
+        widths = self.level_widths()
+        # Base units ordered along the Z-curve for spatial contiguity.
+        cells = sorted(
+            range(self.grid.num_cells),
+            key=lambda cell: _morton_key(*self.grid.coordinates(cell)),
+        )
+        base_names = [f"L{self.num_levels}_{position}" for position in range(len(cells))]
+        cell_to_unit = {cell: base_names[position] for position, cell in enumerate(cells)}
+
+        # names_per_level[l-1] lists the unit names at level l in spatial order.
+        names_per_level: List[List[str]] = [[] for _ in range(self.num_levels)]
+        names_per_level[-1] = base_names
+        parent_of: Dict[str, str] = {}
+
+        for level in range(self.num_levels - 1, 0, -1):
+            child_names = names_per_level[level]
+            parts = min(widths[level - 1], len(child_names))
+            sizes = _power_law_partition(len(child_names), parts, self.density_exponent)
+            level_names: List[str] = []
+            cursor = 0
+            for index, size in enumerate(sizes):
+                name = f"L{level}_{index}"
+                level_names.append(name)
+                for child in child_names[cursor : cursor + size]:
+                    parent_of[child] = name
+                cursor += size
+            names_per_level[level - 1] = level_names
+
+        hierarchy = SpatialHierarchy()
+        for level, names in enumerate(names_per_level, start=1):
+            for name in names:
+                hierarchy.add_unit(name, parent_of.get(name))
+        hierarchy.validate()
+        return hierarchy, cell_to_unit
+
+    def describe(self) -> str:
+        """Summary of the generated shape (used by the examples)."""
+        widths = self.level_widths()
+        return (
+            f"GridHierarchyBuilder(side={self.grid.side}, m={self.num_levels}, "
+            f"a={self.width_exponent}, b={self.density_exponent}, widths={widths})"
+        )

@@ -1,0 +1,224 @@
+"""The individual mobility (IM) model of Song et al. (Section 6.1).
+
+The model describes the movement of a single entity over a square grid of
+base spatial units with five parameters:
+
+* ``beta`` -- exponent of the power-law waiting time ``P(Δt) ∝ Δt^(−1−β)``
+  (Equation 6.1);
+* ``rho`` and ``gamma`` -- the exploration probability ``P_new = ρ S^(−γ)``
+  where ``S`` is the number of distinct units visited so far (Equation 6.2);
+* ``alpha`` -- exponent of the power-law jump displacement
+  ``P(Δr) ∝ Δr^(−1−α)`` for exploratory jumps (Equation 6.3);
+* ``zeta`` -- exponent of the preferential-return visit frequency
+  ``f_y ∝ y^(−ζ)`` (Equation 6.4), realised by returning to a previously
+  visited unit with probability proportional to its visit count.
+
+Equations 6.5 and 6.6 (``S(t) ∝ t^μ`` and mean squared displacement
+``∝ t^ν``) are emergent properties of the walk rather than inputs; the
+module exposes helpers to measure them so the model can be validated against
+its own predictions (see ``tests/test_im_model.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["Grid", "IMModelParams", "IndividualMobilityModel", "Stay"]
+
+
+@dataclass(frozen=True)
+class IMModelParams:
+    """Parameters of the individual mobility model.
+
+    Defaults follow the paper's "normal mobility pattern" configuration
+    (Section 7.1): ``alpha=0.6, beta=0.8, gamma=0.2, zeta=1.2, rho=0.6``.
+    """
+
+    alpha: float = 0.6
+    beta: float = 0.8
+    gamma: float = 0.2
+    zeta: float = 1.2
+    rho: float = 0.6
+    #: Largest waiting time (in base temporal units) a single stay can take.
+    max_stay: int = 12
+    #: Largest jump distance (in grid cells) an exploratory jump can take.
+    max_jump: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0 < self.beta <= 1:
+            raise ValueError(f"beta must be in (0, 1], got {self.beta}")
+        if not 0 < self.alpha <= 2:
+            raise ValueError(f"alpha must be in (0, 2], got {self.alpha}")
+        if not 0 < self.rho <= 1:
+            raise ValueError(f"rho must be in (0, 1], got {self.rho}")
+        if self.gamma < 0:
+            raise ValueError(f"gamma must be >= 0, got {self.gamma}")
+        if self.zeta < 0:
+            raise ValueError(f"zeta must be >= 0, got {self.zeta}")
+        if self.max_stay < 1 or self.max_jump < 1:
+            raise ValueError("max_stay and max_jump must be >= 1")
+
+
+@dataclass(frozen=True)
+class Stay:
+    """One stop of the walk: the entity stays at ``cell`` for ``[start, end)``."""
+
+    cell: int
+    start: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+class Grid:
+    """A square grid of base spatial units (side ``side`` cells).
+
+    Cells are identified by their row-major index; helpers convert to and
+    from ``(x, y)`` coordinates and compute toroidal-free Euclidean distance.
+    """
+
+    def __init__(self, side: int) -> None:
+        if side < 1:
+            raise ValueError(f"grid side must be >= 1, got {side}")
+        self.side = side
+        self.num_cells = side * side
+
+    def coordinates(self, cell: int) -> Tuple[int, int]:
+        """``(x, y)`` coordinates of a cell index."""
+        if not 0 <= cell < self.num_cells:
+            raise IndexError(f"cell {cell} out of range for grid of side {self.side}")
+        return cell % self.side, cell // self.side
+
+    def cell_at(self, x: int, y: int) -> int:
+        """Cell index of coordinates, clamped to the grid boundary."""
+        x = min(max(x, 0), self.side - 1)
+        y = min(max(y, 0), self.side - 1)
+        return y * self.side + x
+
+    def distance(self, cell_a: int, cell_b: int) -> float:
+        """Euclidean distance between two cell centres, in cell units."""
+        ax, ay = self.coordinates(cell_a)
+        bx, by = self.coordinates(cell_b)
+        return math.hypot(ax - bx, ay - by)
+
+
+def _truncated_power_law(rng: random.Random, exponent: float, maximum: int) -> int:
+    """Sample an integer from ``P(x) ∝ x^(−1−exponent)`` on ``[1, maximum]``.
+
+    Uses inverse-transform sampling of the continuous Pareto distribution and
+    rounds down, which preserves the heavy tail while staying integer-valued.
+    """
+    if maximum == 1:
+        return 1
+    # Continuous Pareto on [1, maximum + 1) with exponent (1 + exponent).
+    u = rng.random()
+    low, high = 1.0, float(maximum + 1)
+    power = -exponent
+    # CDF^-1 for P(x) ∝ x^(-1-exponent): x = [low^power + u (high^power - low^power)]^(1/power)
+    value = (low**power + u * (high**power - low**power)) ** (1.0 / power)
+    return max(1, min(maximum, int(value)))
+
+
+class IndividualMobilityModel:
+    """Simulate one entity's walk over the grid.
+
+    Parameters
+    ----------
+    grid:
+        The square grid of base spatial units.
+    params:
+        Model parameters (see :class:`IMModelParams`).
+    rng:
+        Random source (pass a seeded :class:`random.Random` for
+        reproducibility).
+    home_cell:
+        Optional starting cell; a uniform random cell is drawn when omitted.
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        params: IMModelParams,
+        rng: random.Random,
+        home_cell: int | None = None,
+    ) -> None:
+        self.grid = grid
+        self.params = params
+        self.rng = rng
+        if home_cell is None:
+            home_cell = rng.randrange(grid.num_cells)
+        if not 0 <= home_cell < grid.num_cells:
+            raise ValueError(f"home cell {home_cell} outside the grid")
+        self.home_cell = home_cell
+        #: Visit counts per visited cell (drives preferential return).
+        self.visit_counts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _exploration_probability(self) -> float:
+        visited = max(len(self.visit_counts), 1)
+        return min(1.0, self.params.rho * visited ** (-self.params.gamma))
+
+    def _exploratory_jump(self, current: int) -> int:
+        """Jump in a random direction with a power-law displacement (Eq. 6.3)."""
+        distance = _truncated_power_law(self.rng, self.params.alpha, self.params.max_jump)
+        angle = self.rng.random() * 2.0 * math.pi
+        x, y = self.grid.coordinates(current)
+        new_x = int(round(x + distance * math.cos(angle)))
+        new_y = int(round(y + distance * math.sin(angle)))
+        return self.grid.cell_at(new_x, new_y)
+
+    def _preferential_return(self) -> int:
+        """Return to a visited cell with probability ∝ its visit count (Eq. 6.4)."""
+        cells = list(self.visit_counts)
+        weights = [self.visit_counts[cell] for cell in cells]
+        return self.rng.choices(cells, weights=weights, k=1)[0]
+
+    # ------------------------------------------------------------------
+    def walk(self, horizon: int) -> List[Stay]:
+        """Generate the sequence of stays covering ``[0, horizon)``.
+
+        Every stay's duration is drawn from the power-law waiting time
+        distribution (Equation 6.1); the last stay is clipped at the horizon.
+        """
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        stays: List[Stay] = []
+        current = self.home_cell
+        time = 0
+        while time < horizon:
+            duration = _truncated_power_law(self.rng, self.params.beta, self.params.max_stay)
+            end = min(time + duration, horizon)
+            stays.append(Stay(cell=current, start=time, end=end))
+            self.visit_counts[current] = self.visit_counts.get(current, 0) + 1
+            time = end
+            if time >= horizon:
+                break
+            if not self.visit_counts or self.rng.random() < self._exploration_probability():
+                current = self._exploratory_jump(current)
+            else:
+                current = self._preferential_return()
+        return stays
+
+    # ------------------------------------------------------------------
+    # Emergent-property probes (Equations 6.5 and 6.6)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def distinct_units_over_time(stays: List[Stay]) -> Iterator[Tuple[int, int]]:
+        """Yield ``(time, S(time))``: distinct cells visited by each stay end."""
+        seen: set[int] = set()
+        for stay in stays:
+            seen.add(stay.cell)
+            yield stay.end, len(seen)
+
+    def mean_squared_displacement(self, stays: List[Stay]) -> Iterator[Tuple[int, float]]:
+        """Yield ``(time, squared displacement from the first cell)`` per stay."""
+        if not stays:
+            return
+        origin = stays[0].cell
+        for stay in stays:
+            yield stay.end, self.grid.distance(origin, stay.cell) ** 2

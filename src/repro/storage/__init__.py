@@ -1,0 +1,34 @@
+"""Storage substrate: pages, buffer pool, external sort, and the trace store.
+
+The paper's cost analysis (Section 4.3) and the memory-size experiment
+(Figure 7.6) assume a disk-resident dataset: traces are sorted by entity with
+a B-way external merge sort, entity records are laid out in pages following
+the MinSigTree leaf order, and queries fetch candidate records through a
+bounded buffer pool.  This subpackage provides exactly that machinery, with a
+simulated I/O cost model so the experiments are deterministic and
+hardware-independent:
+
+* :mod:`~repro.storage.pages` -- fixed-size pages and the record codec;
+* :mod:`~repro.storage.buffer` -- an LRU buffer pool with hit/miss accounting;
+* :mod:`~repro.storage.external_sort` -- B-way external merge sort over a
+  paged file, reporting the pass count and I/O volume of the textbook cost
+  formula;
+* :mod:`~repro.storage.trace_store` -- the disk-backed trace store used by
+  the Figure 7.6 experiment, which charges simulated time per page miss.
+"""
+
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.external_sort import ExternalSorter, SortStats
+from repro.storage.pages import Page, PagedFile, RecordCodec
+from repro.storage.trace_store import DiskBackedTraceStore, SimulatedCostModel
+
+__all__ = [
+    "DiskBackedTraceStore",
+    "ExternalSorter",
+    "LRUBufferPool",
+    "Page",
+    "PagedFile",
+    "RecordCodec",
+    "SimulatedCostModel",
+    "SortStats",
+]

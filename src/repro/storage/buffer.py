@@ -1,0 +1,97 @@
+"""An LRU buffer pool with hit/miss accounting.
+
+The memory-size experiment (Figure 7.6) varies the fraction of the raw data
+that fits in memory; the buffer pool is what turns that fraction into page
+hits and misses while the searcher fetches candidate entities.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Generic, Hashable, Optional, TypeVar
+
+__all__ = ["LRUBufferPool"]
+
+KeyT = TypeVar("KeyT", bound=Hashable)
+ValueT = TypeVar("ValueT")
+
+
+class LRUBufferPool(Generic[KeyT, ValueT]):
+    """A bounded cache of pages (or any loadable objects) with LRU eviction.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries kept in memory.  A capacity of zero is
+        allowed and means every access is a miss (pure disk workload).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[KeyT, ValueT]" = OrderedDict()
+        #: Number of accesses served from memory.
+        self.hits = 0
+        #: Number of accesses that had to call the loader.
+        self.misses = 0
+        #: Number of entries evicted to make room.
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: KeyT) -> bool:
+        return key in self._entries
+
+    @property
+    def accesses(self) -> int:
+        """Total number of :meth:`get` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses served from memory."""
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/eviction counters (the cache content is kept)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def clear(self) -> None:
+        """Drop every cached entry and reset the counters."""
+        self._entries.clear()
+        self.reset_counters()
+
+    # ------------------------------------------------------------------
+    def get(self, key: KeyT, loader: Callable[[KeyT], ValueT]) -> ValueT:
+        """Fetch ``key``, calling ``loader`` (and caching the result) on a miss."""
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.misses += 1
+        value = loader(key)
+        self.put(key, value)
+        return value
+
+    def peek(self, key: KeyT) -> Optional[ValueT]:
+        """Return the cached value without affecting recency or counters."""
+        return self._entries.get(key)
+
+    def put(self, key: KeyT, value: ValueT) -> None:
+        """Insert (or refresh) an entry, evicting the least recently used one if full."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = value

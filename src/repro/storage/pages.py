@@ -1,0 +1,171 @@
+"""Fixed-size pages, the record codec, and the in-memory "disk".
+
+Records are encoded as length-prefixed UTF-8/struct blobs and packed into
+pages of a fixed capacity.  A :class:`PagedFile` is a list of pages plus
+read/write counters -- the simulated disk that the external sorter and the
+trace store operate on.  Keeping the "disk" in memory makes the experiments
+deterministic and portable while preserving the cost structure (number of
+page reads and writes) that the paper's analysis is about.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["RecordCodec", "Page", "PagedFile"]
+
+#: Default page capacity in bytes (4 KiB, the common database page size).
+DEFAULT_PAGE_SIZE = 4096
+
+
+class RecordCodec:
+    """Encode and decode presence records as compact binary blobs.
+
+    A record is ``(entity, unit, start, end)``; entity and unit are strings,
+    start and end are non-negative integers.  The codec is deliberately
+    simple -- two length-prefixed strings and two unsigned 32-bit integers --
+    so that page capacity translates directly into a record count.
+    """
+
+    _HEADER = struct.Struct("<HHII")
+
+    def encode(self, record: Tuple[str, str, int, int]) -> bytes:
+        """Serialise one record."""
+        entity, unit, start, end = record
+        entity_bytes = entity.encode("utf-8")
+        unit_bytes = unit.encode("utf-8")
+        if len(entity_bytes) > 0xFFFF or len(unit_bytes) > 0xFFFF:
+            raise ValueError("entity or unit identifier too long to encode")
+        header = self._HEADER.pack(len(entity_bytes), len(unit_bytes), start, end)
+        return header + entity_bytes + unit_bytes
+
+    def decode(self, blob: bytes, offset: int = 0) -> Tuple[Tuple[str, str, int, int], int]:
+        """Deserialise one record starting at ``offset``.
+
+        Returns the record and the offset just past it.
+        """
+        entity_length, unit_length, start, end = self._HEADER.unpack_from(blob, offset)
+        cursor = offset + self._HEADER.size
+        entity = blob[cursor : cursor + entity_length].decode("utf-8")
+        cursor += entity_length
+        unit = blob[cursor : cursor + unit_length].decode("utf-8")
+        cursor += unit_length
+        return (entity, unit, start, end), cursor
+
+    def encoded_size(self, record: Tuple[str, str, int, int]) -> int:
+        """Size in bytes the record will occupy in a page."""
+        entity, unit, _start, _end = record
+        return self._HEADER.size + len(entity.encode("utf-8")) + len(unit.encode("utf-8"))
+
+
+@dataclass
+class Page:
+    """A fixed-capacity page of encoded records."""
+
+    page_id: int
+    capacity: int = DEFAULT_PAGE_SIZE
+    _payload: bytearray = field(default_factory=bytearray)
+    _record_count: int = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently occupied by records."""
+        return len(self._payload)
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining capacity."""
+        return self.capacity - len(self._payload)
+
+    @property
+    def record_count(self) -> int:
+        """Number of records stored in the page."""
+        return self._record_count
+
+    def try_add(self, blob: bytes) -> bool:
+        """Append an encoded record if it fits; return whether it did."""
+        if len(blob) > self.free_bytes:
+            return False
+        self._payload.extend(blob)
+        self._record_count += 1
+        return True
+
+    def records(self, codec: RecordCodec) -> Iterator[Tuple[str, str, int, int]]:
+        """Decode every record in the page."""
+        offset = 0
+        for _ in range(self._record_count):
+            record, offset = codec.decode(bytes(self._payload), offset)
+            yield record
+
+
+class PagedFile:
+    """A sequence of pages with read/write accounting (the simulated disk)."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, codec: Optional[RecordCodec] = None) -> None:
+        if page_size < 64:
+            raise ValueError(f"page size must be >= 64 bytes, got {page_size}")
+        self.page_size = page_size
+        self.codec = codec or RecordCodec()
+        self._pages: List[Page] = []
+        #: Number of page reads performed through :meth:`read_page`.
+        self.reads = 0
+        #: Number of page writes performed through :meth:`append_records` / :meth:`write_page`.
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_pages(self) -> int:
+        """Number of pages currently in the file."""
+        return len(self._pages)
+
+    def reset_counters(self) -> None:
+        """Zero the read/write counters (between experiment phases)."""
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    def append_records(self, records: Iterable[Tuple[str, str, int, int]]) -> List[int]:
+        """Append records, packing them into new pages; returns the page ids used."""
+        page: Optional[Page] = None
+        used: List[int] = []
+        for record in records:
+            blob = self.codec.encode(record)
+            if len(blob) > self.page_size:
+                raise ValueError("record larger than a page")
+            if page is None or not page.try_add(blob):
+                page = Page(page_id=len(self._pages), capacity=self.page_size)
+                page.try_add(blob)
+                self._pages.append(page)
+                self.writes += 1
+                used.append(page.page_id)
+        return used
+
+    def write_page(self, records: Sequence[Tuple[str, str, int, int]]) -> int:
+        """Write the given records as a single new page (must fit)."""
+        page = Page(page_id=len(self._pages), capacity=self.page_size)
+        for record in records:
+            if not page.try_add(self.codec.encode(record)):
+                raise ValueError("records do not fit in a single page")
+        self._pages.append(page)
+        self.writes += 1
+        return page.page_id
+
+    def read_page(self, page_id: int) -> List[Tuple[str, str, int, int]]:
+        """Read and decode one page (counted as one I/O)."""
+        if not 0 <= page_id < len(self._pages):
+            raise IndexError(f"page {page_id} does not exist")
+        self.reads += 1
+        return list(self._pages[page_id].records(self.codec))
+
+    def iter_records(self) -> Iterator[Tuple[str, str, int, int]]:
+        """Scan every record of the file in page order (counts page reads)."""
+        for page_id in range(len(self._pages)):
+            yield from self.read_page(page_id)
+
+    def records_per_page_estimate(self) -> float:
+        """Average number of records per page (diagnostics)."""
+        if not self._pages:
+            return 0.0
+        return sum(page.record_count for page in self._pages) / len(self._pages)

@@ -1,0 +1,196 @@
+"""A disk-backed trace store with a simulated time model (Figure 7.6 substrate).
+
+The store lays out every entity's presence records in pages of a
+:class:`~repro.storage.pages.PagedFile`, following the MinSigTree leaf order
+so that closely associated entities tend to live in adjacent pages (the
+paper's physical layout).  Candidate fetches during query processing go
+through an LRU buffer pool sized as a fraction of the raw data; every page
+miss is charged a simulated I/O latency and every decoded record a small CPU
+cost, so "search time vs memory size" curves are deterministic and
+machine-independent while preserving the real experiment's structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.pages import PagedFile
+from repro.traces.dataset import TraceDataset
+from repro.traces.events import CellSequence, PresenceInstance, cells_from_presences
+
+__all__ = ["SimulatedCostModel", "DiskBackedTraceStore"]
+
+Record = Tuple[str, str, int, int]
+
+
+@dataclass(frozen=True)
+class SimulatedCostModel:
+    """Costs charged by the store, in simulated milliseconds.
+
+    The defaults model a spinning-disk-backed EBS volume (a few milliseconds
+    per random page read) against a sub-microsecond in-memory record decode,
+    which is the regime the paper's Figure 7.6 explores.
+    """
+
+    #: Cost of reading one page that missed the buffer pool.
+    page_read_ms: float = 4.0
+    #: Cost of serving one page from the buffer pool.
+    page_hit_ms: float = 0.01
+    #: Cost of decoding one record and folding it into a cell sequence.
+    record_decode_ms: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.page_read_ms < 0 or self.page_hit_ms < 0 or self.record_decode_ms < 0:
+            raise ValueError("costs must be non-negative")
+
+
+class DiskBackedTraceStore:
+    """Entity records laid out in leaf order, fetched through a buffer pool.
+
+    Parameters
+    ----------
+    dataset:
+        The in-memory dataset to lay out (records are copied into pages).
+    leaf_order:
+        Mapping from entity to its position in the MinSigTree leaf layout
+        (:meth:`repro.core.minsigtree.MinSigTree.leaf_order`).  Entities not
+        present in the mapping are appended at the end in dataset order.
+    memory_fraction:
+        Fraction of the data pages that fit in the buffer pool (the x-axis of
+        Figure 7.6).
+    page_size:
+        Page capacity in bytes.
+    cost_model:
+        Simulated cost parameters.
+    """
+
+    def __init__(
+        self,
+        dataset: TraceDataset,
+        leaf_order: Optional[Mapping[str, int]] = None,
+        memory_fraction: float = 0.5,
+        page_size: int = 4096,
+        cost_model: Optional[SimulatedCostModel] = None,
+    ) -> None:
+        if not 0.0 <= memory_fraction <= 1.0:
+            raise ValueError(f"memory_fraction must be in [0, 1], got {memory_fraction}")
+        self.dataset = dataset
+        self.cost_model = cost_model or SimulatedCostModel()
+        self.memory_fraction = memory_fraction
+
+        order = dict(leaf_order or {})
+        next_position = (max(order.values()) + 1) if order else 0
+        for entity in dataset.entities:
+            if entity not in order:
+                order[entity] = next_position
+                next_position += 1
+        ordered_entities = sorted(dataset.entities, key=lambda entity: order[entity])
+
+        self._file = PagedFile(page_size=page_size)
+        self._entity_pages: Dict[str, List[int]] = {}
+        records: List[Record] = []
+        boundaries: List[Tuple[str, int, int]] = []  # entity, first record idx, last
+        for entity in ordered_entities:
+            start_index = len(records)
+            for presence in dataset.trace(entity):
+                records.append((presence.entity, presence.unit, presence.start, presence.end))
+            boundaries.append((entity, start_index, len(records)))
+        page_of_record = self._write_records(records)
+        for entity, start_index, end_index in boundaries:
+            pages = sorted({page_of_record[index] for index in range(start_index, end_index)})
+            self._entity_pages[entity] = pages
+
+        capacity = int(round(self._file.num_pages * memory_fraction))
+        self._pool: LRUBufferPool[int, List[Record]] = LRUBufferPool(capacity)
+        #: Simulated time accumulated by fetches, in milliseconds.
+        self.elapsed_ms = 0.0
+
+    # ------------------------------------------------------------------
+    def _write_records(self, records: List[Record]) -> List[int]:
+        """Pack records into the paged file, returning each record's page id."""
+        page_of_record: List[int] = []
+        current: List[Record] = []
+        current_bytes = 0
+        codec = self._file.codec
+
+        def flush() -> None:
+            nonlocal current, current_bytes
+            if current:
+                page_id = self._file.write_page(current)
+                page_of_record.extend([page_id] * len(current))
+                current = []
+                current_bytes = 0
+
+        for record in records:
+            size = codec.encoded_size(record)
+            if current_bytes + size > self._file.page_size:
+                flush()
+            current.append(record)
+            current_bytes += size
+        flush()
+        return page_of_record
+
+    # ------------------------------------------------------------------
+    @property
+    def num_pages(self) -> int:
+        """Number of data pages in the store."""
+        return self._file.num_pages
+
+    @property
+    def buffer_capacity(self) -> int:
+        """Number of pages the buffer pool can hold."""
+        return self._pool.capacity
+
+    @property
+    def page_misses(self) -> int:
+        """Buffer pool misses since the last reset."""
+        return self._pool.misses
+
+    @property
+    def page_hits(self) -> int:
+        """Buffer pool hits since the last reset."""
+        return self._pool.hits
+
+    def pages_of(self, entity: str) -> Tuple[int, ...]:
+        """The pages an entity's records live in."""
+        return tuple(self._entity_pages.get(entity, ()))
+
+    def reset_counters(self) -> None:
+        """Zero the simulated clock and the buffer pool counters."""
+        self.elapsed_ms = 0.0
+        self._pool.reset_counters()
+
+    def clear_cache(self) -> None:
+        """Drop the buffer pool content (cold-cache experiments)."""
+        self._pool.clear()
+
+    # ------------------------------------------------------------------
+    def fetch_trace(self, entity: str) -> List[PresenceInstance]:
+        """Read an entity's presence records through the buffer pool."""
+        if entity not in self._entity_pages:
+            raise KeyError(f"unknown entity {entity!r}")
+        presences: List[PresenceInstance] = []
+        for page_id in self._entity_pages[entity]:
+            before_misses = self._pool.misses
+            page_records = self._pool.get(page_id, self._file.read_page)
+            if self._pool.misses > before_misses:
+                self.elapsed_ms += self.cost_model.page_read_ms
+            else:
+                self.elapsed_ms += self.cost_model.page_hit_ms
+            for record_entity, unit, start, end in page_records:
+                if record_entity == entity:
+                    presences.append(PresenceInstance(record_entity, unit, start, end))
+                self.elapsed_ms += self.cost_model.record_decode_ms
+        return presences
+
+    def fetch_sequence(self, entity: str) -> CellSequence:
+        """Fetch an entity and build its ST-cell set sequence (the query hook).
+
+        Pass this method as the ``sequence_fetcher`` of
+        :meth:`repro.core.query.TopKSearcher.search` to charge simulated I/O
+        for every candidate the search scores.
+        """
+        presences = self.fetch_trace(entity)
+        return cells_from_presences(presences, self.dataset.hierarchy)

@@ -1,0 +1,193 @@
+"""The trace dataset: digital traces organised by entity.
+
+:class:`TraceDataset` is the substrate every other component works on.  It
+stores presence instances per entity, lazily materialises and caches each
+entity's ST-cell set sequence (Section 4.1), and maintains per-level inverted
+indexes from ST-cells to the entities present in them -- used by the
+distribution analyses and the AjPI helpers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.traces.events import CellSequence, PresenceInstance, STCell, cells_from_presences
+from repro.traces.spatial import SpatialHierarchy
+
+__all__ = ["TraceDataset"]
+
+
+class TraceDataset:
+    """A collection of digital traces over one sp-index.
+
+    Parameters
+    ----------
+    hierarchy:
+        The sp-index locating every presence instance.
+    horizon:
+        Optional number of base temporal units covered by the dataset.  When
+        omitted it is derived from the data (the largest ``end`` seen).  The
+        horizon fixes the hash range ``|S| = |L| * horizon`` used by the
+        signature layer, so appending data beyond a fixed horizon is allowed
+        but keeps the original hash range.
+    """
+
+    def __init__(self, hierarchy: SpatialHierarchy, horizon: Optional[int] = None) -> None:
+        hierarchy.validate()
+        self._hierarchy = hierarchy
+        self._explicit_horizon = horizon
+        self._max_end = 0
+        self._presences: Dict[str, List[PresenceInstance]] = {}
+        self._sequence_cache: Dict[str, CellSequence] = {}
+        # level -> cell -> set of entities, built lazily per level.
+        self._cell_index: Dict[int, Dict[STCell, Set[str]]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction and mutation
+    # ------------------------------------------------------------------
+    def add_presence(self, presence: PresenceInstance) -> None:
+        """Append one presence instance to its entity's digital trace."""
+        if presence.unit not in self._hierarchy:
+            raise KeyError(f"unknown spatial unit {presence.unit!r}")
+        if self._hierarchy.level_of(presence.unit) != self._hierarchy.num_levels:
+            raise ValueError(
+                f"presence instances must reference base spatial units, got {presence.unit!r}"
+            )
+        self._presences.setdefault(presence.entity, []).append(presence)
+        self._max_end = max(self._max_end, presence.end)
+        self._invalidate(presence.entity)
+
+    def add_record(self, entity: str, unit: str, time: int, duration: int = 1) -> None:
+        """Convenience wrapper: add a presence of ``duration`` units at ``time``."""
+        self.add_presence(PresenceInstance(entity=entity, unit=unit, start=time, end=time + duration))
+
+    def extend(self, presences: Iterable[PresenceInstance]) -> None:
+        """Append many presence instances."""
+        for presence in presences:
+            self.add_presence(presence)
+
+    def remove_entity(self, entity: str) -> None:
+        """Drop an entity and its whole digital trace."""
+        if entity not in self._presences:
+            raise KeyError(f"unknown entity {entity!r}")
+        del self._presences[entity]
+        self._invalidate(entity)
+
+    def replace_trace(self, entity: str, presences: Iterable[PresenceInstance]) -> None:
+        """Replace an entity's digital trace wholesale (used by update tests)."""
+        materialised = list(presences)
+        for presence in materialised:
+            if presence.entity != entity:
+                raise ValueError(
+                    f"presence for {presence.entity!r} passed while replacing trace of {entity!r}"
+                )
+        self._presences[entity] = []
+        self._invalidate(entity)
+        self.extend(materialised)
+
+    def _invalidate(self, entity: str) -> None:
+        self._sequence_cache.pop(entity, None)
+        # The inverted indexes are rebuilt from scratch on next use; updates
+        # are rare compared to reads in every workload we model.
+        self._cell_index.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def hierarchy(self) -> SpatialHierarchy:
+        """The sp-index the dataset is defined over."""
+        return self._hierarchy
+
+    @property
+    def horizon(self) -> int:
+        """Number of base temporal units covered (explicit or derived)."""
+        if self._explicit_horizon is not None:
+            return self._explicit_horizon
+        return self._max_end
+
+    @property
+    def num_levels(self) -> int:
+        """Depth ``m`` of the sp-index."""
+        return self._hierarchy.num_levels
+
+    @property
+    def entities(self) -> Tuple[str, ...]:
+        """All entity identifiers, in insertion order."""
+        return tuple(self._presences)
+
+    @property
+    def num_entities(self) -> int:
+        """Number of entities with at least one presence instance."""
+        return len(self._presences)
+
+    @property
+    def num_presences(self) -> int:
+        """Total number of presence instances across all entities."""
+        return sum(len(trace) for trace in self._presences.values())
+
+    @property
+    def num_st_cells(self) -> int:
+        """Size of the ST-cell universe ``|S| = |L| * horizon``."""
+        return self._hierarchy.num_base_units * max(self.horizon, 1)
+
+    def __contains__(self, entity: str) -> bool:
+        return entity in self._presences
+
+    def __len__(self) -> int:
+        return len(self._presences)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._presences)
+
+    def trace(self, entity: str) -> Tuple[PresenceInstance, ...]:
+        """The digital trace (all presence instances) of ``entity``."""
+        try:
+            return tuple(self._presences[entity])
+        except KeyError:
+            raise KeyError(f"unknown entity {entity!r}") from None
+
+    def cell_sequence(self, entity: str) -> CellSequence:
+        """The ST-cell set sequence of ``entity`` (cached)."""
+        cached = self._sequence_cache.get(entity)
+        if cached is not None:
+            return cached
+        sequence = cells_from_presences(self.trace(entity), self._hierarchy)
+        self._sequence_cache[entity] = sequence
+        return sequence
+
+    def average_cells_per_entity(self) -> float:
+        """Average base ST-cell count per entity (``C`` in the cost analysis)."""
+        if not self._presences:
+            return 0.0
+        total = sum(len(self.cell_sequence(entity).base_cells) for entity in self._presences)
+        return total / len(self._presences)
+
+    # ------------------------------------------------------------------
+    # Inverted cell index
+    # ------------------------------------------------------------------
+    def entities_at_cell(self, cell: STCell, level: Optional[int] = None) -> Set[str]:
+        """Entities whose level-``level`` ST-cell set contains ``cell``.
+
+        ``level`` defaults to the level of the cell's spatial unit.  The index
+        for a level is built on first use and invalidated by any mutation.
+        """
+        if level is None:
+            level = self._hierarchy.level_of(cell.unit)
+        index = self._cell_index.get(level)
+        if index is None:
+            index = defaultdict(set)
+            for entity in self._presences:
+                for entity_cell in self.cell_sequence(entity).at_level(level):
+                    index[entity_cell].add(entity)
+            self._cell_index[level] = index
+        return set(index.get(cell, set()))
+
+    def describe(self) -> str:
+        """A one-line summary useful in example scripts and logs."""
+        return (
+            f"TraceDataset(entities={self.num_entities}, presences={self.num_presences}, "
+            f"base_units={self._hierarchy.num_base_units}, levels={self.num_levels}, "
+            f"horizon={self.horizon})"
+        )

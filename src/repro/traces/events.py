@@ -1,0 +1,163 @@
+"""Presence instances, ST-cells, and ST-cell set sequences.
+
+A *presence instance* records that an entity was present at a base spatial
+unit for a continuous period (Definition 1).  Periods are half-open integer
+intervals ``[start, end)`` expressed in base temporal units (e.g. hours).
+
+An *ST-cell* is the combination of one base temporal unit and one spatial
+unit; presence instances expand into the base-level ST-cells they cover, and
+the per-level ST-cell sets of Section 4.1 are derived by replacing the base
+unit with its ancestor at each level of the sp-index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, NamedTuple, Sequence, Tuple
+
+from repro.traces.spatial import SpatialHierarchy
+
+__all__ = ["STCell", "PresenceInstance", "CellSequence", "cells_from_presences"]
+
+
+class STCell(NamedTuple):
+    """A spatial-temporal cell: one base temporal unit at one spatial unit.
+
+    ``unit`` may refer to any level of the sp-index; base-level cells use base
+    spatial units, coarser cells use their ancestors.
+    """
+
+    time: int
+    unit: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"t{self.time}@{self.unit}"
+
+
+@dataclass(frozen=True, order=True)
+class PresenceInstance:
+    """A single digital-trace record (Definition 1).
+
+    Instances order lexicographically by ``(entity, unit, start, end)``, which
+    makes traces easy to sort and compare in tests and in the external sorter.
+
+    Attributes
+    ----------
+    entity:
+        Identifier of the entity the record belongs to.
+    unit:
+        Base spatial unit where the entity was present.
+    start, end:
+        Half-open period ``[start, end)`` in base temporal units.  ``end``
+        must be strictly greater than ``start``.
+    """
+
+    entity: str
+    unit: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(
+                f"presence period must be non-empty, got [{self.start}, {self.end})"
+            )
+        if self.start < 0:
+            raise ValueError(f"presence start must be non-negative, got {self.start}")
+
+    @property
+    def duration(self) -> int:
+        """Length of the presence period in base temporal units."""
+        return self.end - self.start
+
+    def cells(self) -> Iterator[STCell]:
+        """Base-level ST-cells covered by this presence instance."""
+        for time in range(self.start, self.end):
+            yield STCell(time, self.unit)
+
+    def overlaps(self, other: "PresenceInstance") -> bool:
+        """Whether the time periods of two presence instances intersect."""
+        return self.start < other.end and other.start < self.end
+
+    def overlap_period(self, other: "PresenceInstance") -> Tuple[int, int]:
+        """The intersection of the two periods as ``(start, end)``.
+
+        The result is empty (``start >= end``) when the periods are disjoint.
+        """
+        return max(self.start, other.start), min(self.end, other.end)
+
+
+@dataclass(frozen=True)
+class CellSequence:
+    """The ST-cell set sequence of one entity (Section 4.1).
+
+    ``levels[i]`` is the ST-cell set at sp-index level ``i + 1``;
+    ``levels[-1]`` is the base-level set obtained directly from the digital
+    trace, and coarser sets replace each base unit by its ancestor at that
+    level.
+    """
+
+    levels: Tuple[FrozenSet[STCell], ...]
+
+    @property
+    def num_levels(self) -> int:
+        """The sp-index depth ``m`` this sequence was built for."""
+        return len(self.levels)
+
+    @property
+    def base_cells(self) -> FrozenSet[STCell]:
+        """The level-``m`` (base) ST-cell set, ``seq_a^m`` in the paper."""
+        return self.levels[-1]
+
+    def at_level(self, level: int) -> FrozenSet[STCell]:
+        """The ST-cell set at sp-index ``level`` (1-based)."""
+        if not 1 <= level <= len(self.levels):
+            raise ValueError(f"level {level} out of range [1, {len(self.levels)}]")
+        return self.levels[level - 1]
+
+    def size_at_level(self, level: int) -> int:
+        """Number of ST-cells at ``level``."""
+        return len(self.at_level(level))
+
+    def is_empty(self) -> bool:
+        """Whether the entity has no presence at all."""
+        return not self.levels or not self.levels[-1]
+
+    def restrict_base(self, keep: FrozenSet[STCell], hierarchy: SpatialHierarchy) -> "CellSequence":
+        """A new sequence containing only the base cells in ``keep``.
+
+        Used to materialise the *artificial entity* of Theorem 4, whose base
+        cell set is the query's base cells minus a (partial) pruned set.
+        """
+        base = frozenset(cell for cell in self.base_cells if cell in keep)
+        return cells_to_sequence(base, hierarchy)
+
+
+def cells_to_sequence(base_cells: FrozenSet[STCell], hierarchy: SpatialHierarchy) -> CellSequence:
+    """Lift a base-level ST-cell set to a full per-level :class:`CellSequence`.
+
+    A cell ``(t, l_x)`` belongs to level ``i`` iff some base descendant of
+    ``l_x`` is present at time ``t`` -- which is exactly the ancestor-mapping
+    rule of Section 4.1 applied bottom-up.
+    """
+    num_levels = hierarchy.num_levels
+    level_sets: list[set[STCell]] = [set() for _ in range(num_levels)]
+    for cell in base_cells:
+        path = hierarchy.path(cell.unit)
+        if len(path) != num_levels:
+            raise ValueError(
+                f"cell {cell} does not reference a base spatial unit of the hierarchy"
+            )
+        for level, unit_id in enumerate(path, start=1):
+            level_sets[level - 1].add(STCell(cell.time, unit_id))
+    return CellSequence(levels=tuple(frozenset(cells) for cells in level_sets))
+
+
+def cells_from_presences(
+    presences: Sequence[PresenceInstance], hierarchy: SpatialHierarchy
+) -> CellSequence:
+    """Build the ST-cell set sequence of an entity from its presence instances."""
+    base: set[STCell] = set()
+    for presence in presences:
+        base.update(presence.cells())
+    return cells_to_sequence(frozenset(base), hierarchy)

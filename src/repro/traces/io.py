@@ -1,0 +1,152 @@
+"""Plain-text loaders and writers for digital-trace datasets.
+
+Two interchange formats are supported:
+
+* **CSV** with the columns ``entity,unit,start,end`` -- the closest analogue
+  of the raw ``<entity, location, timestamp>`` tuples of the paper's
+  introduction, plus an explicit end time.
+* **JSON Lines** with one object per record:
+  ``{"entity": ..., "unit": ..., "start": ..., "end": ...}``.
+
+Both loaders take an existing :class:`~repro.traces.spatial.SpatialHierarchy`
+because the hierarchy is metadata that ships separately from the raw traces
+(in the applications the paper describes it comes from the venue database or
+the operator's cell-site registry).  A hierarchy serializer is included so
+datasets can round-trip completely through flat files.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.traces.dataset import TraceDataset
+from repro.traces.events import PresenceInstance
+from repro.traces.spatial import SpatialHierarchy
+
+__all__ = [
+    "load_traces_csv",
+    "write_traces_csv",
+    "load_traces_jsonl",
+    "write_traces_jsonl",
+    "load_hierarchy_json",
+    "write_hierarchy_json",
+]
+
+PathLike = Union[str, Path]
+
+_CSV_FIELDS = ("entity", "unit", "start", "end")
+
+
+def write_traces_csv(dataset: TraceDataset, path: PathLike) -> int:
+    """Write every presence instance of ``dataset`` to a CSV file.
+
+    Returns the number of records written.
+    """
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_FIELDS)
+        for entity in dataset.entities:
+            for presence in dataset.trace(entity):
+                writer.writerow([presence.entity, presence.unit, presence.start, presence.end])
+                count += 1
+    return count
+
+
+def load_traces_csv(
+    path: PathLike,
+    hierarchy: SpatialHierarchy,
+    horizon: Optional[int] = None,
+) -> TraceDataset:
+    """Load a CSV trace file into a :class:`TraceDataset`.
+
+    Raises
+    ------
+    ValueError
+        If the header does not contain the expected columns or a row is
+        malformed.
+    """
+    dataset = TraceDataset(hierarchy, horizon=horizon)
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_CSV_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(f"trace CSV is missing columns: {sorted(missing)}")
+        for line_number, row in enumerate(reader, start=2):
+            try:
+                presence = PresenceInstance(
+                    entity=row["entity"],
+                    unit=row["unit"],
+                    start=int(row["start"]),
+                    end=int(row["end"]),
+                )
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"malformed trace CSV row at line {line_number}: {row}") from exc
+            dataset.add_presence(presence)
+    return dataset
+
+
+def write_traces_jsonl(dataset: TraceDataset, path: PathLike) -> int:
+    """Write every presence instance of ``dataset`` as JSON Lines."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for entity in dataset.entities:
+            for presence in dataset.trace(entity):
+                handle.write(
+                    json.dumps(
+                        {
+                            "entity": presence.entity,
+                            "unit": presence.unit,
+                            "start": presence.start,
+                            "end": presence.end,
+                        }
+                    )
+                )
+                handle.write("\n")
+                count += 1
+    return count
+
+
+def load_traces_jsonl(
+    path: PathLike,
+    hierarchy: SpatialHierarchy,
+    horizon: Optional[int] = None,
+) -> TraceDataset:
+    """Load a JSON Lines trace file into a :class:`TraceDataset`."""
+    dataset = TraceDataset(hierarchy, horizon=horizon)
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                presence = PresenceInstance(
+                    entity=record["entity"],
+                    unit=record["unit"],
+                    start=int(record["start"]),
+                    end=int(record["end"]),
+                )
+            except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+                raise ValueError(f"malformed trace JSONL record at line {line_number}") from exc
+            dataset.add_presence(presence)
+    return dataset
+
+
+def write_hierarchy_json(hierarchy: SpatialHierarchy, path: PathLike) -> None:
+    """Serialise an sp-index as a ``unit -> parent`` JSON object."""
+    parent_map = {unit.unit_id: unit.parent_id for unit in hierarchy.iter_units()}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(parent_map, handle, indent=2, sort_keys=True)
+
+
+def load_hierarchy_json(path: PathLike) -> SpatialHierarchy:
+    """Load an sp-index written by :func:`write_hierarchy_json`."""
+    with open(path, encoding="utf-8") as handle:
+        parent_map = json.load(handle)
+    if not isinstance(parent_map, dict):
+        raise ValueError("hierarchy JSON must be an object mapping unit -> parent")
+    return SpatialHierarchy.from_parent_map(parent_map)

@@ -1,0 +1,119 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small (tens to a few hundred entities) so the full
+suite stays fast; the scale-sensitive behaviour is covered by the benchmark
+harness rather than unit tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    HierarchicalADM,
+    PresenceInstance,
+    SpatialHierarchy,
+    TraceDataset,
+    TraceQueryEngine,
+)
+from repro.mobility import generate_synthetic_dataset, generate_wifi_dataset
+
+
+@pytest.fixture
+def small_hierarchy() -> SpatialHierarchy:
+    """A 3-level sp-index: 2 regions, 2 districts each, 2 venues per district."""
+    return SpatialHierarchy.regular([2, 2, 2], prefix="h")
+
+
+@pytest.fixture
+def paper_hierarchy() -> SpatialHierarchy:
+    """The 2-level hierarchy of the paper's worked examples (L1..L6)."""
+    hierarchy = SpatialHierarchy()
+    hierarchy.add_unit("L5")
+    hierarchy.add_unit("L6")
+    hierarchy.add_unit("L1", "L5")
+    hierarchy.add_unit("L2", "L5")
+    hierarchy.add_unit("L3", "L6")
+    hierarchy.add_unit("L4", "L6")
+    hierarchy.validate()
+    return hierarchy
+
+
+@pytest.fixture
+def small_dataset(small_hierarchy: SpatialHierarchy) -> TraceDataset:
+    """A hand-written dataset with obvious association structure.
+
+    ``a`` and ``b`` co-occur heavily; ``c`` overlaps ``a`` a little; ``d``
+    and ``e`` live in the other region and co-occur with each other only.
+    """
+    dataset = TraceDataset(small_hierarchy, horizon=48)
+    base = small_hierarchy.base_units
+    # Region 0 venues: base[0..3]; region 1 venues: base[4..7].
+    for t in range(0, 20, 2):
+        dataset.add_record("a", base[0], t, duration=2)
+        dataset.add_record("b", base[0], t, duration=2)
+    for t in range(20, 30, 2):
+        dataset.add_record("a", base[1], t)
+        dataset.add_record("c", base[1], t)
+    for t in range(0, 24, 3):
+        dataset.add_record("d", base[4], t, duration=2)
+        dataset.add_record("e", base[4], t, duration=2)
+    dataset.add_record("c", base[2], 40, duration=3)
+    dataset.add_record("e", base[6], 40, duration=2)
+    return dataset
+
+
+@pytest.fixture
+def small_measure(small_hierarchy: SpatialHierarchy) -> HierarchicalADM:
+    return HierarchicalADM(num_levels=small_hierarchy.num_levels, u=2, v=2)
+
+
+@pytest.fixture
+def small_engine(small_dataset: TraceDataset, small_measure: HierarchicalADM) -> TraceQueryEngine:
+    return TraceQueryEngine(small_dataset, measure=small_measure, num_hashes=32, seed=5).build()
+
+
+@pytest.fixture(scope="session")
+def syn_dataset() -> TraceDataset:
+    """A session-scoped synthetic mobility dataset (moderate size)."""
+    dataset, _config = generate_synthetic_dataset(
+        num_entities=160,
+        horizon=96,
+        grid_side=10,
+        max_group_size=6,
+        group_copy_probability=0.8,
+        observation_rate_range=(0.15, 0.8),
+        seed=99,
+    )
+    return dataset
+
+
+@pytest.fixture(scope="session")
+def wifi_dataset() -> TraceDataset:
+    """A session-scoped WiFi-handshake dataset (moderate size)."""
+    dataset, _config = generate_wifi_dataset(
+        num_devices=150,
+        num_hotspots=90,
+        horizon=24 * 5,
+        mean_detections=25,
+        seed=123,
+    )
+    return dataset
+
+
+@pytest.fixture(scope="session")
+def syn_engine(syn_dataset: TraceDataset) -> TraceQueryEngine:
+    """A session-scoped engine over the synthetic dataset."""
+    return TraceQueryEngine(syn_dataset, num_hashes=128, seed=3).build()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(4242)
+
+
+def make_presence(entity: str = "x", unit: str = "h3_0_0_0", start: int = 0, end: int = 1) -> PresenceInstance:
+    """Convenience constructor used by several test modules."""
+    return PresenceInstance(entity=entity, unit=unit, start=start, end=end)

@@ -1,0 +1,128 @@
+"""Tests for adjoint presence instances (repro.traces.adjoint)."""
+
+import pytest
+
+from repro.traces.adjoint import (
+    adjoint_durations_by_level,
+    adjoint_instances,
+    entities_with_ajpi,
+)
+from repro.traces.events import PresenceInstance
+
+
+class TestAdjointInstances:
+    def test_same_unit_overlap_is_base_level(self, small_hierarchy):
+        base = small_hierarchy.base_units[0]
+        a = [PresenceInstance("a", base, 0, 5)]
+        b = [PresenceInstance("b", base, 3, 8)]
+        ajpis = adjoint_instances(a, b, small_hierarchy)
+        assert len(ajpis) == 1
+        assert ajpis[0].level == small_hierarchy.num_levels
+        assert (ajpis[0].start, ajpis[0].end) == (3, 5)
+        assert ajpis[0].duration == 2
+
+    def test_sibling_units_overlap_at_parent_level(self, small_hierarchy):
+        parent = small_hierarchy.units_at_level(2)[0]
+        child_a, child_b = small_hierarchy.children_of(parent)
+        ajpis = adjoint_instances(
+            [PresenceInstance("a", child_a, 0, 4)],
+            [PresenceInstance("b", child_b, 2, 6)],
+            small_hierarchy,
+        )
+        assert len(ajpis) == 1
+        assert ajpis[0].level == 2
+
+    def test_disjoint_roots_produce_nothing(self, small_hierarchy):
+        roots = small_hierarchy.units_at_level(1)
+        a_unit = small_hierarchy.base_descendants(roots[0])[0]
+        b_unit = small_hierarchy.base_descendants(roots[1])[0]
+        ajpis = adjoint_instances(
+            [PresenceInstance("a", a_unit, 0, 4)],
+            [PresenceInstance("b", b_unit, 0, 4)],
+            small_hierarchy,
+        )
+        assert ajpis == []
+
+    def test_no_temporal_overlap_produces_nothing(self, small_hierarchy):
+        base = small_hierarchy.base_units[0]
+        ajpis = adjoint_instances(
+            [PresenceInstance("a", base, 0, 2)],
+            [PresenceInstance("b", base, 2, 4)],
+            small_hierarchy,
+        )
+        assert ajpis == []
+
+    def test_multiple_pairs_generate_multiple_ajpis(self, small_hierarchy):
+        base = small_hierarchy.base_units[0]
+        a = [PresenceInstance("a", base, 0, 2), PresenceInstance("a", base, 10, 12)]
+        b = [PresenceInstance("b", base, 1, 3), PresenceInstance("b", base, 11, 13)]
+        ajpis = adjoint_instances(a, b, small_hierarchy)
+        assert len(ajpis) == 2
+
+    def test_unsorted_input_handled(self, small_hierarchy):
+        base = small_hierarchy.base_units[0]
+        a = [PresenceInstance("a", base, 10, 12), PresenceInstance("a", base, 0, 2)]
+        b = [PresenceInstance("b", base, 11, 13), PresenceInstance("b", base, 1, 3)]
+        assert len(adjoint_instances(a, b, small_hierarchy)) == 2
+
+    def test_empty_traces(self, small_hierarchy):
+        base = small_hierarchy.base_units[0]
+        assert adjoint_instances([], [PresenceInstance("b", base, 0, 1)], small_hierarchy) == []
+        assert adjoint_instances([], [], small_hierarchy) == []
+
+    def test_symmetry_of_total_duration(self, small_hierarchy, small_dataset):
+        a = small_dataset.trace("a")
+        b = small_dataset.trace("b")
+        forward = sum(x.duration for x in adjoint_instances(a, b, small_hierarchy))
+        backward = sum(x.duration for x in adjoint_instances(b, a, small_hierarchy))
+        assert forward == backward
+
+
+class TestAdjointDurations:
+    def test_fine_ajpis_count_at_coarser_levels(self, small_hierarchy):
+        base = small_hierarchy.base_units[0]
+        durations = adjoint_durations_by_level(
+            [PresenceInstance("a", base, 0, 4)],
+            [PresenceInstance("b", base, 0, 4)],
+            small_hierarchy,
+        )
+        assert durations[1] == durations[2] == durations[3] == 4
+
+    def test_levels_are_monotone_decreasing(self, small_dataset):
+        hierarchy = small_dataset.hierarchy
+        durations = adjoint_durations_by_level(
+            small_dataset.trace("a"), small_dataset.trace("c"), hierarchy
+        )
+        values = [durations.get(level, 0) for level in range(1, hierarchy.num_levels + 1)]
+        assert values == sorted(values, reverse=True)
+
+    def test_no_overlap_empty_dict(self, small_hierarchy):
+        roots = small_hierarchy.units_at_level(1)
+        a_unit = small_hierarchy.base_descendants(roots[0])[0]
+        b_unit = small_hierarchy.base_descendants(roots[1])[0]
+        durations = adjoint_durations_by_level(
+            [PresenceInstance("a", a_unit, 0, 4)],
+            [PresenceInstance("b", b_unit, 0, 4)],
+            small_hierarchy,
+        )
+        assert durations == {}
+
+
+class TestEntitiesWithAjpi:
+    def test_base_level_cooccurrence(self, small_dataset):
+        found = entities_with_ajpi(small_dataset, "a", level=small_dataset.num_levels)
+        assert "b" in found
+        assert "c" in found
+        assert "d" not in found
+
+    def test_query_entity_excluded(self, small_dataset):
+        assert "a" not in entities_with_ajpi(small_dataset, "a", level=1)
+
+    def test_coarse_level_superset_of_fine_level(self, small_dataset):
+        fine = entities_with_ajpi(small_dataset, "a", level=small_dataset.num_levels)
+        coarse = entities_with_ajpi(small_dataset, "a", level=1)
+        assert fine <= coarse
+
+    def test_unknown_entity_raises(self, small_dataset):
+        with pytest.raises(KeyError):
+            entities_with_ajpi(small_dataset, "missing", level=1)

@@ -1,0 +1,120 @@
+"""Tests for measured PE and the distribution statistics (repro.analysis)."""
+
+import pytest
+
+from repro.analysis.distribution import adm_histogram, ajpi_duration_histogram, ajpi_entity_counts
+from repro.analysis.pe import measure_pruning_effectiveness
+from repro.baselines import BruteForceTopK
+from repro.measures import HierarchicalADM
+
+
+class TestMeasurePE:
+    def test_aggregates_over_queries(self, small_engine):
+        summary = measure_pruning_effectiveness(
+            small_engine.top_k, small_engine.dataset.entities, k=2
+        )
+        assert summary.num_queries == small_engine.dataset.num_entities
+        assert 0.0 <= summary.mean_pruning_effectiveness <= 1.0
+        assert summary.mean_checked_fraction + summary.mean_pruning_effectiveness == pytest.approx(1.0)
+        assert summary.mean_entities_scored > 0
+
+    def test_sampling_is_reproducible(self, syn_engine):
+        entities = syn_engine.dataset.entities
+        first = measure_pruning_effectiveness(syn_engine.top_k, entities, k=3, sample_size=8, seed=1)
+        second = measure_pruning_effectiveness(syn_engine.top_k, entities, k=3, sample_size=8, seed=1)
+        assert first == second
+
+    def test_different_seed_changes_sample(self, syn_engine):
+        entities = syn_engine.dataset.entities
+        first = measure_pruning_effectiveness(syn_engine.top_k, entities, k=3, sample_size=8, seed=1)
+        second = measure_pruning_effectiveness(syn_engine.top_k, entities, k=3, sample_size=8, seed=2)
+        assert first != second or first.mean_entities_scored == second.mean_entities_scored
+
+    def test_brute_force_has_zero_pe(self, small_dataset, small_measure):
+        oracle = BruteForceTopK(small_dataset, small_measure)
+        summary = measure_pruning_effectiveness(oracle.search, small_dataset.entities, k=1)
+        assert summary.mean_checked_fraction == pytest.approx(
+            (small_dataset.num_entities - 1) / small_dataset.num_entities
+        )
+
+    def test_empty_pool_rejected(self, small_engine):
+        with pytest.raises(ValueError):
+            measure_pruning_effectiveness(small_engine.top_k, [], k=1)
+
+    def test_invalid_k_rejected(self, small_engine):
+        with pytest.raises(ValueError):
+            measure_pruning_effectiveness(small_engine.top_k, ["a"], k=0)
+
+    def test_as_row_is_flat(self, small_engine):
+        summary = measure_pruning_effectiveness(small_engine.top_k, ["a", "b"], k=1)
+        row = summary.as_row()
+        assert row["queries"] == 2
+        assert set(row) >= {"pe", "checked_fraction", "entities_scored"}
+
+
+class TestAjpiCounts:
+    def test_counts_monotone_over_levels(self, small_dataset):
+        counts = ajpi_entity_counts(small_dataset, "a")
+        values = [counts[level] for level in sorted(counts)]
+        assert values == sorted(values, reverse=True)
+
+    def test_base_level_counts_expected_entities(self, small_dataset):
+        counts = ajpi_entity_counts(small_dataset, "a")
+        assert counts[small_dataset.num_levels] == 2  # b and c share base cells with a
+
+    def test_candidates_restriction(self, small_dataset):
+        counts = ajpi_entity_counts(small_dataset, "a", candidates=["b"])
+        assert counts[1] == 1
+
+    def test_entity_without_associates(self, small_hierarchy):
+        from repro.traces.dataset import TraceDataset
+
+        dataset = TraceDataset(small_hierarchy, horizon=10)
+        dataset.add_record("solo", small_hierarchy.base_units[0], 0)
+        counts = ajpi_entity_counts(dataset, "solo")
+        assert all(value == 0 for value in counts.values())
+
+
+class TestDurationHistogram:
+    def test_bucket_assignment(self, small_dataset):
+        histogram = ajpi_duration_histogram(small_dataset, "a", bucket_edges=(0, 5, 10))
+        assert set(histogram) == set(range(1, small_dataset.num_levels + 1))
+        # a and b share 20 hours at the base level -> last bucket.
+        assert histogram[small_dataset.num_levels][2] >= 1
+
+    def test_total_entities_bounded(self, small_dataset):
+        histogram = ajpi_duration_histogram(small_dataset, "a")
+        for buckets in histogram.values():
+            assert sum(buckets) <= small_dataset.num_entities - 1
+
+    def test_invalid_edges(self, small_dataset):
+        with pytest.raises(ValueError):
+            ajpi_duration_histogram(small_dataset, "a", bucket_edges=(10, 5))
+        with pytest.raises(ValueError):
+            ajpi_duration_histogram(small_dataset, "a", bucket_edges=())
+
+
+class TestADMHistogram:
+    def test_counts_only_positive_degrees(self, small_dataset, small_measure):
+        edges, counts = adm_histogram(small_dataset, "a", small_measure)
+        assert len(edges) == len(counts) == 10
+        assert sum(counts) == 2  # b and c have positive association with a
+
+    def test_strong_associate_lands_in_high_bucket(self, small_dataset, small_measure):
+        _edges, counts = adm_histogram(small_dataset, "a", small_measure, bucket_width=0.25)
+        assert len(counts) == 4
+        assert sum(counts[1:]) >= 1  # b's degree with a is well above 0.25
+
+    def test_bucket_width_validation(self, small_dataset, small_measure):
+        with pytest.raises(ValueError):
+            adm_histogram(small_dataset, "a", small_measure, bucket_width=0.0)
+
+    def test_higher_v_pushes_mass_to_lower_buckets(self, syn_dataset):
+        gentle = HierarchicalADM(num_levels=syn_dataset.num_levels, u=2, v=2)
+        harsh = HierarchicalADM(num_levels=syn_dataset.num_levels, u=2, v=5)
+        query = syn_dataset.entities[0]
+        _e, gentle_counts = adm_histogram(syn_dataset, query, gentle)
+        _e, harsh_counts = adm_histogram(syn_dataset, query, harsh)
+        def mass_above(counts, bucket):
+            return sum(counts[bucket:])
+        assert mass_above(harsh_counts, 3) <= mass_above(gentle_counts, 3)

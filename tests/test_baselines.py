@@ -1,0 +1,97 @@
+"""Tests for the baseline approaches (repro.baselines)."""
+
+import pytest
+
+from repro.baselines import BruteForceTopK, ClusterBitmapIndex
+from repro.measures import HierarchicalADM
+
+
+class TestBruteForce:
+    def test_finds_obvious_associate(self, small_dataset, small_measure):
+        oracle = BruteForceTopK(small_dataset, small_measure)
+        assert oracle.search("a", 1).entities == ["b"]
+
+    def test_scores_sorted_and_positive(self, small_dataset, small_measure):
+        result = BruteForceTopK(small_dataset, small_measure).search("a", 4)
+        assert result.scores == sorted(result.scores, reverse=True)
+        assert all(score > 0 for score in result.scores)
+
+    def test_k_zero_rejected(self, small_dataset, small_measure):
+        with pytest.raises(ValueError):
+            BruteForceTopK(small_dataset, small_measure).search("a", 0)
+
+    def test_scans_whole_population(self, small_dataset, small_measure):
+        result = BruteForceTopK(small_dataset, small_measure).search("a", 2)
+        assert result.stats.entities_scored == small_dataset.num_entities - 1
+
+    def test_candidate_restriction(self, small_dataset, small_measure):
+        oracle = BruteForceTopK(small_dataset, small_measure)
+        result = oracle.search("a", 3, candidates=["c", "d"])
+        assert set(result.entities) <= {"c", "d"}
+
+    def test_unknown_query_raises(self, small_dataset, small_measure):
+        with pytest.raises(KeyError):
+            BruteForceTopK(small_dataset, small_measure).search("ghost", 1)
+
+    def test_ties_broken_deterministically(self, small_dataset, small_measure):
+        first = BruteForceTopK(small_dataset, small_measure).search("a", 4)
+        second = BruteForceTopK(small_dataset, small_measure).search("a", 4)
+        assert first.items == second.items
+
+
+class TestClusterBitmap:
+    @pytest.fixture
+    def index(self, small_dataset, small_measure):
+        return ClusterBitmapIndex(small_dataset, small_measure, num_clusters=8).build()
+
+    def test_build_required_before_search(self, small_dataset, small_measure):
+        index = ClusterBitmapIndex(small_dataset, small_measure)
+        assert not index.is_built
+        with pytest.raises(RuntimeError):
+            index.search("a", 1)
+
+    def test_groups_cover_population(self, index, small_dataset):
+        assert index.num_groups >= 1
+        assert index.num_groups <= small_dataset.num_entities
+
+    def test_results_match_brute_force(self, index, small_dataset, small_measure):
+        oracle = BruteForceTopK(small_dataset, small_measure)
+        for query in small_dataset.entities:
+            baseline = index.search(query, 3)
+            exact = oracle.search(query, 3)
+            assert [round(s, 9) for s in baseline.scores] == [round(s, 9) for s in exact.scores]
+
+    def test_results_match_brute_force_on_synthetic(self, syn_dataset):
+        measure = HierarchicalADM(num_levels=syn_dataset.num_levels)
+        index = ClusterBitmapIndex(syn_dataset, measure, num_clusters=32).build()
+        oracle = BruteForceTopK(syn_dataset, measure)
+        for query in syn_dataset.entities[::20]:
+            baseline = index.search(query, 5)
+            exact = oracle.search(query, 5)
+            assert [round(s, 9) for s in baseline.scores] == [round(s, 9) for s in exact.scores]
+
+    def test_invalid_k(self, index):
+        with pytest.raises(ValueError):
+            index.search("a", 0)
+
+    def test_cluster_assignment_exists_for_query_cells(self, index, small_dataset):
+        for cell in small_dataset.cell_sequence("a").base_cells:
+            assert index.cluster_of(cell) is not None
+
+    def test_stats_are_populated(self, index, small_dataset):
+        result = index.search("a", 2)
+        assert result.stats.population == small_dataset.num_entities
+        assert result.stats.entities_scored >= len(result)
+
+    def test_baseline_stats_comparable_to_minsigtree(self, syn_engine):
+        """Both methods expose the same work counters so Figure 7.7 can compare
+        them; the quantitative comparison lives in the benchmark, not here."""
+        measure = syn_engine.measure
+        dataset = syn_engine.dataset
+        baseline = ClusterBitmapIndex(dataset, measure, num_clusters=48).build()
+        for query in dataset.entities[::40]:
+            tree_stats = syn_engine.top_k(query, 1).stats
+            baseline_stats = baseline.search(query, 1).stats
+            for stats in (tree_stats, baseline_stats):
+                assert 0.0 <= stats.pruning_effectiveness <= 1.0
+                assert 0 < stats.entities_scored <= stats.population

@@ -1,0 +1,109 @@
+"""Tests for the LRU buffer pool (repro.storage.buffer)."""
+
+import pytest
+
+from repro.storage.buffer import LRUBufferPool
+
+
+def loader(key):
+    return f"page-{key}"
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        pool = LRUBufferPool(capacity=4)
+        assert pool.get(1, loader) == "page-1"
+        assert pool.misses == 1 and pool.hits == 0
+        assert pool.get(1, loader) == "page-1"
+        assert pool.hits == 1
+
+    def test_capacity_zero_always_misses(self):
+        pool = LRUBufferPool(capacity=0)
+        for _ in range(3):
+            pool.get(1, loader)
+        assert pool.misses == 3
+        assert pool.hits == 0
+        assert len(pool) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUBufferPool(capacity=-1)
+
+    def test_len_and_contains(self):
+        pool = LRUBufferPool(capacity=2)
+        pool.get("a", loader)
+        assert "a" in pool
+        assert len(pool) == 1
+
+    def test_hit_rate(self):
+        pool = LRUBufferPool(capacity=4)
+        pool.get(1, loader)
+        pool.get(1, loader)
+        pool.get(2, loader)
+        assert pool.hit_rate == pytest.approx(1 / 3)
+
+    def test_hit_rate_no_accesses(self):
+        assert LRUBufferPool(capacity=2).hit_rate == 0.0
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        pool = LRUBufferPool(capacity=2)
+        pool.get(1, loader)
+        pool.get(2, loader)
+        pool.get(1, loader)  # refresh 1; 2 becomes LRU
+        pool.get(3, loader)  # evicts 2
+        assert 1 in pool and 3 in pool and 2 not in pool
+        assert pool.evictions == 1
+
+    def test_eviction_count(self):
+        pool = LRUBufferPool(capacity=1)
+        for key in range(5):
+            pool.get(key, loader)
+        assert pool.evictions == 4
+
+    def test_put_refreshes_existing_without_eviction(self):
+        pool = LRUBufferPool(capacity=2)
+        pool.put("a", 1)
+        pool.put("b", 2)
+        pool.put("a", 3)
+        assert pool.peek("a") == 3
+        assert pool.evictions == 0
+
+    def test_peek_does_not_affect_counters_or_recency(self):
+        pool = LRUBufferPool(capacity=2)
+        pool.get(1, loader)
+        pool.get(2, loader)
+        pool.peek(1)
+        hits, misses = pool.hits, pool.misses
+        pool.get(3, loader)  # evicts 1 (peek did not refresh it)
+        assert 1 not in pool
+        assert (pool.hits, pool.misses) == (hits, misses + 1)
+
+    def test_loader_called_only_on_miss(self):
+        calls = []
+
+        def counting_loader(key):
+            calls.append(key)
+            return key
+
+        pool = LRUBufferPool(capacity=4)
+        pool.get("x", counting_loader)
+        pool.get("x", counting_loader)
+        assert calls == ["x"]
+
+
+class TestReset:
+    def test_reset_counters_keeps_content(self):
+        pool = LRUBufferPool(capacity=2)
+        pool.get(1, loader)
+        pool.reset_counters()
+        assert pool.misses == 0
+        assert 1 in pool
+
+    def test_clear_drops_content(self):
+        pool = LRUBufferPool(capacity=2)
+        pool.get(1, loader)
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.accesses == 0

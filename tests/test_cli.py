@@ -1,0 +1,158 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traces.io import load_hierarchy_json, load_traces_csv
+
+
+@pytest.fixture
+def generated_files(tmp_path):
+    traces = tmp_path / "traces.csv"
+    hierarchy = tmp_path / "hierarchy.json"
+    code = main(
+        [
+            "generate",
+            "syn",
+            "--entities",
+            "40",
+            "--horizon",
+            "48",
+            "--seed",
+            "3",
+            "--output",
+            str(traces),
+            "--hierarchy",
+            str(hierarchy),
+        ]
+    )
+    assert code == 0
+    return traces, hierarchy
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_arguments(self):
+        args = build_parser().parse_args(
+            ["generate", "wifi", "--output", "o.csv", "--hierarchy", "h.json"]
+        )
+        assert args.kind == "wifi"
+        assert args.entities == 300
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(
+            ["query", "--traces", "t.csv", "--hierarchy", "h.json", "--entity", "x"]
+        )
+        assert args.k == 10
+        assert args.bound_mode == "lift"
+
+
+class TestGenerate:
+    def test_files_written_and_loadable(self, generated_files):
+        traces, hierarchy_path = generated_files
+        hierarchy = load_hierarchy_json(hierarchy_path)
+        dataset = load_traces_csv(traces, hierarchy)
+        assert dataset.num_entities == 40
+        assert dataset.num_levels == 4
+
+    def test_wifi_generation(self, tmp_path, capsys):
+        code = main(
+            [
+                "generate",
+                "wifi",
+                "--entities",
+                "25",
+                "--output",
+                str(tmp_path / "wifi.csv"),
+                "--hierarchy",
+                str(tmp_path / "wifi.json"),
+            ]
+        )
+        assert code == 0
+        assert "25 entities" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_output(self, generated_files, capsys):
+        traces, hierarchy = generated_files
+        code = main(["stats", "--traces", str(traces), "--hierarchy", str(hierarchy)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "entities=40" in output
+        assert "ST-cell universe" in output
+
+
+class TestQuery:
+    def test_query_runs_and_prints_results(self, generated_files, capsys):
+        traces, hierarchy = generated_files
+        code = main(
+            [
+                "query",
+                "--traces",
+                str(traces),
+                "--hierarchy",
+                str(hierarchy),
+                "--entity",
+                "syn-0",
+                "--k",
+                "3",
+                "--num-hashes",
+                "32",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "top-3 associates of syn-0" in output
+        assert "pruning effectiveness" in output
+
+    def test_unknown_entity_fails_gracefully(self, generated_files, capsys):
+        traces, hierarchy = generated_files
+        code = main(
+            [
+                "query",
+                "--traces",
+                str(traces),
+                "--hierarchy",
+                str(hierarchy),
+                "--entity",
+                "nobody",
+            ]
+        )
+        assert code == 2
+        assert "unknown entity" in capsys.readouterr().err
+
+    def test_approximate_query(self, generated_files, capsys):
+        traces, hierarchy = generated_files
+        code = main(
+            [
+                "query",
+                "--traces",
+                str(traces),
+                "--hierarchy",
+                str(hierarchy),
+                "--entity",
+                "syn-1",
+                "--k",
+                "2",
+                "--num-hashes",
+                "16",
+                "--approximation",
+                "0.2",
+            ]
+        )
+        assert code == 0
+
+
+class TestFigures:
+    def test_single_figure(self, capsys):
+        code = main(["figures", "--only", "7.8", "--scale", "tiny"])
+        assert code == 0
+        assert "figure-7.8" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self, capsys):
+        code = main(["figures", "--only", "9.9"])
+        assert code == 2
+        assert "unknown figure" in capsys.readouterr().err

@@ -1,0 +1,162 @@
+"""Property-based tests of the paper's structural theorems on random datasets.
+
+Theorem 1 (level monotonicity of signatures), Theorem 2 (pruned cells are
+truly absent), Theorem 3 (pruned sets grow along root-to-leaf paths) and the
+Theorem 4 bound admissibility are exercised over randomly generated
+hierarchies, traces and hash seeds.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.hashing import HierarchicalHashFamily
+from repro.core.minsigtree import MinSigTree
+from repro.core.pruning import PruningState, QueryHashes, upper_bound
+from repro.core.signatures import SignatureComputer
+from repro.measures import HierarchicalADM
+from repro.traces.dataset import TraceDataset
+from repro.traces.spatial import SpatialHierarchy
+
+
+@st.composite
+def random_environment(draw):
+    """A random hierarchy + dataset + hash family + signatures."""
+    branching = draw(
+        st.lists(st.integers(min_value=2, max_value=3), min_size=2, max_size=3)
+    )
+    num_entities = draw(st.integers(min_value=3, max_value=12))
+    horizon = draw(st.integers(min_value=6, max_value=24))
+    seed = draw(st.integers(min_value=0, max_value=1_000))
+    num_hashes = draw(st.sampled_from([8, 16, 32]))
+
+    hierarchy = SpatialHierarchy.regular(branching, prefix="p")
+    dataset = TraceDataset(hierarchy, horizon=horizon)
+    rng = random.Random(seed)
+    bases = hierarchy.base_units
+    for index in range(num_entities):
+        entity = f"e{index}"
+        for _ in range(rng.randint(1, 8)):
+            unit = rng.choice(bases)
+            start = rng.randrange(horizon - 1)
+            dataset.add_record(entity, unit, start, duration=rng.randint(1, 2))
+    family = HierarchicalHashFamily(hierarchy, horizon, num_hashes, seed=seed)
+    computer = SignatureComputer(family)
+    signatures = computer.signatures_for_dataset(dataset)
+    return dataset, family, signatures
+
+
+SETTINGS = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@given(random_environment())
+@SETTINGS
+def test_theorem1_signature_levels_monotone(environment):
+    _dataset, _family, signatures = environment
+    for matrix in signatures.values():
+        for level in range(matrix.shape[0] - 1):
+            assert (matrix[level] <= matrix[level + 1]).all()
+
+
+@given(random_environment())
+@SETTINGS
+def test_theorem2_group_signatures_witness_absence(environment):
+    dataset, family, signatures = environment
+    tree = MinSigTree.build(signatures, dataset.num_levels, family.num_hashes)
+    query_entity = dataset.entities[0]
+    query = QueryHashes.from_sequence(dataset.cell_sequence(query_entity), family)
+    for entity in dataset.entities:
+        state = PruningState.initial(query)
+        for node in tree.path_to_leaf(entity):
+            state = state.refine(node, query)
+        candidate = dataset.cell_sequence(entity)
+        for level_index, mask in enumerate(state.masks):
+            for cell, pruned in zip(query.cells[level_index], mask):
+                if pruned:
+                    assert cell not in candidate.levels[level_index]
+
+
+@given(random_environment())
+@SETTINGS
+def test_theorem3_pruned_sets_grow_along_paths(environment):
+    dataset, family, signatures = environment
+    tree = MinSigTree.build(signatures, dataset.num_levels, family.num_hashes)
+    query = QueryHashes.from_sequence(dataset.cell_sequence(dataset.entities[-1]), family)
+    for entity in dataset.entities:
+        state = PruningState.initial(query)
+        previous = state.pruned_counts()
+        for node in tree.path_to_leaf(entity):
+            state = state.refine(node, query)
+            current = state.pruned_counts()
+            assert all(now >= before for now, before in zip(current, previous))
+            previous = current
+
+
+@given(random_environment())
+@SETTINGS
+def test_theorem4_per_level_bound_admissible(environment):
+    dataset, family, signatures = environment
+    tree = MinSigTree.build(signatures, dataset.num_levels, family.num_hashes)
+    measure = HierarchicalADM(num_levels=dataset.num_levels)
+    query_entity = dataset.entities[0]
+    query_sequence = dataset.cell_sequence(query_entity)
+    query = QueryHashes.from_sequence(query_sequence, family)
+    for entity in dataset.entities:
+        if entity == query_entity:
+            continue
+        state = PruningState.initial(query)
+        for node in tree.path_to_leaf(entity):
+            state = state.refine(node, query)
+        bound = upper_bound(state, query, measure, mode="per_level")
+        true_degree = measure.score(dataset.cell_sequence(entity), query_sequence)
+        assert bound >= true_degree - 1e-9
+
+
+@given(random_environment())
+@SETTINGS
+def test_base_level_restriction_of_lift_bound_is_sound(environment):
+    """The lift bound's base level never under-counts shared base cells."""
+    dataset, family, signatures = environment
+    tree = MinSigTree.build(signatures, dataset.num_levels, family.num_hashes)
+    query_entity = dataset.entities[0]
+    query_sequence = dataset.cell_sequence(query_entity)
+    query = QueryHashes.from_sequence(query_sequence, family)
+    for entity in dataset.entities:
+        if entity == query_entity:
+            continue
+        state = PruningState.initial(query)
+        for node in tree.path_to_leaf(entity):
+            state = state.refine(node, query)
+        surviving_base = state.lifted_surviving_counts(query)[-1]
+        shared_base = len(
+            dataset.cell_sequence(entity).base_cells & query_sequence.base_cells
+        )
+        assert surviving_base >= shared_base
+
+
+@given(random_environment())
+@SETTINGS
+def test_incremental_build_equals_bulk_build(environment):
+    """Inserting entities one by one gives the same leaves as a bulk build."""
+    dataset, family, signatures = environment
+    bulk = MinSigTree.build(signatures, dataset.num_levels, family.num_hashes)
+    incremental = MinSigTree(dataset.num_levels, family.num_hashes)
+    for entity, matrix in signatures.items():
+        incremental.insert(entity, matrix)
+    bulk_leaves = {tuple(sorted(leaf.entities)) for leaf in bulk.leaves()}
+    incremental_leaves = {tuple(sorted(leaf.entities)) for leaf in incremental.leaves()}
+    assert bulk_leaves == incremental_leaves
+
+
+@given(random_environment())
+@SETTINGS
+def test_remove_then_reinsert_restores_placement(environment):
+    dataset, family, signatures = environment
+    tree = MinSigTree.build(signatures, dataset.num_levels, family.num_hashes)
+    entity = dataset.entities[0]
+    original_leafmates = sorted(tree.leaf_of(entity).entities)
+    tree.remove(entity)
+    tree.insert(entity, signatures[entity])
+    assert sorted(tree.leaf_of(entity).entities) == original_leafmates

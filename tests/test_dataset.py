@@ -1,0 +1,136 @@
+"""Tests for the trace dataset container (repro.traces.dataset)."""
+
+import pytest
+
+from repro.traces.dataset import TraceDataset
+from repro.traces.events import PresenceInstance, STCell
+
+
+class TestMutation:
+    def test_add_record_creates_entity(self, small_hierarchy):
+        dataset = TraceDataset(small_hierarchy)
+        dataset.add_record("x", small_hierarchy.base_units[0], 0)
+        assert "x" in dataset
+        assert dataset.num_entities == 1
+
+    def test_add_presence_unknown_unit(self, small_hierarchy):
+        dataset = TraceDataset(small_hierarchy)
+        with pytest.raises(KeyError):
+            dataset.add_presence(PresenceInstance("x", "nowhere", 0, 1))
+
+    def test_add_presence_non_base_unit_rejected(self, small_hierarchy):
+        dataset = TraceDataset(small_hierarchy)
+        coarse = small_hierarchy.units_at_level(1)[0]
+        with pytest.raises(ValueError, match="base spatial unit"):
+            dataset.add_presence(PresenceInstance("x", coarse, 0, 1))
+
+    def test_extend(self, small_hierarchy):
+        dataset = TraceDataset(small_hierarchy)
+        base = small_hierarchy.base_units[0]
+        dataset.extend([PresenceInstance("x", base, 0, 1), PresenceInstance("y", base, 1, 2)])
+        assert dataset.num_entities == 2
+        assert dataset.num_presences == 2
+
+    def test_remove_entity(self, small_dataset):
+        small_dataset.remove_entity("c")
+        assert "c" not in small_dataset
+        with pytest.raises(KeyError):
+            small_dataset.trace("c")
+
+    def test_remove_unknown_entity(self, small_dataset):
+        with pytest.raises(KeyError):
+            small_dataset.remove_entity("ghost")
+
+    def test_replace_trace(self, small_dataset, small_hierarchy):
+        base = small_hierarchy.base_units[3]
+        small_dataset.replace_trace("c", [PresenceInstance("c", base, 0, 1)])
+        assert len(small_dataset.trace("c")) == 1
+
+    def test_replace_trace_rejects_wrong_entity(self, small_dataset, small_hierarchy):
+        base = small_hierarchy.base_units[3]
+        with pytest.raises(ValueError):
+            small_dataset.replace_trace("c", [PresenceInstance("b", base, 0, 1)])
+
+    def test_mutation_invalidates_sequence_cache(self, small_dataset, small_hierarchy):
+        before = small_dataset.cell_sequence("a")
+        small_dataset.add_record("a", small_hierarchy.base_units[7], 45)
+        after = small_dataset.cell_sequence("a")
+        assert len(after.base_cells) == len(before.base_cells) + 1
+
+
+class TestIntrospection:
+    def test_entities_in_insertion_order(self, small_dataset):
+        assert small_dataset.entities[0] == "a"
+
+    def test_len_and_iter(self, small_dataset):
+        assert len(small_dataset) == small_dataset.num_entities
+        assert set(iter(small_dataset)) == set(small_dataset.entities)
+
+    def test_horizon_derived_from_data(self, small_hierarchy):
+        dataset = TraceDataset(small_hierarchy)
+        dataset.add_record("x", small_hierarchy.base_units[0], 10, duration=5)
+        assert dataset.horizon == 15
+
+    def test_explicit_horizon_wins(self, small_hierarchy):
+        dataset = TraceDataset(small_hierarchy, horizon=100)
+        dataset.add_record("x", small_hierarchy.base_units[0], 10)
+        assert dataset.horizon == 100
+
+    def test_num_st_cells(self, small_dataset):
+        assert small_dataset.num_st_cells == 8 * small_dataset.horizon
+
+    def test_trace_returns_tuple_copy(self, small_dataset):
+        trace = small_dataset.trace("a")
+        assert isinstance(trace, tuple)
+
+    def test_unknown_trace_raises(self, small_dataset):
+        with pytest.raises(KeyError):
+            small_dataset.trace("ghost")
+
+    def test_average_cells_per_entity_positive(self, small_dataset):
+        assert small_dataset.average_cells_per_entity() > 0
+
+    def test_average_cells_empty_dataset(self, small_hierarchy):
+        assert TraceDataset(small_hierarchy).average_cells_per_entity() == 0.0
+
+    def test_describe_contains_counts(self, small_dataset):
+        text = small_dataset.describe()
+        assert str(small_dataset.num_entities) in text
+
+
+class TestCellSequences:
+    def test_sequence_cached(self, small_dataset):
+        assert small_dataset.cell_sequence("a") is small_dataset.cell_sequence("a")
+
+    def test_sequence_levels_match_hierarchy(self, small_dataset):
+        assert small_dataset.cell_sequence("a").num_levels == small_dataset.num_levels
+
+    def test_base_cells_match_presence_hours(self, small_dataset):
+        sequence = small_dataset.cell_sequence("b")
+        total_hours = sum(p.duration for p in small_dataset.trace("b"))
+        # b never revisits the same cell twice in the fixture.
+        assert len(sequence.base_cells) == total_hours
+
+
+class TestCellIndex:
+    def test_entities_at_cell_base_level(self, small_dataset, small_hierarchy):
+        base = small_hierarchy.base_units[0]
+        entities = small_dataset.entities_at_cell(STCell(0, base))
+        assert entities == {"a", "b"}
+
+    def test_entities_at_cell_coarse_level(self, small_dataset, small_hierarchy):
+        base = small_hierarchy.base_units[0]
+        root = small_hierarchy.ancestor_at_level(base, 1)
+        entities = small_dataset.entities_at_cell(STCell(0, root), level=1)
+        assert {"a", "b"} <= entities
+
+    def test_entities_at_unknown_cell_empty(self, small_dataset, small_hierarchy):
+        base = small_hierarchy.base_units[7]
+        assert small_dataset.entities_at_cell(STCell(47, base)) == set()
+
+    def test_cell_index_invalidated_on_update(self, small_dataset, small_hierarchy):
+        base = small_hierarchy.base_units[7]
+        cell = STCell(46, base)
+        assert small_dataset.entities_at_cell(cell) == set()
+        small_dataset.add_record("a", base, 46)
+        assert small_dataset.entities_at_cell(cell) == {"a"}

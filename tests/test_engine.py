@@ -1,0 +1,138 @@
+"""Tests for the TraceQueryEngine facade (repro.core.engine)."""
+
+import pytest
+
+from repro import EngineConfig, HierarchicalADM, PresenceInstance, TraceQueryEngine
+from repro.baselines import BruteForceTopK
+
+
+class TestConfiguration:
+    def test_defaults(self):
+        config = EngineConfig()
+        assert config.num_hashes == 256
+        assert config.bound_mode == "lift"
+
+    def test_invalid_num_hashes(self):
+        with pytest.raises(ValueError):
+            EngineConfig(num_hashes=0)
+
+    def test_use_full_requires_store_full(self):
+        with pytest.raises(ValueError):
+            EngineConfig(use_full_signatures=True, store_full_signatures=False)
+
+    def test_invalid_bound_mode(self):
+        with pytest.raises(ValueError):
+            EngineConfig(bound_mode="sometimes")
+
+    def test_keyword_overrides(self, small_dataset):
+        engine = TraceQueryEngine(small_dataset, num_hashes=16, seed=9, bound_mode="per_level")
+        assert engine.config.num_hashes == 16
+        assert engine.config.seed == 9
+        assert engine.config.bound_mode == "per_level"
+
+    def test_unknown_keyword_rejected(self, small_dataset):
+        with pytest.raises(TypeError, match="unknown engine options"):
+            TraceQueryEngine(small_dataset, turbo=True)
+
+    def test_default_measure_matches_hierarchy_depth(self, small_dataset):
+        engine = TraceQueryEngine(small_dataset, num_hashes=8)
+        assert isinstance(engine.measure, HierarchicalADM)
+        assert engine.measure.num_levels == small_dataset.num_levels
+
+
+class TestLifecycle:
+    def test_not_built_errors(self, small_dataset):
+        engine = TraceQueryEngine(small_dataset, num_hashes=8)
+        assert not engine.is_built
+        with pytest.raises(RuntimeError, match="build"):
+            engine.top_k("a", k=1)
+        with pytest.raises(RuntimeError):
+            _ = engine.tree
+
+    def test_build_returns_self_and_sets_flags(self, small_dataset):
+        engine = TraceQueryEngine(small_dataset, num_hashes=8)
+        assert engine.build() is engine
+        assert engine.is_built
+        assert engine.last_build_seconds >= 0.0
+        assert engine.tree.num_entities == small_dataset.num_entities
+
+    def test_build_is_deterministic_given_seed(self, small_dataset):
+        first = TraceQueryEngine(small_dataset, num_hashes=16, seed=5).build()
+        second = TraceQueryEngine(small_dataset, num_hashes=16, seed=5).build()
+        for entity in small_dataset.entities:
+            assert (first.tree.signature_of(entity) == second.tree.signature_of(entity)).all()
+
+    def test_index_size_positive(self, small_engine):
+        assert small_engine.index_size_bytes() > 0
+
+    def test_repr_mentions_state(self, small_dataset):
+        engine = TraceQueryEngine(small_dataset, num_hashes=8)
+        assert "not built" in repr(engine)
+        engine.build()
+        assert "not built" not in repr(engine)
+
+
+class TestQueries:
+    def test_top_k_many(self, small_engine):
+        results = small_engine.top_k_many(["a", "d"], k=2)
+        assert len(results) == 2
+        assert results[0].query_entity == "a"
+
+    def test_results_match_brute_force_on_fixture(self, small_engine):
+        oracle = BruteForceTopK(small_engine.dataset, small_engine.measure)
+        for query in small_engine.dataset.entities:
+            indexed = small_engine.top_k(query, k=3)
+            exact = oracle.search(query, k=3)
+            assert indexed.entities == exact.entities
+
+
+class TestIncrementalMaintenance:
+    def test_add_records_new_entity_queryable(self, small_dataset):
+        engine = TraceQueryEngine(small_dataset, num_hashes=16, seed=1).build()
+        base = small_dataset.hierarchy.base_units[0]
+        # A newcomer shadowing a's favourite venue in the same hours.
+        records = [PresenceInstance("newcomer", base, t, t + 2) for t in range(0, 20, 2)]
+        affected = engine.add_records(records)
+        assert affected == ["newcomer"]
+        assert "newcomer" in engine.tree
+        result = engine.top_k("a", k=2)
+        assert "newcomer" in result.entities
+
+    def test_add_records_existing_entity_rescored(self, small_dataset):
+        engine = TraceQueryEngine(small_dataset, num_hashes=16, seed=1).build()
+        base = small_dataset.hierarchy.base_units[0]
+        before = engine.top_k("c", k=3)
+        records = [PresenceInstance("c", base, t, t + 2) for t in range(0, 20, 2)]
+        engine.add_records(records)
+        after = engine.top_k("c", k=3)
+        assert "b" in after.entities or "a" in after.entities
+        assert after.scores[0] >= (before.scores[0] if before.scores else 0.0)
+
+    def test_add_records_keeps_index_consistent_with_rebuild(self, small_dataset):
+        engine = TraceQueryEngine(small_dataset, num_hashes=16, seed=1).build()
+        base = small_dataset.hierarchy.base_units[3]
+        engine.add_records([PresenceInstance("a", base, 44, 46)])
+        rebuilt = TraceQueryEngine(small_dataset, num_hashes=16, seed=1).build()
+        assert (engine.tree.signature_of("a") == rebuilt.tree.signature_of("a")).all()
+
+    def test_refresh_entities(self, small_dataset):
+        engine = TraceQueryEngine(small_dataset, num_hashes=16, seed=1).build()
+        base = small_dataset.hierarchy.base_units[6]
+        small_dataset.add_record("e", base, 45)
+        engine.refresh_entities(["e"])
+        rebuilt = TraceQueryEngine(small_dataset, num_hashes=16, seed=1).build()
+        assert (engine.tree.signature_of("e") == rebuilt.tree.signature_of("e")).all()
+
+    def test_remove_entity(self, small_dataset):
+        engine = TraceQueryEngine(small_dataset, num_hashes=16, seed=1).build()
+        engine.remove_entity("b")
+        assert "b" not in small_dataset
+        assert "b" not in engine.tree
+        result = engine.top_k("a", k=3)
+        assert "b" not in result.entities
+
+    def test_add_records_before_build_fails(self, small_dataset):
+        engine = TraceQueryEngine(small_dataset, num_hashes=16)
+        base = small_dataset.hierarchy.base_units[0]
+        with pytest.raises(RuntimeError):
+            engine.add_records([PresenceInstance("x", base, 0, 1)])

@@ -1,0 +1,169 @@
+"""Tests for presence instances, ST-cells and cell sequences (repro.traces.events)."""
+
+import pytest
+
+from repro.traces.events import (
+    CellSequence,
+    PresenceInstance,
+    STCell,
+    cells_from_presences,
+    cells_to_sequence,
+)
+
+
+class TestPresenceInstance:
+    def test_duration(self):
+        presence = PresenceInstance("a", "u", 3, 7)
+        assert presence.duration == 4
+
+    def test_empty_period_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            PresenceInstance("a", "u", 5, 5)
+
+    def test_reversed_period_rejected(self):
+        with pytest.raises(ValueError):
+            PresenceInstance("a", "u", 5, 4)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PresenceInstance("a", "u", -1, 2)
+
+    def test_cells_enumerates_every_hour(self):
+        presence = PresenceInstance("a", "venue", 10, 13)
+        assert list(presence.cells()) == [
+            STCell(10, "venue"),
+            STCell(11, "venue"),
+            STCell(12, "venue"),
+        ]
+
+    def test_overlaps_true_and_false(self):
+        a = PresenceInstance("a", "u", 0, 5)
+        b = PresenceInstance("b", "v", 4, 8)
+        c = PresenceInstance("c", "w", 5, 8)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_overlap_period(self):
+        a = PresenceInstance("a", "u", 0, 5)
+        b = PresenceInstance("b", "v", 3, 8)
+        assert a.overlap_period(b) == (3, 5)
+
+    def test_overlap_period_disjoint_is_empty(self):
+        a = PresenceInstance("a", "u", 0, 2)
+        b = PresenceInstance("b", "v", 5, 8)
+        start, end = a.overlap_period(b)
+        assert start >= end
+
+    def test_frozen(self):
+        presence = PresenceInstance("a", "u", 0, 1)
+        with pytest.raises(AttributeError):
+            presence.start = 5  # type: ignore[misc]
+
+
+class TestSTCell:
+    def test_is_tuple_like(self):
+        cell = STCell(4, "venue")
+        time, unit = cell
+        assert (time, unit) == (4, "venue")
+
+    def test_hashable_and_equal(self):
+        assert STCell(1, "a") == STCell(1, "a")
+        assert len({STCell(1, "a"), STCell(1, "a"), STCell(2, "a")}) == 2
+
+    def test_str(self):
+        assert "venue" in str(STCell(3, "venue"))
+
+
+class TestCellSequence:
+    def test_cells_from_presences_base_level(self, small_hierarchy):
+        base = small_hierarchy.base_units[0]
+        sequence = cells_from_presences(
+            [PresenceInstance("a", base, 0, 2)], small_hierarchy
+        )
+        assert sequence.base_cells == frozenset({STCell(0, base), STCell(1, base)})
+
+    def test_levels_count_matches_hierarchy(self, small_hierarchy):
+        base = small_hierarchy.base_units[0]
+        sequence = cells_from_presences([PresenceInstance("a", base, 0, 1)], small_hierarchy)
+        assert sequence.num_levels == small_hierarchy.num_levels
+
+    def test_coarse_levels_use_ancestors(self, small_hierarchy):
+        base = small_hierarchy.base_units[0]
+        parent = small_hierarchy.parent_of(base)
+        root = small_hierarchy.ancestor_at_level(base, 1)
+        sequence = cells_from_presences([PresenceInstance("a", base, 5, 6)], small_hierarchy)
+        assert sequence.at_level(2) == frozenset({STCell(5, parent)})
+        assert sequence.at_level(1) == frozenset({STCell(5, root)})
+
+    def test_coarse_set_not_larger_than_finer(self, small_hierarchy):
+        bases = small_hierarchy.base_units
+        presences = [
+            PresenceInstance("a", bases[0], 0, 3),
+            PresenceInstance("a", bases[1], 0, 3),
+            PresenceInstance("a", bases[4], 1, 2),
+        ]
+        sequence = cells_from_presences(presences, small_hierarchy)
+        for level in range(1, sequence.num_levels):
+            assert sequence.size_at_level(level) <= sequence.size_at_level(level + 1)
+
+    def test_two_bases_same_parent_merge_at_coarse_level(self, small_hierarchy):
+        parent = small_hierarchy.units_at_level(2)[0]
+        children = small_hierarchy.children_of(parent)
+        presences = [
+            PresenceInstance("a", children[0], 7, 8),
+            PresenceInstance("a", children[1], 7, 8),
+        ]
+        sequence = cells_from_presences(presences, small_hierarchy)
+        assert sequence.size_at_level(3) == 2
+        assert sequence.size_at_level(2) == 1
+
+    def test_at_level_out_of_range(self, small_hierarchy):
+        sequence = cells_from_presences(
+            [PresenceInstance("a", small_hierarchy.base_units[0], 0, 1)], small_hierarchy
+        )
+        with pytest.raises(ValueError):
+            sequence.at_level(0)
+        with pytest.raises(ValueError):
+            sequence.at_level(99)
+
+    def test_empty_sequence(self, small_hierarchy):
+        sequence = cells_from_presences([], small_hierarchy)
+        assert sequence.is_empty()
+
+    def test_cells_to_sequence_rejects_non_base_cells(self, small_hierarchy):
+        coarse = STCell(0, small_hierarchy.units_at_level(1)[0])
+        with pytest.raises(ValueError):
+            cells_to_sequence(frozenset({coarse}), small_hierarchy)
+
+    def test_restrict_base_keeps_only_selected(self, small_hierarchy):
+        bases = small_hierarchy.base_units
+        sequence = cells_from_presences(
+            [PresenceInstance("a", bases[0], 0, 2), PresenceInstance("a", bases[4], 0, 2)],
+            small_hierarchy,
+        )
+        keep = frozenset({STCell(0, bases[0])})
+        restricted = sequence.restrict_base(keep, small_hierarchy)
+        assert restricted.base_cells == keep
+        assert restricted.size_at_level(1) == 1
+
+    def test_restrict_base_to_nothing_is_empty(self, small_hierarchy):
+        bases = small_hierarchy.base_units
+        sequence = cells_from_presences([PresenceInstance("a", bases[0], 0, 2)], small_hierarchy)
+        restricted = sequence.restrict_base(frozenset(), small_hierarchy)
+        assert restricted.is_empty()
+
+    def test_cellsequence_is_frozen_dataclass(self, small_hierarchy):
+        sequence = cells_from_presences(
+            [PresenceInstance("a", small_hierarchy.base_units[0], 0, 1)], small_hierarchy
+        )
+        with pytest.raises(AttributeError):
+            sequence.levels = ()  # type: ignore[misc]
+
+    def test_duplicate_presences_do_not_duplicate_cells(self, small_hierarchy):
+        base = small_hierarchy.base_units[0]
+        sequence = cells_from_presences(
+            [PresenceInstance("a", base, 0, 2), PresenceInstance("a", base, 1, 3)],
+            small_hierarchy,
+        )
+        assert len(sequence.base_cells) == 3  # hours 0, 1, 2

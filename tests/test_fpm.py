@@ -1,0 +1,102 @@
+"""Tests for the frequent-pattern-mining substrate (repro.baselines.fpm)."""
+
+import pytest
+
+from repro.baselines.fpm import FrequentPatternMiner, cluster_cells_by_cooccurrence
+
+
+TRANSACTIONS = [
+    {"bread", "milk"},
+    {"bread", "milk", "butter"},
+    {"bread", "butter"},
+    {"milk", "butter"},
+    {"bread", "milk", "eggs"},
+    {"tea"},
+]
+
+
+class TestFrequentPatternMiner:
+    def test_singletons_respect_support(self):
+        frequent = FrequentPatternMiner(min_support=3, max_size=1).mine(TRANSACTIONS)
+        assert frozenset(["bread"]) in frequent
+        assert frozenset(["milk"]) in frequent
+        assert frozenset(["tea"]) not in frequent
+
+    def test_support_counts_are_exact(self):
+        frequent = FrequentPatternMiner(min_support=2, max_size=2).mine(TRANSACTIONS)
+        assert frequent[frozenset(["bread", "milk"])] == 3
+        assert frequent[frozenset(["bread", "butter"])] == 2
+
+    def test_pairs_below_support_excluded(self):
+        frequent = FrequentPatternMiner(min_support=2, max_size=2).mine(TRANSACTIONS)
+        assert frozenset(["milk", "eggs"]) not in frequent
+
+    def test_triples_mined_when_supported(self):
+        transactions = [{"a", "b", "c"}] * 3 + [{"a", "b"}]
+        frequent = FrequentPatternMiner(min_support=3, max_size=3).mine(transactions)
+        assert frequent[frozenset(["a", "b", "c"])] == 3
+
+    def test_max_size_limits_results(self):
+        transactions = [{"a", "b", "c"}] * 3
+        frequent = FrequentPatternMiner(min_support=2, max_size=2).mine(transactions)
+        assert all(len(itemset) <= 2 for itemset in frequent)
+
+    def test_apriori_property_holds(self):
+        frequent = FrequentPatternMiner(min_support=2, max_size=3).mine(TRANSACTIONS)
+        for itemset in frequent:
+            for item in itemset:
+                subset = itemset - {item}
+                if subset:
+                    assert subset in frequent
+
+    def test_empty_transactions(self):
+        assert FrequentPatternMiner(min_support=1).mine([]) == {}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FrequentPatternMiner(min_support=0)
+        with pytest.raises(ValueError):
+            FrequentPatternMiner(max_size=0)
+
+
+class TestCooccurrenceClustering:
+    def test_cooccurring_items_grouped(self):
+        transactions = [{"x", "y"}] * 5 + [{"z", "w"}] * 5
+        assignment = cluster_cells_by_cooccurrence(transactions, num_clusters=2)
+        assert assignment["x"] == assignment["y"]
+        assert assignment["z"] == assignment["w"]
+        assert assignment["x"] != assignment["z"]
+
+    def test_isolated_items_stay_singletons(self):
+        transactions = [{"x", "y"}, {"solo"}]
+        assignment = cluster_cells_by_cooccurrence(transactions, num_clusters=2)
+        assert assignment["solo"] not in {assignment["x"]}
+
+    def test_cluster_ids_dense(self):
+        transactions = [{"a", "b"}, {"c", "d"}, {"e"}]
+        assignment = cluster_cells_by_cooccurrence(transactions, num_clusters=3)
+        ids = set(assignment.values())
+        assert ids == set(range(len(ids)))
+
+    def test_max_cluster_size_respected(self):
+        transactions = [set("abcdefgh")] * 4
+        assignment = cluster_cells_by_cooccurrence(
+            transactions, num_clusters=1, max_cluster_size=3
+        )
+        from collections import Counter
+
+        sizes = Counter(assignment.values())
+        assert max(sizes.values()) <= 3
+
+    def test_every_item_assigned(self):
+        transactions = [{"a", "b", "c"}, {"b", "c", "d"}, {"e", "f"}]
+        assignment = cluster_cells_by_cooccurrence(transactions, num_clusters=2)
+        items = {item for transaction in transactions for item in transaction}
+        assert set(assignment) == items
+
+    def test_empty_input(self):
+        assert cluster_cells_by_cooccurrence([], num_clusters=4) == {}
+
+    def test_invalid_num_clusters(self):
+        with pytest.raises(ValueError):
+            cluster_cells_by_cooccurrence([{"a"}], num_clusters=0)

@@ -1,0 +1,115 @@
+"""Tests for the experiment harness (repro.experiments.harness and workloads)."""
+
+import pytest
+
+from repro.experiments.harness import SCALES, ExperimentResult, resolve_scale
+from repro.experiments.workloads import (
+    clear_workload_cache,
+    sample_queries,
+    syn_workload,
+    wifi_workload,
+)
+
+
+class TestScales:
+    def test_known_presets(self):
+        assert set(SCALES) == {"tiny", "small", "medium"}
+
+    def test_resolve_by_name(self):
+        assert resolve_scale("tiny").name == "tiny"
+
+    def test_resolve_passthrough(self):
+        scale = SCALES["small"]
+        assert resolve_scale(scale) is scale
+
+    def test_resolve_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert resolve_scale(None).name == "tiny"
+
+    def test_resolve_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_scale("galactic")
+
+    def test_presets_grow_monotonically(self):
+        assert SCALES["tiny"].num_entities < SCALES["small"].num_entities < SCALES["medium"].num_entities
+
+
+class TestExperimentResult:
+    def test_add_row_and_columns(self):
+        result = ExperimentResult(name="demo")
+        result.add_row(x=1, y="a")
+        result.add_row(x=2, z=3.5)
+        assert result.columns() == ["x", "y", "z"]
+        assert result.column("x") == [1, 2]
+        assert result.column("y") == ["a", None]
+
+    def test_filter_and_series(self):
+        result = ExperimentResult(name="demo")
+        for k in (1, 10):
+            for nh in (64, 128):
+                result.add_row(k=k, nh=nh, pe=k * nh)
+        assert len(result.filter(k=1)) == 2
+        assert result.series("nh", "pe", k=10) == [(64, 640), (128, 1280)]
+
+    def test_to_table_contains_values(self):
+        result = ExperimentResult(name="demo")
+        result.add_row(metric="pe", value=0.75)
+        table = result.to_table()
+        assert "demo" in table
+        assert "0.75" in table
+
+    def test_to_table_empty(self):
+        assert "(no rows)" in ExperimentResult(name="empty").to_table()
+
+    def test_to_table_max_rows(self):
+        result = ExperimentResult(name="demo")
+        for index in range(10):
+            result.add_row(index=index)
+        table = result.to_table(max_rows=3)
+        assert "more rows" in table
+
+    def test_save_csv_roundtrip(self, tmp_path):
+        import csv
+
+        result = ExperimentResult(name="demo")
+        result.add_row(a=1, b="x")
+        result.add_row(a=2, b="y")
+        path = tmp_path / "out.csv"
+        result.save_csv(path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+
+class TestWorkloads:
+    def test_syn_workload_cached(self):
+        clear_workload_cache()
+        first = syn_workload("tiny")
+        second = syn_workload("tiny")
+        assert first is second
+
+    def test_syn_workload_override_changes_cache_key(self):
+        clear_workload_cache()
+        base = syn_workload("tiny")
+        variant = syn_workload("tiny", num_levels=3)
+        assert variant is not base
+        assert variant.num_levels == 3
+
+    def test_wifi_workload_scale(self):
+        clear_workload_cache()
+        dataset = wifi_workload("tiny")
+        assert dataset.num_entities == SCALES["tiny"].num_entities
+
+    def test_sample_queries_reproducible(self):
+        dataset = syn_workload("tiny")
+        assert sample_queries(dataset, 5, seed=3) == sample_queries(dataset, 5, seed=3)
+
+    def test_sample_queries_whole_population(self):
+        dataset = syn_workload("tiny")
+        assert len(sample_queries(dataset, 10_000)) == dataset.num_entities
+
+    def test_sample_queries_exclusion(self):
+        dataset = syn_workload("tiny")
+        excluded = dataset.entities[0]
+        queries = sample_queries(dataset, dataset.num_entities, exclude=[excluded])
+        assert excluded not in queries

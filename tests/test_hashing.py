@@ -1,0 +1,131 @@
+"""Tests for the hierarchical MinHash family (repro.core.hashing)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import HierarchicalHashFamily
+from repro.traces.events import STCell
+
+
+@pytest.fixture
+def family(small_hierarchy):
+    return HierarchicalHashFamily(small_hierarchy, horizon=48, num_hashes=16, seed=3)
+
+
+class TestConstruction:
+    def test_hash_range_is_cell_universe(self, family, small_hierarchy):
+        assert family.hash_range == small_hierarchy.num_base_units * 48
+
+    def test_invalid_parameters(self, small_hierarchy):
+        with pytest.raises(ValueError):
+            HierarchicalHashFamily(small_hierarchy, horizon=0, num_hashes=4)
+        with pytest.raises(ValueError):
+            HierarchicalHashFamily(small_hierarchy, horizon=10, num_hashes=0)
+
+    def test_universe_too_large_rejected(self, small_hierarchy):
+        with pytest.raises(ValueError, match="exceeds"):
+            HierarchicalHashFamily(small_hierarchy, horizon=2**31, num_hashes=4)
+
+    def test_same_seed_same_hashes(self, small_hierarchy):
+        cell = STCell(5, small_hierarchy.base_units[0])
+        family_a = HierarchicalHashFamily(small_hierarchy, 48, 8, seed=7)
+        family_b = HierarchicalHashFamily(small_hierarchy, 48, 8, seed=7)
+        assert np.array_equal(family_a.hash_cell(cell), family_b.hash_cell(cell))
+
+    def test_different_seed_different_hashes(self, small_hierarchy):
+        cell = STCell(5, small_hierarchy.base_units[0])
+        family_a = HierarchicalHashFamily(small_hierarchy, 48, 8, seed=7)
+        family_b = HierarchicalHashFamily(small_hierarchy, 48, 8, seed=8)
+        assert not np.array_equal(family_a.hash_cell(cell), family_b.hash_cell(cell))
+
+
+class TestEncoding:
+    def test_encode_base_cell_unique(self, family, small_hierarchy):
+        codes = {
+            family.encode_base_cell(time, unit)
+            for time in range(5)
+            for unit in small_hierarchy.base_units
+        }
+        assert len(codes) == 5 * small_hierarchy.num_base_units
+
+    def test_encode_unknown_unit_raises(self, family):
+        with pytest.raises(KeyError):
+            family.encode_base_cell(0, "nope")
+
+
+class TestHashValues:
+    def test_values_within_range(self, family, small_hierarchy):
+        for unit in small_hierarchy.base_units:
+            values = family.hash_cell(STCell(3, unit))
+            assert values.shape == (16,)
+            assert (values >= 0).all() and (values < family.hash_range).all()
+
+    def test_deterministic_and_cached(self, family, small_hierarchy):
+        cell = STCell(2, small_hierarchy.base_units[1])
+        first = family.hash_cell(cell)
+        second = family.hash_cell(cell)
+        assert first is second  # cache returns the same array
+
+    def test_parent_constraint(self, family, small_hierarchy):
+        """h(t, parent) == min over children of h(t, child) (Section 4.2.1)."""
+        for parent in small_hierarchy.units_at_level(2):
+            children = small_hierarchy.children_of(parent)
+            child_hashes = np.stack(
+                [family.hash_cell(STCell(7, child)) for child in children]
+            )
+            parent_hash = family.hash_cell(STCell(7, parent))
+            assert np.array_equal(parent_hash, child_hashes.min(axis=0))
+
+    def test_parent_constraint_recursive_to_root(self, family, small_hierarchy):
+        root = small_hierarchy.units_at_level(1)[0]
+        descendants = small_hierarchy.base_descendants(root)
+        descendant_hashes = np.stack(
+            [family.hash_cell(STCell(11, unit)) for unit in descendants]
+        )
+        assert np.array_equal(
+            family.hash_cell(STCell(11, root)), descendant_hashes.min(axis=0)
+        )
+
+    def test_parent_hash_never_larger_than_child(self, family, small_hierarchy):
+        for base in small_hierarchy.base_units:
+            child_values = family.hash_cell(STCell(4, base))
+            for level in range(1, small_hierarchy.num_levels):
+                ancestor = small_hierarchy.ancestor_at_level(base, level)
+                ancestor_values = family.hash_cell(STCell(4, ancestor))
+                assert (ancestor_values <= child_values).all()
+
+    def test_hash_value_scalar_accessor(self, family, small_hierarchy):
+        cell = STCell(0, small_hierarchy.base_units[0])
+        vector = family.hash_cell(cell)
+        assert family.hash_value(3, cell) == int(vector[3])
+
+    def test_hash_value_out_of_range_function(self, family, small_hierarchy):
+        with pytest.raises(IndexError):
+            family.hash_value(99, STCell(0, small_hierarchy.base_units[0]))
+
+    def test_hash_matrix_shape_and_order(self, family, small_hierarchy):
+        cells = [STCell(t, small_hierarchy.base_units[0]) for t in range(4)]
+        matrix = family.hash_matrix(cells)
+        assert matrix.shape == (4, 16)
+        assert np.array_equal(matrix[2], family.hash_cell(cells[2]))
+
+    def test_hash_matrix_empty(self, family):
+        assert family.hash_matrix([]).shape == (0, 16)
+
+    def test_distribution_roughly_uniform(self, small_hierarchy):
+        """Base-cell hashes should cover the range without obvious bias."""
+        family = HierarchicalHashFamily(small_hierarchy, horizon=200, num_hashes=4, seed=1)
+        values = [
+            int(family.hash_cell(STCell(time, unit))[0])
+            for time in range(0, 200, 5)
+            for unit in small_hierarchy.base_units
+        ]
+        mean = sum(values) / len(values)
+        assert 0.3 * family.hash_range < mean < 0.7 * family.hash_range
+
+    def test_cache_size_and_clear(self, family, small_hierarchy):
+        family.hash_cell(STCell(0, small_hierarchy.base_units[0]))
+        family.hash_cell(STCell(0, small_hierarchy.base_units[1]))
+        assert family.cache_size() == 2
+        family.clear_cache()
+        assert family.cache_size() == 0

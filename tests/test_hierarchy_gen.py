@@ -1,0 +1,104 @@
+"""Tests for the power-law sp-index generator (repro.mobility.hierarchy_gen)."""
+
+import pytest
+
+from repro.mobility.hierarchy_gen import GridHierarchyBuilder, _power_law_partition
+from repro.mobility.im_model import Grid
+
+
+class TestPowerLawPartition:
+    def test_sum_preserved(self):
+        sizes = _power_law_partition(100, 7, 2.0)
+        assert sum(sizes) == 100
+        assert len(sizes) == 7
+
+    def test_every_part_nonempty(self):
+        assert all(size >= 1 for size in _power_law_partition(20, 10, 2.0))
+
+    def test_skew_increases_with_exponent(self):
+        flat = _power_law_partition(1000, 10, 0.0)
+        skewed = _power_law_partition(1000, 10, 2.0)
+        assert max(skewed) > max(flat)
+
+    def test_exact_fit(self):
+        assert _power_law_partition(5, 5, 2.0) == [1, 1, 1, 1, 1]
+
+    def test_too_many_parts_rejected(self):
+        with pytest.raises(ValueError):
+            _power_law_partition(3, 5, 1.0)
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ValueError):
+            _power_law_partition(3, 0, 1.0)
+
+
+class TestGridHierarchyBuilder:
+    @pytest.fixture
+    def builder(self):
+        return GridHierarchyBuilder(Grid(12), num_levels=4, width_exponent=2.0, density_exponent=2.0)
+
+    def test_level_widths_monotone_and_end_at_base_count(self, builder):
+        widths = builder.level_widths()
+        assert len(widths) == 4
+        assert widths == sorted(widths)
+        assert widths[-1] == 144
+
+    def test_build_produces_uniform_depth(self, builder):
+        hierarchy, cell_to_unit = builder.build()
+        assert hierarchy.num_levels == 4
+        assert hierarchy.num_base_units == 144
+        assert len(cell_to_unit) == 144
+
+    def test_every_grid_cell_mapped_to_distinct_base_unit(self, builder):
+        _hierarchy, cell_to_unit = builder.build()
+        assert len(set(cell_to_unit.values())) == 144
+
+    def test_width_follows_configuration(self, builder):
+        hierarchy, _mapping = builder.build()
+        widths = builder.level_widths()
+        for level in range(1, 4):
+            assert len(hierarchy.units_at_level(level)) == min(widths[level - 1], len(hierarchy.units_at_level(level + 1)))
+
+    def test_density_exponent_skews_unit_sizes(self):
+        grid = Grid(12)
+        flat_builder = GridHierarchyBuilder(grid, num_levels=3, density_exponent=0.0)
+        skew_builder = GridHierarchyBuilder(grid, num_levels=3, density_exponent=2.0)
+        flat_hierarchy, _ = flat_builder.build()
+        skew_hierarchy, _ = skew_builder.build()
+
+        def max_children(hierarchy):
+            return max(
+                len(hierarchy.base_descendants(unit))
+                for unit in hierarchy.units_at_level(1)
+            )
+
+        assert max_children(skew_hierarchy) >= max_children(flat_hierarchy)
+
+    def test_spatial_locality_of_siblings(self, builder):
+        """Base units sharing a parent should be close on the grid (Morton order)."""
+        hierarchy, cell_to_unit = builder.build()
+        unit_to_cell = {unit: cell for cell, unit in cell_to_unit.items()}
+        grid = builder.grid
+        sibling_distances = []
+        for parent in hierarchy.units_at_level(3):
+            children = hierarchy.children_of(parent)
+            cells = [unit_to_cell[c] for c in children]
+            for a in cells:
+                for b in cells:
+                    if a < b:
+                        sibling_distances.append(grid.distance(a, b))
+        if sibling_distances:
+            assert sum(sibling_distances) / len(sibling_distances) < grid.side / 2
+
+    def test_small_grid_with_many_levels_rejected(self):
+        with pytest.raises(ValueError):
+            GridHierarchyBuilder(Grid(1), num_levels=4)
+
+    def test_single_level_hierarchy(self):
+        builder = GridHierarchyBuilder(Grid(4), num_levels=1)
+        hierarchy, _mapping = builder.build()
+        assert hierarchy.num_levels == 1
+        assert hierarchy.num_base_units == 16
+
+    def test_describe_mentions_widths(self, builder):
+        assert "widths" in builder.describe()

@@ -1,0 +1,160 @@
+"""Tests for the individual mobility model (repro.mobility.im_model)."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.mobility.im_model import Grid, IMModelParams, IndividualMobilityModel
+
+
+class TestGrid:
+    def test_num_cells(self):
+        assert Grid(5).num_cells == 25
+
+    def test_coordinates_roundtrip(self):
+        grid = Grid(7)
+        for cell in range(grid.num_cells):
+            x, y = grid.coordinates(cell)
+            assert grid.cell_at(x, y) == cell
+
+    def test_coordinates_out_of_range(self):
+        with pytest.raises(IndexError):
+            Grid(3).coordinates(9)
+
+    def test_cell_at_clamps_to_boundary(self):
+        grid = Grid(4)
+        assert grid.cell_at(-5, 0) == grid.cell_at(0, 0)
+        assert grid.cell_at(99, 99) == grid.cell_at(3, 3)
+
+    def test_distance(self):
+        grid = Grid(5)
+        assert grid.distance(0, 0) == 0.0
+        assert grid.distance(grid.cell_at(0, 0), grid.cell_at(3, 4)) == pytest.approx(5.0)
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            Grid(0)
+
+
+class TestParams:
+    def test_defaults_match_paper(self):
+        params = IMModelParams()
+        assert (params.alpha, params.beta, params.gamma, params.zeta, params.rho) == (
+            0.6,
+            0.8,
+            0.2,
+            1.2,
+            0.6,
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"beta": 0.0},
+            {"beta": 1.5},
+            {"alpha": 0.0},
+            {"alpha": 2.5},
+            {"rho": 0.0},
+            {"rho": 1.5},
+            {"gamma": -0.1},
+            {"zeta": -1.0},
+            {"max_stay": 0},
+            {"max_jump": 0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            IMModelParams(**kwargs)
+
+
+class TestWalk:
+    @pytest.fixture
+    def grid(self):
+        return Grid(20)
+
+    def test_walk_covers_horizon_exactly(self, grid):
+        model = IndividualMobilityModel(grid, IMModelParams(), random.Random(1))
+        stays = model.walk(100)
+        assert stays[0].start == 0
+        assert stays[-1].end == 100
+        for previous, current in zip(stays, stays[1:]):
+            assert current.start == previous.end
+
+    def test_stays_have_positive_duration(self, grid):
+        model = IndividualMobilityModel(grid, IMModelParams(), random.Random(2))
+        assert all(stay.duration >= 1 for stay in model.walk(50))
+
+    def test_stays_within_grid(self, grid):
+        model = IndividualMobilityModel(grid, IMModelParams(), random.Random(3))
+        assert all(0 <= stay.cell < grid.num_cells for stay in model.walk(200))
+
+    def test_deterministic_given_rng_seed(self, grid):
+        walk_a = IndividualMobilityModel(grid, IMModelParams(), random.Random(7), home_cell=5).walk(80)
+        walk_b = IndividualMobilityModel(grid, IMModelParams(), random.Random(7), home_cell=5).walk(80)
+        assert walk_a == walk_b
+
+    def test_home_cell_respected(self, grid):
+        model = IndividualMobilityModel(grid, IMModelParams(), random.Random(4), home_cell=17)
+        assert model.walk(30)[0].cell == 17
+
+    def test_invalid_home_cell(self, grid):
+        with pytest.raises(ValueError):
+            IndividualMobilityModel(grid, IMModelParams(), random.Random(4), home_cell=10_000)
+
+    def test_invalid_horizon(self, grid):
+        model = IndividualMobilityModel(grid, IMModelParams(), random.Random(4))
+        with pytest.raises(ValueError):
+            model.walk(0)
+
+    def test_preferential_return_concentrates_visits(self, grid):
+        """With strong return (low rho, high gamma) visits concentrate on few cells."""
+        sticky = IMModelParams(rho=0.1, gamma=0.9)
+        roaming = IMModelParams(rho=1.0, gamma=0.0)
+        sticky_cells = set()
+        roaming_cells = set()
+        for seed in range(5):
+            sticky_cells.update(
+                s.cell for s in IndividualMobilityModel(grid, sticky, random.Random(seed)).walk(300)
+            )
+            roaming_cells.update(
+                s.cell for s in IndividualMobilityModel(grid, roaming, random.Random(seed)).walk(300)
+            )
+        assert len(sticky_cells) < len(roaming_cells)
+
+    def test_alpha_controls_jump_locality(self, grid):
+        """Larger alpha (steeper displacement law) keeps jumps short."""
+        def mean_jump(alpha: float) -> float:
+            params = IMModelParams(alpha=alpha, rho=1.0, gamma=0.0)
+            distances = []
+            for seed in range(5):
+                model = IndividualMobilityModel(grid, params, random.Random(seed))
+                stays = model.walk(300)
+                distances.extend(
+                    grid.distance(a.cell, b.cell) for a, b in zip(stays, stays[1:]) if a.cell != b.cell
+                )
+            return statistics.mean(distances) if distances else 0.0
+
+        assert mean_jump(2.0) < mean_jump(0.3)
+
+    def test_waiting_time_distribution_heavy_tailed(self, grid):
+        """Short stays dominate but long stays occur (Equation 6.1)."""
+        model = IndividualMobilityModel(grid, IMModelParams(max_stay=12), random.Random(11))
+        durations = [stay.duration for stay in model.walk(2000)]
+        short = sum(1 for d in durations if d <= 2)
+        long = sum(1 for d in durations if d >= 6)
+        assert short > long > 0
+
+    def test_distinct_units_over_time_monotone(self, grid):
+        model = IndividualMobilityModel(grid, IMModelParams(), random.Random(5))
+        stays = model.walk(300)
+        counts = [count for _time, count in model.distinct_units_over_time(stays)]
+        assert counts == sorted(counts)
+        assert counts[-1] >= 2
+
+    def test_mean_squared_displacement_non_negative(self, grid):
+        model = IndividualMobilityModel(grid, IMModelParams(), random.Random(6))
+        stays = model.walk(200)
+        values = [value for _time, value in model.mean_squared_displacement(stays)]
+        assert all(value >= 0 for value in values)
+        assert values[0] == 0.0

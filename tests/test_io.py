@@ -1,0 +1,110 @@
+"""Tests for the trace file loaders and writers (repro.traces.io)."""
+
+import pytest
+
+from repro.traces.io import (
+    load_hierarchy_json,
+    load_traces_csv,
+    load_traces_jsonl,
+    write_hierarchy_json,
+    write_traces_csv,
+    write_traces_jsonl,
+)
+
+
+def _datasets_equal(left, right) -> bool:
+    if set(left.entities) != set(right.entities):
+        return False
+    for entity in left.entities:
+        if sorted(left.trace(entity)) != sorted(right.trace(entity)):
+            return False
+    return True
+
+
+class TestCSV:
+    def test_roundtrip(self, small_dataset, small_hierarchy, tmp_path):
+        path = tmp_path / "traces.csv"
+        written = write_traces_csv(small_dataset, path)
+        assert written == small_dataset.num_presences
+        loaded = load_traces_csv(path, small_hierarchy)
+        assert _datasets_equal(small_dataset, loaded)
+
+    def test_loader_respects_explicit_horizon(self, small_dataset, small_hierarchy, tmp_path):
+        path = tmp_path / "traces.csv"
+        write_traces_csv(small_dataset, path)
+        loaded = load_traces_csv(path, small_hierarchy, horizon=500)
+        assert loaded.horizon == 500
+
+    def test_missing_columns_rejected(self, small_hierarchy, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("entity,unit\nx,y\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            load_traces_csv(path, small_hierarchy)
+
+    def test_malformed_row_rejected(self, small_hierarchy, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("entity,unit,start,end\na,h3_0_0_0,notanumber,2\n")
+        with pytest.raises(ValueError, match="line 2"):
+            load_traces_csv(path, small_hierarchy)
+
+    def test_unknown_unit_rejected(self, small_hierarchy, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("entity,unit,start,end\na,mystery,0,2\n")
+        with pytest.raises(KeyError):
+            load_traces_csv(path, small_hierarchy)
+
+
+class TestJSONL:
+    def test_roundtrip(self, small_dataset, small_hierarchy, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        written = write_traces_jsonl(small_dataset, path)
+        assert written == small_dataset.num_presences
+        loaded = load_traces_jsonl(path, small_hierarchy)
+        assert _datasets_equal(small_dataset, loaded)
+
+    def test_blank_lines_skipped(self, small_hierarchy, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        path.write_text(
+            '{"entity": "a", "unit": "h3_0_0_0", "start": 0, "end": 2}\n\n'
+        )
+        loaded = load_traces_jsonl(path, small_hierarchy)
+        assert loaded.num_presences == 1
+
+    def test_malformed_json_rejected(self, small_hierarchy, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(ValueError, match="line 1"):
+            load_traces_jsonl(path, small_hierarchy)
+
+    def test_missing_field_rejected(self, small_hierarchy, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"entity": "a", "unit": "h3_0_0_0", "start": 0}\n')
+        with pytest.raises(ValueError):
+            load_traces_jsonl(path, small_hierarchy)
+
+
+class TestHierarchyJSON:
+    def test_roundtrip(self, small_hierarchy, tmp_path):
+        path = tmp_path / "hierarchy.json"
+        write_hierarchy_json(small_hierarchy, path)
+        loaded = load_hierarchy_json(path)
+        assert loaded.num_levels == small_hierarchy.num_levels
+        assert set(loaded.base_units) == set(small_hierarchy.base_units)
+        for unit in small_hierarchy.base_units:
+            assert loaded.parent_of(unit) == small_hierarchy.parent_of(unit)
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="object"):
+            load_hierarchy_json(path)
+
+    def test_full_dataset_roundtrip_through_files(self, small_dataset, tmp_path):
+        hierarchy_path = tmp_path / "hierarchy.json"
+        traces_path = tmp_path / "traces.csv"
+        write_hierarchy_json(small_dataset.hierarchy, hierarchy_path)
+        write_traces_csv(small_dataset, traces_path)
+        hierarchy = load_hierarchy_json(hierarchy_path)
+        dataset = load_traces_csv(traces_path, hierarchy)
+        assert dataset.num_entities == small_dataset.num_entities
+        assert dataset.num_presences == small_dataset.num_presences

@@ -1,0 +1,100 @@
+"""Property-based tests for the Section 3.2 measure contract (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.measures import DiceADM, FScoreADM, HierarchicalADM, JaccardADM, OverlapADM
+
+MEASURES = [
+    HierarchicalADM(num_levels=3),
+    HierarchicalADM(num_levels=3, u=4, v=3),
+    JaccardADM(num_levels=3),
+    DiceADM(num_levels=3),
+    OverlapADM(num_levels=3),
+    FScoreADM(num_levels=3, beta=0.5),
+]
+
+
+@st.composite
+def overlap_triples(draw, num_levels: int = 3):
+    """Per-level (|A|, |B|, |A ∩ B|) triples consistent with real cell sets."""
+    triples = []
+    for _ in range(num_levels):
+        size_a = draw(st.integers(min_value=0, max_value=60))
+        size_b = draw(st.integers(min_value=0, max_value=60))
+        shared = draw(st.integers(min_value=0, max_value=min(size_a, size_b)))
+        triples.append((size_a, size_b, shared))
+    return triples
+
+
+@given(overlap_triples())
+@settings(max_examples=200, deadline=None)
+def test_normalisation(triples):
+    """Every measure stays inside [0, 1] for any consistent overlap profile."""
+    for measure in MEASURES:
+        value = measure.score_levels(triples)
+        assert -1e-9 <= value <= 1.0 + 1e-9
+
+
+@given(overlap_triples(), st.integers(min_value=0, max_value=2))
+@settings(max_examples=200, deadline=None)
+def test_monotone_in_intersection(triples, level_index):
+    """Growing one level's intersection (within bounds) never lowers the score."""
+    size_a, size_b, shared = triples[level_index]
+    if shared >= min(size_a, size_b):
+        return
+    grown = list(triples)
+    grown[level_index] = (size_a, size_b, shared + 1)
+    for measure in MEASURES:
+        assert measure.score_levels(grown) >= measure.score_levels(triples) - 1e-12
+
+
+@given(overlap_triples(), st.integers(min_value=0, max_value=2), st.integers(min_value=1, max_value=20))
+@settings(max_examples=200, deadline=None)
+def test_antimonotone_in_candidate_size(triples, level_index, extra):
+    """Growing the candidate's total activity (|A|) never raises the score."""
+    size_a, size_b, shared = triples[level_index]
+    grown = list(triples)
+    grown[level_index] = (size_a + extra, size_b, shared)
+    for measure in MEASURES:
+        assert measure.score_levels(grown) <= measure.score_levels(triples) + 1e-12
+
+
+@given(overlap_triples())
+@settings(max_examples=200, deadline=None)
+def test_theorem4_bound_dominates(triples):
+    """The artificial-entity bound dominates the real score.
+
+    For any candidate profile ``(|A_l|, |B_l|, x_l)``, the bound computed on
+    the restriction of the query to any per-level superset ``v_l >= x_l`` --
+    i.e. the profile ``(v_l, |B_l|, v_l)`` -- must be at least the candidate's
+    score.  This is the property the search's early termination relies on.
+    """
+    bound_profile = [(shared, size_b, shared) for _size_a, size_b, shared in triples]
+    for measure in MEASURES:
+        real = measure.score_levels(triples)
+        bound = measure.score_levels(bound_profile)
+        assert bound >= real - 1e-9
+
+
+@given(overlap_triples(), st.lists(st.integers(min_value=0, max_value=10), min_size=3, max_size=3))
+@settings(max_examples=200, deadline=None)
+def test_theorem4_bound_monotone_in_survivors(triples, extras):
+    """Adding surviving query cells to the artificial entity never lowers the bound."""
+    smaller = [(shared, size_b, shared) for _a, size_b, shared in triples]
+    larger = [
+        (min(size_b, shared + extra), size_b, min(size_b, shared + extra))
+        for (_a, size_b, shared), extra in zip(triples, extras)
+    ]
+    for measure in MEASURES:
+        assert measure.score_levels(larger) >= measure.score_levels(smaller) - 1e-12
+
+
+@given(overlap_triples())
+@settings(max_examples=100, deadline=None)
+def test_symmetry_of_symmetric_measures(triples):
+    """Jaccard/Dice/Overlap and the paper ADM are symmetric in their arguments."""
+    flipped = [(size_b, size_a, shared) for size_a, size_b, shared in triples]
+    for measure in MEASURES:
+        if isinstance(measure, FScoreADM):
+            continue  # F-beta is intentionally asymmetric
+        assert measure.score_levels(triples) == measure.score_levels(flipped)

@@ -1,0 +1,226 @@
+"""Tests for the association degree measures (repro.measures)."""
+
+import pytest
+
+from repro.measures import (
+    DiceADM,
+    ExampleDiceADM,
+    FScoreADM,
+    HierarchicalADM,
+    JaccardADM,
+    OverlapADM,
+    level_overlaps,
+)
+from repro.traces.events import PresenceInstance, cells_from_presences
+
+
+def _sequence(hierarchy, entity, spec):
+    """Build a cell sequence from (unit_index, start, end) triples."""
+    bases = hierarchy.base_units
+    presences = [
+        PresenceInstance(entity, bases[unit_index], start, end)
+        for unit_index, start, end in spec
+    ]
+    return cells_from_presences(presences, hierarchy)
+
+
+class TestLevelOverlaps:
+    def test_identical_sequences(self, small_hierarchy):
+        seq = _sequence(small_hierarchy, "a", [(0, 0, 4)])
+        triples = level_overlaps(seq, seq)
+        assert triples == [(4, 4, 4)] * 3
+
+    def test_disjoint_sequences(self, small_hierarchy):
+        seq_a = _sequence(small_hierarchy, "a", [(0, 0, 4)])
+        seq_b = _sequence(small_hierarchy, "b", [(7, 10, 14)])
+        triples = level_overlaps(seq_a, seq_b)
+        assert all(shared == 0 for _a, _b, shared in triples)
+
+    def test_sizes_keep_argument_order(self, small_hierarchy):
+        seq_a = _sequence(small_hierarchy, "a", [(0, 0, 2)])          # 2 cells
+        seq_b = _sequence(small_hierarchy, "b", [(0, 0, 6)])          # 6 cells
+        triples = level_overlaps(seq_a, seq_b)
+        size_a, size_b, shared = triples[-1]
+        assert (size_a, size_b, shared) == (2, 6, 2)
+
+    def test_coarse_only_overlap_detected(self, small_hierarchy):
+        parent = small_hierarchy.units_at_level(2)[0]
+        child_a, child_b = small_hierarchy.children_of(parent)
+        seq_a = cells_from_presences([PresenceInstance("a", child_a, 0, 2)], small_hierarchy)
+        seq_b = cells_from_presences([PresenceInstance("b", child_b, 0, 2)], small_hierarchy)
+        triples = level_overlaps(seq_a, seq_b)
+        assert triples[-1][2] == 0      # no shared base cells
+        assert triples[1][2] == 2       # shared district cells
+
+    def test_depth_mismatch_rejected(self, small_hierarchy, paper_hierarchy):
+        seq_a = _sequence(small_hierarchy, "a", [(0, 0, 1)])
+        seq_b = cells_from_presences(
+            [PresenceInstance("b", "L1", 0, 1)], paper_hierarchy
+        )
+        with pytest.raises(ValueError, match="depths"):
+            level_overlaps(seq_a, seq_b)
+
+
+class TestHierarchicalADM:
+    def test_identical_traces_score_one(self, small_hierarchy):
+        measure = HierarchicalADM(num_levels=3)
+        seq = _sequence(small_hierarchy, "a", [(0, 0, 5), (3, 10, 12)])
+        assert measure.score(seq, seq) == pytest.approx(1.0)
+
+    def test_disjoint_traces_score_zero(self, small_hierarchy):
+        measure = HierarchicalADM(num_levels=3)
+        seq_a = _sequence(small_hierarchy, "a", [(0, 0, 4)])
+        seq_b = _sequence(small_hierarchy, "b", [(7, 10, 14)])
+        assert measure.score(seq_a, seq_b) == 0.0
+
+    def test_empty_trace_scores_zero(self, small_hierarchy):
+        measure = HierarchicalADM(num_levels=3)
+        seq_a = _sequence(small_hierarchy, "a", [(0, 0, 4)])
+        empty = cells_from_presences([], small_hierarchy)
+        assert measure.score(seq_a, empty) == 0.0
+
+    def test_symmetry(self, small_hierarchy):
+        measure = HierarchicalADM(num_levels=3)
+        seq_a = _sequence(small_hierarchy, "a", [(0, 0, 5), (1, 6, 9)])
+        seq_b = _sequence(small_hierarchy, "b", [(0, 2, 7), (4, 8, 11)])
+        assert measure.score(seq_a, seq_b) == pytest.approx(measure.score(seq_b, seq_a))
+
+    def test_more_overlap_scores_higher(self, small_hierarchy):
+        measure = HierarchicalADM(num_levels=3)
+        query = _sequence(small_hierarchy, "q", [(0, 0, 10)])
+        half = _sequence(small_hierarchy, "h", [(0, 0, 5), (7, 20, 25)])
+        most = _sequence(small_hierarchy, "m", [(0, 0, 8), (7, 20, 22)])
+        assert measure.score(most, query) > measure.score(half, query)
+
+    def test_larger_u_emphasises_fine_levels(self, small_hierarchy):
+        # Candidate shares only coarse-level presence with the query.
+        parent = small_hierarchy.units_at_level(2)[0]
+        child_a, child_b = small_hierarchy.children_of(parent)
+        query = cells_from_presences([PresenceInstance("q", child_a, 0, 6)], small_hierarchy)
+        coarse_only = cells_from_presences([PresenceInstance("c", child_b, 0, 6)], small_hierarchy)
+        low_u = HierarchicalADM(num_levels=3, u=1.0)
+        high_u = HierarchicalADM(num_levels=3, u=4.0)
+        assert low_u.score(coarse_only, query) > high_u.score(coarse_only, query)
+
+    def test_larger_v_penalises_partial_overlap(self, small_hierarchy):
+        measure_v2 = HierarchicalADM(num_levels=3, v=2.0)
+        measure_v5 = HierarchicalADM(num_levels=3, v=5.0)
+        query = _sequence(small_hierarchy, "q", [(0, 0, 10)])
+        partial = _sequence(small_hierarchy, "p", [(0, 0, 5), (7, 20, 25)])
+        assert measure_v5.score(partial, query) < measure_v2.score(partial, query)
+
+    def test_wrong_level_count_rejected(self):
+        measure = HierarchicalADM(num_levels=3)
+        with pytest.raises(ValueError):
+            measure.score_levels([(1, 1, 1)])
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchicalADM(num_levels=0)
+        with pytest.raises(ValueError):
+            HierarchicalADM(num_levels=3, u=0)
+        with pytest.raises(ValueError):
+            HierarchicalADM(num_levels=3, v=-1)
+
+    def test_score_within_unit_interval(self, small_hierarchy):
+        measure = HierarchicalADM(num_levels=3)
+        seq_a = _sequence(small_hierarchy, "a", [(0, 0, 3), (2, 5, 9), (6, 12, 13)])
+        seq_b = _sequence(small_hierarchy, "b", [(0, 1, 4), (3, 5, 8)])
+        assert 0.0 <= measure.score(seq_a, seq_b) <= 1.0
+
+
+class TestExampleDiceADM:
+    def test_default_weights(self):
+        measure = ExampleDiceADM()
+        assert measure.weights == (0.1, 0.9)
+
+    def test_raw_score_matches_paper_example(self):
+        # Example 5.2.1: deg(e_a, e_c) = 0.1 * 1/4 + 0.9 * 1/4 ... = 0.15 is
+        # computed over the signature example sets; here we reproduce the
+        # arithmetic with the published overlap counts: both levels share one
+        # of two cells each.
+        measure = ExampleDiceADM()
+        raw = measure.raw_score_levels([(2, 2, 1), (2, 2, 1)])
+        assert raw == pytest.approx(0.1 * 0.25 + 0.9 * 0.25)
+
+    def test_normalised_score_of_identical_is_one(self):
+        measure = ExampleDiceADM()
+        assert measure.score_levels([(3, 3, 3), (5, 5, 5)]) == pytest.approx(1.0)
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            ExampleDiceADM(weights=(-0.1, 1.0))
+        with pytest.raises(ValueError):
+            ExampleDiceADM(weights=(0.0, 0.0))
+
+
+class TestSetSimilarityADMs:
+    @pytest.mark.parametrize("measure_cls", [JaccardADM, DiceADM, OverlapADM, FScoreADM])
+    def test_identical_traces_score_one(self, small_hierarchy, measure_cls):
+        measure = measure_cls(num_levels=3)
+        seq = _sequence(small_hierarchy, "a", [(0, 0, 5), (3, 10, 12)])
+        assert measure.score(seq, seq) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("measure_cls", [JaccardADM, DiceADM, OverlapADM, FScoreADM])
+    def test_disjoint_traces_score_zero(self, small_hierarchy, measure_cls):
+        measure = measure_cls(num_levels=3)
+        seq_a = _sequence(small_hierarchy, "a", [(0, 0, 4)])
+        seq_b = _sequence(small_hierarchy, "b", [(7, 10, 14)])
+        assert measure.score(seq_a, seq_b) == 0.0
+
+    @pytest.mark.parametrize("measure_cls", [JaccardADM, DiceADM, OverlapADM, FScoreADM])
+    def test_scores_in_unit_interval(self, small_hierarchy, measure_cls):
+        measure = measure_cls(num_levels=3)
+        seq_a = _sequence(small_hierarchy, "a", [(0, 0, 3), (2, 5, 9)])
+        seq_b = _sequence(small_hierarchy, "b", [(0, 1, 4), (5, 5, 8)])
+        assert 0.0 <= measure.score(seq_a, seq_b) <= 1.0
+
+    def test_jaccard_value(self):
+        measure = JaccardADM(num_levels=1)
+        assert measure.score_levels([(4, 4, 2)]) == pytest.approx(2 / 6)
+
+    def test_dice_value(self):
+        measure = DiceADM(num_levels=1)
+        assert measure.score_levels([(4, 4, 2)]) == pytest.approx(0.5)
+
+    def test_overlap_value_containment(self):
+        measure = OverlapADM(num_levels=1)
+        assert measure.score_levels([(2, 10, 2)]) == pytest.approx(1.0)
+
+    def test_fscore_beta_one_equals_dice(self):
+        dice = DiceADM(num_levels=1)
+        fscore = FScoreADM(num_levels=1, beta=1.0)
+        for triple in [(4, 4, 2), (3, 9, 1), (10, 2, 2)]:
+            assert fscore.score_levels([triple]) == pytest.approx(dice.score_levels([triple]))
+
+    def test_fscore_beta_asymmetry(self):
+        # Small beta emphasises precision (candidate side).
+        measure = FScoreADM(num_levels=1, beta=0.5)
+        precise = measure.score_levels([(2, 10, 2)])   # candidate fully inside query
+        recallful = measure.score_levels([(10, 2, 2)])  # candidate much larger
+        assert precise > recallful
+
+    def test_weights_must_match_levels(self):
+        with pytest.raises(ValueError):
+            JaccardADM(num_levels=3, weights=(1.0, 1.0))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            DiceADM(num_levels=2, weights=(1.0, -1.0))
+
+    def test_zero_total_weight_rejected(self):
+        with pytest.raises(ValueError):
+            DiceADM(num_levels=2, weights=(0.0, 0.0))
+
+    def test_fscore_invalid_beta(self):
+        with pytest.raises(ValueError):
+            FScoreADM(num_levels=2, beta=0.0)
+
+    def test_level_weighting_shifts_score(self, small_hierarchy):
+        parent = small_hierarchy.units_at_level(2)[0]
+        child_a, child_b = small_hierarchy.children_of(parent)
+        query = cells_from_presences([PresenceInstance("q", child_a, 0, 6)], small_hierarchy)
+        coarse_only = cells_from_presences([PresenceInstance("c", child_b, 0, 6)], small_hierarchy)
+        coarse_heavy = JaccardADM(num_levels=3, weights=(5.0, 1.0, 1.0))
+        fine_heavy = JaccardADM(num_levels=3, weights=(1.0, 1.0, 5.0))
+        assert coarse_heavy.score(coarse_only, query) > fine_heavy.score(coarse_only, query)

@@ -1,0 +1,162 @@
+"""Tests for the MinSigTree index structure (repro.core.minsigtree)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import HierarchicalHashFamily
+from repro.core.minsigtree import MinSigTree
+from repro.core.signatures import SignatureComputer
+
+
+@pytest.fixture
+def signed_dataset(small_dataset):
+    family = HierarchicalHashFamily(small_dataset.hierarchy, small_dataset.horizon, 16, seed=4)
+    computer = SignatureComputer(family)
+    return small_dataset, computer.signatures_for_dataset(small_dataset)
+
+
+@pytest.fixture
+def tree(signed_dataset):
+    dataset, signatures = signed_dataset
+    return MinSigTree.build(signatures, num_levels=dataset.num_levels, num_hashes=16)
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MinSigTree(num_levels=0, num_hashes=4)
+        with pytest.raises(ValueError):
+            MinSigTree(num_levels=2, num_hashes=0)
+        with pytest.raises(ValueError):
+            MinSigTree(num_levels=2, num_hashes=4, routing_strategy="bogus")
+
+    def test_every_entity_in_exactly_one_leaf(self, tree, signed_dataset):
+        dataset, _signatures = signed_dataset
+        placements = [leaf.entities for leaf in tree.leaves()]
+        flat = [entity for group in placements for entity in group]
+        assert sorted(flat) == sorted(dataset.entities)
+        assert len(flat) == len(set(flat))
+
+    def test_leaves_are_at_bottom_level(self, tree, signed_dataset):
+        dataset, _ = signed_dataset
+        for leaf in tree.leaves():
+            if leaf.entities:
+                assert leaf.level == dataset.num_levels
+
+    def test_num_entities(self, tree, signed_dataset):
+        dataset, _ = signed_dataset
+        assert tree.num_entities == dataset.num_entities
+
+    def test_contains(self, tree):
+        assert "a" in tree
+        assert "ghost" not in tree
+
+    def test_routing_index_is_argmax_of_signature(self, tree, signed_dataset):
+        _dataset, signatures = signed_dataset
+        for entity, matrix in signatures.items():
+            path = tree.path_to_leaf(entity)
+            for node in path:
+                row = matrix[node.level - 1]
+                assert row[node.routing_index] == row.max()
+
+    def test_group_value_is_min_over_members(self, tree, signed_dataset):
+        _dataset, signatures = signed_dataset
+        for leaf in tree.leaves():
+            if not leaf.entities:
+                continue
+            node = leaf
+            while node is not None and not node.is_root:
+                members = _entities_under(node)
+                expected = min(
+                    int(signatures[entity][node.level - 1][node.routing_index])
+                    for entity in members
+                )
+                assert node.routing_value == expected
+                node = node.parent
+
+    def test_node_count_bounded_by_entities_times_levels(self, tree, signed_dataset):
+        dataset, _ = signed_dataset
+        assert tree.num_nodes <= dataset.num_entities * dataset.num_levels
+
+    def test_depth_histogram_levels(self, tree, signed_dataset):
+        dataset, _ = signed_dataset
+        histogram = tree.depth_histogram()
+        assert set(histogram) <= set(range(1, dataset.num_levels + 1))
+        assert sum(histogram.values()) == tree.num_nodes
+
+    def test_signature_of_roundtrip(self, tree, signed_dataset):
+        _dataset, signatures = signed_dataset
+        assert np.array_equal(tree.signature_of("a"), signatures["a"])
+
+    def test_signature_of_unknown(self, tree):
+        with pytest.raises(KeyError):
+            tree.signature_of("ghost")
+
+    def test_wrong_signature_shape_rejected(self, tree):
+        with pytest.raises(ValueError, match="shape"):
+            tree.insert("new", np.zeros((2, 2), dtype=np.int64))
+
+    def test_duplicate_insert_rejected(self, tree, signed_dataset):
+        _dataset, signatures = signed_dataset
+        with pytest.raises(ValueError, match="already indexed"):
+            tree.insert("a", signatures["a"])
+
+
+class TestStorageAccounting:
+    def test_size_grows_with_full_signatures(self, signed_dataset):
+        dataset, signatures = signed_dataset
+        compact = MinSigTree.build(signatures, dataset.num_levels, 16)
+        full = MinSigTree.build(signatures, dataset.num_levels, 16, store_full_signatures=True)
+        assert full.size_bytes() > compact.size_bytes()
+
+    def test_full_signatures_stored_as_minimum(self, signed_dataset):
+        dataset, signatures = signed_dataset
+        tree = MinSigTree.build(signatures, dataset.num_levels, 16, store_full_signatures=True)
+        for leaf in tree.leaves():
+            if not leaf.entities:
+                continue
+            expected = np.min(
+                np.stack([signatures[e][leaf.level - 1] for e in leaf.entities]), axis=0
+            )
+            assert np.array_equal(leaf.full_signature, expected)
+
+    def test_leaf_order_covers_all_entities(self, tree, signed_dataset):
+        dataset, _ = signed_dataset
+        order = tree.leaf_order()
+        assert set(order) == set(dataset.entities)
+        assert sorted(order.values()) == list(range(dataset.num_entities))
+
+    def test_iter_nodes_is_deterministic(self, tree):
+        first = [id(node) for node in tree.iter_nodes()]
+        second = [id(node) for node in tree.iter_nodes()]
+        assert first == second
+
+
+class TestRoutingStrategies:
+    def test_random_routing_still_places_everyone(self, signed_dataset):
+        dataset, signatures = signed_dataset
+        tree = MinSigTree.build(
+            signatures, dataset.num_levels, 16, routing_strategy="random"
+        )
+        assert tree.num_entities == dataset.num_entities
+
+    def test_strategies_generally_differ(self, signed_dataset):
+        dataset, signatures = signed_dataset
+        argmax_tree = MinSigTree.build(signatures, dataset.num_levels, 16)
+        random_tree = MinSigTree.build(
+            signatures, dataset.num_levels, 16, routing_strategy="random"
+        )
+        argmax_paths = {e: tuple(n.routing_index for n in argmax_tree.path_to_leaf(e)) for e in signatures}
+        random_paths = {e: tuple(n.routing_index for n in random_tree.path_to_leaf(e)) for e in signatures}
+        assert argmax_paths != random_paths
+
+
+def _entities_under(node):
+    """All entities stored in the subtree rooted at ``node``."""
+    collected = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        collected.extend(current.entities)
+        stack.extend(current.children.values())
+    return collected

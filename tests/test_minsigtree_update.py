@@ -1,0 +1,119 @@
+"""Tests for incremental MinSigTree maintenance (Section 4.2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import HierarchicalHashFamily
+from repro.core.minsigtree import MinSigTree
+from repro.core.signatures import SignatureComputer
+from repro.traces.events import PresenceInstance
+
+
+@pytest.fixture
+def environment(small_dataset):
+    family = HierarchicalHashFamily(small_dataset.hierarchy, small_dataset.horizon, 16, seed=4)
+    computer = SignatureComputer(family)
+    signatures = computer.signatures_for_dataset(small_dataset)
+    tree = MinSigTree.build(signatures, small_dataset.num_levels, 16)
+    return small_dataset, computer, tree
+
+
+class TestRemove:
+    def test_remove_drops_entity(self, environment):
+        _dataset, _computer, tree = environment
+        tree.remove("c")
+        assert "c" not in tree
+        assert all("c" not in leaf.entities for leaf in tree.leaves())
+
+    def test_remove_prunes_empty_branches(self, environment):
+        dataset, _computer, tree = environment
+        before = tree.num_nodes
+        for entity in list(dataset.entities):
+            tree.remove(entity)
+        assert tree.num_entities == 0
+        assert tree.num_nodes == 0
+        assert before > 0
+
+    def test_remove_unknown_raises(self, environment):
+        _dataset, _computer, tree = environment
+        with pytest.raises(KeyError):
+            tree.remove("ghost")
+
+    def test_remove_keeps_other_entities_findable(self, environment):
+        _dataset, _computer, tree = environment
+        tree.remove("a")
+        assert "b" in tree
+        assert tree.leaf_of("b") is not None
+
+
+class TestUpdate:
+    def test_update_moves_entity_to_new_leaf(self, environment):
+        dataset, computer, tree = environment
+        old_leaf = tree.leaf_of("c")
+        # Give c a completely different trace (the other region of the grid).
+        other_base = dataset.hierarchy.base_units[7]
+        dataset.replace_trace("c", [PresenceInstance("c", other_base, t, t + 1) for t in range(0, 30, 2)])
+        new_signature = computer.signature_matrix(dataset.cell_sequence("c"))
+        tree.update("c", new_signature)
+        assert np.array_equal(tree.signature_of("c"), new_signature)
+        assert "c" in tree.leaf_of("c").entities
+        assert tree.leaf_of("c") is not old_leaf or "c" in old_leaf.entities
+
+    def test_update_of_new_entity_is_insert(self, environment):
+        dataset, computer, tree = environment
+        base = dataset.hierarchy.base_units[5]
+        dataset.add_record("newcomer", base, 3, duration=2)
+        matrix = computer.signature_matrix(dataset.cell_sequence("newcomer"))
+        tree.update("newcomer", matrix)
+        assert "newcomer" in tree
+        assert tree.num_entities == dataset.num_entities
+
+    def test_update_preserves_entity_count(self, environment):
+        dataset, computer, tree = environment
+        before = tree.num_entities
+        matrix = computer.signature_matrix(dataset.cell_sequence("a"))
+        tree.update("a", matrix)
+        assert tree.num_entities == before
+
+    def test_group_values_remain_lower_bounds_after_updates(self, environment):
+        dataset, computer, tree = environment
+        # Update everyone once; stored node values must remain <= member values.
+        for entity in dataset.entities:
+            tree.update(entity, computer.signature_matrix(dataset.cell_sequence(entity)))
+        signatures = {e: tree.signature_of(e) for e in dataset.entities}
+        for leaf in tree.leaves():
+            node = leaf
+            while node is not None and not node.is_root:
+                members = _entities_under(node)
+                for entity in members:
+                    row = signatures[entity][node.level - 1]
+                    assert node.routing_value <= int(row[node.routing_index])
+                node = node.parent
+
+
+class TestRebuild:
+    def test_rebuild_tightens_after_removals(self, environment):
+        dataset, _computer, tree = environment
+        for entity in list(dataset.entities)[:3]:
+            tree.remove(entity)
+        before_nodes = tree.num_nodes
+        tree.rebuild()
+        assert tree.num_entities == dataset.num_entities - 3
+        assert tree.num_nodes <= before_nodes
+
+    def test_rebuild_keeps_membership(self, environment):
+        dataset, _computer, tree = environment
+        expected = set(dataset.entities)
+        tree.rebuild()
+        placed = {entity for leaf in tree.leaves() for entity in leaf.entities}
+        assert placed == expected
+
+
+def _entities_under(node):
+    collected = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        collected.extend(current.entities)
+        stack.extend(current.children.values())
+    return collected

@@ -1,0 +1,194 @@
+"""Tests for pruned sets, pruning state, and upper bounds (repro.core.pruning)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import HierarchicalHashFamily
+from repro.core.minsigtree import MinSigTree
+from repro.core.pruning import PruningState, QueryHashes, upper_bound
+from repro.core.signatures import SignatureComputer
+from repro.measures import HierarchicalADM
+
+
+@pytest.fixture
+def environment(small_dataset):
+    family = HierarchicalHashFamily(small_dataset.hierarchy, small_dataset.horizon, 24, seed=9)
+    computer = SignatureComputer(family)
+    signatures = computer.signatures_for_dataset(small_dataset)
+    tree = MinSigTree.build(signatures, small_dataset.num_levels, 24)
+    measure = HierarchicalADM(num_levels=small_dataset.num_levels)
+    return small_dataset, family, tree, measure
+
+
+class TestQueryHashes:
+    def test_levels_and_shapes(self, environment):
+        dataset, family, _tree, _measure = environment
+        query = QueryHashes.from_sequence(dataset.cell_sequence("a"), family)
+        assert query.num_levels == dataset.num_levels
+        for cells, matrix in zip(query.cells, query.matrices):
+            assert matrix.shape == (len(cells), family.num_hashes)
+
+    def test_owner_maps_base_cells_to_ancestor_positions(self, environment):
+        dataset, family, _tree, _measure = environment
+        query = QueryHashes.from_sequence(dataset.cell_sequence("a"), family)
+        hierarchy = dataset.hierarchy
+        base_cells = query.cells[-1]
+        for level_index in range(dataset.num_levels):
+            owner = query.owners[level_index]
+            for base_position, base_cell in enumerate(base_cells):
+                ancestor_unit = hierarchy.ancestor_at_level(base_cell.unit, level_index + 1)
+                ancestor_position = owner[base_position]
+                assert query.cells[level_index][ancestor_position].unit == ancestor_unit
+                assert query.cells[level_index][ancestor_position].time == base_cell.time
+
+    def test_level_sizes_match_sequence(self, environment):
+        dataset, family, _tree, _measure = environment
+        sequence = dataset.cell_sequence("b")
+        query = QueryHashes.from_sequence(sequence, family)
+        assert query.level_sizes() == tuple(len(level) for level in sequence.levels)
+
+
+class TestPruningState:
+    def test_initial_state_prunes_nothing(self, environment):
+        dataset, family, _tree, _measure = environment
+        query = QueryHashes.from_sequence(dataset.cell_sequence("a"), family)
+        state = PruningState.initial(query)
+        assert state.surviving_counts() == query.level_sizes()
+        assert state.pruned_counts() == (0,) * dataset.num_levels
+
+    def test_refine_on_root_is_identity(self, environment):
+        dataset, family, tree, _measure = environment
+        query = QueryHashes.from_sequence(dataset.cell_sequence("a"), family)
+        state = PruningState.initial(query)
+        assert state.refine(tree.root, query) is state
+
+    def test_refine_is_monotone(self, environment):
+        """Theorem 3: pruned sets only grow along a root-to-leaf path."""
+        dataset, family, tree, _measure = environment
+        query = QueryHashes.from_sequence(dataset.cell_sequence("a"), family)
+        for entity in dataset.entities:
+            state = PruningState.initial(query)
+            previous = state.pruned_counts()
+            for node in tree.path_to_leaf(entity):
+                state = state.refine(node, query)
+                current = state.pruned_counts()
+                assert all(now >= before for now, before in zip(current, previous))
+                previous = current
+
+    def test_refine_does_not_mutate_parent_state(self, environment):
+        dataset, family, tree, _measure = environment
+        query = QueryHashes.from_sequence(dataset.cell_sequence("a"), family)
+        state = PruningState.initial(query)
+        node = next(iter(tree.root.children.values()))
+        refined = state.refine(node, query)
+        assert state.pruned_counts() == (0,) * dataset.num_levels
+        assert refined is not state
+
+    def test_pruned_cells_are_truly_absent(self, environment):
+        """Theorem 2 end to end: pruned query cells are absent from every member."""
+        dataset, family, tree, _measure = environment
+        query_entity = "a"
+        query = QueryHashes.from_sequence(dataset.cell_sequence(query_entity), family)
+        for entity in dataset.entities:
+            if entity == query_entity:
+                continue
+            state = PruningState.initial(query)
+            for node in tree.path_to_leaf(entity):
+                state = state.refine(node, query)
+            candidate_sequence = dataset.cell_sequence(entity)
+            for level_index, mask in enumerate(state.masks):
+                level_cells = query.cells[level_index]
+                for cell, pruned in zip(level_cells, mask):
+                    if pruned:
+                        assert cell not in candidate_sequence.levels[level_index]
+
+    def test_surviving_base_cells_match_mask(self, environment):
+        dataset, family, tree, _measure = environment
+        query = QueryHashes.from_sequence(dataset.cell_sequence("a"), family)
+        state = PruningState.initial(query)
+        for node in tree.path_to_leaf("d"):
+            state = state.refine(node, query)
+        survivors = state.surviving_base_cells(query)
+        assert len(survivors) == state.surviving_counts()[-1]
+        assert set(survivors) <= set(query.cells[-1])
+
+    def test_lifted_counts_never_exceed_per_level_counts(self, environment):
+        dataset, family, tree, _measure = environment
+        query = QueryHashes.from_sequence(dataset.cell_sequence("a"), family)
+        for entity in dataset.entities:
+            state = PruningState.initial(query)
+            for node in tree.path_to_leaf(entity):
+                state = state.refine(node, query)
+            lifted = state.lifted_surviving_counts(query)
+            per_level = state.surviving_counts()
+            assert all(l <= p for l, p in zip(lifted, per_level))
+
+    def test_full_signature_prunes_at_least_as_much(self, small_dataset):
+        family = HierarchicalHashFamily(small_dataset.hierarchy, small_dataset.horizon, 24, seed=9)
+        computer = SignatureComputer(family)
+        signatures = computer.signatures_for_dataset(small_dataset)
+        tree = MinSigTree.build(
+            signatures, small_dataset.num_levels, 24, store_full_signatures=True
+        )
+        query = QueryHashes.from_sequence(small_dataset.cell_sequence("a"), family)
+        for entity in small_dataset.entities:
+            partial_state = PruningState.initial(query)
+            full_state = PruningState.initial(query)
+            for node in tree.path_to_leaf(entity):
+                partial_state = partial_state.refine(node, query, use_full_signature=False)
+                full_state = full_state.refine(node, query, use_full_signature=True)
+            assert all(
+                full >= partial
+                for full, partial in zip(full_state.pruned_counts(), partial_state.pruned_counts())
+            )
+
+
+class TestUpperBound:
+    def test_root_bound_is_one(self, environment):
+        dataset, family, _tree, measure = environment
+        query = QueryHashes.from_sequence(dataset.cell_sequence("a"), family)
+        state = PruningState.initial(query)
+        assert upper_bound(state, query, measure) == pytest.approx(1.0)
+
+    def test_bound_decreases_along_path(self, environment):
+        dataset, family, tree, measure = environment
+        query = QueryHashes.from_sequence(dataset.cell_sequence("a"), family)
+        for entity in dataset.entities:
+            state = PruningState.initial(query)
+            previous = upper_bound(state, query, measure)
+            for node in tree.path_to_leaf(entity):
+                state = state.refine(node, query)
+                current = upper_bound(state, query, measure)
+                assert current <= previous + 1e-12
+                previous = current
+
+    def test_bound_admissible_for_indexed_entities(self, environment):
+        """The node bound dominates the true degree of every entity below it."""
+        dataset, family, tree, measure = environment
+        for query_entity in dataset.entities:
+            query_sequence = dataset.cell_sequence(query_entity)
+            query = QueryHashes.from_sequence(query_sequence, family)
+            for entity in dataset.entities:
+                if entity == query_entity:
+                    continue
+                state = PruningState.initial(query)
+                for node in tree.path_to_leaf(entity):
+                    state = state.refine(node, query)
+                true_degree = measure.score(dataset.cell_sequence(entity), query_sequence)
+                for mode in ("per_level", "lift"):
+                    bound = upper_bound(state, query, measure, mode=mode)
+                    assert bound >= true_degree - 1e-9, (query_entity, entity, mode)
+
+    def test_unknown_mode_rejected(self, environment):
+        dataset, family, _tree, measure = environment
+        query = QueryHashes.from_sequence(dataset.cell_sequence("a"), family)
+        state = PruningState.initial(query)
+        with pytest.raises(ValueError, match="bound mode"):
+            upper_bound(state, query, measure, mode="bogus")
+
+    def test_all_pruned_gives_zero(self, environment):
+        dataset, family, _tree, measure = environment
+        query = QueryHashes.from_sequence(dataset.cell_sequence("a"), family)
+        masks = tuple(np.ones(len(level), dtype=bool) for level in query.cells)
+        state = PruningState(masks=masks)
+        assert upper_bound(state, query, measure) == 0.0

@@ -1,0 +1,108 @@
+"""Tests for the analytic pruning-effectiveness model (repro.analysis.pruning_model)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pruning_model import PruningModel, PruningModelParams
+
+
+def make_params(**overrides):
+    defaults = dict(
+        universe_size=10_000,
+        cells_per_entity=20,
+        num_hashes=256,
+        min_shared_cells=6,
+        num_ranges=64,
+    )
+    defaults.update(overrides)
+    return PruningModelParams(**defaults)
+
+
+class TestParams:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"universe_size": 0},
+            {"cells_per_entity": 0},
+            {"num_hashes": 0},
+            {"min_shared_cells": -1},
+            {"num_ranges": 1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            make_params(**kwargs)
+
+    def test_query_cells_defaults_to_entity_cells(self):
+        assert make_params().effective_query_cells == 20
+        assert make_params(query_cells=33).effective_query_cells == 33
+
+
+class TestDistributions:
+    def test_signature_cdf_monotone_and_bounded(self):
+        model = PruningModel(make_params())
+        thresholds = np.linspace(0, 9_999, 50)
+        cdf = model.signature_value_cdf(thresholds)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[0] >= 0.0 and cdf[-1] == pytest.approx(1.0)
+
+    def test_routing_cdf_dominated_by_signature_cdf(self):
+        """The max of n_h coordinates is stochastically larger than one coordinate."""
+        model = PruningModel(make_params())
+        thresholds = np.linspace(0, 9_999, 50)
+        assert np.all(model.routing_value_cdf(thresholds) <= model.signature_value_cdf(thresholds) + 1e-12)
+
+    def test_routing_distribution_sums_to_one(self):
+        model = PruningModel(make_params())
+        assert model.routing_value_distribution().sum() == pytest.approx(1.0)
+
+    def test_more_hashes_shift_routing_values_up(self):
+        few = PruningModel(make_params(num_hashes=32))
+        many = PruningModel(make_params(num_hashes=2048))
+        thresholds = np.array([2_000.0])
+        # P(SIG <= x) shrinks when the maximum is taken over more coordinates.
+        assert many.routing_value_cdf(thresholds)[0] <= few.routing_value_cdf(thresholds)[0]
+
+    def test_survival_probability_decreasing_in_threshold(self):
+        model = PruningModel(make_params())
+        uppers = np.linspace(0, 9_999, 20)
+        survival = model.survival_probability(uppers)
+        assert np.all(np.diff(survival) <= 1e-12)
+        assert 0.0 <= survival[-1] <= survival[0] <= 1.0
+
+
+class TestPredictions:
+    def test_checked_fraction_in_unit_interval(self):
+        model = PruningModel(make_params())
+        value = model.expected_checked_fraction()
+        assert 0.0 <= value <= 1.0
+        assert model.expected_pruning_effectiveness() == pytest.approx(1.0 - value)
+
+    def test_pe_increases_with_hash_functions(self):
+        """The Figure 7.3 trend: more hash functions, more pruning."""
+        values = [
+            PruningModel(make_params(num_hashes=nh)).expected_pruning_effectiveness()
+            for nh in (16, 64, 256, 1024)
+        ]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_pe_decreases_with_entity_activity(self):
+        """Heavier entities (more cells) have smaller signatures and prune less."""
+        light = PruningModel(make_params(cells_per_entity=5)).expected_pruning_effectiveness()
+        heavy = PruningModel(make_params(cells_per_entity=200)).expected_pruning_effectiveness()
+        assert light > heavy
+
+    def test_pe_decreases_with_required_overlap(self):
+        """A larger n_c (stronger k-th associate) makes nodes easier to discard."""
+        weak = PruningModel(make_params(min_shared_cells=1)).expected_pruning_effectiveness()
+        strong = PruningModel(make_params(min_shared_cells=15)).expected_pruning_effectiveness()
+        assert strong >= weak
+
+    def test_min_shared_larger_than_query_clamped(self):
+        model = PruningModel(make_params(min_shared_cells=10_000))
+        assert 0.0 <= model.expected_checked_fraction() <= 1.0
+
+    def test_zero_min_shared_means_nothing_discardable(self):
+        model = PruningModel(make_params(min_shared_cells=0))
+        assert model.expected_checked_fraction() == pytest.approx(1.0)

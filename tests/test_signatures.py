@@ -1,0 +1,89 @@
+"""Tests for per-entity signature computation (repro.core.signatures)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import HierarchicalHashFamily
+from repro.core.signatures import SignatureComputer
+from repro.traces.events import STCell
+
+
+@pytest.fixture
+def computer(small_hierarchy):
+    family = HierarchicalHashFamily(small_hierarchy, horizon=48, num_hashes=12, seed=2)
+    return SignatureComputer(family)
+
+
+class TestSignatureMatrix:
+    def test_shape(self, computer, small_dataset):
+        matrix = computer.signature_matrix(small_dataset.cell_sequence("a"))
+        assert matrix.shape == (small_dataset.num_levels, 12)
+
+    def test_values_within_hash_range(self, computer, small_dataset):
+        matrix = computer.signature_matrix(small_dataset.cell_sequence("a"))
+        assert (matrix >= 0).all()
+        assert (matrix < computer.hash_family.hash_range).all()
+
+    def test_signature_is_min_over_cells(self, computer, small_dataset):
+        """sig^m[u] equals the minimum hash over the entity's base cells."""
+        sequence = small_dataset.cell_sequence("a")
+        matrix = computer.signature_matrix(sequence)
+        expected = np.stack(
+            [computer.hash_family.hash_cell(cell) for cell in sequence.base_cells]
+        ).min(axis=0)
+        assert np.array_equal(matrix[-1], expected)
+
+    def test_theorem1_levels_are_monotone(self, computer, small_dataset):
+        """Theorem 1: sig^i[u] <= sig^{i+1}[u] for every entity and u."""
+        for entity in small_dataset.entities:
+            matrix = computer.signature_matrix(small_dataset.cell_sequence(entity))
+            for level in range(matrix.shape[0] - 1):
+                assert (matrix[level] <= matrix[level + 1]).all()
+
+    def test_theorem2_pruning_direction(self, computer, small_dataset, small_hierarchy):
+        """Theorem 2: sig^i[u] > h_u(s) implies the entity is absent from s."""
+        entity = "a"
+        sequence = small_dataset.cell_sequence(entity)
+        matrix = computer.signature_matrix(sequence)
+        family = computer.hash_family
+        for time in range(0, 48, 7):
+            for unit in small_hierarchy.base_units:
+                cell = STCell(time, unit)
+                hashes = family.hash_cell(cell)
+                for level in range(matrix.shape[0]):
+                    witnessed = (matrix[level] > hashes).any()
+                    if witnessed:
+                        assert cell not in sequence.base_cells
+
+    def test_empty_sequence_uses_sentinel(self, computer, small_hierarchy):
+        from repro.traces.events import cells_from_presences
+
+        empty = cells_from_presences([], small_hierarchy)
+        matrix = computer.signature_matrix(empty)
+        assert (matrix == computer.empty_value).all()
+
+    def test_single_cell_signature_equals_cell_hash(self, computer, small_hierarchy, small_dataset):
+        from repro.traces.events import PresenceInstance, cells_from_presences
+
+        base = small_hierarchy.base_units[0]
+        sequence = cells_from_presences([PresenceInstance("x", base, 5, 6)], small_hierarchy)
+        matrix = computer.signature_matrix(sequence)
+        assert np.array_equal(matrix[-1], computer.hash_family.hash_cell(STCell(5, base)))
+
+
+class TestDatasetSignatures:
+    def test_all_entities_signed(self, computer, small_dataset):
+        signatures = computer.signatures_for_dataset(small_dataset)
+        assert set(signatures) == set(small_dataset.entities)
+
+    def test_subset_of_entities(self, computer, small_dataset):
+        signatures = computer.signatures_for_dataset(small_dataset, entities=["a", "b"])
+        assert set(signatures) == {"a", "b"}
+
+    def test_hash_operations_positive_and_scales_with_nh(self, small_dataset, small_hierarchy):
+        small_family = HierarchicalHashFamily(small_hierarchy, 48, 4, seed=2)
+        large_family = HierarchicalHashFamily(small_hierarchy, 48, 16, seed=2)
+        small_ops = SignatureComputer(small_family).hash_operations(small_dataset)
+        large_ops = SignatureComputer(large_family).hash_operations(small_dataset)
+        assert small_ops > 0
+        assert large_ops == small_ops * 4

@@ -1,0 +1,112 @@
+"""Tests for pages, the record codec and the paged file (repro.storage.pages)."""
+
+import pytest
+
+from repro.storage.pages import Page, PagedFile, RecordCodec
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        codec = RecordCodec()
+        record = ("device-42", "ap-17", 120, 123)
+        blob = codec.encode(record)
+        decoded, offset = codec.decode(blob)
+        assert decoded == record
+        assert offset == len(blob)
+
+    def test_encoded_size_matches_actual(self):
+        codec = RecordCodec()
+        record = ("entity", "unit", 5, 9)
+        assert codec.encoded_size(record) == len(codec.encode(record))
+
+    def test_unicode_identifiers(self):
+        codec = RecordCodec()
+        record = ("café-α", "ünit", 1, 2)
+        decoded, _ = codec.decode(codec.encode(record))
+        assert decoded == record
+
+    def test_multiple_records_sequential_decode(self):
+        codec = RecordCodec()
+        records = [("a", "u", 0, 1), ("bb", "vv", 2, 5), ("ccc", "w", 7, 8)]
+        blob = b"".join(codec.encode(r) for r in records)
+        offset = 0
+        decoded = []
+        for _ in records:
+            record, offset = codec.decode(blob, offset)
+            decoded.append(record)
+        assert decoded == records
+
+    def test_oversized_identifier_rejected(self):
+        codec = RecordCodec()
+        with pytest.raises(ValueError):
+            codec.encode(("x" * 70_000, "u", 0, 1))
+
+
+class TestPage:
+    def test_try_add_until_full(self):
+        codec = RecordCodec()
+        page = Page(page_id=0, capacity=64)
+        added = 0
+        while page.try_add(codec.encode((f"e{added}", "u", 0, 1))):
+            added += 1
+        assert added >= 1
+        assert page.record_count == added
+        assert page.free_bytes < codec.encoded_size((f"e{added}", "u", 0, 1))
+
+    def test_records_roundtrip(self):
+        codec = RecordCodec()
+        page = Page(page_id=0, capacity=256)
+        records = [("a", "u", 0, 1), ("b", "v", 3, 9)]
+        for record in records:
+            assert page.try_add(codec.encode(record))
+        assert list(page.records(codec)) == records
+
+
+class TestPagedFile:
+    def test_append_and_scan(self):
+        file = PagedFile(page_size=128)
+        records = [(f"entity-{i}", f"unit-{i % 3}", i, i + 1) for i in range(50)]
+        file.append_records(records)
+        assert file.num_pages > 1
+        assert list(file.iter_records()) == records
+
+    def test_read_write_counters(self):
+        file = PagedFile(page_size=128)
+        file.append_records([("a", "u", 0, 1)] * 20)
+        writes = file.writes
+        assert writes == file.num_pages
+        file.read_page(0)
+        file.read_page(0)
+        assert file.reads == 2
+        file.reset_counters()
+        assert file.reads == 0 and file.writes == 0
+
+    def test_write_page_single(self):
+        file = PagedFile(page_size=256)
+        page_id = file.write_page([("a", "u", 0, 1), ("b", "v", 1, 2)])
+        assert file.read_page(page_id) == [("a", "u", 0, 1), ("b", "v", 1, 2)]
+
+    def test_write_page_overflow_rejected(self):
+        file = PagedFile(page_size=64)
+        with pytest.raises(ValueError):
+            file.write_page([("entity", "unit", 0, 1)] * 20)
+
+    def test_read_missing_page(self):
+        file = PagedFile()
+        with pytest.raises(IndexError):
+            file.read_page(0)
+
+    def test_record_larger_than_page_rejected(self):
+        file = PagedFile(page_size=64)
+        with pytest.raises(ValueError):
+            file.append_records([("x" * 100, "unit", 0, 1)])
+
+    def test_tiny_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            PagedFile(page_size=16)
+
+    def test_records_per_page_estimate(self):
+        file = PagedFile(page_size=128)
+        assert file.records_per_page_estimate() == 0.0
+        file.append_records([("a", "u", 0, 1)] * 30)
+        assert file.records_per_page_estimate() > 1

@@ -1,0 +1,127 @@
+"""Tests for the hierarchical-IM synthetic generator (repro.mobility.hierarchical)."""
+
+import pytest
+
+from repro.mobility.hierarchical import HierarchicalMobilityConfig, generate_synthetic_dataset
+from repro.mobility.im_model import IMModelParams
+
+
+class TestConfig:
+    def test_defaults_match_paper_mobility_parameters(self):
+        config = HierarchicalMobilityConfig()
+        assert config.im_params == IMModelParams()
+        assert config.width_exponent == 2.0
+        assert config.density_exponent == 2.0
+        assert config.num_levels == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_entities": 0},
+            {"horizon": 0},
+            {"max_group_size": 0},
+            {"group_copy_probability": 1.5},
+            {"observation_rate_range": (0.0, 0.5)},
+            {"observation_rate_range": (0.8, 0.5)},
+        ],
+    )
+    def test_invalid_configuration(self, kwargs):
+        with pytest.raises(ValueError):
+            HierarchicalMobilityConfig(**kwargs)
+
+    def test_with_params_returns_modified_copy(self):
+        config = HierarchicalMobilityConfig()
+        changed = config.with_params(num_entities=50)
+        assert changed.num_entities == 50
+        assert config.num_entities == 200
+
+
+class TestGeneration:
+    def test_entity_count_exact(self):
+        dataset, _config = generate_synthetic_dataset(num_entities=37, grid_side=6, horizon=48, seed=1)
+        assert dataset.num_entities == 37
+
+    def test_every_entity_has_presence(self):
+        dataset, _config = generate_synthetic_dataset(num_entities=30, grid_side=6, horizon=48, seed=2)
+        for entity in dataset.entities:
+            assert len(dataset.trace(entity)) >= 1
+
+    def test_presences_within_horizon(self):
+        dataset, _config = generate_synthetic_dataset(num_entities=20, grid_side=6, horizon=48, seed=3)
+        for entity in dataset.entities:
+            for presence in dataset.trace(entity):
+                assert 0 <= presence.start < presence.end <= 48
+
+    def test_hierarchy_depth_configurable(self):
+        dataset, _config = generate_synthetic_dataset(num_entities=10, grid_side=8, num_levels=3, seed=4)
+        assert dataset.num_levels == 3
+
+    def test_reproducible_given_seed(self):
+        first, _ = generate_synthetic_dataset(num_entities=25, grid_side=6, horizon=48, seed=5)
+        second, _ = generate_synthetic_dataset(num_entities=25, grid_side=6, horizon=48, seed=5)
+        assert first.entities == second.entities
+        for entity in first.entities:
+            assert first.trace(entity) == second.trace(entity)
+
+    def test_different_seeds_differ(self):
+        first, _ = generate_synthetic_dataset(num_entities=25, grid_side=6, horizon=48, seed=5)
+        second, _ = generate_synthetic_dataset(num_entities=25, grid_side=6, horizon=48, seed=6)
+        traces_first = [first.trace(entity) for entity in first.entities]
+        traces_second = [second.trace(entity) for entity in second.entities]
+        assert traces_first != traces_second
+
+    def test_overrides_applied(self):
+        _dataset, config = generate_synthetic_dataset(num_entities=12, grid_side=6, seed=0, max_group_size=3)
+        assert config.max_group_size == 3
+
+    def test_groups_produce_strong_associations(self):
+        """With large copy probability group members overlap heavily."""
+        from repro.measures import HierarchicalADM
+
+        dataset, _config = generate_synthetic_dataset(
+            num_entities=40,
+            grid_side=6,
+            horizon=72,
+            max_group_size=4,
+            group_size_exponent=0.1,       # almost always the maximal size
+            group_copy_probability=0.9,
+            observation_rate_range=(0.8, 1.0),
+            seed=8,
+        )
+        measure = HierarchicalADM(num_levels=dataset.num_levels)
+        # Group members are generated consecutively after their leader, so at
+        # least one adjacent pair among the first entities is a leader/member
+        # pair with heavy overlap.
+        best = max(
+            measure.score(
+                dataset.cell_sequence(f"syn-{i}"), dataset.cell_sequence(f"syn-{i + 1}")
+            )
+            for i in range(0, 15)
+        )
+        assert best > 0.3
+
+    def test_heavy_tailed_activity(self):
+        """Observation sampling produces a wide spread of per-entity cell counts."""
+        dataset, _config = generate_synthetic_dataset(
+            num_entities=80,
+            grid_side=8,
+            horizon=96,
+            observation_rate_range=(0.05, 1.0),
+            seed=9,
+        )
+        counts = sorted(len(dataset.cell_sequence(entity).base_cells) for entity in dataset.entities)
+        assert counts[-1] >= 3 * max(1, counts[len(counts) // 4])
+
+    def test_disabling_groups_and_sampling_recovers_plain_im(self):
+        dataset, _config = generate_synthetic_dataset(
+            num_entities=15,
+            grid_side=6,
+            horizon=48,
+            max_group_size=1,
+            observation_rate_range=(1.0, 1.0),
+            seed=10,
+        )
+        # With full observation every entity's stays tile the horizon exactly.
+        for entity in dataset.entities:
+            covered = sum(presence.duration for presence in dataset.trace(entity))
+            assert covered == 48

@@ -1,0 +1,102 @@
+"""Tests for the disk-backed trace store (repro.storage.trace_store)."""
+
+import pytest
+
+from repro.baselines import BruteForceTopK
+from repro.storage.trace_store import DiskBackedTraceStore, SimulatedCostModel
+
+
+class TestCostModel:
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedCostModel(page_read_ms=-1)
+
+    def test_defaults_penalise_misses(self):
+        model = SimulatedCostModel()
+        assert model.page_read_ms > model.page_hit_ms
+
+
+class TestStoreLayout:
+    def test_invalid_memory_fraction(self, small_dataset):
+        with pytest.raises(ValueError):
+            DiskBackedTraceStore(small_dataset, memory_fraction=1.5)
+
+    def test_every_entity_has_pages(self, small_dataset):
+        store = DiskBackedTraceStore(small_dataset, memory_fraction=0.5)
+        for entity in small_dataset.entities:
+            assert store.pages_of(entity)
+
+    def test_buffer_capacity_tracks_fraction(self, small_dataset):
+        full = DiskBackedTraceStore(small_dataset, memory_fraction=1.0)
+        half = DiskBackedTraceStore(small_dataset, memory_fraction=0.5)
+        assert full.buffer_capacity == full.num_pages
+        assert half.buffer_capacity <= full.buffer_capacity
+
+    def test_leaf_order_places_leaf_neighbours_together(self, small_engine):
+        dataset = small_engine.dataset
+        order = small_engine.tree.leaf_order()
+        store = DiskBackedTraceStore(dataset, order, memory_fraction=1.0, page_size=4096)
+        # With a 4 KiB page and a tiny dataset everything fits in few pages.
+        assert store.num_pages >= 1
+
+    def test_unknown_entity(self, small_dataset):
+        store = DiskBackedTraceStore(small_dataset, memory_fraction=0.5)
+        with pytest.raises(KeyError):
+            store.fetch_trace("ghost")
+
+
+class TestFetching:
+    def test_fetch_trace_roundtrip(self, small_dataset):
+        store = DiskBackedTraceStore(small_dataset, memory_fraction=1.0)
+        for entity in small_dataset.entities:
+            assert sorted(store.fetch_trace(entity)) == sorted(small_dataset.trace(entity))
+
+    def test_fetch_sequence_matches_dataset(self, small_dataset):
+        store = DiskBackedTraceStore(small_dataset, memory_fraction=1.0)
+        for entity in small_dataset.entities:
+            assert store.fetch_sequence(entity) == small_dataset.cell_sequence(entity)
+
+    def test_misses_then_hits(self, small_dataset):
+        store = DiskBackedTraceStore(small_dataset, memory_fraction=1.0)
+        store.fetch_trace("a")
+        misses_first = store.page_misses
+        store.fetch_trace("a")
+        assert store.page_misses == misses_first
+        assert store.page_hits > 0
+
+    def test_zero_memory_always_misses(self, small_dataset):
+        store = DiskBackedTraceStore(small_dataset, memory_fraction=0.0, page_size=256)
+        store.fetch_trace("a")
+        store.fetch_trace("a")
+        assert store.page_hits == 0
+        assert store.page_misses > 0
+
+    def test_elapsed_time_accumulates_and_resets(self, small_dataset):
+        store = DiskBackedTraceStore(small_dataset, memory_fraction=0.5)
+        store.fetch_trace("a")
+        assert store.elapsed_ms > 0
+        store.reset_counters()
+        assert store.elapsed_ms == 0.0
+        assert store.page_misses == 0
+
+    def test_smaller_memory_costs_more_simulated_time(self, syn_engine):
+        dataset = syn_engine.dataset
+        order = syn_engine.tree.leaf_order()
+        queries = dataset.entities[::20]
+
+        def run(fraction: float) -> float:
+            store = DiskBackedTraceStore(dataset, order, memory_fraction=fraction, page_size=1024)
+            for query in queries:
+                syn_engine.top_k(query, k=5, sequence_fetcher=store.fetch_sequence)
+            return store.elapsed_ms
+
+        assert run(0.1) > run(1.0)
+
+    def test_query_results_unchanged_through_store(self, small_engine):
+        dataset = small_engine.dataset
+        store = DiskBackedTraceStore(dataset, small_engine.tree.leaf_order(), memory_fraction=0.3)
+        oracle = BruteForceTopK(dataset, small_engine.measure)
+        for query in dataset.entities:
+            through_store = small_engine.top_k(query, k=3, sequence_fetcher=store.fetch_sequence)
+            exact = oracle.search(query, k=3)
+            assert through_store.entities == exact.entities

@@ -1,0 +1,110 @@
+"""Tests for the WiFi-handshake workload generator (repro.mobility.wifi)."""
+
+import statistics
+
+import pytest
+
+from repro.measures import HierarchicalADM
+from repro.mobility.wifi import WiFiConfig, build_wifi_hierarchy, generate_wifi_dataset
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_devices": 0},
+            {"num_hotspots": 0},
+            {"horizon": 0},
+            {"companion_fraction": 1.5},
+            {"anchor_probability": -0.1},
+        ],
+    )
+    def test_invalid_configuration(self, kwargs):
+        with pytest.raises(ValueError):
+            WiFiConfig(**kwargs)
+
+    def test_with_params(self):
+        config = WiFiConfig()
+        assert config.with_params(num_devices=10).num_devices == 10
+
+
+class TestHierarchy:
+    def test_four_levels(self):
+        hierarchy, hotspots = build_wifi_hierarchy(WiFiConfig(num_hotspots=48))
+        assert hierarchy.num_levels == 4
+        assert len(hotspots) == 48
+        assert hierarchy.num_base_units == 48
+
+    def test_hotspots_grouped_into_venues(self):
+        config = WiFiConfig(num_hotspots=40, hotspots_per_venue=4)
+        hierarchy, _hotspots = build_wifi_hierarchy(config)
+        assert len(hierarchy.units_at_level(3)) == 10
+
+    def test_single_city_root(self):
+        hierarchy, _ = build_wifi_hierarchy(WiFiConfig(num_hotspots=20))
+        assert hierarchy.units_at_level(1) == ("city",)
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        dataset, _config = generate_wifi_dataset(
+            num_devices=120, num_hotspots=60, horizon=24 * 5, mean_detections=25, seed=3
+        )
+        return dataset
+
+    def test_device_count(self, dataset):
+        assert dataset.num_entities == 120
+
+    def test_presences_within_horizon(self, dataset):
+        for entity in dataset.entities:
+            for presence in dataset.trace(entity):
+                assert 0 <= presence.start < presence.end <= dataset.horizon
+
+    def test_heavy_tailed_detection_counts(self, dataset):
+        counts = sorted(len(dataset.trace(entity)) for entity in dataset.entities)
+        assert counts[-1] > 4 * statistics.median(counts)
+
+    def test_reproducible(self):
+        first, _ = generate_wifi_dataset(num_devices=40, num_hotspots=30, seed=11)
+        second, _ = generate_wifi_dataset(num_devices=40, num_hotspots=30, seed=11)
+        for entity in first.entities:
+            assert first.trace(entity) == second.trace(entity)
+
+    def test_companions_are_strongly_associated(self):
+        dataset, _config = generate_wifi_dataset(
+            num_devices=80,
+            num_hotspots=40,
+            companion_fraction=0.25,
+            companion_copy_probability=0.9,
+            seed=21,
+        )
+        measure = HierarchicalADM(num_levels=dataset.num_levels)
+        companions = [entity for entity in dataset.entities if entity.startswith("device-companion")]
+        assert companions
+        scores = []
+        for companion in companions[:10]:
+            best = max(
+                measure.score(dataset.cell_sequence(companion), dataset.cell_sequence(other))
+                for other in dataset.entities
+                if other != companion
+            )
+            scores.append(best)
+        assert statistics.mean(scores) > 0.2
+
+    def test_anchor_behaviour_concentrates_detections(self, dataset):
+        """Most devices visit far fewer hotspots than they have detections."""
+        ratios = []
+        for entity in dataset.entities:
+            trace = dataset.trace(entity)
+            if len(trace) < 10:
+                continue
+            distinct_hotspots = len({presence.unit for presence in trace})
+            ratios.append(distinct_hotspots / len(trace))
+        assert ratios
+        assert statistics.mean(ratios) < 0.8
+
+    def test_overrides_through_kwargs(self):
+        dataset, config = generate_wifi_dataset(num_devices=15, num_hotspots=20, seed=1)
+        assert config.num_devices == 15
+        assert dataset.hierarchy.num_base_units == 20
