@@ -14,6 +14,11 @@ Python::
     python -m repro query --traces traces.csv --hierarchy hierarchy.json \
         --entity syn-17 --k 10 --num-hashes 256
 
+    # Batch mode: many queries over one index, optionally fanned out over
+    # worker threads, with an aggregate throughput/pruning report
+    python -m repro query --traces traces.csv --hierarchy hierarchy.json \
+        --batch syn-17 syn-4 syn-23 --workers 4 --k 10
+
     # Regenerate one of the paper's figures
     python -m repro figures --only 7.3 --scale tiny
 
@@ -62,9 +67,21 @@ def build_parser() -> argparse.ArgumentParser:
     stats = subparsers.add_parser("stats", help="summarise a trace dataset")
     _add_dataset_arguments(stats)
 
-    query = subparsers.add_parser("query", help="run a top-k query against a trace dataset")
+    query = subparsers.add_parser("query", help="run top-k queries against a trace dataset")
     _add_dataset_arguments(query)
-    query.add_argument("--entity", required=True, help="query entity identifier")
+    query.add_argument("--entity", help="query entity identifier (single-query mode)")
+    query.add_argument(
+        "--batch",
+        nargs="+",
+        metavar="ENTITY",
+        help="query entity identifiers (batch mode; mutually exclusive with --entity)",
+    )
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker threads for batch fan-out (0 = serial)",
+    )
     query.add_argument("--k", type=int, default=10, help="number of results")
     query.add_argument("--num-hashes", type=int, default=256, help="hash functions for the index")
     query.add_argument("--seed", type=int, default=0, help="hash family seed")
@@ -131,9 +148,21 @@ def _command_stats(args: argparse.Namespace) -> int:
 
 
 def _command_query(args: argparse.Namespace) -> int:
+    if bool(args.entity) == bool(args.batch):
+        print("error: pass exactly one of --entity or --batch", file=sys.stderr)
+        return 2
+    if args.workers < 0:
+        print(f"error: --workers must be >= 0, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.workers and not args.batch:
+        print("error: --workers only applies to --batch queries", file=sys.stderr)
+        return 2
     dataset = _load_dataset(args)
-    if args.entity not in dataset:
-        print(f"error: unknown entity {args.entity!r}", file=sys.stderr)
+    queries = args.batch if args.batch else [args.entity]
+    unknown = [entity for entity in queries if entity not in dataset]
+    if unknown:
+        for entity in unknown:
+            print(f"error: unknown entity {entity!r}", file=sys.stderr)
         return 2
     measure = HierarchicalADM(num_levels=dataset.num_levels, u=args.u, v=args.v)
     engine = TraceQueryEngine(
@@ -142,9 +171,28 @@ def _command_query(args: argparse.Namespace) -> int:
         num_hashes=args.num_hashes,
         seed=args.seed,
         bound_mode=args.bound_mode,
+        batch_workers=args.workers,
     ).build()
+
+    if args.batch:
+        batch = engine.top_k_batch(queries, k=args.k, approximation=args.approximation)
+        for result in batch:
+            _print_result(result, args.k)
+        print(
+            f"batch: {batch.num_queries} queries in {batch.wall_seconds:.3f}s "
+            f"({batch.queries_per_second:.1f} q/s, workers={batch.workers}), "
+            f"scored {batch.total_entities_scored} entities, "
+            f"mean pruning effectiveness {batch.mean_pruning_effectiveness:.3f}"
+        )
+        return 0
+
     result = engine.top_k(args.entity, k=args.k, approximation=args.approximation)
-    print(f"top-{args.k} associates of {args.entity}:")
+    _print_result(result, args.k)
+    return 0
+
+
+def _print_result(result, k: int) -> None:
+    print(f"top-{k} associates of {result.query_entity}:")
     for rank, (entity, degree) in enumerate(result, start=1):
         print(f"{rank:>3}. {entity:<30} {degree:.4f}")
     stats = result.stats
@@ -153,7 +201,6 @@ def _command_query(args: argparse.Namespace) -> int:
         f"(pruning effectiveness {stats.pruning_effectiveness:.3f}, "
         f"early termination: {stats.terminated_early})"
     )
-    return 0
 
 
 def _command_figures(args: argparse.Namespace) -> int:

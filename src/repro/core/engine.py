@@ -18,17 +18,34 @@ Typical usage::
     result = engine.top_k("device-123", k=10)
     for entity, degree in result:
         print(entity, degree)
+
+Index construction routes signatures through the vectorised bulk pipeline
+(``EngineConfig.bulk_signatures``, on by default; bitwise-identical to the
+per-entity path), and batched queries -- :meth:`TraceQueryEngine.top_k_many`
+/ :meth:`TraceQueryEngine.top_k_batch` -- run through the
+:class:`~repro.core.query.BatchTopKExecutor`, which shares query-cell
+hashing across the batch and can fan out over worker threads
+(``EngineConfig.batch_workers``).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.hashing import HierarchicalHashFamily
 from repro.core.minsigtree import MinSigTree
-from repro.core.query import SequenceFetcher, TopKResult, TopKSearcher
+from repro.core.query import (
+    BatchTopKExecutor,
+    BatchTopKResult,
+    SequenceFetcher,
+    TopKResult,
+    TopKSearcher,
+)
 from repro.core.signatures import SignatureComputer
 from repro.measures.adm import HierarchicalADM
 from repro.measures.base import AssociationMeasure
@@ -60,6 +77,18 @@ class EngineConfig:
         ``"lift"`` (default, the paper's Theorem 4 construction) or
         ``"per_level"`` (strictly admissible, looser); see
         :func:`repro.core.pruning.upper_bound`.
+    bulk_signatures:
+        Build (and batch-update) signatures through the vectorised bulk
+        pipeline (default).  ``False`` falls back to per-entity signing; both
+        paths are bitwise-identical, so this is a performance knob only.
+        Note one second-order effect: the per-entity path leaves the hash
+        family's per-cell cache fully warmed as a side effect, while the
+        bulk path bypasses that cache, so the first query touching a cell
+        hashes it lazily (batch queries pre-warm their cells regardless).
+    batch_workers:
+        Default thread-pool size for :meth:`TraceQueryEngine.top_k_many` /
+        :meth:`TraceQueryEngine.top_k_batch` fan-out.  ``0`` (default) runs
+        batches serially in the calling thread.
     """
 
     num_hashes: int = 256
@@ -67,6 +96,8 @@ class EngineConfig:
     store_full_signatures: bool = False
     use_full_signatures: bool = False
     bound_mode: str = "lift"
+    bulk_signatures: bool = True
+    batch_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.num_hashes < 1:
@@ -75,6 +106,21 @@ class EngineConfig:
             raise ValueError("use_full_signatures requires store_full_signatures")
         if self.bound_mode not in ("lift", "per_level"):
             raise ValueError(f"unknown bound mode {self.bound_mode!r}")
+        if self.batch_workers < 0:
+            raise ValueError(f"batch_workers must be >= 0, got {self.batch_workers}")
+
+    def with_overrides(self, **overrides: object) -> "EngineConfig":
+        """A copy with the given fields replaced.
+
+        Unknown field names raise ``TypeError`` (listing them); fields not
+        mentioned keep their current values, so an explicitly-passed config
+        is never silently reset to defaults.
+        """
+        valid = {field.name for field in dataclasses.fields(EngineConfig)}
+        unknown = sorted(set(overrides) - valid)
+        if unknown:
+            raise TypeError(f"unknown engine options: {unknown}")
+        return dataclasses.replace(self, **overrides)
 
 
 class TraceQueryEngine:
@@ -102,19 +148,9 @@ class TraceQueryEngine:
         if config is None:
             config = EngineConfig()
         if overrides:
-            config = EngineConfig(
-                num_hashes=int(overrides.pop("num_hashes", config.num_hashes)),
-                seed=int(overrides.pop("seed", config.seed)),
-                store_full_signatures=bool(
-                    overrides.pop("store_full_signatures", config.store_full_signatures)
-                ),
-                use_full_signatures=bool(
-                    overrides.pop("use_full_signatures", config.use_full_signatures)
-                ),
-                bound_mode=str(overrides.pop("bound_mode", config.bound_mode)),
-            )
-            if overrides:
-                raise TypeError(f"unknown engine options: {sorted(overrides)}")
+            # Keyword overrides win over the config's values, but fields not
+            # mentioned keep whatever the explicit config carried.
+            config = config.with_overrides(**overrides)
         self.dataset = dataset
         self.config = config
         self.measure = measure or HierarchicalADM(num_levels=dataset.num_levels)
@@ -160,7 +196,12 @@ class TraceQueryEngine:
             raise RuntimeError("the engine index has not been built yet; call build() first")
 
     def build(self) -> "TraceQueryEngine":
-        """Compute signatures for every entity and build the MinSigTree."""
+        """Compute signatures for every entity and build the MinSigTree.
+
+        Signatures go through the vectorised bulk pipeline unless the config
+        disables it (``bulk_signatures=False``); either way the resulting
+        index is identical.
+        """
         started = time.perf_counter()
         horizon = max(self.dataset.horizon, 1)
         self._hash_family = HierarchicalHashFamily(
@@ -170,7 +211,8 @@ class TraceQueryEngine:
             seed=self.config.seed,
         )
         self._signature_computer = SignatureComputer(self._hash_family)
-        signatures = self._signature_computer.signatures_for_dataset(self.dataset)
+        method = "bulk" if self.config.bulk_signatures else "per_entity"
+        signatures = self._signature_computer.signatures_for_dataset(self.dataset, method=method)
         self._tree = MinSigTree.build(
             signatures,
             num_levels=self.dataset.num_levels,
@@ -214,39 +256,83 @@ class TraceQueryEngine:
             approximation=approximation,
         )
 
-    def top_k_many(self, query_entities: Sequence[str], k: int = 10) -> List[TopKResult]:
-        """Answer one top-k query per query entity."""
-        return self.searcher.search_many(query_entities, k)
+    def top_k_many(
+        self,
+        query_entities: Sequence[str],
+        k: int = 10,
+        workers: Optional[int] = None,
+    ) -> List[TopKResult]:
+        """Answer one top-k query per query entity (order preserved).
+
+        Routed through the :class:`BatchTopKExecutor`, so the union of query
+        cells is hashed once and -- when ``workers`` (or the config's
+        ``batch_workers``) exceeds 1 -- queries fan out over a thread pool.
+        Results are identical to calling :meth:`top_k` per entity.
+        """
+        return self.top_k_batch(query_entities, k, workers=workers).results
+
+    def top_k_batch(
+        self,
+        query_entities: Sequence[str],
+        k: int = 10,
+        workers: Optional[int] = None,
+        approximation: float = 0.0,
+    ) -> BatchTopKResult:
+        """Answer a batch of top-k queries and return the aggregate report."""
+        return self.batch_executor(workers=workers).run(
+            query_entities, k, approximation=approximation
+        )
+
+    def batch_executor(self, workers: Optional[int] = None) -> BatchTopKExecutor:
+        """A :class:`BatchTopKExecutor` bound to the current index."""
+        effective = self.config.batch_workers if workers is None else int(workers)
+        return BatchTopKExecutor(self.searcher, workers=effective)
 
     # ------------------------------------------------------------------
     # Incremental maintenance (Section 4.2.3)
     # ------------------------------------------------------------------
+    def _resign(self, entities: Sequence[str]) -> None:
+        """Re-sign ``entities`` and re-insert them into the MinSigTree.
+
+        Multi-entity batches go through the vectorised bulk pipeline (when
+        enabled), so a Figure 7.9-style update touching many entities costs a
+        handful of broadcasted hash calls instead of one pass per entity.
+        """
+        assert self._signature_computer is not None and self._tree is not None
+        matrices: Dict[str, np.ndarray]
+        if len(entities) > 1 and self.config.bulk_signatures:
+            matrices = self._signature_computer.bulk_signature_matrices(self.dataset, entities)
+        else:
+            matrices = {
+                entity: self._signature_computer.signature_matrix(
+                    self.dataset.cell_sequence(entity)
+                )
+                for entity in entities
+            }
+        for entity in entities:
+            self._tree.update(entity, matrices[entity])
+
     def add_records(self, presences: Iterable[PresenceInstance]) -> List[str]:
         """Append new trace records and re-index the affected entities.
 
         New entities are inserted; existing ones are removed from their
         current leaf, re-signed, and re-inserted (the Figure 7.9 update path).
-        Returns the list of affected entity identifiers.
+        Batches touching several entities are re-signed through the bulk
+        pipeline.  Returns the list of affected entity identifiers.
         """
         self._require_built()
-        assert self._signature_computer is not None and self._tree is not None
         affected: List[str] = []
         for presence in presences:
             self.dataset.add_presence(presence)
             if presence.entity not in affected:
                 affected.append(presence.entity)
-        for entity in affected:
-            matrix = self._signature_computer.signature_matrix(self.dataset.cell_sequence(entity))
-            self._tree.update(entity, matrix)
+        self._resign(affected)
         return affected
 
     def refresh_entities(self, entities: Iterable[str]) -> None:
         """Re-sign and re-insert entities whose traces changed out of band."""
         self._require_built()
-        assert self._signature_computer is not None and self._tree is not None
-        for entity in entities:
-            matrix = self._signature_computer.signature_matrix(self.dataset.cell_sequence(entity))
-            self._tree.update(entity, matrix)
+        self._resign(list(entities))
 
     def remove_entity(self, entity: str) -> None:
         """Drop an entity from both the dataset and the index."""

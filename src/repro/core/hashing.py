@@ -14,14 +14,24 @@ all its *base* descendants at the same time.  This guarantees Theorem 1
 levels) and makes signatures of different levels comparable, which is what
 the MinSigTree's pruning relies on.
 
-Hash evaluation is vectorised with numpy across the whole family and cached
-per (time, unit) cell because popular coarse cells are shared by many
-entities.
+Hash evaluation is vectorised with numpy across the whole family.  Two
+evaluation paths share the exact same modular arithmetic and are therefore
+bitwise-identical:
+
+* the **per-cell path** (:meth:`HierarchicalHashFamily.hash_cell`), which
+  caches one hash vector per (time, unit) cell -- the right tool for
+  incremental updates and single queries, where popular coarse cells are
+  shared across calls; and
+* the **bulk path** (:meth:`HierarchicalHashFamily.hash_cells_bulk`), which
+  lays every cell's base-descendant codes into one flat array, evaluates the
+  whole family with a single broadcasted modular-hash kernel, and reduces
+  per-cell minima with ``np.minimum.reduceat`` -- the right tool when signing
+  a whole dataset at once.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +43,11 @@ __all__ = ["HierarchicalHashFamily"]
 # A Mersenne prime: universal hashing modulus.  Coefficients and (reduced)
 # cell codes are both below 2^31, so products fit comfortably in uint64.
 _MERSENNE_PRIME = (1 << 31) - 1
+
+# Soft cap on the number of grid elements materialised per bulk-kernel chunk;
+# keeps peak memory of the bulk path around a hundred MB regardless of
+# dataset size.
+_BULK_CHUNK_ELEMENTS = 1 << 23
 
 
 class HierarchicalHashFamily:
@@ -85,6 +100,9 @@ class HierarchicalHashFamily:
         self._cell_cache: Dict[Tuple[int, str], np.ndarray] = {}
         # Cache of base descendant index arrays per non-base unit.
         self._descendant_indexes: Dict[str, np.ndarray] = {}
+        # Bulk-path caches: level-1 ancestor per unit and subtree layouts.
+        self._unit_roots: Dict[str, str] = {}
+        self._layouts: Dict[str, Dict[str, object]] = {}
 
     # ------------------------------------------------------------------
     # Encoding
@@ -157,6 +175,215 @@ class HierarchicalHashFamily:
         if not rows:
             return np.empty((0, self.num_hashes), dtype=np.int64)
         return np.stack(rows, axis=0)
+
+    # ------------------------------------------------------------------
+    # Bulk evaluation (no per-cell cache)
+    # ------------------------------------------------------------------
+    def hash_cells_bulk(
+        self, cells: Sequence[STCell], out_dtype: np.dtype = np.int64
+    ) -> np.ndarray:
+        """Hash many cells with one broadcasted kernel: shape (n_cells, n_h).
+
+        Bitwise-identical to stacking :meth:`hash_cell` results, but the
+        per-cell dict cache is bypassed entirely.  Cells are grouped by their
+        level-1 subtree; for each subtree the whole (time x base-descendant)
+        hash grid is evaluated with a decomposed modular kernel (the time and
+        unit terms of ``a * (t*|L| + i) + b`` are combined with one addition
+        modulo the prime instead of one multiplication per grid element), and
+        coarse-cell minima are then reduced *hierarchically* -- one grouped
+        minimum per sp-index level -- so each base hash value is read once
+        per level instead of once per ancestor cell.  Work is chunked over
+        times so peak memory stays bounded.
+
+        ``out_dtype`` may be ``np.int32`` (hash values fit: the range is
+        below the 2^31 modulus); the bulk signature pipeline uses this to
+        halve the memory traffic of its reduction stage.
+        """
+        out = np.empty((len(cells), self.num_hashes), dtype=out_dtype)
+        if len(cells):
+            groups: Dict[str, List[int]] = {}
+            for position, cell in enumerate(cells):
+                groups.setdefault(self._root_of(cell.unit), []).append(position)
+            for root, positions in groups.items():
+                self._hash_subtree_group(out, cells, positions, root)
+        return out
+
+    def _root_of(self, unit_id: str) -> str:
+        """Level-1 ancestor of a unit (cached)."""
+        root = self._unit_roots.get(unit_id)
+        if root is None:
+            root = self.hierarchy.path(unit_id)[0]
+            self._unit_roots[unit_id] = root
+        return root
+
+    def _subtree_layout(self, root: str) -> Dict[str, object]:
+        """Pre-order layout of one level-1 subtree (cached).
+
+        ``units[level]`` lists the subtree's level-``level`` units in
+        pre-order (so every unit's children are consecutive in the next
+        level's list), ``pos[level]`` maps unit id to its slot,
+        ``offsets[level]`` are the ``reduceat`` boundaries that reduce the
+        level-``level+1`` axis onto level ``level``, and ``base_idx`` holds
+        the dense base-unit indexes in the same pre-order.
+        """
+        cached = self._layouts.get(root)
+        if cached is not None:
+            return cached
+        num_levels = self.hierarchy.num_levels
+        units: Dict[int, List[str]] = {level: [] for level in range(1, num_levels + 1)}
+        counts: Dict[int, List[int]] = {level: [] for level in range(1, num_levels)}
+        stack = [root]
+        while stack:
+            unit = self.hierarchy.unit(stack.pop())
+            units[unit.level].append(unit.unit_id)
+            if not unit.is_base:
+                counts[unit.level].append(len(unit.children_ids))
+                stack.extend(reversed(unit.children_ids))
+        # Reduction plan per level: children are consecutive in the next
+        # level's pre-order, so a uniform fan-out reduces with a plain
+        # reshape + min (SIMD-friendly, unlike ufunc.reduceat); mixed
+        # fan-outs are grouped by count and gathered per group.
+        plans: Dict[int, object] = {}
+        for level, level_counts in counts.items():
+            count_arr = np.array(level_counts, dtype=np.int64)
+            offsets = np.concatenate(([0], np.cumsum(count_arr)[:-1]))
+            if count_arr.size and (count_arr == count_arr[0]).all():
+                plans[level] = ("uniform", int(count_arr[0]))
+            else:
+                groups = []
+                for count in np.unique(count_arr):
+                    parent_pos = np.flatnonzero(count_arr == count)
+                    child_idx = offsets[parent_pos][:, None] + np.arange(count)[None, :]
+                    groups.append((parent_pos, child_idx))
+                plans[level] = ("grouped", groups)
+        layout = {
+            "units": units,
+            "pos": {
+                level: {unit_id: slot for slot, unit_id in enumerate(level_units)}
+                for level, level_units in units.items()
+            },
+            "plans": plans,
+            "base_idx": np.array(
+                [self.hierarchy.base_unit_index(unit_id) for unit_id in units[num_levels]],
+                dtype=np.uint64,
+            ),
+        }
+        self._layouts[root] = layout
+        return layout
+
+    def _hash_subtree_group(
+        self,
+        out: np.ndarray,
+        cells: Sequence[STCell],
+        positions: Sequence[int],
+        root: str,
+    ) -> None:
+        """Fill ``out[positions]`` for all cells under one level-1 subtree.
+
+        Grids are laid out time-major -- ``(n_times, n_units, n_h)`` -- so
+        every reduction and gather touches contiguous length-``n_h`` rows:
+        the hierarchy minimum reduces a middle axis with a SIMD-friendly
+        contiguous inner axis, and scattering a cell's hash vector into the
+        output is a straight row copy.
+        """
+        layout = self._subtree_layout(root)
+        num_levels = self.hierarchy.num_levels
+        pos_of = layout["pos"]
+
+        by_level: Dict[int, Tuple[List[int], List[int], List[int]]] = {}
+        times_set = set()
+        for position in positions:
+            cell = cells[position]
+            level = self.hierarchy.unit(cell.unit).level
+            bucket = by_level.setdefault(level, ([], [], []))
+            bucket[0].append(cell.time)
+            bucket[1].append(pos_of[level][cell.unit])
+            bucket[2].append(position)
+            times_set.add(cell.time)
+        times = np.array(sorted(times_set), dtype=np.uint64)
+        min_level = min(by_level)
+        level_refs = {
+            level: (
+                np.searchsorted(times, np.array(cell_times, dtype=np.uint64)),
+                np.array(unit_slots, dtype=np.int64),
+                np.array(out_positions, dtype=np.int64),
+            )
+            for level, (cell_times, unit_slots, out_positions) in by_level.items()
+        }
+
+        prime = np.uint64(_MERSENNE_PRIME)
+        base_idx = layout["base_idx"]
+        # Unit term of the decomposed universal hash: (a*i + b) mod p per
+        # (base descendant, function); a, i < 2^31 so products fit in uint64.
+        # Once reduced mod p both terms fit in 32 bits, so the grid-sized
+        # arithmetic below runs entirely in uint32: the sum of two residues
+        # is < 2p - 1 < 2^32 (no overflow), and 32-bit arithmetic moves half
+        # the bytes of the uint64 equivalent.
+        unit_term = (
+            (base_idx[:, None] * self._a[None, :] + self._b[None, :]) % prime
+        ).astype(np.uint32)
+
+        num_base = base_idx.size
+        chunk = max(1, _BULK_CHUNK_ELEMENTS // max(1, self.num_hashes * num_base))
+        for start in range(0, times.size, chunk):
+            chunk_times = times[start : start + chunk]
+            # Time term: a * ((t*|L|) mod p) mod p, shape (n_t, n_h).
+            time_codes = (chunk_times * np.uint64(self.num_base_units)) % prime
+            time_term = ((time_codes[:, None] * self._a[None, :]) % prime).astype(np.uint32)
+            # One broadcasted addition replaces the per-element
+            # multiplication of the naive kernel: a*(t*|L| + i) + b splits
+            # into the precomputed unit and time residues.  Both residues are
+            # < p, so reducing their sum mod p is a single conditional
+            # subtract -- no division pass over the grid.
+            grid = time_term[:, None, :] + unit_term[None, :, :]
+            prime32 = np.uint32(_MERSENNE_PRIME)
+            np.subtract(grid, prime32, out=grid, where=grid >= prime32)
+            grid %= np.uint32(self.hash_range)
+            # Hierarchical parent-constraint minima: level l's grid is the
+            # minimum of level l+1 over each unit's (consecutive) children.
+            level_grids = {num_levels: grid}
+            for level in range(num_levels - 1, min_level - 1, -1):
+                kind, plan = layout["plans"][level]
+                n_t = grid.shape[0]
+                if kind == "uniform":
+                    n_child = grid.shape[1]
+                    grid = grid.reshape(n_t, n_child // plan, plan, -1).min(axis=2)
+                else:
+                    n_parents = sum(parent_pos.size for parent_pos, _child_idx in plan)
+                    reduced = np.empty((n_t, n_parents, self.num_hashes), dtype=grid.dtype)
+                    for parent_pos, child_idx in plan:
+                        reduced[:, parent_pos, :] = grid[:, child_idx, :].min(axis=2)
+                    grid = reduced
+                level_grids[level] = grid
+            stop = start + chunk_times.size
+            for level, (time_slots, unit_slots, out_positions) in level_refs.items():
+                in_chunk = (time_slots >= start) & (time_slots < stop)
+                if not in_chunk.any():
+                    continue
+                # Row-wise scatter: each cell's hash vector is a contiguous
+                # row of the time-major grid, so this is a block of memcpys.
+                out[out_positions[in_chunk]] = level_grids[level][
+                    time_slots[in_chunk] - start, unit_slots[in_chunk], :
+                ]
+
+    def warm_cache(self, cells: Iterable[STCell]) -> int:
+        """Bulk-hash ``cells`` into the per-cell cache; returns how many were new.
+
+        Used by the batch query executor: the union of every query entity's
+        cells is hashed once with the vectorised kernel, so individual
+        searches then hit the cache instead of hashing cell by cell.
+        """
+        missing = [
+            cell
+            for cell in dict.fromkeys(cells)
+            if (cell.time, cell.unit) not in self._cell_cache
+        ]
+        if not missing:
+            return 0
+        matrix = self.hash_cells_bulk(missing)
+        for row, cell in zip(matrix, missing):
+            self._cell_cache[(cell.time, cell.unit)] = row
+        return len(missing)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -6,12 +6,21 @@ and any entity in its subtree (Theorem 4, computed from the node's partial
 pruned set); nodes are explored in decreasing bound order, leaves have their
 entities scored exactly, and the search stops as soon as the k-th best exact
 score is at least the best outstanding bound (early termination).
+
+Batched execution is a first-class API: :class:`BatchTopKExecutor` answers
+many queries over one index, pre-hashing the union of all query cells with
+the vectorised bulk kernel (so overlapping query footprints are hashed once)
+and optionally fanning queries out over a ``concurrent.futures`` thread
+pool.  Results are guaranteed identical -- including tie-breaks -- to
+running :meth:`TopKSearcher.search` serially per query.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -22,7 +31,13 @@ from repro.measures.base import AssociationMeasure
 from repro.traces.dataset import TraceDataset
 from repro.traces.events import CellSequence
 
-__all__ = ["QueryStats", "TopKResult", "TopKSearcher"]
+__all__ = [
+    "BatchTopKExecutor",
+    "BatchTopKResult",
+    "QueryStats",
+    "TopKResult",
+    "TopKSearcher",
+]
 
 SequenceFetcher = Callable[[str], CellSequence]
 
@@ -260,3 +275,127 @@ class TopKSearcher:
             self.search(entity, k, sequence_fetcher=sequence_fetcher)
             for entity in query_entities
         ]
+
+
+@dataclass
+class BatchTopKResult:
+    """The outcome of one batch of top-k queries, plus aggregate statistics.
+
+    ``results`` is aligned with the query order given to
+    :meth:`BatchTopKExecutor.run`; the per-query :class:`QueryStats` live on
+    each result, and this wrapper aggregates them into the batch-level
+    numbers the CLI and benchmarks report.
+    """
+
+    results: List[TopKResult] = field(default_factory=list)
+    #: Wall-clock seconds for the whole batch (including cache pre-warming).
+    wall_seconds: float = 0.0
+    #: Number of worker threads used (0 or 1 means serial execution).
+    workers: int = 0
+    #: Query cells newly hashed into the shared cache before searching.
+    warmed_cells: int = 0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def num_queries(self) -> int:
+        """Number of queries answered."""
+        return len(self.results)
+
+    @property
+    def queries_per_second(self) -> float:
+        """Batch throughput (0 when the batch finished too fast to time)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.num_queries / self.wall_seconds
+
+    @property
+    def total_entities_scored(self) -> int:
+        """Exact scorings summed over the batch."""
+        return sum(result.stats.entities_scored for result in self.results)
+
+    @property
+    def total_nodes_visited(self) -> int:
+        """MinSigTree nodes popped summed over the batch."""
+        return sum(result.stats.nodes_visited for result in self.results)
+
+    @property
+    def mean_pruning_effectiveness(self) -> float:
+        """Average per-query pruning effectiveness (Figures 7.3/7.7 metric)."""
+        if not self.results:
+            return 0.0
+        return sum(r.stats.pruning_effectiveness for r in self.results) / len(self.results)
+
+
+class BatchTopKExecutor:
+    """Answers many top-k queries over one index with shared work.
+
+    Parameters
+    ----------
+    searcher:
+        The :class:`TopKSearcher` bound to the index being queried.
+    workers:
+        Thread-pool size for query fan-out.  ``0`` or ``1`` runs serially in
+        the calling thread; larger values use ``concurrent.futures``.
+        Results are identical regardless -- each query's best-first search is
+        independent, so fan-out only changes wall-clock time.
+
+    Before searching, the executor hashes the union of every query entity's
+    ST-cells into the family's shared cell cache via the vectorised bulk
+    kernel (:meth:`HierarchicalHashFamily.warm_cache`), so cells shared
+    between queries -- or between a query and earlier batches -- are never
+    hashed twice.
+    """
+
+    def __init__(self, searcher: TopKSearcher, workers: int = 0) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.searcher = searcher
+        self.workers = int(workers)
+
+    def run(
+        self,
+        query_entities: Sequence[str],
+        k: int,
+        sequence_fetcher: Optional[SequenceFetcher] = None,
+        approximation: float = 0.0,
+        workers: Optional[int] = None,
+    ) -> BatchTopKResult:
+        """Answer every query in ``query_entities``, preserving their order."""
+        started = time.perf_counter()
+        effective_workers = self.workers if workers is None else int(workers)
+        if effective_workers < 0:
+            raise ValueError(f"workers must be >= 0, got {effective_workers}")
+
+        dataset = self.searcher.dataset
+        shared_cells = []
+        for entity in query_entities:
+            for level_cells in dataset.cell_sequence(entity).levels:
+                shared_cells.extend(level_cells)
+        warmed = self.searcher.hash_family.warm_cache(shared_cells)
+
+        def run_one(entity: str) -> TopKResult:
+            return self.searcher.search(
+                entity,
+                k,
+                sequence_fetcher=sequence_fetcher,
+                approximation=approximation,
+            )
+
+        if effective_workers <= 1 or len(query_entities) <= 1:
+            results = [run_one(entity) for entity in query_entities]
+        else:
+            pool_size = min(effective_workers, len(query_entities))
+            with ThreadPoolExecutor(max_workers=pool_size) as pool:
+                results = list(pool.map(run_one, query_entities))
+
+        return BatchTopKResult(
+            results=results,
+            wall_seconds=time.perf_counter() - started,
+            workers=effective_workers,
+            warmed_cells=warmed,
+        )

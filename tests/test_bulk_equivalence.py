@@ -1,0 +1,333 @@
+"""Equivalence suite: the bulk pipeline vs the per-entity path.
+
+The vectorised bulk-signature pipeline and the batch query executor are pure
+performance features: they must be *bitwise-identical* (signatures) and
+*result-identical including tie-breaks* (top-k) to the per-entity/serial
+paths.  This suite pins that guarantee with property-style checks over
+seeded-random datasets across hierarchy shapes, plus the edge cases that
+historically break vectorised rewrites: empty traces, a single entity,
+horizon = 1, and irregular (mixed fan-out) hierarchies.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import (
+    BatchTopKExecutor,
+    PresenceInstance,
+    SpatialHierarchy,
+    TraceDataset,
+    TraceQueryEngine,
+)
+from repro.core.hashing import HierarchicalHashFamily
+from repro.core.signatures import SignatureComputer
+from repro.traces.events import STCell
+
+
+# ----------------------------------------------------------------------
+# Random dataset generation
+# ----------------------------------------------------------------------
+def irregular_hierarchy() -> SpatialHierarchy:
+    """A 3-level sp-index with mixed fan-outs (exercises the grouped plan)."""
+    parents = {
+        "r0": None,
+        "r1": None,
+        "r0a": "r0",
+        "r0b": "r0",
+        "r0c": "r0",
+        "r1a": "r1",
+        # r0a has 1 base child, r0b has 3, r0c has 2, r1a has 4.
+        "v0": "r0a",
+        "v1": "r0b",
+        "v2": "r0b",
+        "v3": "r0b",
+        "v4": "r0c",
+        "v5": "r0c",
+        "v6": "r1a",
+        "v7": "r1a",
+        "v8": "r1a",
+        "v9": "r1a",
+    }
+    return SpatialHierarchy.from_parent_map(parents)
+
+
+HIERARCHIES = {
+    "regular-3level": lambda: SpatialHierarchy.regular([2, 2, 2], prefix="h"),
+    "regular-2level": lambda: SpatialHierarchy.regular([3, 4], prefix="g"),
+    "flat-1level": lambda: SpatialHierarchy.regular([6], prefix="f"),
+    "deep-4level": lambda: SpatialHierarchy.regular([2, 2, 2, 2], prefix="d"),
+    "irregular": irregular_hierarchy,
+}
+
+
+def random_dataset(
+    hierarchy: SpatialHierarchy,
+    horizon: int,
+    num_entities: int,
+    seed: int,
+    include_empty: bool = False,
+) -> TraceDataset:
+    """A seeded-random dataset over ``hierarchy``."""
+    rng = random.Random(seed)
+    dataset = TraceDataset(hierarchy, horizon=horizon)
+    base_units = hierarchy.base_units
+    for index in range(num_entities):
+        entity = f"e{index}"
+        for _ in range(rng.randint(1, 8)):
+            start = rng.randrange(horizon)
+            duration = rng.randint(1, min(3, horizon - start) or 1)
+            dataset.add_record(entity, rng.choice(base_units), start, duration=duration)
+    if include_empty:
+        dataset.replace_trace("ghost", [])
+    return dataset
+
+
+def both_signature_sets(dataset: TraceDataset, num_hashes: int, seed: int):
+    """Signatures from a cold per-entity path and a cold bulk path."""
+    horizon = max(dataset.horizon, 1)
+    per_family = HierarchicalHashFamily(
+        dataset.hierarchy, horizon=horizon, num_hashes=num_hashes, seed=seed
+    )
+    per = SignatureComputer(per_family).signatures_for_dataset(dataset, method="per_entity")
+    bulk_family = HierarchicalHashFamily(
+        dataset.hierarchy, horizon=horizon, num_hashes=num_hashes, seed=seed
+    )
+    bulk = SignatureComputer(bulk_family).bulk_signature_matrices(dataset)
+    return per, bulk
+
+
+# ----------------------------------------------------------------------
+# Signature equivalence
+# ----------------------------------------------------------------------
+class TestBulkSignatureEquivalence:
+    @pytest.mark.parametrize("shape", sorted(HIERARCHIES))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_datasets_bitwise_equal(self, shape, seed):
+        hierarchy = HIERARCHIES[shape]()
+        dataset = random_dataset(hierarchy, horizon=24, num_entities=25, seed=seed)
+        per, bulk = both_signature_sets(dataset, num_hashes=17, seed=seed)
+        assert set(per) == set(bulk)
+        for entity in per:
+            assert np.array_equal(per[entity], bulk[entity]), entity
+
+    def test_empty_trace_entity(self, small_hierarchy):
+        dataset = random_dataset(
+            small_hierarchy, horizon=12, num_entities=5, seed=3, include_empty=True
+        )
+        per, bulk = both_signature_sets(dataset, num_hashes=8, seed=3)
+        assert np.array_equal(per["ghost"], bulk["ghost"])
+        sentinel = small_hierarchy.num_base_units * 12
+        assert (bulk["ghost"] == sentinel).all()
+        for entity in per:
+            assert np.array_equal(per[entity], bulk[entity]), entity
+
+    def test_single_entity(self, small_hierarchy):
+        dataset = TraceDataset(small_hierarchy, horizon=10)
+        dataset.add_record("only", small_hierarchy.base_units[0], 2, duration=3)
+        per, bulk = both_signature_sets(dataset, num_hashes=5, seed=9)
+        assert np.array_equal(per["only"], bulk["only"])
+
+    def test_horizon_one(self, small_hierarchy):
+        dataset = TraceDataset(small_hierarchy, horizon=1)
+        for index, unit in enumerate(small_hierarchy.base_units):
+            dataset.add_record(f"e{index}", unit, 0)
+        per, bulk = both_signature_sets(dataset, num_hashes=7, seed=4)
+        for entity in per:
+            assert np.array_equal(per[entity], bulk[entity]), entity
+
+    def test_entity_subset_selection(self, small_dataset):
+        horizon = max(small_dataset.horizon, 1)
+        family = HierarchicalHashFamily(
+            small_dataset.hierarchy, horizon=horizon, num_hashes=6, seed=1
+        )
+        computer = SignatureComputer(family)
+        subset = ("a", "d")
+        bulk = computer.bulk_signature_matrices(small_dataset, subset)
+        assert tuple(bulk) == subset
+        for entity in subset:
+            expected = computer.signature_matrix(small_dataset.cell_sequence(entity))
+            assert np.array_equal(bulk[entity], expected)
+
+    def test_signatures_for_dataset_rejects_unknown_method(self, small_dataset):
+        family = HierarchicalHashFamily(
+            small_dataset.hierarchy, horizon=48, num_hashes=4, seed=0
+        )
+        with pytest.raises(ValueError, match="unknown signature method"):
+            SignatureComputer(family).signatures_for_dataset(small_dataset, method="magic")
+
+
+class TestBulkHashKernel:
+    def test_hash_cells_bulk_matches_hash_matrix(self):
+        hierarchy = irregular_hierarchy()
+        dataset = random_dataset(hierarchy, horizon=16, num_entities=10, seed=7)
+        family = HierarchicalHashFamily(hierarchy, horizon=16, num_hashes=11, seed=2)
+        cells = []
+        for entity in dataset.entities:
+            for level_cells in dataset.cell_sequence(entity).levels:
+                cells.extend(level_cells)
+        cells = list(dict.fromkeys(cells))
+        reference = family.hash_matrix(cells)
+        cold = HierarchicalHashFamily(hierarchy, horizon=16, num_hashes=11, seed=2)
+        assert np.array_equal(cold.hash_cells_bulk(cells), reference)
+        # int32 output carries the same values.
+        cold2 = HierarchicalHashFamily(hierarchy, horizon=16, num_hashes=11, seed=2)
+        assert np.array_equal(cold2.hash_cells_bulk(cells, out_dtype=np.int32), reference)
+
+    def test_warm_cache_rows_match_per_cell_path(self, small_hierarchy):
+        family = HierarchicalHashFamily(small_hierarchy, horizon=8, num_hashes=9, seed=5)
+        cells = [STCell(1, small_hierarchy.base_units[0]), STCell(1, "h1_0"), STCell(3, "h2_1_1")]
+        warmed = family.warm_cache(cells)
+        assert warmed == len(cells)
+        reference = HierarchicalHashFamily(small_hierarchy, horizon=8, num_hashes=9, seed=5)
+        for cell in cells:
+            assert np.array_equal(family.hash_cell(cell), reference.hash_cell(cell))
+        # Already-cached cells are not re-hashed.
+        assert family.warm_cache(cells) == 0
+
+    def test_empty_batch(self, small_hierarchy):
+        family = HierarchicalHashFamily(small_hierarchy, horizon=8, num_hashes=3, seed=0)
+        assert family.hash_cells_bulk([]).shape == (0, 3)
+        assert family.warm_cache([]) == 0
+
+
+# ----------------------------------------------------------------------
+# Engine determinism: bulk vs per-entity builds
+# ----------------------------------------------------------------------
+class TestBuildDeterminism:
+    @pytest.mark.parametrize("shape", ["regular-3level", "irregular"])
+    def test_same_index_regardless_of_path(self, shape):
+        hierarchy = HIERARCHIES[shape]()
+        dataset = random_dataset(hierarchy, horizon=20, num_entities=30, seed=11)
+        bulk_engine = TraceQueryEngine(dataset, num_hashes=16, seed=7).build()
+        per_engine = TraceQueryEngine(
+            dataset, num_hashes=16, seed=7, bulk_signatures=False
+        ).build()
+        assert bulk_engine.index_size_bytes() == per_engine.index_size_bytes()
+        for entity in dataset.entities:
+            assert np.array_equal(
+                bulk_engine.tree.signature_of(entity), per_engine.tree.signature_of(entity)
+            )
+        # Identical leaf partitions: same entities grouped in the same order.
+        bulk_leaves = [tuple(leaf.entities) for leaf in bulk_engine.tree.leaves()]
+        per_leaves = [tuple(leaf.entities) for leaf in per_engine.tree.leaves()]
+        assert bulk_leaves == per_leaves
+        assert bulk_engine.tree.leaf_order() == per_engine.tree.leaf_order()
+
+
+# ----------------------------------------------------------------------
+# Batch executor equivalence
+# ----------------------------------------------------------------------
+class TestBatchExecutorEquivalence:
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_matches_serial_top_k_for_every_entity(self, workers):
+        hierarchy = SpatialHierarchy.regular([2, 2, 2], prefix="h")
+        dataset = random_dataset(hierarchy, horizon=24, num_entities=20, seed=21)
+        engine = TraceQueryEngine(dataset, num_hashes=24, seed=3).build()
+        queries = list(dataset.entities)
+        serial = [engine.top_k(entity, k=5) for entity in queries]
+        batch = engine.top_k_batch(queries, k=5, workers=workers)
+        assert batch.num_queries == len(queries)
+        assert batch.workers == workers
+        for serial_result, batch_result in zip(serial, batch.results):
+            assert serial_result.query_entity == batch_result.query_entity
+            # Identical ranked (entity, score) pairs -- ties included.
+            assert serial_result.items == batch_result.items
+
+    def test_executor_aggregates(self, small_engine):
+        executor = BatchTopKExecutor(small_engine.searcher, workers=0)
+        report = executor.run(list(small_engine.dataset.entities), k=2)
+        assert report.num_queries == small_engine.dataset.num_entities
+        assert len(report) == report.num_queries
+        assert report.wall_seconds > 0.0
+        assert report.total_entities_scored == sum(
+            r.stats.entities_scored for r in report.results
+        )
+        assert 0.0 <= report.mean_pruning_effectiveness <= 1.0
+        assert report.queries_per_second > 0.0
+        # The second batch finds everything already cached.
+        assert executor.run(list(small_engine.dataset.entities), k=2).warmed_cells == 0
+
+    def test_rejects_negative_workers(self, small_engine):
+        with pytest.raises(ValueError, match="workers"):
+            BatchTopKExecutor(small_engine.searcher, workers=-1)
+        with pytest.raises(ValueError, match="workers"):
+            small_engine.batch_executor().run(["a"], 1, workers=-2)
+
+    def test_engine_top_k_many_routes_through_executor(self, small_engine):
+        results = small_engine.top_k_many(["a", "d"], k=2, workers=2)
+        assert [r.query_entity for r in results] == ["a", "d"]
+        serial = [small_engine.top_k("a", k=2), small_engine.top_k("d", k=2)]
+        for got, expected in zip(results, serial):
+            assert got.items == expected.items
+
+
+# ----------------------------------------------------------------------
+# Incremental updates through the bulk path (Figure 7.9)
+# ----------------------------------------------------------------------
+class TestBulkUpdates:
+    def _update_batch(self, dataset, count=8):
+        base_units = dataset.hierarchy.base_units
+        horizon = max(dataset.horizon, 2)
+        existing = list(dataset.entities[: count // 2])
+        fresh = [f"new-{index}" for index in range(count - len(existing))]
+        records = []
+        for index, entity in enumerate(existing + fresh):
+            unit = base_units[(index * 3) % len(base_units)]
+            start = (index * 5) % (horizon - 1)
+            records.append(PresenceInstance(entity, unit, start, start + 1))
+        return records
+
+    @pytest.mark.parametrize("bulk", [True, False])
+    def test_add_records_matches_full_rebuild(self, bulk):
+        hierarchy = SpatialHierarchy.regular([2, 3, 2], prefix="u")
+        dataset = random_dataset(hierarchy, horizon=20, num_entities=15, seed=33)
+        engine = TraceQueryEngine(
+            dataset, num_hashes=12, seed=5, bulk_signatures=bulk
+        ).build()
+        affected = engine.add_records(self._update_batch(dataset))
+        assert len(affected) == 8
+        rebuilt = TraceQueryEngine(dataset, num_hashes=12, seed=5).build()
+        for entity in dataset.entities:
+            assert np.array_equal(
+                engine.tree.signature_of(entity), rebuilt.tree.signature_of(entity)
+            ), entity
+        assert engine.index_size_bytes() == rebuilt.index_size_bytes()
+
+    def test_bulk_and_per_entity_updates_agree(self):
+        hierarchy = SpatialHierarchy.regular([2, 2, 2], prefix="h")
+        seed_data = random_dataset(hierarchy, horizon=16, num_entities=12, seed=44)
+        copies = []
+        for bulk in (True, False):
+            dataset = TraceDataset(hierarchy, horizon=16)
+            for entity in seed_data.entities:
+                for presence in seed_data.trace(entity):
+                    dataset.add_presence(presence)
+            engine = TraceQueryEngine(
+                dataset, num_hashes=10, seed=2, bulk_signatures=bulk
+            ).build()
+            engine.add_records(self._update_batch(dataset))
+            copies.append(engine)
+        bulk_engine, per_engine = copies
+        for entity in bulk_engine.dataset.entities:
+            assert np.array_equal(
+                bulk_engine.tree.signature_of(entity), per_engine.tree.signature_of(entity)
+            )
+        assert [tuple(l.entities) for l in bulk_engine.tree.leaves()] == [
+            tuple(l.entities) for l in per_engine.tree.leaves()
+        ]
+
+    def test_refresh_entities_uses_batch_resign(self, small_dataset):
+        engine = TraceQueryEngine(small_dataset, num_hashes=16, seed=1).build()
+        base = small_dataset.hierarchy.base_units[5]
+        small_dataset.add_record("d", base, 40)
+        small_dataset.add_record("e", base, 41)
+        engine.refresh_entities(["d", "e"])
+        rebuilt = TraceQueryEngine(small_dataset, num_hashes=16, seed=1).build()
+        for entity in ("d", "e"):
+            assert np.array_equal(
+                engine.tree.signature_of(entity), rebuilt.tree.signature_of(entity)
+            )

@@ -124,6 +124,111 @@ class TestQuery:
         assert code == 2
         assert "unknown entity" in capsys.readouterr().err
 
+    def test_batch_query_prints_aggregate_report(self, generated_files, capsys):
+        traces, hierarchy = generated_files
+        code = main(
+            [
+                "query",
+                "--traces",
+                str(traces),
+                "--hierarchy",
+                str(hierarchy),
+                "--batch",
+                "syn-0",
+                "syn-1",
+                "syn-2",
+                "--workers",
+                "2",
+                "--k",
+                "3",
+                "--num-hashes",
+                "32",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "top-3 associates of syn-0" in output
+        assert "top-3 associates of syn-2" in output
+        assert "batch: 3 queries" in output
+        assert "workers=2" in output
+
+    def test_batch_and_entity_are_mutually_exclusive(self, generated_files, capsys):
+        traces, hierarchy = generated_files
+        code = main(
+            [
+                "query",
+                "--traces",
+                str(traces),
+                "--hierarchy",
+                str(hierarchy),
+                "--entity",
+                "syn-0",
+                "--batch",
+                "syn-1",
+            ]
+        )
+        assert code == 2
+        assert "exactly one of --entity or --batch" in capsys.readouterr().err
+
+    def test_neither_entity_nor_batch_fails(self, generated_files, capsys):
+        traces, hierarchy = generated_files
+        code = main(["query", "--traces", str(traces), "--hierarchy", str(hierarchy)])
+        assert code == 2
+        assert "exactly one of --entity or --batch" in capsys.readouterr().err
+
+    def test_negative_workers_fails_gracefully(self, generated_files, capsys):
+        traces, hierarchy = generated_files
+        code = main(
+            [
+                "query",
+                "--traces",
+                str(traces),
+                "--hierarchy",
+                str(hierarchy),
+                "--batch",
+                "syn-0",
+                "--workers",
+                "-1",
+            ]
+        )
+        assert code == 2
+        assert "--workers must be >= 0" in capsys.readouterr().err
+
+    def test_workers_without_batch_rejected(self, generated_files, capsys):
+        traces, hierarchy = generated_files
+        code = main(
+            [
+                "query",
+                "--traces",
+                str(traces),
+                "--hierarchy",
+                str(hierarchy),
+                "--entity",
+                "syn-0",
+                "--workers",
+                "4",
+            ]
+        )
+        assert code == 2
+        assert "--workers only applies to --batch" in capsys.readouterr().err
+
+    def test_batch_unknown_entity_fails_gracefully(self, generated_files, capsys):
+        traces, hierarchy = generated_files
+        code = main(
+            [
+                "query",
+                "--traces",
+                str(traces),
+                "--hierarchy",
+                str(hierarchy),
+                "--batch",
+                "syn-0",
+                "nobody",
+            ]
+        )
+        assert code == 2
+        assert "unknown entity 'nobody'" in capsys.readouterr().err
+
     def test_approximate_query(self, generated_files, capsys):
         traces, hierarchy = generated_files
         code = main(

@@ -34,6 +34,62 @@ class TestConfiguration:
         with pytest.raises(TypeError, match="unknown engine options"):
             TraceQueryEngine(small_dataset, turbo=True)
 
+    def test_explicit_config_without_overrides_is_used_verbatim(self, small_dataset):
+        config = EngineConfig(num_hashes=24, seed=4, bound_mode="per_level")
+        engine = TraceQueryEngine(small_dataset, config=config)
+        assert engine.config is config
+
+    def test_overrides_win_but_explicit_config_fields_survive(self, small_dataset):
+        # Regression: overrides used to rebuild the config from scratch,
+        # silently resetting any field not mentioned in the kwargs.
+        config = EngineConfig(
+            num_hashes=24,
+            seed=4,
+            bound_mode="per_level",
+            store_full_signatures=True,
+            bulk_signatures=False,
+            batch_workers=3,
+        )
+        engine = TraceQueryEngine(small_dataset, config=config, num_hashes=48)
+        assert engine.config.num_hashes == 48  # the override wins
+        assert engine.config.seed == 4  # everything else survives
+        assert engine.config.bound_mode == "per_level"
+        assert engine.config.store_full_signatures is True
+        assert engine.config.bulk_signatures is False
+        assert engine.config.batch_workers == 3
+        # The caller's config object is never mutated.
+        assert config.num_hashes == 24
+
+    def test_unknown_keyword_rejected_with_explicit_config(self, small_dataset):
+        with pytest.raises(TypeError, match="unknown engine options.*turbo"):
+            TraceQueryEngine(small_dataset, config=EngineConfig(), turbo=True)
+
+    def test_override_values_are_still_validated(self, small_dataset):
+        with pytest.raises(ValueError):
+            TraceQueryEngine(small_dataset, config=EngineConfig(), num_hashes=0)
+
+    def test_batch_knob_defaults_and_overrides(self, small_dataset):
+        assert EngineConfig().bulk_signatures is True
+        assert EngineConfig().batch_workers == 0
+        engine = TraceQueryEngine(small_dataset, bulk_signatures=False, batch_workers=2)
+        assert engine.config.bulk_signatures is False
+        assert engine.config.batch_workers == 2
+
+    def test_negative_batch_workers_rejected(self, small_dataset):
+        with pytest.raises(ValueError, match="batch_workers"):
+            EngineConfig(batch_workers=-1)
+        with pytest.raises(ValueError, match="batch_workers"):
+            TraceQueryEngine(small_dataset, batch_workers=-1)
+
+    def test_with_overrides_returns_new_config(self):
+        config = EngineConfig(seed=7)
+        replaced = config.with_overrides(num_hashes=12)
+        assert replaced is not config
+        assert replaced.num_hashes == 12
+        assert replaced.seed == 7
+        with pytest.raises(TypeError, match="unknown engine options"):
+            config.with_overrides(nope=1)
+
     def test_default_measure_matches_hierarchy_depth(self, small_dataset):
         engine = TraceQueryEngine(small_dataset, num_hashes=8)
         assert isinstance(engine.measure, HierarchicalADM)
