@@ -23,6 +23,12 @@ from repro.core.join import association_graph, mutual_top_k_pairs, top_k_join
 from repro.core.minsigtree import MinSigTree
 from repro.core.query import BatchTopKExecutor, BatchTopKResult, TopKResult, TopKSearcher
 from repro.core.signatures import SignatureComputer
+from repro.service import (
+    HashPartitioner,
+    QueryResultCache,
+    RoundRobinPartitioner,
+    ShardedEngine,
+)
 from repro.measures import (
     AssociationMeasure,
     DiceADM,
@@ -52,12 +58,16 @@ __all__ = [
     "ExampleDiceADM",
     "FScoreADM",
     "HierarchicalADM",
+    "HashPartitioner",
     "HierarchicalHashFamily",
     "JaccardADM",
     "MinSigTree",
     "OverlapADM",
     "PresenceInstance",
+    "QueryResultCache",
+    "RoundRobinPartitioner",
     "STCell",
+    "ShardedEngine",
     "SignatureComputer",
     "SpatialHierarchy",
     "TopKResult",

@@ -1,4 +1,4 @@
-"""Command-line interface: generate data, inspect it, and run top-k queries.
+"""Command-line interface: generate data, build/serve indexes, run queries.
 
 The CLI covers the end-to-end workflow a practitioner needs without writing
 Python::
@@ -10,9 +10,21 @@ Python::
     # Summarise a trace file
     python -m repro stats --traces traces.csv --hierarchy hierarchy.json
 
-    # Who is most associated with syn-17?
+    # Build a durable snapshot index (optionally sharded)
+    python -m repro index build --traces traces.csv --hierarchy hierarchy.json \
+        --output snapshot/ --num-hashes 256
+    python -m repro index info --snapshot snapshot/
+
+    # Who is most associated with syn-17?  (ad-hoc build from the CSV)
     python -m repro query --traces traces.csv --hierarchy hierarchy.json \
         --entity syn-17 --k 10 --num-hashes 256
+
+    # Same query served from the snapshot -- no re-signing on start-up
+    python -m repro query --snapshot snapshot/ --entity syn-17 --k 10
+
+    # Sharded serving: partition entities over 4 shard indexes
+    python -m repro query --traces traces.csv --hierarchy hierarchy.json \
+        --entity syn-17 --shards 4
 
     # Batch mode: many queries over one index, optionally fanned out over
     # worker threads, with an aggregate throughput/pruning report
@@ -30,12 +42,13 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.core.engine import TraceQueryEngine
 from repro.measures.adm import HierarchicalADM
 from repro.mobility.hierarchical import generate_synthetic_dataset
 from repro.mobility.wifi import generate_wifi_dataset
+from repro.service.sharded import SHARDED_SNAPSHOT_FORMAT, ShardedEngine
 from repro.traces.io import (
     load_hierarchy_json,
     load_traces_csv,
@@ -44,6 +57,12 @@ from repro.traces.io import (
 )
 
 __all__ = ["main", "build_parser"]
+
+_DEFAULT_NUM_HASHES = 256
+_DEFAULT_SEED = 0
+_DEFAULT_U = 2.0
+_DEFAULT_V = 2.0
+_DEFAULT_BOUND_MODE = "lift"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,7 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_arguments(stats)
 
     query = subparsers.add_parser("query", help="run top-k queries against a trace dataset")
-    _add_dataset_arguments(query)
+    _add_dataset_arguments(query, required=False)
+    query.add_argument(
+        "--snapshot",
+        help="snapshot directory to serve from (mutually exclusive with --traces/--hierarchy)",
+    )
     query.add_argument("--entity", help="query entity identifier (single-query mode)")
     query.add_argument(
         "--batch",
@@ -83,22 +106,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads for batch fan-out (0 = serial)",
     )
     query.add_argument("--k", type=int, default=10, help="number of results")
-    query.add_argument("--num-hashes", type=int, default=256, help="hash functions for the index")
-    query.add_argument("--seed", type=int, default=0, help="hash family seed")
-    query.add_argument("--u", type=float, default=2.0, help="ADM level exponent")
-    query.add_argument("--v", type=float, default=2.0, help="ADM duration exponent")
     query.add_argument(
-        "--bound-mode",
-        choices=["lift", "per_level"],
-        default="lift",
-        help="upper-bound construction (lift = the paper's Theorem 4; per_level = strictly admissible)",
+        "--shards",
+        type=int,
+        default=0,
+        help="serve through a sharded engine with this many entity partitions (0 = single engine)",
     )
+    query.add_argument(
+        "--partitioner",
+        choices=["hash", "round_robin"],
+        default=None,
+        help="entity partitioning strategy for --shards (default: hash)",
+    )
+    _add_index_arguments(query, defaults=False)
     query.add_argument(
         "--approximation",
         type=float,
         default=0.0,
         help="additive slack for approximate top-k (0 = exact)",
     )
+
+    index = subparsers.add_parser("index", help="build and inspect durable snapshot indexes")
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+
+    index_build = index_sub.add_parser(
+        "build", help="build an index from a trace file and snapshot it to disk"
+    )
+    _add_dataset_arguments(index_build)
+    index_build.add_argument("--output", required=True, help="snapshot directory to write")
+    index_build.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="build a sharded index with this many entity partitions (0 = single engine)",
+    )
+    index_build.add_argument(
+        "--partitioner",
+        choices=["hash", "round_robin"],
+        default=None,
+        help="entity partitioning strategy for --shards (default: hash)",
+    )
+    _add_index_arguments(index_build, defaults=True)
+
+    index_info = index_sub.add_parser("info", help="summarise a snapshot directory")
+    index_info.add_argument("--snapshot", required=True, help="snapshot directory to inspect")
 
     figures = subparsers.add_parser("figures", help="regenerate the paper's evaluation figures")
     figures.add_argument("--scale", choices=["tiny", "small", "medium"], default="tiny")
@@ -108,14 +159,62 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--traces", required=True, help="CSV trace file (entity,unit,start,end)")
-    parser.add_argument("--hierarchy", required=True, help="sp-index JSON (unit -> parent)")
+def _add_dataset_arguments(parser: argparse.ArgumentParser, required: bool = True) -> None:
+    parser.add_argument(
+        "--traces", required=required, help="CSV trace file (entity,unit,start,end)"
+    )
+    parser.add_argument(
+        "--hierarchy", required=required, help="sp-index JSON (unit -> parent)"
+    )
+
+
+def _add_index_arguments(parser: argparse.ArgumentParser, defaults: bool) -> None:
+    """Index-shaping options.
+
+    ``defaults=False`` leaves them at ``None`` so the query command can tell
+    "explicitly passed" from "defaulted" -- with ``--snapshot`` these options
+    are fixed by the snapshot and passing them is an error.
+    """
+    parser.add_argument(
+        "--num-hashes",
+        type=int,
+        default=_DEFAULT_NUM_HASHES if defaults else None,
+        help=f"hash functions for the index (default {_DEFAULT_NUM_HASHES})",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=_DEFAULT_SEED if defaults else None,
+        help=f"hash family seed (default {_DEFAULT_SEED})",
+    )
+    parser.add_argument(
+        "--u",
+        type=float,
+        default=_DEFAULT_U if defaults else None,
+        help=f"ADM level exponent (default {_DEFAULT_U})",
+    )
+    parser.add_argument(
+        "--v",
+        type=float,
+        default=_DEFAULT_V if defaults else None,
+        help=f"ADM duration exponent (default {_DEFAULT_V})",
+    )
+    parser.add_argument(
+        "--bound-mode",
+        choices=["lift", "per_level"],
+        default=_DEFAULT_BOUND_MODE if defaults else None,
+        help="upper-bound construction (lift = the paper's Theorem 4; per_level = strictly admissible)",
+    )
 
 
 # ----------------------------------------------------------------------
 # Subcommand implementations
 # ----------------------------------------------------------------------
+def _error(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
 def _command_generate(args: argparse.Namespace) -> int:
     if args.kind == "syn":
         dataset, _config = generate_synthetic_dataset(
@@ -147,35 +246,100 @@ def _command_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_snapshot_engine(path: str) -> Union[TraceQueryEngine, ShardedEngine]:
+    """Load a snapshot directory, auto-detecting single vs sharded format."""
+    from repro.storage.snapshot import read_manifest
+
+    manifest = read_manifest(path)
+    if manifest.get("format") == SHARDED_SNAPSHOT_FORMAT:
+        return ShardedEngine.load(path)
+    return TraceQueryEngine.load(path)
+
+
+def _explicit_index_options(args: argparse.Namespace) -> List[str]:
+    """Index-shaping options the user passed explicitly (query command only)."""
+    candidates = (
+        ("--num-hashes", args.num_hashes),
+        ("--seed", args.seed),
+        ("--u", args.u),
+        ("--v", args.v),
+        ("--bound-mode", args.bound_mode),
+    )
+    return [name for name, value in candidates if value is not None]
+
+
 def _command_query(args: argparse.Namespace) -> int:
+    from repro.storage.snapshot import SnapshotError
+
+    if args.snapshot and (args.traces or args.hierarchy):
+        return _error("pass either --snapshot or --traces/--hierarchy, not both")
+    if not args.snapshot and not (args.traces and args.hierarchy):
+        return _error("pass --snapshot, or both --traces and --hierarchy")
     if bool(args.entity) == bool(args.batch):
-        print("error: pass exactly one of --entity or --batch", file=sys.stderr)
-        return 2
+        return _error("pass exactly one of --entity or --batch")
     if args.workers < 0:
-        print(f"error: --workers must be >= 0, got {args.workers}", file=sys.stderr)
-        return 2
+        return _error(f"--workers must be >= 0, got {args.workers}")
     if args.workers and not args.batch:
-        print("error: --workers only applies to --batch queries", file=sys.stderr)
-        return 2
-    dataset = _load_dataset(args)
+        return _error("--workers only applies to --batch queries")
+    if args.shards < 0:
+        return _error(f"--shards must be >= 0, got {args.shards}")
+    if args.partitioner and not args.shards:
+        return _error("--partitioner only applies together with --shards")
+
+    if args.snapshot:
+        explicit = _explicit_index_options(args)
+        if explicit:
+            return _error(
+                f"{', '.join(explicit)} cannot be combined with --snapshot; "
+                "those options are fixed when the snapshot is built"
+            )
+        if args.shards:
+            return _error(
+                "--shards cannot be combined with --snapshot; sharded snapshots "
+                "embed their shard count (see `repro index build --shards`)"
+            )
+        try:
+            engine = _load_snapshot_engine(args.snapshot)
+        except SnapshotError as exc:
+            return _error(str(exc))
+    else:
+        dataset = _load_dataset(args)
+        num_hashes = args.num_hashes if args.num_hashes is not None else _DEFAULT_NUM_HASHES
+        seed = args.seed if args.seed is not None else _DEFAULT_SEED
+        u = args.u if args.u is not None else _DEFAULT_U
+        v = args.v if args.v is not None else _DEFAULT_V
+        bound_mode = args.bound_mode if args.bound_mode is not None else _DEFAULT_BOUND_MODE
+        measure = HierarchicalADM(num_levels=dataset.num_levels, u=u, v=v)
+        if args.shards:
+            engine = ShardedEngine(
+                dataset,
+                measure=measure,
+                num_shards=args.shards,
+                partitioner=args.partitioner or "hash",
+                num_hashes=num_hashes,
+                seed=seed,
+                bound_mode=bound_mode,
+            ).build()
+        else:
+            engine = TraceQueryEngine(
+                dataset,
+                measure=measure,
+                num_hashes=num_hashes,
+                seed=seed,
+                bound_mode=bound_mode,
+            ).build()
+
     queries = args.batch if args.batch else [args.entity]
-    unknown = [entity for entity in queries if entity not in dataset]
+    unknown = [entity for entity in queries if entity not in engine.dataset]
     if unknown:
         for entity in unknown:
             print(f"error: unknown entity {entity!r}", file=sys.stderr)
         return 2
-    measure = HierarchicalADM(num_levels=dataset.num_levels, u=args.u, v=args.v)
-    engine = TraceQueryEngine(
-        dataset,
-        measure=measure,
-        num_hashes=args.num_hashes,
-        seed=args.seed,
-        bound_mode=args.bound_mode,
-        batch_workers=args.workers,
-    ).build()
 
     if args.batch:
-        batch = engine.top_k_batch(queries, k=args.k, approximation=args.approximation)
+        batch = engine.top_k_batch(
+            queries, k=args.k, workers=args.workers, approximation=args.approximation
+        )
         for result in batch:
             _print_result(result, args.k)
         print(
@@ -203,6 +367,89 @@ def _print_result(result, k: int) -> None:
     )
 
 
+def _command_index(args: argparse.Namespace) -> int:
+    if args.index_command == "build":
+        return _command_index_build(args)
+    return _command_index_info(args)
+
+
+def _command_index_build(args: argparse.Namespace) -> int:
+    from repro.storage.snapshot import SnapshotError
+
+    if args.shards < 0:
+        return _error(f"--shards must be >= 0, got {args.shards}")
+    if args.partitioner and not args.shards:
+        return _error("--partitioner only applies together with --shards")
+    dataset = _load_dataset(args)
+    measure = HierarchicalADM(num_levels=dataset.num_levels, u=args.u, v=args.v)
+    engine: Union[TraceQueryEngine, ShardedEngine]
+    if args.shards:
+        engine = ShardedEngine(
+            dataset,
+            measure=measure,
+            num_shards=args.shards,
+            partitioner=args.partitioner or "hash",
+            num_hashes=args.num_hashes,
+            seed=args.seed,
+            bound_mode=args.bound_mode,
+        )
+    else:
+        engine = TraceQueryEngine(
+            dataset,
+            measure=measure,
+            num_hashes=args.num_hashes,
+            seed=args.seed,
+            bound_mode=args.bound_mode,
+        )
+    engine.build()
+    try:
+        path = engine.save(args.output)
+    except SnapshotError as exc:
+        return _error(str(exc))
+    kind = f"{args.shards}-shard" if args.shards else "single-engine"
+    print(
+        f"built {kind} index over {dataset.num_entities} entities "
+        f"in {engine.last_build_seconds:.2f}s"
+    )
+    print(f"wrote snapshot to {path}")
+    return 0
+
+
+def _command_index_info(args: argparse.Namespace) -> int:
+    from repro.storage.snapshot import SnapshotError, snapshot_info
+
+    try:
+        info = snapshot_info(args.snapshot)
+        print(f"snapshot: {info['path']}")
+        print(f"format: {info['format']} v{info['format_version']}")
+        print(f"size on disk: {info['size_bytes']} bytes")
+        if info["format"] == SHARDED_SNAPSHOT_FORMAT:
+            partitioner = info["partitioner"]["kind"]
+            print(f"shards: {info['num_shards']} (partitioner: {partitioner})")
+            print(f"config fingerprint: {info['fingerprint']}")
+            return 0
+        config = info["config"]
+        dataset = info["dataset"]
+        measure = info["measure"]
+        print(
+            f"dataset: {dataset['num_entities']} entities, "
+            f"{dataset['num_presences']} presences, {dataset['num_levels']} levels"
+        )
+        print(
+            f"index: num_hashes={config['num_hashes']}, seed={config['seed']}, "
+            f"bound_mode={config['bound_mode']}, nodes={info['tree']['num_nodes']}"
+        )
+        print(f"measure: {measure['name']} {measure['params']}")
+        print(f"fingerprint: {info['fingerprint']}")
+    except SnapshotError as exc:
+        return _error(str(exc))
+    except (KeyError, TypeError) as exc:
+        # read_manifest only validates format and version; a format-valid
+        # manifest can still be missing sections this summary prints.
+        return _error(f"snapshot manifest in {args.snapshot} is incomplete: {exc}")
+    return 0
+
+
 def _command_figures(args: argparse.Namespace) -> int:
     from repro.experiments import figures as figure_module
 
@@ -220,8 +467,7 @@ def _command_figures(args: argparse.Namespace) -> int:
     selected = args.only or list(available)
     unknown = [name for name in selected if name not in available]
     if unknown:
-        print(f"error: unknown figure ids {unknown}", file=sys.stderr)
-        return 2
+        return _error(f"unknown figure ids {unknown}")
     for name in selected:
         result = available[name](scale=args.scale)
         print(result.to_table(max_rows=args.max_rows))
@@ -233,6 +479,7 @@ _COMMANDS = {
     "generate": _command_generate,
     "stats": _command_stats,
     "query": _command_query,
+    "index": _command_index,
     "figures": _command_figures,
 }
 

@@ -31,9 +31,12 @@ hashing across the batch and can fan out over worker threads
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -52,7 +55,13 @@ from repro.measures.base import AssociationMeasure
 from repro.traces.dataset import TraceDataset
 from repro.traces.events import PresenceInstance
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.measures.base import AssociationMeasure as _Measure
+    from repro.service.cache import QueryResultCache
+
 __all__ = ["EngineConfig", "TraceQueryEngine"]
+
+PathLike = Union[str, Path]
 
 
 @dataclass
@@ -89,6 +98,12 @@ class EngineConfig:
         Default thread-pool size for :meth:`TraceQueryEngine.top_k_many` /
         :meth:`TraceQueryEngine.top_k_batch` fan-out.  ``0`` (default) runs
         batches serially in the calling thread.
+    query_cache_size:
+        Maximum number of :meth:`TraceQueryEngine.top_k` results kept in the
+        engine's LRU query cache (``0``, the default, disables caching).
+        Every mutation -- ``add_records``, ``refresh_entities``,
+        ``remove_entity``, ``build`` -- invalidates the cache, so cached
+        results are always identical to fresh searches.
     """
 
     num_hashes: int = 256
@@ -98,6 +113,7 @@ class EngineConfig:
     bound_mode: str = "lift"
     bulk_signatures: bool = True
     batch_workers: int = 0
+    query_cache_size: int = 0
 
     def __post_init__(self) -> None:
         if self.num_hashes < 1:
@@ -108,6 +124,33 @@ class EngineConfig:
             raise ValueError(f"unknown bound mode {self.bound_mode!r}")
         if self.batch_workers < 0:
             raise ValueError(f"batch_workers must be >= 0, got {self.batch_workers}")
+        if self.query_cache_size < 0:
+            raise ValueError(f"query_cache_size must be >= 0, got {self.query_cache_size}")
+
+    def semantic_fields(self) -> Dict[str, object]:
+        """The fields that determine index contents and query results.
+
+        Performance knobs (``bulk_signatures``, ``batch_workers``,
+        ``query_cache_size``) are excluded: they change wall-clock time,
+        never a signature or a result.
+        """
+        return {
+            "num_hashes": self.num_hashes,
+            "seed": self.seed,
+            "store_full_signatures": self.store_full_signatures,
+            "use_full_signatures": self.use_full_signatures,
+            "bound_mode": self.bound_mode,
+        }
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 hex digest of :meth:`semantic_fields`.
+
+        Used to key the query cache and to stamp snapshots: two configs with
+        the same fingerprint are guaranteed to produce identical indexes and
+        results over the same data.
+        """
+        canonical = json.dumps(self.semantic_fields(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def with_overrides(self, **overrides: object) -> "EngineConfig":
         """A copy with the given fields replaced.
@@ -159,6 +202,16 @@ class TraceQueryEngine:
         self._signature_computer: Optional[SignatureComputer] = None
         self._tree: Optional[MinSigTree] = None
         self._searcher: Optional[TopKSearcher] = None
+        # The config is fixed for the engine's lifetime; hash it once so
+        # cache keys on the query hot path cost a tuple build, not a SHA-256.
+        self._config_fingerprint = self.config.fingerprint()
+        self._query_cache: Optional["QueryResultCache"] = None
+        if self.config.query_cache_size > 0:
+            # Imported lazily: repro.service builds on the engine, so the
+            # cache class cannot be a module-level import here.
+            from repro.service.cache import QueryResultCache
+
+            self._query_cache = QueryResultCache(self.config.query_cache_size)
         #: Wall-clock seconds spent in the last :meth:`build` call.
         self.last_build_seconds: float = 0.0
 
@@ -228,7 +281,57 @@ class TraceQueryEngine:
             bound_mode=self.config.bound_mode,
         )
         self.last_build_seconds = time.perf_counter() - started
+        self._invalidate_query_cache()
         return self
+
+    def _adopt_index(self, hash_family: HierarchicalHashFamily, tree: MinSigTree) -> None:
+        """Install an externally reconstructed index (the snapshot load path).
+
+        The caller guarantees that ``tree`` was built from signatures of
+        ``hash_family`` over this engine's dataset; everything downstream
+        (signature computer, searcher) is wired here so updates and queries
+        behave exactly as after :meth:`build`.
+        """
+        self._hash_family = hash_family
+        self._signature_computer = SignatureComputer(hash_family)
+        self._tree = tree
+        self._searcher = TopKSearcher(
+            tree,
+            self.dataset,
+            self.measure,
+            hash_family,
+            use_full_signatures=self.config.use_full_signatures,
+            bound_mode=self.config.bound_mode,
+        )
+        self._invalidate_query_cache()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> Path:
+        """Write the built index (and dataset) to a snapshot directory.
+
+        See :mod:`repro.storage.snapshot` for the format; the snapshot can
+        be restored with :meth:`load` in another process without re-signing.
+        """
+        from repro.storage.snapshot import save_engine_snapshot
+
+        return save_engine_snapshot(self, path)
+
+    @classmethod
+    def load(
+        cls, path: PathLike, measure: Optional["_Measure"] = None
+    ) -> "TraceQueryEngine":
+        """Restore a query-ready engine from a snapshot directory.
+
+        The restored engine is bitwise-identical to the saved one: same
+        signatures, tree structure, results, and orderings.  ``measure``
+        overrides the serialized measure (required for custom measures that
+        the snapshot registry cannot reconstruct).
+        """
+        from repro.storage.snapshot import load_engine_snapshot
+
+        return load_engine_snapshot(path, measure=measure)
 
     def index_size_bytes(self) -> int:
         """Approximate size of the MinSigTree in bytes."""
@@ -248,13 +351,36 @@ class TraceQueryEngine:
 
         ``approximation`` > 0 enables approximate top-k with an additive
         guarantee (see :meth:`repro.core.query.TopKSearcher.search`).
+
+        With ``EngineConfig.query_cache_size > 0`` repeated queries are
+        served from an LRU cache (custom ``sequence_fetcher`` calls bypass
+        it -- the fetcher may have side effects the caller wants).
         """
+        cache = self._query_cache
+        if cache is not None and sequence_fetcher is None:
+            return cache.fetch_or_compute(
+                self._query_cache_key(query_entity, k, approximation),
+                lambda: self.searcher.search(query_entity, k, approximation=approximation),
+            )
         return self.searcher.search(
             query_entity,
             k,
             sequence_fetcher=sequence_fetcher,
             approximation=approximation,
         )
+
+    def _query_cache_key(self, query_entity: str, k: int, approximation: float) -> tuple:
+        """The cache key shared by the single and batched query paths."""
+        return (query_entity, k, approximation, self._config_fingerprint)
+
+    @property
+    def query_cache(self) -> Optional["QueryResultCache"]:
+        """The LRU query cache, or ``None`` when caching is disabled."""
+        return self._query_cache
+
+    def _invalidate_query_cache(self) -> None:
+        if self._query_cache is not None:
+            self._query_cache.clear()
 
     def top_k_many(
         self,
@@ -278,9 +404,47 @@ class TraceQueryEngine:
         workers: Optional[int] = None,
         approximation: float = 0.0,
     ) -> BatchTopKResult:
-        """Answer a batch of top-k queries and return the aggregate report."""
-        return self.batch_executor(workers=workers).run(
-            query_entities, k, approximation=approximation
+        """Answer a batch of top-k queries and return the aggregate report.
+
+        With the query cache enabled, queries already cached are served from
+        it and only the misses run through the batch executor -- the same
+        semantics :meth:`top_k` has, so single and batched serving paths hit
+        the same cache.
+        """
+        cache = self._query_cache
+        if cache is None:
+            return self.batch_executor(workers=workers).run(
+                query_entities, k, approximation=approximation
+            )
+        started = time.perf_counter()
+        results: List[Optional[TopKResult]] = []
+        miss_positions: List[int] = []
+        for position, query_entity in enumerate(query_entities):
+            cached = cache.get(self._query_cache_key(query_entity, k, approximation))
+            results.append(cached.copy() if cached is not None else None)
+            if cached is None:
+                miss_positions.append(position)
+        if miss_positions:
+            missing = [query_entities[position] for position in miss_positions]
+            batch = self.batch_executor(workers=workers).run(
+                missing, k, approximation=approximation
+            )
+            for position, result in zip(miss_positions, batch.results):
+                results[position] = result
+                cache.put(
+                    self._query_cache_key(result.query_entity, k, approximation),
+                    result.copy(),
+                )
+            workers_used = batch.workers
+            warmed = batch.warmed_cells
+        else:
+            workers_used = 0
+            warmed = 0
+        return BatchTopKResult(
+            results=[result for result in results if result is not None],
+            wall_seconds=time.perf_counter() - started,
+            workers=workers_used,
+            warmed_cells=warmed,
         )
 
     def batch_executor(self, workers: Optional[int] = None) -> BatchTopKExecutor:
@@ -321,18 +485,23 @@ class TraceQueryEngine:
         pipeline.  Returns the list of affected entity identifiers.
         """
         self._require_built()
-        affected: List[str] = []
+        # Order-preserving dedup: a dict keeps first-seen order and makes
+        # membership O(1), so a batch of B presences costs O(B) instead of
+        # the O(B^2) a list-membership scan would.
+        affected: Dict[str, None] = {}
         for presence in presences:
             self.dataset.add_presence(presence)
-            if presence.entity not in affected:
-                affected.append(presence.entity)
-        self._resign(affected)
-        return affected
+            affected[presence.entity] = None
+        ordered = list(affected)
+        self._resign(ordered)
+        self._invalidate_query_cache()
+        return ordered
 
     def refresh_entities(self, entities: Iterable[str]) -> None:
         """Re-sign and re-insert entities whose traces changed out of band."""
         self._require_built()
         self._resign(list(entities))
+        self._invalidate_query_cache()
 
     def remove_entity(self, entity: str) -> None:
         """Drop an entity from both the dataset and the index."""
@@ -341,6 +510,7 @@ class TraceQueryEngine:
         self.dataset.remove_entity(entity)
         if entity in self._tree:
             self._tree.remove(entity)
+        self._invalidate_query_cache()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         built = "built" if self.is_built else "not built"

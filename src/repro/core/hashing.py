@@ -386,6 +386,41 @@ class HierarchicalHashFamily:
         return len(missing)
 
     # ------------------------------------------------------------------
+    # Coefficient export / restore (the snapshot codec)
+    # ------------------------------------------------------------------
+    def export_coefficients(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Copies of the universal-hash coefficient vectors ``(a, b)``.
+
+        Persisting the coefficients (rather than trusting the RNG seed to
+        regenerate them) makes restored families bitwise-identical even if a
+        future numpy changes its bit-generator streams.
+        """
+        return self._a.copy(), self._b.copy()
+
+    def restore_coefficients(self, a: np.ndarray, b: np.ndarray) -> None:
+        """Install previously exported coefficients, replacing the seeded ones.
+
+        Raises
+        ------
+        ValueError
+            If the arrays do not match the family size or fall outside the
+            ranges universal hashing requires.
+        """
+        a = np.asarray(a, dtype=np.uint64)
+        b = np.asarray(b, dtype=np.uint64)
+        if a.shape != (self.num_hashes,) or b.shape != (self.num_hashes,):
+            raise ValueError(
+                f"coefficient arrays must have shape ({self.num_hashes},), "
+                f"got {a.shape} and {b.shape}"
+            )
+        prime = np.uint64(_MERSENNE_PRIME)
+        if not ((a >= 1) & (a < prime)).all() or not (b < prime).all():
+            raise ValueError("hash coefficients out of range for the universal family")
+        self._a = a
+        self._b = b
+        self._cell_cache.clear()
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def cache_size(self) -> int:

@@ -236,6 +236,114 @@ class MinSigTree:
             self.insert(entity, matrix)
 
     # ------------------------------------------------------------------
+    # Structure export / import (the snapshot codec)
+    # ------------------------------------------------------------------
+    def export_structure(self) -> Dict[str, object]:
+        """Flatten the tree into plain arrays for serialization.
+
+        Nodes are laid out in DFS order (the virtual root at index 0) as
+        parallel arrays; entities are listed in leaf-DFS order with their
+        leaf's node index and their signature matrices stacked in the same
+        order.  The arrays capture the tree *exactly* -- including routing
+        values left loose by :meth:`remove` -- so a tree restored with
+        :meth:`import_structure` prunes and traverses identically.
+        """
+        nodes = list(self.iter_nodes())
+        index_of = {id(node): position for position, node in enumerate(nodes)}
+        node_level = np.array([node.level for node in nodes], dtype=np.int32)
+        node_routing_index = np.array([node.routing_index for node in nodes], dtype=np.int32)
+        node_routing_value = np.array([node.routing_value for node in nodes], dtype=np.int64)
+        node_parent = np.array(
+            [-1 if node.parent is None else index_of[id(node.parent)] for node in nodes],
+            dtype=np.int32,
+        )
+        entities: List[str] = []
+        entity_leaf: List[int] = []
+        for position, node in enumerate(nodes):
+            for entity in node.entities:
+                entities.append(entity)
+                entity_leaf.append(position)
+        if entities:
+            signatures = np.stack([self._signatures[entity] for entity in entities])
+        else:
+            signatures = np.empty((0, self.num_levels, self.num_hashes), dtype=np.int64)
+        structure: Dict[str, object] = {
+            "node_level": node_level,
+            "node_routing_index": node_routing_index,
+            "node_routing_value": node_routing_value,
+            "node_parent": node_parent,
+            "entities": entities,
+            "entity_leaf": np.array(entity_leaf, dtype=np.int32),
+            "signatures": signatures,
+        }
+        if self.store_full_signatures:
+            full = np.zeros((len(nodes), self.num_hashes), dtype=np.int64)
+            for position, node in enumerate(nodes):
+                if node.full_signature is not None:
+                    full[position] = node.full_signature
+            structure["node_full_signatures"] = full
+        return structure
+
+    @classmethod
+    def import_structure(
+        cls,
+        structure: Dict[str, object],
+        num_levels: int,
+        num_hashes: int,
+        store_full_signatures: bool = False,
+        routing_strategy: str = "argmax",
+    ) -> "MinSigTree":
+        """Rebuild a tree from :meth:`export_structure` arrays.
+
+        The reconstruction wires nodes directly instead of re-inserting
+        entities, so group-level signature values (and hence pruning
+        behaviour and query statistics) match the exported tree exactly.
+        """
+        tree = cls(num_levels, num_hashes, store_full_signatures, routing_strategy)
+        node_level = np.asarray(structure["node_level"])
+        node_routing_index = np.asarray(structure["node_routing_index"])
+        node_routing_value = np.asarray(structure["node_routing_value"])
+        node_parent = np.asarray(structure["node_parent"])
+        full = structure.get("node_full_signatures")
+        if node_level.size == 0 or node_level[0] != 0 or node_parent[0] != -1:
+            raise ValueError("malformed tree structure: missing virtual root at index 0")
+        nodes: List[MinSigTreeNode] = [tree.root]
+        for position in range(1, node_level.size):
+            parent_index = int(node_parent[position])
+            if not 0 <= parent_index < position:
+                raise ValueError(
+                    f"malformed tree structure: node {position} has parent {parent_index}"
+                )
+            parent = nodes[parent_index]
+            node = MinSigTreeNode(
+                level=int(node_level[position]),
+                routing_index=int(node_routing_index[position]),
+                routing_value=int(node_routing_value[position]),
+                parent=parent,
+                full_signature=(
+                    np.asarray(full)[position].copy()
+                    if store_full_signatures and full is not None
+                    else None
+                ),
+            )
+            parent.children[node.routing_index] = node
+            nodes.append(node)
+        entities = list(structure["entities"])
+        entity_leaf = np.asarray(structure["entity_leaf"])
+        signatures = np.asarray(structure["signatures"], dtype=np.int64)
+        if signatures.shape != (len(entities), num_levels, num_hashes):
+            raise ValueError(
+                f"signature block has shape {signatures.shape}, expected "
+                f"{(len(entities), num_levels, num_hashes)}"
+            )
+        for slot, entity in enumerate(entities):
+            leaf = nodes[int(entity_leaf[slot])]
+            leaf.entities.append(entity)
+            tree._signatures[entity] = signatures[slot]
+            tree._leaf_of[entity] = leaf
+        return tree
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property

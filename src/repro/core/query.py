@@ -17,6 +17,7 @@ running :meth:`TopKSearcher.search` serially per query.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 import itertools
 import time
@@ -37,9 +38,57 @@ __all__ = [
     "QueryStats",
     "TopKResult",
     "TopKSearcher",
+    "fan_out_queries",
 ]
 
 SequenceFetcher = Callable[[str], CellSequence]
+
+
+def fan_out_queries(
+    run_one: Callable[[str], "TopKResult"],
+    query_entities: Sequence[str],
+    workers: int,
+) -> List["TopKResult"]:
+    """Run one search per query, serially or over a thread pool.
+
+    The single dispatch rule shared by :class:`BatchTopKExecutor` and the
+    sharded engine: ``workers <= 1`` (or a single query) runs in the calling
+    thread, anything larger uses a pool capped at the query count.  Results
+    preserve query order either way.
+    """
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers <= 1 or len(query_entities) <= 1:
+        return [run_one(entity) for entity in query_entities]
+    pool_size = min(workers, len(query_entities))
+    with ThreadPoolExecutor(max_workers=pool_size) as pool:
+        return list(pool.map(run_one, query_entities))
+
+
+class _ReverseOrderStr(str):
+    """A string that sorts in reverse lexicographic order.
+
+    Used inside the result heap so that, among candidates with equal
+    scores, the heap root (the entry evicted first) is the lexicographically
+    *largest* entity.  The retained set is then exactly the top-k under the
+    ``(-score, entity)`` order the final ranking uses -- deterministic and
+    independent of leaf traversal order, which is what lets a sharded
+    deployment merge per-shard answers into the identical global top-k.
+    """
+
+    __slots__ = ()
+
+    def __lt__(self, other: str) -> bool:
+        return str.__gt__(self, other)
+
+    def __le__(self, other: str) -> bool:
+        return str.__ge__(self, other)
+
+    def __gt__(self, other: str) -> bool:
+        return str.__lt__(self, other)
+
+    def __ge__(self, other: str) -> bool:
+        return str.__le__(self, other)
 
 
 @dataclass
@@ -106,6 +155,18 @@ class TopKResult:
         """Association degrees aligned with :attr:`entities`."""
         return [score for _entity, score in self.items]
 
+    def copy(self) -> "TopKResult":
+        """An independent copy (items list and stats are not shared).
+
+        The query caches hand out copies so a caller mutating a returned
+        result cannot poison later cache hits.
+        """
+        return TopKResult(
+            query_entity=self.query_entity,
+            items=list(self.items),
+            stats=dataclasses.replace(self.stats),
+        )
+
     def __len__(self) -> int:
         return len(self.items)
 
@@ -166,6 +227,7 @@ class TopKSearcher:
         sequence_fetcher: Optional[SequenceFetcher] = None,
         candidate_filter: Optional[Callable[[str], bool]] = None,
         approximation: float = 0.0,
+        query_sequence: Optional[CellSequence] = None,
     ) -> TopKResult:
         """Answer a top-k query (Algorithm 2).
 
@@ -173,7 +235,8 @@ class TopKSearcher:
         ----------
         query_entity:
             The entity whose closest associates are sought.  Must exist in
-            the dataset (it does not need to be indexed in the tree).
+            the dataset (it does not need to be indexed in the tree) unless
+            ``query_sequence`` is supplied.
         k:
             Number of results requested (``1 <= k < |E|``).
         sequence_fetcher:
@@ -190,6 +253,11 @@ class TopKSearcher:
             outstanding bound, so every returned score is guaranteed to be at
             least ``(true k-th best) - eps``.  ``0`` (default) gives exact
             results under an admissible bound.
+        query_sequence:
+            Optional pre-fetched ST-cell set sequence of the query entity.
+            A sharded deployment passes this so that shards can answer
+            queries about entities that live in *other* shards' datasets;
+            by default the sequence comes from this searcher's dataset.
 
         Returns
         -------
@@ -202,7 +270,8 @@ class TopKSearcher:
         if approximation < 0.0:
             raise ValueError(f"approximation slack must be >= 0, got {approximation}")
         fetch = sequence_fetcher or self.dataset.cell_sequence
-        query_sequence = self.dataset.cell_sequence(query_entity)
+        if query_sequence is None:
+            query_sequence = self.dataset.cell_sequence(query_entity)
         query_hashes = QueryHashes.from_sequence(query_sequence, self.hash_family)
 
         stats = QueryStats(population=self.dataset.num_entities, k=k)
@@ -251,17 +320,18 @@ class TopKSearcher:
                 stats.entities_scored += 1
                 if score <= 0.0:
                     continue
+                # Heap entries order by (score, reverse-entity), so the root
+                # is always the worst under the final (-score, entity)
+                # ranking and boundary ties resolve deterministically.
+                entry = (score, _ReverseOrderStr(entity))
                 if len(result_heap) < k:
-                    heapq.heappush(result_heap, (score, entity))
-                elif score > result_heap[0][0]:
-                    heapq.heapreplace(result_heap, (score, entity))
+                    heapq.heappush(result_heap, entry)
+                elif entry > result_heap[0]:
+                    heapq.heapreplace(result_heap, entry)
 
-        items = sorted(result_heap, key=lambda pair: (-pair[0], pair[1]))
-        return TopKResult(
-            query_entity=query_entity,
-            items=[(entity, score) for score, entity in items],
-            stats=stats,
-        )
+        pairs = [(str(entity), score) for score, entity in result_heap]
+        pairs.sort(key=lambda pair: (-pair[1], pair[0]))
+        return TopKResult(query_entity=query_entity, items=pairs, stats=stats)
 
     # ------------------------------------------------------------------
     def search_many(
@@ -368,8 +438,6 @@ class BatchTopKExecutor:
         """Answer every query in ``query_entities``, preserving their order."""
         started = time.perf_counter()
         effective_workers = self.workers if workers is None else int(workers)
-        if effective_workers < 0:
-            raise ValueError(f"workers must be >= 0, got {effective_workers}")
 
         dataset = self.searcher.dataset
         shared_cells = []
@@ -386,12 +454,7 @@ class BatchTopKExecutor:
                 approximation=approximation,
             )
 
-        if effective_workers <= 1 or len(query_entities) <= 1:
-            results = [run_one(entity) for entity in query_entities]
-        else:
-            pool_size = min(effective_workers, len(query_entities))
-            with ThreadPoolExecutor(max_workers=pool_size) as pool:
-                results = list(pool.map(run_one, query_entities))
+        results = fan_out_queries(run_one, query_entities, effective_workers)
 
         return BatchTopKResult(
             results=results,

@@ -1,0 +1,36 @@
+"""Serving subsystem: sharded engines, entity partitioners, result caching.
+
+This package turns the single in-memory :class:`~repro.core.engine.TraceQueryEngine`
+into a servable deployment:
+
+* :mod:`~repro.service.partition` -- deterministic entity-to-shard
+  assignment (stable hash or round-robin);
+* :mod:`~repro.service.sharded` -- :class:`ShardedEngine`, which builds N
+  entity partitions in parallel, routes updates to the owning shard, and
+  merges per-shard top-k results into exact global answers;
+* :mod:`~repro.service.cache` -- the size-bounded LRU query-result cache
+  wired into both engines via ``EngineConfig.query_cache_size``.
+
+Durable index state lives one layer down, in
+:mod:`repro.storage.snapshot`; ``ShardedEngine.save``/``load`` compose the
+two (per-shard snapshots plus a routing manifest).
+"""
+
+from repro.service.cache import CacheStats, QueryResultCache
+from repro.service.partition import (
+    HashPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+    make_partitioner,
+)
+from repro.service.sharded import ShardedEngine
+
+__all__ = [
+    "CacheStats",
+    "HashPartitioner",
+    "Partitioner",
+    "QueryResultCache",
+    "RoundRobinPartitioner",
+    "ShardedEngine",
+    "make_partitioner",
+]

@@ -1,0 +1,131 @@
+"""A size-bounded LRU cache for top-k query results.
+
+Serving workloads are heavily skewed -- a few query entities account for
+most traffic -- so an engine-side result cache turns repeat queries into
+dictionary lookups.  Correctness is kept trivial: cache keys include the
+engine's configuration fingerprint, and every mutation path
+(``add_records`` / ``refresh_entities`` / ``remove_entity`` / ``build``)
+clears the cache wholesale, so a cached result is always identical to what
+a fresh search would return.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable, Optional, Tuple, TypeVar
+
+__all__ = ["CacheStats", "QueryResultCache"]
+
+#: Anything with a ``copy()`` returning an independent instance (TopKResult).
+_CopyableT = TypeVar("_CopyableT")
+
+
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`QueryResultCache`."""
+
+    __slots__ = ("hits", "misses", "evictions", "invalidations")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of :meth:`QueryResultCache.get` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when never used)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, invalidations={self.invalidations})"
+        )
+
+
+class QueryResultCache:
+    """An LRU map from query keys to results, bounded by entry count.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of results retained; the least-recently-*used* entry
+        is evicted when a put would exceed it.  Must be >= 1 (a size-0 cache
+        is expressed by not constructing one -- see
+        ``EngineConfig.query_cache_size``).
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        # Batch executors consult the cache from worker threads; a plain
+        # lock keeps the recency list and counters coherent under fan-out.
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """The cached value, refreshed to most-recently-used, or ``None``."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert (or refresh) an entry, evicting the LRU entry when full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (the mutation-path invalidation hook)."""
+        with self._lock:
+            self._entries.clear()
+            self.stats.invalidations += 1
+
+    def fetch_or_compute(self, key: Hashable, compute: Callable[[], _CopyableT]) -> _CopyableT:
+        """The cache-protocol used by every query path: copy-on-hit, copy-on-put.
+
+        A hit returns a *copy* of the stored value, and a computed value is
+        stored as a *copy* -- so a caller mutating its result can never
+        poison later hits.  ``compute`` runs outside the lock (searches are
+        slow); concurrent misses on the same key both compute and the last
+        put wins, which is safe because results are deterministic.
+        """
+        cached = self.get(key)
+        if cached is not None:
+            return cached.copy()
+        value = compute()
+        self.put(key, value.copy())
+        return value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Tuple[Hashable, ...]:
+        """Current keys, LRU first (diagnostics and tests)."""
+        return tuple(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QueryResultCache(entries={len(self)}/{self.max_entries}, {self.stats!r})"

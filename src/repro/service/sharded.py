@@ -1,0 +1,520 @@
+"""Sharded serving: one logical engine over N entity partitions.
+
+:class:`ShardedEngine` partitions the entities of a dataset across ``N``
+independent :class:`~repro.core.engine.TraceQueryEngine` shards (hash or
+round-robin partitioning), builds the shards in parallel through the bulk
+signature pipeline, and serves queries by fanning out over every shard and
+merging a global top-k.
+
+Correctness rests on two facts:
+
+* every shard's hash family is constructed with the *same* seed, hash count,
+  and horizon as a single engine over the whole dataset would be, so each
+  entity's signature matrix is bitwise-identical to the unsharded build; and
+* an exact per-shard top-k over a partition of the candidates, merged and
+  truncated to ``k``, equals the exact global top-k.
+
+The second fact is a theorem whenever the search bound is admissible, i.e.
+under ``bound_mode="per_level"`` -- there, sharded results are *guaranteed*
+equal to the single engine's for every shard count (pinned by the fuzz test
+in ``tests/test_sharded.py``).  Under the default ``"lift"`` bound (the
+paper's Theorem 4 construction, not strictly admissible in a coarse-level
+corner case -- see the bound-mode ablation) the single engine itself can
+occasionally prune a true associate; shard-local trees prune differently,
+so a sharded deployment may *recover* associations the unsharded search
+missed.  Sharding never degrades accuracy below the single engine's
+envelope -- divergence only occurs where the lift bound was already
+approximate.
+
+Updates (``add_records`` / ``remove_entity`` / ``refresh_entities``) are
+routed to the owning shard; new entities are placed by the partitioner and
+the assignment is remembered, so re-introducing a removed entity lands it on
+whatever shard the partitioner picks next (deterministically).  A sharded
+deployment snapshots to a directory of per-shard engine snapshots plus a
+routing manifest -- see :meth:`ShardedEngine.save`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.engine import EngineConfig, TraceQueryEngine
+from repro.core.query import BatchTopKResult, QueryStats, TopKResult, fan_out_queries
+from repro.measures.adm import HierarchicalADM
+from repro.measures.base import AssociationMeasure
+from repro.service.cache import QueryResultCache
+from repro.service.partition import Partitioner, RoundRobinPartitioner, make_partitioner
+from repro.storage.snapshot import (
+    SHARDED_SNAPSHOT_FORMAT,
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotError,
+    _MANIFEST_NAME,
+    _measure_payload,
+    load_engine_snapshot,
+    read_manifest,
+    save_engine_snapshot,
+    snapshot_staging,
+)
+from repro.traces.dataset import TraceDataset
+from repro.traces.events import PresenceInstance
+
+__all__ = ["SHARDED_SNAPSHOT_FORMAT", "ShardedEngine"]
+
+PathLike = Union[str, Path]
+
+
+
+class ShardedEngine:
+    """Top-k serving over entity shards with a single-engine-equivalent API.
+
+    Parameters
+    ----------
+    dataset:
+        The full dataset.  It stays the routing/query substrate (query
+        sequences and membership checks); per-shard copies hold only each
+        shard's entities.
+    measure:
+        Association measure shared by every shard (defaults to the paper's
+        :class:`HierarchicalADM`).
+    config:
+        Engine knobs, applied to every shard.  ``query_cache_size`` applies
+        to the *sharded* engine's own result cache (shards run uncached --
+        caching twice would only burn memory); ``batch_workers`` sets the
+        default fan-out of :meth:`top_k_batch`.
+    num_shards:
+        Number of entity partitions.
+    partitioner:
+        ``"hash"`` (default), ``"round_robin"``, or a
+        :class:`~repro.service.partition.Partitioner` instance.
+    """
+
+    def __init__(
+        self,
+        dataset: TraceDataset,
+        measure: Optional[AssociationMeasure] = None,
+        config: Optional[EngineConfig] = None,
+        num_shards: int = 2,
+        partitioner: Union[str, Partitioner] = "hash",
+        **overrides: object,
+    ) -> None:
+        if config is None:
+            config = EngineConfig()
+        if overrides:
+            config = config.with_overrides(**overrides)
+        self.dataset = dataset
+        self.config = config
+        self.measure = measure or HierarchicalADM(num_levels=dataset.num_levels)
+        self.partitioner = make_partitioner(partitioner, num_shards)
+        self._shard_of: Dict[str, int] = {}
+        self._shards: List[TraceQueryEngine] = []
+        self._config_fingerprint = config.fingerprint()
+        self._query_cache: Optional[QueryResultCache] = None
+        if config.query_cache_size > 0:
+            self._query_cache = QueryResultCache(config.query_cache_size)
+        #: Wall-clock seconds spent in the last :meth:`build` call.
+        self.last_build_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """Number of entity partitions."""
+        return self.partitioner.num_shards
+
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` (or :meth:`load`) has produced the shards."""
+        return bool(self._shards)
+
+    @property
+    def shards(self) -> Tuple[TraceQueryEngine, ...]:
+        """The per-shard engines (available after :meth:`build`)."""
+        self._require_built()
+        return tuple(self._shards)
+
+    @property
+    def query_cache(self) -> Optional[QueryResultCache]:
+        """The sharded engine's LRU result cache, or ``None`` when disabled."""
+        return self._query_cache
+
+    @property
+    def num_entities(self) -> int:
+        """Number of entities across all shards."""
+        return self.dataset.num_entities
+
+    def shard_of(self, entity: str) -> int:
+        """The shard currently owning ``entity``."""
+        try:
+            return self._shard_of[entity]
+        except KeyError:
+            raise KeyError(f"entity {entity!r} is not assigned to any shard") from None
+
+    def index_size_bytes(self) -> int:
+        """Approximate summed MinSigTree size across shards."""
+        self._require_built()
+        return sum(shard.index_size_bytes() for shard in self._shards)
+
+    def _require_built(self) -> None:
+        if not self._shards:
+            raise RuntimeError("the sharded index has not been built yet; call build() first")
+
+    def _assign(self, entity: str) -> int:
+        shard = self._shard_of.get(entity)
+        if shard is None:
+            shard = self.partitioner.assign(entity)
+            self._shard_of[entity] = shard
+        return shard
+
+    # ------------------------------------------------------------------
+    # Index lifecycle
+    # ------------------------------------------------------------------
+    def build(self, workers: Optional[int] = None) -> "ShardedEngine":
+        """Partition the dataset and build every shard's index.
+
+        Shards build concurrently on a thread pool (``workers`` defaults to
+        one thread per shard, capped at the CPU count); each shard routes its
+        signatures through the bulk pipeline exactly like a single engine.
+        Every shard dataset is pinned to the full dataset's horizon so all
+        hash families -- and therefore all signatures -- are identical to an
+        unsharded build.
+        """
+        started = time.perf_counter()
+        horizon = max(self.dataset.horizon, 1)
+        hierarchy = self.dataset.hierarchy
+        shard_datasets = [
+            TraceDataset(hierarchy, horizon=horizon) for _ in range(self.num_shards)
+        ]
+        for entity in self.dataset.entities:
+            shard_datasets[self._assign(entity)].restore_trace(
+                entity, self.dataset.trace(entity)
+            )
+        shard_config = self.config.with_overrides(query_cache_size=0, batch_workers=0)
+        self._shards = [
+            TraceQueryEngine(shard_dataset, measure=self.measure, config=shard_config)
+            for shard_dataset in shard_datasets
+        ]
+        if workers is None:
+            workers = min(self.num_shards, os.cpu_count() or 1)
+        if workers <= 1 or self.num_shards == 1:
+            for shard in self._shards:
+                shard.build()
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                list(pool.map(lambda shard: shard.build(), self._shards))
+        self._share_hash_family()
+        self.last_build_seconds = time.perf_counter() - started
+        self._invalidate_query_cache()
+        return self
+
+    def _share_hash_family(self) -> None:
+        """Point every shard at one hash family (and one cell cache).
+
+        All shard families are constructed identically (same seed, hash
+        count, horizon, hierarchy), so sharing the first shard's instance is
+        purely an optimisation: query cells are hashed once instead of once
+        per shard, and the cell cache is stored once instead of N times.
+        """
+        if len(self._shards) <= 1:
+            return
+        shared = self._shards[0].hash_family
+        for shard in self._shards[1:]:
+            shard._adopt_index(shared, shard.tree)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def top_k(self, query_entity: str, k: int = 10, approximation: float = 0.0) -> TopKResult:
+        """Global top-k: fan out over every shard and merge.
+
+        Results (and orderings) match a single engine over the same dataset
+        whenever the bound is admissible (``bound_mode="per_level"``); under
+        the default ``"lift"`` bound they match wherever the single engine's
+        pruning was itself exact (see the module docstring).  The merged
+        :class:`QueryStats` aggregate the per-shard counters (populations
+        and work counters sum, early termination is "any").
+        """
+        self._require_built()
+        cache = self._query_cache
+        if cache is not None:
+            return cache.fetch_or_compute(
+                (query_entity, k, approximation, self._config_fingerprint),
+                lambda: self._search_shards(query_entity, k, approximation),
+            )
+        return self._search_shards(query_entity, k, approximation)
+
+    def _search_shards(self, query_entity: str, k: int, approximation: float) -> TopKResult:
+        """Fan one query out over every shard and merge (no caching)."""
+        query_sequence = self.dataset.cell_sequence(query_entity)
+        shard_results = [
+            shard.searcher.search(
+                query_entity,
+                k,
+                approximation=approximation,
+                query_sequence=query_sequence,
+            )
+            for shard in self._shards
+        ]
+        return self._merge_results(query_entity, shard_results, k)
+
+    @staticmethod
+    def _merge_results(
+        query_entity: str, shard_results: Sequence[TopKResult], k: int
+    ) -> TopKResult:
+        """Merge exact per-shard top-k lists into the global top-k."""
+        items: List[Tuple[str, float]] = []
+        stats = QueryStats(k=k)
+        for shard_result in shard_results:
+            items.extend(shard_result.items)
+            shard_stats = shard_result.stats
+            stats.entities_scored += shard_stats.entities_scored
+            stats.nodes_visited += shard_stats.nodes_visited
+            stats.leaves_visited += shard_stats.leaves_visited
+            stats.bound_computations += shard_stats.bound_computations
+            stats.population += shard_stats.population
+            stats.terminated_early = stats.terminated_early or shard_stats.terminated_early
+        items.sort(key=lambda pair: (-pair[1], pair[0]))
+        return TopKResult(query_entity=query_entity, items=items[:k], stats=stats)
+
+    def top_k_many(
+        self, query_entities: Sequence[str], k: int = 10, workers: Optional[int] = None
+    ) -> List[TopKResult]:
+        """One merged top-k result per query entity (order preserved)."""
+        return self.top_k_batch(query_entities, k, workers=workers).results
+
+    def top_k_batch(
+        self,
+        query_entities: Sequence[str],
+        k: int = 10,
+        workers: Optional[int] = None,
+        approximation: float = 0.0,
+    ) -> BatchTopKResult:
+        """Answer a batch of queries, fanning queries out over a thread pool.
+
+        The union of every query's ST-cells is pre-hashed into each shard's
+        cell cache (one bulk kernel call per shard), then queries run
+        concurrently when ``workers`` (or the config's ``batch_workers``)
+        exceeds 1.  Results are identical to serial :meth:`top_k` calls.
+        """
+        self._require_built()
+        started = time.perf_counter()
+        effective_workers = self.config.batch_workers if workers is None else int(workers)
+
+        shared_cells = []
+        for entity in query_entities:
+            for level_cells in self.dataset.cell_sequence(entity).levels:
+                shared_cells.extend(level_cells)
+        # The shards share one hash family (see _share_hash_family), so one
+        # warm-up primes the cell cache for every shard's searches.
+        warmed = self._shards[0].hash_family.warm_cache(shared_cells)
+
+        def run_one(entity: str) -> TopKResult:
+            return self.top_k(entity, k, approximation=approximation)
+
+        results = fan_out_queries(run_one, query_entities, effective_workers)
+
+        return BatchTopKResult(
+            results=results,
+            wall_seconds=time.perf_counter() - started,
+            workers=effective_workers,
+            warmed_cells=warmed,
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (routed to the owning shard)
+    # ------------------------------------------------------------------
+    def add_records(self, presences: Iterable[PresenceInstance]) -> List[str]:
+        """Append records, routing each entity's batch to its owning shard.
+
+        New entities are assigned by the partitioner; existing ones go to
+        their recorded shard.  Returns the affected entities in first-seen
+        order, exactly like the single-engine API.
+        """
+        self._require_built()
+        affected: Dict[str, None] = {}
+        per_shard: Dict[int, List[PresenceInstance]] = {}
+        for presence in presences:
+            self.dataset.add_presence(presence)
+            affected[presence.entity] = None
+            per_shard.setdefault(self._assign(presence.entity), []).append(presence)
+        for shard_id, batch in per_shard.items():
+            self._shards[shard_id].add_records(batch)
+        self._invalidate_query_cache()
+        return list(affected)
+
+    def refresh_entities(self, entities: Iterable[str]) -> None:
+        """Re-sign entities whose traces changed out of band, shard by shard.
+
+        The router dataset is the source of truth: each owning shard's copy
+        of the entity's trace is replaced before re-signing.
+        """
+        self._require_built()
+        per_shard: Dict[int, List[str]] = {}
+        for entity in entities:
+            per_shard.setdefault(self.shard_of(entity), []).append(entity)
+        for shard_id, shard_entities in per_shard.items():
+            shard = self._shards[shard_id]
+            for entity in shard_entities:
+                shard.dataset.replace_trace(entity, self.dataset.trace(entity))
+            shard.refresh_entities(shard_entities)
+        self._invalidate_query_cache()
+
+    def remove_entity(self, entity: str) -> None:
+        """Drop an entity from its shard and from the routing dataset."""
+        self._require_built()
+        shard_id = self._shard_of.get(entity)
+        if shard_id is None or entity not in self.dataset:
+            raise KeyError(f"unknown entity {entity!r}")
+        self._shards[shard_id].remove_entity(entity)
+        del self._shard_of[entity]
+        self.dataset.remove_entity(entity)
+        self._invalidate_query_cache()
+
+    def _invalidate_query_cache(self) -> None:
+        if self._query_cache is not None:
+            self._query_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> Path:
+        """Write per-shard snapshots plus a routing manifest; returns the dir.
+
+        Layout: ``manifest.json`` (format, shard count, partitioner state)
+        and one engine snapshot per shard under ``shard-00/``, ``shard-01``,
+        ...  Restorable with :meth:`load` in another process.
+        """
+        self._require_built()
+        # Fail on an unserializable measure before any I/O happens.
+        _measure_payload(self.measure)
+        final = Path(path)
+        # The whole deployment is staged and swapped in atomically: a failed
+        # shard write leaves the previous snapshot untouched, and no stale
+        # shard directories can survive an overwrite.
+        with snapshot_staging(final) as directory:
+            shard_names = []
+            for shard_id, shard in enumerate(self._shards):
+                name = f"shard-{shard_id:02d}"
+                save_engine_snapshot(shard, directory / name)
+                shard_names.append(name)
+            partitioner_state: Dict[str, object] = {"kind": self.partitioner.kind}
+            if isinstance(self.partitioner, RoundRobinPartitioner):
+                partitioner_state["next_shard"] = self.partitioner.next_shard
+            manifest = {
+                "format": SHARDED_SNAPSHOT_FORMAT,
+                "format_version": SNAPSHOT_FORMAT_VERSION,
+                "num_shards": self.num_shards,
+                "partitioner": partitioner_state,
+                "shards": shard_names,
+                "config": {
+                    "query_cache_size": self.config.query_cache_size,
+                    "batch_workers": self.config.batch_workers,
+                },
+                "fingerprint": self.config.fingerprint(),
+            }
+            with open(directory / _MANIFEST_NAME, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2)
+        return final
+
+    @classmethod
+    def load(
+        cls, path: PathLike, measure: Optional[AssociationMeasure] = None
+    ) -> "ShardedEngine":
+        """Restore a sharded deployment saved with :meth:`save`.
+
+        Every shard cold-starts from its engine snapshot (no re-signing);
+        the routing table is rebuilt from shard membership and the
+        partitioner resumes from its serialized state.  The router dataset
+        is reassembled shard by shard, so its entity iteration order may
+        differ from the original -- query results are unaffected.
+        """
+        directory = Path(path)
+        manifest = read_manifest(directory)
+        if manifest.get("format") != SHARDED_SNAPSHOT_FORMAT:
+            raise SnapshotError(
+                f"{directory} holds a {manifest.get('format')!r} snapshot; "
+                "load it with TraceQueryEngine.load()"
+            )
+        try:
+            num_shards = int(manifest["num_shards"])
+            shard_names = list(manifest["shards"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(
+                f"invalid sharded snapshot manifest in {directory}: {exc}"
+            ) from exc
+        shard_engines = [
+            load_engine_snapshot(directory / name, measure=measure)
+            for name in shard_names
+        ]
+        if len(shard_engines) != num_shards:
+            raise SnapshotError(
+                f"manifest lists {num_shards} shards but {len(shard_engines)} were found"
+            )
+        # Every shard must carry the deployment's config identity: a shard
+        # directory swapped in from a different deployment fails here
+        # instead of serving with inconsistent signatures.
+        deployment_fingerprint = manifest.get("fingerprint")
+        for name, shard in zip(shard_names, shard_engines):
+            if shard.config.fingerprint() != deployment_fingerprint:
+                raise SnapshotError(
+                    f"shard {name} in {directory} was built with a different engine "
+                    "config than the deployment manifest records; the snapshot mixes "
+                    "shards from different builds"
+                )
+
+        first = shard_engines[0]
+        router = TraceDataset(
+            first.dataset.hierarchy,
+            horizon=first.dataset.explicit_horizon,
+        )
+        shard_of: Dict[str, int] = {}
+        for shard_id, shard in enumerate(shard_engines):
+            for entity in shard.dataset.entities:
+                if entity in shard_of:
+                    raise SnapshotError(
+                        f"entity {entity!r} appears in shard {shard_of[entity]} and "
+                        f"shard {shard_id} of {directory}; the snapshot mixes shards "
+                        "from different builds"
+                    )
+                router.restore_trace(entity, shard.dataset.trace(entity))
+                shard_of[entity] = shard_id
+
+        try:
+            partitioner_state = manifest["partitioner"]
+            kind = partitioner_state["kind"]
+            if kind == RoundRobinPartitioner.kind:
+                # Constructing (rather than assigning next_shard after the
+                # fact) runs the 0 <= next_shard < num_shards validation.
+                partitioner: Partitioner = RoundRobinPartitioner(
+                    num_shards, next_shard=int(partitioner_state.get("next_shard", 0))
+                )
+            else:
+                partitioner = make_partitioner(kind, num_shards)
+            config = first.config.with_overrides(**manifest.get("config", {}))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(
+                f"invalid sharded snapshot manifest in {directory}: {exc}"
+            ) from exc
+        engine = cls(
+            router,
+            measure=first.measure,
+            config=config,
+            num_shards=num_shards,
+            partitioner=partitioner,
+        )
+        engine._shards = shard_engines
+        engine._shard_of = shard_of
+        engine._share_hash_family()
+        return engine
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        built = "built" if self.is_built else "not built"
+        return (
+            f"ShardedEngine({self.dataset.describe()}, shards={self.num_shards}, "
+            f"partitioner={self.partitioner.kind}, {built})"
+        )

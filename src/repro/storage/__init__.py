@@ -14,12 +14,23 @@ hardware-independent:
   paged file, reporting the pass count and I/O volume of the textbook cost
   formula;
 * :mod:`~repro.storage.trace_store` -- the disk-backed trace store used by
-  the Figure 7.6 experiment, which charges simulated time per page miss.
+  the Figure 7.6 experiment, which charges simulated time per page miss;
+* :mod:`~repro.storage.snapshot` -- versioned engine snapshots: the built
+  index (hash coefficients, signatures, MinSigTree, dataset) serialized to
+  an ``.npz``-based directory so serving processes cold-start without
+  re-signing.
 """
 
 from repro.storage.buffer import LRUBufferPool
 from repro.storage.external_sort import ExternalSorter, SortStats
 from repro.storage.pages import Page, PagedFile, RecordCodec
+from repro.storage.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotError,
+    load_engine_snapshot,
+    save_engine_snapshot,
+    snapshot_info,
+)
 from repro.storage.trace_store import DiskBackedTraceStore, SimulatedCostModel
 
 __all__ = [
@@ -29,6 +40,11 @@ __all__ = [
     "Page",
     "PagedFile",
     "RecordCodec",
+    "SNAPSHOT_FORMAT_VERSION",
     "SimulatedCostModel",
+    "SnapshotError",
     "SortStats",
+    "load_engine_snapshot",
+    "save_engine_snapshot",
+    "snapshot_info",
 ]

@@ -1,0 +1,529 @@
+"""Durable engine snapshots: the index as a servable on-disk artifact.
+
+A snapshot is a directory holding everything a query-ready
+:class:`~repro.core.engine.TraceQueryEngine` needs to cold-start **without
+re-signing the dataset**:
+
+``manifest.json``
+    Format name and version, the engine configuration, the association
+    measure (name + parameters), dataset/hash-family metadata, and an index
+    fingerprint binding all of it together.
+``hierarchy.json``
+    The sp-index as an *ordered* ``[unit, parent]`` list.  Order matters:
+    the dense per-level unit indexes -- and therefore every hash value --
+    depend on insertion order, so the snapshot preserves it exactly
+    (unlike the sorted interchange format of :mod:`repro.traces.io`).
+``arrays.npz``
+    Hash-family coefficients, the presence records as columnar arrays, the
+    flattened MinSigTree (nodes + leaf membership), and the per-entity
+    signature matrices.
+
+Loading restores the hash coefficients verbatim and rebuilds the tree node
+by node, so the restored engine is *bitwise-identical* to the saved one:
+same signatures, same group-level routing values (including ones left loose
+by removals), same query results, orderings, and pruning statistics.
+
+Versioning / compatibility policy
+---------------------------------
+``SNAPSHOT_FORMAT_VERSION`` is bumped on any incompatible layout change;
+loading a snapshot whose version differs raises :class:`SnapshotError`
+(there is no silent migration).  The manifest also stores an *index
+fingerprint* -- a SHA-256 over the semantic engine configuration, the
+measure parameters, and the hash-family shape -- plus a content digest of
+every payload file; both are recomputed and compared on load, so a
+tampered, corrupted, or mixed-up snapshot fails loudly instead of serving
+wrong results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+import zipfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.core.engine import EngineConfig, TraceQueryEngine
+from repro.core.hashing import HierarchicalHashFamily
+from repro.core.minsigtree import MinSigTree
+from repro.measures.adm import ExampleDiceADM, HierarchicalADM
+from repro.measures.base import AssociationMeasure
+from repro.measures.setsim import DiceADM, FScoreADM, JaccardADM, OverlapADM
+from repro.traces.dataset import TraceDataset
+from repro.traces.events import PresenceInstance
+from repro.traces.spatial import SpatialHierarchy
+
+__all__ = [
+    "SHARDED_SNAPSHOT_FORMAT",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotError",
+    "index_fingerprint",
+    "load_engine_snapshot",
+    "read_manifest",
+    "save_engine_snapshot",
+    "snapshot_info",
+    "snapshot_staging",
+]
+
+PathLike = Union[str, Path]
+
+SNAPSHOT_FORMAT = "repro-engine-snapshot"
+SHARDED_SNAPSHOT_FORMAT = "repro-sharded-snapshot"
+SNAPSHOT_FORMAT_VERSION = 1
+
+_MANIFEST_NAME = "manifest.json"
+_HIERARCHY_NAME = "hierarchy.json"
+_ARRAYS_NAME = "arrays.npz"
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot could not be written, read, or validated."""
+
+
+def _check_overwrite_target(directory: Path) -> None:
+    """Refuse targets that are not ours to replace.
+
+    An existing snapshot may be overwritten; a non-empty directory without a
+    *repro* manifest is refused so a typo cannot clobber unrelated files (a
+    ``manifest.json`` alone is not proof of ownership -- browser extensions
+    and PWAs ship one too, so the file must parse and name our format).
+    """
+    if not directory.exists():
+        return
+    if not directory.is_dir():
+        raise SnapshotError(f"snapshot path {directory} exists and is not a directory")
+    if not any(directory.iterdir()):
+        return
+    manifest_path = directory / _MANIFEST_NAME
+    if not manifest_path.exists():
+        raise SnapshotError(
+            f"refusing to overwrite non-snapshot directory {directory} "
+            f"(no {_MANIFEST_NAME} found)"
+        )
+    try:
+        with open(manifest_path, encoding="utf-8") as handle:
+            existing = json.load(handle)
+        fmt = existing.get("format") if isinstance(existing, dict) else None
+    except (OSError, json.JSONDecodeError):
+        fmt = None
+    if fmt not in (SNAPSHOT_FORMAT, SHARDED_SNAPSHOT_FORMAT):
+        raise SnapshotError(
+            f"refusing to overwrite {directory}: its {_MANIFEST_NAME} is not a "
+            "repro snapshot manifest"
+        )
+
+
+@contextmanager
+def snapshot_staging(path: PathLike) -> Iterator[Path]:
+    """Stage a snapshot write, swapping it into place only on success.
+
+    Yields a sibling staging directory to write into.  On normal exit the
+    previous snapshot (if any) is replaced wholesale by the staged one; on
+    error the staging directory is removed and the previous snapshot is
+    left untouched.  This makes saves atomic-enough for a single host: a
+    failed or interrupted save never bricks the target, never leaves a
+    manifest-less husk that a retry would refuse, and -- because the whole
+    directory is replaced -- can never leave stale artifacts from a
+    previous format or shard count behind.  Shared by the single-engine and
+    sharded save paths so the policy cannot drift between them.
+    """
+    final = Path(path)
+    _check_overwrite_target(final)
+    final.parent.mkdir(parents=True, exist_ok=True)
+    staging = final.parent / f".{final.name}.saving"
+    if staging.exists():
+        shutil.rmtree(staging)
+    staging.mkdir()
+    try:
+        yield staging
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    if final.exists():
+        shutil.rmtree(final)
+    staging.replace(final)
+
+
+def _file_digest(path: Path) -> str:
+    """SHA-256 hex digest of one snapshot payload file."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Measure (de)serialization
+# ----------------------------------------------------------------------
+def _measure_payload(measure: AssociationMeasure) -> Dict[str, object]:
+    """Serializable parameters of a known measure; raises for unknown ones."""
+    if isinstance(measure, HierarchicalADM):
+        params: Dict[str, object] = {
+            "num_levels": measure.num_levels,
+            "u": measure.u,
+            "v": measure.v,
+        }
+    elif isinstance(measure, (JaccardADM, DiceADM, OverlapADM, FScoreADM)):
+        params = {"num_levels": measure.num_levels, "weights": list(measure.weights)}
+    elif isinstance(measure, ExampleDiceADM):
+        params = {"weights": list(measure.weights)}
+    else:
+        raise SnapshotError(
+            f"cannot serialize measure {type(measure).__name__!r}; pass the measure "
+            "explicitly to load() and save a snapshot with a registered measure"
+        )
+    return {"name": measure.name, "params": params}
+
+
+_MEASURE_CLASSES = {
+    cls.name: cls
+    for cls in (HierarchicalADM, JaccardADM, DiceADM, OverlapADM, FScoreADM, ExampleDiceADM)
+}
+
+
+def _measure_from_payload(payload: Mapping[str, object]) -> AssociationMeasure:
+    name = payload.get("name")
+    cls = _MEASURE_CLASSES.get(name)  # type: ignore[arg-type]
+    if cls is None:
+        raise SnapshotError(
+            f"snapshot uses unknown measure {name!r}; pass measure=... to load()"
+        )
+    return cls(**payload.get("params", {}))  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Fingerprint
+# ----------------------------------------------------------------------
+def index_fingerprint(
+    config: EngineConfig,
+    measure_payload: Mapping[str, object],
+    hash_family_meta: Mapping[str, object],
+) -> str:
+    """SHA-256 identity of an index: semantic config + measure + hash shape.
+
+    Performance knobs (``bulk_signatures``, ``batch_workers``,
+    ``query_cache_size``) are excluded -- they never change results -- so a
+    snapshot stays loadable when only those differ.
+    """
+    payload = {
+        "config": config.semantic_fields(),
+        "measure": dict(measure_payload),
+        "hash_family": dict(hash_family_meta),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Save
+# ----------------------------------------------------------------------
+def save_engine_snapshot(engine: TraceQueryEngine, path: PathLike) -> Path:
+    """Write a built engine to a snapshot directory; returns the directory.
+
+    The write is staged and swapped into place atomically on success (see
+    :func:`snapshot_staging`): an existing snapshot is overwritten, a
+    non-snapshot directory is refused, and a failed save leaves whatever
+    was there before untouched.
+    """
+    if not engine.is_built:
+        raise SnapshotError("cannot snapshot an engine before build(); call build() first")
+    measure_payload = _measure_payload(engine.measure)
+    final = Path(path)
+    with snapshot_staging(final) as directory:
+        _write_engine_snapshot(engine, directory, measure_payload)
+    return final
+
+
+def _write_engine_snapshot(
+    engine: TraceQueryEngine, directory: Path, measure_payload: Dict[str, object]
+) -> None:
+    """Write every snapshot artifact of ``engine`` into ``directory``."""
+    dataset = engine.dataset
+    hierarchy = dataset.hierarchy
+    family = engine.hash_family
+    tree = engine.tree
+
+    # Hierarchy: ordered [unit, parent] pairs.  Insertion order is
+    # topologically sorted (add_unit requires the parent first), so replaying
+    # the list reproduces identical per-level unit indexes.
+    units = [[unit.unit_id, unit.parent_id] for unit in hierarchy.iter_units()]
+    with open(directory / _HIERARCHY_NAME, "w", encoding="utf-8") as handle:
+        json.dump({"units": units}, handle)
+
+    # Presence records, columnar, grouped by dataset entity order.
+    dataset_entities = list(dataset.entities)
+    entity_slot = {entity: slot for slot, entity in enumerate(dataset_entities)}
+    presence_entity = []
+    presence_unit = []
+    presence_start = []
+    presence_end = []
+    for entity in dataset_entities:
+        for presence in dataset.trace(entity):
+            presence_entity.append(entity_slot[entity])
+            presence_unit.append(hierarchy.base_unit_index(presence.unit))
+            presence_start.append(presence.start)
+            presence_end.append(presence.end)
+
+    hash_a, hash_b = family.export_coefficients()
+    structure = tree.export_structure()
+
+    arrays: Dict[str, np.ndarray] = {
+        "hash_a": hash_a,
+        "hash_b": hash_b,
+        "dataset_entities": np.array(dataset_entities, dtype=np.str_),
+        "presence_entity": np.array(presence_entity, dtype=np.int64),
+        "presence_unit": np.array(presence_unit, dtype=np.int64),
+        "presence_start": np.array(presence_start, dtype=np.int64),
+        "presence_end": np.array(presence_end, dtype=np.int64),
+        "node_level": structure["node_level"],
+        "node_routing_index": structure["node_routing_index"],
+        "node_routing_value": structure["node_routing_value"],
+        "node_parent": structure["node_parent"],
+        "tree_entities": np.array(structure["entities"], dtype=np.str_),
+        "entity_leaf": structure["entity_leaf"],
+        "signatures": structure["signatures"],
+    }
+    if "node_full_signatures" in structure:
+        arrays["node_full_signatures"] = structure["node_full_signatures"]
+    # Uncompressed on purpose: snapshots exist to minimise cold-start
+    # latency, and signature matrices are high-entropy anyway.
+    np.savez(directory / _ARRAYS_NAME, **arrays)
+
+    hash_family_meta = {
+        "horizon": family.horizon,
+        "num_hashes": family.num_hashes,
+        "seed": family.seed,
+        "hash_range": family.hash_range,
+        "num_base_units": family.num_base_units,
+    }
+    manifest = {
+        "format": SNAPSHOT_FORMAT,
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        # Content digests bind the manifest to these exact payload files, so
+        # mixing files from different snapshots fails loudly at load.
+        "content": {
+            _HIERARCHY_NAME: _file_digest(directory / _HIERARCHY_NAME),
+            _ARRAYS_NAME: _file_digest(directory / _ARRAYS_NAME),
+        },
+        "config": {
+            "num_hashes": engine.config.num_hashes,
+            "seed": engine.config.seed,
+            "store_full_signatures": engine.config.store_full_signatures,
+            "use_full_signatures": engine.config.use_full_signatures,
+            "bound_mode": engine.config.bound_mode,
+            "bulk_signatures": engine.config.bulk_signatures,
+            "batch_workers": engine.config.batch_workers,
+            "query_cache_size": engine.config.query_cache_size,
+        },
+        "measure": measure_payload,
+        "hash_family": hash_family_meta,
+        "dataset": {
+            "explicit_horizon": dataset.explicit_horizon,
+            "num_entities": dataset.num_entities,
+            "num_presences": dataset.num_presences,
+            "num_levels": dataset.num_levels,
+        },
+        "tree": {
+            "num_nodes": tree.num_nodes,
+            "num_entities": tree.num_entities,
+            "routing_strategy": tree.routing_strategy,
+        },
+        "fingerprint": index_fingerprint(engine.config, measure_payload, hash_family_meta),
+    }
+    with open(directory / _MANIFEST_NAME, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+
+
+# ----------------------------------------------------------------------
+# Load
+# ----------------------------------------------------------------------
+def read_manifest(path: PathLike) -> Dict[str, object]:
+    """Read and format-check a snapshot manifest (no array loading)."""
+    directory = Path(path)
+    manifest_path = directory / _MANIFEST_NAME
+    if not manifest_path.exists():
+        raise SnapshotError(f"{directory} is not a snapshot directory (no {_MANIFEST_NAME})")
+    try:
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"unreadable snapshot manifest {manifest_path}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise SnapshotError(f"snapshot manifest {manifest_path} is not a JSON object")
+    fmt = manifest.get("format")
+    if fmt not in (SNAPSHOT_FORMAT, SHARDED_SNAPSHOT_FORMAT):
+        raise SnapshotError(f"{directory} has unknown snapshot format {fmt!r}")
+    version = manifest.get("format_version")
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot format version {version!r} is not supported by this build "
+            f"(expected {SNAPSHOT_FORMAT_VERSION}); re-create the snapshot with "
+            "`repro index build`"
+        )
+    return manifest
+
+
+def load_engine_snapshot(
+    path: PathLike,
+    measure: Optional[AssociationMeasure] = None,
+) -> TraceQueryEngine:
+    """Restore a query-ready engine from a snapshot directory.
+
+    No signature is recomputed: the hash coefficients, signature matrices,
+    and tree structure come straight from the arrays.  ``measure`` overrides
+    the serialized measure (required for measures outside the registry).
+
+    Raises
+    ------
+    SnapshotError
+        On a missing/foreign directory, a format-version mismatch, or a
+        fingerprint mismatch between the manifest's stored identity and the
+        one recomputed from its contents.
+    """
+    directory = Path(path)
+    manifest = read_manifest(directory)
+    if manifest.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"{directory} holds a {manifest.get('format')!r} snapshot; "
+            "load it with ShardedEngine.load()"
+        )
+
+    try:
+        config = EngineConfig(**manifest["config"])
+        measure_payload = manifest["measure"]
+        hash_family_meta = manifest["hash_family"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError(f"invalid snapshot manifest in {directory}: {exc}") from exc
+    expected = index_fingerprint(config, measure_payload, hash_family_meta)
+    stored = manifest.get("fingerprint")
+    if stored != expected:
+        raise SnapshotError(
+            f"snapshot fingerprint mismatch in {directory}: manifest says {stored!r} "
+            f"but its contents hash to {expected!r}; the snapshot is corrupt or was "
+            "edited by hand"
+        )
+    for name, recorded in manifest.get("content", {}).items():
+        actual = _file_digest(directory / name)
+        if actual != recorded:
+            raise SnapshotError(
+                f"snapshot payload {name} in {directory} does not match the manifest "
+                f"digest ({actual} != {recorded}); the file was replaced or corrupted"
+            )
+
+    try:
+        with open(directory / _HIERARCHY_NAME, encoding="utf-8") as handle:
+            hierarchy_doc = json.load(handle)
+        hierarchy = SpatialHierarchy()
+        for unit_id, parent_id in hierarchy_doc["units"]:
+            hierarchy.add_unit(unit_id, parent_id)
+        hierarchy.validate()
+    except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError(
+            f"unreadable snapshot hierarchy in {directory}: {exc}"
+        ) from exc
+
+    try:
+        with np.load(directory / _ARRAYS_NAME, allow_pickle=False) as arrays:
+            data = {key: arrays[key] for key in arrays.files}
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+        raise SnapshotError(f"unreadable snapshot arrays in {directory}: {exc}") from exc
+    required = {
+        "hash_a", "hash_b", "dataset_entities",
+        "presence_entity", "presence_unit", "presence_start", "presence_end",
+        "node_level", "node_routing_index", "node_routing_value", "node_parent",
+        "tree_entities", "entity_leaf", "signatures",
+    }
+    missing = sorted(required - set(data))
+    if missing:
+        raise SnapshotError(f"snapshot arrays in {directory} are missing {missing}")
+
+    # The content digests above vouch for byte-level integrity, but manifest
+    # sections like "dataset" and "tree" are plain JSON a hand-edit can
+    # still skew -- so the whole reconstruction converts low-level errors
+    # into SnapshotError for the CLI's graceful error path.
+    try:
+        base_units = hierarchy.base_units
+        dataset = TraceDataset(hierarchy, horizon=manifest["dataset"]["explicit_horizon"])
+        dataset_entities = [str(name) for name in data["dataset_entities"]]
+        presence_entity = data["presence_entity"]
+        presence_unit = data["presence_unit"]
+        presence_start = data["presence_start"]
+        presence_end = data["presence_end"]
+        # Records were written grouped by entity, so one pass restores each
+        # entity's whole trace in original order through the trusted bulk
+        # path.
+        traces: Dict[str, list] = {entity: [] for entity in dataset_entities}
+        for slot in range(presence_entity.shape[0]):
+            entity = dataset_entities[int(presence_entity[slot])]
+            traces[entity].append(
+                PresenceInstance(
+                    entity=entity,
+                    unit=base_units[int(presence_unit[slot])],
+                    start=int(presence_start[slot]),
+                    end=int(presence_end[slot]),
+                )
+            )
+        for entity in dataset_entities:
+            dataset.restore_trace(entity, traces[entity])
+
+        resolved_measure = (
+            measure if measure is not None else _measure_from_payload(measure_payload)
+        )
+
+        family = HierarchicalHashFamily(
+            hierarchy,
+            horizon=int(hash_family_meta["horizon"]),
+            num_hashes=int(hash_family_meta["num_hashes"]),
+            seed=int(hash_family_meta["seed"]),
+        )
+        family.restore_coefficients(data["hash_a"], data["hash_b"])
+        if family.hash_range != int(hash_family_meta["hash_range"]):
+            raise SnapshotError(
+                f"restored hash range {family.hash_range} differs from the snapshot's "
+                f"{hash_family_meta['hash_range']}; the hierarchy or horizon does not match"
+            )
+
+        tree = MinSigTree.import_structure(
+            {
+                "node_level": data["node_level"],
+                "node_routing_index": data["node_routing_index"],
+                "node_routing_value": data["node_routing_value"],
+                "node_parent": data["node_parent"],
+                "entities": [str(name) for name in data["tree_entities"]],
+                "entity_leaf": data["entity_leaf"],
+                "signatures": data["signatures"],
+                "node_full_signatures": data.get("node_full_signatures"),
+            },
+            num_levels=manifest["dataset"]["num_levels"],
+            num_hashes=config.num_hashes,
+            store_full_signatures=config.store_full_signatures,
+            routing_strategy=manifest["tree"]["routing_strategy"],
+        )
+
+        engine = TraceQueryEngine(dataset, measure=resolved_measure, config=config)
+        engine._adopt_index(family, tree)
+    except SnapshotError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise SnapshotError(
+            f"snapshot {directory} failed to reconstruct: {exc}; the manifest or "
+            "arrays are inconsistent"
+        ) from exc
+    return engine
+
+
+def snapshot_info(path: PathLike) -> Dict[str, object]:
+    """Manifest summary plus on-disk sizes (what ``repro index info`` prints)."""
+    directory = Path(path)
+    manifest = read_manifest(directory)
+    size_bytes = sum(f.stat().st_size for f in directory.rglob("*") if f.is_file())
+    info = dict(manifest)
+    info["path"] = str(directory)
+    info["size_bytes"] = size_bytes
+    return info

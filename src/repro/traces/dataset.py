@@ -86,6 +86,33 @@ class TraceDataset:
         self._invalidate(entity)
         self.extend(materialised)
 
+    def restore_trace(self, entity: str, presences: Iterable[PresenceInstance]) -> None:
+        """Trusted bulk append of one entity's whole trace (the snapshot path).
+
+        Skips the per-record hierarchy lookups of :meth:`add_presence` --
+        the records were validated when they were first added -- which makes
+        cold-starting a large dataset from a snapshot a straight list build.
+        The horizon and caches are maintained exactly as for normal appends.
+
+        Raises
+        ------
+        ValueError
+            If the entity already has a trace (restore is load-time only) or
+            a record belongs to a different entity.
+        """
+        if entity in self._presences:
+            raise ValueError(f"entity {entity!r} already has a trace; restore is load-time only")
+        trace = list(presences)
+        for presence in trace:
+            if presence.entity != entity:
+                raise ValueError(
+                    f"presence for {presence.entity!r} passed while restoring trace of {entity!r}"
+                )
+        self._presences[entity] = trace
+        if trace:
+            self._max_end = max(self._max_end, max(presence.end for presence in trace))
+        self._invalidate(entity)
+
     def _invalidate(self, entity: str) -> None:
         self._sequence_cache.pop(entity, None)
         # The inverted indexes are rebuilt from scratch on next use; updates
@@ -99,6 +126,11 @@ class TraceDataset:
     def hierarchy(self) -> SpatialHierarchy:
         """The sp-index the dataset is defined over."""
         return self._hierarchy
+
+    @property
+    def explicit_horizon(self) -> Optional[int]:
+        """The horizon passed at construction, or ``None`` when derived."""
+        return self._explicit_horizon
 
     @property
     def horizon(self) -> int:

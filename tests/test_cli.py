@@ -47,7 +47,29 @@ class TestParser:
             ["query", "--traces", "t.csv", "--hierarchy", "h.json", "--entity", "x"]
         )
         assert args.k == 10
+        assert args.shards == 0
+        # Index-shaping options default to None so the command can tell an
+        # explicit flag from a default when --snapshot fixes the index.
+        assert args.bound_mode is None
+        assert args.num_hashes is None
+
+    def test_index_build_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "index",
+                "build",
+                "--traces",
+                "t.csv",
+                "--hierarchy",
+                "h.json",
+                "--output",
+                "snap",
+            ]
+        )
+        assert args.index_command == "build"
+        assert args.num_hashes == 256
         assert args.bound_mode == "lift"
+        assert args.shards == 0
 
 
 class TestGenerate:
@@ -249,6 +271,199 @@ class TestQuery:
             ]
         )
         assert code == 0
+
+
+class TestQueryModes:
+    def test_sharded_query_matches_single_engine(self, generated_files, capsys):
+        traces, hierarchy = generated_files
+        base = [
+            "query",
+            "--traces",
+            str(traces),
+            "--hierarchy",
+            str(hierarchy),
+            "--entity",
+            "syn-0",
+            "--k",
+            "3",
+            "--num-hashes",
+            "32",
+        ]
+        assert main(base) == 0
+        single_output = capsys.readouterr().out
+        assert main(base + ["--shards", "2"]) == 0
+        sharded_output = capsys.readouterr().out
+        # Ranked results (the lines before the stats line) must be identical.
+        assert single_output.splitlines()[:4] == sharded_output.splitlines()[:4]
+
+    def test_snapshot_and_traces_are_mutually_exclusive(self, generated_files, capsys):
+        traces, hierarchy = generated_files
+        code = main(
+            [
+                "query",
+                "--traces",
+                str(traces),
+                "--hierarchy",
+                str(hierarchy),
+                "--snapshot",
+                "somewhere",
+                "--entity",
+                "syn-0",
+            ]
+        )
+        assert code == 2
+        assert "either --snapshot or --traces" in capsys.readouterr().err
+
+    def test_missing_inputs_rejected(self, capsys):
+        code = main(["query", "--entity", "syn-0"])
+        assert code == 2
+        assert "pass --snapshot" in capsys.readouterr().err
+
+    def test_nonexistent_snapshot_fails_gracefully(self, tmp_path, capsys):
+        code = main(["query", "--snapshot", str(tmp_path / "missing"), "--entity", "x"])
+        assert code == 2
+        assert "not a snapshot directory" in capsys.readouterr().err
+
+    def test_partitioner_requires_shards(self, generated_files, capsys):
+        traces, hierarchy = generated_files
+        code = main(
+            [
+                "query",
+                "--traces",
+                str(traces),
+                "--hierarchy",
+                str(hierarchy),
+                "--entity",
+                "syn-0",
+                "--partitioner",
+                "round_robin",
+            ]
+        )
+        assert code == 2
+        assert "--partitioner only applies together with --shards" in capsys.readouterr().err
+
+
+class TestIndex:
+    @pytest.fixture
+    def snapshot_dir(self, generated_files, tmp_path, capsys):
+        traces, hierarchy = generated_files
+        snapshot = tmp_path / "snap"
+        code = main(
+            [
+                "index",
+                "build",
+                "--traces",
+                str(traces),
+                "--hierarchy",
+                str(hierarchy),
+                "--output",
+                str(snapshot),
+                "--num-hashes",
+                "32",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return snapshot
+
+    def test_build_and_info(self, snapshot_dir, capsys):
+        code = main(["index", "info", "--snapshot", str(snapshot_dir)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "repro-engine-snapshot" in output
+        assert "num_hashes=32" in output
+        assert "fingerprint" in output
+
+    def test_query_from_snapshot_matches_adhoc_build(self, generated_files, snapshot_dir, capsys):
+        traces, hierarchy = generated_files
+        code = main(["query", "--snapshot", str(snapshot_dir), "--entity", "syn-0", "--k", "3"])
+        assert code == 0
+        snapshot_output = capsys.readouterr().out
+        code = main(
+            [
+                "query",
+                "--traces",
+                str(traces),
+                "--hierarchy",
+                str(hierarchy),
+                "--entity",
+                "syn-0",
+                "--k",
+                "3",
+                "--num-hashes",
+                "32",
+            ]
+        )
+        assert code == 0
+        adhoc_output = capsys.readouterr().out
+        assert snapshot_output == adhoc_output
+
+    def test_snapshot_unknown_entity_fails_gracefully(self, snapshot_dir, capsys):
+        code = main(["query", "--snapshot", str(snapshot_dir), "--entity", "nobody"])
+        assert code == 2
+        assert "unknown entity 'nobody'" in capsys.readouterr().err
+
+    def test_corrupt_snapshot_fails_gracefully(self, snapshot_dir, capsys):
+        (snapshot_dir / "manifest.json").write_text("{truncated")
+        code = main(["query", "--snapshot", str(snapshot_dir), "--entity", "syn-0"])
+        assert code == 2
+        assert "unreadable snapshot manifest" in capsys.readouterr().err
+
+    def test_snapshot_rejects_index_options(self, snapshot_dir, capsys):
+        code = main(
+            [
+                "query",
+                "--snapshot",
+                str(snapshot_dir),
+                "--entity",
+                "syn-0",
+                "--num-hashes",
+                "64",
+            ]
+        )
+        assert code == 2
+        assert "cannot be combined with --snapshot" in capsys.readouterr().err
+
+    def test_sharded_build_and_batch_query(self, generated_files, tmp_path, capsys):
+        traces, hierarchy = generated_files
+        snapshot = tmp_path / "sharded-snap"
+        code = main(
+            [
+                "index",
+                "build",
+                "--traces",
+                str(traces),
+                "--hierarchy",
+                str(hierarchy),
+                "--output",
+                str(snapshot),
+                "--num-hashes",
+                "32",
+                "--shards",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "3-shard" in capsys.readouterr().out
+        code = main(["index", "info", "--snapshot", str(snapshot)])
+        assert code == 0
+        assert "shards: 3" in capsys.readouterr().out
+        code = main(
+            [
+                "query",
+                "--snapshot",
+                str(snapshot),
+                "--batch",
+                "syn-0",
+                "syn-1",
+                "--k",
+                "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "top-3 associates of syn-0" in output
+        assert "batch: 2 queries" in output
 
 
 class TestFigures:

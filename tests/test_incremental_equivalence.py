@@ -1,0 +1,141 @@
+"""The incremental-maintenance paths versus from-scratch builds.
+
+Section 4.2.3's update operations must leave the index *semantically*
+equivalent to rebuilding from the current data: after ``remove_entity`` --
+and after ``add_records`` re-introduces a removed entity -- every query
+returns exactly the results a fresh build over the same dataset would
+(routing values may stay looser after removals, which affects pruning work
+but never results).
+"""
+
+import pytest
+
+from repro import PresenceInstance, TraceDataset, TraceQueryEngine
+
+
+def rebuild_from(dataset: TraceDataset, **knobs) -> TraceQueryEngine:
+    """A from-scratch engine over an independent copy of ``dataset``."""
+    copy = TraceDataset(dataset.hierarchy, horizon=dataset.explicit_horizon)
+    for entity in dataset.entities:
+        copy.restore_trace(entity, dataset.trace(entity))
+    return TraceQueryEngine(copy, **knobs).build()
+
+
+KNOBS = dict(num_hashes=64, seed=11)
+
+
+@pytest.fixture
+def incremental(syn_dataset):
+    """A live engine over a private copy of the synthetic dataset."""
+    copy = TraceDataset(syn_dataset.hierarchy, horizon=syn_dataset.explicit_horizon)
+    for entity in syn_dataset.entities:
+        copy.restore_trace(entity, syn_dataset.trace(entity))
+    return TraceQueryEngine(copy, **KNOBS).build()
+
+
+def assert_matches_scratch(incremental: TraceQueryEngine, queries, k=10):
+    scratch = rebuild_from(incremental.dataset, **KNOBS)
+    assert incremental.tree.num_entities == scratch.tree.num_entities
+    for query in queries:
+        live = incremental.top_k(query, k=k)
+        fresh = scratch.top_k(query, k=k)
+        assert live.items == fresh.items, f"divergence for query {query!r}"
+
+
+class TestRemoveThenQuery:
+    def test_single_removal(self, incremental):
+        entities = list(incremental.dataset.entities)
+        victim = entities[5]
+        incremental.remove_entity(victim)
+        assert victim not in incremental.dataset
+        assert victim not in incremental.tree
+        assert_matches_scratch(incremental, entities[:4])
+
+    def test_removed_entity_never_appears_in_results(self, incremental):
+        entities = list(incremental.dataset.entities)
+        query = entities[0]
+        baseline = incremental.top_k(query, k=len(entities))
+        if not baseline.entities:
+            pytest.skip("query has no associates in this workload")
+        victim = baseline.entities[0]
+        incremental.remove_entity(victim)
+        after = incremental.top_k(query, k=len(entities))
+        assert victim not in after.entities
+
+    def test_many_removals(self, incremental):
+        entities = list(incremental.dataset.entities)
+        for victim in entities[10:20]:
+            incremental.remove_entity(victim)
+        assert_matches_scratch(incremental, entities[:4])
+
+
+class TestReAddAfterRemoval:
+    def test_add_records_reintroduces_removed_entity(self, incremental):
+        entities = list(incremental.dataset.entities)
+        victim, query = entities[5], entities[0]
+        original_trace = incremental.dataset.trace(victim)
+        incremental.remove_entity(victim)
+        affected = incremental.add_records(list(original_trace))
+        assert affected == [victim]
+        assert victim in incremental.tree
+        assert_matches_scratch(incremental, [query, victim])
+
+    def test_reintroduction_with_a_different_trace(self, incremental):
+        entities = list(incremental.dataset.entities)
+        victim, query = entities[7], entities[0]
+        base_units = incremental.dataset.hierarchy.base_units
+        incremental.remove_entity(victim)
+        new_trace = [
+            PresenceInstance(victim, base_units[0], 0, 3),
+            PresenceInstance(victim, base_units[3], 8, 10),
+        ]
+        incremental.add_records(new_trace)
+        assert incremental.dataset.trace(victim) == tuple(new_trace)
+        assert_matches_scratch(incremental, [query, victim])
+
+    def test_interleaved_updates_and_queries(self, incremental):
+        """A remove/add/extend mix, queried at every step, matches scratch."""
+        entities = list(incremental.dataset.entities)
+        base_units = incremental.dataset.hierarchy.base_units
+        query = entities[0]
+
+        incremental.remove_entity(entities[3])
+        assert_matches_scratch(incremental, [query])
+
+        incremental.add_records([PresenceInstance("newcomer", base_units[1], 4, 7)])
+        assert_matches_scratch(incremental, [query, "newcomer"])
+
+        incremental.remove_entity("newcomer")
+        incremental.add_records(
+            [
+                PresenceInstance("newcomer", base_units[2], 1, 2),
+                PresenceInstance(entities[1], base_units[2], 1, 2),
+            ]
+        )
+        assert_matches_scratch(incremental, [query, "newcomer", entities[1]])
+
+
+class TestAddRecordsDedup:
+    def test_affected_entities_first_seen_order(self, small_engine, small_hierarchy):
+        base = small_hierarchy.base_units
+        affected = small_engine.add_records(
+            [
+                PresenceInstance("y", base[0], 0, 1),
+                PresenceInstance("x", base[0], 1, 2),
+                PresenceInstance("y", base[1], 2, 3),
+                PresenceInstance("x", base[1], 3, 4),
+                PresenceInstance("y", base[2], 4, 5),
+            ]
+        )
+        assert affected == ["y", "x"]
+
+    def test_large_single_entity_batch(self, small_engine, small_hierarchy):
+        """A batch of many records for one entity dedups to one re-signing."""
+        base = small_hierarchy.base_units
+        batch = [
+            PresenceInstance("bulk", base[i % len(base)], t, t + 1)
+            for i, t in enumerate(range(0, 40))
+        ]
+        affected = small_engine.add_records(batch)
+        assert affected == ["bulk"]
+        assert len(small_engine.dataset.trace("bulk")) == 40

@@ -1,0 +1,341 @@
+"""ShardedEngine: exact equivalence with the single engine, plus routing.
+
+The acceptance contract: for every shard count, ``top_k`` and
+``top_k_batch`` over the sharded deployment return exactly the single
+engine's results -- including after interleaved ``add_records`` /
+``remove_entity`` updates -- because shard hash families are identical and
+per-shard searches are exact over a partition of the candidates.
+"""
+
+import pytest
+
+from repro import (
+    HashPartitioner,
+    PresenceInstance,
+    RoundRobinPartitioner,
+    ShardedEngine,
+    TraceDataset,
+    TraceQueryEngine,
+)
+from repro.service.partition import make_partitioner
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def clone_dataset(dataset: TraceDataset) -> TraceDataset:
+    """An independent copy (engines mutate their dataset on updates)."""
+    copy = TraceDataset(dataset.hierarchy, horizon=dataset.explicit_horizon)
+    for entity in dataset.entities:
+        copy.restore_trace(entity, dataset.trace(entity))
+    return copy
+
+
+def assert_same_results(sharded_result, single_result):
+    assert sharded_result.items == single_result.items
+    assert sharded_result.stats.population == single_result.stats.population
+
+
+@pytest.fixture(scope="module")
+def syn(syn_dataset):
+    return syn_dataset
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("partitioner", ["hash", "round_robin"])
+    def test_top_k_matches_single_engine(self, syn, num_shards, partitioner):
+        single = TraceQueryEngine(clone_dataset(syn), num_hashes=64, seed=11).build()
+        sharded = ShardedEngine(
+            clone_dataset(syn),
+            num_shards=num_shards,
+            partitioner=partitioner,
+            num_hashes=64,
+            seed=11,
+        ).build()
+        for query in list(syn.entities)[:6]:
+            assert_same_results(sharded.top_k(query, k=10), single.top_k(query, k=10))
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_top_k_batch_matches_single_engine(self, syn, num_shards):
+        single = TraceQueryEngine(clone_dataset(syn), num_hashes=64, seed=11).build()
+        sharded = ShardedEngine(
+            clone_dataset(syn), num_shards=num_shards, num_hashes=64, seed=11
+        ).build()
+        queries = list(syn.entities)[:8]
+        single_batch = single.top_k_batch(queries, k=10)
+        for workers in (0, 3):
+            sharded_batch = sharded.top_k_batch(queries, k=10, workers=workers)
+            assert [r.query_entity for r in sharded_batch] == queries
+            for sharded_result, single_result in zip(sharded_batch, single_batch):
+                assert_same_results(sharded_result, single_result)
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_equivalence_after_interleaved_updates(self, syn, num_shards):
+        """add/remove/re-add interleaved with queries stays exactly equal."""
+        single = TraceQueryEngine(clone_dataset(syn), num_hashes=64, seed=11).build()
+        sharded = ShardedEngine(
+            clone_dataset(syn), num_shards=num_shards, num_hashes=64, seed=11
+        ).build()
+        entities = list(syn.entities)
+        base_units = syn.hierarchy.base_units
+        victim, query = entities[3], entities[0]
+
+        new_records = [
+            PresenceInstance("late-arrival", base_units[0], 1, 4),
+            PresenceInstance("late-arrival", base_units[5], 10, 12),
+            PresenceInstance(entities[1], base_units[0], 2, 3),
+        ]
+        assert single.add_records(new_records) == sharded.add_records(new_records)
+        assert_same_results(sharded.top_k(query, k=10), single.top_k(query, k=10))
+
+        single.remove_entity(victim)
+        sharded.remove_entity(victim)
+        assert_same_results(sharded.top_k(query, k=10), single.top_k(query, k=10))
+        assert victim not in sharded.dataset
+
+        # Re-introduce the removed entity with a fresh trace.
+        revived = [PresenceInstance(victim, base_units[2], 6, 9)]
+        single.add_records(revived)
+        sharded.add_records(revived)
+        assert_same_results(sharded.top_k(query, k=10), single.top_k(query, k=10))
+        assert_same_results(sharded.top_k(victim, k=10), single.top_k(victim, k=10))
+
+    @pytest.mark.parametrize("fuzz_seed", [0, 1, 2])
+    def test_per_level_bound_equivalence_is_unconditional(self, fuzz_seed):
+        """With the strictly admissible bound, equality holds on any data.
+
+        Random datasets with deliberately duplicated traces (score ties and
+        heavy coarse-level overlap -- the lift bound's weak spot) must give
+        identical sharded and single-engine answers for every query and
+        shard count under ``bound_mode="per_level"``.
+        """
+        import random
+
+        from repro import SpatialHierarchy
+
+        rng = random.Random(fuzz_seed)
+        hierarchy = SpatialHierarchy.regular([2, 3, 3], prefix="f")
+        dataset = TraceDataset(hierarchy, horizon=24)
+        bases = hierarchy.base_units
+        for index in range(30):
+            entity = f"e{index}"
+            for _ in range(rng.randint(1, 8)):
+                dataset.add_record(
+                    entity, rng.choice(bases), rng.randrange(22), duration=rng.randint(1, 2)
+                )
+            if rng.random() < 0.4:  # a twin with an identical trace
+                for presence in dataset.trace(entity):
+                    dataset.add_record(
+                        f"{entity}-twin", presence.unit, presence.start, presence.duration
+                    )
+        knobs = dict(num_hashes=32, seed=fuzz_seed, bound_mode="per_level")
+        single = TraceQueryEngine(clone_dataset(dataset), **knobs).build()
+        for num_shards in SHARD_COUNTS:
+            sharded = ShardedEngine(
+                clone_dataset(dataset), num_shards=num_shards, **knobs
+            ).build()
+            for query in dataset.entities:
+                assert sharded.top_k(query, k=5).items == single.top_k(query, k=5).items
+
+    def test_query_entity_in_another_shard(self, small_dataset, small_measure):
+        """Every entity is queryable regardless of which shard owns it."""
+        single = TraceQueryEngine(
+            clone_dataset(small_dataset), measure=small_measure, num_hashes=32, seed=5
+        ).build()
+        sharded = ShardedEngine(
+            clone_dataset(small_dataset),
+            measure=small_measure,
+            num_shards=3,
+            num_hashes=32,
+            seed=5,
+        ).build()
+        for query in small_dataset.entities:
+            assert_same_results(sharded.top_k(query, k=3), single.top_k(query, k=3))
+
+    def test_tied_scores_resolve_identically(self, small_hierarchy):
+        """Exact score ties at the k boundary pick the same entities.
+
+        Entities with identical traces score identically; both the single
+        engine and the sharded merge must retain the lexicographically
+        smallest tied entities, whatever the leaf traversal or shard layout.
+        """
+        dataset = TraceDataset(small_hierarchy, horizon=24)
+        base = small_hierarchy.base_units
+        for entity in ("q", "zz", "aa", "mm"):
+            for t in range(0, 10, 2):
+                dataset.add_record(entity, base[0], t, duration=2)
+        for k in (1, 2, 3):
+            single = TraceQueryEngine(clone_dataset(dataset), num_hashes=16, seed=3).build()
+            expected = single.top_k("q", k=k)
+            assert expected.entities == ["aa", "mm", "zz"][:k]
+            for num_shards in (2, 4):
+                sharded = ShardedEngine(
+                    clone_dataset(dataset), num_shards=num_shards, num_hashes=16, seed=3
+                ).build()
+                assert sharded.top_k("q", k=k).items == expected.items
+
+    def test_more_shards_than_entities(self, small_dataset, small_measure):
+        """Empty shards are legal and contribute nothing."""
+        sharded = ShardedEngine(
+            clone_dataset(small_dataset),
+            measure=small_measure,
+            num_shards=16,
+            num_hashes=32,
+            seed=5,
+        ).build()
+        single = TraceQueryEngine(
+            clone_dataset(small_dataset), measure=small_measure, num_hashes=32, seed=5
+        ).build()
+        assert_same_results(sharded.top_k("a", k=3), single.top_k("a", k=3))
+
+
+class TestRoutingAndLifecycle:
+    def test_requires_build(self, small_dataset):
+        sharded = ShardedEngine(clone_dataset(small_dataset), num_shards=2, num_hashes=16)
+        with pytest.raises(RuntimeError, match="build"):
+            sharded.top_k("a", k=1)
+        with pytest.raises(RuntimeError, match="build"):
+            sharded.add_records([])
+
+    def test_updates_route_to_owning_shard(self, small_dataset, small_hierarchy):
+        sharded = ShardedEngine(clone_dataset(small_dataset), num_shards=2, num_hashes=16).build()
+        base = small_hierarchy.base_units
+        affected = sharded.add_records([PresenceInstance("fresh", base[0], 0, 2)])
+        assert affected == ["fresh"]
+        owner = sharded.shard_of("fresh")
+        assert "fresh" in sharded.shards[owner].dataset
+        other = sharded.shards[1 - owner]
+        assert "fresh" not in other.dataset
+
+    def test_remove_unknown_entity_raises(self, small_dataset):
+        sharded = ShardedEngine(clone_dataset(small_dataset), num_shards=2, num_hashes=16).build()
+        with pytest.raises(KeyError, match="nobody"):
+            sharded.remove_entity("nobody")
+
+    def test_refresh_entities_syncs_shard_copy(self, small_dataset, small_hierarchy):
+        sharded = ShardedEngine(clone_dataset(small_dataset), num_shards=2, num_hashes=16).build()
+        single = TraceQueryEngine(clone_dataset(small_dataset), num_hashes=16).build()
+        base = small_hierarchy.base_units
+        # Mutate the trace out of band on both substrates, then refresh.
+        replacement = [PresenceInstance("a", base[3], 5, 9)]
+        sharded.dataset.replace_trace("a", replacement)
+        single.dataset.replace_trace("a", replacement)
+        sharded.refresh_entities(["a"])
+        single.refresh_entities(["a"])
+        owner = sharded.shard_of("a")
+        assert sharded.shards[owner].dataset.trace("a") == tuple(replacement)
+        assert_same_results(sharded.top_k("b", k=3), single.top_k("b", k=3))
+
+    def test_invalid_shard_count(self, small_dataset):
+        with pytest.raises(ValueError, match="num_shards"):
+            ShardedEngine(small_dataset, num_shards=0)
+
+
+class TestPartitioners:
+    def test_hash_partitioner_is_stable(self):
+        partitioner = HashPartitioner(4)
+        assignments = {f"entity-{i}": partitioner.assign(f"entity-{i}") for i in range(50)}
+        again = HashPartitioner(4)
+        assert all(again.assign(entity) == shard for entity, shard in assignments.items())
+        assert set(assignments.values()) == {0, 1, 2, 3}
+
+    def test_round_robin_balances_exactly(self):
+        partitioner = RoundRobinPartitioner(3)
+        shards = [partitioner.assign(f"e{i}") for i in range(9)]
+        assert shards == [0, 1, 2, 0, 1, 2, 0, 1, 2]
+
+    def test_make_partitioner_validates(self):
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            make_partitioner("alphabetical", 2)
+        with pytest.raises(ValueError, match="covers 2 shards"):
+            make_partitioner(HashPartitioner(2), 3)
+
+
+class TestShardedSnapshot:
+    def test_save_load_round_trip(self, syn, tmp_path):
+        sharded = ShardedEngine(
+            clone_dataset(syn),
+            num_shards=3,
+            partitioner="round_robin",
+            num_hashes=64,
+            seed=11,
+        ).build()
+        sharded.save(tmp_path / "snap")
+        restored = ShardedEngine.load(tmp_path / "snap")
+        assert restored.num_shards == 3
+        assert restored.partitioner.kind == "round_robin"
+        assert restored.num_entities == sharded.num_entities
+        for query in list(syn.entities)[:5]:
+            assert restored.top_k(query, k=10).items == sharded.top_k(query, k=10).items
+
+    def test_loaded_deployment_supports_updates(self, syn, tmp_path):
+        sharded = ShardedEngine(clone_dataset(syn), num_shards=2, num_hashes=64, seed=11).build()
+        sharded.save(tmp_path / "snap")
+        restored = ShardedEngine.load(tmp_path / "snap")
+        base_units = syn.hierarchy.base_units
+        records = [PresenceInstance("post-restore", base_units[0], 0, 3)]
+        assert sharded.add_records(records) == restored.add_records(records)
+        query = list(syn.entities)[0]
+        assert restored.top_k(query, k=10).items == sharded.top_k(query, k=10).items
+
+    def test_resave_with_fewer_shards_drops_stale_directories(self, small_dataset, tmp_path):
+        target = tmp_path / "snap"
+        ShardedEngine(clone_dataset(small_dataset), num_shards=4, num_hashes=16).build().save(
+            target
+        )
+        assert (target / "shard-03").is_dir()
+        ShardedEngine(clone_dataset(small_dataset), num_shards=2, num_hashes=16).build().save(
+            target
+        )
+        assert not (target / "shard-02").exists()
+        assert not (target / "shard-03").exists()
+        restored = ShardedEngine.load(target)
+        assert restored.num_shards == 2
+        assert restored.num_entities == small_dataset.num_entities
+
+    def test_out_of_range_round_robin_cursor_fails_at_load(self, small_dataset, tmp_path):
+        import json
+
+        from repro.storage.snapshot import SnapshotError
+
+        target = tmp_path / "snap"
+        ShardedEngine(
+            clone_dataset(small_dataset), num_shards=2, partitioner="round_robin", num_hashes=16
+        ).build().save(target)
+        manifest_path = target / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["partitioner"]["next_shard"] = 7
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="invalid sharded snapshot manifest"):
+            ShardedEngine.load(target)
+
+    def test_swapped_shard_from_other_deployment_fails_loudly(self, syn, tmp_path):
+        from repro.storage.snapshot import SnapshotError
+
+        import shutil
+
+        ShardedEngine(clone_dataset(syn), num_shards=2, num_hashes=64, seed=11).build().save(
+            tmp_path / "ours"
+        )
+        ShardedEngine(clone_dataset(syn), num_shards=2, num_hashes=32, seed=4).build().save(
+            tmp_path / "theirs"
+        )
+        shutil.rmtree(tmp_path / "ours" / "shard-01")
+        shutil.copytree(tmp_path / "theirs" / "shard-01", tmp_path / "ours" / "shard-01")
+        with pytest.raises(SnapshotError, match="different engine config"):
+            ShardedEngine.load(tmp_path / "ours")
+
+    def test_single_snapshot_rejected_by_sharded_load(self, small_engine, tmp_path):
+        from repro.storage.snapshot import SnapshotError
+
+        small_engine.save(tmp_path / "snap")
+        with pytest.raises(SnapshotError, match="TraceQueryEngine.load"):
+            ShardedEngine.load(tmp_path / "snap")
+
+    def test_sharded_snapshot_rejected_by_engine_load(self, small_dataset, tmp_path):
+        from repro.storage.snapshot import SnapshotError
+
+        sharded = ShardedEngine(clone_dataset(small_dataset), num_shards=2, num_hashes=16).build()
+        sharded.save(tmp_path / "snap")
+        with pytest.raises(SnapshotError, match="ShardedEngine.load"):
+            TraceQueryEngine.load(tmp_path / "snap")

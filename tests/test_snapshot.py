@@ -1,0 +1,339 @@
+"""Snapshot persistence: exact round-trips and loud failure modes.
+
+The contract under test (see :mod:`repro.storage.snapshot`): an engine
+restored from ``save()`` is bitwise-identical to the saved one -- same
+signature matrices, same tree structure and routing values, same top-k
+results, orderings, and pruning statistics -- including across OS
+processes; and any version or fingerprint mismatch fails loudly instead of
+serving wrong results.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import repro
+from repro import JaccardADM, PresenceInstance, TraceQueryEngine
+from repro.measures.base import AssociationMeasure
+from repro.storage.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotError,
+    load_engine_snapshot,
+    save_engine_snapshot,
+    snapshot_info,
+)
+
+
+def assert_engines_identical(original: TraceQueryEngine, restored: TraceQueryEngine, queries, k=5):
+    """Signatures, tree shape, and query outcomes must match exactly."""
+    assert restored.dataset.num_entities == original.dataset.num_entities
+    assert set(restored.dataset.entities) == set(original.dataset.entities)
+    for entity in original.dataset.entities:
+        assert np.array_equal(
+            original.tree.signature_of(entity), restored.tree.signature_of(entity)
+        ), f"signature mismatch for {entity!r}"
+    assert restored.tree.num_nodes == original.tree.num_nodes
+    assert restored.tree.depth_histogram() == original.tree.depth_histogram()
+    assert restored.tree.leaf_order() == original.tree.leaf_order()
+    for query in queries:
+        expected = original.top_k(query, k=k)
+        actual = restored.top_k(query, k=k)
+        assert actual.items == expected.items
+        assert actual.stats.__dict__ == expected.stats.__dict__
+
+
+class TestRoundTrip:
+    def test_small_engine_round_trip(self, small_engine, tmp_path):
+        small_engine.save(tmp_path / "snap")
+        restored = TraceQueryEngine.load(tmp_path / "snap")
+        assert_engines_identical(small_engine, restored, ["a", "d"], k=3)
+        assert restored.config == small_engine.config
+        assert restored.measure.name == small_engine.measure.name
+
+    def test_syn_engine_round_trip(self, syn_engine, tmp_path):
+        syn_engine.save(tmp_path / "snap")
+        restored = load_engine_snapshot(tmp_path / "snap")
+        queries = list(syn_engine.dataset.entities)[:5]
+        assert_engines_identical(syn_engine, restored, queries, k=10)
+
+    def test_round_trip_preserves_dataset_traces(self, small_engine, tmp_path):
+        small_engine.save(tmp_path / "snap")
+        restored = TraceQueryEngine.load(tmp_path / "snap")
+        for entity in small_engine.dataset.entities:
+            assert restored.dataset.trace(entity) == small_engine.dataset.trace(entity)
+        assert restored.dataset.horizon == small_engine.dataset.horizon
+
+    def test_round_trip_after_updates(self, small_engine, small_hierarchy, tmp_path):
+        """Snapshots taken mid-lifecycle capture the *current* tree exactly.
+
+        remove() leaves ancestor routing values un-tightened; the snapshot
+        must preserve those loose values, not re-tighten them.
+        """
+        base = small_hierarchy.base_units
+        small_engine.add_records(
+            [
+                PresenceInstance("f", base[0], 2, 5),
+                PresenceInstance("a", base[2], 30, 33),
+            ]
+        )
+        small_engine.remove_entity("c")
+        small_engine.save(tmp_path / "snap")
+        restored = TraceQueryEngine.load(tmp_path / "snap")
+        assert "c" not in restored.dataset
+        assert_engines_identical(small_engine, restored, ["a", "f", "d"], k=3)
+
+    def test_loaded_engine_supports_updates(self, small_engine, small_hierarchy, tmp_path):
+        small_engine.save(tmp_path / "snap")
+        restored = TraceQueryEngine.load(tmp_path / "snap")
+        base = small_hierarchy.base_units
+        new = [PresenceInstance("g", base[0], 0, 4), PresenceInstance("g", base[1], 20, 22)]
+        assert small_engine.add_records(new) == restored.add_records(new)
+        assert restored.top_k("g", k=3).items == small_engine.top_k("g", k=3).items
+        small_engine.remove_entity("b")
+        restored.remove_entity("b")
+        assert restored.top_k("a", k=3).items == small_engine.top_k("a", k=3).items
+
+    def test_full_signature_round_trip(self, small_dataset, small_measure, tmp_path):
+        engine = TraceQueryEngine(
+            small_dataset,
+            measure=small_measure,
+            num_hashes=16,
+            seed=2,
+            store_full_signatures=True,
+            use_full_signatures=True,
+        ).build()
+        engine.save(tmp_path / "snap")
+        restored = TraceQueryEngine.load(tmp_path / "snap")
+        assert restored.config.store_full_signatures
+        for node_a, node_b in zip(engine.tree.iter_nodes(), restored.tree.iter_nodes()):
+            if node_a.full_signature is None:
+                assert node_b.full_signature is None
+            else:
+                assert np.array_equal(node_a.full_signature, node_b.full_signature)
+        assert_engines_identical(engine, restored, ["a", "e"], k=3)
+
+    def test_round_trip_across_processes(self, small_engine, tmp_path):
+        """A fresh interpreter must reproduce results byte for byte."""
+        snapshot = tmp_path / "snap"
+        small_engine.save(snapshot)
+        expected = [small_engine.top_k(query, k=3).items for query in ("a", "d")]
+        script = (
+            "import json, sys\n"
+            "from repro import TraceQueryEngine\n"
+            "engine = TraceQueryEngine.load(sys.argv[1])\n"
+            "items = [engine.top_k(q, k=3).items for q in ('a', 'd')]\n"
+            "print(json.dumps(items))\n"
+        )
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        output = subprocess.run(
+            [sys.executable, "-c", script, str(snapshot)],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        ).stdout
+        subprocess_items = [
+            [(entity, score) for entity, score in result] for result in json.loads(output)
+        ]
+        assert subprocess_items == expected
+
+
+class TestFailureModes:
+    def test_save_requires_built_engine(self, small_dataset, tmp_path):
+        engine = TraceQueryEngine(small_dataset, num_hashes=16)
+        with pytest.raises(SnapshotError, match="build"):
+            engine.save(tmp_path / "snap")
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(SnapshotError, match="not a snapshot directory"):
+            TraceQueryEngine.load(tmp_path / "missing")
+
+    def test_refuses_to_overwrite_foreign_directory(self, small_engine, tmp_path):
+        target = tmp_path / "not-a-snapshot"
+        target.mkdir()
+        (target / "precious.txt").write_text("do not clobber")
+        with pytest.raises(SnapshotError, match="refusing to overwrite"):
+            small_engine.save(target)
+        assert (target / "precious.txt").read_text() == "do not clobber"
+
+    def test_overwriting_an_existing_snapshot_is_allowed(self, small_engine, tmp_path):
+        small_engine.save(tmp_path / "snap")
+        small_engine.save(tmp_path / "snap")
+        restored = TraceQueryEngine.load(tmp_path / "snap")
+        assert restored.tree.num_entities == small_engine.tree.num_entities
+
+    def test_cross_format_overwrite_leaves_no_stale_artifacts(
+        self, small_engine, small_dataset, small_measure, tmp_path
+    ):
+        """Rebuilding single-over-sharded (and back) wipes the old layout."""
+        from repro import ShardedEngine
+
+        target = tmp_path / "snap"
+        small_engine.save(target)
+        sharded = ShardedEngine(
+            small_dataset, measure=small_measure, num_shards=2, num_hashes=32, seed=5
+        ).build()
+        sharded.save(target)
+        # The single-engine payload files must be gone from the sharded dir.
+        assert not (target / "arrays.npz").exists()
+        assert not (target / "hierarchy.json").exists()
+        assert ShardedEngine.load(target).num_shards == 2
+        small_engine.save(target)
+        # And the shard directories must be gone from the single-engine dir.
+        assert not list(target.glob("shard-*"))
+        assert TraceQueryEngine.load(target).tree.num_entities == small_engine.tree.num_entities
+
+    def test_corrupt_manifest_raises_snapshot_error(self, small_engine, tmp_path):
+        snapshot = tmp_path / "snap"
+        small_engine.save(snapshot)
+        (snapshot / "manifest.json").write_text("{truncated")
+        with pytest.raises(SnapshotError, match="unreadable snapshot manifest"):
+            TraceQueryEngine.load(snapshot)
+
+    def test_tampered_unfingerprinted_manifest_field_raises_snapshot_error(
+        self, small_engine, tmp_path
+    ):
+        """Fields outside the fingerprint (dataset/tree) still fail cleanly."""
+        snapshot = tmp_path / "snap"
+        small_engine.save(snapshot)
+        manifest_path = snapshot / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["dataset"]["num_levels"] = manifest["dataset"]["num_levels"] - 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError):
+            TraceQueryEngine.load(snapshot)
+
+    def test_interrupted_save_leaves_previous_snapshot_loadable(
+        self, small_engine, tmp_path, monkeypatch
+    ):
+        """save() stages and swaps: a mid-write crash keeps the old snapshot."""
+        import numpy as np
+
+        snapshot = tmp_path / "snap"
+        small_engine.save(snapshot)
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez", explode)
+        with pytest.raises(OSError):
+            small_engine.save(snapshot)
+        monkeypatch.undo()
+        # The previous snapshot is intact, loadable, and re-savable.
+        assert TraceQueryEngine.load(snapshot).tree.num_entities == small_engine.tree.num_entities
+        small_engine.save(snapshot)
+
+    def test_version_mismatch_fails_loudly(self, small_engine, tmp_path):
+        snapshot = tmp_path / "snap"
+        small_engine.save(snapshot)
+        manifest_path = snapshot / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = SNAPSHOT_FORMAT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="format version"):
+            TraceQueryEngine.load(snapshot)
+
+    def test_fingerprint_mismatch_fails_loudly(self, small_engine, tmp_path):
+        snapshot = tmp_path / "snap"
+        small_engine.save(snapshot)
+        manifest_path = snapshot / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        # Tamper with a semantic config field: the stored fingerprint no
+        # longer matches what the contents hash to.
+        manifest["config"]["num_hashes"] = manifest["config"]["num_hashes"] * 2
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="fingerprint mismatch"):
+            TraceQueryEngine.load(snapshot)
+
+    def test_swapped_payload_file_fails_loudly(self, small_engine, syn_engine, tmp_path):
+        """Mixing files from two snapshots must not serve wrong results."""
+        ours = tmp_path / "ours"
+        theirs = tmp_path / "theirs"
+        small_engine.save(ours)
+        syn_engine.save(theirs)
+        (ours / "arrays.npz").write_bytes((theirs / "arrays.npz").read_bytes())
+        with pytest.raises(SnapshotError, match="does not match the manifest digest"):
+            TraceQueryEngine.load(ours)
+
+    def test_corrupted_hierarchy_fails_loudly(self, small_engine, tmp_path):
+        snapshot = tmp_path / "snap"
+        small_engine.save(snapshot)
+        hierarchy_path = snapshot / "hierarchy.json"
+        hierarchy_path.write_text(hierarchy_path.read_text().replace("h1_0", "h1_X", 1))
+        with pytest.raises(SnapshotError, match="does not match the manifest digest"):
+            TraceQueryEngine.load(snapshot)
+
+    def test_unknown_measure_rejected_at_save(self, small_dataset, tmp_path):
+        class CustomMeasure(AssociationMeasure):
+            name = "custom"
+
+            def score_levels(self, overlaps):
+                return 0.0
+
+        engine = TraceQueryEngine(small_dataset, measure=CustomMeasure(), num_hashes=16).build()
+        with pytest.raises(SnapshotError, match="cannot serialize measure"):
+            engine.save(tmp_path / "snap")
+
+    def test_failed_save_does_not_destroy_existing_snapshot(
+        self, small_engine, small_dataset, tmp_path
+    ):
+        """A save that cannot succeed must fail before wiping the target."""
+
+        class CustomMeasure(AssociationMeasure):
+            name = "custom"
+
+            def score_levels(self, overlaps):
+                return 0.0
+
+        snapshot = tmp_path / "snap"
+        small_engine.save(snapshot)
+        bad = TraceQueryEngine(small_dataset, measure=CustomMeasure(), num_hashes=16).build()
+        with pytest.raises(SnapshotError, match="cannot serialize measure"):
+            bad.save(snapshot)
+        # The original snapshot is intact and still loads.
+        restored = TraceQueryEngine.load(snapshot)
+        assert restored.tree.num_entities == small_engine.tree.num_entities
+
+    def test_foreign_manifest_json_is_not_clobbered(self, small_engine, tmp_path):
+        """A directory with someone else's manifest.json must be refused."""
+        target = tmp_path / "my-extension"
+        target.mkdir()
+        (target / "manifest.json").write_text('{"name": "my pwa", "start_url": "/"}')
+        (target / "app.js").write_text("// precious")
+        with pytest.raises(SnapshotError, match="not a repro snapshot manifest"):
+            small_engine.save(target)
+        assert (target / "manifest.json").read_text().startswith('{"name": "my pwa"')
+        assert (target / "app.js").exists()
+
+    def test_measure_override_on_load(self, small_engine, small_hierarchy, tmp_path):
+        small_engine.save(tmp_path / "snap")
+        override = JaccardADM(num_levels=small_hierarchy.num_levels)
+        restored = TraceQueryEngine.load(tmp_path / "snap", measure=override)
+        assert restored.measure is override
+        # Queries run with the overriding measure (still exact: bounds are
+        # admissible for any registered measure).
+        result = restored.top_k("a", k=3)
+        assert result.entities
+
+
+class TestSnapshotInfo:
+    def test_info_reports_manifest_and_size(self, small_engine, tmp_path):
+        small_engine.save(tmp_path / "snap")
+        info = snapshot_info(tmp_path / "snap")
+        assert info["format"] == "repro-engine-snapshot"
+        assert info["format_version"] == SNAPSHOT_FORMAT_VERSION
+        assert info["dataset"]["num_entities"] == small_engine.dataset.num_entities
+        assert info["size_bytes"] > 0
+
+    def test_save_returns_directory(self, small_engine, tmp_path):
+        returned = save_engine_snapshot(small_engine, tmp_path / "snap")
+        assert returned == tmp_path / "snap"
+        assert (returned / "manifest.json").exists()
+        assert (returned / "arrays.npz").exists()
+        assert (returned / "hierarchy.json").exists()
