@@ -17,7 +17,7 @@ Quickstart::
     print(engine.top_k("alice", k=1).entities)
 """
 
-from repro.core.engine import EngineConfig, TraceQueryEngine
+from repro.core.engine import EngineConfig, ExpiryReport, TraceQueryEngine
 from repro.core.hashing import HierarchicalHashFamily
 from repro.core.join import association_graph, mutual_top_k_pairs, top_k_join
 from repro.core.minsigtree import MinSigTree
@@ -38,6 +38,12 @@ from repro.measures import (
     JaccardADM,
     OverlapADM,
 )
+from repro.streaming import (
+    EventIngestor,
+    SlidingWindow,
+    StreamingConfig,
+    replay_events,
+)
 from repro.traces import (
     CellSequence,
     PresenceInstance,
@@ -55,7 +61,9 @@ __all__ = [
     "CellSequence",
     "DiceADM",
     "EngineConfig",
+    "EventIngestor",
     "ExampleDiceADM",
+    "ExpiryReport",
     "FScoreADM",
     "HierarchicalADM",
     "HashPartitioner",
@@ -69,7 +77,9 @@ __all__ = [
     "STCell",
     "ShardedEngine",
     "SignatureComputer",
+    "SlidingWindow",
     "SpatialHierarchy",
+    "StreamingConfig",
     "TopKResult",
     "TopKSearcher",
     "TraceDataset",
@@ -77,5 +87,6 @@ __all__ = [
     "__version__",
     "association_graph",
     "mutual_top_k_pairs",
+    "replay_events",
     "top_k_join",
 ]

@@ -31,18 +31,25 @@ Python::
     python -m repro query --traces traces.csv --hierarchy hierarchy.json \
         --batch syn-17 syn-4 syn-23 --workers 4 --k 10
 
+    # Replay the trace file as a live event stream: micro-batched ingestion,
+    # a sliding window, and interleaved top-k queries served throughout
+    python -m repro stream --traces traces.csv --hierarchy hierarchy.json \
+        --batch-size 64 --window 48 --query-every 200 --queries syn-17 syn-4
+
     # Regenerate one of the paper's figures
     python -m repro figures --only 7.3 --scale tiny
 
 Every subcommand is also importable (``repro.cli.main``) so tests drive it
-in-process.
+in-process.  Exit codes: 0 on success, 2 on usage or data errors (unknown
+entities, malformed/empty inputs, invalid option combinations); see
+``docs/CLI.md`` for the full contract.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.engine import TraceQueryEngine
 from repro.measures.adm import HierarchicalADM
@@ -151,6 +158,70 @@ def build_parser() -> argparse.ArgumentParser:
     index_info = index_sub.add_parser("info", help="summarise a snapshot directory")
     index_info.add_argument("--snapshot", required=True, help="snapshot directory to inspect")
 
+    stream = subparsers.add_parser(
+        "stream",
+        help="replay an event log through the streaming ingestor with interleaved queries",
+    )
+    _add_dataset_arguments(stream)
+    stream.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        help="base temporal units covered (default: derived from the event log)",
+    )
+    stream.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="target ingest rate in events/second (0 = as fast as possible)",
+    )
+    stream.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="micro-batch size: events buffered per flush through the bulk pipeline",
+    )
+    stream.add_argument(
+        "--window",
+        type=int,
+        default=0,
+        help="sliding-window length in base temporal units (0 = keep everything)",
+    )
+    stream.add_argument(
+        "--compact-every",
+        type=int,
+        default=0,
+        help="auto-compact after this many index-changing retractions (0 = never)",
+    )
+    stream.add_argument(
+        "--queries",
+        nargs="+",
+        metavar="ENTITY",
+        default=None,
+        help="entities to query round-robin during the replay "
+        "(default: the first three entities of the log)",
+    )
+    stream.add_argument(
+        "--query-every",
+        type=int,
+        default=0,
+        help="serve one top-k query every N ingested events (0 = no queries)",
+    )
+    stream.add_argument("--k", type=int, default=10, help="result size of interleaved queries")
+    stream.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="stream into a sharded engine with this many entity partitions (0 = single engine)",
+    )
+    stream.add_argument(
+        "--partitioner",
+        choices=["hash", "round_robin"],
+        default=None,
+        help="entity partitioning strategy for --shards (default: hash)",
+    )
+    _add_index_arguments(stream, defaults=True)
+
     figures = subparsers.add_parser("figures", help="regenerate the paper's evaluation figures")
     figures.add_argument("--scale", choices=["tiny", "small", "medium"], default="tiny")
     figures.add_argument("--only", nargs="*", default=None, help="figure ids (default: all)")
@@ -233,13 +304,70 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+class _DatasetError(Exception):
+    """A dataset/hierarchy input could not be loaded (missing or malformed)."""
+
+
+def _shard_options_error(args: argparse.Namespace) -> Optional[str]:
+    """The shared ``--shards``/``--partitioner`` validation, or ``None``."""
+    if args.shards < 0:
+        return f"--shards must be >= 0, got {args.shards}"
+    if args.partitioner and not args.shards:
+        return "--partitioner only applies together with --shards"
+    return None
+
+
+def _make_engine(
+    dataset,
+    measure: HierarchicalADM,
+    num_hashes: int,
+    seed: int,
+    bound_mode: str,
+    shards: int,
+    partitioner: Optional[str],
+) -> Union[TraceQueryEngine, ShardedEngine]:
+    """The (unbuilt) engine every build-from-traces subcommand constructs."""
+    if shards:
+        return ShardedEngine(
+            dataset,
+            measure=measure,
+            num_shards=shards,
+            partitioner=partitioner or "hash",
+            num_hashes=num_hashes,
+            seed=seed,
+            bound_mode=bound_mode,
+        )
+    return TraceQueryEngine(
+        dataset,
+        measure=measure,
+        num_hashes=num_hashes,
+        seed=seed,
+        bound_mode=bound_mode,
+    )
+
+
 def _load_dataset(args: argparse.Namespace):
-    hierarchy = load_hierarchy_json(args.hierarchy)
-    return load_traces_csv(args.traces, hierarchy)
+    """Load the ``--traces``/``--hierarchy`` pair, or raise :class:`_DatasetError`.
+
+    Wrapping the loader errors keeps every subcommand on the exit-code
+    contract: bad input files exit 2 with a one-line message instead of a
+    traceback.
+    """
+    try:
+        hierarchy = load_hierarchy_json(args.hierarchy)
+    except (OSError, ValueError) as exc:
+        raise _DatasetError(f"cannot load sp-index {args.hierarchy}: {exc}") from exc
+    try:
+        return load_traces_csv(args.traces, hierarchy)
+    except (OSError, ValueError, KeyError) as exc:
+        raise _DatasetError(f"cannot load traces {args.traces}: {exc}") from exc
 
 
 def _command_stats(args: argparse.Namespace) -> int:
-    dataset = _load_dataset(args)
+    try:
+        dataset = _load_dataset(args)
+    except _DatasetError as exc:
+        return _error(str(exc))
     print(dataset.describe())
     print(f"average base ST-cells per entity: {dataset.average_cells_per_entity():.1f}")
     print(f"ST-cell universe size: {dataset.num_st_cells}")
@@ -281,10 +409,9 @@ def _command_query(args: argparse.Namespace) -> int:
         return _error(f"--workers must be >= 0, got {args.workers}")
     if args.workers and not args.batch:
         return _error("--workers only applies to --batch queries")
-    if args.shards < 0:
-        return _error(f"--shards must be >= 0, got {args.shards}")
-    if args.partitioner and not args.shards:
-        return _error("--partitioner only applies together with --shards")
+    shard_error = _shard_options_error(args)
+    if shard_error:
+        return _error(shard_error)
 
     if args.snapshot:
         explicit = _explicit_index_options(args)
@@ -302,32 +429,28 @@ def _command_query(args: argparse.Namespace) -> int:
             engine = _load_snapshot_engine(args.snapshot)
         except SnapshotError as exc:
             return _error(str(exc))
+        if engine.dataset.num_entities == 0:
+            return _error(
+                f"snapshot {args.snapshot} holds an empty index; nothing to query"
+            )
     else:
-        dataset = _load_dataset(args)
+        try:
+            dataset = _load_dataset(args)
+        except _DatasetError as exc:
+            return _error(str(exc))
+        if dataset.num_entities == 0:
+            return _error(
+                f"dataset {args.traces} contains no trace records; nothing to query"
+            )
         num_hashes = args.num_hashes if args.num_hashes is not None else _DEFAULT_NUM_HASHES
         seed = args.seed if args.seed is not None else _DEFAULT_SEED
         u = args.u if args.u is not None else _DEFAULT_U
         v = args.v if args.v is not None else _DEFAULT_V
         bound_mode = args.bound_mode if args.bound_mode is not None else _DEFAULT_BOUND_MODE
         measure = HierarchicalADM(num_levels=dataset.num_levels, u=u, v=v)
-        if args.shards:
-            engine = ShardedEngine(
-                dataset,
-                measure=measure,
-                num_shards=args.shards,
-                partitioner=args.partitioner or "hash",
-                num_hashes=num_hashes,
-                seed=seed,
-                bound_mode=bound_mode,
-            ).build()
-        else:
-            engine = TraceQueryEngine(
-                dataset,
-                measure=measure,
-                num_hashes=num_hashes,
-                seed=seed,
-                bound_mode=bound_mode,
-            ).build()
+        engine = _make_engine(
+            dataset, measure, num_hashes, seed, bound_mode, args.shards, args.partitioner
+        ).build()
 
     queries = args.batch if args.batch else [args.entity]
     unknown = [entity for entity in queries if entity not in engine.dataset]
@@ -376,32 +499,18 @@ def _command_index(args: argparse.Namespace) -> int:
 def _command_index_build(args: argparse.Namespace) -> int:
     from repro.storage.snapshot import SnapshotError
 
-    if args.shards < 0:
-        return _error(f"--shards must be >= 0, got {args.shards}")
-    if args.partitioner and not args.shards:
-        return _error("--partitioner only applies together with --shards")
-    dataset = _load_dataset(args)
+    shard_error = _shard_options_error(args)
+    if shard_error:
+        return _error(shard_error)
+    try:
+        dataset = _load_dataset(args)
+    except _DatasetError as exc:
+        return _error(str(exc))
     measure = HierarchicalADM(num_levels=dataset.num_levels, u=args.u, v=args.v)
-    engine: Union[TraceQueryEngine, ShardedEngine]
-    if args.shards:
-        engine = ShardedEngine(
-            dataset,
-            measure=measure,
-            num_shards=args.shards,
-            partitioner=args.partitioner or "hash",
-            num_hashes=args.num_hashes,
-            seed=args.seed,
-            bound_mode=args.bound_mode,
-        )
-    else:
-        engine = TraceQueryEngine(
-            dataset,
-            measure=measure,
-            num_hashes=args.num_hashes,
-            seed=args.seed,
-            bound_mode=args.bound_mode,
-        )
-    engine.build()
+    engine = _make_engine(
+        dataset, measure, args.num_hashes, args.seed, args.bound_mode,
+        args.shards, args.partitioner,
+    ).build()
     try:
         path = engine.save(args.output)
     except SnapshotError as exc:
@@ -450,6 +559,123 @@ def _command_index_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stream(args: argparse.Namespace) -> int:
+    from repro.streaming import read_event_log, replay_events
+    from repro.traces.dataset import TraceDataset
+
+    if args.rate < 0:
+        return _error(f"--rate must be >= 0, got {args.rate}")
+    if args.batch_size < 1:
+        return _error(f"--batch-size must be >= 1, got {args.batch_size}")
+    if args.window < 0:
+        return _error(f"--window must be >= 0, got {args.window}")
+    if args.compact_every < 0:
+        return _error(f"--compact-every must be >= 0, got {args.compact_every}")
+    if args.query_every < 0:
+        return _error(f"--query-every must be >= 0, got {args.query_every}")
+    shard_error = _shard_options_error(args)
+    if shard_error:
+        return _error(shard_error)
+    if args.queries and not args.query_every:
+        return _error("--queries only applies together with --query-every")
+
+    try:
+        hierarchy = load_hierarchy_json(args.hierarchy)
+    except (OSError, ValueError) as exc:
+        return _error(f"cannot load sp-index {args.hierarchy}: {exc}")
+    try:
+        events = read_event_log(args.traces)
+    except (OSError, ValueError) as exc:
+        return _error(f"cannot load event log {args.traces}: {exc}")
+    if not events:
+        return _error(f"event log {args.traces} contains no events; nothing to stream")
+
+    # The hash range must cover the whole stream up front: the engine starts
+    # empty, so the horizon cannot be derived from its (empty) dataset.
+    horizon = args.horizon if args.horizon is not None else max(e.end for e in events)
+    if horizon < 1:
+        return _error(f"--horizon must be >= 1, got {horizon}")
+    dataset = TraceDataset(hierarchy, horizon=horizon)
+    measure = HierarchicalADM(num_levels=dataset.num_levels, u=args.u, v=args.v)
+    engine = _make_engine(
+        dataset, measure, args.num_hashes, args.seed, args.bound_mode,
+        args.shards, args.partitioner,
+    ).build()
+
+    query_entities: List[str] = []
+    if args.query_every:
+        if args.queries:
+            query_entities = list(args.queries)
+            log_entities = {event.entity for event in events}
+            unknown = [entity for entity in query_entities if entity not in log_entities]
+            if unknown:
+                for entity in unknown:
+                    print(f"error: entity {entity!r} never appears in the event log", file=sys.stderr)
+                return 2
+        else:
+            seen: Dict[str, None] = {}
+            for event in events:
+                seen.setdefault(event.entity, None)
+                if len(seen) == 3:
+                    break
+            query_entities = list(seen)
+
+    kind = f"{args.shards}-shard" if args.shards else "single-engine"
+    window_text = str(args.window) if args.window else "unbounded"
+    print(
+        f"streaming {len(events)} events into a {kind} index "
+        f"(batch={args.batch_size}, window={window_text}, horizon={horizon})"
+    )
+
+    def on_query(index: int, result) -> None:
+        ranked = ", ".join(entity for entity, _ in result.items) or "(no associates)"
+        print(f"  [event {index}] top-{args.k} of {result.query_entity}: {ranked}")
+
+    try:
+        report = replay_events(
+            engine,
+            events,
+            rate=args.rate,
+            query_entities=query_entities,
+            query_every=args.query_every,
+            k=args.k,
+            on_query=on_query,
+            max_batch_events=args.batch_size,
+            window=args.window or None,
+            compact_after=args.compact_every,
+        )
+    except (KeyError, ValueError) as exc:
+        # read_event_log skips hierarchy validation (an event log is just
+        # records), so a unit unknown to -- or not a base unit of -- the
+        # sp-index surfaces here, at ingestion time.
+        message = exc.args[0] if exc.args else exc
+        return _error(f"invalid event in {args.traces}: {message}")
+    print(
+        f"replayed {report.events} events in {report.wall_seconds:.2f}s "
+        f"({report.events_per_second:.0f} ev/s) across "
+        f"{report.ingest.batches_flushed} micro-batches "
+        f"(mean {report.ingest.mean_batch_size:.1f} events, "
+        f"{report.ingest.entities_reindexed} entity re-signings)"
+    )
+    if args.window:
+        print(
+            f"window: {report.window.expired_records} records expired over "
+            f"{report.window.expiries} expiries "
+            f"({report.window.entities_removed} entities removed, "
+            f"{report.window.entities_resigned} re-signed, "
+            f"{report.window.entities_unchanged} untouched), "
+            f"{report.window.compactions} compactions"
+        )
+    if args.query_every:
+        print(
+            f"queries: {report.queries_answered} answered, "
+            f"{report.queries_skipped} skipped (entity not yet ingested)"
+        )
+    scope = "within the window" if args.window else "ingested"
+    print(f"final index: {engine.dataset.num_entities} entities {scope}")
+    return 0
+
+
 def _command_figures(args: argparse.Namespace) -> int:
     from repro.experiments import figures as figure_module
 
@@ -480,6 +706,7 @@ _COMMANDS = {
     "stats": _command_stats,
     "query": _command_query,
     "index": _command_index,
+    "stream": _command_stream,
     "figures": _command_figures,
 }
 

@@ -34,7 +34,7 @@ import dataclasses
 import hashlib
 import json
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Union
 
@@ -59,9 +59,52 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.measures.base import AssociationMeasure as _Measure
     from repro.service.cache import QueryResultCache
 
-__all__ = ["EngineConfig", "TraceQueryEngine"]
+__all__ = ["EngineConfig", "ExpiryReport", "TraceQueryEngine"]
 
 PathLike = Union[str, Path]
+
+
+@dataclass
+class ExpiryReport:
+    """The outcome of one :meth:`TraceQueryEngine.expire_events` call.
+
+    Retraction is *incremental and tiered*: entities whose whole trace
+    expired are removed from the index; surviving entities are re-signed
+    from their remaining records, and the tree is only touched when the new
+    signature actually differs (expired cells that never achieved a level
+    minimum leave the signature bitwise-unchanged, so the entity stays
+    where it is and no group-level looseness is introduced).
+    """
+
+    #: The watermark passed to ``expire_events``: every record with
+    #: ``end <= cutoff`` was dropped.
+    cutoff: int
+    #: Total presence instances removed across all entities.
+    expired_records: int = 0
+    #: Entities whose whole trace expired (dropped from dataset and index).
+    removed_entities: List[str] = field(default_factory=list)
+    #: Surviving entities whose signature changed and were re-indexed.
+    resigned_entities: List[str] = field(default_factory=list)
+    #: Surviving entities that lost records but kept an identical signature
+    #: (the tree was not touched for them).
+    unchanged_entities: List[str] = field(default_factory=list)
+
+    @property
+    def affected_entities(self) -> List[str]:
+        """Every entity that lost at least one record."""
+        return self.removed_entities + self.resigned_entities + self.unchanged_entities
+
+    @property
+    def changed_index(self) -> bool:
+        """Whether the MinSigTree was modified at all."""
+        return bool(self.removed_entities or self.resigned_entities)
+
+    def absorb(self, other: "ExpiryReport") -> None:
+        """Fold another report into this one (sharded aggregation)."""
+        self.expired_records += other.expired_records
+        self.removed_entities.extend(other.removed_entities)
+        self.resigned_entities.extend(other.resigned_entities)
+        self.unchanged_entities.extend(other.unchanged_entities)
 
 
 @dataclass
@@ -104,6 +147,22 @@ class EngineConfig:
         Every mutation -- ``add_records``, ``refresh_entities``,
         ``remove_entity``, ``build`` -- invalidates the cache, so cached
         results are always identical to fresh searches.
+
+    Example
+    -------
+    Keyword overrides passed to the engine win over an explicit config, but
+    never reset unmentioned fields, and only the *semantic* fields enter the
+    fingerprint that keys caches and stamps snapshots:
+
+    >>> from repro import EngineConfig
+    >>> config = EngineConfig(num_hashes=128, batch_workers=4)
+    >>> config.with_overrides(seed=9).num_hashes
+    128
+    >>> fast = config.with_overrides(bulk_signatures=False, query_cache_size=64)
+    >>> fast.fingerprint() == config.fingerprint()   # performance knobs only
+    True
+    >>> config.with_overrides(seed=9).fingerprint() == config.fingerprint()
+    False
     """
 
     num_hashes: int = 256
@@ -179,6 +238,34 @@ class TraceQueryEngine:
     config:
         Engine knobs; individual keyword arguments (``num_hashes``, ``seed``,
         ...) are accepted as a convenience and override the config.
+
+    Invariants
+    ----------
+    * :meth:`build` must run before any query or update; every maintenance
+      call (:meth:`add_records`, :meth:`refresh_entities`,
+      :meth:`remove_entity`, :meth:`expire_events`) leaves the index
+      answering queries exactly as a from-scratch build over the current
+      data would (tree *tightness* may differ; results do not, under an
+      admissible bound).
+    * Index construction is deterministic given the config and dataset, so
+      two engines with equal config fingerprints over equal data return
+      identical results, ties included.
+
+    Example
+    -------
+    >>> from repro import SpatialHierarchy, TraceDataset, TraceQueryEngine
+    >>> hierarchy = SpatialHierarchy.regular([2, 3])     # 2-level sp-index
+    >>> dataset = TraceDataset(hierarchy, horizon=24)
+    >>> dataset.add_record("alice", "u2_0_0", time=9, duration=2)
+    >>> dataset.add_record("bob", "u2_0_0", time=9, duration=2)
+    >>> dataset.add_record("carol", "u2_1_2", time=3, duration=1)
+    >>> engine = TraceQueryEngine(dataset, num_hashes=32, seed=7).build()
+    >>> engine.top_k("alice", k=2).entities              # carol never co-occurs
+    ['bob']
+    >>> engine.add_records([PresenceInstance("carol", "u2_0_0", 9, 11)])
+    ['carol']
+    >>> engine.top_k("alice", k=2).entities
+    ['bob', 'carol']
     """
 
     def __init__(
@@ -313,6 +400,22 @@ class TraceQueryEngine:
 
         See :mod:`repro.storage.snapshot` for the format; the snapshot can
         be restored with :meth:`load` in another process without re-signing.
+        Saves are staged and swapped in atomically, so a crash mid-save
+        never leaves a half-written snapshot behind.
+
+        Example
+        -------
+        >>> import tempfile
+        >>> from repro import SpatialHierarchy, TraceDataset, TraceQueryEngine
+        >>> hierarchy = SpatialHierarchy.regular([2, 2])
+        >>> dataset = TraceDataset(hierarchy, horizon=12)
+        >>> dataset.add_record("a", "u2_0_0", time=1, duration=2)
+        >>> dataset.add_record("b", "u2_0_0", time=1, duration=2)
+        >>> engine = TraceQueryEngine(dataset, num_hashes=16).build()
+        >>> snapdir = tempfile.mkdtemp()
+        >>> served = TraceQueryEngine.load(engine.save(snapdir))
+        >>> served.top_k("a", k=1).items == engine.top_k("a", k=1).items
+        True
         """
         from repro.storage.snapshot import save_engine_snapshot
 
@@ -455,24 +558,27 @@ class TraceQueryEngine:
     # ------------------------------------------------------------------
     # Incremental maintenance (Section 4.2.3)
     # ------------------------------------------------------------------
-    def _resign(self, entities: Sequence[str]) -> None:
-        """Re-sign ``entities`` and re-insert them into the MinSigTree.
+    def _signature_matrices(self, entities: Sequence[str]) -> Dict[str, np.ndarray]:
+        """Fresh signature matrices for ``entities`` from their current traces.
 
         Multi-entity batches go through the vectorised bulk pipeline (when
         enabled), so a Figure 7.9-style update touching many entities costs a
         handful of broadcasted hash calls instead of one pass per entity.
         """
-        assert self._signature_computer is not None and self._tree is not None
-        matrices: Dict[str, np.ndarray]
+        assert self._signature_computer is not None
         if len(entities) > 1 and self.config.bulk_signatures:
-            matrices = self._signature_computer.bulk_signature_matrices(self.dataset, entities)
-        else:
-            matrices = {
-                entity: self._signature_computer.signature_matrix(
-                    self.dataset.cell_sequence(entity)
-                )
-                for entity in entities
-            }
+            return self._signature_computer.bulk_signature_matrices(self.dataset, entities)
+        return {
+            entity: self._signature_computer.signature_matrix(
+                self.dataset.cell_sequence(entity)
+            )
+            for entity in entities
+        }
+
+    def _resign(self, entities: Sequence[str]) -> None:
+        """Re-sign ``entities`` and re-insert them into the MinSigTree."""
+        assert self._tree is not None
+        matrices = self._signature_matrices(entities)
         for entity in entities:
             self._tree.update(entity, matrices[entity])
 
@@ -511,6 +617,76 @@ class TraceQueryEngine:
         if entity in self._tree:
             self._tree.remove(entity)
         self._invalidate_query_cache()
+
+    # ------------------------------------------------------------------
+    # Streaming maintenance: windowed expiry and compaction
+    # ------------------------------------------------------------------
+    def expire_events(self, cutoff: int) -> ExpiryReport:
+        """Drop every record with ``end <= cutoff`` and retract it from the index.
+
+        The sliding-window half of the streaming subsystem (the ingest half
+        is :meth:`add_records`; :class:`repro.streaming.EventIngestor` drives
+        both).  Retraction is incremental where it can be exact:
+
+        * entities whose whole trace expired are removed from the index;
+        * surviving entities are re-signed from their remaining records
+          through the bulk pipeline, but the tree is only touched when the
+          fresh signature differs from the indexed one -- expired cells that
+          never achieved a per-level minimum change nothing;
+        * group-level signatures of surviving ancestor nodes are *not*
+          re-tightened (they stay valid lower bounds, exactly as after
+          :meth:`MinSigTree.remove`), so heavy expiry gradually weakens
+          pruning without ever affecting results.  :meth:`compact` -- called
+          periodically by the streaming layer -- restores full tightness.
+
+        Returns an :class:`ExpiryReport`; when nothing expired the index and
+        the query cache are untouched.
+        """
+        self._require_built()
+        assert self._tree is not None
+        removed_counts = self.dataset.expire_before(cutoff)
+        report = ExpiryReport(cutoff=cutoff, expired_records=sum(removed_counts.values()))
+        if not removed_counts:
+            return report
+        survivors = []
+        for entity in removed_counts:
+            if entity in self.dataset:
+                survivors.append(entity)
+            else:
+                if entity in self._tree:
+                    self._tree.remove(entity)
+                report.removed_entities.append(entity)
+        if survivors:
+            matrices = self._signature_matrices(survivors)
+            for entity in survivors:
+                matrix = matrices[entity]
+                if entity in self._tree and np.array_equal(
+                    matrix, self._tree.signature_of(entity)
+                ):
+                    report.unchanged_entities.append(entity)
+                else:
+                    self._tree.update(entity, matrix)
+                    report.resigned_entities.append(entity)
+        self._invalidate_query_cache()
+        return report
+
+    def compact(self) -> "TraceQueryEngine":
+        """Re-tighten every group-level signature by rebuilding the tree.
+
+        Signatures are *not* recomputed -- the stored per-entity matrices are
+        re-inserted, so compaction costs one tree construction and zero hash
+        evaluations.  Useful after many :meth:`remove_entity` /
+        :meth:`expire_events` calls, when routing values left loose by
+        removals (see :attr:`MinSigTree.loose_operations`) have eroded
+        pruning effectiveness.  Results are unchanged under an admissible
+        bound; under the default ``lift`` bound compaction restores exactly
+        the pruning a from-scratch build would have.
+        """
+        self._require_built()
+        assert self._tree is not None
+        self._tree.rebuild()
+        self._invalidate_query_cache()
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         built = "built" if self.is_built else "not built"

@@ -108,6 +108,17 @@ class MinSigTree:
         self.root = MinSigTreeNode(level=0)
         self._signatures: Dict[str, np.ndarray] = {}
         self._leaf_of: Dict[str, MinSigTreeNode] = {}
+        #: Number of removals (including the removal half of :meth:`update`)
+        #: that left a surviving ancestor's group-level signature potentially
+        #: looser than the minimum over its remaining members.  Loose values
+        #: are still valid lower bounds -- results are never affected -- but
+        #: pruning weakens as they accumulate; :meth:`rebuild` re-tightens
+        #: and resets the counter.  This is a tightness diagnostic for
+        #: operators and tests deciding when an explicit compaction is worth
+        #: its cost; the streaming layer's *automatic* trigger
+        #: (``compact_after``) counts index-changing retractions itself --
+        #: see :class:`repro.streaming.window.SlidingWindow`.
+        self.loose_operations: int = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -208,6 +219,10 @@ class MinSigTree:
             if parent is not None:
                 del parent.children[node.routing_index]
             node = parent
+        if node is not None and not node.is_root:
+            # At least one ancestor with other members survives; its stored
+            # minimum may now be looser than its remaining members justify.
+            self.loose_operations += 1
 
     def update(self, entity: str, signature_matrix: np.ndarray) -> MinSigTreeNode:
         """Re-index an existing entity with a new signature matrix.
@@ -232,6 +247,7 @@ class MinSigTree:
         self.root = MinSigTreeNode(level=0)
         self._signatures.clear()
         self._leaf_of.clear()
+        self.loose_operations = 0
         for entity, matrix in signatures.items():
             self.insert(entity, matrix)
 

@@ -199,6 +199,25 @@ class TopKSearcher:
         keeps coarse query cells unless a coarse-level node explicitly pruned
         them, which is strictly admissible but much looser (see
         :func:`repro.core.pruning.upper_bound`).
+
+    The engine facade constructs one searcher per built index
+    (``engine.searcher``); use it directly when you need the knobs
+    :meth:`search` exposes beyond ``TraceQueryEngine.top_k`` -- candidate
+    filters, custom sequence fetchers, or a pre-fetched query sequence.
+
+    Example
+    -------
+    >>> from repro import SpatialHierarchy, TraceDataset, TraceQueryEngine
+    >>> hierarchy = SpatialHierarchy.regular([2, 2])
+    >>> dataset = TraceDataset(hierarchy, horizon=24)
+    >>> for name in ("a", "b", "c"):
+    ...     dataset.add_record(name, "u2_0_0", time=4, duration=2)
+    >>> searcher = TraceQueryEngine(dataset, num_hashes=16).build().searcher
+    >>> result = searcher.search("a", k=5, candidate_filter=lambda e: e != "b")
+    >>> result.entities                      # "b" was filtered out
+    ['c']
+    >>> result.stats.population
+    3
     """
 
     def __init__(

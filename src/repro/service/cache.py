@@ -3,17 +3,23 @@
 Serving workloads are heavily skewed -- a few query entities account for
 most traffic -- so an engine-side result cache turns repeat queries into
 dictionary lookups.  Correctness is kept trivial: cache keys include the
-engine's configuration fingerprint, and every mutation path
-(``add_records`` / ``refresh_entities`` / ``remove_entity`` / ``build``)
-clears the cache wholesale, so a cached result is always identical to what
-a fresh search would return.
+engine's configuration fingerprint, and every mutation path invalidates
+eagerly, so a cached result is always identical to what a fresh search
+would return.  Invalidation has two granularities:
+
+* the single engine clears wholesale (:meth:`QueryResultCache.clear`) on
+  every mutation -- one index, so everything it cached is suspect;
+* the sharded engine caches *per-shard partial* results and uses
+  :meth:`QueryResultCache.invalidate_where` to drop only the entries whose
+  shard (or query entity) a streamed update touched -- see
+  :mod:`repro.service.sharded`.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Callable, Hashable, Optional, Tuple, TypeVar
+from typing import Callable, Hashable, List, Optional, Tuple, TypeVar
 
 __all__ = ["CacheStats", "QueryResultCache"]
 
@@ -96,10 +102,31 @@ class QueryResultCache:
                 self.stats.evictions += 1
 
     def clear(self) -> None:
-        """Drop every entry (the mutation-path invalidation hook)."""
+        """Drop every entry (the wholesale mutation-path invalidation hook)."""
         with self._lock:
             self._entries.clear()
             self.stats.invalidations += 1
+
+    def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop exactly the entries whose key satisfies ``predicate``.
+
+        The selective counterpart of :meth:`clear`, used by the sharded
+        engine's streaming-update path: an update routed to one shard only
+        drops the cache entries that shard (or the updated entities) could
+        have influenced, leaving the rest of a warm cache intact.
+
+        ``predicate`` runs under the cache lock -- it must be cheap and must
+        not call back into the cache.  Returns the number of entries
+        dropped; an invalidation event is counted only when something was
+        actually dropped.
+        """
+        with self._lock:
+            doomed: List[Hashable] = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            if doomed:
+                self.stats.invalidations += 1
+            return len(doomed)
 
     def fetch_or_compute(self, key: Hashable, compute: Callable[[], _CopyableT]) -> _CopyableT:
         """The cache-protocol used by every query path: copy-on-hit, copy-on-put.

@@ -26,12 +26,25 @@ missed.  Sharding never degrades accuracy below the single engine's
 envelope -- divergence only occurs where the lift bound was already
 approximate.
 
-Updates (``add_records`` / ``remove_entity`` / ``refresh_entities``) are
-routed to the owning shard; new entities are placed by the partitioner and
-the assignment is remembered, so re-introducing a removed entity lands it on
-whatever shard the partitioner picks next (deterministically).  A sharded
-deployment snapshots to a directory of per-shard engine snapshots plus a
-routing manifest -- see :meth:`ShardedEngine.save`.
+Updates (``add_records`` / ``remove_entity`` / ``refresh_entities`` /
+``expire_events``) are routed to the owning shard; new entities are placed
+by the partitioner and the assignment is remembered, so re-introducing a
+removed entity lands it on whatever shard the partitioner picks next
+(deterministically).  A sharded deployment snapshots to a directory of
+per-shard engine snapshots plus a routing manifest -- see
+:meth:`ShardedEngine.save`.
+
+**Caching under streaming updates.**  The result cache stores *per-shard
+partial* top-k lists keyed ``(shard, query entity, k, approximation,
+config fingerprint)`` rather than merged results; a merged answer is
+reassembled from its partials on every hit (the merge is a sort of ``N * k``
+pairs -- negligible next to a search).  A cached partial can only go stale
+in two ways: its shard's index or data changed, or its *query entity's*
+trace changed (the query sequence is fetched from the routing dataset).
+Streamed updates therefore invalidate exactly the entries whose shard was
+touched or whose query entity was updated -- the rest of a warm cache
+survives, which is what keeps cache hit rates useful under continuous
+ingestion.  ``build``/``load``/``compact`` still clear wholesale.
 """
 
 from __future__ import annotations
@@ -43,7 +56,7 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.core.engine import EngineConfig, TraceQueryEngine
+from repro.core.engine import EngineConfig, ExpiryReport, TraceQueryEngine
 from repro.core.query import BatchTopKResult, QueryStats, TopKResult, fan_out_queries
 from repro.measures.adm import HierarchicalADM
 from repro.measures.base import AssociationMeasure
@@ -91,6 +104,31 @@ class ShardedEngine:
     partitioner:
         ``"hash"`` (default), ``"round_robin"``, or a
         :class:`~repro.service.partition.Partitioner` instance.
+
+    Invariants
+    ----------
+    * Every shard's hash family is constructed exactly as an unsharded
+      engine's would be, so per-entity signatures are bitwise-identical to
+      the single-engine build for every shard count.
+    * Updates route to the owning shard; the routing dataset and the shard
+      datasets never disagree about an entity's trace.
+    * Under ``bound_mode="per_level"`` the merged top-k equals the single
+      engine's for every shard count (see the module docstring for the
+      ``lift`` caveat).
+
+    Example
+    -------
+    >>> from repro import ShardedEngine, SpatialHierarchy, TraceDataset
+    >>> hierarchy = SpatialHierarchy.regular([2, 2])
+    >>> dataset = TraceDataset(hierarchy, horizon=24)
+    >>> dataset.add_record("a", "u2_0_0", time=2, duration=3)
+    >>> dataset.add_record("b", "u2_0_0", time=2, duration=3)
+    >>> dataset.add_record("c", "u2_1_1", time=9, duration=1)
+    >>> fleet = ShardedEngine(dataset, num_shards=2, num_hashes=16, seed=1).build()
+    >>> fleet.top_k("a", k=1).entities       # fan out over both shards, merge
+    ['b']
+    >>> fleet.shard_of("a") in (0, 1)
+    True
     """
 
     def __init__(
@@ -238,28 +276,48 @@ class ShardedEngine:
         pruning was itself exact (see the module docstring).  The merged
         :class:`QueryStats` aggregate the per-shard counters (populations
         and work counters sum, early termination is "any").
+
+        With ``query_cache_size > 0`` the *per-shard partial* results are
+        cached, so one ``top_k`` call costs up to ``num_shards`` cache
+        lookups -- and a streamed update to one shard leaves the other
+        shards' cached partials servable (see the module docstring).
         """
         self._require_built()
-        cache = self._query_cache
-        if cache is not None:
-            return cache.fetch_or_compute(
-                (query_entity, k, approximation, self._config_fingerprint),
-                lambda: self._search_shards(query_entity, k, approximation),
-            )
         return self._search_shards(query_entity, k, approximation)
 
+    def _partial_cache_key(
+        self, shard_id: int, query_entity: str, k: int, approximation: float
+    ) -> tuple:
+        """Cache key of one shard's partial top-k.
+
+        The shard id leads so selective invalidation can match on it;
+        the query entity follows for the same reason.
+        """
+        return (shard_id, query_entity, k, approximation, self._config_fingerprint)
+
     def _search_shards(self, query_entity: str, k: int, approximation: float) -> TopKResult:
-        """Fan one query out over every shard and merge (no caching)."""
+        """Fan one query out over every shard (cache-aware) and merge."""
         query_sequence = self.dataset.cell_sequence(query_entity)
-        shard_results = [
-            shard.searcher.search(
-                query_entity,
-                k,
-                approximation=approximation,
-                query_sequence=query_sequence,
-            )
-            for shard in self._shards
-        ]
+        cache = self._query_cache
+        shard_results = []
+        for shard_id, shard in enumerate(self._shards):
+            def compute(shard: TraceQueryEngine = shard) -> TopKResult:
+                return shard.searcher.search(
+                    query_entity,
+                    k,
+                    approximation=approximation,
+                    query_sequence=query_sequence,
+                )
+
+            if cache is None:
+                shard_results.append(compute())
+            else:
+                shard_results.append(
+                    cache.fetch_or_compute(
+                        self._partial_cache_key(shard_id, query_entity, k, approximation),
+                        compute,
+                    )
+                )
         return self._merge_results(query_entity, shard_results, k)
 
     @staticmethod
@@ -333,7 +391,9 @@ class ShardedEngine:
 
         New entities are assigned by the partitioner; existing ones go to
         their recorded shard.  Returns the affected entities in first-seen
-        order, exactly like the single-engine API.
+        order, exactly like the single-engine API.  Only the cache entries
+        of the touched shards (or of queries about the updated entities)
+        are invalidated.
         """
         self._require_built()
         affected: Dict[str, None] = {}
@@ -344,7 +404,7 @@ class ShardedEngine:
             per_shard.setdefault(self._assign(presence.entity), []).append(presence)
         for shard_id, batch in per_shard.items():
             self._shards[shard_id].add_records(batch)
-        self._invalidate_query_cache()
+        self._invalidate_after_update(affected, per_shard)
         return list(affected)
 
     def refresh_entities(self, entities: Iterable[str]) -> None:
@@ -362,7 +422,8 @@ class ShardedEngine:
             for entity in shard_entities:
                 shard.dataset.replace_trace(entity, self.dataset.trace(entity))
             shard.refresh_entities(shard_entities)
-        self._invalidate_query_cache()
+        refreshed = [entity for group in per_shard.values() for entity in group]
+        self._invalidate_after_update(refreshed, per_shard)
 
     def remove_entity(self, entity: str) -> None:
         """Drop an entity from its shard and from the routing dataset."""
@@ -373,7 +434,64 @@ class ShardedEngine:
         self._shards[shard_id].remove_entity(entity)
         del self._shard_of[entity]
         self.dataset.remove_entity(entity)
+        self._invalidate_after_update([entity], [shard_id])
+
+    # ------------------------------------------------------------------
+    # Streaming maintenance: windowed expiry and compaction
+    # ------------------------------------------------------------------
+    def expire_events(self, cutoff: int) -> ExpiryReport:
+        """Expire ``end <= cutoff`` records from every shard and the router.
+
+        Each shard retracts its own copy incrementally (see
+        :meth:`TraceQueryEngine.expire_events`); the routing dataset and
+        table are kept in lockstep, and only the cache entries of shards
+        that actually changed -- or of queries about affected entities --
+        are invalidated.  Returns the aggregated :class:`ExpiryReport`.
+        """
+        self._require_built()
+        self.dataset.expire_before(cutoff)
+        report = ExpiryReport(cutoff=cutoff)
+        touched_shards: List[int] = []
+        for shard_id, shard in enumerate(self._shards):
+            shard_report = shard.expire_events(cutoff)
+            if shard_report.affected_entities:
+                touched_shards.append(shard_id)
+            report.absorb(shard_report)
+        for entity in report.removed_entities:
+            self._shard_of.pop(entity, None)
+        if report.affected_entities:
+            self._invalidate_after_update(report.affected_entities, touched_shards)
+        return report
+
+    def compact(self) -> "ShardedEngine":
+        """Re-tighten every shard's tree (zero hash evaluations; full clear).
+
+        See :meth:`TraceQueryEngine.compact`.  Compaction touches every
+        shard, so the cache is cleared wholesale.
+        """
+        self._require_built()
+        for shard in self._shards:
+            shard.compact()
         self._invalidate_query_cache()
+        return self
+
+    def _invalidate_after_update(
+        self, entities: Iterable[str], shard_ids: Iterable[int]
+    ) -> None:
+        """Drop exactly the cache entries an update could have made stale.
+
+        A cached partial ``(shard, query entity, ...)`` changes only if that
+        shard's index/data changed or the query entity's own trace changed
+        (its query sequence comes from the routing dataset) -- so those two
+        conditions are the whole invalidation rule.
+        """
+        if self._query_cache is None:
+            return
+        affected = set(entities)
+        shards = set(shard_ids)
+        self._query_cache.invalidate_where(
+            lambda key: key[0] in shards or key[1] in affected
+        )
 
     def _invalidate_query_cache(self) -> None:
         if self._query_cache is not None:

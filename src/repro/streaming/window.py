@@ -1,0 +1,158 @@
+"""Sliding-window expiry and compaction policy.
+
+:class:`SlidingWindow` owns the two *retraction* decisions of the streaming
+subsystem, keeping them out of the ingest hot path:
+
+* **when to expire** -- given the stream watermark ``w`` (the largest event
+  end seen) and a window length ``W``, every record with ``end <= w - W``
+  has left the window and is retracted via the engine's ``expire_events``;
+* **when to compact** -- retraction is incremental but *inexact at the group
+  level*: surviving MinSigTree ancestors keep their old (now possibly loose)
+  group-level signature minima, which never changes results but gradually
+  erodes pruning.  The window counts index-changing retractions and
+  relocations and triggers ``engine.compact()`` -- a signature-free tree
+  rebuild -- once they reach ``compact_after``.
+
+The policy is deliberately deterministic: cutoffs depend only on the
+watermark, never on wall-clock time, so replaying the same event stream
+produces the same sequence of index states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.engine import ExpiryReport, TraceQueryEngine
+from repro.service.sharded import ShardedEngine
+
+__all__ = ["SlidingWindow", "StreamingEngine", "WindowStats"]
+
+#: Any engine exposing the streaming maintenance surface
+#: (``add_records`` / ``expire_events`` / ``compact`` / ``dataset``).
+StreamingEngine = Union[TraceQueryEngine, ShardedEngine]
+
+
+@dataclass
+class WindowStats:
+    """Cumulative counters of one :class:`SlidingWindow`."""
+
+    #: Number of ``expire_events`` calls that dropped at least one record.
+    expiries: int = 0
+    #: Presence instances retracted in total.
+    expired_records: int = 0
+    #: Entities whose whole trace expired (removed from the index).
+    entities_removed: int = 0
+    #: Surviving entities that were re-signed and relocated.
+    entities_resigned: int = 0
+    #: Surviving entities whose signature was unchanged (tree untouched).
+    entities_unchanged: int = 0
+    #: Number of compactions triggered (automatic and explicit).
+    compactions: int = 0
+
+
+class SlidingWindow:
+    """Expiry/compaction policy bound to one engine.
+
+    Parameters
+    ----------
+    engine:
+        A built :class:`~repro.core.engine.TraceQueryEngine` or
+        :class:`~repro.service.sharded.ShardedEngine`.
+    length:
+        Window length in base temporal units.  ``None`` (default) disables
+        expiry entirely -- the stream grows without bound and
+        :meth:`advance` is a no-op.
+    compact_after:
+        Auto-compact once this many index-*changing* retractions (removed or
+        re-signed entities) have accumulated since the last compaction.
+        ``0`` (default) never compacts automatically; :meth:`compact` is
+        always available explicitly.
+
+    Example
+    -------
+    >>> from repro import SpatialHierarchy, TraceDataset, TraceQueryEngine
+    >>> from repro.streaming import SlidingWindow
+    >>> hierarchy = SpatialHierarchy.regular([2, 2])
+    >>> dataset = TraceDataset(hierarchy, horizon=100)
+    >>> dataset.add_record("old", "u2_0_0", time=1, duration=2)
+    >>> dataset.add_record("fresh", "u2_0_0", time=50, duration=2)
+    >>> engine = TraceQueryEngine(dataset, num_hashes=16).build()
+    >>> window = SlidingWindow(engine, length=10)
+    >>> report = window.advance(watermark=52)   # keep only end > 42
+    >>> report.removed_entities
+    ['old']
+    >>> sorted(engine.dataset.entities)
+    ['fresh']
+    """
+
+    def __init__(
+        self,
+        engine: StreamingEngine,
+        length: Optional[int] = None,
+        compact_after: int = 0,
+    ) -> None:
+        if length is not None and length < 1:
+            raise ValueError(f"window length must be >= 1, got {length}")
+        if compact_after < 0:
+            raise ValueError(f"compact_after must be >= 0, got {compact_after}")
+        self.engine = engine
+        self.length = length
+        self.compact_after = int(compact_after)
+        self.stats = WindowStats()
+        self._cutoff: Optional[int] = None
+        self._churn_since_compaction = 0
+
+    @property
+    def cutoff(self) -> Optional[int]:
+        """The last applied expiry cutoff (records with ``end <= cutoff`` are
+        gone), or ``None`` when nothing has been expired yet."""
+        return self._cutoff
+
+    def advance(self, watermark: int) -> Optional[ExpiryReport]:
+        """Move the window forward to ``watermark`` and expire what fell out.
+
+        Returns the :class:`~repro.core.engine.ExpiryReport` when an expiry
+        ran, or ``None`` when the window is unbounded, the cutoff did not
+        move forward, or no record can possibly be affected yet (cutoff
+        below the smallest legal event end).  Cutoffs are monotone: a
+        watermark that goes backwards never un-expires anything.
+        """
+        if self.length is None:
+            return None
+        cutoff = watermark - self.length
+        if cutoff < 1:
+            return None
+        if self._cutoff is not None and cutoff <= self._cutoff:
+            return None
+        self._cutoff = cutoff
+        report = self.engine.expire_events(cutoff)
+        if report.expired_records:
+            self.stats.expiries += 1
+            self.stats.expired_records += report.expired_records
+            self.stats.entities_removed += len(report.removed_entities)
+            self.stats.entities_resigned += len(report.resigned_entities)
+            self.stats.entities_unchanged += len(report.unchanged_entities)
+        self._churn_since_compaction += len(report.removed_entities) + len(
+            report.resigned_entities
+        )
+        if self.compact_after and self._churn_since_compaction >= self.compact_after:
+            self.compact()
+        return report
+
+    def compact(self) -> None:
+        """Re-tighten the engine's tree(s) now and reset the churn counter."""
+        self.engine.compact()
+        self.stats.compactions += 1
+        self._churn_since_compaction = 0
+
+    @property
+    def churn_since_compaction(self) -> int:
+        """Index-changing retractions accumulated since the last compaction."""
+        return self._churn_since_compaction
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SlidingWindow(length={self.length}, cutoff={self._cutoff}, "
+            f"compact_after={self.compact_after}, churn={self._churn_since_compaction})"
+        )

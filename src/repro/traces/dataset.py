@@ -74,6 +74,43 @@ class TraceDataset:
         del self._presences[entity]
         self._invalidate(entity)
 
+    def expire_before(self, cutoff: int) -> Dict[str, int]:
+        """Drop every presence instance whose period ends at or before ``cutoff``.
+
+        This is the sliding-window retraction primitive used by
+        :mod:`repro.streaming`: a window of length ``W`` over a stream whose
+        newest event ends at ``watermark`` keeps exactly the records with
+        ``end > watermark - W``.  Entities whose whole trace expires are
+        removed outright (they no longer exist in the dataset).
+
+        The horizon never shrinks: an explicit horizon is fixed at
+        construction, and a derived one keeps the largest ``end`` ever seen,
+        so hash ranges -- and therefore signatures of surviving records --
+        are unaffected by expiry.
+
+        Returns
+        -------
+        Dict[str, int]
+            Number of presence instances removed per affected entity (only
+            entities that lost at least one record appear).  Check
+            ``entity in dataset`` afterwards to tell partial from full
+            expiry.
+        """
+        removed: Dict[str, int] = {}
+        for entity in list(self._presences):
+            trace = self._presences[entity]
+            surviving = [presence for presence in trace if presence.end > cutoff]
+            dropped = len(trace) - len(surviving)
+            if not dropped:
+                continue
+            removed[entity] = dropped
+            if surviving:
+                self._presences[entity] = surviving
+            else:
+                del self._presences[entity]
+            self._invalidate(entity)
+        return removed
+
     def replace_trace(self, entity: str, presences: Iterable[PresenceInstance]) -> None:
         """Replace an entity's digital trace wholesale (used by update tests)."""
         materialised = list(presences)

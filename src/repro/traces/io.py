@@ -20,13 +20,14 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Iterable, Optional, Union
+from typing import Iterator, Optional, Union
 
 from repro.traces.dataset import TraceDataset
 from repro.traces.events import PresenceInstance
 from repro.traces.spatial import SpatialHierarchy
 
 __all__ = [
+    "iter_traces_csv",
     "load_traces_csv",
     "write_traces_csv",
     "load_traces_jsonl",
@@ -56,6 +57,37 @@ def write_traces_csv(dataset: TraceDataset, path: PathLike) -> int:
     return count
 
 
+def iter_traces_csv(path: PathLike) -> Iterator[PresenceInstance]:
+    """Yield every presence instance of a CSV trace file, in file order.
+
+    The streaming counterpart of :func:`load_traces_csv`: no dataset (and no
+    hierarchy validation) is involved, so the same file can be treated as an
+    *event log* and replayed record by record -- this is what ``repro
+    stream`` and :func:`repro.streaming.read_event_log` build on.
+
+    Raises
+    ------
+    ValueError
+        If the header does not contain the expected columns or a row is
+        malformed.
+    """
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_CSV_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(f"trace CSV is missing columns: {sorted(missing)}")
+        for line_number, row in enumerate(reader, start=2):
+            try:
+                yield PresenceInstance(
+                    entity=row["entity"],
+                    unit=row["unit"],
+                    start=int(row["start"]),
+                    end=int(row["end"]),
+                )
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"malformed trace CSV row at line {line_number}: {row}") from exc
+
+
 def load_traces_csv(
     path: PathLike,
     hierarchy: SpatialHierarchy,
@@ -70,22 +102,8 @@ def load_traces_csv(
         malformed.
     """
     dataset = TraceDataset(hierarchy, horizon=horizon)
-    with open(path, newline="", encoding="utf-8") as handle:
-        reader = csv.DictReader(handle)
-        missing = set(_CSV_FIELDS) - set(reader.fieldnames or ())
-        if missing:
-            raise ValueError(f"trace CSV is missing columns: {sorted(missing)}")
-        for line_number, row in enumerate(reader, start=2):
-            try:
-                presence = PresenceInstance(
-                    entity=row["entity"],
-                    unit=row["unit"],
-                    start=int(row["start"]),
-                    end=int(row["end"]),
-                )
-            except (TypeError, ValueError) as exc:
-                raise ValueError(f"malformed trace CSV row at line {line_number}: {row}") from exc
-            dataset.add_presence(presence)
+    for presence in iter_traces_csv(path):
+        dataset.add_presence(presence)
     return dataset
 
 

@@ -251,6 +251,52 @@ class TestQuery:
         assert code == 2
         assert "unknown entity 'nobody'" in capsys.readouterr().err
 
+    def test_empty_dataset_exits_2_with_message(self, generated_files, tmp_path, capsys):
+        """Regression: a trace file with no records must not raise."""
+        _traces, hierarchy = generated_files
+        empty = tmp_path / "empty.csv"
+        empty.write_text("entity,unit,start,end\n")
+        code = main(
+            [
+                "query",
+                "--traces",
+                str(empty),
+                "--hierarchy",
+                str(hierarchy),
+                "--entity",
+                "anyone",
+            ]
+        )
+        assert code == 2
+        assert "contains no trace records" in capsys.readouterr().err
+
+    def test_headerless_trace_file_exits_2(self, generated_files, tmp_path, capsys):
+        """Regression: a zero-byte/garbage CSV exits 2 instead of tracebacking."""
+        _traces, hierarchy = generated_files
+        blank = tmp_path / "blank.csv"
+        blank.write_text("")
+        code = main(
+            ["query", "--traces", str(blank), "--hierarchy", str(hierarchy), "--entity", "x"]
+        )
+        assert code == 2
+        assert "cannot load traces" in capsys.readouterr().err
+
+    def test_missing_trace_file_exits_2(self, generated_files, capsys):
+        _traces, hierarchy = generated_files
+        code = main(
+            ["query", "--traces", "no-such.csv", "--hierarchy", str(hierarchy), "--entity", "x"]
+        )
+        assert code == 2
+        assert "cannot load traces" in capsys.readouterr().err
+
+    def test_missing_hierarchy_exits_2(self, generated_files, capsys):
+        traces, _hierarchy = generated_files
+        code = main(
+            ["query", "--traces", str(traces), "--hierarchy", "no-such.json", "--entity", "x"]
+        )
+        assert code == 2
+        assert "cannot load sp-index" in capsys.readouterr().err
+
     def test_approximate_query(self, generated_files, capsys):
         traces, hierarchy = generated_files
         code = main(
@@ -464,6 +510,130 @@ class TestIndex:
         output = capsys.readouterr().out
         assert "top-3 associates of syn-0" in output
         assert "batch: 2 queries" in output
+
+
+class TestStream:
+    def test_stream_replays_and_reports(self, generated_files, capsys):
+        traces, hierarchy = generated_files
+        code = main(
+            [
+                "stream",
+                "--traces",
+                str(traces),
+                "--hierarchy",
+                str(hierarchy),
+                "--batch-size",
+                "32",
+                "--window",
+                "24",
+                "--query-every",
+                "200",
+                "--k",
+                "3",
+                "--num-hashes",
+                "16",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "streaming" in output and "single-engine index" in output
+        assert "micro-batches" in output
+        assert "window:" in output
+        assert "queries:" in output
+        assert "final index:" in output
+
+    def test_stream_sharded_with_explicit_queries(self, generated_files, capsys):
+        traces, hierarchy = generated_files
+        code = main(
+            [
+                "stream",
+                "--traces",
+                str(traces),
+                "--hierarchy",
+                str(hierarchy),
+                "--shards",
+                "2",
+                "--batch-size",
+                "64",
+                "--queries",
+                "syn-0",
+                "--query-every",
+                "150",
+                "--k",
+                "2",
+                "--num-hashes",
+                "16",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "2-shard index" in output
+        assert "top-2 of syn-0" in output
+
+    def test_stream_empty_log_exits_2(self, generated_files, tmp_path, capsys):
+        _traces, hierarchy = generated_files
+        empty = tmp_path / "empty.csv"
+        empty.write_text("entity,unit,start,end\n")
+        code = main(
+            ["stream", "--traces", str(empty), "--hierarchy", str(hierarchy)]
+        )
+        assert code == 2
+        assert "contains no events" in capsys.readouterr().err
+
+    def test_stream_unknown_query_entity_exits_2(self, generated_files, capsys):
+        traces, hierarchy = generated_files
+        code = main(
+            [
+                "stream",
+                "--traces",
+                str(traces),
+                "--hierarchy",
+                str(hierarchy),
+                "--queries",
+                "nobody",
+                "--query-every",
+                "100",
+            ]
+        )
+        assert code == 2
+        assert "never appears in the event log" in capsys.readouterr().err
+
+    def test_stream_queries_require_query_every(self, generated_files, capsys):
+        traces, hierarchy = generated_files
+        code = main(
+            [
+                "stream",
+                "--traces",
+                str(traces),
+                "--hierarchy",
+                str(hierarchy),
+                "--queries",
+                "syn-0",
+            ]
+        )
+        assert code == 2
+        assert "--queries only applies together with --query-every" in capsys.readouterr().err
+
+    def test_stream_mismatched_hierarchy_exits_2(self, generated_files, tmp_path, capsys):
+        """Regression: log units unknown to the sp-index exit 2, no traceback."""
+        from repro import SpatialHierarchy
+        from repro.traces.io import write_hierarchy_json
+
+        traces, _hierarchy = generated_files
+        other = tmp_path / "other-hierarchy.json"
+        # A valid sp-index whose unit names share nothing with the syn log.
+        write_hierarchy_json(SpatialHierarchy.regular([2, 2], prefix="zz"), other)
+        code = main(["stream", "--traces", str(traces), "--hierarchy", str(other)])
+        assert code == 2
+        assert "invalid event in" in capsys.readouterr().err
+
+    def test_stream_rejects_negative_options(self, generated_files, capsys):
+        traces, hierarchy = generated_files
+        base = ["stream", "--traces", str(traces), "--hierarchy", str(hierarchy)]
+        assert main(base + ["--rate", "-1"]) == 2
+        assert main(base + ["--window", "-1"]) == 2
+        assert main(base + ["--batch-size", "0"]) == 2
+        capsys.readouterr()
 
 
 class TestFigures:

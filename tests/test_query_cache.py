@@ -177,23 +177,79 @@ class TestEngineIntegration:
 
 
 class TestShardedIntegration:
-    def test_sharded_cache_hits_and_invalidation(self, small_dataset, small_measure):
-        sharded = ShardedEngine(
+    """The sharded engine caches *per-shard partial* results.
+
+    One ``top_k`` over N shards costs N cache entries/lookups, and an update
+    routed to one shard invalidates only that shard's entries (plus entries
+    whose query entity was updated) -- the other shards' partials survive.
+    """
+
+    @pytest.fixture
+    def cached_sharded(self, small_dataset, small_measure):
+        return ShardedEngine(
             small_dataset,
             measure=small_measure,
             num_shards=2,
             num_hashes=32,
             seed=5,
-            query_cache_size=4,
+            query_cache_size=8,
         ).build()
+
+    def test_sharded_cache_hits_and_invalidation(self, cached_sharded, small_dataset):
+        sharded = cached_sharded
         first = sharded.top_k("a", k=3)
         assert sharded.top_k("a", k=3).items == first.items
-        assert sharded.query_cache.stats.hits == 1
+        # One hit per shard partial: two shards, so two hits.
+        assert sharded.query_cache.stats.hits == 2
+        assert len(sharded.query_cache) == 2
         # Shards never cache on their own: the sharded layer owns the cache.
         assert all(shard.query_cache is None for shard in sharded.shards)
         sharded.add_records(
             [PresenceInstance("a", small_dataset.hierarchy.base_units[1], 40, 42)]
         )
+        # "a" was updated, so every partial about "a" is dropped.
         assert len(sharded.query_cache) == 0
+        after = sharded.top_k("a", k=3)
+        assert sharded.query_cache.stats.hits == 2  # recomputed, not served stale
+        fresh = ShardedEngine(
+            small_dataset, measure=sharded.measure, num_shards=2, num_hashes=32, seed=5
+        ).build()
+        assert after.items == fresh.top_k("a", k=3).items
+
+    def test_update_preserves_unaffected_shard_partials(self, cached_sharded, small_dataset):
+        sharded = cached_sharded
         sharded.top_k("a", k=3)
-        assert sharded.query_cache.stats.hits == 1  # recomputed, not served stale
+        sharded.top_k("d", k=3)
+        assert len(sharded.query_cache) == 4  # two queries x two shard partials
+        # Update an entity that is neither "a" nor "d": only its owning
+        # shard's partials drop; the other shard's stay warm.
+        victim = "e"
+        assert victim not in ("a", "d")
+        shard_of_victim = sharded.shard_of(victim)
+        sharded.add_records(
+            [PresenceInstance(victim, small_dataset.hierarchy.base_units[2], 40, 41)]
+        )
+        surviving = sharded.query_cache.keys()
+        assert len(surviving) == 2
+        assert all(key[0] != shard_of_victim for key in surviving)
+        # Served answers after partial invalidation still match from-scratch.
+        fresh = ShardedEngine(
+            small_dataset, measure=sharded.measure, num_shards=2, num_hashes=32, seed=5
+        ).build()
+        for query in ("a", "d"):
+            assert sharded.top_k(query, k=3).items == fresh.top_k(query, k=3).items
+
+    def test_query_entity_update_drops_its_partials_on_every_shard(
+        self, cached_sharded, small_dataset
+    ):
+        sharded = cached_sharded
+        sharded.top_k("a", k=3)
+        sharded.top_k("b", k=3)
+        own_shard = sharded.shard_of("a")
+        sharded.add_records(
+            [PresenceInstance("a", small_dataset.hierarchy.base_units[3], 44, 45)]
+        )
+        # "a" partials vanish on *both* shards (its query sequence changed);
+        # "b" partials survive only on the shard "a" does not live on.
+        for key in sharded.query_cache.keys():
+            assert key[1] == "b" and key[0] != own_shard
