@@ -14,6 +14,7 @@ The scale is controlled by the ``REPRO_SCALE`` environment variable
 from __future__ import annotations
 
 import os
+import re
 from pathlib import Path
 
 import pytest
@@ -46,8 +47,11 @@ def record_figure(benchmark):
         print()
         print(result.to_table(max_rows=60))
         RESULTS_DIR.mkdir(exist_ok=True)
-        csv_name = result.name.split()[0].replace("-", "_").replace(".", "_") + ".csv"
-        result.save_csv(RESULTS_DIR / csv_name)
+        # Slugify the whole result name: the first-word-only scheme used to
+        # collapse every "ablation: ..." result onto one (colon-bearing)
+        # file, so the three ablations silently overwrote each other.
+        slug = re.sub(r"[^a-z0-9]+", "_", result.name.lower()).strip("_")
+        result.save_csv(RESULTS_DIR / f"{slug}.csv")
         return result
 
     return runner

@@ -36,6 +36,10 @@ Python::
     python -m repro stream --traces traces.csv --hierarchy hierarchy.json \
         --batch-size 64 --window 48 --query-every 200 --queries syn-17 syn-4
 
+    # Serve the snapshot over HTTP: coalesced top-k queries, streamed event
+    # ingest, health and stats endpoints (see docs/SERVING.md)
+    python -m repro serve --snapshot snapshot/ --port 8080
+
     # Regenerate one of the paper's figures
     python -m repro figures --only 7.3 --scale tiny
 
@@ -142,6 +146,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_arguments(index_build)
     index_build.add_argument("--output", required=True, help="snapshot directory to write")
     index_build.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        help="base temporal units the hash range must cover (default: derived "
+        "from the traces; over-provision it when the snapshot will serve "
+        "streamed events later than its history)",
+    )
+    index_build.add_argument(
         "--shards",
         type=int,
         default=0,
@@ -221,6 +233,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="entity partitioning strategy for --shards (default: hash)",
     )
     _add_index_arguments(stream, defaults=True)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve top-k queries and event ingest over HTTP (see docs/SERVING.md)",
+    )
+    _add_dataset_arguments(serve, required=False)
+    serve.add_argument(
+        "--snapshot",
+        help="snapshot directory to serve from (mutually exclusive with --traces/--hierarchy)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind (default 127.0.0.1)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port to bind (default 8080; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="serve through a sharded engine with this many entity partitions (0 = single engine)",
+    )
+    serve.add_argument(
+        "--partitioner",
+        choices=["hash", "round_robin"],
+        default=None,
+        help="entity partitioning strategy for --shards (default: hash)",
+    )
+    serve.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        help="base temporal units the hash range must cover "
+        "(default: derived from the traces; fixed by the snapshot with --snapshot)",
+    )
+    serve.add_argument(
+        "--cache",
+        type=int,
+        default=None,
+        help="query-result cache size in entries (default: the engine config's value)",
+    )
+    serve.add_argument(
+        "--coalesce-window",
+        type=float,
+        default=2.0,
+        help="milliseconds the coalescer waits for concurrent top-k requests "
+        "to share one batch (0 = dispatch immediately; default 2)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="admission-control bound on queued top-k requests (beyond it: HTTP 429)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="largest coalesced query batch dispatched at once",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="ingest micro-batch size: events buffered per flush through the bulk pipeline",
+    )
+    serve.add_argument(
+        "--window",
+        type=int,
+        default=0,
+        help="sliding-window length in base temporal units for streamed events (0 = keep everything)",
+    )
+    serve.add_argument(
+        "--compact-every",
+        type=int,
+        default=0,
+        help="auto-compact after this many index-changing retractions (0 = never)",
+    )
+    _add_index_arguments(serve, defaults=False)
 
     figures = subparsers.add_parser("figures", help="regenerate the paper's evaluation figures")
     figures.add_argument("--scale", choices=["tiny", "small", "medium"], default="tiny")
@@ -346,19 +438,20 @@ def _make_engine(
     )
 
 
-def _load_dataset(args: argparse.Namespace):
+def _load_dataset(args: argparse.Namespace, horizon: Optional[int] = None):
     """Load the ``--traces``/``--hierarchy`` pair, or raise :class:`_DatasetError`.
 
     Wrapping the loader errors keeps every subcommand on the exit-code
     contract: bad input files exit 2 with a one-line message instead of a
-    traceback.
+    traceback.  ``horizon`` over-provisions the dataset's hash range
+    (serve's ``--horizon``).
     """
     try:
         hierarchy = load_hierarchy_json(args.hierarchy)
     except (OSError, ValueError) as exc:
         raise _DatasetError(f"cannot load sp-index {args.hierarchy}: {exc}") from exc
     try:
-        return load_traces_csv(args.traces, hierarchy)
+        return load_traces_csv(args.traces, hierarchy, horizon=horizon)
     except (OSError, ValueError, KeyError) as exc:
         raise _DatasetError(f"cannot load traces {args.traces}: {exc}") from exc
 
@@ -385,7 +478,7 @@ def _load_snapshot_engine(path: str) -> Union[TraceQueryEngine, ShardedEngine]:
 
 
 def _explicit_index_options(args: argparse.Namespace) -> List[str]:
-    """Index-shaping options the user passed explicitly (query command only)."""
+    """Index-shaping options the user passed explicitly (query/serve only)."""
     candidates = (
         ("--num-hashes", args.num_hashes),
         ("--seed", args.seed),
@@ -396,61 +489,90 @@ def _explicit_index_options(args: argparse.Namespace) -> List[str]:
     return [name for name, value in candidates if value is not None]
 
 
-def _command_query(args: argparse.Namespace) -> int:
+class _CommandError(Exception):
+    """An exit-2 condition; the message is the one-line stderr output."""
+
+
+def _resolve_engine(
+    args: argparse.Namespace, horizon: Optional[int] = None
+) -> Union[TraceQueryEngine, ShardedEngine]:
+    """The `--snapshot` xor `--traces/--hierarchy` engine shared by
+    ``query`` and ``serve``: validate the option combination, then load the
+    snapshot or build from the trace file.
+
+    Raises :class:`_CommandError` for every exit-2 condition, so both
+    subcommands keep identical validation rules and error strings.
+    ``horizon`` (serve's ``--horizon``) over-provisions the hash range of a
+    traces-mode build; it is rejected with ``--snapshot``.
+    """
     from repro.storage.snapshot import SnapshotError
 
     if args.snapshot and (args.traces or args.hierarchy):
-        return _error("pass either --snapshot or --traces/--hierarchy, not both")
+        raise _CommandError("pass either --snapshot or --traces/--hierarchy, not both")
     if not args.snapshot and not (args.traces and args.hierarchy):
-        return _error("pass --snapshot, or both --traces and --hierarchy")
+        raise _CommandError("pass --snapshot, or both --traces and --hierarchy")
+    shard_error = _shard_options_error(args)
+    if shard_error:
+        raise _CommandError(shard_error)
+
+    if args.snapshot:
+        explicit = _explicit_index_options(args)
+        if explicit:
+            raise _CommandError(
+                f"{', '.join(explicit)} cannot be combined with --snapshot; "
+                "those options are fixed when the snapshot is built"
+            )
+        if args.shards:
+            raise _CommandError(
+                "--shards cannot be combined with --snapshot; sharded snapshots "
+                "embed their shard count (see `repro index build --shards`)"
+            )
+        if horizon is not None:
+            raise _CommandError(
+                "--horizon cannot be combined with --snapshot; the snapshot fixes it"
+            )
+        try:
+            return _load_snapshot_engine(args.snapshot)
+        except SnapshotError as exc:
+            raise _CommandError(str(exc)) from exc
+
+    if horizon is not None and horizon < 1:
+        raise _CommandError(f"--horizon must be >= 1, got {horizon}")
+    try:
+        dataset = _load_dataset(args, horizon=horizon)
+    except _DatasetError as exc:
+        raise _CommandError(str(exc)) from exc
+    num_hashes = args.num_hashes if args.num_hashes is not None else _DEFAULT_NUM_HASHES
+    seed = args.seed if args.seed is not None else _DEFAULT_SEED
+    u = args.u if args.u is not None else _DEFAULT_U
+    v = args.v if args.v is not None else _DEFAULT_V
+    bound_mode = args.bound_mode if args.bound_mode is not None else _DEFAULT_BOUND_MODE
+    measure = HierarchicalADM(num_levels=dataset.num_levels, u=u, v=v)
+    return _make_engine(
+        dataset, measure, num_hashes, seed, bound_mode, args.shards, args.partitioner
+    ).build()
+
+
+def _command_query(args: argparse.Namespace) -> int:
     if bool(args.entity) == bool(args.batch):
         return _error("pass exactly one of --entity or --batch")
     if args.workers < 0:
         return _error(f"--workers must be >= 0, got {args.workers}")
     if args.workers and not args.batch:
         return _error("--workers only applies to --batch queries")
-    shard_error = _shard_options_error(args)
-    if shard_error:
-        return _error(shard_error)
 
-    if args.snapshot:
-        explicit = _explicit_index_options(args)
-        if explicit:
-            return _error(
-                f"{', '.join(explicit)} cannot be combined with --snapshot; "
-                "those options are fixed when the snapshot is built"
-            )
-        if args.shards:
-            return _error(
-                "--shards cannot be combined with --snapshot; sharded snapshots "
-                "embed their shard count (see `repro index build --shards`)"
-            )
-        try:
-            engine = _load_snapshot_engine(args.snapshot)
-        except SnapshotError as exc:
-            return _error(str(exc))
-        if engine.dataset.num_entities == 0:
+    try:
+        engine = _resolve_engine(args)
+    except _CommandError as exc:
+        return _error(str(exc))
+    if engine.dataset.num_entities == 0:
+        if args.snapshot:
             return _error(
                 f"snapshot {args.snapshot} holds an empty index; nothing to query"
             )
-    else:
-        try:
-            dataset = _load_dataset(args)
-        except _DatasetError as exc:
-            return _error(str(exc))
-        if dataset.num_entities == 0:
-            return _error(
-                f"dataset {args.traces} contains no trace records; nothing to query"
-            )
-        num_hashes = args.num_hashes if args.num_hashes is not None else _DEFAULT_NUM_HASHES
-        seed = args.seed if args.seed is not None else _DEFAULT_SEED
-        u = args.u if args.u is not None else _DEFAULT_U
-        v = args.v if args.v is not None else _DEFAULT_V
-        bound_mode = args.bound_mode if args.bound_mode is not None else _DEFAULT_BOUND_MODE
-        measure = HierarchicalADM(num_levels=dataset.num_levels, u=u, v=v)
-        engine = _make_engine(
-            dataset, measure, num_hashes, seed, bound_mode, args.shards, args.partitioner
-        ).build()
+        return _error(
+            f"dataset {args.traces} contains no trace records; nothing to query"
+        )
 
     queries = args.batch if args.batch else [args.entity]
     unknown = [entity for entity in queries if entity not in engine.dataset]
@@ -502,8 +624,10 @@ def _command_index_build(args: argparse.Namespace) -> int:
     shard_error = _shard_options_error(args)
     if shard_error:
         return _error(shard_error)
+    if args.horizon is not None and args.horizon < 1:
+        return _error(f"--horizon must be >= 1, got {args.horizon}")
     try:
-        dataset = _load_dataset(args)
+        dataset = _load_dataset(args, horizon=args.horizon)
     except _DatasetError as exc:
         return _error(str(exc))
     measure = HierarchicalADM(num_levels=dataset.num_levels, u=args.u, v=args.v)
@@ -676,6 +800,99 @@ def _command_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    if not (0 <= args.port <= 65535):
+        return _error(f"--port must be in [0, 65535], got {args.port}")
+    if args.coalesce_window < 0:
+        return _error(f"--coalesce-window must be >= 0, got {args.coalesce_window}")
+    if args.max_pending < 1:
+        return _error(f"--max-pending must be >= 1, got {args.max_pending}")
+    if args.max_batch < 1:
+        return _error(f"--max-batch must be >= 1, got {args.max_batch}")
+    if args.batch_size < 1:
+        return _error(f"--batch-size must be >= 1, got {args.batch_size}")
+    if args.window < 0:
+        return _error(f"--window must be >= 0, got {args.window}")
+    if args.compact_every < 0:
+        return _error(f"--compact-every must be >= 0, got {args.compact_every}")
+    if args.cache is not None and args.cache < 0:
+        return _error(f"--cache must be >= 0, got {args.cache}")
+
+    try:
+        engine = _resolve_engine(args, horizon=args.horizon)
+    except _CommandError as exc:
+        return _error(str(exc))
+    if args.cache is not None:
+        engine.configure_query_cache(args.cache)
+
+    return _run_server(engine, args)
+
+
+def _run_server(engine, args: argparse.Namespace) -> int:
+    """Bind, announce, and run the daemon until SIGINT/SIGTERM."""
+    import signal
+    import threading
+
+    from repro.server.app import TraceServer, build_http_server
+    from repro.streaming.ingestor import StreamingConfig
+
+    streaming = StreamingConfig(
+        max_batch_events=args.batch_size,
+        window=args.window or None,
+        compact_after=args.compact_every,
+    )
+    server = TraceServer(
+        engine,
+        streaming=streaming,
+        coalesce_window=args.coalesce_window / 1000.0,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+    )
+    try:
+        httpd = build_http_server(server, host=args.host, port=args.port)
+    except OSError as exc:
+        server.close()
+        return _error(f"cannot bind {args.host}:{args.port}: {exc}")
+
+    host, port = httpd.server_address[:2]
+    stats = engine.runtime_stats()
+    kind = (
+        f"{stats['num_shards']}-shard" if stats["kind"] == "sharded" else "single-engine"
+    )
+    print(
+        f"serving {kind} index of {stats['entities']} entities "
+        f"on http://{host}:{port} (POST /v1/topk, POST /v1/events, "
+        "GET /v1/healthz, GET /v1/stats)",
+        flush=True,
+    )
+
+    def request_shutdown(signum, frame) -> None:
+        # serve_forever() must keep running while shutdown() waits for it,
+        # so the stop request goes through a helper thread.
+        threading.Thread(target=httpd.shutdown, daemon=True).start()
+
+    previous_handlers = {
+        signal.SIGINT: signal.signal(signal.SIGINT, request_shutdown),
+        signal.SIGTERM: signal.signal(signal.SIGTERM, request_shutdown),
+    }
+    try:
+        httpd.serve_forever()
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+        httpd.server_close()
+        server.close()
+    ingest = server.ingestor.stats
+    coalescer = server.coalescer.stats
+    print(
+        f"shut down cleanly: {coalescer.submitted} queries "
+        f"({coalescer.batches} coalesced batches), "
+        f"{ingest.events_submitted} events ingested "
+        f"({ingest.events_flushed} flushed, {ingest.events_buffered} buffered)"
+    )
+    return 0
+
+
 def _command_figures(args: argparse.Namespace) -> int:
     from repro.experiments import figures as figure_module
 
@@ -707,6 +924,7 @@ _COMMANDS = {
     "query": _command_query,
     "index": _command_index,
     "stream": _command_stream,
+    "serve": _command_serve,
     "figures": _command_figures,
 }
 

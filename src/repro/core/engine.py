@@ -440,6 +440,28 @@ class TraceQueryEngine:
         """Approximate size of the MinSigTree in bytes."""
         return self.tree.size_bytes()
 
+    def runtime_stats(self) -> Dict[str, object]:
+        """Operational counters for serving dashboards (``/v1/stats``).
+
+        A plain JSON-serialisable dict: dataset size, index looseness
+        (:attr:`MinSigTree.loose_operations` -- removals/relocations that
+        left a surviving ancestor's group signature untight), and the query
+        cache's counter snapshot (``None`` when caching is disabled).
+        Safe to call from another thread between queries; the cache
+        snapshot is internally locked.
+        """
+        stats: Dict[str, object] = {
+            "kind": "single",
+            "built": self.is_built,
+            "entities": self.dataset.num_entities,
+            "presences": self.dataset.num_presences,
+            "loose_operations": self.tree.loose_operations if self.is_built else 0,
+            "index_size_bytes": self.index_size_bytes() if self.is_built else 0,
+        }
+        cache = self._query_cache
+        stats["cache"] = cache.stats_snapshot() if cache is not None else None
+        return stats
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -480,6 +502,26 @@ class TraceQueryEngine:
     def query_cache(self) -> Optional["QueryResultCache"]:
         """The LRU query cache, or ``None`` when caching is disabled."""
         return self._query_cache
+
+    def configure_query_cache(self, size: int) -> None:
+        """Enable, resize, or disable (``size=0``) the query cache.
+
+        The serving layer's runtime hook (``repro serve --cache N``): the
+        engine construction path normally fixes the cache from
+        ``EngineConfig.query_cache_size``, but a snapshot-loaded engine
+        inherits the snapshot's config, and an operator may want a
+        different cache for the serving workload.  Replacing the cache
+        starts it empty, which is trivially consistent.
+        """
+        if size < 0:
+            raise ValueError(f"query cache size must be >= 0, got {size}")
+        self.config = self.config.with_overrides(query_cache_size=size)
+        if size > 0:
+            from repro.service.cache import QueryResultCache
+
+            self._query_cache = QueryResultCache(size)
+        else:
+            self._query_cache = None
 
     def _invalidate_query_cache(self) -> None:
         if self._query_cache is not None:

@@ -1,0 +1,50 @@
+"""The network serving daemon: HTTP/JSON front-end over the engines.
+
+Everything below this package serves queries *in-process*; this package is
+the network boundary that the ROADMAP's "heavy traffic" north-star needs.
+It is standard-library only (``http.server``) and splits into four modules:
+
+* :mod:`~repro.server.protocol` -- the wire format: request validation
+  into dataclasses, canonical (byte-stable) JSON response payloads;
+* :mod:`~repro.server.coalescer` -- :class:`RequestCoalescer`: concurrent
+  top-k requests arriving within a small window are answered by **one**
+  ``top_k_batch`` call, with a bounded admission queue (full → HTTP 429);
+* :mod:`~repro.server.metrics` -- per-endpoint request counters and
+  fixed-bucket latency histograms behind one lock;
+* :mod:`~repro.server.app` -- :class:`TraceServer` (the transport-free
+  core: ``handle_topk`` / ``handle_events`` / ``handle_healthz`` /
+  ``handle_stats``) and :func:`build_http_server` (the
+  ``ThreadingHTTPServer`` skin the ``repro serve`` CLI runs).
+
+The serving contract -- request/response schemas, status codes, the
+coalescing and consistency semantics -- is documented in
+``docs/SERVING.md``; the concurrency-equivalence guarantee (daemon
+responses byte-identical to the in-process API) is pinned by
+``tests/test_server_equivalence.py``.
+"""
+
+from repro.server.app import TraceServer, build_http_server
+from repro.server.coalescer import CoalescerStats, QueueFullError, RequestCoalescer
+from repro.server.metrics import LatencyHistogram, ServerMetrics
+from repro.server.protocol import (
+    EventsRequest,
+    ProtocolError,
+    TopKRequest,
+    parse_events_request,
+    parse_topk_request,
+)
+
+__all__ = [
+    "CoalescerStats",
+    "EventsRequest",
+    "LatencyHistogram",
+    "ProtocolError",
+    "QueueFullError",
+    "RequestCoalescer",
+    "ServerMetrics",
+    "TopKRequest",
+    "TraceServer",
+    "build_http_server",
+    "parse_events_request",
+    "parse_topk_request",
+]

@@ -1,0 +1,482 @@
+"""The serving daemon: :class:`TraceServer` and its HTTP transport.
+
+This module turns an in-process engine -- a
+:class:`~repro.core.engine.TraceQueryEngine` or a
+:class:`~repro.service.sharded.ShardedEngine` -- into a multi-client
+network service with exactly the semantics of the in-process API.  It is
+built entirely on the standard library (``http.server``), so serving adds
+no runtime dependency.
+
+Layering (transport-free core, thin HTTP skin):
+
+* :class:`TraceServer` owns the engine, one engine lock, an
+  :class:`~repro.streaming.EventIngestor` (streamed writes), a
+  :class:`~repro.server.coalescer.RequestCoalescer` (batched reads), and
+  :class:`~repro.server.metrics.ServerMetrics`.  Its ``handle_*`` methods
+  take parsed JSON and return ``(status, payload)`` pairs -- fully testable
+  without sockets, and the doctest below runs exactly that way.
+* :func:`build_http_server` wraps a :class:`TraceServer` in a
+  ``ThreadingHTTPServer`` routing ``POST /v1/topk``, ``POST /v1/events``,
+  ``GET /v1/healthz``, and ``GET /v1/stats``.
+
+**Consistency model.**  One lock serialises engine access: reads run as
+coalesced ``top_k_batch`` calls under the lock, writes (event appends and
+flushes) run under the same lock.  Buffered events are invisible to
+queries until a flush (micro-batch full, or ``"flush": true``), exactly as
+for the in-process ingestor, so every response equals what the in-process
+API would have returned at some serialisation point of the request stream
+-- the concurrency-equivalence suite pins this byte-for-byte.
+
+**Shutdown.**  :meth:`TraceServer.close` drains the coalescer, then
+flushes the ingestor, so no accepted write is lost on a clean shutdown
+(the CLI installs SIGINT/SIGTERM handlers that do this).
+
+Example
+-------
+>>> from repro import SpatialHierarchy, TraceDataset, TraceQueryEngine
+>>> from repro.server import TraceServer
+>>> hierarchy = SpatialHierarchy.regular([2, 2])
+>>> dataset = TraceDataset(hierarchy, horizon=48)
+>>> dataset.add_record("ana", "u2_0_0", time=2, duration=3)
+>>> dataset.add_record("bo", "u2_0_0", time=2, duration=3)
+>>> server = TraceServer(TraceQueryEngine(dataset, num_hashes=16).build())
+>>> status, payload = server.handle_topk({"entity": "ana", "k": 1})
+>>> status, [r["entity"] for r in payload["results"]]
+(200, ['bo'])
+>>> status, payload = server.handle_events({"events": [
+...     {"entity": "cy", "unit": "u2_0_0", "start": 2, "end": 5}], "flush": True})
+>>> status, payload["accepted"], payload["affected_entities"]
+(200, 1, ['cy'])
+>>> server.handle_topk({"entity": "cy", "k": 2})[1]["results"][0]["entity"]
+'ana'
+>>> server.close()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from repro.server.coalescer import QueueFullError, RequestCoalescer
+from repro.server.metrics import ServerMetrics
+from repro.server import protocol
+from repro.streaming.ingestor import EventIngestor, StreamingConfig
+
+__all__ = ["TraceServer", "build_http_server"]
+
+Response = Tuple[int, Dict[str, object]]
+
+
+class TraceServer:
+    """The transport-free serving core: one engine behind checked JSON APIs.
+
+    Parameters
+    ----------
+    engine:
+        A **built** :class:`~repro.core.engine.TraceQueryEngine` or
+        :class:`~repro.service.sharded.ShardedEngine`.
+    streaming:
+        Config of the embedded :class:`~repro.streaming.EventIngestor`
+        (micro-batch size, window, compaction); defaults to
+        ``StreamingConfig()``.
+    coalesce_window:
+        Seconds the request coalescer waits for concurrent queries to share
+        a batch (0 dispatches immediately, still batching what queued).
+    max_pending:
+        Admission-control bound: top-k queries waiting for dispatch beyond
+        this are answered ``429``.
+    max_batch:
+        Largest coalesced batch dispatched at once.
+    """
+
+    def __init__(
+        self,
+        engine,
+        streaming: Optional[StreamingConfig] = None,
+        coalesce_window: float = 0.002,
+        max_pending: int = 1024,
+        max_batch: int = 64,
+    ) -> None:
+        if not engine.is_built:
+            raise ValueError("TraceServer requires a built engine")
+        self.engine = engine
+        #: Serialises every engine access: coalesced searches, event
+        #: appends, flushes, and stats reads that touch engine state.
+        self.engine_lock = threading.RLock()
+        self.metrics = ServerMetrics()
+        self.ingestor = EventIngestor(engine, config=streaming)
+        self.coalescer = RequestCoalescer(
+            engine,
+            self.engine_lock,
+            window_seconds=coalesce_window,
+            max_pending=max_pending,
+            max_batch=max_batch,
+        )
+        self.started_at = time.monotonic()
+        self._closed = False
+        self._flush_count = 0
+        self.ingestor.add_flush_hook(self._record_flush)
+
+    def _record_flush(self, report) -> None:
+        self._flush_count += 1
+
+    # ------------------------------------------------------------------
+    # Endpoint handlers (transport-free)
+    # ------------------------------------------------------------------
+    def handle_topk(self, payload: object) -> Response:
+        """``POST /v1/topk``: single queries through the coalescer, batch
+        requests as one direct ``top_k_batch`` call.
+
+        A batch request *is already a batch* -- routing its entities one by
+        one through the coalescer would serialise them over several
+        dispatch rounds (paying the coalesce window per entity and letting
+        a flush land mid-batch).  Dispatching it whole under the engine
+        lock keeps the shared-pre-hash amortisation and gives the response
+        a single serialisation point.
+        """
+        try:
+            request = protocol.parse_topk_request(payload)
+        except protocol.ProtocolError as exc:
+            return exc.status, protocol.error_payload(str(exc))
+        entity = request.entities[0]
+        try:
+            if request.batch:
+                with self.engine_lock:
+                    if self._closed:
+                        return 503, protocol.error_payload(
+                            "the server is shutting down"
+                        )
+                    unknown = [
+                        candidate
+                        for candidate in request.entities
+                        if candidate not in self.engine.dataset
+                    ]
+                    if unknown:
+                        return 404, protocol.error_payload(
+                            f"unknown entity {unknown[0]!r}"
+                        )
+                    results = self.engine.top_k_batch(
+                        request.entities,
+                        k=request.k,
+                        approximation=request.approximation,
+                    ).results
+            else:
+                # Cheap membership pre-check: an unknown entity answered
+                # here costs nothing, while one reaching the coalescer
+                # aborts its whole shared batch (every innocent co-rider
+                # is re-run serially).  The coalescer's per-query fallback
+                # still covers the check-to-dispatch removal race.
+                if entity not in self.engine.dataset:
+                    return 404, protocol.error_payload(f"unknown entity {entity!r}")
+                results = [
+                    self.coalescer.submit(
+                        entity, k=request.k, approximation=request.approximation
+                    )
+                ]
+        except QueueFullError as exc:
+            return 429, protocol.error_payload(str(exc))
+        except KeyError:
+            return 404, protocol.error_payload(f"unknown entity {entity!r}")
+        except RuntimeError as exc:
+            return 503, protocol.error_payload(str(exc))
+        return 200, protocol.topk_payload(request, results)
+
+    def handle_events(self, payload: object) -> Response:
+        """``POST /v1/events``: streamed ingest through the micro-batcher.
+
+        Events are buffered; a flush happens when the micro-batch fills or
+        the request asks for one (``"flush": true``).  Unknown or non-base
+        spatial units are client errors (400) -- the whole request is
+        rejected before any event is buffered, so a bad batch never
+        half-applies.
+        """
+        try:
+            request = protocol.parse_events_request(payload)
+        except protocol.ProtocolError as exc:
+            return exc.status, protocol.error_payload(str(exc))
+        # Validate spatial units and periods *before* buffering anything:
+        # the ingestor applies events lazily at flush time, and a bad event
+        # surfacing in a later, unrelated request would be unattributable.
+        # Rejecting here keeps event batches all-or-nothing.  The horizon
+        # bound is load-bearing twice over: signature work is O(duration)
+        # under the engine lock (one huge period would stall every client),
+        # and the ingest watermark is monotone (one far-future end would
+        # make a sliding window silently drop all later normal events).
+        # Provision ``--horizon`` to cover the stream, as docs/SERVING.md
+        # and docs/ARCHITECTURE.md prescribe.
+        hierarchy = self.engine.dataset.hierarchy
+        horizon = max(self.engine.dataset.horizon, 1)
+        for position, event in enumerate(request.events):
+            if (
+                event.unit not in hierarchy
+                or hierarchy.level_of(event.unit) != hierarchy.num_levels
+            ):
+                return 400, protocol.error_payload(
+                    f"event #{position}: {event.unit!r} is not a base unit of "
+                    "the sp-index"
+                )
+            if event.end > horizon:
+                return 400, protocol.error_payload(
+                    f"event #{position}: period ends at {event.end}, beyond the "
+                    f"served horizon of {horizon} base temporal units (serve "
+                    "with a larger --horizon, or rebuild the snapshot with "
+                    "`repro index build --horizon`, to accept later events)"
+                )
+        flushed_events = 0
+        dropped_late = 0
+        affected: Optional[List[str]] = None
+
+        def absorb(report) -> None:
+            nonlocal flushed_events, dropped_late, affected
+            flushed_events += report.events
+            dropped_late += report.dropped_late
+            if affected is None:
+                affected = []
+            seen = set(affected)
+            affected.extend(
+                entity for entity in report.affected_entities if entity not in seen
+            )
+
+        with self.engine_lock:
+            # The shutting-down check must happen under the lock: close()
+            # sets the flag and then takes this lock for the final flush,
+            # so a handler that got here first completes before that flush
+            # (its events are flushed, not lost), and one that arrives
+            # after is rejected -- an acknowledged write can never land in
+            # a buffer nobody will flush.
+            if self._closed:
+                return 503, protocol.error_payload("the server is shutting down")
+            for event in request.events:
+                report = self.ingestor.submit(event)
+                if report is not None:
+                    absorb(report)
+            if request.flush and (self.ingestor.buffered_events or not request.events):
+                absorb(self.ingestor.flush())
+            buffered = self.ingestor.buffered_events
+        return 200, protocol.events_payload(
+            accepted=len(request.events),
+            buffered=buffered,
+            flushed_events=flushed_events,
+            dropped_late=dropped_late,
+            affected_entities=affected,
+        )
+
+    def handle_healthz(self) -> Response:
+        """``GET /v1/healthz``: liveness plus the one-line deployment shape.
+
+        Deliberately lock-free: a liveness probe that queued behind the
+        engine lock would time out exactly when the daemon is busiest (a
+        coalesced batch search or a micro-batch flush holds the lock for
+        their full duration).  ``num_entities`` is a cheap dictionary-size
+        read; a momentarily stale value is fine for a probe.
+        """
+        return 200, {
+            "status": "ok" if not self._closed else "shutting_down",
+            "entities": self.engine.dataset.num_entities,
+            "uptime_seconds": time.monotonic() - self.started_at,
+        }
+
+    def handle_stats(self) -> Response:
+        """``GET /v1/stats``: engine, cache, ingest, coalescer, HTTP metrics."""
+        with self.engine_lock:
+            engine_stats = self.engine.runtime_stats()
+            ingest = self.ingestor.stats
+            ingest_stats = {
+                "events_submitted": ingest.events_submitted,
+                "events_flushed": ingest.events_flushed,
+                "events_buffered": ingest.events_buffered,
+                "events_dropped_late": ingest.events_dropped_late,
+                "batches_flushed": ingest.batches_flushed,
+                "mean_batch_size": ingest.mean_batch_size,
+                "seconds_in_flush": ingest.seconds_in_flush,
+                "flushes": self._flush_count,
+                "watermark": self.ingestor.watermark,
+            }
+        return 200, {
+            "engine": engine_stats,
+            "ingest": ingest_stats,
+            "coalescer": self.coalescer.stats_snapshot(),
+            "endpoints": self.metrics.snapshot(),
+            "uptime_seconds": time.monotonic() - self.started_at,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Graceful shutdown: drain queries, then flush buffered events.
+
+        Idempotent.  Order matters: the coalescer drains first (queries
+        still in flight see pre-flush state, like any query racing a
+        write), then the ingestor flushes so every accepted event is
+        applied to the engine before the process exits.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.coalescer.close()
+        with self.engine_lock:
+            self.ingestor.close()
+
+    def __enter__(self) -> "TraceServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the :class:`TraceServer` handlers.
+
+    One instance per request (``http.server`` semantics); the shared state
+    lives on ``self.server.trace_server``.  Request logging is routed into
+    the metrics instead of stderr.
+    """
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+    #: Socket timeout: an idle keep-alive connection is dropped after this
+    #: many seconds, which bounds how long server_close() can block while
+    #: joining handler threads on shutdown.
+    timeout = 10
+    #: The only paths that get their own metrics key.  Anything else is
+    #: folded into "other": client-chosen paths must not allocate
+    #: per-path counters, or a hostile scanner grows the metrics without
+    #: bound (the constant-memory constraint of repro.server.metrics).
+    known_endpoints = frozenset(
+        {"/v1/topk", "/v1/events", "/v1/healthz", "/v1/stats"}
+    )
+    #: Largest accepted request body; far above any legitimate request
+    #: given MAX_ITEMS_PER_REQUEST, and keeps a hostile client from
+    #: ballooning handler memory.
+    max_body_bytes = 32 * 1024 * 1024
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Silence the default per-request stderr line (metrics cover it)."""
+
+    def _trace_server(self) -> TraceServer:
+        return self.server.trace_server  # type: ignore[attr-defined]
+
+    def _endpoint(self) -> str:
+        """The bounded metrics key for this request's path."""
+        path = self.path.split("?", 1)[0]
+        return path if path in self.known_endpoints else "other"
+
+    def _send(self, endpoint: str, started: float, status: int, payload: Dict) -> None:
+        body = protocol.dumps(payload)
+        # Observed *before* the body is written: once a client has read its
+        # response, a follow-up /v1/stats read must already count it.
+        self._trace_server().metrics.observe(
+            endpoint, status=status, seconds=time.perf_counter() - started
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status == 429:
+            self.send_header("Retry-After", "1")
+        if self.close_connection:
+            # Set when the request body was left unread: the client must
+            # not reuse a connection whose stream is desynchronised.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass
+
+    def _read_json_body(self) -> object:
+        # Error paths that leave the body unread must also close the
+        # connection: on HTTP/1.1 keep-alive, unconsumed body bytes would
+        # be parsed as the next request line, desynchronising every later
+        # request on the connection.
+        length = self.headers.get("Content-Length")
+        if length is None:
+            self.close_connection = True
+            raise protocol.ProtocolError("Content-Length is required", status=411)
+        try:
+            size = int(length)
+        except ValueError:
+            self.close_connection = True
+            raise protocol.ProtocolError(f"invalid Content-Length {length!r}") from None
+        if size < 0 or size > self.max_body_bytes:
+            self.close_connection = True
+            raise protocol.ProtocolError(
+                f"request body of {size} bytes exceeds the "
+                f"{self.max_body_bytes}-byte cap",
+                status=413,
+            )
+        raw = self.rfile.read(size)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise protocol.ProtocolError(f"request body is not valid JSON: {exc}") from exc
+
+    def do_POST(self) -> None:
+        started = time.perf_counter()
+        # Route on the query-stripped path: clients and probes may append
+        # query strings, which the JSON-body protocol simply ignores.
+        path = self.path.split("?", 1)[0]
+        endpoint = self._endpoint()
+        if path not in ("/v1/topk", "/v1/events"):
+            # Routed before the body is read, so an unknown path answers
+            # 404 regardless of its payload and never pays a body read;
+            # the unread body forces a connection close (see above).
+            self.close_connection = True
+            self._send(endpoint, started, 404, protocol.error_payload(f"unknown path {path}"))
+            return
+        try:
+            payload = self._read_json_body()
+        except protocol.ProtocolError as exc:
+            self._send(endpoint, started, exc.status, protocol.error_payload(str(exc)))
+            return
+        if path == "/v1/topk":
+            status, response = self._trace_server().handle_topk(payload)
+        else:
+            status, response = self._trace_server().handle_events(payload)
+        self._send(endpoint, started, status, response)
+
+    def do_GET(self) -> None:
+        started = time.perf_counter()
+        if self.headers.get("Content-Length") or self.headers.get("Transfer-Encoding"):
+            # GET endpoints take no body; an unread body would desync a
+            # keep-alive connection exactly like the POST error paths, so
+            # close it (the same invariant _read_json_body keeps).
+            self.close_connection = True
+        path = self.path.split("?", 1)[0]
+        if path == "/v1/healthz":
+            status, response = self._trace_server().handle_healthz()
+        elif path == "/v1/stats":
+            status, response = self._trace_server().handle_stats()
+        elif path in ("/v1/topk", "/v1/events"):
+            status, response = 405, protocol.error_payload(f"{path} requires POST")
+        else:
+            status, response = 404, protocol.error_payload(f"unknown path {path}")
+        self._send(self._endpoint(), started, status, response)
+
+
+def build_http_server(
+    trace_server: TraceServer, host: str = "127.0.0.1", port: int = 8080
+) -> ThreadingHTTPServer:
+    """Bind a ``ThreadingHTTPServer`` serving ``trace_server``.
+
+    Raises ``OSError`` when the port cannot be bound (in use, privileged,
+    bad host) -- the CLI maps that to exit code 2.  ``port=0`` binds an
+    ephemeral port; read the chosen one from ``server.server_address``.
+    The caller owns the loop: ``server.serve_forever()`` to run,
+    ``server.shutdown()`` (from another thread), ``server.server_close()``,
+    then ``trace_server.close()`` to stop cleanly.
+
+    Handler threads are non-daemon and joined by ``server_close()``
+    (``block_on_close``), so an in-flight response is written out before
+    the process exits -- a drained query is never answered with a severed
+    connection.  The handler's socket timeout bounds the join: idle
+    keep-alive connections drop after ``_Handler.timeout`` seconds.
+    """
+    httpd = ThreadingHTTPServer((host, port), _Handler)
+    httpd.daemon_threads = False
+    httpd.block_on_close = True
+    httpd.trace_server = trace_server  # type: ignore[attr-defined]
+    return httpd

@@ -1,0 +1,136 @@
+"""Serving metrics: request counters and latency histograms.
+
+The daemon's ``GET /v1/stats`` endpoint is assembled from three sources --
+engine-side runtime stats (cache hit rate, shard sizes, loose-operation
+counters), ingest/coalescer counters, and the per-endpoint request metrics
+collected here.  This module owns the last kind.
+
+Design constraints, in order:
+
+* **correct under concurrency** -- every handler thread of the
+  ``ThreadingHTTPServer`` records observations, so all mutation and all
+  snapshotting happens under one lock;
+* **constant memory** -- latencies go into fixed-boundary histograms
+  (:data:`LATENCY_BUCKETS_MS`), never into unbounded lists, so a soak test
+  cannot grow the metrics;
+* **snapshot, don't expose** -- readers get plain dicts copied under the
+  lock (:meth:`ServerMetrics.snapshot`), never live mutable state.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Tuple
+
+__all__ = ["LATENCY_BUCKETS_MS", "LatencyHistogram", "ServerMetrics"]
+
+#: Upper bucket edges of the latency histograms, in milliseconds.  The last
+#: implicit bucket is unbounded (``+inf``); the edges are roughly
+#: logarithmic, matching the spread between a cache hit (sub-millisecond)
+#: and a cold sharded fan-out (tens to hundreds of milliseconds).
+LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 5000.0,
+)
+
+
+class LatencyHistogram:
+    """A fixed-bucket latency histogram with count/sum/max aggregates.
+
+    Not thread-safe on its own; :class:`ServerMetrics` serialises access.
+
+    >>> histogram = LatencyHistogram()
+    >>> histogram.observe(0.004)          # 4 ms
+    >>> histogram.observe(0.030)          # 30 ms
+    >>> histogram.count, histogram.bucket_counts[3]   # 4 ms falls in <=5 ms
+    (2, 1)
+    """
+
+    __slots__ = ("bucket_counts", "count", "total_seconds", "max_seconds")
+
+    def __init__(self) -> None:
+        #: One count per edge in :data:`LATENCY_BUCKETS_MS` plus the final
+        #: unbounded bucket.
+        self.bucket_counts: List[int] = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation."""
+        self.bucket_counts[bisect_left(LATENCY_BUCKETS_MS, seconds * 1000.0)] += 1
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average observed latency (0 when nothing was observed)."""
+        if not self.count:
+            return 0.0
+        return self.total_seconds / self.count
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict copy suitable for JSON serialisation.
+
+        Buckets are keyed by their upper edge (``"le_<ms>"``; the unbounded
+        bucket is ``"le_inf"``) so the output is self-describing.
+        """
+        buckets = {
+            f"le_{edge:g}ms": count
+            for edge, count in zip(LATENCY_BUCKETS_MS, self.bucket_counts)
+        }
+        buckets["le_inf"] = self.bucket_counts[-1]
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_seconds * 1000.0,
+            "max_ms": self.max_seconds * 1000.0,
+            "buckets": buckets,
+        }
+
+
+class ServerMetrics:
+    """Thread-safe per-endpoint request metrics of one daemon.
+
+    Each endpoint accumulates a request count, a per-status-code breakdown,
+    and a latency histogram; :meth:`snapshot` returns the whole structure as
+    plain dicts copied under the lock.
+
+    >>> metrics = ServerMetrics()
+    >>> metrics.observe("/v1/topk", status=200, seconds=0.003)
+    >>> metrics.observe("/v1/topk", status=429, seconds=0.0001)
+    >>> snapshot = metrics.snapshot()
+    >>> snapshot["/v1/topk"]["requests"], snapshot["/v1/topk"]["status"]["429"]
+    (2, 1)
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests: Dict[str, int] = {}
+        self._status: Dict[str, Dict[str, int]] = {}
+        self._latency: Dict[str, LatencyHistogram] = {}
+
+    def observe(self, endpoint: str, status: int, seconds: float) -> None:
+        """Record one answered request (any status, including errors)."""
+        with self._lock:
+            self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+            by_status = self._status.setdefault(endpoint, {})
+            key = str(status)
+            by_status[key] = by_status.get(key, 0) + 1
+            histogram = self._latency.get(endpoint)
+            if histogram is None:
+                histogram = self._latency[endpoint] = LatencyHistogram()
+            histogram.observe(seconds)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-endpoint ``{requests, status, latency}`` dicts (copied)."""
+        with self._lock:
+            return {
+                endpoint: {
+                    "requests": self._requests[endpoint],
+                    "status": dict(self._status[endpoint]),
+                    "latency": self._latency[endpoint].snapshot(),
+                }
+                for endpoint in sorted(self._requests)
+            }

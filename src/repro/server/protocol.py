@@ -1,0 +1,302 @@
+"""Wire format of the serving daemon: request parsing and response payloads.
+
+Everything that crosses the HTTP boundary is defined here, so the transport
+layer (:mod:`repro.server.app`) stays a thin router and the semantics are
+testable without sockets.  The format is deliberately plain JSON over plain
+dictionaries:
+
+* requests are parsed and validated into small dataclasses
+  (:class:`TopKRequest`, :class:`EventsRequest`); every validation failure
+  raises :class:`ProtocolError` carrying the HTTP status to answer with;
+* responses are built by pure functions (:func:`topk_payload`,
+  :func:`events_payload`, :func:`error_payload`) and serialised with
+  :func:`dumps`, which is canonical (sorted keys, fixed separators) so two
+  identical results produce byte-identical response bodies -- the property
+  the concurrency-equivalence suite asserts.
+
+See ``docs/SERVING.md`` for the full endpoint reference with examples.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.query import TopKResult
+from repro.traces.events import PresenceInstance
+
+__all__ = [
+    "EventsRequest",
+    "ProtocolError",
+    "TopKRequest",
+    "dumps",
+    "error_payload",
+    "events_payload",
+    "parse_events_request",
+    "parse_topk_request",
+    "topk_payload",
+    "topk_result_payload",
+]
+
+#: Hard cap on entities per /v1/topk request and events per /v1/events
+#: request; a request larger than this is a client error (413), not a
+#: queueing problem.
+MAX_ITEMS_PER_REQUEST = 4096
+
+
+class ProtocolError(Exception):
+    """A request that cannot be served, with the HTTP status to answer.
+
+    Attributes
+    ----------
+    status:
+        The HTTP status code (400 malformed, 404 unknown entity, 413 too
+        large, ...).  The transport layer maps the exception straight to a
+        response, so every validation rule lives next to the parsing code
+        that enforces it.
+    """
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class TopKRequest:
+    """A validated ``POST /v1/topk`` body.
+
+    ``entities`` always holds at least one entity; ``batch`` records whether
+    the client used the batch form (``{"entities": [...]}``) or the single
+    form (``{"entity": ...}``), which only changes the response shape.
+    """
+
+    entities: List[str]
+    k: int = 10
+    approximation: float = 0.0
+    batch: bool = False
+
+
+@dataclass
+class EventsRequest:
+    """A validated ``POST /v1/events`` body.
+
+    ``flush`` forces a micro-batch flush after the append, so a client can
+    make its own writes immediately visible to queries.
+    """
+
+    events: List[PresenceInstance] = field(default_factory=list)
+    flush: bool = False
+
+
+def _require_mapping(payload: object) -> Mapping:
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _parse_int(payload: Mapping, name: str, default: int, minimum: int) -> int:
+    value = payload.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"{name!r} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ProtocolError(f"{name!r} must be >= {minimum}, got {value}")
+    return value
+
+
+def parse_topk_request(payload: object) -> TopKRequest:
+    """Validate a ``/v1/topk`` body into a :class:`TopKRequest`.
+
+    Accepts exactly one of ``entity`` (single form) and ``entities`` (batch
+    form), plus optional ``k`` (default 10) and ``approximation`` (default
+    0.0).  Raises :class:`ProtocolError` on anything else.
+
+    >>> parse_topk_request({"entity": "ana", "k": 3}).entities
+    ['ana']
+    >>> request = parse_topk_request({"entities": ["ana", "bo"]})
+    >>> request.batch, request.k
+    (True, 10)
+    """
+    body = _require_mapping(payload)
+    unknown = sorted(set(body) - {"entity", "entities", "k", "approximation"})
+    if unknown:
+        raise ProtocolError(f"unknown fields in topk request: {unknown}")
+    single = body.get("entity")
+    many = body.get("entities")
+    if (single is None) == (many is None):
+        raise ProtocolError("pass exactly one of 'entity' or 'entities'")
+    if single is not None:
+        if not isinstance(single, str) or not single:
+            raise ProtocolError(f"'entity' must be a non-empty string, got {single!r}")
+        entities = [single]
+        batch = False
+    else:
+        if not isinstance(many, Sequence) or isinstance(many, (str, bytes)):
+            raise ProtocolError(f"'entities' must be a list of strings, got {many!r}")
+        if not many:
+            raise ProtocolError("'entities' must not be empty")
+        if len(many) > MAX_ITEMS_PER_REQUEST:
+            raise ProtocolError(
+                f"'entities' holds {len(many)} queries; the per-request cap is "
+                f"{MAX_ITEMS_PER_REQUEST}",
+                status=413,
+            )
+        for entity in many:
+            if not isinstance(entity, str) or not entity:
+                raise ProtocolError(
+                    f"'entities' must be a list of non-empty strings, got {entity!r}"
+                )
+        entities = list(many)
+        batch = True
+    k = _parse_int(body, "k", default=10, minimum=1)
+    approximation = body.get("approximation", 0.0)
+    if isinstance(approximation, bool) or not isinstance(approximation, (int, float)):
+        raise ProtocolError(f"'approximation' must be a number, got {approximation!r}")
+    # json.loads accepts the non-standard NaN/Infinity literals; NaN slips
+    # past a `< 0` check and then defeats every pruning comparison in the
+    # search (an exhaustive scan per query), so reject non-finite here.
+    if not math.isfinite(approximation) or approximation < 0:
+        raise ProtocolError(f"'approximation' must be finite and >= 0, got {approximation}")
+    return TopKRequest(
+        entities=entities, k=k, approximation=float(approximation), batch=batch
+    )
+
+
+def _parse_event(record: object, position: int) -> PresenceInstance:
+    body = _require_mapping(record)
+    missing = sorted({"entity", "unit", "start", "end"} - set(body))
+    if missing:
+        raise ProtocolError(f"event #{position} is missing fields {missing}")
+    unknown = sorted(set(body) - {"entity", "unit", "start", "end"})
+    if unknown:
+        raise ProtocolError(f"event #{position} has unknown fields {unknown}")
+    entity, unit = body["entity"], body["unit"]
+    if not isinstance(entity, str) or not entity:
+        raise ProtocolError(f"event #{position}: 'entity' must be a non-empty string")
+    if not isinstance(unit, str) or not unit:
+        raise ProtocolError(f"event #{position}: 'unit' must be a non-empty string")
+    start, end = body["start"], body["end"]
+    for name, value in (("start", start), ("end", end)):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ProtocolError(
+                f"event #{position}: {name!r} must be an integer, got {value!r}"
+            )
+    try:
+        return PresenceInstance(entity, unit, start, end)
+    except ValueError as exc:
+        raise ProtocolError(f"event #{position}: {exc}") from exc
+
+
+def parse_events_request(payload: object) -> EventsRequest:
+    """Validate a ``/v1/events`` body into an :class:`EventsRequest`.
+
+    The body carries ``events`` (a list of ``{entity, unit, start, end}``
+    records, possibly empty) and an optional ``flush`` flag; an empty list
+    with ``flush: true`` is the idiom for "make everything buffered
+    visible now".
+
+    >>> request = parse_events_request(
+    ...     {"events": [{"entity": "ana", "unit": "u1_0", "start": 1, "end": 3}]}
+    ... )
+    >>> request.events[0].entity, request.flush
+    ('ana', False)
+    """
+    body = _require_mapping(payload)
+    unknown = sorted(set(body) - {"events", "flush"})
+    if unknown:
+        raise ProtocolError(f"unknown fields in events request: {unknown}")
+    records = body.get("events", [])
+    if not isinstance(records, Sequence) or isinstance(records, (str, bytes)):
+        raise ProtocolError(f"'events' must be a list of event objects, got {records!r}")
+    if len(records) > MAX_ITEMS_PER_REQUEST:
+        raise ProtocolError(
+            f"'events' holds {len(records)} events; the per-request cap is "
+            f"{MAX_ITEMS_PER_REQUEST}",
+            status=413,
+        )
+    flush = body.get("flush", False)
+    if not isinstance(flush, bool):
+        raise ProtocolError(f"'flush' must be a boolean, got {flush!r}")
+    events = [_parse_event(record, position) for position, record in enumerate(records)]
+    return EventsRequest(events=events, flush=flush)
+
+
+# ----------------------------------------------------------------------
+# Response payloads
+# ----------------------------------------------------------------------
+def topk_result_payload(result: TopKResult) -> Dict[str, object]:
+    """The JSON shape of one :class:`~repro.core.query.TopKResult`."""
+    stats = result.stats
+    return {
+        "query": result.query_entity,
+        "results": [
+            {"entity": entity, "score": score} for entity, score in result.items
+        ],
+        "stats": {
+            "entities_scored": stats.entities_scored,
+            "population": stats.population,
+            "pruning_effectiveness": stats.pruning_effectiveness,
+            "terminated_early": stats.terminated_early,
+        },
+    }
+
+
+def topk_payload(
+    request: TopKRequest, results: Sequence[TopKResult]
+) -> Dict[str, object]:
+    """The ``/v1/topk`` response body (single or batch form).
+
+    The single form answers with the result object itself; the batch form
+    wraps the per-query objects in ``{"results": [...]}`` so the two shapes
+    are distinguishable without counting.
+    """
+    if not request.batch:
+        return topk_result_payload(results[0])
+    return {"results": [topk_result_payload(result) for result in results]}
+
+
+def events_payload(
+    accepted: int,
+    buffered: int,
+    flushed_events: int,
+    dropped_late: int,
+    affected_entities: Optional[Sequence[str]],
+) -> Dict[str, object]:
+    """The ``/v1/events`` response body.
+
+    ``flushed_events``/``affected_entities`` describe the flush this request
+    triggered (explicitly or by filling a micro-batch); ``affected_entities``
+    is ``None`` when no flush happened.  ``dropped_late`` counts buffered
+    events those flushes discarded because their period had already left
+    the sliding window -- always present, so an acknowledged-but-dropped
+    write is visible in the response rather than only in ``/v1/stats``.
+    """
+    payload: Dict[str, object] = {
+        "accepted": accepted,
+        "buffered": buffered,
+        "flushed_events": flushed_events,
+        "dropped_late": dropped_late,
+    }
+    if affected_entities is not None:
+        payload["affected_entities"] = list(affected_entities)
+    return payload
+
+
+def error_payload(message: str) -> Dict[str, object]:
+    """The uniform error body: ``{"error": message}``."""
+    return {"error": message}
+
+
+def dumps(payload: object) -> bytes:
+    """Canonical JSON encoding (sorted keys, fixed separators, UTF-8).
+
+    Canonical so that semantically identical responses are *byte*-identical
+    -- the concurrency-equivalence test compares raw response bodies across
+    the daemon and an in-process engine.
+    """
+    return (json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n").encode(
+        "utf-8"
+    )

@@ -13,6 +13,22 @@ would return.  Invalidation has two granularities:
   :meth:`QueryResultCache.invalidate_where` to drop only the entries whose
   shard (or query entity) a streamed update touched -- see
   :mod:`repro.service.sharded`.
+
+**Thread-safety contract** (audited for the serving daemon's request
+coalescer, where cache reads/writes race handler threads, the dispatcher
+thread, and the ingest path):
+
+* every mutation of the recency list *and* of the :class:`CacheStats`
+  counters happens under the cache lock;
+* ``fetch_or_compute`` runs ``compute`` outside the lock (searches are
+  slow) and tolerates concurrent misses -- the last put wins, which is
+  correct because results are deterministic;
+* values are copied on hit and on put, so no caller ever holds a reference
+  into the cache;
+* readers (``__len__``, ``__contains__``, :meth:`QueryResultCache.keys`,
+  :meth:`QueryResultCache.stats_snapshot`) also take the lock, so a stats
+  endpoint can never observe a half-updated counter pair (e.g. hits
+  incremented but lookups not yet reflecting it).
 """
 
 from __future__ import annotations
@@ -145,14 +161,37 @@ class QueryResultCache:
         return value
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def keys(self) -> Tuple[Hashable, ...]:
         """Current keys, LRU first (diagnostics and tests)."""
-        return tuple(self._entries)
+        with self._lock:
+            return tuple(self._entries)
+
+    def stats_snapshot(self) -> dict:
+        """A coherent plain-dict copy of the counters, taken under the lock.
+
+        This is the read path of the serving daemon's ``/v1/stats``
+        endpoint: :attr:`stats` itself is mutated under the lock, so
+        reading its fields individually from another thread could observe
+        a torn pair (hits bumped, lookups not yet).  The snapshot cannot.
+        """
+        with self._lock:
+            stats = self.stats
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "hit_rate": stats.hit_rate,
+                "evictions": stats.evictions,
+                "invalidations": stats.invalidations,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"QueryResultCache(entries={len(self)}/{self.max_entries}, {self.stats!r})"

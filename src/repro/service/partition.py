@@ -50,6 +50,12 @@ class HashPartitioner(Partitioner):
     kind = "hash"
 
     def assign(self, entity: str) -> int:
+        """A stable digest of the identifier, reduced modulo the shard count.
+
+        blake2b rather than ``hash()``: assignments must agree across
+        processes and Python releases (``PYTHONHASHSEED`` varies), because
+        snapshots rebuild the routing table from shard membership.
+        """
         digest = hashlib.blake2b(entity.encode("utf-8"), digest_size=8).digest()
         return int.from_bytes(digest, "big") % self.num_shards
 
@@ -68,6 +74,7 @@ class RoundRobinPartitioner(Partitioner):
         self.next_shard = int(next_shard)
 
     def assign(self, entity: str) -> int:
+        """The next shard in rotation (the identifier itself is ignored)."""
         shard = self.next_shard
         self.next_shard = (self.next_shard + 1) % self.num_shards
         return shard

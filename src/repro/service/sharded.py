@@ -181,6 +181,18 @@ class ShardedEngine:
         """The sharded engine's LRU result cache, or ``None`` when disabled."""
         return self._query_cache
 
+    def configure_query_cache(self, size: int) -> None:
+        """Enable, resize, or disable (``size=0``) the partial-result cache.
+
+        Mirrors :meth:`TraceQueryEngine.configure_query_cache`; the sharded
+        cache stores per-shard partials, so resizing starts it empty and
+        the next queries re-warm it shard by shard.
+        """
+        if size < 0:
+            raise ValueError(f"query cache size must be >= 0, got {size}")
+        self.config = self.config.with_overrides(query_cache_size=size)
+        self._query_cache = QueryResultCache(size) if size > 0 else None
+
     @property
     def num_entities(self) -> int:
         """Number of entities across all shards."""
@@ -197,6 +209,35 @@ class ShardedEngine:
         """Approximate summed MinSigTree size across shards."""
         self._require_built()
         return sum(shard.index_size_bytes() for shard in self._shards)
+
+    def runtime_stats(self) -> Dict[str, object]:
+        """Operational counters for serving dashboards (``/v1/stats``).
+
+        The sharded counterpart of
+        :meth:`~repro.core.engine.TraceQueryEngine.runtime_stats`: per-shard
+        entity counts, the summed loose-operation counter (retraction
+        looseness across every shard's tree), and the deployment-level
+        cache snapshot (shards run uncached by construction).
+        """
+        built = self.is_built
+        stats: Dict[str, object] = {
+            "kind": "sharded",
+            "built": built,
+            "entities": self.dataset.num_entities,
+            "presences": self.dataset.num_presences,
+            "num_shards": self.num_shards,
+            "partitioner": self.partitioner.kind,
+            "shard_sizes": (
+                [shard.dataset.num_entities for shard in self._shards] if built else []
+            ),
+            "loose_operations": (
+                sum(shard.tree.loose_operations for shard in self._shards) if built else 0
+            ),
+            "index_size_bytes": self.index_size_bytes() if built else 0,
+        }
+        cache = self._query_cache
+        stats["cache"] = cache.stats_snapshot() if cache is not None else None
+        return stats
 
     def _require_built(self) -> None:
         if not self._shards:

@@ -20,7 +20,7 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional
 
 from repro.core.engine import ExpiryReport
 from repro.streaming.window import SlidingWindow, StreamingEngine
@@ -181,6 +181,19 @@ class EventIngestor:
         self.stats = IngestStats()
         self._buffer: List[PresenceInstance] = []
         self._watermark = 0
+        self._flush_hooks: List[Callable[[FlushReport], None]] = []
+
+    def add_flush_hook(self, hook: Callable[[FlushReport], None]) -> None:
+        """Register a callback invoked with every :class:`FlushReport`.
+
+        Hooks run at the end of :meth:`flush` -- after the engine was
+        updated and the window advanced, including for empty flushes -- in
+        registration order, on the flushing thread.  The serving daemon
+        uses this to feed its metrics (events flushed, flush latency,
+        expiries) without the ingestor knowing about the server; a hook
+        must not submit events or flush recursively.
+        """
+        self._flush_hooks.append(hook)
 
     @property
     def watermark(self) -> int:
@@ -258,6 +271,8 @@ class EventIngestor:
             self.stats.entities_reindexed += len(report.affected_entities)
         self.stats.events_dropped_late += report.dropped_late
         self.stats.seconds_in_flush += report.seconds
+        for hook in self._flush_hooks:
+            hook(report)
         return report
 
     def close(self) -> FlushReport:

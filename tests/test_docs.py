@@ -1,19 +1,24 @@
 """Documentation verification: doctests, runnable markdown examples, links.
 
-Three contracts keep the docs from rotting:
+Four contracts keep the docs from rotting:
 
 1. every doctest in the public-API modules passes (and the key classes
    actually carry one);
 2. every ``python`` code block in README.md and docs/*.md executes --
    blocks run top-to-bottom per file in one shared namespace, like a
    notebook, inside a temporary working directory;
-3. every intra-repo markdown link resolves to an existing file.
+3. every intra-repo markdown link resolves to an existing file;
+4. every public class, function, and method of the serving-facing
+   packages (``repro.server``, ``repro.service``, ``repro.streaming``)
+   carries a docstring.
 
 The CI docs job runs exactly this module.
 """
 
 import doctest
 import importlib
+import inspect
+import pkgutil
 import re
 from pathlib import Path
 
@@ -30,6 +35,10 @@ DOCTEST_MODULES = [
     "repro.core.minsigtree",
     "repro.core.query",
     "repro.core.signatures",
+    "repro.server.app",
+    "repro.server.coalescer",
+    "repro.server.metrics",
+    "repro.server.protocol",
     "repro.service.cache",
     "repro.service.partition",
     "repro.service.sharded",
@@ -45,10 +54,63 @@ DOCTEST_MODULES = [
 MUST_HAVE_EXAMPLES = {
     "repro.core.engine",       # EngineConfig + TraceQueryEngine + save/load
     "repro.core.query",        # TopKSearcher
+    "repro.server.app",        # TraceServer end-to-end (transport-free)
+    "repro.server.coalescer",  # RequestCoalescer
     "repro.service.sharded",   # ShardedEngine
     "repro.streaming.ingestor",
     "repro.streaming.window",
 }
+
+#: Packages whose entire public surface must be docstring-covered: every
+#: public module-level class and function, and every public method defined
+#: on a public class (inherited members are the parent's responsibility).
+DOCSTRING_COVERED_PACKAGES = ["repro.server", "repro.service", "repro.streaming"]
+
+
+def _docstring_covered_modules():
+    modules = []
+    for package_name in DOCSTRING_COVERED_PACKAGES:
+        package = importlib.import_module(package_name)
+        modules.append(package_name)
+        for info in pkgutil.iter_modules(package.__path__):
+            if not info.name.startswith("_"):
+                modules.append(f"{package_name}.{info.name}")
+    return modules
+
+
+class TestDocstringCoverage:
+    @pytest.mark.parametrize("module_name", _docstring_covered_modules())
+    def test_public_api_is_docstring_covered(self, module_name):
+        module = importlib.import_module(module_name)
+        missing = []
+        if not (module.__doc__ or "").strip():
+            missing.append(module_name)
+        for name, member in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(member) or inspect.isfunction(member)):
+                continue
+            if getattr(member, "__module__", None) != module_name:
+                continue  # re-exports are covered where they are defined
+            if not (member.__doc__ or "").strip():
+                missing.append(f"{module_name}.{name}")
+            if inspect.isclass(member):
+                for attr_name, attr in vars(member).items():
+                    if attr_name.startswith("_"):
+                        continue
+                    if isinstance(attr, property):
+                        target = attr.fget
+                    elif isinstance(attr, (staticmethod, classmethod)):
+                        target = attr.__func__
+                    elif inspect.isfunction(attr):
+                        target = attr
+                    else:
+                        continue  # data attributes, dataclass defaults, ...
+                    if target is None or not (target.__doc__ or "").strip():
+                        missing.append(f"{module_name}.{name}.{attr_name}")
+        assert not missing, (
+            "public API members without a docstring: " + ", ".join(sorted(missing))
+        )
 
 MARKDOWN_FILES = [REPO_ROOT / "README.md"] + sorted((REPO_ROOT / "docs").glob("*.md"))
 

@@ -1,0 +1,829 @@
+"""Tests for the serving daemon (repro.server): protocol, coalescer,
+metrics, the transport-free TraceServer core, the HTTP layer, and the
+``repro serve`` CLI error paths."""
+
+import http.client
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.core.engine import TraceQueryEngine
+from repro.server.app import TraceServer, build_http_server
+from repro.server.coalescer import QueueFullError, RequestCoalescer
+from repro.server.metrics import LATENCY_BUCKETS_MS, LatencyHistogram, ServerMetrics
+from repro.server.protocol import (
+    ProtocolError,
+    dumps,
+    parse_events_request,
+    parse_topk_request,
+    topk_result_payload,
+)
+from repro.service.sharded import ShardedEngine
+from repro.streaming.ingestor import StreamingConfig
+from repro.traces.dataset import TraceDataset
+from repro.traces.events import PresenceInstance
+from repro.traces.spatial import SpatialHierarchy
+
+
+def small_dataset() -> TraceDataset:
+    hierarchy = SpatialHierarchy.regular([2, 3])
+    dataset = TraceDataset(hierarchy, horizon=48)
+    for index in range(12):
+        unit = f"u2_{index % 2}_{index % 3}"
+        dataset.add_record(f"e{index:02d}", unit, time=(index % 5) * 3, duration=3)
+        dataset.add_record(f"e{index:02d}", "u2_0_0", time=30, duration=2)
+    return dataset
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return TraceQueryEngine(small_dataset(), num_hashes=32, seed=5).build()
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+class TestTopKRequestParsing:
+    def test_single_form(self):
+        request = parse_topk_request({"entity": "e01", "k": 3, "approximation": 0.5})
+        assert request.entities == ["e01"]
+        assert request.k == 3
+        assert request.approximation == 0.5
+        assert not request.batch
+
+    def test_batch_form_defaults(self):
+        request = parse_topk_request({"entities": ["a", "b"]})
+        assert request.entities == ["a", "b"]
+        assert request.k == 10
+        assert request.batch
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],
+            "x",
+            {},
+            {"entity": "a", "entities": ["b"]},
+            {"entity": ""},
+            {"entity": 7},
+            {"entities": []},
+            {"entities": "abc"},
+            {"entities": ["a", 3]},
+            {"entity": "a", "k": 0},
+            {"entity": "a", "k": True},
+            {"entity": "a", "k": "many"},
+            {"entity": "a", "approximation": -0.1},
+            {"entity": "a", "approximation": "lots"},
+            # json.loads accepts the non-standard NaN/Infinity literals; a
+            # NaN slack would defeat every pruning comparison (exhaustive
+            # scan per query), Infinity returns arbitrary results.
+            {"entity": "a", "approximation": float("nan")},
+            {"entity": "a", "approximation": float("inf")},
+            {"entity": "a", "unknown_knob": 1},
+        ],
+    )
+    def test_rejects_malformed(self, payload):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_topk_request(payload)
+        assert excinfo.value.status == 400
+
+    def test_oversized_batch_is_413(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_topk_request({"entities": ["e"] * 5000})
+        assert excinfo.value.status == 413
+
+
+class TestEventsRequestParsing:
+    def test_events_and_flush(self):
+        request = parse_events_request(
+            {
+                "events": [{"entity": "a", "unit": "u", "start": 0, "end": 2}],
+                "flush": True,
+            }
+        )
+        assert request.events == [PresenceInstance("a", "u", 0, 2)]
+        assert request.flush
+
+    def test_empty_flush_only(self):
+        request = parse_events_request({"flush": True})
+        assert request.events == []
+        assert request.flush
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"events": "nope"},
+            {"events": [{"entity": "a", "unit": "u", "start": 0}]},
+            {"events": [{"entity": "a", "unit": "u", "start": 0, "end": 0}]},
+            {"events": [{"entity": "a", "unit": "u", "start": -1, "end": 2}]},
+            {"events": [{"entity": "a", "unit": "u", "start": "x", "end": 2}]},
+            {"events": [{"entity": "", "unit": "u", "start": 0, "end": 2}]},
+            {"events": [{"entity": "a", "unit": "u", "start": 0, "end": 2, "extra": 1}]},
+            {"events": [], "flush": "yes"},
+            {"events": [], "extra": True},
+        ],
+    )
+    def test_rejects_malformed(self, payload):
+        with pytest.raises(ProtocolError):
+            parse_events_request(payload)
+
+
+class TestPayloads:
+    def test_dumps_is_canonical(self):
+        assert dumps({"b": 1, "a": 2}) == b'{"a":2,"b":1}\n'
+
+    def test_topk_result_payload_shape(self, engine):
+        payload = topk_result_payload(engine.top_k("e00", k=2))
+        assert payload["query"] == "e00"
+        assert all(set(row) == {"entity", "score"} for row in payload["results"])
+        assert {"entities_scored", "population"} <= set(payload["stats"])
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_histogram_buckets_are_le_semantics(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.0004)  # 0.4 ms -> first bucket (<= 0.5 ms)
+        histogram.observe(0.001)   # exactly 1 ms -> le_1ms
+        histogram.observe(99.0)    # far beyond the last edge -> le_inf
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 3
+        assert snapshot["buckets"]["le_0.5ms"] == 1
+        assert snapshot["buckets"]["le_1ms"] == 1
+        assert snapshot["buckets"]["le_inf"] == 1
+        assert snapshot["max_ms"] == pytest.approx(99000.0)
+        assert len(snapshot["buckets"]) == len(LATENCY_BUCKETS_MS) + 1
+
+    def test_server_metrics_aggregates_by_endpoint_and_status(self):
+        metrics = ServerMetrics()
+        metrics.observe("/v1/topk", status=200, seconds=0.001)
+        metrics.observe("/v1/topk", status=404, seconds=0.001)
+        metrics.observe("/v1/healthz", status=200, seconds=0.0001)
+        snapshot = metrics.snapshot()
+        assert snapshot["/v1/topk"]["requests"] == 2
+        assert snapshot["/v1/topk"]["status"] == {"200": 1, "404": 1}
+        assert snapshot["/v1/healthz"]["latency"]["count"] == 1
+
+    def test_concurrent_observations_are_not_lost(self):
+        metrics = ServerMetrics()
+
+        def hammer():
+            for _ in range(500):
+                metrics.observe("/v1/topk", status=200, seconds=0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.snapshot()["/v1/topk"]["requests"] == 4000
+
+
+# ----------------------------------------------------------------------
+# Coalescer
+# ----------------------------------------------------------------------
+class TestCoalescer:
+    def test_results_match_direct_topk(self, engine):
+        with RequestCoalescer(engine, threading.Lock()) as coalescer:
+            for entity in ("e00", "e05", "e11"):
+                assert (
+                    coalescer.submit(entity, k=3).items
+                    == engine.top_k(entity, k=3).items
+                )
+
+    def test_concurrent_submissions_coalesce(self, engine):
+        coalescer = RequestCoalescer(
+            engine, threading.Lock(), window_seconds=0.05, max_batch=64
+        )
+        results = {}
+        barrier = threading.Barrier(8)
+
+        def query(entity):
+            barrier.wait()
+            results[entity] = coalescer.submit(entity, k=2)
+
+        threads = [
+            threading.Thread(target=query, args=(f"e{index:02d}",)) for index in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        coalescer.close()
+        assert len(results) == 8
+        for entity, result in results.items():
+            assert result.items == engine.top_k(entity, k=2).items
+        # 8 queries released together inside one 50 ms window must share
+        # dispatch rounds: strictly fewer batches than queries.
+        assert coalescer.stats.batches < 8
+        assert coalescer.stats.coalesced > 0
+
+    def test_mixed_k_groups_still_answer_correctly(self, engine):
+        coalescer = RequestCoalescer(engine, threading.Lock(), window_seconds=0.05)
+        results = {}
+        barrier = threading.Barrier(4)
+
+        def query(entity, k):
+            barrier.wait()
+            results[(entity, k)] = coalescer.submit(entity, k=k)
+
+        threads = [
+            threading.Thread(target=query, args=(f"e{index:02d}", 1 + index % 2))
+            for index in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        coalescer.close()
+        for (entity, k), result in results.items():
+            assert result.items == engine.top_k(entity, k=k).items
+
+    def test_unknown_entity_raises_keyerror_without_poisoning_batch(self, engine):
+        coalescer = RequestCoalescer(engine, threading.Lock(), window_seconds=0.05)
+        outcomes = {}
+        barrier = threading.Barrier(3)
+
+        def query(entity):
+            barrier.wait()
+            try:
+                outcomes[entity] = coalescer.submit(entity, k=2)
+            except KeyError as exc:
+                outcomes[entity] = exc
+
+        threads = [
+            threading.Thread(target=query, args=(entity,))
+            for entity in ("e00", "ghost", "e03")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        coalescer.close()
+        assert isinstance(outcomes["ghost"], KeyError)
+        assert outcomes["e00"].items == engine.top_k("e00", k=2).items
+        assert outcomes["e03"].items == engine.top_k("e03", k=2).items
+
+    def test_queue_overflow_raises(self, engine):
+        lock = threading.Lock()
+        coalescer = RequestCoalescer(
+            engine, lock, window_seconds=0.0, max_pending=1, max_batch=1
+        )
+        outcomes = []
+        outcomes_lock = threading.Lock()
+
+        def worker():
+            try:
+                coalescer.submit("e00", k=1)
+                outcome = "ok"
+            except QueueFullError:
+                outcome = "full"
+            with outcomes_lock:
+                outcomes.append(outcome)
+
+        # Starve the dispatcher by holding the engine lock: it can absorb at
+        # most one in-flight query, the bounded queue holds one more, and
+        # every further submission must be rejected.
+        with lock:
+            threads = [threading.Thread(target=worker, daemon=True) for _ in range(10)]
+            for thread in threads:
+                thread.start()
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                with outcomes_lock:
+                    if outcomes.count("full") >= 8:
+                        break
+                time.sleep(0.002)
+        for thread in threads:
+            thread.join(timeout=5)
+        coalescer.close()
+        assert outcomes.count("full") >= 8
+        assert outcomes.count("ok") >= 1
+        assert coalescer.stats.rejected >= 8
+
+    def test_submit_after_close_raises(self, engine):
+        coalescer = RequestCoalescer(engine, threading.Lock())
+        coalescer.close()
+        with pytest.raises(RuntimeError):
+            coalescer.submit("e00")
+
+    def test_validates_parameters(self, engine):
+        lock = threading.Lock()
+        with pytest.raises(ValueError):
+            RequestCoalescer(engine, lock, window_seconds=-1)
+        with pytest.raises(ValueError):
+            RequestCoalescer(engine, lock, max_pending=0)
+        with pytest.raises(ValueError):
+            RequestCoalescer(engine, lock, max_batch=0)
+
+
+# ----------------------------------------------------------------------
+# TraceServer core (transport-free)
+# ----------------------------------------------------------------------
+class TestTraceServer:
+    @pytest.fixture
+    def server(self):
+        engine = TraceQueryEngine(
+            small_dataset(), num_hashes=32, seed=5, query_cache_size=16
+        ).build()
+        server = TraceServer(engine, coalesce_window=0.0)
+        yield server
+        server.close()
+
+    def test_requires_built_engine(self):
+        with pytest.raises(ValueError):
+            TraceServer(TraceQueryEngine(small_dataset(), num_hashes=8))
+
+    def test_topk_single_matches_engine(self, server):
+        status, payload = server.handle_topk({"entity": "e00", "k": 3})
+        assert status == 200
+        direct = server.engine.top_k("e00", k=3)
+        assert payload == topk_result_payload(direct)
+
+    def test_topk_batch_matches_engine_and_skips_coalescer(self, server):
+        entities = ["e00", "e03", "e07"]
+        status, payload = server.handle_topk({"entities": entities, "k": 2})
+        assert status == 200
+        assert payload == {
+            "results": [
+                topk_result_payload(server.engine.top_k(entity, k=2))
+                for entity in entities
+            ]
+        }
+        # Batch requests dispatch directly as one top_k_batch call under
+        # the engine lock, not entity-by-entity through the coalescer.
+        assert server.coalescer.stats.submitted == 0
+
+    def test_topk_batch_unknown_entity_is_404(self, server):
+        status, payload = server.handle_topk({"entities": ["e00", "ghost"]})
+        assert status == 404
+        assert "ghost" in payload["error"]
+
+    def test_topk_unknown_entity_is_404(self, server):
+        status, payload = server.handle_topk({"entity": "ghost"})
+        assert status == 404
+        assert "ghost" in payload["error"]
+
+    def test_topk_malformed_is_400(self, server):
+        status, payload = server.handle_topk({"k": 3})
+        assert status == 400
+        assert "error" in payload
+
+    def test_events_buffer_then_flush(self, server):
+        status, payload = server.handle_events(
+            {"events": [{"entity": "new", "unit": "u2_0_0", "start": 1, "end": 4}]}
+        )
+        assert status == 200
+        assert payload == {
+            "accepted": 1, "buffered": 1, "flushed_events": 0, "dropped_late": 0,
+        }
+        # Buffered events are invisible to queries until a flush.
+        assert server.handle_topk({"entity": "new"})[0] == 404
+        status, payload = server.handle_events({"flush": True})
+        assert status == 200
+        assert payload["flushed_events"] == 1
+        assert payload["affected_entities"] == ["new"]
+        assert server.handle_topk({"entity": "new"})[0] == 200
+
+    def test_events_reject_unknown_unit_atomically(self, server):
+        status, payload = server.handle_events(
+            {
+                "events": [
+                    {"entity": "a", "unit": "u2_0_0", "start": 1, "end": 2},
+                    {"entity": "b", "unit": "mars", "start": 1, "end": 2},
+                ]
+            }
+        )
+        assert status == 400
+        assert "mars" in payload["error"]
+        # Nothing from the rejected batch was buffered.
+        assert server.ingestor.buffered_events == 0
+
+    def test_events_reject_non_base_unit(self, server):
+        status, payload = server.handle_events(
+            {"events": [{"entity": "a", "unit": "u1_0", "start": 1, "end": 2}]}
+        )
+        assert status == 400
+        assert "base unit" in payload["error"]
+
+    def test_events_reject_period_beyond_horizon(self, server):
+        # The horizon bound is load-bearing: signature work is O(duration)
+        # under the engine lock, and a far-future end would poison the
+        # monotone watermark of a windowed deployment.
+        status, payload = server.handle_events(
+            {"events": [{"entity": "a", "unit": "u2_0_0", "start": 0, "end": 10**6}]}
+        )
+        assert status == 400
+        assert "beyond the served horizon" in payload["error"]
+        assert server.ingestor.buffered_events == 0
+
+    def test_windowed_late_arrivals_are_reported_in_the_response(self):
+        engine = TraceQueryEngine(small_dataset(), num_hashes=32, seed=5).build()
+        with TraceServer(
+            engine, streaming=StreamingConfig(max_batch_events=100, window=10)
+        ) as server:
+            status, payload = server.handle_events(
+                {
+                    "events": [
+                        {"entity": "now", "unit": "u2_0_0", "start": 40, "end": 44}
+                    ],
+                    "flush": True,
+                }
+            )
+            assert (status, payload["dropped_late"]) == (200, 0)
+            # end=2 is already outside [watermark - window, ...) = [34, ...)
+            status, payload = server.handle_events(
+                {
+                    "events": [
+                        {"entity": "old", "unit": "u2_0_0", "start": 1, "end": 2}
+                    ],
+                    "flush": True,
+                }
+            )
+            assert status == 200
+            assert payload["accepted"] == 1
+            assert payload["flushed_events"] == 0
+            assert payload["dropped_late"] == 1
+            assert "old" not in engine.dataset
+
+    def test_healthz(self, server):
+        status, payload = server.handle_healthz()
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["entities"] == 12
+        assert payload["uptime_seconds"] >= 0
+
+    def test_stats_sections(self, server):
+        server.handle_topk({"entity": "e00"})
+        server.handle_topk({"entity": "e00"})
+        status, payload = server.handle_stats()
+        assert status == 200
+        assert set(payload) == {
+            "engine", "ingest", "coalescer", "endpoints", "uptime_seconds",
+        }
+        assert payload["engine"]["kind"] == "single"
+        assert payload["engine"]["cache"]["hits"] >= 1
+        assert payload["coalescer"]["submitted"] == 2
+        assert payload["ingest"]["events_submitted"] == 0
+
+    def test_stats_shard_sizes_for_sharded_engine(self):
+        engine = ShardedEngine(
+            small_dataset(), num_shards=3, num_hashes=32, seed=5, query_cache_size=16
+        ).build()
+        with TraceServer(engine, coalesce_window=0.0) as server:
+            status, payload = server.handle_stats()
+        assert status == 200
+        assert payload["engine"]["kind"] == "sharded"
+        assert len(payload["engine"]["shard_sizes"]) == 3
+        assert sum(payload["engine"]["shard_sizes"]) == 12
+        assert payload["engine"]["loose_operations"] == 0
+
+    def test_close_flushes_buffered_events(self):
+        engine = TraceQueryEngine(small_dataset(), num_hashes=32, seed=5).build()
+        server = TraceServer(engine, streaming=StreamingConfig(max_batch_events=100))
+        server.handle_events(
+            {"events": [{"entity": "tail", "unit": "u2_0_0", "start": 1, "end": 3}]}
+        )
+        assert "tail" not in engine.dataset
+        server.close()
+        assert "tail" in engine.dataset
+        # Idempotent.
+        server.close()
+
+    def test_events_rejected_while_closed(self, server):
+        server.close()
+        status, payload = server.handle_events({"flush": True})
+        assert status == 503
+
+    def test_topk_rejected_while_closed_in_both_forms(self, server):
+        server.close()
+        assert server.handle_topk({"entity": "e00"})[0] == 503
+        assert server.handle_topk({"entities": ["e00"], "k": 1})[0] == 503
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+class _Daemon:
+    """A live daemon on an ephemeral port, with a tiny JSON client."""
+
+    def __init__(self, engine, **server_kwargs):
+        self.trace_server = TraceServer(engine, **server_kwargs)
+        self.httpd = build_http_server(self.trace_server, port=0)
+        self.port = self.httpd.server_address[1]
+        self.thread = threading.Thread(target=self.httpd.serve_forever, daemon=True)
+        self.thread.start()
+
+    def request(self, method, path, payload=None):
+        connection = http.client.HTTPConnection("127.0.0.1", self.port, timeout=10)
+        try:
+            body = None if payload is None else json.dumps(payload)
+            connection.request(
+                method, path, body=body, headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            raw = response.read()
+            return response.status, json.loads(raw)
+        finally:
+            connection.close()
+
+    def close(self):
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.trace_server.close()
+        self.thread.join(timeout=5)
+
+
+@pytest.fixture
+def daemon():
+    engine = TraceQueryEngine(
+        small_dataset(), num_hashes=32, seed=5, query_cache_size=16
+    ).build()
+    daemon = _Daemon(engine, coalesce_window=0.0)
+    yield daemon
+    daemon.close()
+
+
+class TestHTTP:
+    def test_topk_roundtrip(self, daemon):
+        status, payload = daemon.request("POST", "/v1/topk", {"entity": "e00", "k": 2})
+        assert status == 200
+        expected = topk_result_payload(daemon.trace_server.engine.top_k("e00", k=2))
+        assert payload == json.loads(dumps(expected))
+
+    def test_events_then_query(self, daemon):
+        status, payload = daemon.request(
+            "POST",
+            "/v1/events",
+            {
+                "events": [
+                    {"entity": "fresh", "unit": "u2_1_1", "start": 2, "end": 6},
+                    {"entity": "e00", "unit": "u2_1_1", "start": 2, "end": 6},
+                ],
+                "flush": True,
+            },
+        )
+        assert status == 200
+        assert payload["flushed_events"] == 2
+        status, payload = daemon.request("POST", "/v1/topk", {"entity": "fresh", "k": 1})
+        assert status == 200
+        expected = daemon.trace_server.engine.top_k("fresh", k=1)
+        assert payload["results"][0]["entity"] == expected.entities[0]
+
+    def test_healthz_and_stats(self, daemon):
+        assert daemon.request("GET", "/v1/healthz")[0] == 200
+        daemon.request("POST", "/v1/topk", {"entity": "e01"})
+        status, payload = daemon.request("GET", "/v1/stats")
+        assert status == 200
+        assert payload["endpoints"]["/v1/topk"]["requests"] == 1
+        assert payload["endpoints"]["/v1/topk"]["status"]["200"] == 1
+
+    def test_error_statuses(self, daemon):
+        assert daemon.request("POST", "/v1/topk", {"entity": "ghost"})[0] == 404
+        assert daemon.request("POST", "/v1/topk", {"bad": 1})[0] == 400
+        assert daemon.request("GET", "/v1/nope")[0] == 404
+        assert daemon.request("GET", "/v1/topk")[0] == 405
+        assert daemon.request("POST", "/v1/unknown", {})[0] == 404
+
+    def test_unrouted_paths_share_one_metrics_key(self, daemon):
+        for suffix in ("a", "b", "c"):
+            assert daemon.request("GET", f"/v1/scan-{suffix}")[0] == 404
+        assert daemon.request("POST", "/v1/also-unknown", {})[0] == 404
+        # Query strings are stripped both for routing and for metrics keys.
+        assert daemon.request("GET", "/v1/healthz?probe=1")[0] == 200
+        snapshot = daemon.trace_server.metrics.snapshot()
+        assert snapshot["other"]["requests"] == 4
+        assert snapshot["/v1/healthz"]["requests"] == 1
+        assert set(snapshot) <= {
+            "/v1/topk", "/v1/events", "/v1/healthz", "/v1/stats", "other",
+        }
+
+    def test_invalid_json_body_is_400(self, daemon):
+        connection = http.client.HTTPConnection("127.0.0.1", daemon.port, timeout=10)
+        try:
+            connection.request(
+                "POST",
+                "/v1/topk",
+                body="{nope",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            assert b"not valid JSON" in response.read()
+        finally:
+            connection.close()
+
+    def test_unread_body_closes_the_keepalive_connection(self, daemon):
+        # A 413 (body never read) must not leave a keep-alive connection
+        # desynchronised -- the unread bytes would otherwise be parsed as
+        # the next request line.
+        connection = http.client.HTTPConnection("127.0.0.1", daemon.port, timeout=10)
+        try:
+            connection.putrequest("POST", "/v1/topk")
+            connection.putheader("Content-Type", "application/json")
+            connection.putheader("Content-Length", str(99999999999))
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 413
+            assert response.getheader("Connection") == "close"
+            response.read()
+        finally:
+            connection.close()
+        # A fresh connection keeps working.
+        assert daemon.request("GET", "/v1/healthz")[0] == 200
+
+    def test_get_with_a_body_closes_the_connection(self, daemon):
+        connection = http.client.HTTPConnection("127.0.0.1", daemon.port, timeout=10)
+        try:
+            connection.request("GET", "/v1/healthz", body="stray body")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert response.getheader("Connection") == "close"
+            response.read()
+        finally:
+            connection.close()
+
+    def test_unknown_post_path_is_404_even_with_garbage_body(self, daemon):
+        connection = http.client.HTTPConnection("127.0.0.1", daemon.port, timeout=10)
+        try:
+            connection.request(
+                "POST",
+                "/v1/not-an-endpoint",
+                body="not json at all",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 404
+            assert b"unknown path" in response.read()
+        finally:
+            connection.close()
+
+    def test_admission_control_returns_429(self):
+        engine = TraceQueryEngine(small_dataset(), num_hashes=32, seed=5).build()
+        daemon = _Daemon(
+            engine, coalesce_window=0.0, max_pending=1, max_batch=1
+        )
+        try:
+            statuses = []
+            lock = daemon.trace_server.engine_lock
+            with lock:
+                # With the engine lock held the dispatcher cannot finish a
+                # round, so concurrent requests pile into the bounded queue.
+                threads = []
+                collected = threading.Lock()
+
+                def fire():
+                    status, _ = daemon.request(
+                        "POST", "/v1/topk", {"entity": "e00", "k": 1}
+                    )
+                    with collected:
+                        statuses.append(status)
+
+                for _ in range(8):
+                    thread = threading.Thread(target=fire)
+                    thread.start()
+                    threads.append(thread)
+                deadline = time.monotonic() + 5.0
+                while len(statuses) < 6 and time.monotonic() < deadline:
+                    time.sleep(0.005)
+            for thread in threads:
+                thread.join(timeout=5)
+            assert 429 in statuses
+            assert statuses.count(200) >= 1
+        finally:
+            daemon.close()
+
+
+# ----------------------------------------------------------------------
+# CLI error paths (satellite: serve-adjacent errors exit 2, no traceback)
+# ----------------------------------------------------------------------
+class TestServeCLIErrors:
+    def test_missing_snapshot_exits_2(self, tmp_path, capsys):
+        assert main(["serve", "--snapshot", str(tmp_path / "nope")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_corrupt_snapshot_exits_2(self, tmp_path, capsys):
+        snapshot = tmp_path / "corrupt"
+        snapshot.mkdir()
+        (snapshot / "manifest.json").write_text("{broken")
+        assert main(["serve", "--snapshot", str(snapshot)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_port_in_use_exits_2(self, tmp_path, capsys):
+        engine = TraceQueryEngine(small_dataset(), num_hashes=16, seed=5).build()
+        snapshot = tmp_path / "snap"
+        engine.save(snapshot)
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            port = blocker.getsockname()[1]
+            code = main(["serve", "--snapshot", str(snapshot), "--port", str(port)])
+        finally:
+            blocker.close()
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot bind" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["serve"],
+            ["serve", "--snapshot", "s", "--traces", "t", "--hierarchy", "h"],
+            ["serve", "--traces", "t"],
+            ["serve", "--snapshot", "s", "--port", "70000"],
+            ["serve", "--snapshot", "s", "--port", "-1"],
+            ["serve", "--snapshot", "s", "--shards", "2"],
+            ["serve", "--snapshot", "s", "--num-hashes", "64"],
+            ["serve", "--snapshot", "s", "--horizon", "99"],
+            ["serve", "--snapshot", "s", "--coalesce-window", "-1"],
+            ["serve", "--snapshot", "s", "--max-pending", "0"],
+            ["serve", "--snapshot", "s", "--max-batch", "0"],
+            ["serve", "--snapshot", "s", "--batch-size", "0"],
+            ["serve", "--snapshot", "s", "--window", "-1"],
+            ["serve", "--snapshot", "s", "--compact-every", "-1"],
+            ["serve", "--snapshot", "s", "--cache", "-1"],
+            ["serve", "--snapshot", "s", "--partitioner", "hash"],
+        ],
+    )
+    def test_invalid_options_exit_2(self, argv, capsys):
+        assert main(argv) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_index_build_horizon_carries_into_served_snapshot(self, tmp_path):
+        # The remedy the /v1/events beyond-horizon error prescribes for
+        # snapshot deployments must actually exist: `index build --horizon`
+        # over-provisions the hash range, and the snapshot serves it.
+        traces = tmp_path / "t.csv"
+        hierarchy = tmp_path / "h.json"
+        assert (
+            main(
+                [
+                    "generate", "syn", "--entities", "20", "--horizon", "48",
+                    "--seed", "3", "--output", str(traces),
+                    "--hierarchy", str(hierarchy),
+                ]
+            )
+            == 0
+        )
+        snapshot = tmp_path / "snap"
+        assert (
+            main(
+                [
+                    "index", "build", "--traces", str(traces),
+                    "--hierarchy", str(hierarchy), "--output", str(snapshot),
+                    "--num-hashes", "16", "--horizon", "500",
+                ]
+            )
+            == 0
+        )
+        engine = TraceQueryEngine.load(snapshot)
+        assert engine.dataset.horizon == 500
+        with TraceServer(engine, coalesce_window=0.0) as server:
+            unit = engine.dataset.trace(next(iter(engine.dataset.entities)))[0].unit
+            status, payload = server.handle_events(
+                {
+                    "events": [
+                        {"entity": "late", "unit": unit, "start": 400, "end": 404}
+                    ],
+                    "flush": True,
+                }
+            )
+        assert (status, payload["affected_entities"]) == (200, ["late"])
+
+    def test_index_build_rejects_bad_horizon(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "index", "build", "--traces", "t", "--hierarchy", "h",
+                    "--output", str(tmp_path / "s"), "--horizon", "0",
+                ]
+            )
+            == 2
+        )
+        assert "--horizon must be >= 1" in capsys.readouterr().err
+
+    def test_unreadable_traces_exit_2(self, tmp_path, capsys):
+        hierarchy = tmp_path / "h.json"
+        hierarchy.write_text("{}")
+        assert (
+            main(
+                [
+                    "serve",
+                    "--traces",
+                    str(tmp_path / "missing.csv"),
+                    "--hierarchy",
+                    str(hierarchy),
+                ]
+            )
+            == 2
+        )
+        assert capsys.readouterr().err.startswith("error:")

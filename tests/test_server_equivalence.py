@@ -1,0 +1,239 @@
+"""Concurrency-equivalence of the serving daemon (acceptance criterion).
+
+N client threads issue interleaved ``/v1/topk`` and ``/v1/events`` requests
+against a live daemon -- coalescing on, query cache on -- and every response
+body must be **byte-identical** to the canonical encoding of the same
+operation sequence applied serially to an in-process engine.
+
+Determinism is arranged the way a real deployment gets it, not by luck:
+
+* the run is split into *phases*; within a phase, threads concurrently mix
+  event appends (buffered -- the micro-batch is larger than a phase's event
+  count, so nothing flushes mid-phase) with top-k queries, which therefore
+  all observe the stable pre-phase index -- the daemon's documented
+  consistency model (queries see flushed data only);
+* a barrier then closes the phase with one explicit flush, and the serial
+  reference applies the same events and flush;
+* events are partitioned by entity across threads, so each entity's records
+  arrive in trace order no matter how threads interleave;
+* engines run ``bound_mode="per_level"`` (the strictly admissible bound),
+  under which results are a theorem of the surviving data, independent of
+  update interleaving -- the same construction the streaming- and
+  sharded-equivalence suites pin.
+
+Runs for the single engine and a 2-shard deployment.
+"""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.core.engine import TraceQueryEngine
+from repro.server.app import TraceServer, build_http_server
+from repro.server.protocol import dumps, parse_topk_request, topk_payload
+from repro.service.sharded import ShardedEngine
+from repro.streaming.ingestor import EventIngestor, StreamingConfig
+from repro.traces.dataset import TraceDataset
+from repro.traces.events import PresenceInstance
+from repro.traces.spatial import SpatialHierarchy
+
+NUM_THREADS = 4
+NUM_PHASES = 3
+HORIZON = 96
+
+
+def base_dataset() -> TraceDataset:
+    hierarchy = SpatialHierarchy.regular([2, 3])
+    dataset = TraceDataset(hierarchy, horizon=HORIZON)
+    for index in range(18):
+        unit = f"u2_{index % 2}_{index % 3}"
+        dataset.add_record(f"seed-{index:02d}", unit, time=(index * 3) % 40, duration=4)
+        if index % 3 == 0:
+            dataset.add_record(f"seed-{index:02d}", "u2_0_1", time=44, duration=2)
+    return dataset
+
+
+def make_engine(kind: str):
+    dataset = base_dataset()
+    if kind == "sharded":
+        return ShardedEngine(
+            dataset,
+            num_shards=2,
+            num_hashes=32,
+            seed=9,
+            bound_mode="per_level",
+            query_cache_size=64,
+        ).build()
+    return TraceQueryEngine(
+        dataset, num_hashes=32, seed=9, bound_mode="per_level", query_cache_size=64
+    ).build()
+
+
+def phase_events(phase: int, thread: int):
+    """Thread ``thread``'s disjoint slice of phase ``phase``'s appends.
+
+    Entities are owned by exactly one thread (and new per phase), so the
+    per-entity record order is identical however threads interleave.
+    """
+    events = []
+    for number in range(3):
+        entity = f"p{phase}-t{thread}-{number}"
+        unit = f"u2_{(phase + thread) % 2}_{number % 3}"
+        start = 50 + phase * 10 + number
+        events.append(PresenceInstance(entity, unit, start, start + 3))
+    # Also touch a seed entity this thread owns, so updates hit warm
+    # cache entries, not only fresh entities.
+    touched = f"seed-{(thread * 5) % 18:02d}"
+    events.append(PresenceInstance(touched, "u2_1_2", 60 + phase, 63 + phase))
+    return events
+
+
+def phase_queries(phase: int, thread: int):
+    """The top-k queries thread ``thread`` issues during phase ``phase``.
+
+    Overlapping across threads on purpose: identical concurrent queries are
+    exactly what the coalescer and the cache must answer consistently.
+    """
+    queries = [("seed-00", 5), ("seed-07", 3), (f"seed-{(thread * 3) % 18:02d}", 5)]
+    if phase > 0:
+        queries.append((f"p{phase - 1}-t{thread}-0", 4))
+        queries.append((f"p{phase - 1}-t{(thread + 1) % NUM_THREADS}-1", 2))
+    return queries
+
+
+def serial_reference(kind: str):
+    """Apply the whole operation sequence serially, in-process.
+
+    Returns ``{(phase, entity, k): canonical response bytes}``.
+    """
+    engine = make_engine(kind)
+    ingestor = EventIngestor(engine, StreamingConfig(max_batch_events=10_000))
+    expected = {}
+    for phase in range(NUM_PHASES):
+        # Queries observe the pre-phase state (appends stay buffered).
+        for thread in range(NUM_THREADS):
+            for event in phase_events(phase, thread):
+                ingestor.submit(event)
+        for thread in range(NUM_THREADS):
+            for entity, k in phase_queries(phase, thread):
+                request = parse_topk_request({"entity": entity, "k": k})
+                result = engine.top_k(entity, k=k)
+                expected[(phase, entity, k)] = dumps(topk_payload(request, [result]))
+        ingestor.flush()
+    return expected
+
+
+@pytest.mark.parametrize("kind", ["single", "sharded"])
+def test_daemon_matches_serial_engine_byte_for_byte(kind):
+    expected = serial_reference(kind)
+
+    engine = make_engine(kind)
+    trace_server = TraceServer(
+        engine,
+        # The micro-batch far exceeds a phase's appends: nothing flushes
+        # until the explicit end-of-phase flush request.
+        streaming=StreamingConfig(max_batch_events=10_000),
+        coalesce_window=0.005,
+    )
+    httpd = build_http_server(trace_server, port=0)
+    port = httpd.server_address[1]
+    server_thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    server_thread.start()
+
+    def request_bytes(method, path, payload):
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            connection.request(
+                method,
+                path,
+                body=json.dumps(payload),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    observed = {}
+    observed_lock = threading.Lock()
+    errors = []
+    barrier = threading.Barrier(NUM_THREADS)
+
+    def client(thread: int) -> None:
+        try:
+            for phase in range(NUM_PHASES):
+                barrier.wait()
+                # Interleave: appends first for even threads, queries first
+                # for odd ones, so both orders race in every phase.
+                operations = [
+                    ("events", phase_events(phase, thread)),
+                    ("queries", phase_queries(phase, thread)),
+                ]
+                if thread % 2:
+                    operations.reverse()
+                for op, payload in operations:
+                    if op == "events":
+                        status, _ = request_bytes(
+                            "POST",
+                            "/v1/events",
+                            {
+                                "events": [
+                                    {
+                                        "entity": event.entity,
+                                        "unit": event.unit,
+                                        "start": event.start,
+                                        "end": event.end,
+                                    }
+                                    for event in payload
+                                ]
+                            },
+                        )
+                        assert status == 200
+                    else:
+                        for entity, k in payload:
+                            status, body = request_bytes(
+                                "POST", "/v1/topk", {"entity": entity, "k": k}
+                            )
+                            assert status == 200, body
+                            with observed_lock:
+                                # Two threads asking the same question in
+                                # the same phase must get the same bytes.
+                                previous = observed.get((phase, entity, k))
+                                assert previous is None or previous == body
+                                observed[(phase, entity, k)] = body
+                barrier.wait()
+                if thread == 0:
+                    # One explicit flush closes the phase for everyone.
+                    status, _ = request_bytes("POST", "/v1/events", {"flush": True})
+                    assert status == 200
+                barrier.wait()
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+            barrier.abort()
+
+    threads = [
+        threading.Thread(target=client, args=(thread,)) for thread in range(NUM_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    httpd.shutdown()
+    httpd.server_close()
+    trace_server.close()
+    server_thread.join(timeout=10)
+
+    assert not errors, errors
+    assert set(observed) == set(expected)
+    for key in expected:
+        assert observed[key] == expected[key], f"response diverged for {key}"
+    # The run must actually have exercised the machinery it claims to pin.
+    stats = trace_server.coalescer.stats
+    assert stats.submitted == len(
+        [query for phase in range(NUM_PHASES) for thread in range(NUM_THREADS)
+         for query in phase_queries(phase, thread)]
+    )
+    cache = engine.query_cache
+    assert cache is not None and cache.stats.lookups > 0
