@@ -1,0 +1,217 @@
+"""Query latency and throughput: columnar kernel vs reference traversal.
+
+This is the repo's top-level perf trajectory for the serving workload
+(ROADMAP north star): single-query latency percentiles, batch throughput,
+and entities-scored work counters, for the reference pointer-walking
+traversal vs the columnar kernel, on a single engine and a 2-shard
+deployment.  Results are written both to the standard benchmark results
+directory and -- as the machine-readable trajectory document -- to
+``BENCH_query.json`` at the repository root.
+
+Acceptance bars (checked by the standalone entry point's exit code):
+
+* columnar single-query p50 latency >= 3x faster than reference;
+* columnar batch throughput >= 5x the reference's.
+
+``--smoke`` runs a down-scaled version for CI: it only asserts that the
+columnar kernel is not slower than the reference (ratio >= 1.0), because
+hosted runners are too noisy for the full bars -- and it writes its
+document to ``benchmarks/results/query_latency_smoke.json`` so it can
+never clobber the committed repo-root trajectory.
+
+Run standalone (``python benchmarks/bench_query_latency.py [--smoke]``) or
+via pytest; both print the data table and write the JSON documents.
+"""
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.core.engine import TraceQueryEngine
+from repro.experiments.harness import ExperimentResult, resolve_scale
+from repro.experiments.workloads import sample_queries, syn_workload
+from repro.service.sharded import ShardedEngine
+
+from conftest import RESULTS_DIR, benchmark_scale
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_query.json"
+RESULTS_JSON = RESULTS_DIR / "query_latency.json"
+#: Smoke runs write their trajectory document here instead of BENCH_JSON,
+#: so a down-scaled CI/dev run can never clobber the committed repo-root
+#: trajectory measured on the default workload.
+SMOKE_JSON = RESULTS_DIR / "query_latency_smoke.json"
+
+#: Full-run acceptance bars (the smoke bar is just "not slower").
+SINGLE_SPEEDUP_TARGET = 3.0
+BATCH_SPEEDUP_TARGET = 5.0
+
+_K = 10
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    position = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[position]
+
+
+def _measure_engine(engine, queries, rounds):
+    """Per-query latency samples plus one batch-throughput measurement."""
+    latencies = []
+    entities_scored = 0
+    engine.top_k(queries[0], k=_K)  # warm the kernel/compile outside timing
+    for _ in range(rounds):
+        for query in queries:
+            started = time.perf_counter()
+            result = engine.top_k(query, k=_K)
+            latencies.append(time.perf_counter() - started)
+            entities_scored += result.stats.entities_scored
+    batch = engine.top_k_batch(queries, k=_K, workers=0)
+    return {
+        "queries_timed": len(latencies),
+        "latency_p50_ms": _percentile(latencies, 0.50) * 1000.0,
+        "latency_p95_ms": _percentile(latencies, 0.95) * 1000.0,
+        "latency_mean_ms": statistics.fmean(latencies) * 1000.0,
+        "single_qps": len(latencies) / sum(latencies),
+        "batch_qps": batch.queries_per_second,
+        "batch_seconds": batch.wall_seconds,
+        "entities_scored": entities_scored,
+    }
+
+
+def _engine_pair(dataset, num_shards, knobs):
+    """(reference, columnar) engines -- single or sharded -- over one dataset."""
+    if num_shards <= 1:
+        reference = TraceQueryEngine(dataset, columnar_queries=False, **knobs).build()
+        columnar = TraceQueryEngine(dataset, columnar_queries=True, **knobs).build()
+    else:
+        reference = ShardedEngine(
+            dataset, num_shards=num_shards, columnar_queries=False, **knobs
+        ).build()
+        columnar = ShardedEngine(
+            dataset, num_shards=num_shards, columnar_queries=True, **knobs
+        ).build()
+    return reference, columnar
+
+
+def run_query_latency(scale=None, rounds=None, smoke=False) -> ExperimentResult:
+    """Measure every (deployment, engine) combination and return the table."""
+    scale = resolve_scale(scale)
+    if rounds is None:
+        rounds = 1 if smoke else 3
+    dataset = syn_workload(scale)
+    knobs = dict(num_hashes=scale.default_hashes, seed=1)
+    queries = sample_queries(dataset, max(scale.num_queries, 8))
+
+    result = ExperimentResult(
+        name="query-latency (columnar vs reference)",
+        metadata={
+            "scale": scale.name,
+            "num_hashes": scale.default_hashes,
+            "entities": dataset.num_entities,
+            "presences": dataset.num_presences,
+            "queries": len(queries),
+            "rounds": rounds,
+            "k": _K,
+            "smoke": smoke,
+        },
+    )
+
+    document = {
+        "benchmark": "query_latency",
+        "workload": dict(result.metadata),
+        "deployments": {},
+    }
+    for num_shards, label in ((1, "single"), (2, "sharded-2")):
+        reference_engine, columnar_engine = _engine_pair(dataset, num_shards, knobs)
+        measurements = {}
+        for engine_label, engine in (
+            ("reference", reference_engine),
+            ("columnar", columnar_engine),
+        ):
+            measured = _measure_engine(engine, queries, rounds)
+            measurements[engine_label] = measured
+            result.add_row(deployment=label, engine=engine_label, **measured)
+        speedups = {
+            "latency_p50": (
+                measurements["reference"]["latency_p50_ms"]
+                / measurements["columnar"]["latency_p50_ms"]
+            ),
+            "latency_p95": (
+                measurements["reference"]["latency_p95_ms"]
+                / measurements["columnar"]["latency_p95_ms"]
+            ),
+            "batch_throughput": (
+                measurements["columnar"]["batch_qps"]
+                / measurements["reference"]["batch_qps"]
+            ),
+        }
+        result.add_row(deployment=label, engine="speedup", **speedups)
+        document["deployments"][label] = {**measurements, "speedup": speedups}
+
+    single = document["deployments"]["single"]["speedup"]
+    document["targets"] = {
+        "single_latency_p50_speedup": {
+            "target": 1.0 if smoke else SINGLE_SPEEDUP_TARGET,
+            "measured": single["latency_p50"],
+        },
+        "batch_throughput_speedup": {
+            "target": 1.0 if smoke else BATCH_SPEEDUP_TARGET,
+            "measured": single["batch_throughput"],
+        },
+    }
+    document["passed"] = all(
+        entry["measured"] >= entry["target"] for entry in document["targets"].values()
+    )
+    result.metadata["speedup_single_p50"] = single["latency_p50"]
+    result.metadata["speedup_batch"] = single["batch_throughput"]
+    result.metadata["passed"] = document["passed"]
+    result.metadata["document"] = document
+    return result
+
+
+def _finalise(result: ExperimentResult) -> ExperimentResult:
+    print()
+    print(result.to_table(max_rows=30))
+    document = result.metadata.pop("document")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    result.save_json(RESULTS_JSON)
+    document_path = SMOKE_JSON if result.metadata["smoke"] else BENCH_JSON
+    with open(document_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {RESULTS_JSON}")
+    print(f"wrote {document_path}")
+    for name, entry in document["targets"].items():
+        print(f"{name}: {entry['measured']:.2f}x (target {entry['target']:.1f}x)")
+    return result
+
+
+def test_columnar_not_slower_than_reference(benchmark):
+    """Pytest smoke: the columnar kernel must not lose to the reference."""
+    result = benchmark.pedantic(
+        lambda: run_query_latency(benchmark_scale(), smoke=True), rounds=1, iterations=1
+    )
+    _finalise(result)
+    assert result.metadata["speedup_single_p50"] >= 1.0
+    assert result.metadata["speedup_batch"] >= 1.0
+    assert SMOKE_JSON.exists()
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["tiny", "small", "medium"], default=None)
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="down-scaled CI run: only asserts columnar >= reference",
+    )
+    arguments = parser.parse_args()
+    scale = arguments.scale or ("tiny" if arguments.smoke else None)
+    outcome = _finalise(
+        run_query_latency(scale, rounds=arguments.rounds, smoke=arguments.smoke)
+    )
+    raise SystemExit(0 if outcome.metadata["passed"] else 1)

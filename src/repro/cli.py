@@ -136,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="additive slack for approximate top-k (0 = exact)",
     )
+    _add_columnar_argument(query)
 
     index = subparsers.add_parser("index", help="build and inspect durable snapshot indexes")
     index_sub = index.add_subparsers(dest="index_command", required=True)
@@ -233,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="entity partitioning strategy for --shards (default: hash)",
     )
     _add_index_arguments(stream, defaults=True)
+    _add_columnar_argument(stream)
 
     serve = subparsers.add_parser(
         "serve",
@@ -313,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="auto-compact after this many index-changing retractions (0 = never)",
     )
     _add_index_arguments(serve, defaults=False)
+    _add_columnar_argument(serve)
 
     figures = subparsers.add_parser("figures", help="regenerate the paper's evaluation figures")
     figures.add_argument("--scale", choices=["tiny", "small", "medium"], default="tiny")
@@ -320,6 +323,22 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--max-rows", type=int, default=30)
 
     return parser
+
+
+def _add_columnar_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--no-columnar`` performance toggle (query/stream/serve).
+
+    Selects the reference pointer-walking traversal instead of the columnar
+    kernel -- results are identical, so this is a debugging / A-B latency
+    knob, usable with snapshots too (unlike the index-shaping options, it
+    never conflicts with what the snapshot was built with).
+    """
+    parser.add_argument(
+        "--no-columnar",
+        action="store_true",
+        help="answer queries through the reference traversal instead of the "
+        "columnar kernel (identical results; for debugging and latency A/B)",
+    )
 
 
 def _add_dataset_arguments(parser: argparse.ArgumentParser, required: bool = True) -> None:
@@ -532,9 +551,12 @@ def _resolve_engine(
                 "--horizon cannot be combined with --snapshot; the snapshot fixes it"
             )
         try:
-            return _load_snapshot_engine(args.snapshot)
+            engine = _load_snapshot_engine(args.snapshot)
         except SnapshotError as exc:
             raise _CommandError(str(exc)) from exc
+        if getattr(args, "no_columnar", False):
+            engine.configure_columnar(False)
+        return engine
 
     if horizon is not None and horizon < 1:
         raise _CommandError(f"--horizon must be >= 1, got {horizon}")
@@ -548,9 +570,12 @@ def _resolve_engine(
     v = args.v if args.v is not None else _DEFAULT_V
     bound_mode = args.bound_mode if args.bound_mode is not None else _DEFAULT_BOUND_MODE
     measure = HierarchicalADM(num_levels=dataset.num_levels, u=u, v=v)
-    return _make_engine(
+    engine = _make_engine(
         dataset, measure, num_hashes, seed, bound_mode, args.shards, args.partitioner
     ).build()
+    if getattr(args, "no_columnar", False):
+        engine.configure_columnar(False)
+    return engine
 
 
 def _command_query(args: argparse.Namespace) -> int:
@@ -725,6 +750,8 @@ def _command_stream(args: argparse.Namespace) -> int:
         dataset, measure, args.num_hashes, args.seed, args.bound_mode,
         args.shards, args.partitioner,
     ).build()
+    if args.no_columnar:
+        engine.configure_columnar(False)
 
     query_entities: List[str] = []
     if args.query_every:

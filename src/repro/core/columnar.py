@@ -1,0 +1,655 @@
+"""The columnar query kernel: a flattened MinSigTree plus vectorised search.
+
+The reference search (:meth:`repro.core.query.TopKSearcher.search`) walks the
+pointer-based :class:`~repro.core.minsigtree.MinSigTree` one child at a time:
+every child costs one ``PruningState.refine`` (fresh per-level numpy masks)
+and one Theorem 4 bound evaluation, and every candidate entity costs one
+Python-set ``level_overlaps`` pass.  At serving rates that interpreter
+overhead -- not the index -- is the bottleneck.
+
+This module compiles the tree (and the dataset's per-level cell membership)
+into contiguous arrays once, so the search can:
+
+* refine pruning masks and evaluate the Theorem 4 bound for **every node of
+  the tree in one vectorised pass per query**: the query's cells of every
+  sp-index level are laid out on one concatenated axis, each node's direct
+  pruning row is one gather + compare over the whole tree, cumulative
+  root-to-node masks are an OR per tree level (Theorem 3 -- descendant
+  pruned sets contain ancestor pruned sets -- is literally a running OR, and
+  BFS layout keeps levels contiguous), per-level survivor counts are one
+  ``reduceat``, and the measure scores the whole node batch through
+  per-level bound tables
+  (:meth:`~repro.measures.base.AssociationMeasure.bound_batch_kernel`); and
+* score **all candidate entities in one sparse-intersection pass** (lazily,
+  on the first leaf visit) over a combined entity×level CSR cell-membership
+  matrix, instead of per-entity Python set math per leaf.
+
+The best-first traversal itself then runs over plain Python floats -- the
+heap pops/pushes and early-termination checks of Algorithm 2, with zero
+array work per node.  Bounds capped along the path (``min(parent, child)``)
+and all tie-breaks match the reference walk exactly.
+
+Layout
+------
+Nodes are laid out breadth-first with the virtual root at index 0; a node's
+children occupy the contiguous span ``[child_start[n], child_end[n])`` *in
+the same order the reference search iterates them*, so heap tie-breaking --
+and therefore results, orderings, and every ``QueryStats`` counter -- is
+bit-for-bit identical to the reference path.  Leaf entities occupy spans
+``[entity_start[n], entity_end[n])`` of one frozen entity order.  Dataset
+cells are interned per level into one combined id space
+(``level_cell_offset[l]`` marks each level's id range), and the membership
+CSR stores one segment per ``(entity, level)`` pair -- ``member_indptr`` has
+``n_entities * m + 1`` offsets -- so a whole leaf's per-level overlap counts
+are one gather plus one ``reduceat``.
+
+Invalidation
+------------
+A compiled tree records the ``mutation_count`` of the tree and dataset it
+was built from and is recompiled lazily (on the next search) once either
+moved -- streaming flushes, expiries, and compactions therefore invalidate
+it automatically without touching the query API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.minsigtree import MinSigTree
+from repro.core.pruning import QueryHashes
+from repro.measures.base import AssociationMeasure
+from repro.traces.dataset import TraceDataset
+from repro.traces.events import CellSequence, STCell
+
+__all__ = ["ColumnarTree", "ColumnarQueryContext", "ColumnarUnsupportedQuery"]
+
+
+class ColumnarUnsupportedQuery(ValueError):
+    """A query sequence the columnar kernel cannot evaluate.
+
+    Raised only for hand-built :class:`~repro.traces.events.CellSequence`
+    objects that violate the sp-index consistency the engine guarantees
+    (e.g. a coarse cell with no base descendant in the query).  The searcher
+    catches it and answers through the reference traversal instead.
+    """
+
+
+class ColumnarTree:
+    """A MinSigTree (plus dataset cell membership) flattened into arrays.
+
+    Build one with :meth:`compile`; instances are immutable by convention
+    and keyed to the exact tree/dataset state they were compiled from (see
+    :meth:`matches`).  All arrays are documented in the module docstring.
+    """
+
+    def __init__(
+        self,
+        num_levels: int,
+        num_hashes: int,
+        node_level: np.ndarray,
+        node_parent: np.ndarray,
+        node_routing_index: np.ndarray,
+        node_routing_value: np.ndarray,
+        child_start: np.ndarray,
+        child_end: np.ndarray,
+        entity_start: np.ndarray,
+        entity_end: np.ndarray,
+        entity_order: Tuple[str, ...],
+        level_cells: List[List[STCell]],
+        member_indptr: np.ndarray,
+        member_indices: np.ndarray,
+        node_full_signatures: Optional[np.ndarray] = None,
+    ) -> None:
+        self.num_levels = int(num_levels)
+        self.num_hashes = int(num_hashes)
+        self.node_level = node_level
+        self.node_parent = node_parent
+        self.node_routing_index = node_routing_index
+        self.node_routing_value = node_routing_value
+        self.child_start = child_start
+        self.child_end = child_end
+        self.entity_start = entity_start
+        self.entity_end = entity_end
+        self.entity_order = entity_order
+        self.level_cells = level_cells
+        #: Combined-id offset of each level's cell range (length ``m + 1``).
+        self.level_cell_offset = np.zeros(self.num_levels + 1, dtype=np.int64)
+        np.cumsum([len(cells) for cells in level_cells], out=self.level_cell_offset[1:])
+        #: Per-level interning maps from cells to *combined* ids.
+        self.level_cell_index: List[Dict[STCell, int]] = [
+            {
+                cell: int(self.level_cell_offset[level_index]) + position
+                for position, cell in enumerate(cells)
+            }
+            for level_index, cells in enumerate(level_cells)
+        ]
+        self.member_indptr = member_indptr
+        self.member_indices = member_indices
+        self.node_full_signatures = node_full_signatures
+        #: Span arrays as plain Python lists, converted once per compile so
+        #: the traversal loop never touches ndarray scalars.
+        self.child_start_list: List[int] = child_start.tolist()
+        self.child_end_list: List[int] = child_end.tolist()
+        self.entity_start_list: List[int] = entity_start.tolist()
+        self.entity_end_list: List[int] = entity_end.tolist()
+        #: Per-entity per-level set sizes ``|A_l|`` in the frozen order,
+        #: shape ``(n_entities, m)`` -- the diffs of the per-(entity, level)
+        #: CSR segments.
+        self.entity_level_sizes = np.diff(member_indptr).reshape(
+            len(entity_order), self.num_levels
+        )
+        self._tree_ref: Optional[MinSigTree] = None
+        self._tree_mutation = -1
+        self._dataset_ref: Optional[TraceDataset] = None
+        self._dataset_mutation = -1
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    @classmethod
+    def compile(cls, tree: MinSigTree, dataset: TraceDataset) -> "ColumnarTree":
+        """Flatten ``tree`` and ``dataset`` membership into a columnar kernel.
+
+        Children are laid out in the exact order ``node.children.values()``
+        iterates them (the order the reference search pushes them), which is
+        what keeps heap tie-breaking identical.  Every indexed entity must
+        carry a trace in ``dataset`` -- the engine maintains that invariant
+        through every build/update/expiry path.
+        """
+        nodes = [tree.root]
+        read = 0
+        while read < len(nodes):
+            nodes.extend(nodes[read].children.values())
+            read += 1
+        count = len(nodes)
+        position_of = {id(node): position for position, node in enumerate(nodes)}
+
+        node_level = np.fromiter((node.level for node in nodes), dtype=np.int32, count=count)
+        node_parent = np.fromiter(
+            (
+                -1 if node.parent is None else position_of[id(node.parent)]
+                for node in nodes
+            ),
+            dtype=np.int64,
+            count=count,
+        )
+        node_routing_index = np.fromiter(
+            (node.routing_index for node in nodes), dtype=np.int32, count=count
+        )
+        node_routing_value = np.fromiter(
+            (node.routing_value for node in nodes), dtype=np.int64, count=count
+        )
+        child_start = np.zeros(count, dtype=np.int64)
+        child_end = np.zeros(count, dtype=np.int64)
+        entity_start = np.zeros(count, dtype=np.int64)
+        entity_end = np.zeros(count, dtype=np.int64)
+        entity_order: List[str] = []
+        for position, node in enumerate(nodes):
+            if node.children:
+                children = list(node.children.values())
+                child_start[position] = position_of[id(children[0])]
+                child_end[position] = child_start[position] + len(children)
+            if node.entities:
+                entity_start[position] = len(entity_order)
+                entity_order.extend(node.entities)
+                entity_end[position] = len(entity_order)
+
+        full_signatures: Optional[np.ndarray] = None
+        if tree.store_full_signatures:
+            full_signatures = np.zeros((count, tree.num_hashes), dtype=np.int64)
+            for position, node in enumerate(nodes):
+                if node.full_signature is not None:
+                    full_signatures[position] = node.full_signature
+
+        # Cell interning + membership rows, per level first (local ids)...
+        num_levels = tree.num_levels
+        level_cells: List[List[STCell]] = [[] for _ in range(num_levels)]
+        local_index: List[Dict[STCell, int]] = [{} for _ in range(num_levels)]
+        entity_rows: List[List[np.ndarray]] = []
+        for entity in entity_order:
+            sequence = dataset.cell_sequence(entity)
+            if sequence.num_levels != num_levels:
+                raise ValueError(
+                    f"entity {entity!r} has a {sequence.num_levels}-level sequence; "
+                    f"the tree indexes {num_levels} levels"
+                )
+            rows: List[np.ndarray] = []
+            for level_index, cells in enumerate(sequence.levels):
+                interned = local_index[level_index]
+                row = np.empty(len(cells), dtype=np.int64)
+                # Sorted iteration makes interned ids (and thus the compiled
+                # arrays) deterministic regardless of set-iteration order.
+                for slot, cell in enumerate(sorted(cells)):
+                    cell_id = interned.get(cell)
+                    if cell_id is None:
+                        cell_id = len(interned)
+                        interned[cell] = cell_id
+                        level_cells[level_index].append(cell)
+                    row[slot] = cell_id
+                rows.append(row)
+            entity_rows.append(rows)
+
+        # ... then shifted into the combined id space and concatenated into
+        # one CSR with a segment per (entity, level).
+        offsets = np.zeros(num_levels + 1, dtype=np.int64)
+        np.cumsum([len(cells) for cells in level_cells], out=offsets[1:])
+        segments: List[np.ndarray] = []
+        lengths: List[int] = []
+        for rows in entity_rows:
+            for level_index, row in enumerate(rows):
+                segments.append(row + offsets[level_index])
+                lengths.append(row.size)
+        member_indptr = np.zeros(len(entity_order) * num_levels + 1, dtype=np.int64)
+        if lengths:
+            np.cumsum(lengths, out=member_indptr[1:])
+        member_indices = (
+            np.concatenate(segments) if segments and member_indptr[-1] else np.empty(0, dtype=np.int64)
+        )
+
+        compiled = cls(
+            num_levels=num_levels,
+            num_hashes=tree.num_hashes,
+            node_level=node_level,
+            node_parent=node_parent,
+            node_routing_index=node_routing_index,
+            node_routing_value=node_routing_value,
+            child_start=child_start,
+            child_end=child_end,
+            entity_start=entity_start,
+            entity_end=entity_end,
+            entity_order=tuple(entity_order),
+            level_cells=level_cells,
+            member_indptr=member_indptr,
+            member_indices=member_indices,
+            node_full_signatures=full_signatures,
+        )
+        compiled.stamp(tree, dataset)
+        return compiled
+
+    def stamp(self, tree: MinSigTree, dataset: TraceDataset) -> None:
+        """Record the tree/dataset state these arrays are valid for."""
+        self._tree_ref = tree
+        self._tree_mutation = tree.mutation_count
+        self._dataset_ref = dataset
+        self._dataset_mutation = dataset.mutation_count
+
+    def matches(self, tree: MinSigTree, dataset: TraceDataset) -> bool:
+        """Whether the compiled arrays are still valid for this tree/dataset."""
+        return (
+            self._tree_ref is tree
+            and self._tree_mutation == tree.mutation_count
+            and self._dataset_ref is dataset
+            and self._dataset_mutation == dataset.mutation_count
+        )
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of flattened nodes, including the virtual root."""
+        return int(self.node_level.size)
+
+    @property
+    def num_entities(self) -> int:
+        """Number of entities in the frozen leaf order."""
+        return len(self.entity_order)
+
+    @property
+    def num_cells(self) -> int:
+        """Total interned dataset cells across all levels."""
+        return int(self.level_cell_offset[-1])
+
+    # ------------------------------------------------------------------
+    # Snapshot codec
+    # ------------------------------------------------------------------
+    def export_arrays(self) -> Dict[str, np.ndarray]:
+        """The compiled arrays as plain ndarrays (the snapshot payload).
+
+        Cell tables are exported per level as parallel ``(time, unit)``
+        arrays; :meth:`import_arrays` re-interns them, so a snapshot load
+        skips the whole membership recompilation.
+        """
+        arrays: Dict[str, np.ndarray] = {
+            "node_level": self.node_level,
+            "node_parent": self.node_parent,
+            "node_routing_index": self.node_routing_index,
+            "node_routing_value": self.node_routing_value,
+            "child_start": self.child_start,
+            "child_end": self.child_end,
+            "entity_start": self.entity_start,
+            "entity_end": self.entity_end,
+            "entity_order": np.array(self.entity_order, dtype=np.str_),
+            "member_indptr": self.member_indptr,
+            "member_indices": self.member_indices,
+        }
+        if self.node_full_signatures is not None:
+            arrays["node_full_signatures"] = self.node_full_signatures
+        for level_index in range(self.num_levels):
+            cells = self.level_cells[level_index]
+            arrays[f"cell_times_{level_index}"] = np.array(
+                [cell.time for cell in cells], dtype=np.int64
+            )
+            arrays[f"cell_units_{level_index}"] = np.array(
+                [cell.unit for cell in cells], dtype=np.str_
+            )
+        return arrays
+
+    @classmethod
+    def import_arrays(
+        cls, arrays: Dict[str, np.ndarray], num_levels: int, num_hashes: int
+    ) -> "ColumnarTree":
+        """Rebuild a compiled tree from :meth:`export_arrays` output.
+
+        Performs basic structural validation (root at index 0, spans within
+        range, CSR shape consistency) and raises ``ValueError`` / ``KeyError``
+        on malformed input; callers fall back to a fresh :meth:`compile`.
+        """
+        node_level = np.asarray(arrays["node_level"], dtype=np.int32)
+        if node_level.size == 0 or node_level[0] != 0:
+            raise ValueError("malformed columnar arrays: missing virtual root")
+        node_parent = np.asarray(arrays["node_parent"], dtype=np.int64)
+        if (
+            node_parent.size != node_level.size
+            or node_parent[0] != -1
+            or (node_parent[1:] < 0).any()
+            or (node_parent[1:] >= np.arange(1, node_level.size)).any()
+        ):
+            raise ValueError("malformed columnar arrays: bad parent links")
+        # The bound pass walks levels in BFS-contiguous order and looks
+        # parents up in the previous level -- both must hold structurally.
+        if (np.diff(node_level) < 0).any() or (
+            node_level.size > 1
+            and (node_level[1:] != node_level[node_parent[1:]] + 1).any()
+        ):
+            raise ValueError("malformed columnar arrays: non-BFS level layout")
+        entity_order = tuple(str(name) for name in arrays["entity_order"])
+        level_cells: List[List[STCell]] = []
+        total_cells = 0
+        for level_index in range(num_levels):
+            times = np.asarray(arrays[f"cell_times_{level_index}"], dtype=np.int64)
+            units = arrays[f"cell_units_{level_index}"]
+            if times.size != len(units):
+                raise ValueError("malformed columnar arrays: cell table mismatch")
+            level_cells.append(
+                [STCell(int(time), str(unit)) for time, unit in zip(times, units)]
+            )
+            total_cells += times.size
+        member_indptr = np.asarray(arrays["member_indptr"], dtype=np.int64)
+        member_indices = np.asarray(arrays["member_indices"], dtype=np.int64)
+        if member_indptr.size != len(entity_order) * num_levels + 1:
+            raise ValueError("malformed columnar arrays: CSR indptr length mismatch")
+        if member_indptr[-1] != member_indices.size or (np.diff(member_indptr) < 0).any():
+            raise ValueError("malformed columnar arrays: CSR shape mismatch")
+        if member_indices.size and (
+            member_indices.min() < 0 or member_indices.max() >= total_cells
+        ):
+            raise ValueError("malformed columnar arrays: cell id out of range")
+        child_start = np.asarray(arrays["child_start"], dtype=np.int64)
+        child_end = np.asarray(arrays["child_end"], dtype=np.int64)
+        entity_start = np.asarray(arrays["entity_start"], dtype=np.int64)
+        entity_end = np.asarray(arrays["entity_end"], dtype=np.int64)
+        count = node_level.size
+        for span_start, span_end, limit in (
+            (child_start, child_end, count),
+            (entity_start, entity_end, len(entity_order)),
+        ):
+            if span_start.size != count or span_end.size != count:
+                raise ValueError("malformed columnar arrays: span length mismatch")
+            if ((span_start < 0) | (span_end < span_start) | (span_end > limit)).any():
+                raise ValueError("malformed columnar arrays: span out of range")
+        full = arrays.get("node_full_signatures")
+        return cls(
+            num_levels=num_levels,
+            num_hashes=num_hashes,
+            node_level=node_level,
+            node_parent=node_parent,
+            node_routing_index=np.asarray(arrays["node_routing_index"], dtype=np.int32),
+            node_routing_value=np.asarray(arrays["node_routing_value"], dtype=np.int64),
+            child_start=child_start,
+            child_end=child_end,
+            entity_start=entity_start,
+            entity_end=entity_end,
+            entity_order=entity_order,
+            level_cells=level_cells,
+            member_indptr=member_indptr,
+            member_indices=member_indices,
+            node_full_signatures=None if full is None else np.asarray(full, dtype=np.int64),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ColumnarTree(nodes={self.num_nodes}, entities={self.num_entities}, "
+            f"levels={self.num_levels}, num_hashes={self.num_hashes})"
+        )
+
+
+class ColumnarQueryContext:
+    """Per-query state of one columnar search.
+
+    Construction runs the whole vectorised bound pass: every node's direct
+    pruning row, the cumulative root-to-node masks (one OR per tree level),
+    per-level survivor counts, and the Theorem 4 upper bound of **every
+    tree node** -- available afterwards as :attr:`node_bounds`.  Candidate
+    scores are computed the same way, for all entities at once, lazily on
+    the first leaf visit (:meth:`entity_scores`).  The traversal then needs
+    no array work at all: it pops and pushes plain Python floats.
+
+    Raises :class:`ColumnarUnsupportedQuery` for hand-built query sequences
+    that violate sp-index consistency; the searcher falls back to the
+    reference traversal for those.
+    """
+
+    def __init__(
+        self,
+        compiled: ColumnarTree,
+        query: QueryHashes,
+        query_sequence: CellSequence,
+        measure: AssociationMeasure,
+        bound_mode: str,
+        use_full_signatures: bool,
+    ) -> None:
+        self.compiled = compiled
+        self.query = query
+        self.measure = measure
+        self.bound_mode = bound_mode
+        self.use_full_signatures = bool(
+            use_full_signatures and compiled.node_full_signatures is not None
+        )
+        num_levels = compiled.num_levels
+        sizes = [len(level) for level in query.cells]
+        self.query_sizes = np.asarray(sizes, dtype=np.int64)
+        self.query_empty = query_sequence.is_empty()
+        #: Concatenated-axis offset of each level's query cells (length m+1).
+        self.level_offsets = np.zeros(num_levels + 1, dtype=np.int64)
+        np.cumsum(sizes, out=self.level_offsets[1:])
+        self.total_cells = int(self.level_offsets[-1])
+        if self.total_cells and min(sizes) == 0:
+            # Engine-built sequences are all-or-nothing: a non-empty base
+            # set implies non-empty sets at every coarser level.
+            raise ColumnarUnsupportedQuery(
+                "query sequence has an empty level alongside non-empty ones"
+            )
+        #: (total_q, n_h) hash matrix over the concatenated query cells.
+        self.matrix = (
+            np.concatenate(query.matrices, axis=0)
+            if self.total_cells
+            else np.empty((0, query.matrices[0].shape[1] if query.matrices else 0), dtype=np.int64)
+        )
+        # Theorem 4 bound scores only depend on per-level survivor counts at
+        # fixed query sizes; the measure turns that into lookup tables once
+        # per query (see AssociationMeasure.bound_batch_kernel).
+        self._bound_kernel = measure.bound_batch_kernel(self.query_sizes)
+
+        # Lifting plan: group the query's base-cell positions by their
+        # ancestor at every coarse level, all on one concatenated axis, so
+        # coarse reachability is a single reduceat.  Every coarse query cell
+        # has at least one base descendant by construction (coarse sets are
+        # derived bottom-up from the base set).
+        self._lift_perm: Optional[np.ndarray] = None
+        self._lift_starts: Optional[np.ndarray] = None
+        if bound_mode == "lift" and num_levels > 1 and self.total_cells:
+            n_base = sizes[num_levels - 1]
+            perms: List[np.ndarray] = []
+            starts: List[np.ndarray] = []
+            for level_index in range(num_levels - 1):
+                owner = query.owners[level_index]
+                counts = np.bincount(owner, minlength=sizes[level_index])
+                if counts.size != sizes[level_index] or (counts == 0).any():
+                    raise ColumnarUnsupportedQuery(
+                        "a coarse query cell has no base descendant in the query"
+                    )
+                # perm entries index base columns; the reduceat starts are
+                # offset into the concatenated (per-level) gathered axis.
+                perms.append(np.argsort(owner, kind="stable"))
+                level_starts = np.zeros(sizes[level_index], dtype=np.int64)
+                np.cumsum(counts[:-1], out=level_starts[1:])
+                starts.append(level_starts + level_index * n_base)
+            self._lift_perm = np.concatenate(perms)
+            self._lift_starts = np.concatenate(starts)
+
+        self._query_sequence = query_sequence
+        self._entity_scores: Optional[List[float]] = None
+        #: Theorem 4 upper bound of every node (plain Python floats, indexed
+        #: by node id) -- ``min`` with the running path bound happens in the
+        #: traversal loop, exactly like the reference walk.
+        self.node_bounds: List[float] = self._compute_node_bounds()
+
+    # ------------------------------------------------------------------
+    def _compute_node_bounds(self) -> List[float]:
+        """Theorem 4 bounds for every tree node in one vectorised pass.
+
+        Computes each node's direct pruning row (Theorem 2 on its routing
+        value -- or its full signature under the ablation), accumulates them
+        into cumulative root-to-node masks (Theorem 3 is a running OR), then
+        counts per-level survivors, lifts them under the Theorem 4 bound
+        mode, and scores each node batch through the measure's bound
+        tables.  Every value is bit-identical to the reference path's
+        ``upper_bound(state, ...)`` for the same node.
+
+        The pass walks the tree one level at a time (the BFS layout keeps
+        levels contiguous, and a node's parent sits in the previous level),
+        so the transient mask footprint is bounded by the two widest
+        adjacent levels -- not the whole tree -- however large the index.
+        """
+        compiled = self.compiled
+        num_nodes = compiled.num_nodes
+        num_levels = compiled.num_levels
+        if self.total_cells == 0:
+            return [0.0] * num_nodes
+        if not self.use_full_signatures:
+            matrix_t = np.ascontiguousarray(self.matrix.T)
+
+        bounds = np.zeros(num_nodes, dtype=np.float64)
+        node_level = compiled.node_level
+        boundaries = np.searchsorted(node_level, np.arange(num_levels + 2))
+        # The virtual root constrains nothing (its bound slot is unused:
+        # the traversal pushes the root with the fixed bound 1.0).
+        previous_masks = np.zeros((1, self.total_cells), dtype=bool)
+        previous_start = 0
+        for level in range(1, num_levels + 1):
+            start, stop = int(boundaries[level]), int(boundaries[level + 1])
+            if start >= stop:
+                break  # levels are contiguous: nothing deeper exists either
+            # Direct pruning rows of this level: one gather + compare.
+            if self.use_full_signatures:
+                masks = np.empty((stop - start, self.total_cells), dtype=bool)
+                chunk = max(
+                    1, (1 << 24) // max(1, self.total_cells * compiled.num_hashes)
+                )
+                for chunk_start in range(start, stop, chunk):
+                    chunk_stop = min(stop, chunk_start + chunk)
+                    masks[chunk_start - start : chunk_stop - start] = (
+                        self.matrix[None, :, :]
+                        < compiled.node_full_signatures[chunk_start:chunk_stop, None, :]
+                    ).any(axis=2)
+            else:
+                masks = matrix_t[compiled.node_routing_index[start:stop]] < (
+                    compiled.node_routing_value[start:stop, None]
+                )
+            if level > 1:
+                # A node at tree level i only constrains sp-index levels
+                # >= i; coarser cells inherit the ancestors' masks alone.
+                masks[:, : self.level_offsets[level - 1]] = False
+            # Theorem 3: accumulate the parents' cumulative masks.
+            masks |= previous_masks[compiled.node_parent[start:stop] - previous_start]
+
+            if self.bound_mode == "lift":
+                base_offset = int(self.level_offsets[num_levels - 1])
+                base_surviving = ~masks[:, base_offset:]
+                survivors = np.empty((stop - start, num_levels), dtype=np.int64)
+                survivors[:, num_levels - 1] = base_surviving.sum(axis=1)
+                if num_levels > 1:
+                    # A coarse cell survives iff it is not directly pruned
+                    # and at least one of its base descendants survives
+                    # (Theorem 4's lift of the artificial entity).
+                    grouped = base_surviving[:, self._lift_perm]
+                    reachable = np.logical_or.reduceat(
+                        grouped, self._lift_starts, axis=1
+                    )
+                    surviving_coarse = reachable & ~masks[:, :base_offset]
+                    survivors[:, : num_levels - 1] = np.add.reduceat(
+                        surviving_coarse, self.level_offsets[: num_levels - 1], axis=1
+                    )
+            else:
+                survivors = np.add.reduceat(~masks, self.level_offsets[:-1], axis=1)
+
+            raw = self._bound_kernel(survivors)
+            level_bounds = np.minimum(np.maximum(raw, 0.0), 1.0)
+            # All-surviving-zero nodes bound to exactly 0.0 without
+            # consulting the measure, as in the reference upper_bound().
+            level_bounds[~survivors.any(axis=1)] = 0.0
+            bounds[start:stop] = level_bounds
+            previous_masks = masks
+            previous_start = start
+        return bounds.tolist()
+
+    # ------------------------------------------------------------------
+    def entity_scores(self) -> List[float]:
+        """Exact association degrees of *every* indexed entity, vectorised.
+
+        Computed lazily on the first leaf visit: one membership-lookup
+        gather over the combined CSR, one ``reduceat`` for the
+        per-(entity, level) overlap counts, and one batched measure
+        evaluation -- bit-identical per entity to
+        ``measure.score(dataset.cell_sequence(entity), query_sequence)``
+        (including the empty-sequence guard and the [0, 1] clamp).  Indexed
+        by the compiled frozen entity order.
+        """
+        if self._entity_scores is not None:
+            return self._entity_scores
+        compiled = self.compiled
+        n_entities = compiled.num_entities
+        num_levels = compiled.num_levels
+        if n_entities == 0 or self.query_empty:
+            self._entity_scores = [0.0] * n_entities
+            return self._entity_scores
+
+        # Membership lookup over the combined cell-id space, true at the
+        # query's cells.
+        lookup = np.zeros(compiled.num_cells, dtype=bool)
+        for level_index in range(num_levels):
+            interned = compiled.level_cell_index[level_index]
+            if not interned:
+                continue
+            for cell in self._query_sequence.levels[level_index]:
+                cell_id = interned.get(cell)
+                if cell_id is not None:
+                    lookup[cell_id] = True
+
+        sizes_a = compiled.entity_level_sizes
+        indptr = compiled.member_indptr
+        if compiled.member_indices.size:
+            # Trailing sentinel keeps reduceat in-bounds for empty trailing
+            # segments; empty segments are zeroed via the size mask below.
+            hits = np.zeros(compiled.member_indices.size + 1, dtype=np.int64)
+            hits[:-1] = lookup[compiled.member_indices]
+            shared = np.add.reduceat(hits, indptr[:-1]).reshape(n_entities, num_levels)
+            shared[sizes_a == 0] = 0
+        else:
+            shared = np.zeros((n_entities, num_levels), dtype=np.int64)
+        sizes_b = np.broadcast_to(self.query_sizes, (n_entities, num_levels))
+        raw = self.measure.score_levels_batch(sizes_a, sizes_b, shared)
+        scores = np.minimum(np.maximum(raw, 0.0), 1.0)
+        scores[sizes_a[:, num_levels - 1] == 0] = 0.0
+        self._entity_scores = scores.tolist()
+        return self._entity_scores

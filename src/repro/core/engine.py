@@ -147,6 +147,14 @@ class EngineConfig:
         Every mutation -- ``add_records``, ``refresh_entities``,
         ``remove_entity``, ``build`` -- invalidates the cache, so cached
         results are always identical to fresh searches.
+    columnar_queries:
+        Answer queries through the columnar kernel (default): the MinSigTree
+        is compiled into flat arrays and bound evaluation / leaf scoring run
+        vectorised (see :mod:`repro.core.columnar`).  Results are
+        bit-identical to the reference traversal, which ``False`` selects --
+        a performance knob only, excluded from the fingerprint like the
+        other ones.  The compiled arrays are persisted in snapshots and
+        recompiled lazily after any index or data mutation.
 
     Example
     -------
@@ -173,6 +181,7 @@ class EngineConfig:
     bulk_signatures: bool = True
     batch_workers: int = 0
     query_cache_size: int = 0
+    columnar_queries: bool = True
 
     def __post_init__(self) -> None:
         if self.num_hashes < 1:
@@ -190,8 +199,8 @@ class EngineConfig:
         """The fields that determine index contents and query results.
 
         Performance knobs (``bulk_signatures``, ``batch_workers``,
-        ``query_cache_size``) are excluded: they change wall-clock time,
-        never a signature or a result.
+        ``query_cache_size``, ``columnar_queries``) are excluded: they
+        change wall-clock time, never a signature or a result.
         """
         return {
             "num_hashes": self.num_hashes,
@@ -366,6 +375,7 @@ class TraceQueryEngine:
             self._hash_family,
             use_full_signatures=self.config.use_full_signatures,
             bound_mode=self.config.bound_mode,
+            columnar=self.config.columnar_queries,
         )
         self.last_build_seconds = time.perf_counter() - started
         self._invalidate_query_cache()
@@ -379,6 +389,7 @@ class TraceQueryEngine:
         (signature computer, searcher) is wired here so updates and queries
         behave exactly as after :meth:`build`.
         """
+        previous = self._searcher
         self._hash_family = hash_family
         self._signature_computer = SignatureComputer(hash_family)
         self._tree = tree
@@ -389,7 +400,13 @@ class TraceQueryEngine:
             hash_family,
             use_full_signatures=self.config.use_full_signatures,
             bound_mode=self.config.bound_mode,
+            columnar=self.config.columnar_queries,
         )
+        # Re-adopting the same tree (e.g. the sharded hash-family sharing
+        # pass) must not throw away an already-compiled columnar kernel or
+        # a pending snapshot loader.
+        if previous is not None:
+            self._searcher.carry_compiled_from(previous)
         self._invalidate_query_cache()
 
     # ------------------------------------------------------------------
@@ -457,6 +474,7 @@ class TraceQueryEngine:
             "presences": self.dataset.num_presences,
             "loose_operations": self.tree.loose_operations if self.is_built else 0,
             "index_size_bytes": self.index_size_bytes() if self.is_built else 0,
+            "columnar_queries": self.config.columnar_queries,
         }
         cache = self._query_cache
         stats["cache"] = cache.stats_snapshot() if cache is not None else None
@@ -522,6 +540,19 @@ class TraceQueryEngine:
             self._query_cache = QueryResultCache(size)
         else:
             self._query_cache = None
+
+    def configure_columnar(self, enabled: bool) -> None:
+        """Switch between the columnar kernel and the reference traversal.
+
+        The serving layer's runtime hook (``repro serve --no-columnar`` and
+        friends): a snapshot-loaded engine inherits the snapshot's config,
+        and an operator may want the reference path for debugging or A/B
+        latency measurements.  Results are identical either way; switching
+        costs at most one lazy recompile on the next search.
+        """
+        self.config = self.config.with_overrides(columnar_queries=bool(enabled))
+        if self._searcher is not None:
+            self._searcher.columnar = bool(enabled)
 
     def _invalidate_query_cache(self) -> None:
         if self._query_cache is not None:

@@ -119,6 +119,11 @@ class MinSigTree:
         #: (``compact_after``) counts index-changing retractions itself --
         #: see :class:`repro.streaming.window.SlidingWindow`.
         self.loose_operations: int = 0
+        #: Monotone counter bumped by every structural change (insert,
+        #: remove, update, rebuild).  The columnar query kernel records the
+        #: value its flattened arrays were compiled at and recompiles
+        #: lazily when it moved.
+        self.mutation_count: int = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -167,6 +172,7 @@ class MinSigTree:
         if entity in self._signatures:
             raise ValueError(f"entity {entity!r} is already indexed; use update()")
         matrix = self._validate_matrix(entity, signature_matrix)
+        self.mutation_count += 1
         node = self.root
         for level in range(1, self.num_levels + 1):
             row = matrix[level - 1]
@@ -211,6 +217,7 @@ class MinSigTree:
         leaf = self._leaf_of.pop(entity, None)
         if leaf is None:
             raise KeyError(f"entity {entity!r} is not indexed")
+        self.mutation_count += 1
         del self._signatures[entity]
         leaf.entities.remove(entity)
         node: Optional[MinSigTreeNode] = leaf

@@ -20,11 +20,17 @@ from __future__ import annotations
 import dataclasses
 import heapq
 import itertools
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, MutableMapping, Optional, Sequence, Tuple
 
+from repro.core.columnar import (
+    ColumnarQueryContext,
+    ColumnarTree,
+    ColumnarUnsupportedQuery,
+)
 from repro.core.minsigtree import MinSigTree, MinSigTreeNode
 from repro.core.pruning import PruningState, QueryHashes, upper_bound
 from repro.core.hashing import HierarchicalHashFamily
@@ -199,6 +205,14 @@ class TopKSearcher:
         keeps coarse query cells unless a coarse-level node explicitly pruned
         them, which is strictly admissible but much looser (see
         :func:`repro.core.pruning.upper_bound`).
+    columnar:
+        Run searches through the columnar kernel (default): the tree is
+        compiled into flat arrays (lazily, recompiled whenever the tree or
+        dataset mutates) and bound evaluation / leaf scoring are vectorised
+        -- see :mod:`repro.core.columnar`.  Results, orderings, and query
+        statistics are **bit-identical** to the reference traversal, which
+        ``columnar=False`` selects (kept as the equivalence pin and for
+        exotic tree/dataset combinations the compiler rejects).
 
     The engine facade constructs one searcher per built index
     (``engine.searcher``); use it directly when you need the knobs
@@ -228,6 +242,7 @@ class TopKSearcher:
         hash_family: HierarchicalHashFamily,
         use_full_signatures: bool = False,
         bound_mode: str = "lift",
+        columnar: bool = True,
     ) -> None:
         if bound_mode not in ("lift", "per_level"):
             raise ValueError(f"unknown bound mode {bound_mode!r}")
@@ -237,6 +252,75 @@ class TopKSearcher:
         self.hash_family = hash_family
         self.use_full_signatures = use_full_signatures
         self.bound_mode = bound_mode
+        self.columnar = bool(columnar)
+        self._compiled: Optional[ColumnarTree] = None
+        self._compiled_loader: Optional[Callable[[], Optional[ColumnarTree]]] = None
+        # Serialises (re)compilation so a parallel batch hitting a stale
+        # compile runs it once, not once per worker thread.
+        self._compile_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def compiled_tree(self) -> Optional[ColumnarTree]:
+        """The current :class:`ColumnarTree`, compiling/refreshing lazily.
+
+        Returns ``None`` when the columnar kernel is disabled.  A compiled
+        tree is reused until the MinSigTree or the dataset mutates (their
+        ``mutation_count`` moved) -- streaming flushes, expiries, and
+        compactions therefore trigger a recompile on the next search.  A
+        deferred snapshot loader (see :meth:`adopt_compiled_loader`) is
+        consulted once before compiling from scratch.
+        """
+        if not self.columnar:
+            return None
+        compiled = self._compiled
+        if compiled is not None and compiled.matches(self.tree, self.dataset):
+            return compiled
+        with self._compile_lock:
+            # Double-checked: a concurrent searcher may have finished the
+            # (re)compile while this thread waited for the lock.
+            compiled = self._compiled
+            if compiled is not None and compiled.matches(self.tree, self.dataset):
+                return compiled
+            compiled = None
+            loader = self._compiled_loader
+            if loader is not None:
+                self._compiled_loader = None
+                compiled = loader()
+            if compiled is None or not compiled.matches(self.tree, self.dataset):
+                compiled = ColumnarTree.compile(self.tree, self.dataset)
+            self._compiled = compiled
+            return compiled
+
+    def carry_compiled_from(self, previous: "TopKSearcher") -> None:
+        """Inherit a predecessor searcher's compiled state over the same tree.
+
+        Used when a searcher is rebuilt around an unchanged tree/dataset
+        (e.g. the sharded hash-family sharing pass re-adopts each shard's
+        index): an already-valid compiled kernel, or a still-pending
+        snapshot loader (which revalidates on its own), must survive the
+        swap instead of forcing a recompile.
+        """
+        if previous.tree is not self.tree:
+            return
+        if previous._compiled is not None and previous._compiled.matches(
+            self.tree, self.dataset
+        ):
+            self._compiled = previous._compiled
+        self._compiled_loader = previous._compiled_loader
+
+    def adopt_compiled_loader(
+        self, loader: Callable[[], Optional[ColumnarTree]]
+    ) -> None:
+        """Install a deferred compiled-tree source (the snapshot load path).
+
+        ``loader`` is invoked at most once, on the first search that needs
+        the compiled arrays; it returns a ready-stamped
+        :class:`ColumnarTree`, or ``None`` to fall back to a fresh compile
+        (e.g. the engine mutated since the snapshot was loaded, or the
+        payload failed validation).  Deferring the import keeps snapshot
+        cold-start time free of columnar parsing.
+        """
+        self._compiled_loader = loader
 
     # ------------------------------------------------------------------
     def search(
@@ -247,6 +331,7 @@ class TopKSearcher:
         candidate_filter: Optional[Callable[[str], bool]] = None,
         approximation: float = 0.0,
         query_sequence: Optional[CellSequence] = None,
+        fetch_cache: Optional[MutableMapping[str, CellSequence]] = None,
     ) -> TopKResult:
         """Answer a top-k query (Algorithm 2).
 
@@ -277,6 +362,15 @@ class TopKSearcher:
             A sharded deployment passes this so that shards can answer
             queries about entities that live in *other* shards' datasets;
             by default the sequence comes from this searcher's dataset.
+        fetch_cache:
+            Optional mutable mapping memoising ``sequence_fetcher`` results
+            by entity.  A custom fetcher is always memoised for the duration
+            of one search; passing an explicit cache shares the memo across
+            several searches (``search_many`` and the batch executor do
+            this), so one batch fetches each candidate's sequence at most
+            once however many queries visit its leaf.  Ignored without a
+            custom fetcher -- the dataset's own sequence cache already
+            deduplicates fetches.
 
         Returns
         -------
@@ -288,12 +382,69 @@ class TopKSearcher:
             raise ValueError(f"k must be >= 1, got {k}")
         if approximation < 0.0:
             raise ValueError(f"approximation slack must be >= 0, got {approximation}")
-        fetch = sequence_fetcher or self.dataset.cell_sequence
+        if sequence_fetcher is None:
+            fetch = self.dataset.cell_sequence
+        else:
+            memo = fetch_cache if fetch_cache is not None else {}
+
+            def fetch(
+                entity: str,
+                _memo: MutableMapping[str, CellSequence] = memo,
+                _fetch: SequenceFetcher = sequence_fetcher,
+            ) -> CellSequence:
+                sequence = _memo.get(entity)
+                if sequence is None:
+                    sequence = _fetch(entity)
+                    _memo[entity] = sequence
+                return sequence
+
         if query_sequence is None:
             query_sequence = self.dataset.cell_sequence(query_entity)
         query_hashes = QueryHashes.from_sequence(query_sequence, self.hash_family)
-
         stats = QueryStats(population=self.dataset.num_entities, k=k)
+
+        compiled = self.compiled_tree()
+        if compiled is not None:
+            return self._search_columnar(
+                compiled,
+                query_entity,
+                k,
+                fetch,
+                sequence_fetcher is not None,
+                candidate_filter,
+                approximation,
+                query_sequence,
+                query_hashes,
+                stats,
+            )
+        return self._search_reference(
+            query_entity,
+            k,
+            fetch,
+            candidate_filter,
+            approximation,
+            query_sequence,
+            query_hashes,
+            stats,
+        )
+
+    def _search_reference(
+        self,
+        query_entity: str,
+        k: int,
+        fetch: SequenceFetcher,
+        candidate_filter: Optional[Callable[[str], bool]],
+        approximation: float,
+        query_sequence: CellSequence,
+        query_hashes: QueryHashes,
+        stats: QueryStats,
+    ) -> TopKResult:
+        """The pointer-walking Algorithm 2 traversal (the equivalence pin).
+
+        One ``refine`` + ``upper_bound`` call per child and one
+        ``measure.score`` per candidate; the columnar path is pinned
+        bit-for-bit against this implementation by the fuzz suite.
+        """
         result_heap: List[Tuple[float, str]] = []  # min-heap of (score, entity)
         tie_breaker = itertools.count()
         candidate_heap: List[Tuple[float, int, MinSigTreeNode, PruningState]] = []
@@ -352,16 +503,150 @@ class TopKSearcher:
         pairs.sort(key=lambda pair: (-pair[1], pair[0]))
         return TopKResult(query_entity=query_entity, items=pairs, stats=stats)
 
+    def _search_columnar(
+        self,
+        compiled: ColumnarTree,
+        query_entity: str,
+        k: int,
+        fetch: SequenceFetcher,
+        custom_fetch: bool,
+        candidate_filter: Optional[Callable[[str], bool]],
+        approximation: float,
+        query_sequence: CellSequence,
+        query_hashes: QueryHashes,
+        stats: QueryStats,
+    ) -> TopKResult:
+        """The columnar Algorithm 2 traversal (bit-identical, vectorised).
+
+        Same best-first loop as :meth:`_search_reference`, but every node's
+        Theorem 4 bound is computed in one whole-tree vectorised pass up
+        front, and candidate scores come from one whole-dataset
+        sparse-intersection pass evaluated lazily at the first leaf visit
+        (unless a custom ``sequence_fetcher`` overrides candidate
+        sequences, in which case leaf scoring stays per-entity).  The loop
+        itself touches only plain Python floats.
+        """
+        try:
+            context = ColumnarQueryContext(
+                compiled,
+                query_hashes,
+                query_sequence,
+                self.measure,
+                self.bound_mode,
+                self.use_full_signatures,
+            )
+        except ColumnarUnsupportedQuery:
+            # Hand-built query sequences violating sp-index consistency:
+            # answer through the reference traversal instead.
+            return self._search_reference(
+                query_entity,
+                k,
+                fetch,
+                candidate_filter,
+                approximation,
+                query_sequence,
+                query_hashes,
+                stats,
+            )
+        node_bounds = context.node_bounds
+        result_heap: List[Tuple[float, str]] = []
+        tie_breaker = itertools.count()
+        candidate_heap: List[Tuple[float, int, int]] = []
+        heapq.heappush(candidate_heap, (-1.0, next(tie_breaker), 0))
+        child_start = compiled.child_start_list
+        child_end = compiled.child_end_list
+        entity_start = compiled.entity_start_list
+        entity_end = compiled.entity_end_list
+        entity_order = compiled.entity_order
+        scores: Optional[List[float]] = None
+
+        while candidate_heap:
+            negative_bound, _tie, node_id = heapq.heappop(candidate_heap)
+            bound = -negative_bound
+            stats.nodes_visited += 1
+
+            if len(result_heap) == k and result_heap[0][0] >= bound - approximation:
+                stats.terminated_early = True
+                break
+
+            span_start = child_start[node_id]
+            span_end = child_end[node_id]
+            if node_id == 0 or span_end > span_start:
+                if span_end > span_start:
+                    stats.bound_computations += span_end - span_start
+                    # The result heap cannot change while children are
+                    # pushed, so the k-th best threshold is loop-invariant.
+                    threshold = result_heap[0][0] if len(result_heap) == k else None
+                    for child_id in range(span_start, span_end):
+                        upper = node_bounds[child_id]
+                        child_bound = upper if upper < bound else bound
+                        if threshold is not None and threshold >= child_bound - approximation:
+                            # The child can never beat the current k-th best
+                            # (by more than the allowed approximation slack).
+                            continue
+                        heapq.heappush(
+                            candidate_heap, (-child_bound, next(tie_breaker), child_id)
+                        )
+                continue
+
+            # Leaf: candidate scores come from the lazily precomputed
+            # whole-dataset vector (unless a custom fetcher overrides the
+            # candidate sequences).
+            stats.leaves_visited += 1
+            if scores is None and not custom_fetch:
+                scores = context.entity_scores()
+            for slot in range(entity_start[node_id], entity_end[node_id]):
+                entity = entity_order[slot]
+                if entity == query_entity:
+                    continue
+                if candidate_filter is not None and not candidate_filter(entity):
+                    continue
+                if custom_fetch:
+                    score = self.measure.score(fetch(entity), query_sequence)
+                else:
+                    score = scores[slot]
+                stats.entities_scored += 1
+                if score <= 0.0:
+                    continue
+                entry = (score, _ReverseOrderStr(entity))
+                if len(result_heap) < k:
+                    heapq.heappush(result_heap, entry)
+                elif entry > result_heap[0]:
+                    heapq.heapreplace(result_heap, entry)
+
+        pairs = [(str(entity), score) for score, entity in result_heap]
+        pairs.sort(key=lambda pair: (-pair[1], pair[0]))
+        return TopKResult(query_entity=query_entity, items=pairs, stats=stats)
+
     # ------------------------------------------------------------------
     def search_many(
         self,
         query_entities: Sequence[str],
         k: int,
         sequence_fetcher: Optional[SequenceFetcher] = None,
+        candidate_filter: Optional[Callable[[str], bool]] = None,
+        approximation: float = 0.0,
     ) -> List[TopKResult]:
-        """Answer one top-k query per entity in ``query_entities``."""
+        """Answer one top-k query per entity in ``query_entities``.
+
+        Every knob of :meth:`search` that shapes results is passed through
+        (``candidate_filter`` and ``approximation`` included), so a batch is
+        always equivalent to the corresponding serial single-query calls.
+        A custom ``sequence_fetcher`` is memoised *across* the whole batch:
+        a candidate visited by several queries is fetched once.
+        """
+        shared_cache: Optional[MutableMapping[str, CellSequence]] = (
+            {} if sequence_fetcher is not None else None
+        )
         return [
-            self.search(entity, k, sequence_fetcher=sequence_fetcher)
+            self.search(
+                entity,
+                k,
+                sequence_fetcher=sequence_fetcher,
+                candidate_filter=candidate_filter,
+                approximation=approximation,
+                fetch_cache=shared_cache,
+            )
             for entity in query_entities
         ]
 
@@ -465,12 +750,21 @@ class BatchTopKExecutor:
                 shared_cells.extend(level_cells)
         warmed = self.searcher.hash_family.warm_cache(shared_cells)
 
+        # One fetch memo for the whole batch: a candidate whose leaf several
+        # queries visit is fetched once, not once per query.  Plain-dict
+        # access is atomic under the GIL; a rare race only duplicates a
+        # fetch, never corrupts a result.
+        shared_fetch_cache: Optional[MutableMapping[str, CellSequence]] = (
+            {} if sequence_fetcher is not None else None
+        )
+
         def run_one(entity: str) -> TopKResult:
             return self.searcher.search(
                 entity,
                 k,
                 sequence_fetcher=sequence_fetcher,
                 approximation=approximation,
+                fetch_cache=shared_fetch_cache,
             )
 
         results = fan_out_queries(run_one, query_entities, effective_workers)

@@ -20,9 +20,17 @@ unit tests.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.measures.base import AssociationMeasure
+import numpy as np
+
+from repro.measures.base import AssociationMeasure, tabulated_bound_kernel
+
+#: Soft cap on the per-measure memo of ``ratio -> ratio ** v`` values the
+#: vectorised kernel keeps; ratios are small-integer rationals that repeat
+#: massively, so the memo saturates quickly -- the cap only guards
+#: pathological workloads from unbounded growth.
+_POW_CACHE_LIMIT = 1 << 20
 
 __all__ = ["HierarchicalADM", "ExampleDiceADM"]
 
@@ -59,6 +67,12 @@ class HierarchicalADM(AssociationMeasure):
         # (identical non-empty sets), so the maximal unnormalised score is
         # sum_l l^u * (1/2)^v.
         self._normaliser = sum(self._level_weights) * (0.5 ** self.v)
+        # ratio -> ratio ** v, shared by every score_levels_batch call.  The
+        # values are computed with Python's ``**`` (i.e. the platform libm),
+        # because numpy's vectorised power kernel is *not* bit-identical to
+        # it -- memoising the scalar power over the (few, heavily repeated)
+        # distinct ratios keeps the batch path exact *and* fast.
+        self._pow_cache: Dict[float, float] = {}
 
     def score_levels(self, overlaps: List[Tuple[int, int, int]]) -> float:
         if len(overlaps) != self.num_levels:
@@ -71,6 +85,86 @@ class HierarchicalADM(AssociationMeasure):
             if denominator == 0 or shared == 0:
                 continue
             total += weight * (shared / denominator) ** self.v
+        return total / self._normaliser
+
+    def _pow_v(self, ratios: np.ndarray) -> np.ndarray:
+        """Elementwise ``ratio ** v``, bit-identical to the scalar path.
+
+        ``np.power`` disagrees with Python's ``**`` by 1 ulp on some inputs
+        (numpy ships its own pow), which would break the columnar kernel's
+        bitwise-equivalence pin -- so the power is evaluated by Python and
+        memoised across calls.  Ratios are rationals of small set sizes, so
+        the memo hit rate converges to ~100%; small batches loop the memo
+        directly, large ones deduplicate through ``np.unique`` first.
+        """
+        if len(self._pow_cache) > _POW_CACHE_LIMIT:  # pragma: no cover - pathological
+            self._pow_cache.clear()
+        if ratios.size <= 96:
+            return self._pow_memo(ratios)
+        unique, inverse = np.unique(ratios, return_inverse=True)
+        return self._pow_memo(unique)[inverse]
+
+    def _pow_memo(self, ratios: np.ndarray) -> np.ndarray:
+        """The memoised scalar-pow loop shared by both :meth:`_pow_v` branches."""
+        cache = self._pow_cache
+        powered = np.empty(ratios.size, dtype=np.float64)
+        for position, ratio in enumerate(ratios.tolist()):
+            value = cache.get(ratio)
+            if value is None:
+                value = ratio**self.v
+                cache[ratio] = value
+            powered[position] = value
+        return powered
+
+    def bound_batch_kernel(
+        self, query_sizes: Sequence[int]
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """Per-level lookup tables for Theorem 4 bound scores.
+
+        Level ``l`` contributes ``l^u * (s / (s + |Q_l|))^v`` for survivor
+        count ``s`` -- one free integer per level -- so the whole bound
+        evaluation becomes ``m`` table gathers, one accumulation per level
+        (same order as the scalar loop), and the final normalisation.
+        Every table entry is computed with the scalar path's exact
+        arithmetic, so results stay bit-identical.
+        """
+        return tabulated_bound_kernel(
+            query_sizes,
+            self.num_levels,
+            lambda level_index, surviving, query_size: self._level_weights[level_index]
+            * (surviving / (surviving + query_size)) ** self.v,
+            normaliser=self._normaliser,
+        )
+
+    def score_levels_batch(
+        self,
+        sizes_a: np.ndarray,
+        sizes_b: np.ndarray,
+        shared: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised Equation 7.1 over ``(n_pairs, m)`` overlap arrays.
+
+        Bit-identical per row to :meth:`score_levels`: the per-level terms
+        accumulate in level order (numpy adds elementwise in the same
+        sequence the scalar loop does), divisions are IEEE-correct in both
+        paths, and the duration exponent goes through :meth:`_pow_v`.
+        """
+        if sizes_a.shape[1] != self.num_levels:
+            raise ValueError(
+                f"expected overlaps for {self.num_levels} levels, got {sizes_a.shape[1]}"
+            )
+        n_pairs = sizes_a.shape[0]
+        total = np.zeros(n_pairs, dtype=np.float64)
+        for level_index, weight in enumerate(self._level_weights):
+            denominator = sizes_a[:, level_index] + sizes_b[:, level_index]
+            ratio = np.zeros(n_pairs, dtype=np.float64)
+            np.divide(
+                shared[:, level_index], denominator, out=ratio, where=denominator != 0
+            )
+            # Rows the scalar loop skips (zero denominator or zero overlap)
+            # have ratio 0, so their term is weight * 0**v == 0.0 -- adding
+            # an exact zero matches skipping bit for bit.
+            total += weight * self._pow_v(ratio)
         return total / self._normaliser
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -113,6 +207,50 @@ class ExampleDiceADM(AssociationMeasure):
                 continue
             total += weight * shared / denominator
         return total / self._normaliser
+
+    def score_levels_batch(
+        self,
+        sizes_a: np.ndarray,
+        sizes_b: np.ndarray,
+        shared: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised Example 5.2.1 scoring, bit-identical per row.
+
+        Mirrors :meth:`score_levels` exactly: each level's term is
+        ``(weight * shared) / denominator`` (same operation order), levels
+        with an empty denominator contribute an exact zero, and terms
+        accumulate in level order.
+        """
+        if sizes_a.shape[1] != len(self.weights):
+            raise ValueError(
+                f"expected overlaps for {len(self.weights)} levels, got {sizes_a.shape[1]}"
+            )
+        n_pairs = sizes_a.shape[0]
+        total = np.zeros(n_pairs, dtype=np.float64)
+        for level_index, weight in enumerate(self.weights):
+            denominator = sizes_a[:, level_index] + sizes_b[:, level_index]
+            term = np.zeros(n_pairs, dtype=np.float64)
+            np.divide(
+                weight * shared[:, level_index],
+                denominator,
+                out=term,
+                where=denominator != 0,
+            )
+            total += term
+        return total / self._normaliser
+
+    def bound_batch_kernel(
+        self, query_sizes: Sequence[int]
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """Per-level lookup tables for Theorem 4 bound scores (see base)."""
+        return tabulated_bound_kernel(
+            query_sizes,
+            len(self.weights),
+            lambda level_index, surviving, query_size: self.weights[level_index]
+            * surviving
+            / (surviving + query_size),
+            normaliser=self._normaliser,
+        )
 
     def raw_score_levels(self, overlaps: List[Tuple[int, int, int]]) -> float:
         """The un-normalised score exactly as printed in Example 5.2.1."""

@@ -23,11 +23,49 @@ temporal unit of co-presence.
 from __future__ import annotations
 
 import abc
-from typing import List, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.traces.events import CellSequence
 
-__all__ = ["AssociationMeasure", "level_overlaps"]
+__all__ = ["AssociationMeasure", "level_overlaps", "tabulated_bound_kernel"]
+
+
+def tabulated_bound_kernel(
+    query_sizes: Sequence[int],
+    num_levels: int,
+    entry: Callable[[int, int, int], float],
+    normaliser: Optional[float] = None,
+) -> Callable[["np.ndarray"], "np.ndarray"]:
+    """Build per-level bound tables plus their gather closure.
+
+    The shared machinery behind every measure's
+    :meth:`AssociationMeasure.bound_batch_kernel` override:
+    ``entry(level_index, surviving, query_size)`` computes one table value
+    with the *scalar* path's exact arithmetic, index 0 stays an exact 0.0
+    (the scalar loops contribute nothing for zero-overlap levels), and the
+    returned kernel is ``num_levels`` table gathers accumulated in level
+    order, divided by ``normaliser`` at the end when one is given --
+    preserving the scalar paths' operation order bit for bit.
+    """
+    if len(query_sizes) != num_levels:
+        raise ValueError(f"expected {num_levels} query sizes, got {len(query_sizes)}")
+    tables = []
+    for level_index, query_size in enumerate(query_sizes):
+        query_size = int(query_size)
+        table = np.zeros(query_size + 1, dtype=np.float64)
+        for surviving in range(1, query_size + 1):
+            table[surviving] = entry(level_index, surviving, query_size)
+        tables.append(table)
+
+    def kernel(survivors: np.ndarray) -> np.ndarray:
+        total = np.zeros(survivors.shape[0], dtype=np.float64)
+        for level_index, table in enumerate(tables):
+            total += table[survivors[:, level_index]]
+        return total if normaliser is None else total / normaliser
+
+    return kernel
 
 
 def level_overlaps(seq_a: CellSequence, seq_b: CellSequence) -> List[Tuple[int, int, int]]:
@@ -72,6 +110,69 @@ class AssociationMeasure(abc.ABC):
         non-decreasing in every intersection size and non-increasing in the
         individual set sizes (for a fixed intersection).
         """
+
+    def score_levels_batch(
+        self,
+        sizes_a: np.ndarray,
+        sizes_b: np.ndarray,
+        shared: np.ndarray,
+    ) -> np.ndarray:
+        """Score many pairs at once from stacked per-level overlap arrays.
+
+        ``sizes_a``, ``sizes_b``, and ``shared`` all have shape
+        ``(n_pairs, num_levels)``; row ``i`` holds the per-level
+        ``(|A_l|, |B_l|, |A_l ∩ B_l|)`` triples of one pair, exactly as
+        :meth:`score_levels` would receive them.  Returns the raw (unclamped)
+        scores as a float64 vector of length ``n_pairs``.
+
+        The contract -- relied on by the columnar query kernel for its
+        bitwise-equivalence guarantee -- is that every returned value is
+        **bit-identical** to the scalar ``score_levels`` applied to the same
+        row.  The base implementation guarantees this trivially by looping;
+        concrete measures override it with vectorised kernels that preserve
+        the scalar path's exact operation order (and route any
+        transcendental, such as ``HierarchicalADM``'s duration exponent,
+        through the same libm call the scalar path uses).
+        """
+        sizes_a = np.asarray(sizes_a)
+        sizes_b = np.asarray(sizes_b)
+        shared = np.asarray(shared)
+        out = np.empty(sizes_a.shape[0], dtype=np.float64)
+        for row in range(sizes_a.shape[0]):
+            out[row] = self.score_levels(
+                [
+                    (int(sizes_a[row, level]), int(sizes_b[row, level]), int(shared[row, level]))
+                    for level in range(sizes_a.shape[1])
+                ]
+            )
+        return out
+
+    def bound_batch_kernel(
+        self, query_sizes: Sequence[int]
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """A fast evaluator for Theorem 4 bound scores at fixed query sizes.
+
+        The search bounds a node by scoring the *artificial entity* against
+        the query, whose per-level overlap triples always have the shape
+        ``(s_l, |Q_l|, s_l)`` with ``0 <= s_l <= |Q_l|`` -- one free integer
+        per level.  The returned callable maps a ``(n_nodes, m)`` survivor
+        -count matrix to the raw scores, bit-identical to ``score_levels``
+        row by row.
+
+        The base implementation simply routes through
+        :meth:`score_levels_batch`; measures whose levels contribute
+        independently (every measure in this package) override it with a
+        per-level lookup table -- ``|Q_l| + 1`` scalar evaluations at query
+        time buy O(1) numpy ops per bound batch, which is what makes the
+        columnar traversal's bound evaluation cheap.
+        """
+        sizes = np.asarray(query_sizes, dtype=np.int64)
+
+        def kernel(survivors: np.ndarray) -> np.ndarray:
+            sizes_b = np.broadcast_to(sizes, survivors.shape)
+            return self.score_levels_batch(survivors, sizes_b, survivors)
+
+        return kernel
 
     def score(self, seq_a: CellSequence, seq_b: CellSequence) -> float:
         """Association degree between two entities' ST-cell set sequences."""

@@ -16,9 +16,11 @@ property-based tests in ``tests/test_measure_properties.py``).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.measures.base import AssociationMeasure
+import numpy as np
+
+from repro.measures.base import AssociationMeasure, tabulated_bound_kernel
 
 __all__ = ["JaccardADM", "DiceADM", "OverlapADM", "FScoreADM"]
 
@@ -49,6 +51,22 @@ class _WeightedLevelMeasure(AssociationMeasure):
     def _level_similarity(self, size_a: int, size_b: int, shared: int) -> float:
         raise NotImplementedError
 
+    def _level_similarity_batch(
+        self, sizes_a: np.ndarray, sizes_b: np.ndarray, shared: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised counterpart of :meth:`_level_similarity`.
+
+        The fallback loops over the scalar hook, so any subclass is
+        batch-correct by construction; the concrete measures below override
+        it with exact vectorised arithmetic.
+        """
+        out = np.empty(sizes_a.shape[0], dtype=np.float64)
+        for row in range(sizes_a.shape[0]):
+            out[row] = self._level_similarity(
+                int(sizes_a[row]), int(sizes_b[row]), int(shared[row])
+            )
+        return out
+
     def score_levels(self, overlaps: List[Tuple[int, int, int]]) -> float:
         if len(overlaps) != self.num_levels:
             raise ValueError(
@@ -60,6 +78,51 @@ class _WeightedLevelMeasure(AssociationMeasure):
                 continue
             total += weight * self._level_similarity(size_a, size_b, shared)
         return total
+
+    def score_levels_batch(
+        self,
+        sizes_a: np.ndarray,
+        sizes_b: np.ndarray,
+        shared: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised weighted-average scoring, bit-identical per row.
+
+        Rows the scalar loop skips (``shared == 0``) have an exactly-zero
+        similarity in every member of this family, so adding their term
+        matches the skip bit for bit; zero-weight levels are skipped the
+        same way the scalar loop skips them.
+        """
+        if sizes_a.shape[1] != self.num_levels:
+            raise ValueError(
+                f"expected overlaps for {self.num_levels} levels, got {sizes_a.shape[1]}"
+            )
+        total = np.zeros(sizes_a.shape[0], dtype=np.float64)
+        for level_index, weight in enumerate(self.weights):
+            if weight == 0.0:
+                continue
+            total += weight * self._level_similarity_batch(
+                sizes_a[:, level_index], sizes_b[:, level_index], shared[:, level_index]
+            )
+        return total
+
+    def bound_batch_kernel(
+        self, query_sizes: Sequence[int]
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """Per-level lookup tables for Theorem 4 bound scores (see base).
+
+        Each table entry routes through the scalar
+        :meth:`_level_similarity` hook, so subclasses stay bit-identical
+        without their own override; zero-weight levels contribute exact
+        zeros, matching the scalar loop's skip.
+        """
+
+        def entry(level_index: int, surviving: int, query_size: int) -> float:
+            weight = self.weights[level_index]
+            if weight == 0.0:
+                return 0.0
+            return weight * self._level_similarity(surviving, query_size, surviving)
+
+        return tabulated_bound_kernel(query_sizes, self.num_levels, entry)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(num_levels={self.num_levels})"
@@ -76,6 +139,15 @@ class JaccardADM(_WeightedLevelMeasure):
             return 0.0
         return shared / union
 
+    def _level_similarity_batch(
+        self, sizes_a: np.ndarray, sizes_b: np.ndarray, shared: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised Jaccard: ``shared / union`` with empty unions scoring 0."""
+        union = sizes_a + sizes_b - shared
+        out = np.zeros(sizes_a.shape[0], dtype=np.float64)
+        np.divide(shared, union, out=out, where=union != 0)
+        return out
+
 
 class DiceADM(_WeightedLevelMeasure):
     """Weighted per-level Dice coefficient ``2 |A ∩ B| / (|A| + |B|)``."""
@@ -87,6 +159,15 @@ class DiceADM(_WeightedLevelMeasure):
         if denominator == 0:
             return 0.0
         return 2.0 * shared / denominator
+
+    def _level_similarity_batch(
+        self, sizes_a: np.ndarray, sizes_b: np.ndarray, shared: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised Dice: ``(2 * shared) / (|A| + |B|)``, same op order."""
+        denominator = sizes_a + sizes_b
+        out = np.zeros(sizes_a.shape[0], dtype=np.float64)
+        np.divide(2.0 * shared, denominator, out=out, where=denominator != 0)
+        return out
 
 
 class OverlapADM(_WeightedLevelMeasure):
@@ -104,6 +185,15 @@ class OverlapADM(_WeightedLevelMeasure):
         if smallest == 0:
             return 0.0
         return shared / smallest
+
+    def _level_similarity_batch(
+        self, sizes_a: np.ndarray, sizes_b: np.ndarray, shared: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised overlap coefficient: ``shared / min(|A|, |B|)``."""
+        smallest = np.minimum(sizes_a, sizes_b)
+        out = np.zeros(sizes_a.shape[0], dtype=np.float64)
+        np.divide(shared, smallest, out=out, where=smallest != 0)
+        return out
 
 
 class FScoreADM(_WeightedLevelMeasure):
@@ -138,6 +228,27 @@ class FScoreADM(_WeightedLevelMeasure):
         if denominator == 0:
             return 0.0
         return (1.0 + beta_sq) * precision * recall / denominator
+
+    def _level_similarity_batch(
+        self, sizes_a: np.ndarray, sizes_b: np.ndarray, shared: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised F\\ :sub:`β`, preserving the scalar operation order."""
+        n_rows = sizes_a.shape[0]
+        active = (sizes_a != 0) & (sizes_b != 0) & (shared != 0)
+        precision = np.zeros(n_rows, dtype=np.float64)
+        recall = np.zeros(n_rows, dtype=np.float64)
+        np.divide(shared, sizes_a, out=precision, where=active)
+        np.divide(shared, sizes_b, out=recall, where=active)
+        beta_sq = self.beta * self.beta
+        denominator = beta_sq * precision + recall
+        out = np.zeros(n_rows, dtype=np.float64)
+        np.divide(
+            (1.0 + beta_sq) * precision * recall,
+            denominator,
+            out=out,
+            where=active & (denominator != 0),
+        )
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"FScoreADM(num_levels={self.num_levels}, beta={self.beta})"

@@ -193,6 +193,17 @@ class ShardedEngine:
         self.config = self.config.with_overrides(query_cache_size=size)
         self._query_cache = QueryResultCache(size) if size > 0 else None
 
+    def configure_columnar(self, enabled: bool) -> None:
+        """Switch every shard between the columnar kernel and the reference path.
+
+        Mirrors :meth:`TraceQueryEngine.configure_columnar`; per-shard
+        results are identical either way, so cached partials stay valid and
+        the cache is left untouched.
+        """
+        self.config = self.config.with_overrides(columnar_queries=bool(enabled))
+        for shard in self._shards:
+            shard.configure_columnar(enabled)
+
     @property
     def num_entities(self) -> int:
         """Number of entities across all shards."""
@@ -234,6 +245,7 @@ class ShardedEngine:
                 sum(shard.tree.loose_operations for shard in self._shards) if built else 0
             ),
             "index_size_bytes": self.index_size_bytes() if built else 0,
+            "columnar_queries": self.config.columnar_queries,
         }
         cache = self._query_cache
         stats["cache"] = cache.stats_snapshot() if cache is not None else None

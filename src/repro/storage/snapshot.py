@@ -17,6 +17,12 @@ re-signing the dataset**:
     Hash-family coefficients, the presence records as columnar arrays, the
     flattened MinSigTree (nodes + leaf membership), and the per-entity
     signature matrices.
+``columnar.npz`` (format version 2, optional)
+    The compiled :class:`~repro.core.columnar.ColumnarTree` arrays.  Kept
+    in their own file so cold start never parses them: the engine adopts a
+    digest-checked *lazy loader* and imports the arrays on the first query
+    (or recompiles if the engine mutated in between) -- snapshot load time
+    is unchanged from format version 1.
 
 Loading restores the hash coefficients verbatim and rebuilds the tree node
 by node, so the restored engine is *bitwise-identical* to the saved one:
@@ -26,8 +32,13 @@ by removals), same query results, orderings, and pruning statistics.
 Versioning / compatibility policy
 ---------------------------------
 ``SNAPSHOT_FORMAT_VERSION`` is bumped on any incompatible layout change;
-loading a snapshot whose version differs raises :class:`SnapshotError`
-(there is no silent migration).  The manifest also stores an *index
+loading a snapshot whose version this build does not know raises
+:class:`SnapshotError` (there is no silent migration).  Version 2 added
+the *optional* compiled columnar arrays; version-1 snapshots stay loadable
+-- and a version-2 snapshot whose columnar arrays are missing or fail
+validation still loads -- because the compiled arrays are a pure cache:
+the engine recompiles them lazily on the first query, with identical
+results.  The manifest also stores an *index
 fingerprint* -- a SHA-256 over the semantic engine configuration, the
 measure parameters, and the hash-family shape -- plus a content digest of
 every payload file; both are recomputed and compared on load, so a
@@ -58,6 +69,7 @@ from repro.traces.events import PresenceInstance
 from repro.traces.spatial import SpatialHierarchy
 
 __all__ = [
+    "COMPATIBLE_FORMAT_VERSIONS",
     "SHARDED_SNAPSHOT_FORMAT",
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_FORMAT_VERSION",
@@ -74,11 +86,15 @@ PathLike = Union[str, Path]
 
 SNAPSHOT_FORMAT = "repro-engine-snapshot"
 SHARDED_SNAPSHOT_FORMAT = "repro-sharded-snapshot"
-SNAPSHOT_FORMAT_VERSION = 1
+SNAPSHOT_FORMAT_VERSION = 2
+#: Older format versions this build still loads (version 1 simply lacks
+#: the compiled columnar arrays, which are recompiled lazily).
+COMPATIBLE_FORMAT_VERSIONS = (1, 2)
 
 _MANIFEST_NAME = "manifest.json"
 _HIERARCHY_NAME = "hierarchy.json"
 _ARRAYS_NAME = "arrays.npz"
+_COLUMNAR_NAME = "columnar.npz"
 
 
 class SnapshotError(RuntimeError):
@@ -295,6 +311,18 @@ def _write_engine_snapshot(
     # latency, and signature matrices are high-entropy anyway.
     np.savez(directory / _ARRAYS_NAME, **arrays)
 
+    # Compiled columnar kernel (format version 2): persisted in its own
+    # file so loading never parses it eagerly -- the engine imports it
+    # lazily at the first query.  The compile is refreshed here if updates
+    # left it stale; with columnar queries disabled nothing is written and
+    # a later load recompiles lazily if re-enabled.
+    wrote_columnar = False
+    if engine.config.columnar_queries:
+        compiled = engine.searcher.compiled_tree()
+        if compiled is not None:
+            np.savez(directory / _COLUMNAR_NAME, **compiled.export_arrays())
+            wrote_columnar = True
+
     hash_family_meta = {
         "horizon": family.horizon,
         "num_hashes": family.num_hashes,
@@ -308,8 +336,12 @@ def _write_engine_snapshot(
         # Content digests bind the manifest to these exact payload files, so
         # mixing files from different snapshots fails loudly at load.
         "content": {
-            _HIERARCHY_NAME: _file_digest(directory / _HIERARCHY_NAME),
-            _ARRAYS_NAME: _file_digest(directory / _ARRAYS_NAME),
+            name: _file_digest(directory / name)
+            for name in (
+                (_HIERARCHY_NAME, _ARRAYS_NAME, _COLUMNAR_NAME)
+                if wrote_columnar
+                else (_HIERARCHY_NAME, _ARRAYS_NAME)
+            )
         },
         "config": {
             "num_hashes": engine.config.num_hashes,
@@ -320,6 +352,7 @@ def _write_engine_snapshot(
             "bulk_signatures": engine.config.bulk_signatures,
             "batch_workers": engine.config.batch_workers,
             "query_cache_size": engine.config.query_cache_size,
+            "columnar_queries": engine.config.columnar_queries,
         },
         "measure": measure_payload,
         "hash_family": hash_family_meta,
@@ -360,11 +393,11 @@ def read_manifest(path: PathLike) -> Dict[str, object]:
     if fmt not in (SNAPSHOT_FORMAT, SHARDED_SNAPSHOT_FORMAT):
         raise SnapshotError(f"{directory} has unknown snapshot format {fmt!r}")
     version = manifest.get("format_version")
-    if version != SNAPSHOT_FORMAT_VERSION:
+    if version not in COMPATIBLE_FORMAT_VERSIONS:
         raise SnapshotError(
             f"snapshot format version {version!r} is not supported by this build "
-            f"(expected {SNAPSHOT_FORMAT_VERSION}); re-create the snapshot with "
-            "`repro index build`"
+            f"(expected one of {COMPATIBLE_FORMAT_VERSIONS}); re-create the "
+            "snapshot with `repro index build`"
         )
     return manifest
 
@@ -409,6 +442,11 @@ def load_engine_snapshot(
             "edited by hand"
         )
     for name, recorded in manifest.get("content", {}).items():
+        if name == _COLUMNAR_NAME:
+            # The columnar payload is a pure cache verified lazily by its
+            # loader at first query; a missing or corrupted file must drop
+            # the cache (recompile), never fail the load.
+            continue
         actual = _file_digest(directory / name)
         if actual != recorded:
             raise SnapshotError(
@@ -508,6 +546,7 @@ def load_engine_snapshot(
 
         engine = TraceQueryEngine(dataset, measure=resolved_measure, config=config)
         engine._adopt_index(family, tree)
+        _install_columnar_loader(engine, directory, manifest)
     except SnapshotError:
         raise
     except (KeyError, IndexError, TypeError, ValueError) as exc:
@@ -516,6 +555,60 @@ def load_engine_snapshot(
             "arrays are inconsistent"
         ) from exc
     return engine
+
+
+def _install_columnar_loader(
+    engine: TraceQueryEngine, directory: Path, manifest: Dict[str, object]
+) -> None:
+    """Adopt a snapshot's precompiled columnar kernel as a *lazy* loader.
+
+    The payload stays unread at load time (cold start is the whole point of
+    a snapshot); the searcher imports it on the first query, after
+    re-verifying the manifest digest.  The compiled arrays are a pure cache
+    -- results are identical with or without them -- so *any* problem (a
+    version-1 snapshot without them, the engine mutating before the first
+    query, a missing/tampered/inconsistent file) simply falls back to the
+    lazy recompile.
+    """
+    if not engine.config.columnar_queries:
+        return
+    recorded_digest = manifest.get("content", {}).get(_COLUMNAR_NAME)
+    payload = directory / _COLUMNAR_NAME
+    if recorded_digest is None or not payload.exists():
+        return
+    from repro.core.columnar import ColumnarTree
+
+    tree = engine.tree
+    dataset = engine.dataset
+    tree_mutation = tree.mutation_count
+    dataset_mutation = dataset.mutation_count
+
+    def load_compiled() -> Optional["ColumnarTree"]:
+        """Import the persisted arrays iff nothing moved since load."""
+        if (
+            tree.mutation_count != tree_mutation
+            or dataset.mutation_count != dataset_mutation
+        ):
+            return None
+        try:
+            if _file_digest(payload) != recorded_digest:
+                return None
+            with np.load(payload, allow_pickle=False) as arrays:
+                data = {key: arrays[key] for key in arrays.files}
+            compiled = ColumnarTree.import_arrays(
+                data, num_levels=tree.num_levels, num_hashes=tree.num_hashes
+            )
+            if (
+                compiled.num_entities != tree.num_entities
+                or compiled.num_nodes != tree.num_nodes + 1
+            ):
+                return None
+        except (OSError, KeyError, ValueError, zipfile.BadZipFile):
+            return None
+        compiled.stamp(tree, dataset)
+        return compiled
+
+    engine.searcher.adopt_compiled_loader(load_compiled)
 
 
 def snapshot_info(path: PathLike) -> Dict[str, object]:

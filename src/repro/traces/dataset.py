@@ -42,6 +42,12 @@ class TraceDataset:
         self._sequence_cache: Dict[str, CellSequence] = {}
         # level -> cell -> set of entities, built lazily per level.
         self._cell_index: Dict[int, Dict[STCell, Set[str]]] = {}
+        #: Monotone counter bumped by every mutation (adds, removals,
+        #: expiry, trace replacement).  Derived structures that freeze a
+        #: view of the dataset -- the columnar query kernel's per-level
+        #: cell-membership arrays -- record the value they were compiled at
+        #: and recompile lazily when it moved.
+        self.mutation_count: int = 0
 
     # ------------------------------------------------------------------
     # Construction and mutation
@@ -151,6 +157,7 @@ class TraceDataset:
         self._invalidate(entity)
 
     def _invalidate(self, entity: str) -> None:
+        self.mutation_count += 1
         self._sequence_cache.pop(entity, None)
         # The inverted indexes are rebuilt from scratch on next use; updates
         # are rare compared to reads in every workload we model.

@@ -1,0 +1,479 @@
+"""The columnar kernel's bitwise-equivalence guarantee, pinned by fuzzing.
+
+The columnar query engine (``EngineConfig.columnar_queries``, the default)
+must produce **bit-identical** ``TopKResult``s -- items, ordering, scores,
+and every ``QueryStats`` counter -- to the reference pointer-walking
+traversal, across:
+
+* random workloads × result sizes × approximation slacks × bound modes ×
+  candidate filters × the full-signature ablation;
+* every registered association measure (the batched ``score_levels_batch``
+  / ``bound_batch_kernel`` kernels are pinned directly, too);
+* streaming ingest/expire/compact interleavings (the compiled arrays must
+  invalidate and recompile on every index or data mutation);
+* sharded deployments (shard counts {1, 2});
+* snapshot save/load, including the round-trip of the compiled arrays
+  themselves and the version-1 (pre-columnar) backward-compat path.
+"""
+
+import dataclasses
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro import (
+    EventIngestor,
+    PresenceInstance,
+    ShardedEngine,
+    SpatialHierarchy,
+    TraceDataset,
+    TraceQueryEngine,
+)
+from repro.measures.adm import ExampleDiceADM, HierarchicalADM
+from repro.measures.setsim import DiceADM, FScoreADM, JaccardADM, OverlapADM
+
+HORIZON = 96
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    return SpatialHierarchy.regular([2, 3, 2], prefix="c")
+
+
+@pytest.fixture(scope="module")
+def two_level_hierarchy():
+    return SpatialHierarchy.regular([3, 4], prefix="d")
+
+
+def random_events(hierarchy, rng, num_entities=16, max_events=7, span=90):
+    events = []
+    for index in range(num_entities):
+        name = f"e{index}"
+        for _ in range(rng.randrange(1, max_events)):
+            start = rng.randrange(0, span)
+            events.append(
+                PresenceInstance(
+                    entity=name,
+                    unit=rng.choice(hierarchy.base_units),
+                    start=start,
+                    end=start + rng.randrange(1, 4),
+                )
+            )
+    return events
+
+
+def dataset_from(hierarchy, events):
+    dataset = TraceDataset(hierarchy, horizon=HORIZON)
+    for event in events:
+        dataset.add_presence(event)
+    return dataset
+
+
+def paired_engines(hierarchy, events, measure=None, **knobs):
+    """(reference, columnar) engines over independent but identical datasets.
+
+    Independent datasets let update tests mutate both engines through their
+    own APIs without double-appending to a shared dataset.
+    """
+    reference = TraceQueryEngine(
+        dataset_from(hierarchy, events), measure=measure, columnar_queries=False, **knobs
+    ).build()
+    columnar = TraceQueryEngine(
+        dataset_from(hierarchy, events), measure=measure, columnar_queries=True, **knobs
+    ).build()
+    return reference, columnar
+
+
+def assert_identical(reference_result, columnar_result):
+    assert columnar_result.items == reference_result.items, (
+        f"items diverge for {reference_result.query_entity!r}: "
+        f"{columnar_result.items} != {reference_result.items}"
+    )
+    assert dataclasses.asdict(columnar_result.stats) == dataclasses.asdict(
+        reference_result.stats
+    ), f"stats diverge for {reference_result.query_entity!r}"
+
+
+def assert_engines_identical(reference, columnar, k_values=(1, 4, 25), **search_kwargs):
+    assert columnar.searcher.columnar and not reference.searcher.columnar
+    for query in reference.dataset.entities:
+        for k in k_values:
+            assert_identical(
+                reference.searcher.search(query, k, **search_kwargs),
+                columnar.searcher.search(query, k, **search_kwargs),
+            )
+
+
+class TestFuzzedEquivalence:
+    @pytest.mark.parametrize("fuzz_seed", [3, 17, 59])
+    @pytest.mark.parametrize("bound_mode", ["lift", "per_level"])
+    def test_random_workloads(self, hierarchy, fuzz_seed, bound_mode):
+        rng = random.Random(fuzz_seed)
+        events = random_events(hierarchy, rng)
+        reference, columnar = paired_engines(
+            hierarchy, events, num_hashes=24, seed=5, bound_mode=bound_mode
+        )
+        assert_engines_identical(reference, columnar)
+
+    @pytest.mark.parametrize("approximation", [0.01, 0.2])
+    def test_approximate_top_k(self, hierarchy, approximation):
+        rng = random.Random(71)
+        events = random_events(hierarchy, rng)
+        reference, columnar = paired_engines(hierarchy, events, num_hashes=24, seed=5)
+        assert_engines_identical(
+            reference, columnar, k_values=(2, 6), approximation=approximation
+        )
+
+    def test_candidate_filter(self, hierarchy):
+        rng = random.Random(29)
+        events = random_events(hierarchy, rng)
+        reference, columnar = paired_engines(hierarchy, events, num_hashes=24, seed=5)
+        keep = {f"e{index}" for index in range(0, 16, 2)}
+        assert_engines_identical(
+            reference, columnar, k_values=(3,), candidate_filter=keep.__contains__
+        )
+
+    def test_full_signature_ablation(self, hierarchy):
+        rng = random.Random(41)
+        events = random_events(hierarchy, rng)
+        reference, columnar = paired_engines(
+            hierarchy,
+            events,
+            num_hashes=24,
+            seed=5,
+            store_full_signatures=True,
+            use_full_signatures=True,
+        )
+        assert_engines_identical(reference, columnar, k_values=(3,))
+
+    @pytest.mark.parametrize(
+        "measure_factory",
+        [
+            lambda m: HierarchicalADM(num_levels=m, u=3.0, v=1.5),
+            lambda m: JaccardADM(num_levels=m),
+            lambda m: DiceADM(num_levels=m),
+            lambda m: OverlapADM(num_levels=m),
+            lambda m: FScoreADM(num_levels=m, beta=0.7),
+        ],
+        ids=["hierarchical-u3-v1.5", "jaccard", "dice", "overlap", "fscore"],
+    )
+    def test_measures(self, hierarchy, measure_factory):
+        rng = random.Random(13)
+        events = random_events(hierarchy, rng, num_entities=12)
+        measure = measure_factory(hierarchy.num_levels)
+        reference, columnar = paired_engines(
+            hierarchy, events, measure=measure, num_hashes=16, seed=2
+        )
+        assert_engines_identical(reference, columnar, k_values=(3,))
+
+    def test_example_dice_two_levels(self, two_level_hierarchy):
+        rng = random.Random(37)
+        events = random_events(two_level_hierarchy, rng, num_entities=10)
+        reference, columnar = paired_engines(
+            two_level_hierarchy, events, measure=ExampleDiceADM(), num_hashes=16, seed=2
+        )
+        assert_engines_identical(reference, columnar, k_values=(2, 5))
+
+
+class TestMeasureBatchKernels:
+    """score_levels_batch / bound_batch_kernel are bit-identical per row."""
+
+    MEASURES = [
+        HierarchicalADM(num_levels=3),
+        HierarchicalADM(num_levels=3, u=4.0, v=3.0),
+        HierarchicalADM(num_levels=3, u=1.3, v=1.7),
+        JaccardADM(num_levels=3),
+        DiceADM(num_levels=3, weights=(0.0, 1.0, 2.0)),
+        OverlapADM(num_levels=3),
+        FScoreADM(num_levels=3, beta=0.5),
+        ExampleDiceADM(weights=(0.3, 0.2, 0.5)),
+    ]
+
+    @pytest.mark.parametrize(
+        "measure", MEASURES, ids=lambda m: f"{m.name}-{id(m) % 97}"
+    )
+    def test_score_levels_batch_matches_scalar(self, measure):
+        rng = random.Random(5)
+        rows = []
+        for _ in range(300):
+            row = []
+            for _level in range(3):
+                size_a = rng.randrange(0, 9)
+                size_b = rng.randrange(0, 9)
+                shared = rng.randrange(0, min(size_a, size_b) + 1)
+                row.append((size_a, size_b, shared))
+            rows.append(row)
+        sizes_a = np.array([[r[0] for r in row] for row in rows], dtype=np.int64)
+        sizes_b = np.array([[r[1] for r in row] for row in rows], dtype=np.int64)
+        shared = np.array([[r[2] for r in row] for row in rows], dtype=np.int64)
+        batched = measure.score_levels_batch(sizes_a, sizes_b, shared)
+        for index, row in enumerate(rows):
+            assert batched[index] == measure.score_levels(row)
+
+    @pytest.mark.parametrize(
+        "measure", MEASURES, ids=lambda m: f"{m.name}-{id(m) % 97}"
+    )
+    def test_bound_kernel_matches_scalar(self, measure):
+        query_sizes = (4, 7, 5)
+        kernel = measure.bound_batch_kernel(query_sizes)
+        survivors = np.array(
+            [
+                [s1, s2, s3]
+                for s1 in range(5)
+                for s2 in range(8)
+                for s3 in range(6)
+            ],
+            dtype=np.int64,
+        )
+        batched = kernel(survivors)
+        for index, row in enumerate(survivors):
+            overlaps = [
+                (int(s), int(q), int(s)) for s, q in zip(row, query_sizes)
+            ]
+            assert batched[index] == measure.score_levels(overlaps)
+
+
+class TestStreamingInterleavings:
+    @pytest.mark.parametrize("fuzz_seed", [7, 31])
+    def test_ingest_expire_interleavings(self, hierarchy, fuzz_seed):
+        rng = random.Random(fuzz_seed)
+        events = random_events(hierarchy, rng, num_entities=12, max_events=9)
+        events.sort(key=lambda p: (p.start, p.end, p.entity, p.unit))
+        reference, columnar = paired_engines(hierarchy, [], num_hashes=24, seed=5)
+        window = rng.choice([25, 40])
+        batch = rng.choice([4, 16])
+        compact_after = rng.choice([0, 6])
+        ingestors = [
+            EventIngestor(
+                engine, max_batch_events=batch, window=window, compact_after=compact_after
+            )
+            for engine in (reference, columnar)
+        ]
+        for index, event in enumerate(events, start=1):
+            for ingestor in ingestors:
+                ingestor.submit(event)
+            if rng.random() < 0.08:
+                for ingestor in ingestors:
+                    ingestor.flush()
+                assert_engines_identical(reference, columnar, k_values=(3,))
+        for ingestor in ingestors:
+            ingestor.close()
+        assert_engines_identical(reference, columnar)
+
+    def test_incremental_updates_recompile(self, hierarchy):
+        rng = random.Random(97)
+        events = random_events(hierarchy, rng, num_entities=10)
+        reference, columnar = paired_engines(hierarchy, events, num_hashes=24, seed=5)
+        compiled_before = columnar.searcher.compiled_tree()
+        assert_engines_identical(reference, columnar, k_values=(3,))
+        extra = [
+            PresenceInstance("e1", hierarchy.base_units[0], 10, 13),
+            PresenceInstance("newcomer", hierarchy.base_units[-1], 4, 6),
+        ]
+        for engine in (reference, columnar):
+            engine.add_records(extra)
+            engine.remove_entity("e2")
+            engine.expire_events(8)
+            engine.compact()
+        assert_engines_identical(reference, columnar, k_values=(1, 5))
+        # The mutations must have invalidated the compiled arrays.
+        assert columnar.searcher.compiled_tree() is not compiled_before
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("num_shards", [1, 2])
+    def test_sharded_columnar_matches_reference(self, hierarchy, num_shards):
+        rng = random.Random(83)
+        events = random_events(hierarchy, rng)
+        knobs = dict(num_hashes=24, seed=5, num_shards=num_shards)
+        reference = ShardedEngine(
+            dataset_from(hierarchy, events), columnar_queries=False, **knobs
+        ).build()
+        columnar = ShardedEngine(
+            dataset_from(hierarchy, events), columnar_queries=True, **knobs
+        ).build()
+        for query in reference.dataset.entities:
+            for k in (1, 4, 25):
+                assert_identical(reference.top_k(query, k), columnar.top_k(query, k))
+
+
+class TestSnapshotRoundTrip:
+    def test_compiled_arrays_round_trip(self, hierarchy, tmp_path, monkeypatch):
+        from repro.core.columnar import ColumnarTree
+
+        rng = random.Random(19)
+        events = random_events(hierarchy, rng)
+        engine = TraceQueryEngine(
+            dataset_from(hierarchy, events), num_hashes=24, seed=5
+        ).build()
+        snap = engine.save(tmp_path / "snap")
+        assert (snap / "columnar.npz").exists()
+        loaded = TraceQueryEngine.load(snap)
+
+        # Load defers the columnar import: nothing compiled yet, but the
+        # first query must import the persisted arrays -- never recompile.
+        assert loaded.searcher._compiled is None
+        assert loaded.searcher._compiled_loader is not None
+
+        def no_compile(*args, **kwargs):  # pragma: no cover - guard only
+            raise AssertionError("snapshot load must import, not recompile")
+
+        monkeypatch.setattr(ColumnarTree, "compile", no_compile)
+        installed = loaded.searcher.compiled_tree()
+        assert installed is not None
+        saved_arrays = engine.searcher.compiled_tree().export_arrays()
+        loaded_arrays = installed.export_arrays()
+        assert set(saved_arrays) == set(loaded_arrays)
+        for key, value in saved_arrays.items():
+            assert np.array_equal(value, loaded_arrays[key]), key
+        monkeypatch.undo()
+
+        assert_engines_identical(
+            TraceQueryEngine(
+                dataset_from(hierarchy, events), num_hashes=24, seed=5,
+                columnar_queries=False,
+            ).build(),
+            loaded,
+            k_values=(3,),
+        )
+
+    def test_streamed_snapshot_round_trip(self, hierarchy, tmp_path):
+        """Save/load after streaming updates (arrays recompiled at save)."""
+        rng = random.Random(53)
+        events = random_events(hierarchy, rng, num_entities=10)
+        reference, columnar = paired_engines(hierarchy, events, num_hashes=24, seed=5)
+        extra = [PresenceInstance("e0", hierarchy.base_units[2], 50, 55)]
+        for engine in (reference, columnar):
+            engine.add_records(extra)
+            engine.expire_events(12)
+        columnar.save(tmp_path / "snap")
+        loaded = TraceQueryEngine.load(tmp_path / "snap")
+        assert loaded.searcher._compiled_loader is not None
+        assert_engines_identical(reference, loaded, k_values=(1, 6))
+
+    def test_mutation_before_first_query_discards_stale_arrays(
+        self, hierarchy, tmp_path
+    ):
+        """A post-load mutation must win over the persisted compile."""
+        rng = random.Random(61)
+        events = random_events(hierarchy, rng, num_entities=8)
+        reference, columnar = paired_engines(hierarchy, events, num_hashes=16, seed=3)
+        columnar.save(tmp_path / "snap")
+        loaded = TraceQueryEngine.load(tmp_path / "snap")
+        extra = [PresenceInstance("e3", hierarchy.base_units[1], 60, 63)]
+        reference.add_records(extra)
+        loaded.add_records(extra)  # before any query: loader must bail out
+        assert_engines_identical(reference, loaded, k_values=(2, 5))
+
+    def test_missing_or_corrupt_columnar_payload_falls_back(self, hierarchy, tmp_path):
+        """The columnar payload is a cache: losing it must not fail the load."""
+        rng = random.Random(73)
+        events = random_events(hierarchy, rng, num_entities=8)
+        engine = TraceQueryEngine(
+            dataset_from(hierarchy, events), num_hashes=16, seed=3
+        ).build()
+        query = engine.dataset.entities[0]
+        expected = engine.top_k(query, k=5).items
+
+        snap = engine.save(tmp_path / "missing")
+        (snap / "columnar.npz").unlink()
+        loaded = TraceQueryEngine.load(snap)
+        assert loaded.top_k(query, k=5).items == expected
+        assert loaded.searcher._compiled is not None  # recompiled lazily
+
+        snap = engine.save(tmp_path / "corrupt")
+        (snap / "columnar.npz").write_bytes(b"not an npz")
+        loaded = TraceQueryEngine.load(snap)
+        assert loaded.top_k(query, k=5).items == expected
+
+    def test_version1_snapshot_still_loads_and_recompiles(self, hierarchy, tmp_path):
+        from repro.storage.snapshot import _file_digest
+
+        rng = random.Random(67)
+        events = random_events(hierarchy, rng, num_entities=8)
+        engine = TraceQueryEngine(
+            dataset_from(hierarchy, events), num_hashes=16, seed=3
+        ).build()
+        snap = engine.save(tmp_path / "snap")
+
+        # Rewrite the snapshot as a faithful version-1 artifact: no columnar
+        # payload, no columnar config key, version 1, fresh content digests.
+        (snap / "columnar.npz").unlink()
+        manifest = json.loads((snap / "manifest.json").read_text())
+        manifest["format_version"] = 1
+        manifest["config"].pop("columnar_queries")
+        manifest["content"].pop("columnar.npz")
+        manifest["content"]["arrays.npz"] = _file_digest(snap / "arrays.npz")
+        (snap / "manifest.json").write_text(json.dumps(manifest))
+
+        loaded = TraceQueryEngine.load(snap)
+        assert loaded.searcher._compiled is None  # nothing precompiled...
+        assert loaded.searcher._compiled_loader is None
+        assert loaded.config.columnar_queries  # ...but columnar still on
+        query = loaded.dataset.entities[0]
+        assert loaded.top_k(query, k=5).items == engine.top_k(query, k=5).items
+        assert loaded.searcher._compiled is not None  # lazily recompiled
+
+
+class TestSearchManyParity:
+    """Satellite regression: search_many passes every search knob through."""
+
+    def test_approximation_and_filter_pass_through(self, hierarchy):
+        rng = random.Random(23)
+        events = random_events(hierarchy, rng, num_entities=10)
+        engine = TraceQueryEngine(
+            dataset_from(hierarchy, events), num_hashes=16, seed=3
+        ).build()
+        queries = list(engine.dataset.entities)[:5]
+        keep = {f"e{index}" for index in range(1, 10, 2)}
+        batched = engine.searcher.search_many(
+            queries, k=4, candidate_filter=keep.__contains__, approximation=0.05
+        )
+        for query, result in zip(queries, batched):
+            assert_identical(
+                engine.searcher.search(
+                    query, 4, candidate_filter=keep.__contains__, approximation=0.05
+                ),
+                result,
+            )
+            assert all(entity in keep for entity in result.entities)
+
+    def test_fetch_memoised_within_and_across_searches(self, hierarchy):
+        rng = random.Random(43)
+        events = random_events(hierarchy, rng, num_entities=10)
+        engine = TraceQueryEngine(
+            dataset_from(hierarchy, events), num_hashes=16, seed=3
+        ).build()
+        fetches = []
+
+        def counting_fetcher(entity):
+            fetches.append(entity)
+            return engine.dataset.cell_sequence(entity)
+
+        queries = list(engine.dataset.entities)[:4]
+        serial = [
+            engine.searcher.search(query, 3, sequence_fetcher=counting_fetcher)
+            for query in queries
+        ]
+        serial_fetches = len(fetches)
+        assert serial_fetches > 0
+
+        fetches.clear()
+        batched = engine.searcher.search_many(
+            queries, 3, sequence_fetcher=counting_fetcher
+        )
+        for reference, result in zip(serial, batched):
+            assert_identical(reference, result)
+        # Across one batch every candidate is fetched at most once, so the
+        # shared memo must fetch strictly less than the serial runs did.
+        assert len(fetches) == len(set(fetches)) < serial_fetches
+
+        fetches.clear()
+        executor_results = engine.batch_executor().run(
+            queries, 3, sequence_fetcher=counting_fetcher
+        )
+        for reference, result in zip(serial, executor_results):
+            assert_identical(reference, result)
+        assert len(fetches) == len(set(fetches)) < serial_fetches
