@@ -314,6 +314,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="auto-compact after this many index-changing retractions (0 = never)",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="serve top-k queries from this many read-only worker processes over "
+        "shared memory-mapped snapshot generations (0 = single-process daemon; "
+        "see docs/SERVING.md)",
+    )
     _add_index_arguments(serve, defaults=False)
     _add_columnar_argument(serve)
 
@@ -844,6 +852,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         return _error(f"--compact-every must be >= 0, got {args.compact_every}")
     if args.cache is not None and args.cache < 0:
         return _error(f"--cache must be >= 0, got {args.cache}")
+    if args.workers < 0:
+        return _error(f"--workers must be >= 0, got {args.workers}")
 
     try:
         engine = _resolve_engine(args, horizon=args.horizon)
@@ -868,13 +878,29 @@ def _run_server(engine, args: argparse.Namespace) -> int:
         window=args.window or None,
         compact_after=args.compact_every,
     )
-    server = TraceServer(
-        engine,
-        streaming=streaming,
-        coalesce_window=args.coalesce_window / 1000.0,
-        max_pending=args.max_pending,
-        max_batch=args.max_batch,
-    )
+    workers = getattr(args, "workers", 0)
+    if workers:
+        from repro.server.frontend import FrontendServer
+
+        try:
+            server = FrontendServer(
+                engine,
+                streaming=streaming,
+                workers=workers,
+                coalesce_window=args.coalesce_window / 1000.0,
+                max_pending=args.max_pending,
+                max_batch=args.max_batch,
+            )
+        except (OSError, RuntimeError) as exc:
+            return _error(f"cannot start {workers} query workers: {exc}")
+    else:
+        server = TraceServer(
+            engine,
+            streaming=streaming,
+            coalesce_window=args.coalesce_window / 1000.0,
+            max_pending=args.max_pending,
+            max_batch=args.max_batch,
+        )
     try:
         httpd = build_http_server(server, host=args.host, port=args.port)
     except OSError as exc:
@@ -892,6 +918,13 @@ def _run_server(engine, args: argparse.Namespace) -> int:
         "GET /v1/healthz, GET /v1/stats)",
         flush=True,
     )
+    if workers:
+        pids = ", ".join(str(pid) for pid in server.pool.worker_pids)
+        print(
+            f"multi-process tier: {workers} query workers (pids {pids}) over "
+            f"generation store {server.store.root}",
+            flush=True,
+        )
 
     def request_shutdown(signum, frame) -> None:
         # serve_forever() must keep running while shutdown() waits for it,

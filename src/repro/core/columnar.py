@@ -63,7 +63,79 @@ from repro.measures.base import AssociationMeasure
 from repro.traces.dataset import TraceDataset
 from repro.traces.events import CellSequence, STCell
 
-__all__ = ["ColumnarTree", "ColumnarQueryContext", "ColumnarUnsupportedQuery"]
+__all__ = [
+    "ColumnarTree",
+    "ColumnarQueryContext",
+    "ColumnarUnsupportedQuery",
+    "load_npz_mmap",
+]
+
+
+def load_npz_mmap(path) -> Optional[Dict[str, np.ndarray]]:
+    """Load an uncompressed ``.npz`` archive as read-only memory-mapped views.
+
+    ``np.load(..., mmap_mode="r")`` silently ignores ``mmap_mode`` for
+    ``.npz`` archives (it only maps bare ``.npy`` files), so this helper does
+    the work itself: for every ZIP member stored without compression
+    (``np.savez`` stores, never deflates) it finds the member's data bytes
+    through the ZIP local file header, parses the ``.npy`` header, and wraps
+    the payload in a ``np.memmap`` view into the archive file.  N processes
+    mapping the same snapshot this way share one physical copy of the
+    compiled arrays through the OS page cache -- the zero-copy property the
+    multi-process serving tier relies on (see docs/SERVING.md).
+
+    Returns ``None`` whenever any member cannot be mapped (a compressed
+    member, an object dtype, a malformed or unsupported header): callers
+    fall back to a regular ``np.load``.  The views are opened read-only;
+    writing through them raises.
+    """
+    import zipfile
+
+    arrays: Dict[str, np.ndarray] = {}
+    try:
+        with zipfile.ZipFile(path) as archive:
+            members = archive.infolist()
+        with open(path, "rb") as handle:
+            for info in members:
+                if info.compress_type != zipfile.ZIP_STORED:
+                    return None
+                name = info.filename
+                key = name[:-4] if name.endswith(".npy") else name
+                # The central directory's extra-field length can differ from
+                # the local header's, so the data offset must come from the
+                # local header itself.
+                handle.seek(info.header_offset)
+                local = handle.read(30)
+                if len(local) != 30 or local[:4] != b"PK\x03\x04":
+                    return None
+                name_length = int.from_bytes(local[26:28], "little")
+                extra_length = int.from_bytes(local[28:30], "little")
+                handle.seek(info.header_offset + 30 + name_length + extra_length)
+                version = np.lib.format.read_magic(handle)
+                if version == (1, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+                elif version == (2, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+                else:
+                    return None
+                if dtype.hasobject:
+                    return None
+                if int(np.prod(shape, dtype=np.int64)) == 0:
+                    # mmap cannot express a zero-byte span; an empty array
+                    # has no payload to share anyway.
+                    arrays[key] = np.zeros(shape, dtype=dtype)
+                    continue
+                arrays[key] = np.memmap(
+                    path,
+                    dtype=dtype,
+                    mode="r",
+                    offset=handle.tell(),
+                    shape=shape,
+                    order="F" if fortran else "C",
+                )
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+        return None
+    return arrays
 
 
 class ColumnarUnsupportedQuery(ValueError):

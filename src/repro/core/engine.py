@@ -597,7 +597,7 @@ class TraceQueryEngine:
         miss_positions: List[int] = []
         for position, query_entity in enumerate(query_entities):
             cached = cache.get(self._query_cache_key(query_entity, k, approximation))
-            results.append(cached.copy() if cached is not None else None)
+            results.append(cached)
             if cached is None:
                 miss_positions.append(position)
         if miss_positions:

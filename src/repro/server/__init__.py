@@ -2,7 +2,9 @@
 
 Everything below this package serves queries *in-process*; this package is
 the network boundary that the ROADMAP's "heavy traffic" north-star needs.
-It is standard-library only (``http.server``) and splits into four modules:
+It is standard-library only (``http.server``) and splits into two tiers.
+
+The single-process daemon (``repro serve``):
 
 * :mod:`~repro.server.protocol` -- the wire format: request validation
   into dataclasses, canonical (byte-stable) JSON response payloads;
@@ -16,15 +18,34 @@ It is standard-library only (``http.server``) and splits into four modules:
   ``handle_stats``) and :func:`build_http_server` (the
   ``ThreadingHTTPServer`` skin the ``repro serve`` CLI runs).
 
+The multi-process tier (``repro serve --workers N``), which escapes the
+GIL by running read-only query workers in their own processes over shared
+memory-mapped snapshot generations:
+
+* :mod:`~repro.server.generation` -- :class:`GenerationStore`: the
+  single-writer publish / many-reader adopt protocol over immutable
+  snapshot directories plus an atomically swapped ``CURRENT`` file;
+* :mod:`~repro.server.workers` -- the worker process entry point
+  (``python -m repro.server.workers``) and its length-prefixed JSON frame
+  protocol over Unix sockets;
+* :mod:`~repro.server.frontend` -- :class:`FrontendServer`: the owner
+  process (writes, generation publishing) plus a :class:`WorkerPool`
+  doing admission control, coalescing, scatter-gather, and
+  respawn-on-death over the worker sockets.  Drop-in for
+  :class:`TraceServer` under :func:`build_http_server`.
+
 The serving contract -- request/response schemas, status codes, the
-coalescing and consistency semantics -- is documented in
-``docs/SERVING.md``; the concurrency-equivalence guarantee (daemon
-responses byte-identical to the in-process API) is pinned by
+coalescing and consistency semantics (including which generation a request
+can observe) -- is documented in ``docs/SERVING.md``; the
+concurrency-equivalence guarantee (daemon responses byte-identical to the
+in-process API, in both tiers) is pinned by
 ``tests/test_server_equivalence.py``.
 """
 
 from repro.server.app import TraceServer, build_http_server
 from repro.server.coalescer import CoalescerStats, QueueFullError, RequestCoalescer
+from repro.server.frontend import FrontendServer, WorkerDiedError, WorkerPool
+from repro.server.generation import GenerationStore
 from repro.server.metrics import LatencyHistogram, ServerMetrics
 from repro.server.protocol import (
     EventsRequest,
@@ -37,6 +58,8 @@ from repro.server.protocol import (
 __all__ = [
     "CoalescerStats",
     "EventsRequest",
+    "FrontendServer",
+    "GenerationStore",
     "LatencyHistogram",
     "ProtocolError",
     "QueueFullError",
@@ -44,6 +67,8 @@ __all__ = [
     "ServerMetrics",
     "TopKRequest",
     "TraceServer",
+    "WorkerDiedError",
+    "WorkerPool",
     "build_http_server",
     "parse_events_request",
     "parse_topk_request",

@@ -272,8 +272,15 @@ class TraceServer:
         coalesced batch search or a micro-batch flush holds the lock for
         their full duration).  ``num_entities`` is a cheap dictionary-size
         read; a momentarily stale value is fine for a probe.
+
+        Once :meth:`close` ran, the probe answers ``503`` (body status
+        ``"shutting_down"``): a load balancer keying on the status code --
+        which is what most of them do -- must stop routing to a draining
+        process, not keep sending it traffic because the JSON body happens
+        to spell out the state.
         """
-        return 200, {
+        status = 200 if not self._closed else 503
+        return status, {
             "status": "ok" if not self._closed else "shutting_down",
             "entities": self.engine.dataset.num_entities,
             "uptime_seconds": time.monotonic() - self.started_at,

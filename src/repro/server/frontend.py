@@ -1,0 +1,577 @@
+"""The multi-process front-end: owner process + worker socket pool.
+
+``repro serve --workers N`` escapes the GIL by splitting the daemon into
+processes (see docs/SERVING.md for the full model):
+
+* the **front-end process** (this module) accepts every HTTP request.  It
+  is also the single **owner** of the mutable index: ``/v1/events`` flows
+  into the embedded :class:`~repro.server.app.TraceServer` write path
+  exactly as in single-process mode, and every index-changing flush
+  publishes a new immutable snapshot generation
+  (:class:`~repro.server.generation.GenerationStore`) from a flush hook,
+  under the engine lock;
+* ``/v1/topk`` never touches the owner engine.  Queries are admission
+  controlled and coalesced by the same
+  :class:`~repro.server.coalescer.RequestCoalescer` machinery as in-process
+  serving -- pointed at a :class:`WorkerPool` instead of an engine -- and
+  batches are scatter-gathered over N read-only **worker processes**
+  (:mod:`repro.server.workers`) connected through a Unix-socket pool.
+
+Workers adopt the newest generation at each request boundary, so every
+query observes at least every generation published before the request was
+received; the equivalence suite pins that the resulting responses are
+byte-identical to the in-process daemon's.  A worker that dies (crash,
+SIGKILL) is detected by its broken connection; its in-flight queries are
+retried on the remaining workers -- reads are idempotent -- and the worker
+is respawned in the background of the retry.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from queue import Empty, Queue
+from typing import Dict, List, Optional, Tuple
+
+from repro.server import protocol
+from repro.server.app import TraceServer
+from repro.server.coalescer import QueueFullError, RequestCoalescer
+from repro.server.generation import GenerationStore
+from repro.server.workers import recv_frame, send_frame
+from repro.streaming.ingestor import StreamingConfig
+
+__all__ = ["FrontendServer", "WorkerPool", "WorkerDiedError"]
+
+Response = Tuple[int, Dict[str, object]]
+PathLikeT = os.PathLike
+
+
+class WorkerDiedError(ConnectionError):
+    """A worker connection broke mid-request (crash, kill, wedge)."""
+
+
+class _WorkerHandle:
+    """One worker process plus its (lazily connected) request socket.
+
+    The handle serialises requests on its connection with a lock; the pool
+    keeps one handle per worker and hands idle handles to requesters.
+    """
+
+    def __init__(self, index: int, store_root: Path, spawn_command: List[str]) -> None:
+        self.index = index
+        self.socket_path = str(store_root / f"worker-{index:02d}.sock")
+        self._spawn_command = spawn_command + ["--socket", self.socket_path]
+        self._process: Optional[subprocess.Popen] = None
+        self._connection: Optional[socket.socket] = None
+        self.lock = threading.Lock()
+        self.respawns = -1  # first spawn brings it to 0
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._process.pid if self._process is not None else None
+
+    def spawn(self) -> None:
+        """Start (or restart) the worker process; drops any old connection."""
+        self._drop_connection()
+        if self._process is not None and self._process.poll() is None:
+            self._process.terminate()
+            try:
+                self._process.wait(timeout=5)
+            except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+                self._process.kill()
+                self._process.wait()
+        try:
+            os.unlink(self.socket_path)
+        except OSError:
+            pass
+        env = os.environ.copy()
+        # The worker must import repro from the same tree as this process,
+        # installed or not.
+        package_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not existing else package_root + os.pathsep + existing
+        )
+        self._process = subprocess.Popen(self._spawn_command, env=env)
+        self.respawns += 1
+
+    def _drop_connection(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except OSError:
+                pass
+            self._connection = None
+
+    def _connect(self, timeout: float) -> socket.socket:
+        """Connect to the worker socket, waiting for it to come up."""
+        deadline = time.monotonic() + timeout
+        while True:
+            connection = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                connection.connect(self.socket_path)
+            except (FileNotFoundError, ConnectionRefusedError, OSError):
+                connection.close()
+                if self._process is not None and self._process.poll() is not None:
+                    raise WorkerDiedError(
+                        f"worker {self.index} exited with {self._process.returncode} "
+                        "before accepting connections"
+                    )
+                if time.monotonic() >= deadline:
+                    raise WorkerDiedError(
+                        f"worker {self.index} did not accept a connection within "
+                        f"{timeout:.0f}s"
+                    )
+                time.sleep(0.02)
+                continue
+            connection.settimeout(120.0)
+            return connection
+
+    def request(
+        self, payload: Dict[str, object], connect_timeout: float = 30.0
+    ) -> Dict[str, object]:
+        """One framed request/reply exchange.  Raises :class:`WorkerDiedError`
+        when the connection breaks -- the caller decides about respawn/retry."""
+        with self.lock:
+            try:
+                if self._connection is None:
+                    self._connection = self._connect(connect_timeout)
+                send_frame(self._connection, payload)
+                reply = recv_frame(self._connection)
+            except WorkerDiedError:
+                raise
+            except (ConnectionError, OSError, ValueError) as exc:
+                self._drop_connection()
+                raise WorkerDiedError(f"worker {self.index} connection failed: {exc}") from exc
+            if reply is None:
+                self._drop_connection()
+                raise WorkerDiedError(f"worker {self.index} closed the connection")
+            return reply
+
+    def close(self) -> None:
+        """Terminate the worker and reap it."""
+        self._drop_connection()
+        if self._process is not None:
+            if self._process.poll() is None:
+                self._process.terminate()
+                try:
+                    self._process.wait(timeout=10)
+                except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+                    self._process.kill()
+                    self._process.wait()
+            self._process = None
+
+
+class WorkerPool:
+    """N worker processes behind an idle-handle queue.
+
+    ``topk`` checks a handle out, performs one framed exchange, and checks
+    it back in; concurrent callers therefore spread over the pool, and a
+    scattered batch occupies as many workers as it has chunks.  A broken
+    handle is respawned and the request retried on the pool -- bounded by
+    ``num_workers + 1`` attempts so a systematically failing request
+    cannot retry forever.
+    """
+
+    def __init__(self, store_root: PathLikeT, num_workers: int, startup_timeout: float = 60.0) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.store_root = Path(store_root)
+        self.num_workers = num_workers
+        # Spawned via -c rather than -m: `python -m repro.server.workers`
+        # would import the repro.server package (which itself imports the
+        # workers module) before runpy re-executes it as __main__, tripping
+        # a double-import RuntimeWarning.  The command line still contains
+        # "repro.server.workers", so `pgrep -f` finds workers either way.
+        command = [
+            sys.executable,
+            "-c",
+            "import sys; from repro.server.workers import main; sys.exit(main(sys.argv[1:]))",
+            "--store",
+            str(self.store_root),
+            "--startup-timeout",
+            str(startup_timeout),
+        ]
+        self._handles = [
+            _WorkerHandle(index, self.store_root, command) for index in range(num_workers)
+        ]
+        self._idle: "Queue[_WorkerHandle]" = Queue()
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._retries = 0
+        self._closed = False
+        for handle in self._handles:
+            handle.spawn()
+        # Readiness barrier: one ping per worker proves the socket is up and
+        # the initial generation loaded before any HTTP request is accepted.
+        for handle in self._handles:
+            handle.request({"op": "ping"}, connect_timeout=startup_timeout)
+            self._idle.put(handle)
+
+    @property
+    def worker_pids(self) -> List[Optional[int]]:
+        """The live worker process ids, in pool-slot order."""
+        return [handle.pid for handle in self._handles]
+
+    def _checkout(self) -> _WorkerHandle:
+        while True:
+            try:
+                handle = self._idle.get(timeout=1.0)
+            except Empty:
+                if self._closed:
+                    raise RuntimeError("the worker pool is closed") from None
+                continue
+            return handle
+
+    def topk(
+        self, entities: List[str], k: int, approximation: float
+    ) -> List[Dict[str, object]]:
+        """Answer one batch of queries on one worker; respawn-and-retry on death.
+
+        Returns the per-query payload dicts in request order.  Raises
+        ``KeyError`` for an entity unknown to the worker's generation and
+        ``RuntimeError`` for transport-level failures that survived every
+        retry -- both mapped by the HTTP layer exactly like the in-process
+        daemon's errors.
+        """
+        request = {
+            "op": "topk",
+            "entities": list(entities),
+            "k": int(k),
+            "approximation": float(approximation),
+        }
+        attempts = self.num_workers + 1
+        last_error: Optional[WorkerDiedError] = None
+        for attempt in range(attempts):
+            handle = self._checkout()
+            try:
+                reply = handle.request(request)
+            except WorkerDiedError as exc:
+                last_error = exc
+                with self._stats_lock:
+                    self._retries += 1
+                # Respawn in the background so the retry (on another worker)
+                # is not serialised behind process start-up; the handle
+                # returns to the idle queue once it answers a ping.
+                threading.Thread(
+                    target=self._revive, args=(handle,), daemon=True
+                ).start()
+                continue
+            else:
+                self._idle.put(handle)
+            with self._stats_lock:
+                self._requests += 1
+            error = reply.get("error")
+            if error is not None:
+                status = reply.get("status")
+                if status == 404:
+                    raise KeyError(str(error))
+                raise RuntimeError(str(error))
+            return list(reply["results"])
+        raise RuntimeError(
+            f"no worker answered after {attempts} attempts: {last_error}"
+        )
+
+    def _revive(self, handle: _WorkerHandle) -> None:
+        """Respawn a dead worker and return it to the idle queue when ready."""
+        while not self._closed:
+            try:
+                handle.spawn()
+                handle.request({"op": "ping"}, connect_timeout=60.0)
+            except (WorkerDiedError, OSError):  # pragma: no cover - spawn storm
+                # Leave a beat and try again; a worker slot must not leak.
+                time.sleep(0.2)
+                continue
+            break
+        if self._closed:
+            handle.close()
+        else:
+            self._idle.put(handle)
+
+    def scatter_topk(
+        self, entities: List[str], k: int, approximation: float
+    ) -> List[Dict[str, object]]:
+        """Scatter one batch over the pool, gather in request order.
+
+        The batch is split into up to ``num_workers`` contiguous chunks so
+        its queries run concurrently in separate processes; each chunk is a
+        normal :meth:`topk` call with the same retry discipline.  Chunks may
+        individually observe a newer generation than their siblings -- the
+        documented batch-form relaxation of the consistency model.
+        """
+        if len(entities) <= 1 or self.num_workers == 1:
+            return self.topk(entities, k, approximation)
+        chunk_count = min(self.num_workers, len(entities))
+        bounds = [
+            (len(entities) * part) // chunk_count for part in range(chunk_count + 1)
+        ]
+        chunks = [entities[bounds[part] : bounds[part + 1]] for part in range(chunk_count)]
+        results: List[Optional[List[Dict[str, object]]]] = [None] * chunk_count
+        errors: List[BaseException] = []
+
+        def run(part: int) -> None:
+            try:
+                results[part] = self.topk(chunks[part], k, approximation)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(part,)) for part in range(1, chunk_count)
+        ]
+        for thread in threads:
+            thread.start()
+        run(0)
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        gathered: List[Dict[str, object]] = []
+        for part_results in results:
+            assert part_results is not None
+            gathered.extend(part_results)
+        return gathered
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """Pool counters for ``/v1/stats``: requests, retries, respawns."""
+        with self._stats_lock:
+            return {
+                "workers": self.num_workers,
+                "requests": self._requests,
+                "retries": self._retries,
+                "respawns": sum(max(handle.respawns, 0) for handle in self._handles),
+            }
+
+    def close(self) -> None:
+        """Terminate every worker (SIGTERM, reap) and reject further use."""
+        self._closed = True
+        for handle in self._handles:
+            handle.close()
+
+
+class _PoolDispatch:
+    """Adapter giving :class:`RequestCoalescer` an engine-shaped view of the pool.
+
+    The coalescer calls ``top_k_batch(...).results`` per dispatch round and
+    falls back to per-query ``top_k`` when a batch fails; both route to the
+    pool here, so admission control, windowed coalescing, and the
+    one-bad-query fallback behave exactly as in-process -- only the
+    execution substrate changed.
+    """
+
+    class _Batch:
+        __slots__ = ("results",)
+
+        def __init__(self, results: List[Dict[str, object]]) -> None:
+            self.results = results
+
+    def __init__(self, pool: WorkerPool) -> None:
+        self._pool = pool
+
+    def top_k_batch(self, entities, k: int, approximation: float) -> "_PoolDispatch._Batch":
+        return self._Batch(self._pool.topk(list(entities), k, approximation))
+
+    def top_k(self, entity: str, k: int, approximation: float) -> Dict[str, object]:
+        return self._pool.topk([entity], k, approximation)[0]
+
+
+class FrontendServer:
+    """Drop-in :class:`~repro.server.app.TraceServer` replacement with N workers.
+
+    Exposes the same ``handle_*`` surface (and ``metrics`` / ``ingestor`` /
+    ``coalescer`` attributes), so :func:`~repro.server.app.build_http_server`
+    and the CLI wrap it unchanged.  The embedded :class:`TraceServer` is the
+    write owner; queries go to the worker pool.
+
+    Parameters mirror ``TraceServer`` plus ``workers`` (process count) and
+    ``store_root`` (generation store directory; a private temporary
+    directory, removed on close, when not given).
+    """
+
+    def __init__(
+        self,
+        engine,
+        streaming: Optional[StreamingConfig] = None,
+        workers: int = 2,
+        coalesce_window: float = 0.002,
+        max_pending: int = 1024,
+        max_batch: int = 64,
+        store_root: Optional[os.PathLike] = None,
+        startup_timeout: float = 60.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._owns_store = store_root is None
+        root = (
+            Path(tempfile.mkdtemp(prefix="repro-generations-"))
+            if store_root is None
+            else Path(store_root)
+        )
+        self.owner = TraceServer(
+            engine,
+            streaming=streaming,
+            coalesce_window=coalesce_window,
+            max_pending=max_pending,
+            max_batch=max_batch,
+        )
+        self.engine = engine
+        self.engine_lock = self.owner.engine_lock
+        self.metrics = self.owner.metrics
+        self.ingestor = self.owner.ingestor
+        self.started_at = self.owner.started_at
+        self.store = GenerationStore(root)
+        self._closed = False
+        try:
+            # Initial generation: the engine as loaded, before any stream
+            # write, so workers have something to adopt at spawn.
+            with self.engine_lock:
+                self.store.publish(engine)
+            self.ingestor.add_flush_hook(self._publish_after_flush)
+            self.pool = WorkerPool(root, workers, startup_timeout=startup_timeout)
+            self.coalescer = RequestCoalescer(
+                _PoolDispatch(self.pool),
+                # The pool has its own concurrency discipline (idle-handle
+                # checkout); a private lock here only orders the coalescer's
+                # dispatch rounds with its own fallbacks.
+                threading.Lock(),
+                window_seconds=coalesce_window,
+                max_pending=max_pending,
+                max_batch=max_batch,
+            )
+        except BaseException:
+            self.owner.close()
+            if self._owns_store:
+                shutil.rmtree(root, ignore_errors=True)
+            raise
+
+    # ------------------------------------------------------------------
+    # Generation publishing (owner side)
+    # ------------------------------------------------------------------
+    def _publish_after_flush(self, report) -> None:
+        """Flush hook: publish a generation when the flush changed the index.
+
+        Runs under the engine lock (flushes hold it), so the snapshot is a
+        consistent point-in-time image.  Publishing *before* the events
+        response is written is what makes a client's read-your-write
+        sequential: by the time the client learns its flush happened, every
+        worker adopting at the next request boundary sees it.
+        """
+        changed = (
+            report.events
+            or (report.expiry is not None and report.expiry.expired_records)
+            or report.compacted
+        )
+        # No ``_closed`` guard: close() flushes the owner *before* stopping
+        # the workers and removing the store, and that final flush must
+        # publish too -- the newest generation always holds every accepted
+        # write (the clean-drain guarantee the CI smoke checks).
+        if changed:
+            self.store.publish(self.engine)
+
+    # ------------------------------------------------------------------
+    # Endpoint handlers (same surface as TraceServer)
+    # ------------------------------------------------------------------
+    def handle_topk(self, payload: object) -> Response:
+        """``POST /v1/topk`` routed to the worker pool.
+
+        Single queries go through the request coalescer (same admission
+        control and windowed batching as in-process); batch requests are
+        scatter-gathered across the pool directly.
+        """
+        try:
+            request = protocol.parse_topk_request(payload)
+        except protocol.ProtocolError as exc:
+            return exc.status, protocol.error_payload(str(exc))
+        entity = request.entities[0]
+        if self._closed:
+            return 503, protocol.error_payload("the server is shutting down")
+        # Unknown entities answer 404 from the owner's (flushed) dataset --
+        # the same pre-check as in-process serving.  The dataset only gains
+        # entities at a flush, and every flush publishes, so an entity
+        # passing this check exists in the generation any worker will adopt
+        # by the time it answers.
+        with self.engine_lock:
+            unknown = [
+                candidate
+                for candidate in request.entities
+                if candidate not in self.engine.dataset
+            ]
+        if unknown:
+            return 404, protocol.error_payload(f"unknown entity {unknown[0]!r}")
+        try:
+            if request.batch:
+                payloads = self.pool.scatter_topk(
+                    request.entities, request.k, request.approximation
+                )
+            else:
+                payloads = [
+                    self.coalescer.submit(
+                        entity, k=request.k, approximation=request.approximation
+                    )
+                ]
+        except QueueFullError as exc:
+            return 429, protocol.error_payload(str(exc))
+        except KeyError:
+            return 404, protocol.error_payload(f"unknown entity {entity!r}")
+        except RuntimeError as exc:
+            return 503, protocol.error_payload(str(exc))
+        if not request.batch:
+            return 200, payloads[0]
+        return 200, {"results": payloads}
+
+    def handle_events(self, payload: object) -> Response:
+        """``POST /v1/events``: the owner's write path, unchanged.
+
+        The flush hook publishes a generation before the response is
+        written, so acknowledged flushed writes are visible to every
+        subsequent query.
+        """
+        return self.owner.handle_events(payload)
+
+    def handle_healthz(self) -> Response:
+        """``GET /v1/healthz`` plus the deployment's process topology."""
+        status, payload = self.owner.handle_healthz()
+        payload["workers"] = self.pool.num_workers
+        payload["generation"] = self.store.generation
+        return status, payload
+
+    def handle_stats(self) -> Response:
+        """``GET /v1/stats`` with a ``workers`` section for the pool."""
+        status, payload = self.owner.handle_stats()
+        payload["coalescer"] = self.coalescer.stats_snapshot()
+        payload["workers"] = self.pool.stats_snapshot()
+        payload["generation"] = self.store.generation
+        return status, payload
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Graceful shutdown: drain reads, flush writes, stop the workers.
+
+        The read coalescer drains first (in-flight queries answer from the
+        still-running pool), then the owner flushes -- publishing a final
+        generation, so the store's newest generation holds every accepted
+        write -- and only then are the workers terminated and the private
+        store removed.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.coalescer.close()
+        self.owner.close()
+        self.pool.close()
+        if self._owns_store:
+            shutil.rmtree(self.store.root, ignore_errors=True)
+
+    def __enter__(self) -> "FrontendServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

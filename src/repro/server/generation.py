@@ -1,0 +1,171 @@
+"""Snapshot generations: the publish/adopt protocol of the multi-process tier.
+
+The multi-process daemon (see :mod:`repro.server.frontend` and
+:mod:`repro.server.workers`) separates the single *owner* of the index --
+the front-end process, which applies every write -- from N read-only query
+workers in their own processes.  The two sides never share Python objects;
+they share **immutable snapshot generations** on disk:
+
+* after every index-changing flush the owner calls :meth:`GenerationStore.publish`,
+  which writes a full engine snapshot into a fresh ``gen-NNNNNN/`` directory
+  (through the existing atomic staged-save machinery of
+  :mod:`repro.storage.snapshot`) and then atomically replaces the store's
+  ``CURRENT`` file -- a tiny JSON document naming the newest generation;
+* a worker calls :meth:`GenerationStore.current` at each request boundary
+  (one small-file read) and, when the generation moved, loads the named
+  snapshot with memory-mapped columnar arrays
+  (:func:`~repro.core.columnar.load_npz_mmap`), so all workers share one
+  physical copy of the compiled arrays through the page cache.
+
+Because ``CURRENT`` is swapped with ``os.replace`` *after* the snapshot
+directory is complete, a reader can never observe a generation that is not
+fully on disk; because snapshot restore is bitwise-identical (pinned by the
+snapshot suites), every worker answering from generation ``g`` produces
+exactly the bytes the owner's in-process engine would have produced at the
+flush that published ``g``.  Old generations are pruned down to the last
+:data:`KEEP_GENERATIONS`; a worker racing a prune simply re-reads
+``CURRENT`` and retries (see :meth:`GenerationStore.load_current`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import time
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.service.sharded import SHARDED_SNAPSHOT_FORMAT, ShardedEngine
+from repro.storage.snapshot import (
+    SnapshotError,
+    load_engine_snapshot,
+    read_manifest,
+)
+
+__all__ = ["GenerationStore", "KEEP_GENERATIONS"]
+
+PathLike = Union[str, Path]
+
+#: Generations retained after a publish: the current one plus one older, so
+#: a worker that read ``CURRENT`` just before a publish still finds the
+#: directory it was told about.
+KEEP_GENERATIONS = 2
+
+_CURRENT_NAME = "CURRENT"
+_GENERATION_PATTERN = re.compile(r"^gen-(\d{6})$")
+
+
+class GenerationStore:
+    """One directory of immutable snapshot generations plus a ``CURRENT`` file.
+
+    Owner side: :meth:`publish`.  Worker side: :meth:`current` and
+    :meth:`load_current`.  The store is safe for one writer and any number
+    of reader processes on one host; there is no cross-host coordination.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        current = self.current()
+        #: The newest generation this process knows about (0 = none yet).
+        self.generation = current[0] if current is not None else 0
+
+    # ------------------------------------------------------------------
+    # Owner side
+    # ------------------------------------------------------------------
+    def publish(self, engine) -> int:
+        """Snapshot ``engine`` as the next generation and point ``CURRENT`` at it.
+
+        ``engine`` is a built :class:`~repro.core.engine.TraceQueryEngine`
+        or :class:`~repro.service.sharded.ShardedEngine`; both ``save``
+        through the staged atomic-swap path, so a failed save leaves the
+        store unchanged and ``CURRENT`` never names a partial directory.
+        The caller must hold whatever lock protects the engine from
+        concurrent mutation (the serving front-end publishes from a flush
+        hook, under the engine lock).
+        """
+        generation = self.generation + 1
+        name = f"gen-{generation:06d}"
+        engine.save(self.root / name)
+        document = json.dumps({"generation": generation, "path": name})
+        staged = self.root / f".{_CURRENT_NAME}.tmp"
+        with open(staged, "w", encoding="utf-8") as handle:
+            handle.write(document)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(staged, self.root / _CURRENT_NAME)
+        self.generation = generation
+        self._prune(keep_newest=generation)
+        return generation
+
+    def _prune(self, keep_newest: int) -> None:
+        """Drop generation directories older than the retained window."""
+        floor = keep_newest - KEEP_GENERATIONS + 1
+        for entry in self.root.iterdir():
+            match = _GENERATION_PATTERN.match(entry.name)
+            if match and int(match.group(1)) < floor:
+                shutil.rmtree(entry, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def current(self) -> Optional[Tuple[int, Path]]:
+        """The newest published ``(generation, snapshot directory)``, or ``None``.
+
+        ``CURRENT`` is written via ``os.replace``, so this read observes
+        either a complete previous document or a complete new one -- never
+        a torn write.  A missing file means nothing was published yet.
+        """
+        try:
+            with open(self.root / _CURRENT_NAME, encoding="utf-8") as handle:
+                document = json.load(handle)
+            return int(document["generation"]), self.root / str(document["path"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None
+
+    def load_current(self, newer_than: int = 0, timeout: float = 30.0):
+        """Load the newest generation as a query-ready engine (worker side).
+
+        Returns ``(generation, engine)`` for the newest generation strictly
+        newer than ``newer_than``, or ``None`` when nothing newer is
+        published.  Retries for up to ``timeout`` seconds around the two
+        benign races -- ``CURRENT`` not yet written at worker start-up, and
+        a generation pruned between reading ``CURRENT`` and opening its
+        files -- then raises :class:`~repro.storage.snapshot.SnapshotError`.
+
+        Single and sharded snapshots are auto-detected from the manifest;
+        both load with memory-mapped columnar arrays.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            info = self.current()
+            if info is not None:
+                generation, directory = info
+                if generation <= newer_than:
+                    return None
+                try:
+                    return generation, _load_any(directory)
+                except SnapshotError:
+                    # Publish/prune race: the directory vanished or was not
+                    # yet complete under a crashed writer.  Re-read CURRENT.
+                    if time.monotonic() >= deadline:
+                        raise
+            elif newer_than:
+                # A store that once had generations never goes back to
+                # having none; treat a vanished CURRENT as fatal.
+                raise SnapshotError(f"generation store {self.root} lost its CURRENT file")
+            if time.monotonic() >= deadline:
+                raise SnapshotError(
+                    f"no generation published in {self.root} within {timeout:.0f}s"
+                )
+            time.sleep(0.02)
+
+
+def _load_any(directory: Path):
+    """Load a single or sharded snapshot, memory-mapping the columnar arrays."""
+    manifest = read_manifest(directory)
+    if manifest.get("format") == SHARDED_SNAPSHOT_FORMAT:
+        return ShardedEngine.load(directory, mmap_columnar=True)
+    return load_engine_snapshot(directory, mmap_columnar=True)

@@ -96,7 +96,14 @@ class QueryResultCache:
         self.stats = CacheStats()
 
     def get(self, key: Hashable) -> Optional[object]:
-        """The cached value, refreshed to most-recently-used, or ``None``."""
+        """A *copy* of the cached value, refreshed to most-recently-used, or ``None``.
+
+        Copying on every hit -- not only inside :meth:`fetch_or_compute` --
+        is what makes the module-level copy-on-hit contract hold for direct
+        callers too: a caller mutating the returned result can never poison
+        later hits.  The copy happens outside the lock (it touches only the
+        caller's value, not the recency list).
+        """
         with self._lock:
             try:
                 value = self._entries[key]
@@ -105,7 +112,7 @@ class QueryResultCache:
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
-            return value
+        return value.copy() if hasattr(value, "copy") else value
 
     def put(self, key: Hashable, value: object) -> None:
         """Insert (or refresh) an entry, evicting the LRU entry when full."""
@@ -147,15 +154,16 @@ class QueryResultCache:
     def fetch_or_compute(self, key: Hashable, compute: Callable[[], _CopyableT]) -> _CopyableT:
         """The cache-protocol used by every query path: copy-on-hit, copy-on-put.
 
-        A hit returns a *copy* of the stored value, and a computed value is
-        stored as a *copy* -- so a caller mutating its result can never
-        poison later hits.  ``compute`` runs outside the lock (searches are
-        slow); concurrent misses on the same key both compute and the last
-        put wins, which is safe because results are deterministic.
+        A hit returns a *copy* of the stored value (:meth:`get` copies), and
+        a computed value is stored as a *copy* -- so a caller mutating its
+        result can never poison later hits.  ``compute`` runs outside the
+        lock (searches are slow); concurrent misses on the same key both
+        compute and the last put wins, which is safe because results are
+        deterministic.
         """
         cached = self.get(key)
         if cached is not None:
-            return cached.copy()
+            return cached
         value = compute()
         self.put(key, value.copy())
         return value

@@ -594,7 +594,10 @@ class ShardedEngine:
 
     @classmethod
     def load(
-        cls, path: PathLike, measure: Optional[AssociationMeasure] = None
+        cls,
+        path: PathLike,
+        measure: Optional[AssociationMeasure] = None,
+        mmap_columnar: bool = False,
     ) -> "ShardedEngine":
         """Restore a sharded deployment saved with :meth:`save`.
 
@@ -603,6 +606,9 @@ class ShardedEngine:
         partitioner resumes from its serialized state.  The router dataset
         is reassembled shard by shard, so its entity iteration order may
         differ from the original -- query results are unaffected.
+        ``mmap_columnar`` is forwarded to every shard's
+        :func:`~repro.storage.snapshot.load_engine_snapshot` (zero-copy
+        compiled arrays for multi-process serving workers).
         """
         directory = Path(path)
         manifest = read_manifest(directory)
@@ -619,7 +625,7 @@ class ShardedEngine:
                 f"invalid sharded snapshot manifest in {directory}: {exc}"
             ) from exc
         shard_engines = [
-            load_engine_snapshot(directory / name, measure=measure)
+            load_engine_snapshot(directory / name, measure=measure, mmap_columnar=mmap_columnar)
             for name in shard_names
         ]
         if len(shard_engines) != num_shards:

@@ -405,12 +405,18 @@ def read_manifest(path: PathLike) -> Dict[str, object]:
 def load_engine_snapshot(
     path: PathLike,
     measure: Optional[AssociationMeasure] = None,
+    mmap_columnar: bool = False,
 ) -> TraceQueryEngine:
     """Restore a query-ready engine from a snapshot directory.
 
     No signature is recomputed: the hash coefficients, signature matrices,
     and tree structure come straight from the arrays.  ``measure`` overrides
     the serialized measure (required for measures outside the registry).
+    With ``mmap_columnar=True`` the compiled columnar arrays are adopted as
+    read-only memory-mapped views (:func:`repro.core.columnar.load_npz_mmap`)
+    instead of heap copies, so N processes loading the same snapshot share
+    one physical copy through the page cache -- the multi-process serving
+    tier's workers load this way.
 
     Raises
     ------
@@ -546,7 +552,7 @@ def load_engine_snapshot(
 
         engine = TraceQueryEngine(dataset, measure=resolved_measure, config=config)
         engine._adopt_index(family, tree)
-        _install_columnar_loader(engine, directory, manifest)
+        _install_columnar_loader(engine, directory, manifest, mmap_columnar=mmap_columnar)
     except SnapshotError:
         raise
     except (KeyError, IndexError, TypeError, ValueError) as exc:
@@ -558,7 +564,10 @@ def load_engine_snapshot(
 
 
 def _install_columnar_loader(
-    engine: TraceQueryEngine, directory: Path, manifest: Dict[str, object]
+    engine: TraceQueryEngine,
+    directory: Path,
+    manifest: Dict[str, object],
+    mmap_columnar: bool = False,
 ) -> None:
     """Adopt a snapshot's precompiled columnar kernel as a *lazy* loader.
 
@@ -568,7 +577,9 @@ def _install_columnar_loader(
     -- results are identical with or without them -- so *any* problem (a
     version-1 snapshot without them, the engine mutating before the first
     query, a missing/tampered/inconsistent file) simply falls back to the
-    lazy recompile.
+    lazy recompile.  ``mmap_columnar`` prefers zero-copy memory-mapped views
+    over heap copies (and itself falls back to a regular load when the
+    archive cannot be mapped).
     """
     if not engine.config.columnar_queries:
         return
@@ -576,7 +587,7 @@ def _install_columnar_loader(
     payload = directory / _COLUMNAR_NAME
     if recorded_digest is None or not payload.exists():
         return
-    from repro.core.columnar import ColumnarTree
+    from repro.core.columnar import ColumnarTree, load_npz_mmap
 
     tree = engine.tree
     dataset = engine.dataset
@@ -593,8 +604,10 @@ def _install_columnar_loader(
         try:
             if _file_digest(payload) != recorded_digest:
                 return None
-            with np.load(payload, allow_pickle=False) as arrays:
-                data = {key: arrays[key] for key in arrays.files}
+            data = load_npz_mmap(payload) if mmap_columnar else None
+            if data is None:
+                with np.load(payload, allow_pickle=False) as arrays:
+                    data = {key: arrays[key] for key in arrays.files}
             compiled = ColumnarTree.import_arrays(
                 data, num_levels=tree.num_levels, num_hashes=tree.num_hashes
             )

@@ -125,8 +125,11 @@ class SlidingWindow:
             return None
         if self._cutoff is not None and cutoff <= self._cutoff:
             return None
-        self._cutoff = cutoff
+        # Commit the cutoff only after the expiry succeeded: committing first
+        # would make the monotone-cutoff check above skip this range forever
+        # if ``expire_events`` raises, leaving records that can never expire.
         report = self.engine.expire_events(cutoff)
+        self._cutoff = cutoff
         if report.expired_records:
             self.stats.expiries += 1
             self.stats.expired_records += report.expired_records

@@ -1,0 +1,109 @@
+"""Unit tests for the multi-process tier's storage pieces.
+
+:class:`~repro.server.generation.GenerationStore` -- the single-writer
+publish / many-reader adopt protocol -- and
+:func:`~repro.core.columnar.load_npz_mmap` -- the zero-copy columnar-array
+loader that lets every query worker share one physical copy of the compiled
+arrays through the page cache.  The end-to-end behaviour (workers adopting
+generations mid-traffic, byte-identical responses) is pinned by
+``test_server_equivalence.py``; this module covers the pieces in isolation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.columnar import load_npz_mmap
+from repro.server.generation import KEEP_GENERATIONS, GenerationStore
+from repro.storage.snapshot import SnapshotError, load_engine_snapshot
+
+
+class TestLoadNpzMmap:
+    def test_byte_identical_to_np_load(self, tmp_path):
+        path = tmp_path / "arrays.npz"
+        rng = np.random.default_rng(7)
+        arrays = {
+            "floats": rng.random((13, 4)),
+            "ints": rng.integers(0, 1 << 40, size=57).astype(np.int64),
+            "fortran": np.asfortranarray(rng.random((6, 5))),
+            "empty": np.zeros((0, 3), dtype=np.float32),
+        }
+        np.savez(path, **arrays)
+        mapped = load_npz_mmap(path)
+        assert mapped is not None
+        assert set(mapped) == set(arrays)
+        for key, value in arrays.items():
+            assert mapped[key].dtype == value.dtype
+            assert mapped[key].shape == value.shape
+            np.testing.assert_array_equal(np.asarray(mapped[key]), value)
+        # Non-empty members are real memory maps (shared pages), not copies,
+        # and the Fortran layout survives the round trip.
+        assert isinstance(mapped["floats"], np.memmap)
+        assert mapped["fortran"].flags["F_CONTIGUOUS"]
+
+    def test_compressed_archive_falls_back(self, tmp_path):
+        # np.savez_compressed members are deflated: not mappable.  The
+        # loader must decline (None) so callers fall back to np.load.
+        path = tmp_path / "compressed.npz"
+        np.savez_compressed(path, data=np.arange(100))
+        assert load_npz_mmap(path) is None
+
+    def test_garbage_file_returns_none(self, tmp_path):
+        path = tmp_path / "not_a.npz"
+        path.write_bytes(b"definitely not a zip archive")
+        assert load_npz_mmap(path) is None
+
+
+class TestGenerationStore:
+    def test_publish_and_current_round_trip(self, small_engine, tmp_path):
+        store = GenerationStore(tmp_path / "store")
+        assert store.current() is None
+        assert store.publish(small_engine) == 1
+        current = store.current()
+        assert current is not None
+        number, directory = current
+        assert number == 1
+        assert directory.name == "gen-000001"
+        restored = load_engine_snapshot(directory)
+        assert restored.top_k("a", k=3).items == small_engine.top_k("a", k=3).items
+
+    def test_prune_keeps_the_retention_window(self, small_engine, tmp_path):
+        store = GenerationStore(tmp_path)
+        total = KEEP_GENERATIONS + 2
+        for _ in range(total):
+            store.publish(small_engine)
+        names = sorted(p.name for p in tmp_path.iterdir() if p.name.startswith("gen-"))
+        kept = range(total - KEEP_GENERATIONS + 1, total + 1)
+        assert names == [f"gen-{generation:06d}" for generation in kept]
+        # CURRENT still names the newest, surviving generation.
+        number, directory = store.current()
+        assert number == total
+        assert directory.exists()
+
+    def test_load_current_newer_than_semantics(self, small_engine, tmp_path):
+        store = GenerationStore(tmp_path)
+        store.publish(small_engine)
+        # A reader opening the store fresh (a worker process) sees it.
+        reader = GenerationStore(tmp_path)
+        loaded = reader.load_current(newer_than=0, timeout=5)
+        assert loaded is not None
+        generation, engine = loaded
+        assert generation == 1
+        assert engine.top_k("a", k=3).items == small_engine.top_k("a", k=3).items
+        # Nothing newer than what the reader already has: no reload.
+        assert reader.load_current(newer_than=1, timeout=5) is None
+
+    def test_load_current_times_out_on_an_empty_store(self, tmp_path):
+        store = GenerationStore(tmp_path)
+        with pytest.raises(SnapshotError, match="no generation published"):
+            store.load_current(timeout=0.05)
+
+    def test_mmap_adopted_generation_answers_identically(self, small_engine, tmp_path):
+        # Force a columnar compile so the snapshot carries columnar.npz.
+        baseline = small_engine.top_k("a", k=3)
+        store = GenerationStore(tmp_path)
+        store.publish(small_engine)
+        generation, engine = store.load_current(timeout=5)
+        assert generation == 1
+        result = engine.top_k("a", k=3)
+        assert result.items == baseline.items
+        assert result.stats.__dict__ == baseline.stats.__dict__

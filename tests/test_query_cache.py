@@ -37,6 +37,20 @@ class TestQueryResultCache:
         assert cache.get("b") is None
         assert cache.get("a") == 1
 
+    def test_direct_get_returns_a_copy(self):
+        # The copy-on-hit contract must hold for *direct* get() callers, not
+        # only fetch_or_compute (regression: get() used to hand out the live
+        # stored object, so any caller mutating its hit poisoned later hits).
+        cache = QueryResultCache(4)
+        cache.put("a", [1, 2, 3])
+        hit = cache.get("a")
+        hit.append(99)
+        assert cache.get("a") == [1, 2, 3]
+        # A fetch_or_compute hit stays independent too (single copy, in get).
+        fetched = cache.fetch_or_compute("a", list)
+        fetched.clear()
+        assert cache.get("a") == [1, 2, 3]
+
     def test_put_refreshes_existing_key(self):
         cache = QueryResultCache(2)
         cache.put("a", 1)

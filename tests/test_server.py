@@ -459,6 +459,15 @@ class TestTraceServer:
         assert payload["entities"] == 12
         assert payload["uptime_seconds"] >= 0
 
+    def test_healthz_flips_to_503_once_closed(self, server):
+        assert server.handle_healthz()[0] == 200
+        server.close()
+        status, payload = server.handle_healthz()
+        # Load balancers key on the status code, not the body: a draining
+        # instance answering 200 with "shutting_down" would stay in rotation.
+        assert status == 503
+        assert payload["status"] == "shutting_down"
+
     def test_stats_sections(self, server):
         server.handle_topk({"entity": "e00"})
         server.handle_topk({"entity": "e00"})

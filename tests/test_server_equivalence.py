@@ -26,12 +26,15 @@ Runs for the single engine and a 2-shard deployment.
 
 import http.client
 import json
+import os
+import signal
 import threading
 
 import pytest
 
 from repro.core.engine import TraceQueryEngine
 from repro.server.app import TraceServer, build_http_server
+from repro.server.frontend import FrontendServer
 from repro.server.protocol import dumps, parse_topk_request, topk_payload
 from repro.service.sharded import ShardedEngine
 from repro.streaming.ingestor import EventIngestor, StreamingConfig
@@ -237,3 +240,154 @@ def test_daemon_matches_serial_engine_byte_for_byte(kind):
     )
     cache = engine.query_cache
     assert cache is not None and cache.stats.lookups > 0
+
+
+@pytest.mark.parametrize("kind", ["single", "sharded"])
+def test_multiprocess_daemon_matches_serial_engine_byte_for_byte(kind):
+    """The ``--workers N`` tier answers the same workload byte-identically.
+
+    Same phased workload as the in-process test, but served by a
+    :class:`FrontendServer` with two query-worker *processes*: every
+    end-of-phase flush publishes a new snapshot generation that the workers
+    adopt at a request boundary, so the run crosses ``NUM_PHASES``
+    generation publishes.  Midway, one worker is SIGKILLed while queries
+    are in flight -- the pool must retry on the survivor and respawn the
+    dead worker without a single diverging byte.  A final batch request
+    exercises the scatter-gather path over the respawned pool.
+    """
+    expected = serial_reference(kind)
+
+    engine = make_engine(kind)
+    frontend = FrontendServer(
+        engine,
+        streaming=StreamingConfig(max_batch_events=10_000),
+        workers=2,
+        coalesce_window=0.005,
+    )
+    httpd = build_http_server(frontend, port=0)
+    port = httpd.server_address[1]
+    server_thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    server_thread.start()
+
+    def request_bytes(method, path, payload):
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        try:
+            connection.request(
+                method,
+                path,
+                body=json.dumps(payload),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    observed = {}
+    observed_lock = threading.Lock()
+    errors = []
+    barrier = threading.Barrier(NUM_THREADS)
+
+    def client(thread: int) -> None:
+        try:
+            for phase in range(NUM_PHASES):
+                barrier.wait()
+                if phase == 1 and thread == 0:
+                    # Kill one worker mid-run, with the other threads'
+                    # queries racing the death.  Phase 1 then issues far
+                    # more queries than the pool has workers, so the dead
+                    # handle is certain to be checked out and exercised.
+                    victim = frontend.pool.worker_pids[0]
+                    assert victim is not None
+                    os.kill(victim, signal.SIGKILL)
+                operations = [
+                    ("events", phase_events(phase, thread)),
+                    ("queries", phase_queries(phase, thread)),
+                ]
+                if thread % 2:
+                    operations.reverse()
+                for op, payload in operations:
+                    if op == "events":
+                        status, _ = request_bytes(
+                            "POST",
+                            "/v1/events",
+                            {
+                                "events": [
+                                    {
+                                        "entity": event.entity,
+                                        "unit": event.unit,
+                                        "start": event.start,
+                                        "end": event.end,
+                                    }
+                                    for event in payload
+                                ]
+                            },
+                        )
+                        assert status == 200
+                    else:
+                        for entity, k in payload:
+                            status, body = request_bytes(
+                                "POST", "/v1/topk", {"entity": entity, "k": k}
+                            )
+                            assert status == 200, body
+                            with observed_lock:
+                                previous = observed.get((phase, entity, k))
+                                assert previous is None or previous == body
+                                observed[(phase, entity, k)] = body
+                barrier.wait()
+                if thread == 0:
+                    status, _ = request_bytes("POST", "/v1/events", {"flush": True})
+                    assert status == 200
+                barrier.wait()
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+            barrier.abort()
+
+    threads = [
+        threading.Thread(target=client, args=(thread,)) for thread in range(NUM_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=240)
+
+    try:
+        assert not errors, errors
+        assert set(observed) == set(expected)
+        for key in expected:
+            assert observed[key] == expected[key], f"response diverged for {key}"
+
+        # Batch form after the final flush: scattered over both workers
+        # (one of them the respawned one), against the newest generation.
+        batch_entities = [
+            f"p{NUM_PHASES - 1}-t{thread}-0" for thread in range(NUM_THREADS)
+        ] + ["seed-00", "seed-07"]
+        reference = make_engine(kind)
+        ingestor = EventIngestor(reference, StreamingConfig(max_batch_events=10_000))
+        for phase in range(NUM_PHASES):
+            for thread in range(NUM_THREADS):
+                for event in phase_events(phase, thread):
+                    ingestor.submit(event)
+            ingestor.flush()
+        batch_request = parse_topk_request({"entities": batch_entities, "k": 4})
+        expected_batch = dumps(
+            topk_payload(
+                batch_request, reference.top_k_batch(batch_entities, k=4).results
+            )
+        )
+        status, body = request_bytes(
+            "POST", "/v1/topk", {"entities": batch_entities, "k": 4}
+        )
+        assert status == 200, body
+        assert body == expected_batch
+
+        # The run really crossed generations and really killed a worker.
+        pool_stats = frontend.pool.stats_snapshot()
+        assert pool_stats["respawns"] >= 1
+        # Initial publish + one per (index-changing) phase flush.
+        assert frontend.store.generation == 1 + NUM_PHASES
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        frontend.close()
+        server_thread.join(timeout=10)

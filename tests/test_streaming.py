@@ -182,6 +182,40 @@ class TestSlidingWindow:
         assert window.advance(30) is None
         assert window.cutoff == 20
 
+    def test_failed_expiry_leaves_the_window_retryable(self, hierarchy):
+        engine = build_engine(hierarchy)
+        engine.add_records([PresenceInstance("a", unit(hierarchy), 0, 2)])
+
+        class FlakyEngine:
+            """Delegates to the real engine; expire_events fails once."""
+
+            def __init__(self, inner):
+                self._inner = inner
+                self.failures_left = 1
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def expire_events(self, cutoff):
+                if self.failures_left:
+                    self.failures_left -= 1
+                    raise RuntimeError("transient storage error")
+                return self._inner.expire_events(cutoff)
+
+        window = SlidingWindow(FlakyEngine(engine), length=10)
+        with pytest.raises(RuntimeError, match="transient"):
+            window.advance(30)
+        # The cutoff must not be committed by the failed attempt; otherwise
+        # the monotonicity check treats the retry as stale and the range is
+        # silently skipped forever (the record would never expire).
+        assert window.cutoff is None
+        assert "a" in engine.dataset
+        report = window.advance(30)  # same watermark: the retry
+        assert report is not None
+        assert report.removed_entities == ["a"]
+        assert window.cutoff == 20
+        assert "a" not in engine.dataset
+
     def test_cutoff_below_first_possible_end_is_a_noop(self, hierarchy):
         engine = build_engine(hierarchy)
         window = SlidingWindow(engine, length=10)
