@@ -215,6 +215,57 @@ def run_multi_client(dataset, scale, smoke=False, worker_counts=MULTI_CLIENT_WOR
     return section
 
 
+def run_tracing_overhead(dataset, scale, smoke=False):
+    """p50 latency with tracing disabled vs sampling every query.
+
+    Returns the ``tracing`` document section.  The instrumentation contract
+    is "zero-cost when disabled, low single-digit percent when sampled";
+    the section records both sides so the trajectory catches a regression
+    that makes spans expensive.  Informational -- host noise at tiny scales
+    swamps percent-level deltas, so it never gates ``passed``.
+    """
+    from repro.obs.trace import Tracer
+
+    scale = resolve_scale(scale)
+    queries = sample_queries(dataset, max(scale.num_queries, 8))
+    knobs = dict(num_hashes=scale.default_hashes, seed=1)
+    engine = TraceQueryEngine(dataset, columnar_queries=True, **knobs).build()
+    tracer = Tracer(sample_rate=1.0)
+    rounds = 2 if smoke else 5
+    engine.top_k(queries[0], k=_K)  # warm the kernel outside timing
+    untraced, traced = [], []
+    # Interleaved per round, so drift (thermal, page cache) lands on both
+    # sides equally instead of biasing whichever mode runs last.
+    for _ in range(rounds):
+        for query in queries:
+            started = time.perf_counter()
+            engine.top_k(query, k=_K)
+            untraced.append(time.perf_counter() - started)
+        for query in queries:
+            trace = tracer.start_trace("bench.topk")
+            started = time.perf_counter()
+            engine.top_k(query, k=_K, trace=trace.context())
+            traced.append(time.perf_counter() - started)
+            tracer.finish(trace)
+    untraced_p50 = _percentile(untraced, 0.50) * 1000.0
+    traced_p50 = _percentile(traced, 0.50) * 1000.0
+    section = {
+        "queries_timed_per_mode": len(untraced),
+        "untraced_p50_ms": round(untraced_p50, 4),
+        "traced_p50_ms": round(traced_p50, 4),
+        "overhead_p50": round(traced_p50 / untraced_p50, 3) if untraced_p50 else None,
+        "note": (
+            "sample_rate=1.0 on every query vs tracing disabled; target is "
+            "<= 1.05 overhead, informational (does not gate passed)."
+        ),
+    }
+    print(
+        f"tracing overhead: untraced p50 {untraced_p50:.3f}ms, "
+        f"traced p50 {traced_p50:.3f}ms ({section['overhead_p50']}x)"
+    )
+    return section
+
+
 def run_query_latency(scale=None, rounds=None, smoke=False) -> ExperimentResult:
     """Measure every (deployment, engine) combination and return the table."""
     scale = resolve_scale(scale)
@@ -285,6 +336,7 @@ def run_query_latency(scale=None, rounds=None, smoke=False) -> ExperimentResult:
         entry["measured"] >= entry["target"] for entry in document["targets"].values()
     )
     # Informational only (host-dependent): never feeds document["passed"].
+    document["tracing"] = run_tracing_overhead(dataset, scale, smoke=smoke)
     document["multi_client"] = run_multi_client(dataset, scale, smoke=smoke)
     result.metadata["speedup_single_p50"] = single["latency_p50"]
     result.metadata["speedup_batch"] = single["batch_throughput"]

@@ -90,7 +90,7 @@ def main() -> None:
           f"{coalescer['coalesced']} coalesced)")
     print("cache:", stats["engine"]["cache"])
     topk_latency = stats["endpoints"]["/v1/topk"]["latency"]
-    print(f"topk latency: mean {topk_latency['mean_ms']:.2f} ms "
+    print(f"topk latency: mean {topk_latency['mean_seconds'] * 1000.0:.2f} ms "
           f"over {topk_latency['count']} requests")
 
     # -- 3. Graceful shutdown (drains queries, flushes the ingestor). ----

@@ -40,6 +40,12 @@ Python::
     # ingest, health and stats endpoints (see docs/SERVING.md)
     python -m repro serve --snapshot snapshot/ --port 8080
 
+    # Observability (see docs/OBSERVABILITY.md): trace every request into
+    # the slow-query log, watch live QPS/latency, print slow traces
+    python -m repro serve --snapshot snapshot/ --trace-sample 1.0
+    python -m repro stats --watch 5 --url http://127.0.0.1:8080
+    python -m repro trace --url http://127.0.0.1:8080 --limit 3
+
     # Regenerate one of the paper's figures
     python -m repro figures --only 7.3 --scale tiny
 
@@ -94,8 +100,30 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--output", required=True, help="CSV file to write the traces to")
     generate.add_argument("--hierarchy", required=True, help="JSON file to write the sp-index to")
 
-    stats = subparsers.add_parser("stats", help="summarise a trace dataset")
-    _add_dataset_arguments(stats)
+    stats = subparsers.add_parser(
+        "stats", help="summarise a trace dataset, or watch a live serving daemon"
+    )
+    _add_dataset_arguments(stats, required=False)
+    stats.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="poll a serving daemon's /v1/stats every SECS seconds and print "
+        "one line per interval (QPS, p50/p95 latency, cache hit rate, ingest "
+        "lag) instead of summarising a trace file",
+    )
+    stats.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="server base URL for --watch (default http://127.0.0.1:8080)",
+    )
+    stats.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop --watch after this many intervals (0 = until interrupted)",
+    )
 
     query = subparsers.add_parser("query", help="run top-k queries against a trace dataset")
     _add_dataset_arguments(query, required=False)
@@ -135,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="additive slack for approximate top-k (0 = exact)",
+    )
+    query.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the query's span tree (kernel stage timings and pruning "
+        "counters) after the results; --entity mode only",
     )
     _add_columnar_argument(query)
 
@@ -322,8 +356,39 @@ def build_parser() -> argparse.ArgumentParser:
         "shared memory-mapped snapshot generations (0 = single-process daemon; "
         "see docs/SERVING.md)",
     )
+    serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="probability in [0, 1] that a /v1/topk request is traced end to "
+        "end (0 disables tracing; traces feed GET /v1/debug/slow and "
+        "`repro trace`; see docs/OBSERVABILITY.md)",
+    )
     _add_index_arguments(serve, defaults=False)
     _add_columnar_argument(serve)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="fetch and print a serving daemon's slow-query traces "
+        "(GET /v1/debug/slow; requires `repro serve --trace-sample`)",
+    )
+    trace.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="server base URL (default http://127.0.0.1:8080)",
+    )
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        help="print at most this many traces (0 = all retained)",
+    )
+    trace.add_argument(
+        "--errored",
+        action="store_true",
+        help="print the most recent errored traces instead of the slowest",
+    )
 
     figures = subparsers.add_parser("figures", help="regenerate the paper's evaluation figures")
     figures.add_argument("--scale", choices=["tiny", "small", "medium"], default="tiny")
@@ -484,6 +549,16 @@ def _load_dataset(args: argparse.Namespace, horizon: Optional[int] = None):
 
 
 def _command_stats(args: argparse.Namespace) -> int:
+    if args.watch is not None:
+        if args.traces or args.hierarchy:
+            return _error("--watch polls a live server; --traces/--hierarchy do not apply")
+        if args.watch <= 0:
+            return _error(f"--watch must be > 0 seconds, got {args.watch}")
+        if args.iterations < 0:
+            return _error(f"--iterations must be >= 0, got {args.iterations}")
+        return _watch_stats(args)
+    if not (args.traces and args.hierarchy):
+        return _error("pass --traces and --hierarchy, or --watch SECS to poll a server")
     try:
         dataset = _load_dataset(args)
     except _DatasetError as exc:
@@ -491,6 +566,153 @@ def _command_stats(args: argparse.Namespace) -> int:
     print(dataset.describe())
     print(f"average base ST-cells per entity: {dataset.average_cells_per_entity():.1f}")
     print(f"ST-cell universe size: {dataset.num_st_cells}")
+    return 0
+
+
+def _fetch_json(url: str, timeout: float = 10.0) -> Dict[str, object]:
+    """GET ``url`` and decode the JSON body, or raise :class:`_CommandError`."""
+    import json
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    try:
+        with urlopen(url, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except (URLError, OSError, ValueError) as exc:
+        raise _CommandError(f"cannot fetch {url}: {exc}") from exc
+
+
+def _histogram_percentile(bucket_deltas: Sequence[int], quantile: float) -> Optional[float]:
+    """Interpolate a percentile (seconds) from per-bucket count deltas.
+
+    ``bucket_deltas`` is aligned with ``LATENCY_BUCKETS`` plus the final
+    unbounded bucket.  Returns ``None`` when no observations landed, and
+    ``inf`` when the percentile falls in the unbounded bucket (the caller
+    renders it as "> last edge").  Linear interpolation inside the bucket
+    -- the standard Prometheus ``histogram_quantile`` estimate.
+    """
+    from repro.obs.trace import LATENCY_BUCKETS
+
+    total = sum(bucket_deltas)
+    if total <= 0:
+        return None
+    rank = quantile * total
+    cumulative = 0.0
+    for index, count in enumerate(bucket_deltas):
+        if not count:
+            continue
+        if cumulative + count >= rank:
+            if index >= len(LATENCY_BUCKETS):
+                return float("inf")
+            lower = LATENCY_BUCKETS[index - 1] if index else 0.0
+            upper = LATENCY_BUCKETS[index]
+            return lower + (upper - lower) * ((rank - cumulative) / count)
+        cumulative += count
+    return float("inf")  # pragma: no cover - unreachable (total > 0)
+
+
+def _topk_bucket_counts(payload: Dict[str, object]) -> List[int]:
+    """The ``/v1/topk`` latency bucket counts of one ``/v1/stats`` payload."""
+    from repro.obs.trace import LATENCY_BUCKETS
+
+    endpoints = payload.get("endpoints")
+    entry = endpoints.get("/v1/topk") if isinstance(endpoints, dict) else None
+    if not isinstance(entry, dict):
+        return [0] * (len(LATENCY_BUCKETS) + 1)
+    buckets = entry.get("latency", {}).get("buckets", {})
+    counts = [int(buckets.get(f"le_{edge:g}", 0)) for edge in LATENCY_BUCKETS]
+    counts.append(int(buckets.get("le_inf", 0)))
+    return counts
+
+
+def _topk_requests(payload: Dict[str, object]) -> int:
+    endpoints = payload.get("endpoints")
+    entry = endpoints.get("/v1/topk") if isinstance(endpoints, dict) else None
+    return int(entry.get("requests", 0)) if isinstance(entry, dict) else 0
+
+
+def _cache_counters(payload: Dict[str, object]) -> Optional[Dict[str, int]]:
+    engine = payload.get("engine")
+    cache = engine.get("cache") if isinstance(engine, dict) else None
+    if not isinstance(cache, dict):
+        return None
+    return {"hits": int(cache.get("hits", 0)), "misses": int(cache.get("misses", 0))}
+
+
+def _format_latency(seconds: Optional[float]) -> str:
+    from repro.obs.trace import LATENCY_BUCKETS
+
+    if seconds is None:
+        return "-"
+    if seconds == float("inf"):
+        return f">{LATENCY_BUCKETS[-1] * 1000.0:g}ms"
+    return f"{seconds * 1000.0:.1f}ms"
+
+
+def _stats_interval_line(
+    previous: Dict[str, object], current: Dict[str, object], interval: float
+) -> str:
+    """One ``--watch`` output line from two consecutive stats snapshots.
+
+    Rates and percentiles come from the *deltas* between the snapshots, so
+    each line describes that interval's traffic rather than the lifetime
+    aggregate; ingest lag is a point-in-time gauge of the current snapshot.
+    """
+    import time
+
+    queries = _topk_requests(current) - _topk_requests(previous)
+    qps = queries / interval if interval > 0 else 0.0
+    deltas = [
+        now - before
+        for now, before in zip(_topk_bucket_counts(current), _topk_bucket_counts(previous))
+    ]
+    p50 = _format_latency(_histogram_percentile(deltas, 0.5))
+    p95 = _format_latency(_histogram_percentile(deltas, 0.95))
+    cache_now, cache_before = _cache_counters(current), _cache_counters(previous)
+    if cache_now is None or cache_before is None:
+        cache_text = "-"
+    else:
+        hits = cache_now["hits"] - cache_before["hits"]
+        lookups = hits + cache_now["misses"] - cache_before["misses"]
+        cache_text = f"{hits / lookups:.0%}" if lookups > 0 else "-"
+    ingest = current.get("ingest")
+    ingest = ingest if isinstance(ingest, dict) else {}
+    backlog = int(ingest.get("events_buffered", 0))
+    flush_age = ingest.get("seconds_since_last_flush")
+    flush_text = f"{flush_age:.1f}s" if isinstance(flush_age, (int, float)) else "-"
+    return (
+        f"{time.strftime('%H:%M:%S')}  qps {qps:7.1f}  p50 {p50:>8}  p95 {p95:>8}  "
+        f"cache {cache_text:>4}  backlog {backlog:>6}  flush-age {flush_text:>7}"
+    )
+
+
+def _watch_stats(args: argparse.Namespace) -> int:
+    """The ``repro stats --watch`` loop: one line per polling interval."""
+    import time
+
+    url = args.url.rstrip("/") + "/v1/stats"
+    try:
+        previous = _fetch_json(url)
+    except _CommandError as exc:
+        return _error(str(exc))
+    print(
+        f"watching {url} every {args.watch:g}s "
+        "(qps and percentiles are per-interval; ctrl-c to stop)",
+        flush=True,
+    )
+    completed = 0
+    try:
+        while not args.iterations or completed < args.iterations:
+            time.sleep(args.watch)
+            try:
+                current = _fetch_json(url)
+            except _CommandError as exc:
+                return _error(str(exc))
+            print(_stats_interval_line(previous, current, args.watch), flush=True)
+            previous = current
+            completed += 1
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -593,6 +815,8 @@ def _command_query(args: argparse.Namespace) -> int:
         return _error(f"--workers must be >= 0, got {args.workers}")
     if args.workers and not args.batch:
         return _error("--workers only applies to --batch queries")
+    if args.trace and args.batch:
+        return _error("--trace only applies to --entity queries")
 
     try:
         engine = _resolve_engine(args)
@@ -626,6 +850,20 @@ def _command_query(args: argparse.Namespace) -> int:
             f"scored {batch.total_entities_scored} entities, "
             f"mean pruning effectiveness {batch.mean_pruning_effectiveness:.3f}"
         )
+        return 0
+
+    if args.trace:
+        from repro.obs.trace import Tracer, format_trace
+
+        tracer = Tracer(sample_rate=1.0)
+        trace = tracer.start_trace("query", process="cli")
+        result = engine.top_k(
+            args.entity, k=args.k, approximation=args.approximation, trace=trace.context()
+        )
+        record = tracer.finish(trace)
+        _print_result(result, args.k)
+        print()
+        print(format_trace(record))
         return 0
 
     result = engine.top_k(args.entity, k=args.k, approximation=args.approximation)
@@ -854,6 +1092,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         return _error(f"--cache must be >= 0, got {args.cache}")
     if args.workers < 0:
         return _error(f"--workers must be >= 0, got {args.workers}")
+    if not (0.0 <= args.trace_sample <= 1.0):
+        return _error(f"--trace-sample must be within [0, 1], got {args.trace_sample}")
 
     try:
         engine = _resolve_engine(args, horizon=args.horizon)
@@ -890,6 +1130,7 @@ def _run_server(engine, args: argparse.Namespace) -> int:
                 coalesce_window=args.coalesce_window / 1000.0,
                 max_pending=args.max_pending,
                 max_batch=args.max_batch,
+                trace_sample=args.trace_sample,
             )
         except (OSError, RuntimeError) as exc:
             return _error(f"cannot start {workers} query workers: {exc}")
@@ -900,6 +1141,7 @@ def _run_server(engine, args: argparse.Namespace) -> int:
             coalesce_window=args.coalesce_window / 1000.0,
             max_pending=args.max_pending,
             max_batch=args.max_batch,
+            trace_sample=args.trace_sample,
         )
     try:
         httpd = build_http_server(server, host=args.host, port=args.port)
@@ -915,9 +1157,15 @@ def _run_server(engine, args: argparse.Namespace) -> int:
     print(
         f"serving {kind} index of {stats['entities']} entities "
         f"on http://{host}:{port} (POST /v1/topk, POST /v1/events, "
-        "GET /v1/healthz, GET /v1/stats)",
+        "GET /v1/healthz, GET /v1/stats, GET /metrics, GET /v1/debug/slow)",
         flush=True,
     )
+    if args.trace_sample:
+        print(
+            f"tracing: sampling {args.trace_sample:.0%} of /v1/topk requests "
+            "(slow-query log on GET /v1/debug/slow; `repro trace` prints it)",
+            flush=True,
+        )
     if workers:
         pids = ", ".join(str(pid) for pid in server.pool.worker_pids)
         print(
@@ -953,6 +1201,37 @@ def _run_server(engine, args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.obs.trace import format_trace
+
+    if args.limit < 0:
+        return _error(f"--limit must be >= 0, got {args.limit}")
+    url = args.url.rstrip("/") + "/v1/debug/slow"
+    try:
+        payload = _fetch_json(url)
+    except _CommandError as exc:
+        return _error(str(exc))
+    records = payload.get("errored" if args.errored else "slowest")
+    records = records if isinstance(records, list) else []
+    if args.limit:
+        records = records[: args.limit]
+    if not records:
+        kind = "errored" if args.errored else "slow-query"
+        sample_rate = payload.get("sample_rate")
+        hint = (
+            ""
+            if sample_rate
+            else " (tracing is disabled; start the server with --trace-sample)"
+        )
+        print(f"no {kind} traces retained{hint}")
+        return 0
+    for index, record in enumerate(records):
+        if index:
+            print()
+        print(format_trace(record))
+    return 0
+
+
 def _command_figures(args: argparse.Namespace) -> int:
     from repro.experiments import figures as figure_module
 
@@ -985,6 +1264,7 @@ _COMMANDS = {
     "index": _command_index,
     "stream": _command_stream,
     "serve": _command_serve,
+    "trace": _command_trace,
     "figures": _command_figures,
 }
 

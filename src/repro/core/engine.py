@@ -51,6 +51,7 @@ from repro.core.query import (
 )
 from repro.core.signatures import SignatureComputer
 from repro.measures.adm import HierarchicalADM
+from repro.obs.trace import SpanContext
 from repro.measures.base import AssociationMeasure
 from repro.traces.dataset import TraceDataset
 from repro.traces.events import PresenceInstance
@@ -489,6 +490,7 @@ class TraceQueryEngine:
         k: int = 10,
         sequence_fetcher: Optional[SequenceFetcher] = None,
         approximation: float = 0.0,
+        trace: Optional[SpanContext] = None,
     ) -> TopKResult:
         """Return the ``k`` entities most associated with ``query_entity``.
 
@@ -498,18 +500,37 @@ class TraceQueryEngine:
         With ``EngineConfig.query_cache_size > 0`` repeated queries are
         served from an LRU cache (custom ``sequence_fetcher`` calls bypass
         it -- the fetcher may have side effects the caller wants).
+
+        ``trace`` (a :class:`repro.obs.trace.SpanContext`, default
+        ``None``) attaches cache-lookup and kernel-stage spans to the
+        query; it never changes the result.
         """
         cache = self._query_cache
         if cache is not None and sequence_fetcher is None:
-            return cache.fetch_or_compute(
-                self._query_cache_key(query_entity, k, approximation),
-                lambda: self.searcher.search(query_entity, k, approximation=approximation),
+            key = self._query_cache_key(query_entity, k, approximation)
+            if trace is None:
+                return cache.fetch_or_compute(
+                    key,
+                    lambda: self.searcher.search(query_entity, k, approximation=approximation),
+                )
+            # Same get -> compute -> put(copy) protocol fetch_or_compute
+            # implements, unrolled so the stages can be spanned.
+            lookup_span = trace.begin("cache.lookup")
+            cached = cache.get(key)
+            lookup_span.end(hit=cached is not None)
+            if cached is not None:
+                return cached
+            result = self.searcher.search(
+                query_entity, k, approximation=approximation, trace=trace
             )
+            cache.put(key, result.copy())
+            return result
         return self.searcher.search(
             query_entity,
             k,
             sequence_fetcher=sequence_fetcher,
             approximation=approximation,
+            trace=trace,
         )
 
     def _query_cache_key(self, query_entity: str, k: int, approximation: float) -> tuple:
@@ -579,6 +600,7 @@ class TraceQueryEngine:
         k: int = 10,
         workers: Optional[int] = None,
         approximation: float = 0.0,
+        traces: Optional[Sequence[Optional[SpanContext]]] = None,
     ) -> BatchTopKResult:
         """Answer a batch of top-k queries and return the aggregate report.
 
@@ -586,25 +608,49 @@ class TraceQueryEngine:
         it and only the misses run through the batch executor -- the same
         semantics :meth:`top_k` has, so single and batched serving paths hit
         the same cache.
+
+        ``traces`` is aligned with ``query_entities``; non-``None`` entries
+        receive per-query cache/kernel spans.  Results are unaffected.
         """
         cache = self._query_cache
         if cache is None:
+            if traces is None:
+                return self.batch_executor(workers=workers).run(
+                    query_entities, k, approximation=approximation
+                )
             return self.batch_executor(workers=workers).run(
-                query_entities, k, approximation=approximation
+                query_entities, k, approximation=approximation, traces=traces
             )
         started = time.perf_counter()
         results: List[Optional[TopKResult]] = []
         miss_positions: List[int] = []
         for position, query_entity in enumerate(query_entities):
+            lookup_span = (
+                traces[position].begin("cache.lookup")
+                if traces is not None and traces[position] is not None
+                else None
+            )
             cached = cache.get(self._query_cache_key(query_entity, k, approximation))
+            if lookup_span is not None:
+                lookup_span.end(hit=cached is not None)
             results.append(cached)
             if cached is None:
                 miss_positions.append(position)
         if miss_positions:
             missing = [query_entities[position] for position in miss_positions]
-            batch = self.batch_executor(workers=workers).run(
-                missing, k, approximation=approximation
+            miss_traces = (
+                [traces[position] for position in miss_positions]
+                if traces is not None
+                else None
             )
+            if miss_traces is None:
+                batch = self.batch_executor(workers=workers).run(
+                    missing, k, approximation=approximation
+                )
+            else:
+                batch = self.batch_executor(workers=workers).run(
+                    missing, k, approximation=approximation, traces=miss_traces
+                )
             for position, result in zip(miss_positions, batch.results):
                 results[position] = result
                 cache.put(

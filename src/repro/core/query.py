@@ -35,6 +35,7 @@ from repro.core.minsigtree import MinSigTree, MinSigTreeNode
 from repro.core.pruning import PruningState, QueryHashes, upper_bound
 from repro.core.hashing import HierarchicalHashFamily
 from repro.measures.base import AssociationMeasure
+from repro.obs.trace import SpanContext
 from repro.traces.dataset import TraceDataset
 from repro.traces.events import CellSequence
 
@@ -51,8 +52,8 @@ SequenceFetcher = Callable[[str], CellSequence]
 
 
 def fan_out_queries(
-    run_one: Callable[[str], "TopKResult"],
-    query_entities: Sequence[str],
+    run_one: Callable[..., "TopKResult"],
+    query_entities: Sequence,
     workers: int,
 ) -> List["TopKResult"]:
     """Run one search per query, serially or over a thread pool.
@@ -60,7 +61,9 @@ def fan_out_queries(
     The single dispatch rule shared by :class:`BatchTopKExecutor` and the
     sharded engine: ``workers <= 1`` (or a single query) runs in the calling
     thread, anything larger uses a pool capped at the query count.  Results
-    preserve query order either way.
+    preserve query order either way.  The items need not be entity strings
+    -- traced batch paths fan out over query *indices* so each call can
+    pick up its own trace context.
     """
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
@@ -69,6 +72,23 @@ def fan_out_queries(
     pool_size = min(workers, len(query_entities))
     with ThreadPoolExecutor(max_workers=pool_size) as pool:
         return list(pool.map(run_one, query_entities))
+
+
+def _pruning_attributes(stats: "QueryStats") -> dict:
+    """Span attributes summarising a search's pruning behaviour.
+
+    ``nodes_pruned`` counts nodes whose bound was evaluated but that were
+    never popped -- bound evaluations plus the root (pushed without one)
+    minus pops; clamped at zero for the degenerate empty-tree case.
+    """
+    return {
+        "nodes_visited": stats.nodes_visited,
+        "nodes_pruned": max(stats.bound_computations + 1 - stats.nodes_visited, 0),
+        "leaves_visited": stats.leaves_visited,
+        "bound_computations": stats.bound_computations,
+        "entities_scored": stats.entities_scored,
+        "terminated_early": stats.terminated_early,
+    }
 
 
 class _ReverseOrderStr(str):
@@ -332,6 +352,7 @@ class TopKSearcher:
         approximation: float = 0.0,
         query_sequence: Optional[CellSequence] = None,
         fetch_cache: Optional[MutableMapping[str, CellSequence]] = None,
+        trace: Optional[SpanContext] = None,
     ) -> TopKResult:
         """Answer a top-k query (Algorithm 2).
 
@@ -371,6 +392,13 @@ class TopKSearcher:
             once however many queries visit its leaf.  Ignored without a
             custom fetcher -- the dataset's own sequence cache already
             deduplicates fetches.
+        trace:
+            Optional :class:`repro.obs.trace.SpanContext`.  When given, the
+            search emits kernel-stage spans (``kernel.bounds``,
+            ``kernel.traverse``, ``kernel.scores``, ``kernel.merge``) with
+            the pruning counters attached as attributes.  Tracing never
+            changes results -- ``None`` (the default) costs one ``is None``
+            check per stage.
 
         Returns
         -------
@@ -416,6 +444,7 @@ class TopKSearcher:
                 query_sequence,
                 query_hashes,
                 stats,
+                trace,
             )
         return self._search_reference(
             query_entity,
@@ -426,6 +455,7 @@ class TopKSearcher:
             query_sequence,
             query_hashes,
             stats,
+            trace,
         )
 
     def _search_reference(
@@ -438,13 +468,17 @@ class TopKSearcher:
         query_sequence: CellSequence,
         query_hashes: QueryHashes,
         stats: QueryStats,
+        trace: Optional[SpanContext] = None,
     ) -> TopKResult:
         """The pointer-walking Algorithm 2 traversal (the equivalence pin).
 
         One ``refine`` + ``upper_bound`` call per child and one
         ``measure.score`` per candidate; the columnar path is pinned
-        bit-for-bit against this implementation by the fuzz suite.
+        bit-for-bit against this implementation by the fuzz suite.  In the
+        reference path bound evaluation and leaf scoring interleave, so a
+        single ``kernel.traverse`` span covers the whole loop.
         """
+        traverse_span = trace.begin("kernel.traverse", path="reference") if trace is not None else None
         result_heap: List[Tuple[float, str]] = []  # min-heap of (score, entity)
         tie_breaker = itertools.count()
         candidate_heap: List[Tuple[float, int, MinSigTreeNode, PruningState]] = []
@@ -499,8 +533,13 @@ class TopKSearcher:
                 elif entry > result_heap[0]:
                     heapq.heapreplace(result_heap, entry)
 
+        if traverse_span is not None:
+            traverse_span.end(**_pruning_attributes(stats))
+        merge_span = trace.begin("kernel.merge") if trace is not None else None
         pairs = [(str(entity), score) for score, entity in result_heap]
         pairs.sort(key=lambda pair: (-pair[1], pair[0]))
+        if merge_span is not None:
+            merge_span.end(results=len(pairs))
         return TopKResult(query_entity=query_entity, items=pairs, stats=stats)
 
     def _search_columnar(
@@ -515,6 +554,7 @@ class TopKSearcher:
         query_sequence: CellSequence,
         query_hashes: QueryHashes,
         stats: QueryStats,
+        trace: Optional[SpanContext] = None,
     ) -> TopKResult:
         """The columnar Algorithm 2 traversal (bit-identical, vectorised).
 
@@ -525,7 +565,13 @@ class TopKSearcher:
         (unless a custom ``sequence_fetcher`` overrides candidate
         sequences, in which case leaf scoring stays per-entity).  The loop
         itself touches only plain Python floats.
+
+        When traced, the three vectorised stages get their own spans:
+        ``kernel.bounds`` (whole-tree bound pass), ``kernel.traverse``
+        (the best-first loop), ``kernel.scores`` (lazy leaf scoring) and
+        ``kernel.merge`` (final ranking).
         """
+        bounds_span = trace.begin("kernel.bounds") if trace is not None else None
         try:
             context = ColumnarQueryContext(
                 compiled,
@@ -538,6 +584,8 @@ class TopKSearcher:
         except ColumnarUnsupportedQuery:
             # Hand-built query sequences violating sp-index consistency:
             # answer through the reference traversal instead.
+            if bounds_span is not None:
+                bounds_span.end(fallback=True)
             return self._search_reference(
                 query_entity,
                 k,
@@ -547,7 +595,11 @@ class TopKSearcher:
                 query_sequence,
                 query_hashes,
                 stats,
+                trace,
             )
+        if bounds_span is not None:
+            bounds_span.end(nodes=len(context.node_bounds))
+        traverse_span = trace.begin("kernel.traverse", path="columnar") if trace is not None else None
         node_bounds = context.node_bounds
         result_heap: List[Tuple[float, str]] = []
         tie_breaker = itertools.count()
@@ -594,7 +646,12 @@ class TopKSearcher:
             # candidate sequences).
             stats.leaves_visited += 1
             if scores is None and not custom_fetch:
-                scores = context.entity_scores()
+                if trace is None:
+                    scores = context.entity_scores()
+                else:
+                    scores_span = trace.begin("kernel.scores")
+                    scores = context.entity_scores()
+                    scores_span.end(candidates=len(scores))
             for slot in range(entity_start[node_id], entity_end[node_id]):
                 entity = entity_order[slot]
                 if entity == query_entity:
@@ -614,8 +671,13 @@ class TopKSearcher:
                 elif entry > result_heap[0]:
                     heapq.heapreplace(result_heap, entry)
 
+        if traverse_span is not None:
+            traverse_span.end(**_pruning_attributes(stats))
+        merge_span = trace.begin("kernel.merge") if trace is not None else None
         pairs = [(str(entity), score) for score, entity in result_heap]
         pairs.sort(key=lambda pair: (-pair[1], pair[0]))
+        if merge_span is not None:
+            merge_span.end(results=len(pairs))
         return TopKResult(query_entity=query_entity, items=pairs, stats=stats)
 
     # ------------------------------------------------------------------
@@ -738,8 +800,14 @@ class BatchTopKExecutor:
         sequence_fetcher: Optional[SequenceFetcher] = None,
         approximation: float = 0.0,
         workers: Optional[int] = None,
+        traces: Optional[Sequence[Optional[SpanContext]]] = None,
     ) -> BatchTopKResult:
-        """Answer every query in ``query_entities``, preserving their order."""
+        """Answer every query in ``query_entities``, preserving their order.
+
+        ``traces``, when given, is aligned with ``query_entities``: each
+        non-``None`` entry receives that query's kernel-stage spans.
+        Tracing never changes results or execution order.
+        """
         started = time.perf_counter()
         effective_workers = self.workers if workers is None else int(workers)
 
@@ -758,16 +826,34 @@ class BatchTopKExecutor:
             {} if sequence_fetcher is not None else None
         )
 
-        def run_one(entity: str) -> TopKResult:
-            return self.searcher.search(
-                entity,
-                k,
-                sequence_fetcher=sequence_fetcher,
-                approximation=approximation,
-                fetch_cache=shared_fetch_cache,
-            )
+        if traces is None:
 
-        results = fan_out_queries(run_one, query_entities, effective_workers)
+            def run_one(entity: str) -> TopKResult:
+                return self.searcher.search(
+                    entity,
+                    k,
+                    sequence_fetcher=sequence_fetcher,
+                    approximation=approximation,
+                    fetch_cache=shared_fetch_cache,
+                )
+
+            results = fan_out_queries(run_one, query_entities, effective_workers)
+        else:
+            # Fan out over indices so each search picks up its own trace
+            # context; dispatch (serial vs pool) is unchanged.
+            def run_indexed(position: int) -> TopKResult:
+                return self.searcher.search(
+                    query_entities[position],
+                    k,
+                    sequence_fetcher=sequence_fetcher,
+                    approximation=approximation,
+                    fetch_cache=shared_fetch_cache,
+                    trace=traces[position],
+                )
+
+            results = fan_out_queries(
+                run_indexed, range(len(query_entities)), effective_workers
+            )
 
         return BatchTopKResult(
             results=results,

@@ -1,0 +1,312 @@
+"""Prometheus text exposition (format 0.0.4): render and validate.
+
+The renderer turns a list of :class:`MetricFamily` into the plain-text
+format Prometheus scrapes (``# HELP``/``# TYPE`` comments, one sample per
+line, label values escaped).  The parser is the inverse used by tests and
+the CI serve-smoke job to validate what ``GET /metrics`` actually serves
+-- it is deliberately strict: malformed names, values, escapes, duplicate
+``TYPE`` lines, or broken histogram invariants (non-cumulative buckets,
+missing ``+Inf``, ``_count`` != the ``+Inf`` bucket) raise
+:class:`ExpositionError`.
+
+>>> family = MetricFamily(
+...     name="repro_requests_total",
+...     kind="counter",
+...     help="Requests by endpoint.",
+...     samples=[("", {"endpoint": "/v1/topk"}, 3.0)],
+... )
+>>> print(render_exposition([family]))
+# HELP repro_requests_total Requests by endpoint.
+# TYPE repro_requests_total counter
+repro_requests_total{endpoint="/v1/topk"} 3
+<BLANKLINE>
+>>> parsed = parse_exposition(render_exposition([family]))
+>>> parsed["repro_requests_total"]["type"]
+'counter'
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "ExpositionError",
+    "MetricFamily",
+    "histogram_samples",
+    "parse_exposition",
+    "render_exposition",
+]
+
+#: A sample is ``(suffix, labels, value)``; suffix is "" for plain
+#: counters/gauges or "_bucket"/"_sum"/"_count" for histogram series.
+Sample = Tuple[str, Dict[str, str], float]
+
+_NAME_PATTERN = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_PATTERN = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_VALID_KINDS = frozenset({"counter", "gauge", "histogram", "summary", "untyped"})
+
+
+class ExpositionError(ValueError):
+    """Raised when text fails to parse as valid Prometheus exposition."""
+
+
+@dataclass
+class MetricFamily:
+    """One metric family: name, kind, help text, and its samples."""
+
+    name: str
+    kind: str
+    help: str
+    samples: List[Sample] = field(default_factory=list)
+
+
+def _escape_help(text: str) -> str:
+    """Escape a HELP string (backslash and newline only, per the spec)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value (backslash, double-quote, newline)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Format a sample value: integral floats without the trailing ``.0``."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_exposition(families: Sequence[MetricFamily]) -> str:
+    """Render metric families as Prometheus text exposition 0.0.4."""
+    lines: List[str] = []
+    for family in families:
+        if not _NAME_PATTERN.match(family.name):
+            raise ValueError(f"invalid metric name {family.name!r}")
+        if family.kind not in _VALID_KINDS:
+            raise ValueError(f"invalid metric kind {family.kind!r}")
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for suffix, labels, value in family.samples:
+            rendered_labels = ""
+            if labels:
+                pairs = ",".join(
+                    f'{key}="{_escape_label_value(str(labels[key]))}"' for key in labels
+                )
+                rendered_labels = "{" + pairs + "}"
+            lines.append(f"{family.name}{suffix}{rendered_labels} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def histogram_samples(
+    labels: Dict[str, str],
+    bucket_counts: Sequence[int],
+    edges: Sequence[float],
+    total: float,
+    count: int,
+) -> List[Sample]:
+    """Build the ``_bucket``/``_sum``/``_count`` series of one histogram.
+
+    ``bucket_counts`` are *per-bucket* (as kept by the in-process
+    histograms, one slot per edge plus overflow); Prometheus buckets are
+    cumulative, so the running sum is emitted with ``le`` labels ending at
+    ``+Inf``.
+    """
+    if len(bucket_counts) != len(edges) + 1:
+        raise ValueError("bucket_counts must have one slot per edge plus overflow")
+    samples: List[Sample] = []
+    cumulative = 0
+    for edge, bucket in zip(edges, bucket_counts[:-1]):
+        cumulative += bucket
+        samples.append(("_bucket", {**labels, "le": f"{edge:g}"}, float(cumulative)))
+    cumulative += bucket_counts[-1]
+    samples.append(("_bucket", {**labels, "le": "+Inf"}, float(cumulative)))
+    samples.append(("_sum", dict(labels), float(total)))
+    samples.append(("_count", dict(labels), float(count)))
+    return samples
+
+
+# ----------------------------------------------------------------------
+# Parsing / validation
+# ----------------------------------------------------------------------
+
+_SAMPLE_PATTERN = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+
+
+def _parse_labels(text: str, line_number: int) -> Dict[str, str]:
+    """Parse the inside of a ``{...}`` label block, honouring escapes."""
+    labels: Dict[str, str] = {}
+    position = 0
+    length = len(text)
+    while position < length:
+        match = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', text[position:])
+        if not match:
+            raise ExpositionError(f"line {line_number}: malformed label block {text!r}")
+        name = match.group(1)
+        position += match.end()
+        value_chars: List[str] = []
+        while True:
+            if position >= length:
+                raise ExpositionError(f"line {line_number}: unterminated label value")
+            character = text[position]
+            if character == "\\":
+                if position + 1 >= length:
+                    raise ExpositionError(f"line {line_number}: dangling escape")
+                escape = text[position + 1]
+                if escape == "n":
+                    value_chars.append("\n")
+                elif escape in ('"', "\\"):
+                    value_chars.append(escape)
+                else:
+                    raise ExpositionError(f"line {line_number}: bad escape \\{escape}")
+                position += 2
+            elif character == '"':
+                position += 1
+                break
+            else:
+                value_chars.append(character)
+                position += 1
+        if name in labels:
+            raise ExpositionError(f"line {line_number}: duplicate label {name!r}")
+        labels[name] = "".join(value_chars)
+        if position < length:
+            if text[position] != ",":
+                raise ExpositionError(f"line {line_number}: expected ',' between labels")
+            position += 1
+    return labels
+
+
+def _parse_value(text: str, line_number: int) -> float:
+    """Parse a sample value (decimal, scientific, +Inf/-Inf/NaN)."""
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    try:
+        return float(text)
+    except ValueError:
+        raise ExpositionError(f"line {line_number}: bad sample value {text!r}") from None
+
+
+def _base_family(name: str, types: Dict[str, str]) -> str:
+    """Map a sample name to its family, stripping histogram suffixes."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) in ("histogram", "summary"):
+                return base
+    return name
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse and validate exposition text; return families by name.
+
+    Each entry maps a family name to ``{"type", "help", "samples"}`` with
+    samples as ``(sample_name, labels, value)`` tuples.  Raises
+    :class:`ExpositionError` on any spec violation, including histogram
+    bucket invariants.
+    """
+    types: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    samples: Dict[str, List[Tuple[str, Dict[str, str], float]]] = {}
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.rstrip("\r")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                keyword, name = parts[1], parts[2]
+                if not _NAME_PATTERN.match(name):
+                    raise ExpositionError(f"line {line_number}: bad metric name {name!r}")
+                if keyword == "TYPE":
+                    kind = parts[3].strip() if len(parts) > 3 else ""
+                    if kind not in _VALID_KINDS:
+                        raise ExpositionError(f"line {line_number}: bad TYPE {kind!r}")
+                    if name in types:
+                        raise ExpositionError(f"line {line_number}: duplicate TYPE for {name}")
+                    if name in samples:
+                        raise ExpositionError(
+                            f"line {line_number}: TYPE for {name} after its samples"
+                        )
+                    types[name] = kind
+                else:
+                    helps[name] = parts[3] if len(parts) > 3 else ""
+            continue
+        match = _SAMPLE_PATTERN.match(line)
+        if not match:
+            raise ExpositionError(f"line {line_number}: malformed sample line {line!r}")
+        name = match.group("name")
+        labels_text = match.group("labels")
+        labels = _parse_labels(labels_text, line_number) if labels_text else {}
+        value = _parse_value(match.group("value"), line_number)
+        family = _base_family(name, types)
+        samples.setdefault(family, []).append((name, labels, value))
+
+    for family, kind in types.items():
+        if kind == "histogram":
+            _check_histogram(family, samples.get(family, []))
+
+    result: Dict[str, Dict[str, object]] = {}
+    for family in set(types) | set(samples) | set(helps):
+        result[family] = {
+            "type": types.get(family, "untyped"),
+            "help": helps.get(family, ""),
+            "samples": samples.get(family, []),
+        }
+    return result
+
+
+def _check_histogram(family: str, family_samples: List[Tuple[str, Dict[str, str], float]]) -> None:
+    """Enforce histogram invariants on one family's samples.
+
+    Per distinct non-``le`` label set: buckets must be cumulative
+    (non-decreasing in ``le`` order), end at ``+Inf``, and the ``_count``
+    series must equal the ``+Inf`` bucket; ``_sum`` must exist.
+    """
+    groups: Dict[Tuple[Tuple[str, str], ...], Dict[str, object]] = {}
+    for name, labels, value in family_samples:
+        key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+        group = groups.setdefault(key, {"buckets": [], "sum": None, "count": None})
+        if name == family + "_bucket":
+            if "le" not in labels:
+                raise ExpositionError(f"{family}: _bucket sample missing le label")
+            le = labels["le"]
+            edge = float("inf") if le == "+Inf" else _parse_value(le, 0)
+            group["buckets"].append((edge, value))
+        elif name == family + "_sum":
+            group["sum"] = value
+        elif name == family + "_count":
+            group["count"] = value
+        else:
+            raise ExpositionError(f"{family}: unexpected histogram sample {name!r}")
+    for key, group in groups.items():
+        buckets = sorted(group["buckets"])
+        if not buckets or not math.isinf(buckets[-1][0]):
+            raise ExpositionError(f"{family}{dict(key)}: histogram missing +Inf bucket")
+        previous = -1.0
+        for edge, cumulative in buckets:
+            if cumulative < previous:
+                raise ExpositionError(
+                    f"{family}{dict(key)}: bucket counts not cumulative at le={edge}"
+                )
+            previous = cumulative
+        if group["count"] is None or group["count"] != buckets[-1][1]:
+            raise ExpositionError(f"{family}{dict(key)}: _count != +Inf bucket")
+        if group["sum"] is None:
+            raise ExpositionError(f"{family}{dict(key)}: histogram missing _sum")

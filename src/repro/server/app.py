@@ -17,7 +17,9 @@ Layering (transport-free core, thin HTTP skin):
   without sockets, and the doctest below runs exactly that way.
 * :func:`build_http_server` wraps a :class:`TraceServer` in a
   ``ThreadingHTTPServer`` routing ``POST /v1/topk``, ``POST /v1/events``,
-  ``GET /v1/healthz``, and ``GET /v1/stats``.
+  ``GET /v1/healthz``, ``GET /v1/stats``, ``GET /metrics`` (Prometheus
+  text exposition), and ``GET /v1/debug/slow`` (the slow-query log; see
+  ``docs/OBSERVABILITY.md``).
 
 **Consistency model.**  One lock serialises engine access: reads run as
 coalesced ``top_k_batch`` calls under the lock, writes (event appends and
@@ -60,6 +62,8 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import exposition
+from repro.obs.trace import LATENCY_BUCKETS, SpanContext, Tracer
 from repro.server.coalescer import QueueFullError, RequestCoalescer
 from repro.server.metrics import ServerMetrics
 from repro.server import protocol
@@ -90,6 +94,14 @@ class TraceServer:
         this are answered ``429``.
     max_batch:
         Largest coalesced batch dispatched at once.
+    trace_sample:
+        Probability (0..1) that a top-k request is traced end to end
+        (``repro serve --trace-sample``).  ``0`` (default) disables
+        tracing entirely; any rate never changes responses -- the
+        equivalence suite pins byte-identity under ``trace_sample=1.0``.
+    tracer:
+        Optional pre-built :class:`repro.obs.trace.Tracer`; overrides
+        ``trace_sample`` (used by tests to control sampling seeds).
     """
 
     def __init__(
@@ -99,6 +111,8 @@ class TraceServer:
         coalesce_window: float = 0.002,
         max_pending: int = 1024,
         max_batch: int = 64,
+        trace_sample: float = 0.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if not engine.is_built:
             raise ValueError("TraceServer requires a built engine")
@@ -115,6 +129,7 @@ class TraceServer:
             max_pending=max_pending,
             max_batch=max_batch,
         )
+        self.tracer = tracer if tracer is not None else Tracer(sample_rate=trace_sample)
         self.started_at = time.monotonic()
         self._closed = False
         self._flush_count = 0
@@ -136,11 +151,32 @@ class TraceServer:
         a flush land mid-batch).  Dispatching it whole under the engine
         lock keeps the shared-pre-hash amortisation and gives the response
         a single serialisation point.
+
+        The sampling decision for cross-layer tracing happens here, at the
+        request edge; sampled requests carry a trace context down through
+        the coalescer/engine (and, in multi-process deployments, over the
+        worker wire) and land in the tracer's ring and slow-query log.
         """
+        trace = self.tracer.start_trace("request.topk")
+        if trace is None:
+            return self._answer_topk(payload, None)
+        try:
+            status, response = self._answer_topk(payload, trace.context())
+        except BaseException:
+            self.tracer.finish(trace, error=True)
+            raise
+        self.tracer.finish(trace, status=status, error=status >= 500)
+        return status, response
+
+    def _answer_topk(self, payload: object, trace: Optional[SpanContext]) -> Response:
+        """The actual ``/v1/topk`` logic; ``trace`` is ``None`` when unsampled."""
         try:
             request = protocol.parse_topk_request(payload)
         except protocol.ProtocolError as exc:
             return exc.status, protocol.error_payload(str(exc))
+        if trace is not None:
+            trace.parent.attributes["batch"] = request.batch
+            trace.parent.attributes["queries"] = len(request.entities)
         entity = request.entities[0]
         try:
             if request.batch:
@@ -158,11 +194,19 @@ class TraceServer:
                         return 404, protocol.error_payload(
                             f"unknown entity {unknown[0]!r}"
                         )
-                    results = self.engine.top_k_batch(
-                        request.entities,
-                        k=request.k,
-                        approximation=request.approximation,
-                    ).results
+                    if trace is None:
+                        results = self.engine.top_k_batch(
+                            request.entities,
+                            k=request.k,
+                            approximation=request.approximation,
+                        ).results
+                    else:
+                        results = self.engine.top_k_batch(
+                            request.entities,
+                            k=request.k,
+                            approximation=request.approximation,
+                            traces=[trace] * len(request.entities),
+                        ).results
             else:
                 # Cheap membership pre-check: an unknown entity answered
                 # here costs nothing, while one reaching the coalescer
@@ -173,7 +217,10 @@ class TraceServer:
                     return 404, protocol.error_payload(f"unknown entity {entity!r}")
                 results = [
                     self.coalescer.submit(
-                        entity, k=request.k, approximation=request.approximation
+                        entity,
+                        k=request.k,
+                        approximation=request.approximation,
+                        trace=trace,
                     )
                 ]
         except QueueFullError as exc:
@@ -287,7 +334,26 @@ class TraceServer:
         }
 
     def handle_stats(self) -> Response:
-        """``GET /v1/stats``: engine, cache, ingest, coalescer, HTTP metrics."""
+        """``GET /v1/stats``: engine, cache, ingest, coalescer, HTTP metrics.
+
+        The whole payload is assembled from **one consistent read**: every
+        source is snapshotted under the engine lock, in the fixed
+        acquisition order *engine lock -> coalescer mutex -> metrics lock
+        -> tracer lock* (all leaf locks never taken while holding each
+        other, so the order is trivially deadlock-free).  A concurrent
+        flush or dispatch therefore cannot interleave a half-updated view
+        -- e.g. an engine whose entity count already includes a flush whose
+        ingest counters do not.
+        """
+        return 200, self._stats_payload()
+
+    def _stats_payload(self, coalescer: Optional[RequestCoalescer] = None) -> Dict[str, object]:
+        """One coherent stats snapshot (see :meth:`handle_stats`).
+
+        ``coalescer`` lets the multi-process front-end substitute its
+        pool-facing coalescer while keeping the same acquisition order.
+        """
+        coalescer_source = coalescer if coalescer is not None else self.coalescer
         with self.engine_lock:
             engine_stats = self.engine.runtime_stats()
             ingest = self.ingestor.stats
@@ -301,13 +367,238 @@ class TraceServer:
                 "seconds_in_flush": ingest.seconds_in_flush,
                 "flushes": self._flush_count,
                 "watermark": self.ingestor.watermark,
+                "seconds_since_last_flush": (
+                    time.monotonic() - ingest.last_flush_monotonic
+                    if ingest.last_flush_monotonic is not None
+                    else None
+                ),
             }
-        return 200, {
+            coalescer_stats = coalescer_source.stats_snapshot()
+            endpoint_stats = self.metrics.snapshot()
+            tracing_stats = self.tracer.counters_snapshot()
+        return {
             "engine": engine_stats,
             "ingest": ingest_stats,
-            "coalescer": self.coalescer.stats_snapshot(),
-            "endpoints": self.metrics.snapshot(),
+            "coalescer": coalescer_stats,
+            "endpoints": endpoint_stats,
+            "tracing": tracing_stats,
             "uptime_seconds": time.monotonic() - self.started_at,
+        }
+
+    def handle_metrics(self) -> Tuple[int, str]:
+        """``GET /metrics``: Prometheus text exposition (format 0.0.4).
+
+        Renders the per-endpoint request histograms, per-stage span
+        latency histograms, coalescer/trace counters, and ingest-lag and
+        cache gauges.  Sources are snapshotted with the same single
+        acquisition order as :meth:`handle_stats`.
+        """
+        return 200, exposition.render_exposition(self._metric_families())
+
+    def _metric_families(
+        self, coalescer: Optional[RequestCoalescer] = None
+    ) -> List[exposition.MetricFamily]:
+        """Assemble the metric families ``GET /metrics`` renders.
+
+        The multi-process front-end substitutes its pool-facing coalescer
+        and appends worker-pool and generation families.
+        """
+        coalescer_source = coalescer if coalescer is not None else self.coalescer
+        with self.engine_lock:
+            engine_stats = self.engine.runtime_stats()
+            ingest = self.ingestor.stats
+            buffered = ingest.events_buffered
+            events_submitted = ingest.events_submitted
+            events_flushed = ingest.events_flushed
+            events_dropped = ingest.events_dropped_late
+            last_flush = ingest.last_flush_monotonic
+            coalescer_stats = coalescer_source.stats_snapshot()
+            endpoints = self.metrics.raw_snapshot()
+            stages = self.tracer.stage_snapshot()
+            tracing = self.tracer.counters_snapshot()
+
+        families: List[exposition.MetricFamily] = []
+
+        families.append(
+            exposition.MetricFamily(
+                name="repro_requests_total",
+                kind="counter",
+                help="HTTP requests answered, by endpoint.",
+                samples=[
+                    ("", {"endpoint": endpoint}, float(entry["requests"]))
+                    for endpoint, entry in endpoints.items()
+                ],
+            )
+        )
+        families.append(
+            exposition.MetricFamily(
+                name="repro_responses_total",
+                kind="counter",
+                help="HTTP responses, by endpoint and status code.",
+                samples=[
+                    ("", {"endpoint": endpoint, "status": status}, float(count))
+                    for endpoint, entry in endpoints.items()
+                    for status, count in sorted(entry["status"].items())
+                ],
+            )
+        )
+        latency = exposition.MetricFamily(
+            name="repro_request_latency_seconds",
+            kind="histogram",
+            help="End-to-end HTTP request latency, by endpoint.",
+        )
+        for endpoint, entry in endpoints.items():
+            latency.samples.extend(
+                exposition.histogram_samples(
+                    {"endpoint": endpoint},
+                    entry["bucket_counts"],
+                    LATENCY_BUCKETS,
+                    entry["total_seconds"],
+                    entry["count"],
+                )
+            )
+        families.append(latency)
+
+        stage_latency = exposition.MetricFamily(
+            name="repro_stage_latency_seconds",
+            kind="histogram",
+            help="Span durations of traced requests, by pipeline stage.",
+        )
+        for stage in sorted(stages):
+            entry = stages[stage]
+            stage_latency.samples.extend(
+                exposition.histogram_samples(
+                    {"stage": stage},
+                    entry["bucket_counts"],
+                    LATENCY_BUCKETS,
+                    entry["sum_seconds"],
+                    entry["count"],
+                )
+            )
+        families.append(stage_latency)
+
+        families.append(
+            exposition.MetricFamily(
+                name="repro_traces_total",
+                kind="counter",
+                help="Traces sampled (started) and retained (recorded).",
+                samples=[
+                    ("", {"event": "started"}, float(tracing["started"])),
+                    ("", {"event": "recorded"}, float(tracing["recorded"])),
+                ],
+            )
+        )
+        families.append(
+            exposition.MetricFamily(
+                name="repro_trace_sample_rate",
+                kind="gauge",
+                help="Configured trace sampling rate (0 disables tracing).",
+                samples=[("", {}, float(tracing["sample_rate"]))],
+            )
+        )
+
+        families.append(
+            exposition.MetricFamily(
+                name="repro_coalescer_queries_total",
+                kind="counter",
+                help="Coalescer admission and dispatch counters.",
+                samples=[
+                    ("", {"event": "submitted"}, float(coalescer_stats["submitted"])),
+                    ("", {"event": "rejected"}, float(coalescer_stats["rejected"])),
+                    ("", {"event": "dispatched"}, float(coalescer_stats["dispatched"])),
+                    ("", {"event": "coalesced"}, float(coalescer_stats["coalesced"])),
+                ],
+            )
+        )
+        families.append(
+            exposition.MetricFamily(
+                name="repro_coalescer_batches_total",
+                kind="counter",
+                help="Coalescer dispatch rounds.",
+                samples=[("", {}, float(coalescer_stats["batches"]))],
+            )
+        )
+
+        families.append(
+            exposition.MetricFamily(
+                name="repro_ingest_events_total",
+                kind="counter",
+                help="Streamed events, by outcome.",
+                samples=[
+                    ("", {"outcome": "submitted"}, float(events_submitted)),
+                    ("", {"outcome": "flushed"}, float(events_flushed)),
+                    ("", {"outcome": "dropped_late"}, float(events_dropped)),
+                ],
+            )
+        )
+        ingest_lag = exposition.MetricFamily(
+            name="repro_ingest_buffered_events",
+            kind="gauge",
+            help="Events accepted but not yet flushed into the index (ingest lag).",
+            samples=[("", {}, float(buffered))],
+        )
+        families.append(ingest_lag)
+        flush_age = exposition.MetricFamily(
+            name="repro_ingest_last_flush_age_seconds",
+            kind="gauge",
+            help="Seconds since the last ingest flush (absent before the first).",
+        )
+        if last_flush is not None:
+            flush_age.samples.append(("", {}, time.monotonic() - last_flush))
+        families.append(flush_age)
+
+        cache_stats = engine_stats.get("cache")
+        cache_entries = exposition.MetricFamily(
+            name="repro_cache_entries",
+            kind="gauge",
+            help="Query-result cache entries (absent when caching is off).",
+        )
+        cache_events = exposition.MetricFamily(
+            name="repro_cache_events_total",
+            kind="counter",
+            help="Query-result cache hits/misses/evictions/invalidations.",
+        )
+        cache_hit_rate = exposition.MetricFamily(
+            name="repro_cache_hit_rate",
+            kind="gauge",
+            help="Cumulative query-result cache hit rate.",
+        )
+        if cache_stats:
+            cache_entries.samples.append(("", {}, float(cache_stats["entries"])))
+            for event in ("hits", "misses", "evictions", "invalidations"):
+                cache_events.samples.append(("", {"event": event}, float(cache_stats[event])))
+            cache_hit_rate.samples.append(("", {}, float(cache_stats["hit_rate"])))
+        families.extend([cache_entries, cache_events, cache_hit_rate])
+
+        families.append(
+            exposition.MetricFamily(
+                name="repro_index_entities",
+                kind="gauge",
+                help="Entities in the served index.",
+                samples=[("", {}, float(engine_stats.get("entities", 0)))],
+            )
+        )
+        families.append(
+            exposition.MetricFamily(
+                name="repro_uptime_seconds",
+                kind="gauge",
+                help="Seconds since the server started.",
+                samples=[("", {}, time.monotonic() - self.started_at)],
+            )
+        )
+        return families
+
+    def handle_debug_slow(self) -> Response:
+        """``GET /v1/debug/slow``: the slow-query log.
+
+        Returns the N slowest traces (full span trees, slowest first) and
+        the most recent errored traces -- the tracer's bounded buffers, so
+        the payload size is capped regardless of traffic.
+        """
+        return 200, {
+            "sample_rate": self.tracer.sample_rate,
+            "slowest": self.tracer.slow_snapshot(),
+            "errored": self.tracer.errored_snapshot(),
         }
 
     # ------------------------------------------------------------------
@@ -354,7 +645,7 @@ class _Handler(BaseHTTPRequestHandler):
     #: per-path counters, or a hostile scanner grows the metrics without
     #: bound (the constant-memory constraint of repro.server.metrics).
     known_endpoints = frozenset(
-        {"/v1/topk", "/v1/events", "/v1/healthz", "/v1/stats"}
+        {"/v1/topk", "/v1/events", "/v1/healthz", "/v1/stats", "/metrics", "/v1/debug/slow"}
     )
     #: Largest accepted request body; far above any legitimate request
     #: given MAX_ITEMS_PER_REQUEST, and keeps a hostile client from
@@ -387,6 +678,25 @@ class _Handler(BaseHTTPRequestHandler):
         if self.close_connection:
             # Set when the request body was left unread: the client must
             # not reuse a connection whose stream is desynchronised.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass
+
+    def _send_text(self, endpoint: str, started: float, status: int, text: str) -> None:
+        """Like :meth:`_send` but for the Prometheus text exposition."""
+        body = text.encode("utf-8")
+        self._trace_server().metrics.observe(
+            endpoint, status=status, seconds=time.perf_counter() - started
+        )
+        self.send_response(status)
+        # The content type Prometheus scrapers negotiate for the 0.0.4
+        # text format.
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
         try:
@@ -453,10 +763,16 @@ class _Handler(BaseHTTPRequestHandler):
             # close it (the same invariant _read_json_body keeps).
             self.close_connection = True
         path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            status, text = self._trace_server().handle_metrics()
+            self._send_text(self._endpoint(), started, status, text)
+            return
         if path == "/v1/healthz":
             status, response = self._trace_server().handle_healthz()
         elif path == "/v1/stats":
             status, response = self._trace_server().handle_stats()
+        elif path == "/v1/debug/slow":
+            status, response = self._trace_server().handle_debug_slow()
         elif path in ("/v1/topk", "/v1/events"):
             status, response = 405, protocol.error_payload(f"{path} requires POST")
         else:

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.query import TopKResult
+from repro.obs.trace import SpanContext
 
 __all__ = ["CoalescerStats", "QueueFullError", "RequestCoalescer"]
 
@@ -84,12 +85,19 @@ class CoalescerStats:
 class _PendingQuery:
     """One blocked top-k request: inputs, a completion event, an outcome."""
 
-    __slots__ = ("entity", "k", "approximation", "done", "result", "error")
+    __slots__ = ("entity", "k", "approximation", "trace", "done", "result", "error")
 
-    def __init__(self, entity: str, k: int, approximation: float) -> None:
+    def __init__(
+        self,
+        entity: str,
+        k: int,
+        approximation: float,
+        trace: Optional[SpanContext] = None,
+    ) -> None:
         self.entity = entity
         self.k = k
         self.approximation = approximation
+        self.trace = trace
         self.done = threading.Event()
         self.result: Optional[TopKResult] = None
         self.error: Optional[BaseException] = None
@@ -167,7 +175,11 @@ class RequestCoalescer:
     # Client side (handler threads)
     # ------------------------------------------------------------------
     def submit(
-        self, entity: str, k: int = 10, approximation: float = 0.0
+        self,
+        entity: str,
+        k: int = 10,
+        approximation: float = 0.0,
+        trace: Optional[SpanContext] = None,
     ) -> TopKResult:
         """Enqueue one query and block until its batch was answered.
 
@@ -175,8 +187,13 @@ class RequestCoalescer:
         capacity, ``RuntimeError`` when the coalescer is closed, and
         re-raises whatever the search itself raised (e.g. ``KeyError`` for
         an entity the engine does not know).
+
+        ``trace`` attaches a ``coalesce.wait`` span covering the queue
+        time and travels with the query so the dispatcher can hang its
+        ``coalesce.dispatch`` and kernel spans under the right trace.
         """
-        query = _PendingQuery(entity, k, approximation)
+        wait_span = trace.begin("coalesce.wait") if trace is not None else None
+        query = _PendingQuery(entity, k, approximation, trace)
         with self._mutex:
             if self._closed:
                 raise RuntimeError("the coalescer is closed")
@@ -190,6 +207,8 @@ class RequestCoalescer:
             self.stats.submitted += 1
             self._arrived.notify()
         query.done.wait()
+        if wait_span is not None:
+            wait_span.end(error=query.error is not None)
         if query.error is not None:
             raise query.error
         assert query.result is not None
@@ -243,15 +262,44 @@ class RequestCoalescer:
             groups.setdefault((query.k, query.approximation), []).append(query)
         for (k, approximation), members in groups.items():
             entities = [query.entity for query in members]
+            # Open one coalesce.dispatch span per *traced* member; kernel
+            # spans nest under it via the per-member contexts handed to
+            # top_k_batch.  Untraced batches pass no traces at all, so the
+            # hot path is unchanged when tracing is off.
+            dispatch_spans = {}
+            traces = None
+            if any(query.trace is not None for query in members):
+                traces = []
+                for query in members:
+                    if query.trace is None:
+                        traces.append(None)
+                        continue
+                    span = query.trace.begin(
+                        "coalesce.dispatch",
+                        round_size=len(batch),
+                        group_size=len(members),
+                    )
+                    dispatch_spans[id(query)] = span
+                    traces.append(query.trace.under(span))
             try:
                 with self._engine_lock:
-                    results = self.engine.top_k_batch(
-                        entities, k=k, approximation=approximation
-                    ).results
+                    if traces is None:
+                        results = self.engine.top_k_batch(
+                            entities, k=k, approximation=approximation
+                        ).results
+                    else:
+                        results = self.engine.top_k_batch(
+                            entities, k=k, approximation=approximation, traces=traces
+                        ).results
             except BaseException as exc:  # noqa: BLE001 - handed to the waiter
+                for span in dispatch_spans.values():
+                    span.end(error=type(exc).__name__)
                 self._fail_individually(members, k, approximation, exc)
                 continue
             for query, result in zip(members, results):
+                span = dispatch_spans.get(id(query))
+                if span is not None:
+                    span.end()
                 query.result = result
                 query.done.set()
 
@@ -271,9 +319,17 @@ class RequestCoalescer:
         for query in members:
             try:
                 with self._engine_lock:
-                    query.result = self.engine.top_k(
-                        query.entity, k=k, approximation=approximation
-                    )
+                    if query.trace is None:
+                        query.result = self.engine.top_k(
+                            query.entity, k=k, approximation=approximation
+                        )
+                    else:
+                        query.result = self.engine.top_k(
+                            query.entity,
+                            k=k,
+                            approximation=approximation,
+                            trace=query.trace,
+                        )
             except BaseException as exc:  # noqa: BLE001 - handed to the waiter
                 query.error = exc
             query.done.set()

@@ -40,6 +40,8 @@ from pathlib import Path
 from queue import Empty, Queue
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import exposition
+from repro.obs.trace import SpanContext
 from repro.server import protocol
 from repro.server.app import TraceServer
 from repro.server.coalescer import QueueFullError, RequestCoalescer
@@ -231,7 +233,11 @@ class WorkerPool:
             return handle
 
     def topk(
-        self, entities: List[str], k: int, approximation: float
+        self,
+        entities: List[str],
+        k: int,
+        approximation: float,
+        traces: Optional[List[Optional[SpanContext]]] = None,
     ) -> List[Dict[str, object]]:
         """Answer one batch of queries on one worker; respawn-and-retry on death.
 
@@ -240,21 +246,52 @@ class WorkerPool:
         ``RuntimeError`` for transport-level failures that survived every
         retry -- both mapped by the HTTP layer exactly like the in-process
         daemon's errors.
+
+        ``traces`` (aligned with ``entities``; ``None`` entries for
+        unsampled queries) propagates sampled trace contexts over the
+        wire: each traced query gets a ``worker.request`` span covering
+        the round-trip, the worker's own spans come back in the reply and
+        are re-based onto that span, so the worker's kernel stages stitch
+        into the frontend trace.  A retried attempt gets fresh spans; the
+        failed attempt's span is closed with the error.
         """
-        request = {
+        request: Dict[str, object] = {
             "op": "topk",
             "entities": list(entities),
             "k": int(k),
             "approximation": float(approximation),
         }
+        if traces is not None and not any(t is not None for t in traces):
+            traces = None
         attempts = self.num_workers + 1
         last_error: Optional[WorkerDiedError] = None
         for attempt in range(attempts):
             handle = self._checkout()
+            spans = None
+            if traces is not None:
+                # Fresh spans (and therefore fresh parent ids on the wire)
+                # per attempt: a worker's exported spans must hang under
+                # the round-trip that actually produced them.
+                spans = [
+                    trace.begin("worker.request", worker=handle.index, attempt=attempt)
+                    if trace is not None
+                    else None
+                    for trace in traces
+                ]
+                request["traces"] = [
+                    {"trace_id": trace.trace.trace_id, "span_id": span.span_id}
+                    if trace is not None and span is not None
+                    else None
+                    for trace, span in zip(traces, spans)
+                ]
             try:
                 reply = handle.request(request)
             except WorkerDiedError as exc:
                 last_error = exc
+                if spans is not None:
+                    for span in spans:
+                        if span is not None:
+                            span.end(error=type(exc).__name__)
                 with self._stats_lock:
                     self._retries += 1
                 # Respawn in the background so the retry (on another worker)
@@ -268,6 +305,8 @@ class WorkerPool:
                 self._idle.put(handle)
             with self._stats_lock:
                 self._requests += 1
+            if spans is not None:
+                self._stitch_spans(reply, traces, spans)
             error = reply.get("error")
             if error is not None:
                 status = reply.get("status")
@@ -278,6 +317,24 @@ class WorkerPool:
         raise RuntimeError(
             f"no worker answered after {attempts} attempts: {last_error}"
         )
+
+    @staticmethod
+    def _stitch_spans(
+        reply: Dict[str, object],
+        traces: List[Optional[SpanContext]],
+        spans: List[object],
+    ) -> None:
+        """Re-base the worker's exported spans onto the round-trip spans."""
+        exported = reply.get("spans")
+        exported = exported if isinstance(exported, dict) else {}
+        generation = reply.get("generation")
+        for index, (trace, span) in enumerate(zip(traces, spans)):
+            if trace is None or span is None:
+                continue
+            remote = exported.get(str(index))
+            if remote:
+                trace.trace.attach_remote(remote, anchor=span)
+            span.end(generation=generation)
 
     def _revive(self, handle: _WorkerHandle) -> None:
         """Respawn a dead worker and return it to the idle queue when ready."""
@@ -296,29 +353,40 @@ class WorkerPool:
             self._idle.put(handle)
 
     def scatter_topk(
-        self, entities: List[str], k: int, approximation: float
+        self,
+        entities: List[str],
+        k: int,
+        approximation: float,
+        traces: Optional[List[Optional[SpanContext]]] = None,
     ) -> List[Dict[str, object]]:
         """Scatter one batch over the pool, gather in request order.
 
         The batch is split into up to ``num_workers`` contiguous chunks so
         its queries run concurrently in separate processes; each chunk is a
-        normal :meth:`topk` call with the same retry discipline.  Chunks may
-        individually observe a newer generation than their siblings -- the
-        documented batch-form relaxation of the consistency model.
+        normal :meth:`topk` call with the same retry discipline (``traces``
+        is sliced alongside).  Chunks may individually observe a newer
+        generation than their siblings -- the documented batch-form
+        relaxation of the consistency model.
         """
         if len(entities) <= 1 or self.num_workers == 1:
-            return self.topk(entities, k, approximation)
+            return self.topk(entities, k, approximation, traces=traces)
         chunk_count = min(self.num_workers, len(entities))
         bounds = [
             (len(entities) * part) // chunk_count for part in range(chunk_count + 1)
         ]
         chunks = [entities[bounds[part] : bounds[part + 1]] for part in range(chunk_count)]
+        trace_chunks = [
+            traces[bounds[part] : bounds[part + 1]] if traces is not None else None
+            for part in range(chunk_count)
+        ]
         results: List[Optional[List[Dict[str, object]]]] = [None] * chunk_count
         errors: List[BaseException] = []
 
         def run(part: int) -> None:
             try:
-                results[part] = self.topk(chunks[part], k, approximation)
+                results[part] = self.topk(
+                    chunks[part], k, approximation, traces=trace_chunks[part]
+                )
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 errors.append(exc)
 
@@ -374,11 +442,26 @@ class _PoolDispatch:
     def __init__(self, pool: WorkerPool) -> None:
         self._pool = pool
 
-    def top_k_batch(self, entities, k: int, approximation: float) -> "_PoolDispatch._Batch":
-        return self._Batch(self._pool.topk(list(entities), k, approximation))
+    def top_k_batch(
+        self,
+        entities,
+        k: int,
+        approximation: float,
+        traces: Optional[List[Optional[SpanContext]]] = None,
+    ) -> "_PoolDispatch._Batch":
+        return self._Batch(
+            self._pool.topk(list(entities), k, approximation, traces=traces)
+        )
 
-    def top_k(self, entity: str, k: int, approximation: float) -> Dict[str, object]:
-        return self._pool.topk([entity], k, approximation)[0]
+    def top_k(
+        self,
+        entity: str,
+        k: int,
+        approximation: float,
+        trace: Optional[SpanContext] = None,
+    ) -> Dict[str, object]:
+        traces = [trace] if trace is not None else None
+        return self._pool.topk([entity], k, approximation, traces=traces)[0]
 
 
 class FrontendServer:
@@ -404,6 +487,7 @@ class FrontendServer:
         max_batch: int = 64,
         store_root: Optional[os.PathLike] = None,
         startup_timeout: float = 60.0,
+        trace_sample: float = 0.0,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -419,11 +503,16 @@ class FrontendServer:
             coalesce_window=coalesce_window,
             max_pending=max_pending,
             max_batch=max_batch,
+            trace_sample=trace_sample,
         )
         self.engine = engine
         self.engine_lock = self.owner.engine_lock
         self.metrics = self.owner.metrics
         self.ingestor = self.owner.ingestor
+        #: One tracer for the deployment, owned by the embedded TraceServer:
+        #: frontend spans and re-based worker spans land in the same ring
+        #: and slow-query log.
+        self.tracer = self.owner.tracer
         self.started_at = self.owner.started_at
         self.store = GenerationStore(root)
         self._closed = False
@@ -482,12 +571,31 @@ class FrontendServer:
 
         Single queries go through the request coalescer (same admission
         control and windowed batching as in-process); batch requests are
-        scatter-gathered across the pool directly.
+        scatter-gathered across the pool directly.  Sampling happens here,
+        exactly as in :meth:`TraceServer.handle_topk`; sampled traces
+        additionally stitch in the worker-process spans shipped back over
+        the wire.
         """
+        trace = self.tracer.start_trace("request.topk")
+        if trace is None:
+            return self._answer_topk(payload, None)
+        try:
+            status, response = self._answer_topk(payload, trace.context())
+        except BaseException:
+            self.tracer.finish(trace, error=True)
+            raise
+        self.tracer.finish(trace, status=status, error=status >= 500)
+        return status, response
+
+    def _answer_topk(self, payload: object, trace: Optional[SpanContext]) -> Response:
+        """The actual ``/v1/topk`` logic; ``trace`` is ``None`` when unsampled."""
         try:
             request = protocol.parse_topk_request(payload)
         except protocol.ProtocolError as exc:
             return exc.status, protocol.error_payload(str(exc))
+        if trace is not None:
+            trace.parent.attributes["batch"] = request.batch
+            trace.parent.attributes["queries"] = len(request.entities)
         entity = request.entities[0]
         if self._closed:
             return 503, protocol.error_payload("the server is shutting down")
@@ -507,12 +615,18 @@ class FrontendServer:
         try:
             if request.batch:
                 payloads = self.pool.scatter_topk(
-                    request.entities, request.k, request.approximation
+                    request.entities,
+                    request.k,
+                    request.approximation,
+                    traces=[trace] * len(request.entities) if trace is not None else None,
                 )
             else:
                 payloads = [
                     self.coalescer.submit(
-                        entity, k=request.k, approximation=request.approximation
+                        entity,
+                        k=request.k,
+                        approximation=request.approximation,
+                        trace=trace,
                     )
                 ]
         except QueueFullError as exc:
@@ -535,19 +649,82 @@ class FrontendServer:
         return self.owner.handle_events(payload)
 
     def handle_healthz(self) -> Response:
-        """``GET /v1/healthz`` plus the deployment's process topology."""
+        """``GET /v1/healthz`` plus the deployment's process topology.
+
+        Beyond the single-process probe: worker count, the current
+        snapshot ``generation`` id (which generation queries observe at
+        minimum), and the cumulative worker ``respawns`` counter -- a
+        non-zero delta between probes means workers are crashing, which a
+        liveness check on the front-end alone would never surface.
+        """
         status, payload = self.owner.handle_healthz()
         payload["workers"] = self.pool.num_workers
         payload["generation"] = self.store.generation
+        payload["respawns"] = self.pool.stats_snapshot()["respawns"]
         return status, payload
 
     def handle_stats(self) -> Response:
-        """``GET /v1/stats`` with a ``workers`` section for the pool."""
-        status, payload = self.owner.handle_stats()
-        payload["coalescer"] = self.coalescer.stats_snapshot()
+        """``GET /v1/stats`` with a ``workers`` section for the pool.
+
+        Assembled by the owner's single-acquisition-order consistent read
+        (see :meth:`TraceServer.handle_stats`), substituting the
+        pool-facing coalescer for the owner's idle one.
+        """
+        payload = self.owner._stats_payload(coalescer=self.coalescer)
         payload["workers"] = self.pool.stats_snapshot()
         payload["generation"] = self.store.generation
-        return status, payload
+        return 200, payload
+
+    def handle_metrics(self) -> Tuple[int, str]:
+        """``GET /metrics`` with worker-pool and generation families appended."""
+        families = self.owner._metric_families(coalescer=self.coalescer)
+        pool_stats = self.pool.stats_snapshot()
+        families.append(
+            exposition.MetricFamily(
+                name="repro_worker_pool_workers",
+                kind="gauge",
+                help="Configured query worker processes.",
+                samples=[("", {}, float(pool_stats["workers"]))],
+            )
+        )
+        families.append(
+            exposition.MetricFamily(
+                name="repro_worker_events_total",
+                kind="counter",
+                help="Worker pool activity: answered requests, retries after a "
+                "worker death, respawned workers.",
+                samples=[
+                    ("", {"event": "requests"}, float(pool_stats["requests"])),
+                    ("", {"event": "retries"}, float(pool_stats["retries"])),
+                    ("", {"event": "respawns"}, float(pool_stats["respawns"])),
+                ],
+            )
+        )
+        families.append(
+            exposition.MetricFamily(
+                name="repro_generation_id",
+                kind="gauge",
+                help="Newest published snapshot generation.",
+                samples=[("", {}, float(self.store.generation))],
+            )
+        )
+        generation_age = exposition.MetricFamily(
+            name="repro_generation_age_seconds",
+            kind="gauge",
+            help="Seconds since the last generation publish (absent before "
+            "the first; a growing age with buffered ingest events means "
+            "workers answer from a stale snapshot).",
+        )
+        if self.store.last_publish_monotonic is not None:
+            generation_age.samples.append(
+                ("", {}, time.monotonic() - self.store.last_publish_monotonic)
+            )
+        families.append(generation_age)
+        return 200, exposition.render_exposition(families)
+
+    def handle_debug_slow(self) -> Response:
+        """``GET /v1/debug/slow``: the shared tracer's slow-query log."""
+        return self.owner.handle_debug_slow()
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -71,6 +71,11 @@ class GenerationStore:
         current = self.current()
         #: The newest generation this process knows about (0 = none yet).
         self.generation = current[0] if current is not None else 0
+        #: ``time.monotonic()`` of this process's most recent :meth:`publish`
+        #: (``None`` before the first).  Feeds the serving tier's
+        #: generation-age gauge: a large age with buffered ingest events
+        #: means workers are answering from an old snapshot.
+        self.last_publish_monotonic: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Owner side
@@ -97,6 +102,7 @@ class GenerationStore:
             os.fsync(handle.fileno())
         os.replace(staged, self.root / _CURRENT_NAME)
         self.generation = generation
+        self.last_publish_monotonic = time.monotonic()
         self._prune(keep_newest=generation)
         return generation
 

@@ -3,7 +3,9 @@
 The daemon's ``GET /v1/stats`` endpoint is assembled from three sources --
 engine-side runtime stats (cache hit rate, shard sizes, loose-operation
 counters), ingest/coalescer counters, and the per-endpoint request metrics
-collected here.  This module owns the last kind.
+collected here.  This module owns the last kind; ``GET /metrics`` renders
+the same histograms in Prometheus exposition format via
+:meth:`ServerMetrics.raw_snapshot`.
 
 Design constraints, in order:
 
@@ -11,27 +13,31 @@ Design constraints, in order:
   ``ThreadingHTTPServer`` records observations, so all mutation and all
   snapshotting happens under one lock;
 * **constant memory** -- latencies go into fixed-boundary histograms
-  (:data:`LATENCY_BUCKETS_MS`), never into unbounded lists, so a soak test
+  (:data:`LATENCY_BUCKETS`), never into unbounded lists, so a soak test
   cannot grow the metrics;
 * **snapshot, don't expose** -- readers get plain dicts copied under the
-  lock (:meth:`ServerMetrics.snapshot`), never live mutable state.
+  lock (:meth:`ServerMetrics.snapshot`), never live mutable state;
+* **one unit end to end** -- everything is **seconds**: ``observe()``
+  takes seconds, the bucket edges are in seconds, and snapshots report
+  ``mean_seconds``/``max_seconds``.  (Earlier versions kept edges in
+  milliseconds behind a seconds API, a unit seam that made the exposition
+  layer convert on every read.)
 """
 
 from __future__ import annotations
 
 import threading
 from bisect import bisect_left
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
-__all__ = ["LATENCY_BUCKETS_MS", "LatencyHistogram", "ServerMetrics"]
+from repro.obs.trace import LATENCY_BUCKETS
 
-#: Upper bucket edges of the latency histograms, in milliseconds.  The last
-#: implicit bucket is unbounded (``+inf``); the edges are roughly
-#: logarithmic, matching the spread between a cache hit (sub-millisecond)
-#: and a cold sharded fan-out (tens to hundreds of milliseconds).
-LATENCY_BUCKETS_MS: Tuple[float, ...] = (
-    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 5000.0,
-)
+__all__ = ["LATENCY_BUCKETS", "LatencyHistogram", "ServerMetrics"]
+
+# LATENCY_BUCKETS is re-exported from :mod:`repro.obs.trace` so the
+# per-endpoint histograms and the tracer's per-stage histograms share one
+# set of edges: upper bucket edges in **seconds**, roughly logarithmic
+# from 0.5 ms (a cache hit) to 5 s, with a final implicit ``+inf`` bucket.
 
 
 class LatencyHistogram:
@@ -49,16 +55,16 @@ class LatencyHistogram:
     __slots__ = ("bucket_counts", "count", "total_seconds", "max_seconds")
 
     def __init__(self) -> None:
-        #: One count per edge in :data:`LATENCY_BUCKETS_MS` plus the final
+        #: One count per edge in :data:`LATENCY_BUCKETS` plus the final
         #: unbounded bucket.
-        self.bucket_counts: List[int] = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+        self.bucket_counts: List[int] = [0] * (len(LATENCY_BUCKETS) + 1)
         self.count = 0
         self.total_seconds = 0.0
         self.max_seconds = 0.0
 
     def observe(self, seconds: float) -> None:
-        """Record one latency observation."""
-        self.bucket_counts[bisect_left(LATENCY_BUCKETS_MS, seconds * 1000.0)] += 1
+        """Record one latency observation, in seconds."""
+        self.bucket_counts[bisect_left(LATENCY_BUCKETS, seconds)] += 1
         self.count += 1
         self.total_seconds += seconds
         if seconds > self.max_seconds:
@@ -74,18 +80,19 @@ class LatencyHistogram:
     def snapshot(self) -> Dict[str, object]:
         """A plain-dict copy suitable for JSON serialisation.
 
-        Buckets are keyed by their upper edge (``"le_<ms>"``; the unbounded
-        bucket is ``"le_inf"``) so the output is self-describing.
+        Buckets are keyed by their upper edge in seconds (``"le_<edge>"``;
+        the unbounded bucket is ``"le_inf"``) so the output is
+        self-describing.
         """
         buckets = {
-            f"le_{edge:g}ms": count
-            for edge, count in zip(LATENCY_BUCKETS_MS, self.bucket_counts)
+            f"le_{edge:g}": count
+            for edge, count in zip(LATENCY_BUCKETS, self.bucket_counts)
         }
         buckets["le_inf"] = self.bucket_counts[-1]
         return {
             "count": self.count,
-            "mean_ms": self.mean_seconds * 1000.0,
-            "max_ms": self.max_seconds * 1000.0,
+            "mean_seconds": self.mean_seconds,
+            "max_seconds": self.max_seconds,
             "buckets": buckets,
         }
 
@@ -131,6 +138,27 @@ class ServerMetrics:
                     "requests": self._requests[endpoint],
                     "status": dict(self._status[endpoint]),
                     "latency": self._latency[endpoint].snapshot(),
+                }
+                for endpoint in sorted(self._requests)
+            }
+
+    def raw_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-endpoint raw aggregates for the Prometheus exposition layer.
+
+        Unlike :meth:`snapshot`, bucket counts come back as a plain list
+        aligned with :data:`LATENCY_BUCKETS` (plus the overflow slot) so
+        the renderer can produce cumulative ``_bucket`` series without
+        re-parsing ``le_*`` keys.
+        """
+        with self._lock:
+            return {
+                endpoint: {
+                    "requests": self._requests[endpoint],
+                    "status": dict(self._status[endpoint]),
+                    "bucket_counts": list(self._latency[endpoint].bucket_counts),
+                    "total_seconds": self._latency[endpoint].total_seconds,
+                    "max_seconds": self._latency[endpoint].max_seconds,
+                    "count": self._latency[endpoint].count,
                 }
                 for endpoint in sorted(self._requests)
             }

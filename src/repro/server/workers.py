@@ -23,6 +23,19 @@ payload with the canonical :func:`repro.server.protocol.dumps` produces
 bytes identical to an in-process response -- the equivalence suite pins
 this end to end.
 
+**Trace propagation.**  A ``topk`` request may carry an optional
+``"traces"`` list aligned with ``entities``: ``None`` for unsampled
+queries, ``{"trace_id", "span_id"}`` descriptors for sampled ones.  The
+worker runs those queries under standalone
+:class:`~repro.obs.trace.ActiveTrace` objects seeded with the propagated
+ids and ships the finished spans back under a ``"spans"`` reply key
+(per-index, durations plus offsets relative to the worker's root span);
+the front-end re-bases them onto its own ``worker.request`` span so the
+worker's kernel stages stitch into the frontend trace.  The ``"results"``
+key is computed and encoded exactly as before -- old front-ends simply
+never send ``"traces"``, old workers ignore the key, and byte-identity of
+responses is untouched either way.
+
 The worker is deliberately crash-oblivious: it holds no state the store
 cannot restore, so the front-end answers a dead worker by respawning it
 and retrying the (idempotent, read-only) request elsewhere.
@@ -39,6 +52,7 @@ import struct
 import sys
 from typing import Dict, List, Optional
 
+from repro.obs.trace import ActiveTrace
 from repro.server import protocol
 from repro.server.generation import GenerationStore
 
@@ -87,6 +101,32 @@ def _recv_exactly(connection: socket.socket, count: int, eof_ok: bool) -> Option
     return b"".join(chunks)
 
 
+def _propagated_traces(
+    descriptors: object, num_entities: int
+) -> List[Optional[ActiveTrace]]:
+    """Build standalone worker traces from the wire descriptors.
+
+    Defensive by design: anything malformed -- not a list, misaligned with
+    ``entities``, entries that are neither ``None`` nor id-bearing dicts --
+    degrades to "untraced" rather than failing the query.  Tracing must
+    never change whether a request succeeds.
+    """
+    traces: List[Optional[ActiveTrace]] = [None] * num_entities
+    if not isinstance(descriptors, list) or len(descriptors) != num_entities:
+        return traces
+    for index, descriptor in enumerate(descriptors):
+        if not isinstance(descriptor, dict):
+            continue
+        trace_id = descriptor.get("trace_id")
+        span_id = descriptor.get("span_id")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            continue
+        traces[index] = ActiveTrace(
+            "worker.topk", trace_id=trace_id, parent_id=span_id, process="worker"
+        )
+    return traces
+
+
 class QueryWorker:
     """The worker loop: adopt generations, answer framed top-k requests."""
 
@@ -124,21 +164,48 @@ class QueryWorker:
         if operation != "topk":
             return {"error": f"unknown op {operation!r}", "status": 400}
         try:
-            self.adopt_latest()
             entities: List[str] = list(request["entities"])
+            active_traces = _propagated_traces(request.get("traces"), len(entities))
+            adopt_spans = [
+                trace.begin("worker.adopt") if trace is not None else None
+                for trace in active_traces
+            ]
+            self.adopt_latest()
+            for span in adopt_spans:
+                if span is not None:
+                    span.end(generation=self.generation)
             k = int(request.get("k", 10))
             approximation = float(request.get("approximation", 0.0))
-            results = self.engine.top_k_batch(
-                entities, k=k, approximation=approximation
-            ).results
+            contexts = None
+            if any(trace is not None for trace in active_traces):
+                contexts = [
+                    trace.context() if trace is not None else None
+                    for trace in active_traces
+                ]
+            if contexts is not None:
+                results = self.engine.top_k_batch(
+                    entities, k=k, approximation=approximation, traces=contexts
+                ).results
+            else:
+                results = self.engine.top_k_batch(
+                    entities, k=k, approximation=approximation
+                ).results
         except KeyError as exc:
             return {"error": f"unknown entity {exc.args[0]!r}", "status": 404}
         except Exception as exc:  # noqa: BLE001 - relayed to the front-end
             return {"error": f"{type(exc).__name__}: {exc}", "status": 500}
-        return {
+        reply: Dict[str, object] = {
             "generation": self.generation,
             "results": [protocol.topk_result_payload(result) for result in results],
         }
+        exported = {
+            str(index): trace.export_spans()
+            for index, trace in enumerate(active_traces)
+            if trace is not None
+        }
+        if exported:
+            reply["spans"] = exported
+        return reply
 
     # ------------------------------------------------------------------
     # Serving loop

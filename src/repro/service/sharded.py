@@ -60,6 +60,7 @@ from repro.core.engine import EngineConfig, ExpiryReport, TraceQueryEngine
 from repro.core.query import BatchTopKResult, QueryStats, TopKResult, fan_out_queries
 from repro.measures.adm import HierarchicalADM
 from repro.measures.base import AssociationMeasure
+from repro.obs.trace import SpanContext
 from repro.service.cache import QueryResultCache
 from repro.service.partition import Partitioner, RoundRobinPartitioner, make_partitioner
 from repro.storage.snapshot import (
@@ -320,7 +321,13 @@ class ShardedEngine:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def top_k(self, query_entity: str, k: int = 10, approximation: float = 0.0) -> TopKResult:
+    def top_k(
+        self,
+        query_entity: str,
+        k: int = 10,
+        approximation: float = 0.0,
+        trace: Optional[SpanContext] = None,
+    ) -> TopKResult:
         """Global top-k: fan out over every shard and merge.
 
         Results (and orderings) match a single engine over the same dataset
@@ -334,9 +341,13 @@ class ShardedEngine:
         cached, so one ``top_k`` call costs up to ``num_shards`` cache
         lookups -- and a streamed update to one shard leaves the other
         shards' cached partials servable (see the module docstring).
+
+        ``trace`` attaches per-shard ``shard.search`` spans (each nesting
+        the kernel-stage spans) and a ``kernel.merge`` span; it never
+        changes results.
         """
         self._require_built()
-        return self._search_shards(query_entity, k, approximation)
+        return self._search_shards(query_entity, k, approximation, trace)
 
     def _partial_cache_key(
         self, shard_id: int, query_entity: str, k: int, approximation: float
@@ -348,30 +359,64 @@ class ShardedEngine:
         """
         return (shard_id, query_entity, k, approximation, self._config_fingerprint)
 
-    def _search_shards(self, query_entity: str, k: int, approximation: float) -> TopKResult:
+    def _search_shards(
+        self,
+        query_entity: str,
+        k: int,
+        approximation: float,
+        trace: Optional[SpanContext] = None,
+    ) -> TopKResult:
         """Fan one query out over every shard (cache-aware) and merge."""
         query_sequence = self.dataset.cell_sequence(query_entity)
         cache = self._query_cache
         shard_results = []
         for shard_id, shard in enumerate(self._shards):
-            def compute(shard: TraceQueryEngine = shard) -> TopKResult:
+            shard_span = (
+                trace.begin("shard.search", shard=shard_id) if trace is not None else None
+            )
+
+            def compute(
+                shard: TraceQueryEngine = shard,
+                shard_trace: Optional[SpanContext] = (
+                    trace.under(shard_span) if shard_span is not None else None
+                ),
+            ) -> TopKResult:
                 return shard.searcher.search(
                     query_entity,
                     k,
                     approximation=approximation,
                     query_sequence=query_sequence,
+                    trace=shard_trace,
                 )
 
             if cache is None:
                 shard_results.append(compute())
-            else:
+                if shard_span is not None:
+                    shard_span.end()
+            elif trace is None:
                 shard_results.append(
                     cache.fetch_or_compute(
                         self._partial_cache_key(shard_id, query_entity, k, approximation),
                         compute,
                     )
                 )
-        return self._merge_results(query_entity, shard_results, k)
+            else:
+                # Same get -> compute -> put(copy) protocol as
+                # fetch_or_compute, unrolled to record the cache outcome.
+                key = self._partial_cache_key(shard_id, query_entity, k, approximation)
+                partial = cache.get(key)
+                if partial is None:
+                    partial = compute()
+                    cache.put(key, partial.copy())
+                    shard_span.end(cache_hit=False)
+                else:
+                    shard_span.end(cache_hit=True)
+                shard_results.append(partial)
+        merge_span = trace.begin("kernel.merge") if trace is not None else None
+        merged = self._merge_results(query_entity, shard_results, k)
+        if merge_span is not None:
+            merge_span.end(shards=len(shard_results), results=len(merged.items))
+        return merged
 
     @staticmethod
     def _merge_results(
@@ -404,6 +449,7 @@ class ShardedEngine:
         k: int = 10,
         workers: Optional[int] = None,
         approximation: float = 0.0,
+        traces: Optional[Sequence[Optional[SpanContext]]] = None,
     ) -> BatchTopKResult:
         """Answer a batch of queries, fanning queries out over a thread pool.
 
@@ -411,6 +457,8 @@ class ShardedEngine:
         cell cache (one bulk kernel call per shard), then queries run
         concurrently when ``workers`` (or the config's ``batch_workers``)
         exceeds 1.  Results are identical to serial :meth:`top_k` calls.
+        ``traces`` is aligned with ``query_entities``, as in the single
+        engine's batch API.
         """
         self._require_built()
         started = time.perf_counter()
@@ -424,10 +472,25 @@ class ShardedEngine:
         # warm-up primes the cell cache for every shard's searches.
         warmed = self._shards[0].hash_family.warm_cache(shared_cells)
 
-        def run_one(entity: str) -> TopKResult:
-            return self.top_k(entity, k, approximation=approximation)
+        if traces is None:
 
-        results = fan_out_queries(run_one, query_entities, effective_workers)
+            def run_one(entity: str) -> TopKResult:
+                return self.top_k(entity, k, approximation=approximation)
+
+            results = fan_out_queries(run_one, query_entities, effective_workers)
+        else:
+
+            def run_indexed(position: int) -> TopKResult:
+                return self.top_k(
+                    query_entities[position],
+                    k,
+                    approximation=approximation,
+                    trace=traces[position],
+                )
+
+            results = fan_out_queries(
+                run_indexed, range(len(query_entities)), effective_workers
+            )
 
         return BatchTopKResult(
             results=results,

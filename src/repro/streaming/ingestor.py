@@ -101,6 +101,10 @@ class IngestStats:
     entities_reindexed: int = 0
     #: Wall-clock seconds spent inside :meth:`EventIngestor.flush`.
     seconds_in_flush: float = 0.0
+    #: ``time.monotonic()`` of the most recent flush, ``None`` before the
+    #: first.  The serving layer turns this into the ingest-lag gauge
+    #: (seconds since the buffered backlog last drained into the index).
+    last_flush_monotonic: Optional[float] = None
 
     @property
     def events_buffered(self) -> int:
@@ -271,6 +275,7 @@ class EventIngestor:
             self.stats.entities_reindexed += len(report.affected_entities)
         self.stats.events_dropped_late += report.dropped_late
         self.stats.seconds_in_flush += report.seconds
+        self.stats.last_flush_monotonic = time.monotonic()
         for hook in self._flush_hooks:
             hook(report)
         return report

@@ -35,6 +35,8 @@ DOCTEST_MODULES = [
     "repro.core.minsigtree",
     "repro.core.query",
     "repro.core.signatures",
+    "repro.obs.exposition",
+    "repro.obs.trace",
     "repro.server.app",
     "repro.server.coalescer",
     "repro.server.metrics",
@@ -54,6 +56,7 @@ DOCTEST_MODULES = [
 MUST_HAVE_EXAMPLES = {
     "repro.core.engine",       # EngineConfig + TraceQueryEngine + save/load
     "repro.core.query",        # TopKSearcher
+    "repro.obs.trace",         # Tracer + span trees
     "repro.server.app",        # TraceServer end-to-end (transport-free)
     "repro.server.coalescer",  # RequestCoalescer
     "repro.service.sharded",   # ShardedEngine
@@ -64,7 +67,9 @@ MUST_HAVE_EXAMPLES = {
 #: Packages whose entire public surface must be docstring-covered: every
 #: public module-level class and function, and every public method defined
 #: on a public class (inherited members are the parent's responsibility).
-DOCSTRING_COVERED_PACKAGES = ["repro.server", "repro.service", "repro.streaming"]
+DOCSTRING_COVERED_PACKAGES = [
+    "repro.obs", "repro.server", "repro.service", "repro.streaming",
+]
 
 
 def _docstring_covered_modules():

@@ -12,9 +12,10 @@ import pytest
 
 from repro.cli import main
 from repro.core.engine import TraceQueryEngine
+from repro.obs import parse_exposition
 from repro.server.app import TraceServer, build_http_server
 from repro.server.coalescer import QueueFullError, RequestCoalescer
-from repro.server.metrics import LATENCY_BUCKETS_MS, LatencyHistogram, ServerMetrics
+from repro.server.metrics import LATENCY_BUCKETS, LatencyHistogram, ServerMetrics
 from repro.server.protocol import (
     ProtocolError,
     dumps,
@@ -149,16 +150,29 @@ class TestPayloads:
 class TestMetrics:
     def test_histogram_buckets_are_le_semantics(self):
         histogram = LatencyHistogram()
-        histogram.observe(0.0004)  # 0.4 ms -> first bucket (<= 0.5 ms)
-        histogram.observe(0.001)   # exactly 1 ms -> le_1ms
+        histogram.observe(0.0004)  # 0.4 ms -> first bucket (<= 0.0005 s)
+        histogram.observe(0.001)   # exactly 1 ms -> le_0.001
         histogram.observe(99.0)    # far beyond the last edge -> le_inf
         snapshot = histogram.snapshot()
         assert snapshot["count"] == 3
-        assert snapshot["buckets"]["le_0.5ms"] == 1
-        assert snapshot["buckets"]["le_1ms"] == 1
+        assert snapshot["buckets"]["le_0.0005"] == 1
+        assert snapshot["buckets"]["le_0.001"] == 1
         assert snapshot["buckets"]["le_inf"] == 1
-        assert snapshot["max_ms"] == pytest.approx(99000.0)
-        assert len(snapshot["buckets"]) == len(LATENCY_BUCKETS_MS) + 1
+        assert snapshot["max_seconds"] == pytest.approx(99.0)
+        assert len(snapshot["buckets"]) == len(LATENCY_BUCKETS) + 1
+
+    def test_four_millisecond_observation_lands_in_the_5ms_bucket(self):
+        # Regression for the ms/seconds unit seam: observe() takes seconds
+        # and the edges are seconds, so 4 ms must land in the le_0.005
+        # bucket (index 3), not be misread as 0.004 "ms" or 4 "seconds".
+        histogram = LatencyHistogram()
+        histogram.observe(0.004)
+        assert histogram.bucket_counts[3] == 1
+        assert LATENCY_BUCKETS[3] == 0.005
+        snapshot = histogram.snapshot()
+        assert snapshot["buckets"]["le_0.005"] == 1
+        assert snapshot["buckets"]["le_0.002"] == 0
+        assert sum(histogram.bucket_counts) == 1
 
     def test_server_metrics_aggregates_by_endpoint_and_status(self):
         metrics = ServerMetrics()
@@ -474,7 +488,7 @@ class TestTraceServer:
         status, payload = server.handle_stats()
         assert status == 200
         assert set(payload) == {
-            "engine", "ingest", "coalescer", "endpoints", "uptime_seconds",
+            "engine", "ingest", "coalescer", "endpoints", "tracing", "uptime_seconds",
         }
         assert payload["engine"]["kind"] == "single"
         assert payload["engine"]["cache"]["hits"] >= 1
@@ -514,6 +528,132 @@ class TestTraceServer:
         server.close()
         assert server.handle_topk({"entity": "e00"})[0] == 503
         assert server.handle_topk({"entities": ["e00"], "k": 1})[0] == 503
+
+
+# ----------------------------------------------------------------------
+# Observability endpoints (transport-free)
+# ----------------------------------------------------------------------
+def _span_names(nodes):
+    names = set()
+    for node in nodes:
+        names.add(node["name"])
+        names.update(_span_names(node["children"]))
+    return names
+
+
+class TestObservabilityEndpoints:
+    def build_server(self, **kwargs):
+        engine = TraceQueryEngine(
+            small_dataset(), num_hashes=32, seed=5, query_cache_size=16
+        ).build()
+        return TraceServer(engine, coalesce_window=0.0, **kwargs)
+
+    def test_metrics_exposition_is_valid_and_counts_requests(self):
+        with self.build_server() as server:
+            server.handle_topk({"entity": "e00"})
+            server.handle_topk({"entities": ["e01", "e02"], "k": 2})
+            server.metrics.observe("/v1/topk", 200, 0.004)
+            server.metrics.observe("/v1/topk", 200, 0.004)
+            status, text = server.handle_metrics()
+        assert status == 200
+        families = parse_exposition(text)
+        for name in (
+            "repro_requests_total",
+            "repro_request_latency_seconds",
+            "repro_stage_latency_seconds",
+            "repro_trace_sample_rate",
+            "repro_coalescer_queries_total",
+            "repro_ingest_buffered_events",
+            "repro_cache_entries",
+            "repro_index_entities",
+            "repro_uptime_seconds",
+        ):
+            assert name in families, name
+        samples = families["repro_requests_total"]["samples"]
+        topk = [s for s in samples if s[1].get("endpoint") == "/v1/topk"]
+        assert [value for _, _, value in topk] == [2.0]
+        # The 4ms observations land in cumulative buckets at le=0.005+.
+        latency = families["repro_request_latency_seconds"]["samples"]
+        by_le = {
+            s[1]["le"]: s[2]
+            for s in latency
+            if s[0].endswith("_bucket") and s[1].get("endpoint") == "/v1/topk"
+        }
+        assert by_le["0.002"] == 0.0
+        assert by_le["0.005"] == 2.0
+        assert by_le["+Inf"] == 2.0
+
+    def test_tracing_is_zero_cost_when_disabled(self):
+        with self.build_server() as server:
+            for _ in range(5):
+                server.handle_topk({"entity": "e00"})
+            counters = server.tracer.counters_snapshot()
+        assert counters["started"] == 0
+        assert counters["recorded"] == 0
+        assert server.tracer.recent_snapshot() == []
+
+    def test_traced_results_stay_byte_identical(self):
+        with self.build_server() as plain, self.build_server(
+            trace_sample=1.0
+        ) as traced:
+            for request in (
+                {"entity": "e00", "k": 3},
+                {"entities": ["e01", "e05", "e09"], "k": 2},
+            ):
+                assert traced.handle_topk(dict(request)) == plain.handle_topk(
+                    dict(request)
+                )
+
+    def test_traced_query_yields_full_span_tree(self):
+        with self.build_server(trace_sample=1.0) as server:
+            server.handle_topk({"entity": "e00", "k": 3})
+            records = server.tracer.recent_snapshot()
+        (record,) = records
+        assert record["status"] == 200
+        (root,) = record["spans"]
+        assert root["name"] == "request.topk"
+        assert root["attributes"]["queries"] == 1
+        names = _span_names(record["spans"])
+        assert {"coalesce.wait", "coalesce.dispatch"} <= names
+        # The kernel stages run on a cache miss; cache.lookup always runs.
+        assert {"cache.lookup", "kernel.bounds", "kernel.traverse",
+                "kernel.scores", "kernel.merge"} <= names
+
+    def test_client_errors_keep_their_status_but_are_not_errored(self):
+        # 4xx responses are the client's fault: they are retained in the
+        # ring/slow log with their status, but only 5xx and raised
+        # exceptions land in the errored buffer.
+        with self.build_server(trace_sample=1.0) as server:
+            server.handle_topk({"entity": "ghost"})
+            status, payload = server.handle_debug_slow()
+        assert status == 200
+        assert set(payload) == {"sample_rate", "slowest", "errored"}
+        assert payload["sample_rate"] == 1.0
+        assert payload["errored"] == []
+        (record,) = payload["slowest"]
+        assert record["status"] == 404
+        assert record["error"] is False
+
+    def test_debug_slow_retains_sampled_traces(self):
+        with self.build_server(trace_sample=1.0) as server:
+            for index in range(4):
+                server.handle_topk({"entity": f"e{index:02d}"})
+            status, payload = server.handle_debug_slow()
+        assert status == 200
+        assert len(payload["slowest"]) == 4
+        for record in payload["slowest"]:
+            assert record["trace_id"]
+            assert record["duration_seconds"] >= 0.0
+
+    def test_stats_reports_tracing_counters(self):
+        with self.build_server(trace_sample=1.0) as server:
+            server.handle_topk({"entity": "e00"})
+            status, payload = server.handle_stats()
+        assert status == 200
+        tracing = payload["tracing"]
+        assert tracing["sample_rate"] == 1.0
+        assert tracing["started"] == 1
+        assert tracing["recorded"] == 1
 
 
 # ----------------------------------------------------------------------
@@ -705,6 +845,46 @@ class TestHTTP:
                 thread.join(timeout=5)
             assert 429 in statuses
             assert statuses.count(200) >= 1
+        finally:
+            daemon.close()
+
+    def test_metrics_served_as_prometheus_text(self):
+        engine = TraceQueryEngine(small_dataset(), num_hashes=32, seed=5).build()
+        daemon = _Daemon(engine, coalesce_window=0.0, trace_sample=1.0)
+        try:
+            daemon.request("POST", "/v1/topk", {"entity": "e00", "k": 2})
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", daemon.port, timeout=10
+            )
+            try:
+                connection.request("GET", "/metrics")
+                response = connection.getresponse()
+                content_type = response.getheader("Content-Type")
+                text = response.read().decode("utf-8")
+            finally:
+                connection.close()
+            assert response.status == 200
+            assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+            families = parse_exposition(text)
+            assert "repro_requests_total" in families
+            assert "repro_traces_total" in families
+            # /metrics requests are themselves metered.
+            status, payload = daemon.request("GET", "/v1/stats")
+            assert status == 200
+            assert payload["endpoints"]["/metrics"]["requests"] == 1
+        finally:
+            daemon.close()
+
+    def test_debug_slow_over_http(self):
+        engine = TraceQueryEngine(small_dataset(), num_hashes=32, seed=5).build()
+        daemon = _Daemon(engine, coalesce_window=0.0, trace_sample=1.0)
+        try:
+            daemon.request("POST", "/v1/topk", {"entity": "e00", "k": 2})
+            status, payload = daemon.request("GET", "/v1/debug/slow")
+            assert status == 200
+            assert payload["sample_rate"] == 1.0
+            (record,) = payload["slowest"]
+            assert record["spans"][0]["name"] == "request.topk"
         finally:
             daemon.close()
 

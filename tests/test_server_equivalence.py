@@ -47,6 +47,44 @@ NUM_PHASES = 3
 HORIZON = 96
 
 
+def collect_span_names(nodes, names=None):
+    """Flatten a trace record's span tree into a set of span names."""
+    if names is None:
+        names = set()
+    for node in nodes:
+        names.add(node["name"])
+        collect_span_names(node["children"], names)
+    return names
+
+
+def iter_spans(nodes):
+    """Depth-first walk over every span node in a trace record."""
+    for node in nodes:
+        yield node
+        yield from iter_spans(node["children"])
+
+
+def find_span(nodes, name):
+    """First span named ``name`` in a depth-first walk, or ``None``."""
+    for node in nodes:
+        if node["name"] == name:
+            return node
+        found = find_span(node["children"], name)
+        if found is not None:
+            return found
+    return None
+
+
+def single_query_traces(tracer):
+    """All retained single-query (non-batch) traces, oldest first."""
+    return [
+        record
+        for record in reversed(tracer.recent_snapshot(limit=1_000_000))
+        if record["name"] == "request.topk"
+        and record["spans"][0]["attributes"].get("batch") is False
+    ]
+
+
 def base_dataset() -> TraceDataset:
     hierarchy = SpatialHierarchy.regular([2, 3])
     dataset = TraceDataset(hierarchy, horizon=HORIZON)
@@ -139,6 +177,9 @@ def test_daemon_matches_serial_engine_byte_for_byte(kind):
         # until the explicit end-of-phase flush request.
         streaming=StreamingConfig(max_batch_events=10_000),
         coalesce_window=0.005,
+        # Sampling every request pins the acceptance criterion that tracing
+        # is semantics-free: the byte-comparisons below still hold.
+        trace_sample=1.0,
     )
     httpd = build_http_server(trace_server, port=0)
     port = httpd.server_address[1]
@@ -234,10 +275,30 @@ def test_daemon_matches_serial_engine_byte_for_byte(kind):
         assert observed[key] == expected[key], f"response diverged for {key}"
     # The run must actually have exercised the machinery it claims to pin.
     stats = trace_server.coalescer.stats
-    assert stats.submitted == len(
+    total_queries = len(
         [query for phase in range(NUM_PHASES) for thread in range(NUM_THREADS)
          for query in phase_queries(phase, thread)]
     )
+    assert stats.submitted == total_queries
+
+    # Every sampled query produced a complete trace: root -> coalescer ->
+    # engine spans, with the engine stage named by deployment kind.
+    counters = trace_server.tracer.counters_snapshot()
+    assert counters["started"] == counters["recorded"] == total_queries
+    traces = single_query_traces(trace_server.tracer)
+    assert len(traces) == total_queries
+    for record in traces:
+        names = collect_span_names(record["spans"])
+        assert {"request.topk", "coalesce.wait", "coalesce.dispatch"} <= names, names
+        if kind == "sharded":
+            # The sharded engine fans every query over its shards (cached
+            # partials end the shard span early) and always merges.
+            assert {"shard.search", "kernel.merge"} <= names, names
+        else:
+            assert "cache.lookup" in names, names
+            # A cache hit answers at the lookup span; a miss runs the kernel.
+            if not find_span(record["spans"], "cache.lookup")["attributes"]["hit"]:
+                assert {"kernel.bounds", "kernel.scores", "kernel.merge"} <= names
     cache = engine.query_cache
     assert cache is not None and cache.stats.lookups > 0
 
@@ -263,6 +324,9 @@ def test_multiprocess_daemon_matches_serial_engine_byte_for_byte(kind):
         streaming=StreamingConfig(max_batch_events=10_000),
         workers=2,
         coalesce_window=0.005,
+        # Sample everything: worker spans must stitch into the frontend
+        # trace over the wire without changing a single response byte.
+        trace_sample=1.0,
     )
     httpd = build_http_server(frontend, port=0)
     port = httpd.server_address[1]
@@ -386,6 +450,54 @@ def test_multiprocess_daemon_matches_serial_engine_byte_for_byte(kind):
         assert pool_stats["respawns"] >= 1
         # Initial publish + one per (index-changing) phase flush.
         assert frontend.store.generation == 1 + NUM_PHASES
+
+        # Every sampled single query stitched a full cross-process trace:
+        # the frontend half (request/coalescer/worker round-trip) plus the
+        # worker half shipped back over the wire and re-based under its
+        # ``worker.request`` anchor.
+        traces = single_query_traces(frontend.tracer)
+        assert len(traces) == len(
+            [query for phase in range(NUM_PHASES) for thread in range(NUM_THREADS)
+             for query in phase_queries(phase, thread)]
+        )
+        for record in traces:
+            names = collect_span_names(record["spans"])
+            assert {"request.topk", "coalesce.wait", "coalesce.dispatch",
+                    "worker.request", "worker.topk", "worker.adopt"} <= names, names
+            if kind == "sharded":
+                assert {"shard.search", "kernel.merge"} <= names, names
+            else:
+                # The worker-side engine records its cache outcome; misses
+                # additionally run the kernel stages.
+                assert "cache.lookup" in names, names
+            worker_root = find_span(record["spans"], "worker.topk")
+            assert worker_root["process"] == "worker"
+            # The worker half hangs under the worker.request attempt that
+            # actually produced it (a SIGKILLed attempt keeps its own,
+            # childless, span closed with an error attribute).
+            assert any(
+                worker_root in anchor["children"]
+                for anchor in iter_spans(record["spans"])
+                if anchor["name"] == "worker.request"
+            )
+
+        # The batch request was traced too, scattered over both workers
+        # (no coalescer involved) -- one worker.topk per entity, since the
+        # wire propagates a trace descriptor per request slot.
+        batch_traces = [
+            trace
+            for trace in frontend.tracer.recent_snapshot(limit=1_000_000)
+            if trace["spans"][0]["attributes"].get("batch") is True
+        ]
+        (batch_record,) = batch_traces
+        batch_names = collect_span_names(batch_record["spans"])
+        assert {"worker.request", "worker.topk"} <= batch_names
+        assert "coalesce.wait" not in batch_names
+        worker_roots = [
+            span for span in iter_spans(batch_record["spans"])
+            if span["name"] == "worker.topk"
+        ]
+        assert len(worker_roots) == len(batch_entities)
     finally:
         httpd.shutdown()
         httpd.server_close()
