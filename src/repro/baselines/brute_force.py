@@ -12,7 +12,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Iterable, Optional
 
-from repro.core.query import QueryStats, TopKResult
+from repro.core.query import QueryStats, TopKResult, _ReverseOrderStr
 from repro.measures.base import AssociationMeasure
 from repro.traces.dataset import TraceDataset
 from repro.traces.events import CellSequence
@@ -30,11 +30,31 @@ class BruteForceTopK:
     measure:
         The association degree measure (shared with the indexed searcher so
         that results are comparable).
+    tie_break:
+        Boundary-tie policy: ``"arrival"`` (default, scan-order dependent)
+        or ``"entity"`` (the searcher's deterministic ``(-score, entity)``
+        total order; what the scenario harness's ground truth uses).
     """
 
-    def __init__(self, dataset: TraceDataset, measure: AssociationMeasure) -> None:
+    def __init__(
+        self,
+        dataset: TraceDataset,
+        measure: AssociationMeasure,
+        tie_break: str = "arrival",
+    ) -> None:
+        if tie_break not in ("arrival", "entity"):
+            raise ValueError(f"tie_break must be 'arrival' or 'entity', got {tie_break!r}")
         self.dataset = dataset
         self.measure = measure
+        #: Boundary-tie policy.  ``"arrival"`` (the historical default) keeps
+        #: whichever tied entity entered the heap first, which depends on scan
+        #: order.  ``"entity"`` retains exactly the top-k under the
+        #: ``(-score, entity)`` total order -- the same deterministic
+        #: tie-break :class:`~repro.core.query.TopKSearcher` documents -- so
+        #: the oracle and the indexed search agree entity-for-entity even
+        #: when scores tie at the k-th position.  The scenario harness uses
+        #: ``"entity"``.
+        self.tie_break = tie_break
 
     def search(
         self,
@@ -57,7 +77,8 @@ class BruteForceTopK:
         query_sequence = self.dataset.cell_sequence(query_entity)
         stats = QueryStats(population=self.dataset.num_entities, k=k)
 
-        heap: list[tuple[float, str]] = []
+        total_order = self.tie_break == "entity"
+        heap: list[tuple] = []
         pool = self.dataset.entities if candidates is None else tuple(candidates)
         for entity in pool:
             if entity == query_entity:
@@ -66,14 +87,14 @@ class BruteForceTopK:
             stats.entities_scored += 1
             if score <= 0.0:
                 continue
+            entry = (score, _ReverseOrderStr(entity)) if total_order else (score, entity)
             if len(heap) < k:
-                heapq.heappush(heap, (score, entity))
-            elif score > heap[0][0]:
-                heapq.heapreplace(heap, (score, entity))
+                heapq.heappush(heap, entry)
+            elif (entry > heap[0]) if total_order else (score > heap[0][0]):
+                heapq.heapreplace(heap, entry)
 
-        items = sorted(heap, key=lambda pair: (-pair[0], pair[1]))
-        return TopKResult(
-            query_entity=query_entity,
-            items=[(entity, score) for score, entity in items],
-            stats=stats,
+        items = sorted(
+            ((str(entity), score) for score, entity in heap),
+            key=lambda pair: (-pair[1], pair[0]),
         )
+        return TopKResult(query_entity=query_entity, items=items, stats=stats)

@@ -58,7 +58,9 @@ entities, malformed/empty inputs, invalid option combinations); see
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.engine import TraceQueryEngine
@@ -395,6 +397,63 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--only", nargs="*", default=None, help="figure ids (default: all)")
     figures.add_argument("--max-rows", type=int, default=30)
 
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="run the end-to-end scenario corpus against real backends and "
+        "score exact top-k agreement with the brute-force oracle",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    scenario_list = scenario_sub.add_parser("list", help="list the bundled scenarios")
+    scenario_list.add_argument(
+        "--json", action="store_true", help="print full specs as JSON"
+    )
+    scenario_list.add_argument(
+        "--tag", default=None, help="only scenarios carrying this tag"
+    )
+
+    scenario_run = scenario_sub.add_parser(
+        "run", help="replay scenarios against backends and emit a scored report"
+    )
+    scenario_run.add_argument(
+        "names", nargs="*", help="scenario names (see `repro scenario list`)"
+    )
+    scenario_run.add_argument(
+        "--all", action="store_true", help="run the whole bundled corpus"
+    )
+    scenario_run.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smaller datasets and fewer queries (the CI configuration)",
+    )
+    scenario_run.add_argument(
+        "--backends",
+        nargs="+",
+        default=None,
+        metavar="BACKEND",
+        help="deployment shapes to replay against (default: in_process "
+        "sharded http_workers)",
+    )
+    scenario_run.add_argument(
+        "--output", default=None, help="write the JSON report to this file"
+    )
+    scenario_run.add_argument(
+        "--html", default=None, help="also render the report as HTML to this file"
+    )
+    scenario_run.add_argument(
+        "--quiet", action="store_true", help="suppress per-step progress lines"
+    )
+
+    scenario_report = scenario_sub.add_parser(
+        "report", help="validate a saved report and summarise or re-render it"
+    )
+    scenario_report.add_argument(
+        "--input", required=True, help="JSON report produced by `scenario run`"
+    )
+    scenario_report.add_argument(
+        "--html", default=None, help="render the report as HTML to this file"
+    )
+
     return parser
 
 
@@ -585,30 +644,12 @@ def _fetch_json(url: str, timeout: float = 10.0) -> Dict[str, object]:
 def _histogram_percentile(bucket_deltas: Sequence[int], quantile: float) -> Optional[float]:
     """Interpolate a percentile (seconds) from per-bucket count deltas.
 
-    ``bucket_deltas`` is aligned with ``LATENCY_BUCKETS`` plus the final
-    unbounded bucket.  Returns ``None`` when no observations landed, and
-    ``inf`` when the percentile falls in the unbounded bucket (the caller
-    renders it as "> last edge").  Linear interpolation inside the bucket
-    -- the standard Prometheus ``histogram_quantile`` estimate.
+    Delegates to :func:`repro.obs.trace.histogram_percentile` -- the shared
+    estimator the scenario harness and the stats watcher both use.
     """
-    from repro.obs.trace import LATENCY_BUCKETS
+    from repro.obs.trace import histogram_percentile
 
-    total = sum(bucket_deltas)
-    if total <= 0:
-        return None
-    rank = quantile * total
-    cumulative = 0.0
-    for index, count in enumerate(bucket_deltas):
-        if not count:
-            continue
-        if cumulative + count >= rank:
-            if index >= len(LATENCY_BUCKETS):
-                return float("inf")
-            lower = LATENCY_BUCKETS[index - 1] if index else 0.0
-            upper = LATENCY_BUCKETS[index]
-            return lower + (upper - lower) * ((rank - cumulative) / count)
-        cumulative += count
-    return float("inf")  # pragma: no cover - unreachable (total > 0)
+    return histogram_percentile(bucket_deltas, quantile)
 
 
 def _topk_bucket_counts(payload: Dict[str, object]) -> List[int]:
@@ -1257,6 +1298,118 @@ def _command_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_scenario(args: argparse.Namespace) -> int:
+    if args.scenario_command == "list":
+        return _command_scenario_list(args)
+    if args.scenario_command == "run":
+        return _command_scenario_run(args)
+    return _command_scenario_report(args)
+
+
+def _command_scenario_list(args: argparse.Namespace) -> int:
+    from repro.scenarios import iter_scenarios
+
+    specs = iter_scenarios()
+    if args.tag:
+        specs = [spec for spec in specs if args.tag in spec.tags]
+        if not specs:
+            return _error(f"no scenario carries tag {args.tag!r}")
+    if args.json:
+        print(json.dumps([spec.to_dict() for spec in specs], indent=2))
+        return 0
+    width = max(len(spec.name) for spec in specs)
+    for spec in specs:
+        tags = ",".join(spec.tags)
+        print(f"{spec.name:<{width}}  [{tags}]  {spec.title}")
+    return 0
+
+
+def _command_scenario_run(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        BACKENDS,
+        render_html,
+        run_scenarios,
+        scenario_names,
+        validate_report,
+    )
+
+    if args.all and args.names:
+        return _error("pass scenario names or --all, not both")
+    if not args.all and not args.names:
+        return _error("pass scenario names or --all (see `repro scenario list`)")
+    names = None if args.all else args.names
+    if names:
+        unknown = [name for name in names if name not in scenario_names()]
+        if unknown:
+            return _error(
+                f"unknown scenarios {unknown}; known: {scenario_names()}"
+            )
+    if args.backends:
+        unknown = [name for name in args.backends if name not in BACKENDS]
+        if unknown:
+            return _error(f"unknown backends {unknown}; known: {sorted(BACKENDS)}")
+
+    progress = None if args.quiet else (lambda message: print(message, file=sys.stderr))
+    report = run_scenarios(
+        names=names, backends=args.backends, smoke=args.smoke, progress=progress
+    )
+    problems = validate_report(report)
+    if problems:  # pragma: no cover - a runner/report contract bug
+        return _error("malformed report: " + "; ".join(problems))
+    document = json.dumps(report, indent=2)
+    if args.output:
+        Path(args.output).write_text(document + "\n", encoding="utf-8")
+    else:
+        print(document)
+    if args.html:
+        Path(args.html).write_text(render_html(report), encoding="utf-8")
+
+    summary = report["summary"]
+    verdict = "PASS" if summary["all_passed"] else "FAIL"
+    print(
+        f"{verdict}: {summary['scenarios_passed']}/{summary['scenarios']} scenarios, "
+        f"{summary['exact']}/{summary['queries']} exact top-k answers",
+        file=sys.stderr,
+    )
+    return 0 if summary["all_passed"] else 1
+
+
+def _command_scenario_report(args: argparse.Namespace) -> int:
+    from repro.scenarios import render_html, validate_report
+
+    path = Path(args.input)
+    if not path.exists():
+        return _error(f"report file not found: {path}")
+    try:
+        report = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        return _error(f"not valid JSON: {exc}")
+    problems = validate_report(report)
+    if problems:
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        return _error(f"report failed validation with {len(problems)} problem(s)")
+    if args.html:
+        Path(args.html).write_text(render_html(report), encoding="utf-8")
+    summary = report["summary"]
+    verdict = "PASS" if summary["all_passed"] else "FAIL"
+    print(
+        f"{verdict}: {summary['scenarios_passed']}/{summary['scenarios']} scenarios, "
+        f"{summary['exact']}/{summary['queries']} exact top-k answers "
+        f"({'smoke' if report['smoke'] else 'full'} mode, "
+        f"backends: {', '.join(report['backends'])})"
+    )
+    for entry in report["scenarios"]:
+        status = "ok " if entry["passed"] else "FAIL"
+        backends = ", ".join(
+            f"{backend['backend']} {backend['accuracy']['exact']}"
+            f"/{backend['accuracy']['queries']}"
+            for backend in entry["backends"]
+        )
+        print(f"  [{status}] {entry['name']}: {backends}")
+    return 0 if summary["all_passed"] else 1
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "stats": _command_stats,
@@ -1266,6 +1419,7 @@ _COMMANDS = {
     "serve": _command_serve,
     "trace": _command_trace,
     "figures": _command_figures,
+    "scenario": _command_scenario,
 }
 
 

@@ -19,7 +19,14 @@ from repro.mobility.im_model import IMModelParams
 from repro.mobility.wifi import WiFiConfig, generate_wifi_dataset
 from repro.traces.dataset import TraceDataset
 
-__all__ = ["syn_workload", "wifi_workload", "sample_queries", "clear_workload_cache"]
+__all__ = [
+    "syn_config",
+    "syn_workload",
+    "wifi_config",
+    "wifi_workload",
+    "sample_queries",
+    "clear_workload_cache",
+]
 
 _CACHE: Dict[Tuple, TraceDataset] = {}
 

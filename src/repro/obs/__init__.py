@@ -30,6 +30,7 @@ from repro.obs.trace import (
     SpanContext,
     Tracer,
     format_trace,
+    histogram_percentile,
 )
 
 __all__ = [
@@ -41,6 +42,7 @@ __all__ = [
     "SpanContext",
     "Tracer",
     "format_trace",
+    "histogram_percentile",
     "histogram_samples",
     "parse_exposition",
     "render_exposition",

@@ -47,6 +47,7 @@ __all__ = [
     "SpanContext",
     "Tracer",
     "format_trace",
+    "histogram_percentile",
 ]
 
 #: Shared histogram bucket upper edges, in **seconds**.  Used both by the
@@ -288,6 +289,45 @@ def _build_tree(spans: Sequence[Span], root: Span) -> List[Dict[str, object]]:
         else:
             nodes[root.span_id]["children"].append(node)
     return roots
+
+
+def histogram_percentile(bucket_counts: Sequence[int], quantile: float) -> Optional[float]:
+    """Interpolate a percentile (in seconds) from histogram bucket counts.
+
+    ``bucket_counts`` is aligned with :data:`LATENCY_BUCKETS` plus the final
+    unbounded bucket -- the shape every histogram in this repository shares
+    (:class:`~repro.server.metrics.LatencyHistogram`, the tracer's per-stage
+    histograms, and the scenario harness's client-side recorder).  Counts
+    may be lifetime totals or deltas between two snapshots.
+
+    Returns ``None`` when no observations landed, and ``inf`` when the
+    percentile falls in the unbounded bucket (callers render it as
+    "> last edge").  Linear interpolation inside the bucket -- the standard
+    Prometheus ``histogram_quantile`` estimate.
+
+    >>> counts = [0] * (len(LATENCY_BUCKETS) + 1)
+    >>> histogram_percentile(counts, 0.5) is None
+    True
+    >>> counts[3] = 10                      # ten observations in (2, 5] ms
+    >>> round(histogram_percentile(counts, 0.5) * 1000.0, 2)
+    3.5
+    """
+    total = sum(bucket_counts)
+    if total <= 0:
+        return None
+    rank = quantile * total
+    cumulative = 0.0
+    for index, count in enumerate(bucket_counts):
+        if not count:
+            continue
+        if cumulative + count >= rank:
+            if index >= len(LATENCY_BUCKETS):
+                return float("inf")
+            lower = LATENCY_BUCKETS[index - 1] if index else 0.0
+            upper = LATENCY_BUCKETS[index]
+            return lower + (upper - lower) * ((rank - cumulative) / count)
+        cumulative += count
+    return float("inf")  # pragma: no cover - unreachable (total > 0)
 
 
 class _StageHistogram:

@@ -1,0 +1,66 @@
+"""End-to-end scenario harness: declarative workloads, replay, scoring.
+
+The scenario harness turns the repository's correctness story into a
+single gate: a **scenario** (:class:`~repro.scenarios.spec.ScenarioSpec`)
+declares a dataset generator, a churn stream, a query workload, and the
+engine knobs; the **runner** (:func:`run_scenarios`) replays it against
+any deployment shape -- the in-process engine, the sharded service, or a
+live HTTP daemon with query worker processes -- and scores every answer
+against a brute-force oracle computed independently of the engine
+machinery.  The bundled corpus (:data:`SCENARIOS`) mixes workloads ported
+from the paper's applications with hostile ones engineered at the
+design's weak points; all of them must score 100% exact top-k agreement.
+
+``repro scenario list|run|report`` is the CLI surface; reports are JSON
+documents checked by :func:`validate_report` and renderable to HTML with
+:func:`render_html`.
+"""
+
+from repro.scenarios.backends import (
+    BACKENDS,
+    DEFAULT_BACKENDS,
+    ScenarioBackend,
+    make_backend,
+)
+from repro.scenarios.corpus import SCENARIOS, get_scenario, iter_scenarios, scenario_names
+from repro.scenarios.generators import (
+    CHURN_GENERATORS,
+    DATASET_GENERATORS,
+    build_churn_events,
+    build_dataset,
+)
+from repro.scenarios.report import REPORT_VERSION, render_html, validate_report
+from repro.scenarios.runner import GroundTruth, run_scenario, run_scenarios
+from repro.scenarios.spec import (
+    ChurnProfile,
+    DatasetProfile,
+    EngineProfile,
+    QueryWorkload,
+    ScenarioSpec,
+)
+
+__all__ = [
+    "BACKENDS",
+    "CHURN_GENERATORS",
+    "ChurnProfile",
+    "DATASET_GENERATORS",
+    "DEFAULT_BACKENDS",
+    "DatasetProfile",
+    "EngineProfile",
+    "GroundTruth",
+    "QueryWorkload",
+    "REPORT_VERSION",
+    "SCENARIOS",
+    "ScenarioBackend",
+    "ScenarioSpec",
+    "build_churn_events",
+    "build_dataset",
+    "get_scenario",
+    "iter_scenarios",
+    "make_backend",
+    "render_html",
+    "run_scenario",
+    "run_scenarios",
+    "scenario_names",
+    "validate_report",
+]

@@ -1,0 +1,308 @@
+"""Dataset and churn generators behind the scenario specs.
+
+Two registries map the names a :class:`~repro.scenarios.spec.ScenarioSpec`
+uses onto code:
+
+* :data:`DATASET_GENERATORS` -- build the *initial* dataset.  The paper's
+  workloads route through the shared experiment configurations
+  (:func:`repro.experiments.workloads.syn_config` /
+  :func:`~repro.experiments.workloads.wifi_config`), so scenarios and
+  figure benchmarks stay on one parameterisation.  The hostile generators
+  build engineered failure modes directly: heavy-tailed per-entity trace
+  sizes and clone families whose identical cell sets collide in the
+  MinHash signature space.
+* :data:`CHURN_GENERATORS` -- produce the event stream replayed after the
+  initial build, *in submission order* (bursty streams deliberately emit
+  late, out-of-timestamp-order events).
+
+Everything is a pure function of its parameters: the same spec always
+yields the same dataset and the same event list, which is what lets the
+runner score backends against an independently computed ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Mapping
+
+from repro.experiments.workloads import syn_config, wifi_config
+from repro.mobility.hierarchical import generate_synthetic_dataset
+from repro.mobility.wifi import generate_wifi_dataset
+from repro.traces.dataset import TraceDataset
+from repro.traces.events import PresenceInstance
+from repro.traces.spatial import SpatialHierarchy
+
+__all__ = [
+    "CHURN_GENERATORS",
+    "DATASET_GENERATORS",
+    "build_dataset",
+    "build_churn_events",
+]
+
+DatasetGenerator = Callable[..., TraceDataset]
+ChurnGenerator = Callable[..., List[PresenceInstance]]
+
+
+# ----------------------------------------------------------------------
+# Dataset generators
+# ----------------------------------------------------------------------
+def _syn_dataset(**params: object) -> TraceDataset:
+    """The paper's SYN workload (hierarchical IM mobility model).
+
+    Parameters overlay the shared ``tiny``-scale experiment configuration,
+    pinned explicitly so scenario datasets never depend on the
+    ``REPRO_SCALE`` environment variable.
+    """
+    dataset, _config = generate_synthetic_dataset(syn_config("tiny", **params))
+    return dataset
+
+
+def _wifi_dataset(**params: object) -> TraceDataset:
+    """The paper's REAL-substitute workload (WiFi handshake detections)."""
+    dataset, _config = generate_wifi_dataset(wifi_config("tiny", **params))
+    return dataset
+
+
+def _heavy_tail_dataset(
+    num_entities: int = 200,
+    horizon: int = 168,
+    branching: tuple = (3, 4, 4),
+    alpha: float = 1.1,
+    min_records: int = 2,
+    max_records: int = 400,
+    group_size: int = 4,
+    copy_probability: float = 0.7,
+    seed: int = 0,
+) -> TraceDataset:
+    """Heavy-tailed per-entity trace sizes (hostile).
+
+    Entity activity is Pareto-distributed: a few entities carry hundreds of
+    presence records while most carry a handful.  The giants stress leaf
+    scoring (long sparse intersections) and drag their MinSigTree groups'
+    signatures towards universal minima, eroding pruning.  Association
+    structure comes from social circles of up to ``group_size`` entities
+    sharing anchor slots with probability ``copy_probability``.
+    """
+    rng = random.Random(seed)
+    hierarchy = SpatialHierarchy.regular(list(branching), prefix="ht")
+    dataset = TraceDataset(hierarchy, horizon=horizon)
+    bases = hierarchy.base_units
+
+    entities = [f"ht-{index}" for index in range(num_entities)]
+    # Social circles: consecutive entities grouped, each circle anchored to
+    # a handful of shared (unit, time) slots.
+    position = 0
+    anchors_by_entity: Dict[str, List[tuple]] = {}
+    while position < num_entities:
+        size = rng.randint(1, group_size)
+        members = entities[position : position + size]
+        position += size
+        anchor_count = rng.randint(2, 5)
+        anchors = [
+            (rng.choice(bases), rng.randrange(max(1, horizon - 2)))
+            for _ in range(anchor_count)
+        ]
+        for member in members:
+            anchors_by_entity[member] = [
+                anchor for anchor in anchors if rng.random() < copy_probability
+            ]
+
+    for entity in entities:
+        pareto = rng.paretovariate(alpha)
+        extra = min(max_records, max(min_records, int(min_records * pareto)))
+        for unit, start in anchors_by_entity.get(entity, ()):
+            dataset.add_record(entity, unit, start, duration=rng.randint(1, 2))
+        for _ in range(extra):
+            start = rng.randrange(max(1, horizon - 2))
+            dataset.add_record(entity, rng.choice(bases), start, duration=rng.randint(1, 3))
+    return dataset
+
+
+def _clone_families_dataset(
+    num_families: int = 24,
+    family_size: int = 4,
+    records_per_prototype: int = 8,
+    num_background: int = 60,
+    horizon: int = 120,
+    branching: tuple = (2, 4, 4),
+    distinguish_probability: float = 0.5,
+    seed: int = 0,
+) -> TraceDataset:
+    """Adversarial signature collisions (hostile).
+
+    Families of entities replicate one prototype trace *cell for cell*, so
+    every member of a family carries an **identical MinHash signature** --
+    the worst case for signature-based grouping: the MinSigTree cannot
+    separate them, bounds tie exactly, and top-k boundaries are decided
+    purely by the deterministic tie-break.  Half the members (per
+    ``distinguish_probability``) add one extra record, producing clusters of
+    *almost*-tied scores around each query.
+    """
+    rng = random.Random(seed)
+    hierarchy = SpatialHierarchy.regular(list(branching), prefix="cf")
+    dataset = TraceDataset(hierarchy, horizon=horizon)
+    bases = hierarchy.base_units
+
+    for family in range(num_families):
+        prototype = [
+            (rng.choice(bases), rng.randrange(max(1, horizon - 2)), rng.randint(1, 2))
+            for _ in range(records_per_prototype)
+        ]
+        for member in range(family_size):
+            entity = f"cf-{family}-{member}"
+            for unit, start, duration in prototype:
+                dataset.add_record(entity, unit, start, duration=duration)
+            if member and rng.random() < distinguish_probability:
+                start = rng.randrange(max(1, horizon - 2))
+                dataset.add_record(entity, rng.choice(bases), start, duration=1)
+    for index in range(num_background):
+        entity = f"bg-{index}"
+        for _ in range(rng.randint(1, 6)):
+            start = rng.randrange(max(1, horizon - 2))
+            dataset.add_record(entity, rng.choice(bases), start, duration=rng.randint(1, 2))
+    return dataset
+
+
+#: Named initial-dataset builders a :class:`DatasetProfile` can reference.
+DATASET_GENERATORS: Dict[str, DatasetGenerator] = {
+    "syn": _syn_dataset,
+    "wifi": _wifi_dataset,
+    "heavy_tail": _heavy_tail_dataset,
+    "clone_families": _clone_families_dataset,
+}
+
+
+def build_dataset(generator: str, params: Mapping[str, object]) -> TraceDataset:
+    """Build a fresh initial dataset for one backend (or the oracle).
+
+    Backends mutate their dataset through ingest and expiry, so every
+    consumer gets its own instance; determinism of the generators makes
+    them identical.
+    """
+    try:
+        factory = DATASET_GENERATORS[generator]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset generator {generator!r}; "
+            f"expected one of {sorted(DATASET_GENERATORS)}"
+        ) from None
+    return factory(**dict(params))
+
+
+# ----------------------------------------------------------------------
+# Churn generators
+# ----------------------------------------------------------------------
+def _no_churn(dataset: TraceDataset, **_params: object) -> List[PresenceInstance]:
+    """Static scenario: no live updates."""
+    return []
+
+
+def _bursty_late_churn(
+    dataset: TraceDataset,
+    bursts: int = 6,
+    events_per_burst: int = 120,
+    burst_start: int = 0,
+    burst_spacing: int = 12,
+    late_fraction: float = 0.25,
+    late_lag: int = 40,
+    new_entity_fraction: float = 0.3,
+    seed: int = 0,
+) -> List[PresenceInstance]:
+    """Bursty ingest with late arrivals (hostile).
+
+    Events arrive in ``bursts`` dense waves.  Most carry timestamps near
+    the burst; a ``late_fraction`` arrive with timestamps up to
+    ``late_lag`` units in the past -- *after* newer events have already
+    advanced the stream watermark, so under a sliding window some of them
+    are already expired on arrival and must be dropped, not indexed.  A
+    ``new_entity_fraction`` of events introduce previously unseen entities
+    mid-stream.  The returned list is in submission order, **not**
+    timestamp order.
+    """
+    rng = random.Random(seed)
+    bases = dataset.hierarchy.base_units
+    existing = list(dataset.entities)
+    horizon = dataset.horizon
+    events: List[PresenceInstance] = []
+    start_floor = burst_start if burst_start > 0 else max(1, horizon // 3)
+    for burst in range(bursts):
+        burst_time = min(start_floor + burst * burst_spacing, horizon - 3)
+        for index in range(events_per_burst):
+            if existing and rng.random() >= new_entity_fraction:
+                entity = rng.choice(existing)
+            else:
+                entity = f"burst-{burst}-{index}"
+            if rng.random() < late_fraction:
+                start = max(0, burst_time - rng.randint(1, late_lag))
+            else:
+                start = max(0, burst_time + rng.randint(-2, 2))
+            duration = rng.randint(1, 3)
+            end = min(start + duration, horizon)
+            if end <= start:
+                start, end = max(0, end - 1), end if end > 0 else 1
+            events.append(PresenceInstance(entity, rng.choice(bases), start, end))
+    return events
+
+
+def _rolling_churn(
+    dataset: TraceDataset,
+    steps: int = 30,
+    events_per_step: int = 40,
+    start: int = 0,
+    stride: int = 4,
+    new_entity_fraction: float = 0.2,
+    seed: int = 0,
+) -> List[PresenceInstance]:
+    """Sustained time-marching churn (hostile, pairs with a sliding window).
+
+    Time advances ``stride`` units per step while events keep flowing, so a
+    window shorter than the replayed span continually expires history:
+    whole entities drop out, survivors are re-signed, and the accumulated
+    retractions force ``compact()`` through the churn trigger.
+    """
+    rng = random.Random(seed)
+    bases = dataset.hierarchy.base_units
+    existing = list(dataset.entities)
+    horizon = dataset.horizon
+    events: List[PresenceInstance] = []
+    for step in range(steps):
+        step_time = min(start + step * stride, horizon - 3)
+        for index in range(events_per_step):
+            if existing and rng.random() >= new_entity_fraction:
+                entity = rng.choice(existing)
+            else:
+                entity = f"churn-{step}-{index}"
+            event_start = max(0, step_time + rng.randint(-1, 2))
+            duration = rng.randint(1, 2)
+            end = min(event_start + duration, horizon)
+            if end <= event_start:
+                event_start, end = max(0, end - 1), end if end > 0 else 1
+            events.append(PresenceInstance(entity, rng.choice(bases), event_start, end))
+    return events
+
+
+#: Named churn-stream builders a :class:`ChurnProfile` can reference.
+CHURN_GENERATORS: Dict[str, ChurnGenerator] = {
+    "none": _no_churn,
+    "bursty_late": _bursty_late_churn,
+    "rolling": _rolling_churn,
+}
+
+
+def build_churn_events(
+    generator: str, dataset: TraceDataset, params: Mapping[str, object]
+) -> List[PresenceInstance]:
+    """Build the deterministic churn event stream for a scenario.
+
+    ``dataset`` must be a *pristine* initial dataset (the generators sample
+    entities and base units from it); the returned events are shared by the
+    oracle and every backend.
+    """
+    try:
+        factory = CHURN_GENERATORS[generator]
+    except KeyError:
+        raise ValueError(
+            f"unknown churn generator {generator!r}; "
+            f"expected one of {sorted(CHURN_GENERATORS)}"
+        ) from None
+    return factory(dataset, **dict(params))

@@ -1,0 +1,320 @@
+"""Scenario report validation and rendering.
+
+The runner emits one JSON document per invocation (see
+:mod:`repro.scenarios.runner` for its construction).  This module owns the
+document's contract:
+
+* :data:`REPORT_VERSION` -- bumped whenever the shape changes;
+* :func:`validate_report` -- a dependency-free structural validator (the
+  CI corpus job rejects a malformed artifact with it, and tests pin the
+  shape without needing a jsonschema package);
+* :func:`render_html` -- a self-contained, no-JavaScript HTML rendering
+  for the uploaded build artifact.
+
+Validation is deliberately strict about the fields consumers read
+(summary rollups, per-backend accuracy and latency) and lenient about
+informational extras (backend ``stats`` blocks), so backends can add
+facts without a version bump.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["REPORT_VERSION", "validate_report", "render_html"]
+
+#: Current report document version.
+REPORT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def _check(condition: bool, errors: List[str], message: str) -> None:
+    if not condition:
+        errors.append(message)
+
+
+def _require_keys(
+    mapping: object, keys: Sequence[str], errors: List[str], where: str
+) -> bool:
+    if not isinstance(mapping, Mapping):
+        errors.append(f"{where}: expected an object, got {type(mapping).__name__}")
+        return False
+    missing = [key for key in keys if key not in mapping]
+    if missing:
+        errors.append(f"{where}: missing keys {missing}")
+        return False
+    return True
+
+
+def _validate_accuracy(accuracy: object, errors: List[str], where: str) -> None:
+    if not _require_keys(
+        accuracy, ["queries", "exact", "exact_fraction", "mismatches"], errors, where
+    ):
+        return
+    _check(isinstance(accuracy["queries"], int), errors, f"{where}.queries: not an int")
+    _check(isinstance(accuracy["exact"], int), errors, f"{where}.exact: not an int")
+    _check(
+        isinstance(accuracy["exact_fraction"], (int, float)),
+        errors,
+        f"{where}.exact_fraction: not a number",
+    )
+    _check(
+        isinstance(accuracy["mismatches"], list),
+        errors,
+        f"{where}.mismatches: not a list",
+    )
+    if isinstance(accuracy["queries"], int) and isinstance(accuracy["exact"], int):
+        _check(
+            0 <= accuracy["exact"] <= accuracy["queries"],
+            errors,
+            f"{where}: exact out of range",
+        )
+
+
+def _validate_latency(latency: object, errors: List[str], where: str) -> None:
+    if not _require_keys(
+        latency, ["count", "mean_ms", "max_ms", "p50_ms", "p95_ms", "p99_ms"], errors, where
+    ):
+        return
+    _check(isinstance(latency["count"], int), errors, f"{where}.count: not an int")
+    for key in ("mean_ms", "max_ms", "p50_ms", "p95_ms", "p99_ms"):
+        value = latency[key]
+        _check(
+            value is None or isinstance(value, (int, float)),
+            errors,
+            f"{where}.{key}: not a number or null",
+        )
+
+
+def _validate_backend_entry(entry: object, errors: List[str], where: str) -> None:
+    if not _require_keys(
+        entry, ["backend", "accuracy", "latency", "stats", "passed"], errors, where
+    ):
+        return
+    _check(isinstance(entry["backend"], str), errors, f"{where}.backend: not a string")
+    _check(isinstance(entry["passed"], bool), errors, f"{where}.passed: not a bool")
+    _check(
+        isinstance(entry["stats"], Mapping), errors, f"{where}.stats: not an object"
+    )
+    _validate_accuracy(entry["accuracy"], errors, f"{where}.accuracy")
+    _validate_latency(entry["latency"], errors, f"{where}.latency")
+
+
+def _validate_scenario_entry(entry: object, errors: List[str], where: str) -> None:
+    keys = [
+        "name",
+        "title",
+        "tags",
+        "hostile",
+        "spec",
+        "dataset",
+        "queries",
+        "backends",
+        "passed",
+    ]
+    if not _require_keys(entry, keys, errors, where):
+        return
+    _check(isinstance(entry["name"], str), errors, f"{where}.name: not a string")
+    _check(isinstance(entry["title"], str), errors, f"{where}.title: not a string")
+    _check(isinstance(entry["tags"], list), errors, f"{where}.tags: not a list")
+    _check(isinstance(entry["hostile"], bool), errors, f"{where}.hostile: not a bool")
+    _check(isinstance(entry["spec"], Mapping), errors, f"{where}.spec: not an object")
+    _check(isinstance(entry["passed"], bool), errors, f"{where}.passed: not a bool")
+    if _require_keys(
+        entry["dataset"],
+        ["initial_entities", "final_entities", "churn_events"],
+        errors,
+        f"{where}.dataset",
+    ):
+        for key in ("initial_entities", "final_entities", "churn_events"):
+            _check(
+                isinstance(entry["dataset"][key], int),
+                errors,
+                f"{where}.dataset.{key}: not an int",
+            )
+    if _require_keys(entry["queries"], ["count", "k"], errors, f"{where}.queries"):
+        _check(
+            isinstance(entry["queries"]["count"], int),
+            errors,
+            f"{where}.queries.count: not an int",
+        )
+        _check(
+            isinstance(entry["queries"]["k"], int), errors, f"{where}.queries.k: not an int"
+        )
+    backends = entry["backends"]
+    if not isinstance(backends, list) or not backends:
+        errors.append(f"{where}.backends: expected a non-empty list")
+        return
+    for index, backend_entry in enumerate(backends):
+        _validate_backend_entry(backend_entry, errors, f"{where}.backends[{index}]")
+
+
+def validate_report(report: object) -> List[str]:
+    """Structurally validate a scenario report document.
+
+    Returns the list of problems found -- empty for a valid report.  The
+    CI corpus job and the tests treat a non-empty list as failure.
+    """
+    errors: List[str] = []
+    top_keys = ["version", "generated_at", "smoke", "backends", "scenarios", "summary"]
+    if not _require_keys(report, top_keys, errors, "report"):
+        return errors
+    _check(
+        report["version"] == REPORT_VERSION,
+        errors,
+        f"report.version: expected {REPORT_VERSION}, got {report['version']!r}",
+    )
+    _check(
+        isinstance(report["generated_at"], str),
+        errors,
+        "report.generated_at: not a string",
+    )
+    _check(isinstance(report["smoke"], bool), errors, "report.smoke: not a bool")
+    backends = report["backends"]
+    if not isinstance(backends, list) or not all(
+        isinstance(name, str) for name in backends
+    ):
+        errors.append("report.backends: expected a list of strings")
+    scenarios = report["scenarios"]
+    if not isinstance(scenarios, list) or not scenarios:
+        errors.append("report.scenarios: expected a non-empty list")
+        return errors
+    for index, entry in enumerate(scenarios):
+        _validate_scenario_entry(entry, errors, f"report.scenarios[{index}]")
+    if _require_keys(
+        report["summary"],
+        ["scenarios", "scenarios_passed", "queries", "exact", "all_passed"],
+        errors,
+        "report.summary",
+    ):
+        summary = report["summary"]
+        for key in ("scenarios", "scenarios_passed", "queries", "exact"):
+            _check(
+                isinstance(summary[key], int),
+                errors,
+                f"report.summary.{key}: not an int",
+            )
+        _check(
+            isinstance(summary["all_passed"], bool),
+            errors,
+            "report.summary.all_passed: not a bool",
+        )
+        if not errors:
+            recomputed = all(entry["passed"] for entry in scenarios)
+            _check(
+                summary["all_passed"] == recomputed,
+                errors,
+                "report.summary.all_passed disagrees with per-scenario results",
+            )
+    return errors
+
+
+# ----------------------------------------------------------------------
+# HTML rendering
+# ----------------------------------------------------------------------
+_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 70rem;
+       color: #1a1a1a; }
+table { border-collapse: collapse; margin: 0.75rem 0 1.5rem; width: 100%; }
+th, td { border: 1px solid #d0d0d0; padding: 0.35rem 0.6rem; text-align: left;
+         font-size: 0.9rem; }
+th { background: #f2f2f2; }
+.pass { color: #1a7f37; font-weight: 600; }
+.fail { color: #b42318; font-weight: 600; }
+.tag { background: #eef; border-radius: 0.5rem; padding: 0.05rem 0.5rem;
+       font-size: 0.8rem; margin-right: 0.25rem; }
+.tag.hostile { background: #fde8e8; }
+caption { text-align: left; font-weight: 600; padding-bottom: 0.25rem; }
+""".strip()
+
+
+def _format_ms(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.3f}"
+
+
+def render_html(report: Mapping[str, object]) -> str:
+    """Render a validated report as a standalone HTML page (no JavaScript)."""
+    summary = report["summary"]
+    verdict = "PASS" if summary["all_passed"] else "FAIL"
+    verdict_class = "pass" if summary["all_passed"] else "fail"
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        "<html lang=\"en\"><head><meta charset=\"utf-8\">",
+        "<title>Scenario report</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        "<h1>Scenario corpus report</h1>",
+        "<p>"
+        f"<span class=\"{verdict_class}\">{verdict}</span> &mdash; "
+        f"{summary['scenarios_passed']}/{summary['scenarios']} scenarios, "
+        f"{summary['exact']}/{summary['queries']} exact top-k answers; "
+        f"generated {html.escape(str(report['generated_at']))}"
+        f"{' (smoke mode)' if report['smoke'] else ''}."
+        "</p>",
+    ]
+    for entry in report["scenarios"]:
+        status = "pass" if entry["passed"] else "fail"
+        tags = "".join(
+            f"<span class=\"tag{' hostile' if tag == 'hostile' else ''}\">"
+            f"{html.escape(str(tag))}</span>"
+            for tag in entry["tags"]
+        )
+        dataset = entry["dataset"]
+        parts.append(
+            f"<h2><span class=\"{status}\">{'✓' if entry['passed'] else '✗'}</span> "
+            f"{html.escape(str(entry['title']))} "
+            f"<code>{html.escape(str(entry['name']))}</code></h2>"
+        )
+        parts.append(f"<p>{tags}</p>")
+        parts.append(
+            "<p>"
+            f"{dataset['initial_entities']} entities initially, "
+            f"{dataset['final_entities']} after {dataset['churn_events']} churn events; "
+            f"{entry['queries']['count']} queries at k={entry['queries']['k']}."
+            "</p>"
+        )
+        rows = [
+            "<table><caption>Backends</caption>",
+            "<tr><th>backend</th><th>exact</th><th>p50 ms</th><th>p95 ms</th>"
+            "<th>p99 ms</th><th>max ms</th><th>verdict</th></tr>",
+        ]
+        for backend_entry in entry["backends"]:
+            accuracy = backend_entry["accuracy"]
+            latency = backend_entry["latency"]
+            backend_status = "pass" if backend_entry["passed"] else "fail"
+            rows.append(
+                "<tr>"
+                f"<td><code>{html.escape(str(backend_entry['backend']))}</code></td>"
+                f"<td>{accuracy['exact']}/{accuracy['queries']}</td>"
+                f"<td>{_format_ms(latency['p50_ms'])}</td>"
+                f"<td>{_format_ms(latency['p95_ms'])}</td>"
+                f"<td>{_format_ms(latency['p99_ms'])}</td>"
+                f"<td>{_format_ms(latency['max_ms'])}</td>"
+                f"<td class=\"{backend_status}\">"
+                f"{'ok' if backend_entry['passed'] else 'MISMATCH'}</td>"
+                "</tr>"
+            )
+        rows.append("</table>")
+        parts.extend(rows)
+        for backend_entry in entry["backends"]:
+            mismatches = backend_entry["accuracy"]["mismatches"]
+            if not mismatches:
+                continue
+            parts.append(
+                f"<h3>Mismatches on <code>"
+                f"{html.escape(str(backend_entry['backend']))}</code></h3><ul>"
+            )
+            for mismatch in mismatches:
+                parts.append(
+                    "<li><code>"
+                    + html.escape(
+                        f"{mismatch['query']}: expected {mismatch['expected']}, "
+                        f"got {mismatch['got']}"
+                    )
+                    + "</code></li>"
+                )
+            parts.append("</ul>")
+    parts.append("</body></html>")
+    return "\n".join(parts)

@@ -7,7 +7,9 @@ harness rather than unit tests.
 
 from __future__ import annotations
 
+import os
 import random
+from typing import List
 
 import pytest
 
@@ -112,6 +114,61 @@ def syn_engine(syn_dataset: TraceDataset) -> TraceQueryEngine:
 @pytest.fixture
 def rng() -> random.Random:
     return random.Random(4242)
+
+
+class SeededRngFactory:
+    """Deterministic RNGs for fuzz tests, with replayable failure seeds.
+
+    Calling the factory with a test's default seed returns a
+    ``random.Random`` seeded with it -- unless the ``REPRO_TEST_SEED``
+    environment variable is set, which overrides *every* requested seed so
+    a reported failure replays exactly::
+
+        REPRO_TEST_SEED=12345 pytest tests/test_streaming_equivalence.py -k interleavings
+
+    Every effective seed is recorded; when the test fails, the report hook
+    below prints them in a ``repro seeds`` section.
+    """
+
+    def __init__(self) -> None:
+        self.seeds: List[int] = []
+        self._override = os.environ.get("REPRO_TEST_SEED")
+
+    def __call__(self, default_seed: int) -> random.Random:
+        effective = int(self._override) if self._override else int(default_seed)
+        self.seeds.append(effective)
+        return random.Random(effective)
+
+
+@pytest.fixture
+def seeded_rng(request: pytest.FixtureRequest) -> SeededRngFactory:
+    """The shared deterministic-seed plumbing of the fuzz suites.
+
+    Use ``rng = seeded_rng(<default seed>)`` instead of
+    ``random.Random(<seed>)``: behaviour is identical until a failure,
+    at which point the failing seed is printed (and can be forced with
+    ``REPRO_TEST_SEED``).
+    """
+    factory = SeededRngFactory()
+    request.node._repro_seeds = factory.seeds
+    return factory
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Attach the effective fuzz seeds to failing test reports."""
+    outcome = yield
+    report = outcome.get_result()
+    seeds = getattr(item, "_repro_seeds", None)
+    if seeds and report.when == "call" and report.failed:
+        listed = ", ".join(str(seed) for seed in seeds)
+        report.sections.append(
+            (
+                "repro seeds",
+                f"fuzz seeds used: {listed}\n"
+                f"replay with: REPRO_TEST_SEED={seeds[0]} pytest {item.nodeid!r}",
+            )
+        )
 
 
 def make_presence(entity: str = "x", unit: str = "h3_0_0_0", start: int = 0, end: int = 1) -> PresenceInstance:

@@ -18,7 +18,6 @@ traversal, across:
 
 import dataclasses
 import json
-import random
 
 import numpy as np
 import pytest
@@ -109,8 +108,8 @@ def assert_engines_identical(reference, columnar, k_values=(1, 4, 25), **search_
 class TestFuzzedEquivalence:
     @pytest.mark.parametrize("fuzz_seed", [3, 17, 59])
     @pytest.mark.parametrize("bound_mode", ["lift", "per_level"])
-    def test_random_workloads(self, hierarchy, fuzz_seed, bound_mode):
-        rng = random.Random(fuzz_seed)
+    def test_random_workloads(self, hierarchy, fuzz_seed, bound_mode, seeded_rng):
+        rng = seeded_rng(fuzz_seed)
         events = random_events(hierarchy, rng)
         reference, columnar = paired_engines(
             hierarchy, events, num_hashes=24, seed=5, bound_mode=bound_mode
@@ -118,16 +117,16 @@ class TestFuzzedEquivalence:
         assert_engines_identical(reference, columnar)
 
     @pytest.mark.parametrize("approximation", [0.01, 0.2])
-    def test_approximate_top_k(self, hierarchy, approximation):
-        rng = random.Random(71)
+    def test_approximate_top_k(self, hierarchy, approximation, seeded_rng):
+        rng = seeded_rng(71)
         events = random_events(hierarchy, rng)
         reference, columnar = paired_engines(hierarchy, events, num_hashes=24, seed=5)
         assert_engines_identical(
             reference, columnar, k_values=(2, 6), approximation=approximation
         )
 
-    def test_candidate_filter(self, hierarchy):
-        rng = random.Random(29)
+    def test_candidate_filter(self, hierarchy, seeded_rng):
+        rng = seeded_rng(29)
         events = random_events(hierarchy, rng)
         reference, columnar = paired_engines(hierarchy, events, num_hashes=24, seed=5)
         keep = {f"e{index}" for index in range(0, 16, 2)}
@@ -135,8 +134,8 @@ class TestFuzzedEquivalence:
             reference, columnar, k_values=(3,), candidate_filter=keep.__contains__
         )
 
-    def test_full_signature_ablation(self, hierarchy):
-        rng = random.Random(41)
+    def test_full_signature_ablation(self, hierarchy, seeded_rng):
+        rng = seeded_rng(41)
         events = random_events(hierarchy, rng)
         reference, columnar = paired_engines(
             hierarchy,
@@ -159,8 +158,8 @@ class TestFuzzedEquivalence:
         ],
         ids=["hierarchical-u3-v1.5", "jaccard", "dice", "overlap", "fscore"],
     )
-    def test_measures(self, hierarchy, measure_factory):
-        rng = random.Random(13)
+    def test_measures(self, hierarchy, measure_factory, seeded_rng):
+        rng = seeded_rng(13)
         events = random_events(hierarchy, rng, num_entities=12)
         measure = measure_factory(hierarchy.num_levels)
         reference, columnar = paired_engines(
@@ -168,8 +167,8 @@ class TestFuzzedEquivalence:
         )
         assert_engines_identical(reference, columnar, k_values=(3,))
 
-    def test_example_dice_two_levels(self, two_level_hierarchy):
-        rng = random.Random(37)
+    def test_example_dice_two_levels(self, two_level_hierarchy, seeded_rng):
+        rng = seeded_rng(37)
         events = random_events(two_level_hierarchy, rng, num_entities=10)
         reference, columnar = paired_engines(
             two_level_hierarchy, events, measure=ExampleDiceADM(), num_hashes=16, seed=2
@@ -194,8 +193,8 @@ class TestMeasureBatchKernels:
     @pytest.mark.parametrize(
         "measure", MEASURES, ids=lambda m: f"{m.name}-{id(m) % 97}"
     )
-    def test_score_levels_batch_matches_scalar(self, measure):
-        rng = random.Random(5)
+    def test_score_levels_batch_matches_scalar(self, measure, seeded_rng):
+        rng = seeded_rng(5)
         rows = []
         for _ in range(300):
             row = []
@@ -237,8 +236,8 @@ class TestMeasureBatchKernels:
 
 class TestStreamingInterleavings:
     @pytest.mark.parametrize("fuzz_seed", [7, 31])
-    def test_ingest_expire_interleavings(self, hierarchy, fuzz_seed):
-        rng = random.Random(fuzz_seed)
+    def test_ingest_expire_interleavings(self, hierarchy, fuzz_seed, seeded_rng):
+        rng = seeded_rng(fuzz_seed)
         events = random_events(hierarchy, rng, num_entities=12, max_events=9)
         events.sort(key=lambda p: (p.start, p.end, p.entity, p.unit))
         reference, columnar = paired_engines(hierarchy, [], num_hashes=24, seed=5)
@@ -262,8 +261,8 @@ class TestStreamingInterleavings:
             ingestor.close()
         assert_engines_identical(reference, columnar)
 
-    def test_incremental_updates_recompile(self, hierarchy):
-        rng = random.Random(97)
+    def test_incremental_updates_recompile(self, hierarchy, seeded_rng):
+        rng = seeded_rng(97)
         events = random_events(hierarchy, rng, num_entities=10)
         reference, columnar = paired_engines(hierarchy, events, num_hashes=24, seed=5)
         compiled_before = columnar.searcher.compiled_tree()
@@ -284,8 +283,8 @@ class TestStreamingInterleavings:
 
 class TestShardedEquivalence:
     @pytest.mark.parametrize("num_shards", [1, 2])
-    def test_sharded_columnar_matches_reference(self, hierarchy, num_shards):
-        rng = random.Random(83)
+    def test_sharded_columnar_matches_reference(self, hierarchy, num_shards, seeded_rng):
+        rng = seeded_rng(83)
         events = random_events(hierarchy, rng)
         knobs = dict(num_hashes=24, seed=5, num_shards=num_shards)
         reference = ShardedEngine(
@@ -300,10 +299,10 @@ class TestShardedEquivalence:
 
 
 class TestSnapshotRoundTrip:
-    def test_compiled_arrays_round_trip(self, hierarchy, tmp_path, monkeypatch):
+    def test_compiled_arrays_round_trip(self, hierarchy, tmp_path, monkeypatch, seeded_rng):
         from repro.core.columnar import ColumnarTree
 
-        rng = random.Random(19)
+        rng = seeded_rng(19)
         events = random_events(hierarchy, rng)
         engine = TraceQueryEngine(
             dataset_from(hierarchy, events), num_hashes=24, seed=5
@@ -339,9 +338,9 @@ class TestSnapshotRoundTrip:
             k_values=(3,),
         )
 
-    def test_streamed_snapshot_round_trip(self, hierarchy, tmp_path):
+    def test_streamed_snapshot_round_trip(self, hierarchy, tmp_path, seeded_rng):
         """Save/load after streaming updates (arrays recompiled at save)."""
-        rng = random.Random(53)
+        rng = seeded_rng(53)
         events = random_events(hierarchy, rng, num_entities=10)
         reference, columnar = paired_engines(hierarchy, events, num_hashes=24, seed=5)
         extra = [PresenceInstance("e0", hierarchy.base_units[2], 50, 55)]
@@ -354,10 +353,10 @@ class TestSnapshotRoundTrip:
         assert_engines_identical(reference, loaded, k_values=(1, 6))
 
     def test_mutation_before_first_query_discards_stale_arrays(
-        self, hierarchy, tmp_path
+        self, hierarchy, tmp_path, seeded_rng
     ):
         """A post-load mutation must win over the persisted compile."""
-        rng = random.Random(61)
+        rng = seeded_rng(61)
         events = random_events(hierarchy, rng, num_entities=8)
         reference, columnar = paired_engines(hierarchy, events, num_hashes=16, seed=3)
         columnar.save(tmp_path / "snap")
@@ -367,9 +366,9 @@ class TestSnapshotRoundTrip:
         loaded.add_records(extra)  # before any query: loader must bail out
         assert_engines_identical(reference, loaded, k_values=(2, 5))
 
-    def test_missing_or_corrupt_columnar_payload_falls_back(self, hierarchy, tmp_path):
+    def test_missing_or_corrupt_columnar_payload_falls_back(self, hierarchy, tmp_path, seeded_rng):
         """The columnar payload is a cache: losing it must not fail the load."""
-        rng = random.Random(73)
+        rng = seeded_rng(73)
         events = random_events(hierarchy, rng, num_entities=8)
         engine = TraceQueryEngine(
             dataset_from(hierarchy, events), num_hashes=16, seed=3
@@ -388,10 +387,10 @@ class TestSnapshotRoundTrip:
         loaded = TraceQueryEngine.load(snap)
         assert loaded.top_k(query, k=5).items == expected
 
-    def test_version1_snapshot_still_loads_and_recompiles(self, hierarchy, tmp_path):
+    def test_version1_snapshot_still_loads_and_recompiles(self, hierarchy, tmp_path, seeded_rng):
         from repro.storage.snapshot import _file_digest
 
-        rng = random.Random(67)
+        rng = seeded_rng(67)
         events = random_events(hierarchy, rng, num_entities=8)
         engine = TraceQueryEngine(
             dataset_from(hierarchy, events), num_hashes=16, seed=3
@@ -420,8 +419,8 @@ class TestSnapshotRoundTrip:
 class TestSearchManyParity:
     """Satellite regression: search_many passes every search knob through."""
 
-    def test_approximation_and_filter_pass_through(self, hierarchy):
-        rng = random.Random(23)
+    def test_approximation_and_filter_pass_through(self, hierarchy, seeded_rng):
+        rng = seeded_rng(23)
         events = random_events(hierarchy, rng, num_entities=10)
         engine = TraceQueryEngine(
             dataset_from(hierarchy, events), num_hashes=16, seed=3
@@ -440,8 +439,8 @@ class TestSearchManyParity:
             )
             assert all(entity in keep for entity in result.entities)
 
-    def test_fetch_memoised_within_and_across_searches(self, hierarchy):
-        rng = random.Random(43)
+    def test_fetch_memoised_within_and_across_searches(self, hierarchy, seeded_rng):
+        rng = seeded_rng(43)
         events = random_events(hierarchy, rng, num_entities=10)
         engine = TraceQueryEngine(
             dataset_from(hierarchy, events), num_hashes=16, seed=3

@@ -52,6 +52,104 @@ class TestLoadNpzMmap:
         path.write_bytes(b"definitely not a zip archive")
         assert load_npz_mmap(path) is None
 
+    def test_compressed_fallback_is_byte_identical_via_np_load(self, tmp_path):
+        # When the mapper declines, callers answer through np.load: pin that
+        # the fallback path reads back the exact bytes that were saved.
+        path = tmp_path / "compressed.npz"
+        rng = np.random.default_rng(11)
+        arrays = {"floats": rng.random((9, 3)), "ints": rng.integers(0, 99, size=17)}
+        np.savez_compressed(path, **arrays)
+        assert load_npz_mmap(path) is None
+        with np.load(path) as fallback:
+            assert set(fallback.files) == set(arrays)
+            for key, value in arrays.items():
+                loaded = fallback[key]
+                assert loaded.dtype == value.dtype
+                np.testing.assert_array_equal(loaded, value)
+                assert loaded.tobytes() == value.tobytes()
+
+    def test_mixed_stored_and_deflated_members_fall_back(self, tmp_path):
+        # One deflated member poisons the whole archive: mapping must decline
+        # even though the other member is stored, and np.load must still read
+        # both back byte-identically.
+        import io
+        import zipfile
+
+        path = tmp_path / "mixed.npz"
+        stored = np.arange(24, dtype=np.int32).reshape(4, 6)
+        deflated = np.linspace(0.0, 1.0, 40)
+
+        def npy_bytes(array):
+            buffer = io.BytesIO()
+            np.lib.format.write_array(buffer, array)
+            return buffer.getvalue()
+
+        with zipfile.ZipFile(path, "w") as archive:
+            archive.writestr(
+                zipfile.ZipInfo("stored.npy"),
+                npy_bytes(stored),
+                compress_type=zipfile.ZIP_STORED,
+            )
+            archive.writestr(
+                zipfile.ZipInfo("deflated.npy"),
+                npy_bytes(deflated),
+                compress_type=zipfile.ZIP_DEFLATED,
+            )
+        assert load_npz_mmap(path) is None
+        with np.load(path) as fallback:
+            np.testing.assert_array_equal(fallback["stored"], stored)
+            assert fallback["stored"].tobytes() == stored.tobytes()
+            np.testing.assert_array_equal(fallback["deflated"], deflated)
+            assert fallback["deflated"].tobytes() == deflated.tobytes()
+
+    def test_truncated_archive_returns_none(self, tmp_path):
+        # Cut a valid archive mid-payload: the ZIP directory (at the end of
+        # the file) is gone, so mapping must decline instead of raising.
+        path = tmp_path / "whole.npz"
+        np.savez(path, data=np.arange(1000, dtype=np.int64))
+        blob = path.read_bytes()
+        for keep in (len(blob) // 2, 30, 4):
+            truncated = tmp_path / f"truncated_{keep}.npz"
+            truncated.write_bytes(blob[:keep])
+            assert load_npz_mmap(truncated) is None
+
+    def test_corrupt_local_header_returns_none(self, tmp_path):
+        # A readable central directory but a clobbered local file header:
+        # the per-member header check must decline rather than map garbage.
+        path = tmp_path / "clobbered.npz"
+        np.savez(path, data=np.arange(64, dtype=np.int16))
+        blob = bytearray(path.read_bytes())
+        assert blob[:4] == b"PK\x03\x04"
+        blob[:4] = b"XXXX"
+        path.write_bytes(bytes(blob))
+        assert load_npz_mmap(path) is None
+
+    def test_zero_length_arrays_round_trip(self, tmp_path):
+        # Empty arrays have no payload to map; they come back as in-memory
+        # zeros but must still be byte-identical to what np.load reads.
+        path = tmp_path / "empties.npz"
+        arrays = {
+            "empty_1d": np.zeros((0,), dtype=np.float64),
+            "empty_mid": np.zeros((3, 0, 2), dtype=np.int32),
+            "nonempty": np.arange(5, dtype=np.uint8),
+        }
+        np.savez(path, **arrays)
+        mapped = load_npz_mmap(path)
+        assert mapped is not None
+        with np.load(path) as reference:
+            for key in arrays:
+                via_np_load = reference[key]
+                assert mapped[key].dtype == via_np_load.dtype
+                assert mapped[key].shape == via_np_load.shape
+                np.testing.assert_array_equal(np.asarray(mapped[key]), via_np_load)
+                assert np.asarray(mapped[key]).tobytes() == via_np_load.tobytes()
+        # Empty members are plain arrays (nothing to share); the non-empty
+        # member is a real map and is read-only.
+        assert not isinstance(mapped["empty_1d"], np.memmap)
+        assert isinstance(mapped["nonempty"], np.memmap)
+        with pytest.raises((ValueError, OSError)):
+            mapped["nonempty"][0] = 1
+
 
 class TestGenerationStore:
     def test_publish_and_current_round_trip(self, small_engine, tmp_path):

@@ -139,3 +139,40 @@ class TestAddRecordsDedup:
         affected = small_engine.add_records(batch)
         assert affected == ["bulk"]
         assert len(small_engine.dataset.trace("bulk")) == 40
+
+
+class TestFuzzedUpdateInterleavings:
+    """Random remove/re-add/query interleavings stay scratch-equivalent.
+
+    Seeds route through the shared ``seeded_rng`` plumbing: failures print
+    the effective seed and replay under ``REPRO_TEST_SEED``.
+    """
+
+    @pytest.mark.parametrize("fuzz_seed", [101, 211])
+    def test_random_remove_re_add_interleavings(self, incremental, fuzz_seed, seeded_rng):
+        rng = seeded_rng(fuzz_seed)
+        base_units = incremental.dataset.hierarchy.base_units
+        removed = {}
+        for round_index in range(8):
+            live = list(incremental.dataset.entities)
+            action = rng.random()
+            if action < 0.5 and len(live) > 10:
+                victim = rng.choice(live)
+                removed[victim] = incremental.dataset.trace(victim)
+                incremental.remove_entity(victim)
+            elif removed:
+                entity, trace = removed.popitem()
+                keep = [p for p in trace if rng.random() < 0.7]
+                fresh = [
+                    PresenceInstance(
+                        entity, rng.choice(base_units), start, start + rng.randrange(1, 3)
+                    )
+                    for start in rng.sample(range(90), rng.randrange(1, 4))
+                ]
+                incremental.add_records(keep + fresh)
+            if round_index % 3 == 2:
+                queries = rng.sample(list(incremental.dataset.entities), 3)
+                assert_matches_scratch(incremental, queries, k=8)
+        assert_matches_scratch(
+            incremental, rng.sample(list(incremental.dataset.entities), 4), k=10
+        )

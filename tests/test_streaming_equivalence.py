@@ -15,7 +15,6 @@ too on a representative stream (the repo documents the lift bound's known
 coarse-level corner case; see ``repro.service.sharded``).
 """
 
-import random
 
 import pytest
 
@@ -94,8 +93,8 @@ def assert_streamed_matches_scratch(streamed, scratch, k_values=(1, 3, 10)):
 
 class TestSingleEngineFuzz:
     @pytest.mark.parametrize("fuzz_seed", [11, 23, 47])
-    def test_random_ingest_expire_query_interleavings(self, hierarchy, fuzz_seed):
-        rng = random.Random(fuzz_seed)
+    def test_random_ingest_expire_query_interleavings(self, hierarchy, fuzz_seed, seeded_rng):
+        rng = seeded_rng(fuzz_seed)
         events = make_stream(hierarchy, rng, count=240)
         engine = scratch_engine(hierarchy, [])
         ingestor = EventIngestor(
@@ -120,14 +119,14 @@ class TestSingleEngineFuzz:
         assert_streamed_matches_scratch(engine, scratch)
 
     @pytest.mark.parametrize("fuzz_seed", [13, 61])
-    def test_long_duration_events_and_late_arrivals(self, hierarchy, fuzz_seed):
+    def test_long_duration_events_and_late_arrivals(self, hierarchy, fuzz_seed, seeded_rng):
         """Regression fuzz: long events race the watermark past short ones.
 
         A long-duration event can push the cutoff beyond a same-``start``
         short event still in flight; the ingestor must drop such late
         arrivals instead of indexing records the window can never expire.
         """
-        rng = random.Random(fuzz_seed)
+        rng = seeded_rng(fuzz_seed)
         events = make_stream(hierarchy, rng, count=200, long_every=7)
         engine = scratch_engine(hierarchy, [])
         ingestor = EventIngestor(engine, max_batch_events=3, window=25, compact_after=9)
@@ -137,9 +136,9 @@ class TestSingleEngineFuzz:
         scratch = scratch_engine(hierarchy, surviving(events, ingestor.window.cutoff))
         assert_streamed_matches_scratch(engine, scratch)
 
-    def test_everything_can_expire(self, hierarchy):
+    def test_everything_can_expire(self, hierarchy, seeded_rng):
         """A stream with a gap longer than the window empties the index."""
-        rng = random.Random(5)
+        rng = seeded_rng(5)
         early = make_stream(hierarchy, rng, count=40, span=10)
         late = [
             PresenceInstance("phoenix", hierarchy.base_units[0], 100, 102),
@@ -152,9 +151,9 @@ class TestSingleEngineFuzz:
         scratch = scratch_engine(hierarchy, surviving(early + late, ingestor.window.cutoff))
         assert_streamed_matches_scratch(engine, scratch)
 
-    def test_default_lift_bound_on_a_fixed_stream(self, hierarchy):
+    def test_default_lift_bound_on_a_fixed_stream(self, hierarchy, seeded_rng):
         """The paper's default bound, pinned on one representative stream."""
-        rng = random.Random(99)
+        rng = seeded_rng(99)
         events = make_stream(hierarchy, rng, count=200)
         engine = scratch_engine(hierarchy, [], bound_mode="lift")
         ingestor = EventIngestor(engine, max_batch_events=10, window=30, compact_after=6)
@@ -168,14 +167,14 @@ class TestSingleEngineFuzz:
 
 class TestShardedFuzz:
     @pytest.mark.parametrize("num_shards", [1, 2, 4])
-    def test_sharded_streamed_matches_single_scratch(self, hierarchy, num_shards):
+    def test_sharded_streamed_matches_single_scratch(self, hierarchy, num_shards, seeded_rng):
         """Streamed sharded serving (cache on) == from-scratch single engine.
 
         This is the strongest cross-check: the streamed index diverges from
         scratch in tree tightness, the sharded merge reassembles partials,
         and the cache serves repeats -- results must still be identical.
         """
-        rng = random.Random(300 + num_shards)
+        rng = seeded_rng(300 + num_shards)
         events = make_stream(hierarchy, rng, count=220)
         dataset = TraceDataset(hierarchy, horizon=HORIZON)
         # Sized above the distinct partial-key count (entities x k values x
@@ -204,8 +203,8 @@ class TestShardedFuzz:
         assert_streamed_matches_scratch(sharded, scratch)
         assert sharded.query_cache.stats.hits > 0
 
-    def test_round_robin_partitioner_fuzz(self, hierarchy):
-        rng = random.Random(77)
+    def test_round_robin_partitioner_fuzz(self, hierarchy, seeded_rng):
+        rng = seeded_rng(77)
         events = make_stream(hierarchy, rng, count=150)
         dataset = TraceDataset(hierarchy, horizon=HORIZON)
         sharded = ShardedEngine(
