@@ -1,0 +1,232 @@
+"""Incremental kernel maintenance: delta-patch cost vs full recompile cost.
+
+The claim behind ``EngineConfig.incremental_recompile`` (the default): after
+a small mutation, splicing the touched entities into the compiled columnar
+arrays (:meth:`~repro.core.columnar.ColumnarTree.patch`) costs time
+proportional to the *delta*, while a full
+:meth:`~repro.core.columnar.ColumnarTree.compile` costs time proportional
+to the *dataset*.  Two sweeps pin it:
+
+1. **Delta sweep** -- patch latency vs delta size (1, 2, 8, 32 touched
+   entities) at a fixed dataset size, against the full-recompile cost of
+   the same index.
+2. **Dataset sweep** -- full-compile latency vs dataset size, with the
+   patch latency of a fixed 2-entity delta alongside: the compile cost
+   climbs with the dataset while the patch cost stays near-flat.
+
+Results go to the standard results directory and -- as the machine-readable
+trajectory document -- to ``BENCH_incremental.json`` at the repository
+root.  Acceptance bars (standalone exit code):
+
+* every measured patch is faster than the full recompile it replaces;
+* across the dataset sweep, full-compile cost grows faster than patch cost
+  (the "update cost tracks the delta, not the dataset" headline).
+
+``--smoke`` is the down-scaled CI variant: same document shape, lenient
+"patch is not slower" bar, written to
+``benchmarks/results/incremental_update_smoke.json`` so it can never
+clobber the committed repo-root trajectory.
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.core.columnar import ColumnarTree
+from repro.core.engine import TraceQueryEngine
+from repro.experiments.harness import ExperimentResult, resolve_scale
+from repro.experiments.workloads import syn_config
+from repro.traces.events import PresenceInstance
+from repro.mobility.hierarchical import generate_synthetic_dataset
+
+from conftest import RESULTS_DIR, benchmark_scale
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_incremental.json"
+RESULTS_JSON = RESULTS_DIR / "incremental_update.json"
+SMOKE_JSON = RESULTS_DIR / "incremental_update_smoke.json"
+
+DELTA_SWEEP = (1, 2, 8, 32)
+_ROUNDS = 5
+_FIXED_DELTA = 2  # entities touched per step of the dataset sweep
+
+
+def _build_engine(scale, num_entities=None):
+    overrides = {} if num_entities is None else {"num_entities": num_entities}
+    dataset, _config = generate_synthetic_dataset(syn_config(scale, **overrides))
+    return TraceQueryEngine(dataset, num_hashes=scale.default_hashes, seed=1).build()
+
+
+def _measure_patch_vs_compile(engine, delta_entities, rounds=_ROUNDS, clock=[100_000]):
+    """Best-of-``rounds`` (patch, full-compile) seconds for one delta size.
+
+    Each round starts from a *fresh* kernel, touches ``delta_entities``
+    entities with one appended event each, then times the patch and the
+    from-scratch compile of the identical post-mutation index.  Patches are
+    forced (``max_staleness=1.0``) so the large-delta points measure the
+    splice itself rather than the staleness fallback, and every patched
+    result is byte-checked against the fresh compile.
+    """
+    dataset = engine.dataset
+    units = dataset.hierarchy.base_units
+    population = sorted(dataset.entities)
+    best_patch = best_compile = float("inf")
+    for round_index in range(rounds):
+        base = ColumnarTree.compile(engine._tree, dataset)
+        touched = [
+            population[(round_index * delta_entities + offset) % len(population)]
+            for offset in range(delta_entities)
+        ]
+        # Distinct, ever-growing periods so appends never deduplicate.
+        clock[0] += 10
+        engine.add_records(
+            [
+                PresenceInstance(entity, units[index % len(units)], clock[0], clock[0] + 2)
+                for index, entity in enumerate(touched)
+            ]
+        )
+        started = time.perf_counter()
+        patched = base.patch(engine._tree, dataset, max_staleness=1.0)
+        patch_seconds = time.perf_counter() - started
+        if patched is None:
+            raise AssertionError(
+                f"patch declined for a {delta_entities}-entity delta -- benchmark aborted"
+            )
+        started = time.perf_counter()
+        fresh = ColumnarTree.compile(engine._tree, dataset)
+        compile_seconds = time.perf_counter() - started
+        patched_arrays = patched.export_arrays()
+        for name, array in fresh.export_arrays().items():
+            if array.tobytes() != patched_arrays[name].tobytes():
+                raise AssertionError(
+                    f"patched array {name!r} diverged from the fresh compile"
+                )
+        best_patch = min(best_patch, patch_seconds)
+        best_compile = min(best_compile, compile_seconds)
+    return best_patch, best_compile
+
+
+def run_incremental_update(scale=None, smoke=False) -> ExperimentResult:
+    scale = resolve_scale(scale)
+    result = ExperimentResult(
+        name="incremental update (delta patch vs full recompile)",
+        metadata={
+            "scale": scale.name,
+            "num_hashes": scale.default_hashes,
+            "smoke": smoke,
+        },
+    )
+
+    # -- Delta sweep at the scale's full dataset size. --------------------
+    engine = _build_engine(scale)
+    fixed_entities = len(engine.dataset.entities)
+    delta_rows = []
+    for delta in DELTA_SWEEP:
+        patch_seconds, compile_seconds = _measure_patch_vs_compile(engine, delta)
+        speedup = compile_seconds / patch_seconds if patch_seconds > 0 else float("inf")
+        row = {
+            "delta_entities": delta,
+            "patch_ms": patch_seconds * 1e3,
+            "full_compile_ms": compile_seconds * 1e3,
+            "speedup": speedup,
+        }
+        delta_rows.append(row)
+        result.add_row(phase="delta_sweep", num_entities=fixed_entities, **row)
+
+    # -- Dataset sweep with a fixed-size delta. ---------------------------
+    sizes = sorted(
+        {max(24, scale.num_entities // 4), scale.num_entities // 2, scale.num_entities}
+    )
+    dataset_rows = []
+    for size in sizes:
+        sized = _build_engine(scale, num_entities=size)
+        patch_seconds, compile_seconds = _measure_patch_vs_compile(sized, _FIXED_DELTA)
+        row = {
+            "num_entities": len(sized.dataset.entities),
+            "patch_ms": patch_seconds * 1e3,
+            "full_compile_ms": compile_seconds * 1e3,
+        }
+        dataset_rows.append(row)
+        result.add_row(phase="dataset_sweep", delta_entities=_FIXED_DELTA, **row)
+
+    # Growth from the smallest to the largest dataset: the full compile
+    # must climb faster than the fixed-delta patch.
+    compile_growth = dataset_rows[-1]["full_compile_ms"] / dataset_rows[0]["full_compile_ms"]
+    patch_growth = dataset_rows[-1]["patch_ms"] / dataset_rows[0]["patch_ms"]
+    delta_proportionality = compile_growth / patch_growth
+
+    document = {
+        "benchmark": "incremental_update",
+        "scale": scale.name,
+        "num_hashes": scale.default_hashes,
+        "delta_sweep": delta_rows,
+        "dataset_sweep": dataset_rows,
+        "targets": {
+            # Smoke (hosted runners) only asserts "patch is not slower";
+            # the committed trajectory must show a real win.
+            "patch_faster_than_recompile": {
+                "target": 1.0 if smoke else 2.0,
+                "measured": min(row["speedup"] for row in delta_rows),
+            },
+            "update_cost_tracks_delta_not_dataset": {
+                "target": 1.0,
+                "measured": delta_proportionality,
+            },
+        },
+    }
+    document["passed"] = all(
+        entry["measured"] >= entry["target"] for entry in document["targets"].values()
+    )
+    result.metadata["min_patch_speedup"] = document["targets"][
+        "patch_faster_than_recompile"
+    ]["measured"]
+    result.metadata["delta_proportionality"] = delta_proportionality
+    result.metadata["passed"] = document["passed"]
+    result.metadata["document"] = document
+    return result
+
+
+def _finalise(result: ExperimentResult) -> ExperimentResult:
+    print()
+    print(result.to_table(max_rows=30))
+    document = result.metadata.pop("document")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    result.save_json(RESULTS_JSON)
+    document_path = SMOKE_JSON if result.metadata["smoke"] else BENCH_JSON
+    with open(document_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {RESULTS_JSON}")
+    print(f"wrote {document_path}")
+    for name, entry in document["targets"].items():
+        print(f"{name}: {entry['measured']:.2f}x (target {entry['target']:.1f}x)")
+    return result
+
+
+def test_patch_cost_tracks_delta_not_dataset(benchmark):
+    """Pytest smoke: patches must not lose to the recompile they replace."""
+    result = benchmark.pedantic(
+        lambda: run_incremental_update(benchmark_scale(), smoke=True),
+        rounds=1,
+        iterations=1,
+    )
+    _finalise(result)
+    assert result.metadata["min_patch_speedup"] >= 1.0
+    assert result.metadata["delta_proportionality"] >= 1.0
+    assert SMOKE_JSON.exists()
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["tiny", "small", "medium"], default=None)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="down-scaled run with the lenient 'not slower' bar; writes the "
+        "document to the results directory instead of the repo root",
+    )
+    arguments = parser.parse_args()
+    scale_name = arguments.scale or ("tiny" if arguments.smoke else None)
+    outcome = _finalise(run_incremental_update(scale_name, smoke=arguments.smoke))
+    raise SystemExit(0 if outcome.metadata["passed"] else 1)

@@ -359,6 +359,30 @@ def build_parser() -> argparse.ArgumentParser:
         "see docs/SERVING.md)",
     )
     serve.add_argument(
+        "--wal",
+        default=None,
+        metavar="DIR",
+        help="write-ahead log directory: every flushed micro-batch is durably "
+        "logged before it mutates the index, and on start-up the log suffix "
+        "after the recovered state is replayed (see docs/DURABILITY.md)",
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent generation store directory for --workers (default: a "
+        "private temporary directory discarded on exit); on restart the daemon "
+        "recovers from the newest published generation, then replays the --wal "
+        "suffix",
+    )
+    serve.add_argument(
+        "--delta-limit",
+        type=int,
+        default=8,
+        help="consecutive delta generations published before a full snapshot "
+        "is forced (0 = publish every generation as a full snapshot; default 8)",
+    )
+    serve.add_argument(
         "--trace-sample",
         type=float,
         default=0.0,
@@ -369,6 +393,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_index_arguments(serve, defaults=False)
     _add_columnar_argument(serve)
+
+    wal = subparsers.add_parser(
+        "wal",
+        help="inspect or replay a serving write-ahead log (see docs/DURABILITY.md)",
+    )
+    wal_sub = wal.add_subparsers(dest="wal_command", required=True)
+
+    wal_inspect = wal_sub.add_parser(
+        "inspect",
+        help="scan the log's segments and report integrity and the replayable prefix",
+    )
+    wal_inspect.add_argument("directory", help="WAL directory to scan")
+    wal_inspect.add_argument(
+        "--json", action="store_true", help="print the full scan report as JSON"
+    )
+
+    wal_replay = wal_sub.add_parser(
+        "replay",
+        help="replay a WAL onto a snapshot and write the recovered snapshot",
+    )
+    wal_replay.add_argument("directory", help="WAL directory to replay")
+    wal_replay.add_argument(
+        "--snapshot",
+        required=True,
+        help="snapshot directory to recover from (replay starts after its recorded wal_seq)",
+    )
+    wal_replay.add_argument("--output", required=True, help="directory for the recovered snapshot")
+    wal_replay.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="ingest micro-batch size the crashed daemon ran with (default 256)",
+    )
+    wal_replay.add_argument(
+        "--window",
+        type=int,
+        default=0,
+        help="sliding-window length the crashed daemon ran with (0 = none)",
+    )
+    wal_replay.add_argument(
+        "--compact-every",
+        type=int,
+        default=0,
+        help="auto-compaction threshold the crashed daemon ran with (0 = never)",
+    )
 
     trace = subparsers.add_parser(
         "trace",
@@ -1160,6 +1229,48 @@ def _run_server(engine, args: argparse.Namespace) -> int:
         compact_after=args.compact_every,
     )
     workers = getattr(args, "workers", 0)
+    store_root = getattr(args, "store", None)
+
+    # Durability: recover state published before a crash, then replay the
+    # WAL suffix the crashed process had already acknowledged.  The engine
+    # resolved from --snapshot/--traces is the cold-start fallback; a
+    # persistent --store with published generations supersedes it.
+    wal = None
+    stream_state = None
+    if getattr(args, "wal", None):
+        from repro.server.recovery import recover_engine_from_store, replay_wal_into_engine
+        from repro.streaming.wal import WriteAheadLog
+
+        wal = WriteAheadLog(args.wal)
+        meta = {}
+        if workers and store_root:
+            recovered = recover_engine_from_store(store_root)
+            if recovered is not None:
+                engine, meta, generation = recovered
+                print(f"recovered generation {generation} from {store_root}", flush=True)
+        elif getattr(args, "snapshot", None):
+            from repro.storage.snapshot import SnapshotError, read_manifest
+
+            try:
+                meta = read_manifest(args.snapshot).get("extra") or {}
+            except SnapshotError:
+                meta = {}
+        summary, stream_state = replay_wal_into_engine(engine, wal, streaming, meta)
+        if summary.records:
+            print(
+                f"replayed {summary.records} WAL records ({summary.events} events) "
+                f"from {args.wal}, log position {summary.last_seq}",
+                flush=True,
+            )
+    elif workers and store_root:
+        from repro.server.recovery import recover_engine_from_store
+
+        recovered = recover_engine_from_store(store_root)
+        if recovered is not None:
+            engine, meta, generation = recovered
+            stream_state = meta.get("stream")
+            print(f"recovered generation {generation} from {store_root}", flush=True)
+
     if workers:
         from repro.server.frontend import FrontendServer
 
@@ -1171,7 +1282,11 @@ def _run_server(engine, args: argparse.Namespace) -> int:
                 coalesce_window=args.coalesce_window / 1000.0,
                 max_pending=args.max_pending,
                 max_batch=args.max_batch,
+                store_root=store_root,
                 trace_sample=args.trace_sample,
+                wal=wal,
+                stream_state=stream_state,
+                delta_limit=getattr(args, "delta_limit", 8),
             )
         except (OSError, RuntimeError) as exc:
             return _error(f"cannot start {workers} query workers: {exc}")
@@ -1183,6 +1298,8 @@ def _run_server(engine, args: argparse.Namespace) -> int:
             max_pending=args.max_pending,
             max_batch=args.max_batch,
             trace_sample=args.trace_sample,
+            wal=wal,
+            stream_state=stream_state,
         )
     try:
         httpd = build_http_server(server, host=args.host, port=args.port)
@@ -1238,6 +1355,81 @@ def _run_server(engine, args: argparse.Namespace) -> int:
         f"({coalescer.batches} coalesced batches), "
         f"{ingest.events_submitted} events ingested "
         f"({ingest.events_flushed} flushed, {ingest.events_buffered} buffered)"
+    )
+    return 0
+
+
+def _command_wal(args: argparse.Namespace) -> int:
+    if args.wal_command == "inspect":
+        return _command_wal_inspect(args)
+    return _command_wal_replay(args)
+
+
+def _command_wal_inspect(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.streaming.wal import scan_wal
+
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        return _error(f"{directory} is not a directory")
+    # Scan without opening the log for append: inspect must never modify it
+    # (repairing a torn tail is the restarting daemon's job).
+    report = scan_wal(directory)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 1 if report.corrupt else 0
+    print(f"write-ahead log {directory}")
+    print(
+        f"  replayable: {report.total_records} records, {report.total_events} events, "
+        f"last seq {report.last_seq}"
+    )
+    for segment in report.segments:
+        status = "ok" if segment.error is None else segment.error
+        print(
+            f"  {segment.path.name}: {segment.records} records, "
+            f"{segment.valid_bytes}/{segment.total_bytes} bytes valid ({status})"
+        )
+    if report.corrupt:
+        print("  log has an unreplayable suffix; a restarted daemon resumes after "
+              f"seq {report.last_seq}")
+        return 1
+    return 0
+
+
+def _command_wal_replay(args: argparse.Namespace) -> int:
+    from repro.server.recovery import replay_wal_into_engine
+    from repro.storage.snapshot import SnapshotError, read_manifest
+    from repro.streaming.ingestor import StreamingConfig
+    from repro.streaming.wal import WriteAheadLog
+
+    if args.batch_size < 1:
+        return _error(f"--batch-size must be >= 1, got {args.batch_size}")
+    if args.window < 0:
+        return _error(f"--window must be >= 0, got {args.window}")
+    if args.compact_every < 0:
+        return _error(f"--compact-every must be >= 0, got {args.compact_every}")
+    try:
+        manifest = read_manifest(args.snapshot)
+        engine = _load_snapshot_engine(args.snapshot)
+    except SnapshotError as exc:
+        return _error(str(exc))
+    meta = manifest.get("extra") or {}
+    wal = WriteAheadLog(args.directory)
+    streaming = StreamingConfig(
+        max_batch_events=args.batch_size,
+        window=args.window or None,
+        compact_after=args.compact_every,
+    )
+    summary, stream_state = replay_wal_into_engine(engine, wal, streaming, meta)
+    engine.save(
+        args.output,
+        extra_meta={"wal_seq": wal.last_seq, "stream": stream_state},
+    )
+    print(
+        f"replayed {summary.records} WAL records ({summary.events} events) "
+        f"starting after seq {int(meta.get('wal_seq', 0))}; recovered snapshot "
+        f"written to {args.output}"
     )
     return 0
 
@@ -1417,6 +1609,7 @@ _COMMANDS = {
     "index": _command_index,
     "stream": _command_stream,
     "serve": _command_serve,
+    "wal": _command_wal,
     "trace": _command_trace,
     "figures": _command_figures,
     "scenario": _command_scenario,

@@ -49,11 +49,30 @@ A compiled tree records the ``mutation_count`` of the tree and dataset it
 was built from and is recompiled lazily (on the next search) once either
 moved -- streaming flushes, expiries, and compactions therefore invalidate
 it automatically without touching the query API.
+
+Incremental maintenance
+-----------------------
+Recompiling from scratch costs time proportional to the whole dataset, which
+caps sustained ingest rates: a micro-batch touching three entities should
+not pay for three hundred thousand.  :meth:`ColumnarTree.patch` therefore
+rebuilds only what a mutation can change: the tree/node arrays are
+re-flattened (cheap pointer walking, no per-cell work), while the expensive
+entity×level membership CSR is spliced -- rows of untouched entities are
+reused from the stale arrays (translated through a vectorised cell-id
+remapping when the interned cell tables shifted) and only the *touched*
+entities, reported by the :class:`~repro.core.minsigtree.MinSigTree` and
+:class:`~repro.traces.dataset.TraceDataset` touch journals, are recomputed
+from their traces.  The patched arrays are byte-identical to a fresh
+:meth:`ColumnarTree.compile` -- cell interning is globally sorted per level,
+so ids never depend on discovery order -- and a staleness ratio above
+``max_staleness`` falls back to the full recompile (the compaction path;
+``compact()`` additionally resets the touch journals, forcing it).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -220,15 +239,16 @@ class ColumnarTree:
     # ------------------------------------------------------------------
     # Compilation
     # ------------------------------------------------------------------
-    @classmethod
-    def compile(cls, tree: MinSigTree, dataset: TraceDataset) -> "ColumnarTree":
-        """Flatten ``tree`` and ``dataset`` membership into a columnar kernel.
+    @staticmethod
+    def _flatten_structure(tree: MinSigTree) -> Tuple[List, Dict[str, np.ndarray], List[str]]:
+        """BFS-flatten the tree's node structure into parallel arrays.
 
-        Children are laid out in the exact order ``node.children.values()``
-        iterates them (the order the reference search pushes them), which is
-        what keeps heap tie-breaking identical.  Every indexed entity must
-        carry a trace in ``dataset`` -- the engine maintains that invariant
-        through every build/update/expiry path.
+        Shared by :meth:`compile` and :meth:`patch` so both produce exactly
+        the same node layout.  Children are laid out in the order
+        ``node.children.values()`` iterates them (the order the reference
+        search pushes them), which is what keeps heap tie-breaking
+        identical.  Returns the BFS node list, the structure arrays, and
+        the frozen leaf-entity order.
         """
         nodes = [tree.root]
         read = 0
@@ -267,51 +287,83 @@ class ColumnarTree:
                 entity_start[position] = len(entity_order)
                 entity_order.extend(node.entities)
                 entity_end[position] = len(entity_order)
+        arrays = {
+            "node_level": node_level,
+            "node_parent": node_parent,
+            "node_routing_index": node_routing_index,
+            "node_routing_value": node_routing_value,
+            "child_start": child_start,
+            "child_end": child_end,
+            "entity_start": entity_start,
+            "entity_end": entity_end,
+        }
+        return nodes, arrays, entity_order
+
+    @staticmethod
+    def _sorted_levels(
+        dataset: TraceDataset, entity: str, num_levels: int
+    ) -> List[List[STCell]]:
+        """The entity's per-level cells in sorted order (one list per level)."""
+        sequence = dataset.cell_sequence(entity)
+        if sequence.num_levels != num_levels:
+            raise ValueError(
+                f"entity {entity!r} has a {sequence.num_levels}-level sequence; "
+                f"the tree indexes {num_levels} levels"
+            )
+        return [sorted(cells) for cells in sequence.levels]
+
+    @classmethod
+    def compile(cls, tree: MinSigTree, dataset: TraceDataset) -> "ColumnarTree":
+        """Flatten ``tree`` and ``dataset`` membership into a columnar kernel.
+
+        Every indexed entity must carry a trace in ``dataset`` -- the engine
+        maintains that invariant through every build/update/expiry path.
+        Cells are interned per level in globally sorted order, so interned
+        ids depend only on the set of cells present -- never on discovery
+        order -- which is what lets :meth:`patch` splice updated membership
+        rows into stale arrays byte-identically.
+        """
+        nodes, structure, entity_order = cls._flatten_structure(tree)
 
         full_signatures: Optional[np.ndarray] = None
         if tree.store_full_signatures:
-            full_signatures = np.zeros((count, tree.num_hashes), dtype=np.int64)
+            full_signatures = np.zeros((len(nodes), tree.num_hashes), dtype=np.int64)
             for position, node in enumerate(nodes):
                 if node.full_signature is not None:
                     full_signatures[position] = node.full_signature
 
-        # Cell interning + membership rows, per level first (local ids)...
+        # Pass 1: gather each entity's sorted per-level cells and the
+        # distinct-cell universe of every level.
         num_levels = tree.num_levels
-        level_cells: List[List[STCell]] = [[] for _ in range(num_levels)]
-        local_index: List[Dict[STCell, int]] = [{} for _ in range(num_levels)]
-        entity_rows: List[List[np.ndarray]] = []
+        level_cell_sets: List[Set[STCell]] = [set() for _ in range(num_levels)]
+        entity_cells: List[List[List[STCell]]] = []
         for entity in entity_order:
-            sequence = dataset.cell_sequence(entity)
-            if sequence.num_levels != num_levels:
-                raise ValueError(
-                    f"entity {entity!r} has a {sequence.num_levels}-level sequence; "
-                    f"the tree indexes {num_levels} levels"
-                )
-            rows: List[np.ndarray] = []
-            for level_index, cells in enumerate(sequence.levels):
-                interned = local_index[level_index]
-                row = np.empty(len(cells), dtype=np.int64)
-                # Sorted iteration makes interned ids (and thus the compiled
-                # arrays) deterministic regardless of set-iteration order.
-                for slot, cell in enumerate(sorted(cells)):
-                    cell_id = interned.get(cell)
-                    if cell_id is None:
-                        cell_id = len(interned)
-                        interned[cell] = cell_id
-                        level_cells[level_index].append(cell)
-                    row[slot] = cell_id
-                rows.append(row)
-            entity_rows.append(rows)
+            per_level = cls._sorted_levels(dataset, entity, num_levels)
+            for level_index, ordered in enumerate(per_level):
+                level_cell_sets[level_index].update(ordered)
+            entity_cells.append(per_level)
+        # Globally sorted interning: ids are the sorted rank of each cell.
+        level_cells: List[List[STCell]] = [sorted(cells) for cells in level_cell_sets]
+        local_index: List[Dict[STCell, int]] = [
+            {cell: slot for slot, cell in enumerate(cells)} for cells in level_cells
+        ]
 
-        # ... then shifted into the combined id space and concatenated into
-        # one CSR with a segment per (entity, level).
+        # Pass 2: membership rows shifted into the combined id space and
+        # concatenated into one CSR with a segment per (entity, level).
         offsets = np.zeros(num_levels + 1, dtype=np.int64)
         np.cumsum([len(cells) for cells in level_cells], out=offsets[1:])
         segments: List[np.ndarray] = []
         lengths: List[int] = []
-        for rows in entity_rows:
-            for level_index, row in enumerate(rows):
-                segments.append(row + offsets[level_index])
+        for per_level in entity_cells:
+            for level_index, ordered in enumerate(per_level):
+                interned = local_index[level_index]
+                offset = int(offsets[level_index])
+                row = np.fromiter(
+                    (interned[cell] + offset for cell in ordered),
+                    dtype=np.int64,
+                    count=len(ordered),
+                )
+                segments.append(row)
                 lengths.append(row.size)
         member_indptr = np.zeros(len(entity_order) * num_levels + 1, dtype=np.int64)
         if lengths:
@@ -323,22 +375,203 @@ class ColumnarTree:
         compiled = cls(
             num_levels=num_levels,
             num_hashes=tree.num_hashes,
-            node_level=node_level,
-            node_parent=node_parent,
-            node_routing_index=node_routing_index,
-            node_routing_value=node_routing_value,
-            child_start=child_start,
-            child_end=child_end,
-            entity_start=entity_start,
-            entity_end=entity_end,
             entity_order=tuple(entity_order),
             level_cells=level_cells,
             member_indptr=member_indptr,
             member_indices=member_indices,
             node_full_signatures=full_signatures,
+            **structure,
         )
         compiled.stamp(tree, dataset)
         return compiled
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def patch(
+        self,
+        tree: MinSigTree,
+        dataset: TraceDataset,
+        max_staleness: float = 0.25,
+    ) -> Optional["ColumnarTree"]:
+        """A fresh compiled tree spliced from these (stale) arrays.
+
+        Consults the tree's and dataset's touch journals for the entities
+        mutated since :meth:`stamp`, re-flattens the node structure (cheap:
+        pointer walking only), recomputes membership rows for the touched
+        entities alone, and splices everything else from the existing
+        arrays -- translating cell ids through a vectorised remapping when
+        the interned tables shifted.  The result is **byte-identical** to
+        ``ColumnarTree.compile(tree, dataset)`` at a cost proportional to
+        the delta, not the dataset.
+
+        Returns ``None`` -- the caller falls back to a full recompile --
+        when the patch cannot be both cheap and exact:
+
+        * the arrays were stamped against a different tree/dataset object;
+        * a journal cannot answer (its floor moved past our stamp, e.g.
+          after ``rebuild()``/``compact()`` -- the designated compaction
+          path -- or a journal overflow);
+        * more than ``max_staleness`` of the population was touched (the
+          staleness ratio: beyond it a full recompile is cheaper anyway);
+        * full group-level signatures are stored (the ablation path stays
+          on the full recompile).
+        """
+        if self._tree_ref is not tree or self._dataset_ref is not dataset:
+            return None
+        if self.matches(tree, dataset):
+            return self
+        if tree.store_full_signatures or self.node_full_signatures is not None:
+            return None
+        touched_tree = tree.touched_entities_since(self._tree_mutation)
+        touched_data = dataset.touched_entities_since(self._dataset_mutation)
+        if touched_tree is None or touched_data is None:
+            return None
+        touched = touched_tree | touched_data
+        population = max(len(self.entity_order), 1)
+        if len(touched) > max_staleness * population:
+            return None
+
+        _nodes, structure, entity_order = self._flatten_structure(tree)
+        num_levels = self.num_levels
+        old_position = {entity: slot for slot, entity in enumerate(self.entity_order)}
+        new_present = set(entity_order)
+        # Journal sanity: every appearance/disappearance must be accounted
+        # for, otherwise the splice below would silently reuse wrong rows.
+        if not (new_present.symmetric_difference(old_position)) <= touched:
+            return None
+
+        # Reference counts of every interned cell across current rows:
+        # derived (one bincount), never stored, so patched trees carry no
+        # extra state and snapshots are unaffected.
+        counts = np.bincount(self.member_indices, minlength=self.num_cells)
+        indptr = self.member_indptr
+        drop_segments = [
+            self.member_indices[indptr[old_position[e] * num_levels] : indptr[(old_position[e] + 1) * num_levels]]
+            for e in touched
+            if e in old_position
+        ]
+        if drop_segments:
+            np.subtract.at(counts, np.concatenate(drop_segments), 1)
+
+        # Fresh rows for the touched entities still present, counting their
+        # cells back in; cells absent from the old tables are additions.
+        new_rows: Dict[str, List[List[STCell]]] = {}
+        extra: List[Dict[STCell, int]] = [defaultdict(int) for _ in range(num_levels)]
+        for entity in touched:
+            if entity not in new_present:
+                continue
+            per_level = self._sorted_levels(dataset, entity, num_levels)
+            new_rows[entity] = per_level
+            for level_index, ordered in enumerate(per_level):
+                interned = self.level_cell_index[level_index]
+                for cell in ordered:
+                    cell_id = interned.get(cell)
+                    if cell_id is None:
+                        extra[level_index][cell] += 1
+                    else:
+                        counts[cell_id] += 1
+        if (counts < 0).any():
+            return None  # journal under-reported: stay exact, recompile
+
+        # New per-level cell tables: survivors (old sorted order, minus the
+        # cells whose count hit zero) merged with the sorted additions.
+        # ``translate`` maps old combined ids to new ones (-1 = dead cell);
+        # ``added_index`` maps each genuinely new cell to its combined id.
+        new_level_cells: List[List[STCell]] = []
+        translate = np.full(self.num_cells, -1, dtype=np.int64)
+        added_index: List[Dict[STCell, int]] = []
+        new_offset = 0
+        for level_index in range(num_levels):
+            old_cells = self.level_cells[level_index]
+            base = int(self.level_cell_offset[level_index])
+            survivors = counts[base : base + len(old_cells)] > 0
+            additions = sorted(extra[level_index])
+            added: Dict[STCell, int] = {}
+            if not additions and survivors.all():
+                merged = old_cells
+                translate[base : base + len(old_cells)] = np.arange(
+                    new_offset, new_offset + len(old_cells), dtype=np.int64
+                )
+            else:
+                merged = []
+                slot = 0
+                i = 0
+                j = 0
+                while i < len(old_cells) or j < len(additions):
+                    if i < len(old_cells) and not survivors[i]:
+                        i += 1
+                        continue
+                    if j >= len(additions) or (
+                        i < len(old_cells) and old_cells[i] < additions[j]
+                    ):
+                        merged.append(old_cells[i])
+                        translate[base + i] = new_offset + slot
+                        i += 1
+                    else:
+                        merged.append(additions[j])
+                        added[additions[j]] = new_offset + slot
+                        j += 1
+                    slot += 1
+            new_level_cells.append(list(merged) if merged is old_cells else merged)
+            added_index.append(added)
+            new_offset += len(merged)
+
+        # Splice the CSR in the new entity order: untouched entities reuse
+        # their old rows (all m level segments are contiguous per entity,
+        # so each is one translated slice); touched entities get their
+        # freshly computed rows.
+        translated = (
+            translate[self.member_indices]
+            if self.member_indices.size
+            else np.empty(0, dtype=np.int64)
+        )
+        sizes_old = self.entity_level_sizes
+        segment_parts: List[np.ndarray] = []
+        length_parts: List[np.ndarray] = []
+        for entity in entity_order:
+            per_level = new_rows.get(entity)
+            if per_level is None:
+                slot = old_position[entity]
+                start = indptr[slot * num_levels]
+                stop = indptr[(slot + 1) * num_levels]
+                segment_parts.append(translated[start:stop])
+                length_parts.append(sizes_old[slot])
+            else:
+                row_lengths = np.empty(num_levels, dtype=np.int64)
+                for level_index, ordered in enumerate(per_level):
+                    old_interned = self.level_cell_index[level_index]
+                    added = added_index[level_index]
+                    row = np.empty(len(ordered), dtype=np.int64)
+                    for position, cell in enumerate(ordered):
+                        cell_id = old_interned.get(cell)
+                        row[position] = (
+                            translate[cell_id] if cell_id is not None else added[cell]
+                        )
+                    segment_parts.append(row)
+                    row_lengths[level_index] = len(ordered)
+                length_parts.append(row_lengths)
+        member_indptr = np.zeros(len(entity_order) * num_levels + 1, dtype=np.int64)
+        if length_parts:
+            np.cumsum(np.concatenate(length_parts), out=member_indptr[1:])
+        member_indices = (
+            np.concatenate(segment_parts)
+            if segment_parts and member_indptr[-1]
+            else np.empty(0, dtype=np.int64)
+        )
+
+        patched = type(self)(
+            num_levels=num_levels,
+            num_hashes=self.num_hashes,
+            entity_order=tuple(entity_order),
+            level_cells=new_level_cells,
+            member_indptr=member_indptr,
+            member_indices=member_indices,
+            node_full_signatures=None,
+            **structure,
+        )
+        patched.stamp(tree, dataset)
+        return patched
 
     def stamp(self, tree: MinSigTree, dataset: TraceDataset) -> None:
         """Record the tree/dataset state these arrays are valid for."""

@@ -156,6 +156,13 @@ class EngineConfig:
         a performance knob only, excluded from the fingerprint like the
         other ones.  The compiled arrays are persisted in snapshots and
         recompiled lazily after any index or data mutation.
+    incremental_recompile:
+        After mutations, patch the compiled columnar arrays in place for the
+        touched entities instead of recompiling the whole kernel (default).
+        The patched arrays are byte-identical to a from-scratch compile, so
+        this is a performance knob only, excluded from the fingerprint; a
+        staleness threshold falls back to a full recompile when too much of
+        the index changed (see :meth:`repro.core.columnar.ColumnarTree.patch`).
 
     Example
     -------
@@ -183,6 +190,7 @@ class EngineConfig:
     batch_workers: int = 0
     query_cache_size: int = 0
     columnar_queries: bool = True
+    incremental_recompile: bool = True
 
     def __post_init__(self) -> None:
         if self.num_hashes < 1:
@@ -200,8 +208,9 @@ class EngineConfig:
         """The fields that determine index contents and query results.
 
         Performance knobs (``bulk_signatures``, ``batch_workers``,
-        ``query_cache_size``, ``columnar_queries``) are excluded: they
-        change wall-clock time, never a signature or a result.
+        ``query_cache_size``, ``columnar_queries``,
+        ``incremental_recompile``) are excluded: they change wall-clock
+        time, never a signature or a result.
         """
         return {
             "num_hashes": self.num_hashes,
@@ -377,6 +386,7 @@ class TraceQueryEngine:
             use_full_signatures=self.config.use_full_signatures,
             bound_mode=self.config.bound_mode,
             columnar=self.config.columnar_queries,
+            incremental=self.config.incremental_recompile,
         )
         self.last_build_seconds = time.perf_counter() - started
         self._invalidate_query_cache()
@@ -402,6 +412,7 @@ class TraceQueryEngine:
             use_full_signatures=self.config.use_full_signatures,
             bound_mode=self.config.bound_mode,
             columnar=self.config.columnar_queries,
+            incremental=self.config.incremental_recompile,
         )
         # Re-adopting the same tree (e.g. the sharded hash-family sharing
         # pass) must not throw away an already-compiled columnar kernel or
@@ -413,13 +424,15 @@ class TraceQueryEngine:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: PathLike) -> Path:
+    def save(self, path: PathLike, extra_meta: Optional[Dict[str, object]] = None) -> Path:
         """Write the built index (and dataset) to a snapshot directory.
 
         See :mod:`repro.storage.snapshot` for the format; the snapshot can
         be restored with :meth:`load` in another process without re-signing.
         Saves are staged and swapped in atomically, so a crash mid-save
-        never leaves a half-written snapshot behind.
+        never leaves a half-written snapshot behind.  ``extra_meta`` is an
+        optional JSON-serialisable dict stored verbatim in the manifest
+        (the serving tier's WAL position lives there).
 
         Example
         -------
@@ -437,7 +450,7 @@ class TraceQueryEngine:
         """
         from repro.storage.snapshot import save_engine_snapshot
 
-        return save_engine_snapshot(self, path)
+        return save_engine_snapshot(self, path, extra_meta=extra_meta)
 
     @classmethod
     def load(
@@ -803,7 +816,12 @@ class TraceQueryEngine:
         """
         self._require_built()
         assert self._tree is not None
+        assert self._searcher is not None
         self._tree.rebuild()
+        # Compaction pays for the one full kernel recompile itself, so the
+        # first query afterwards is served from an already-fresh kernel
+        # instead of compiling again on the query path.
+        self._searcher.refresh_compiled()
         self._invalidate_query_cache()
         return self
 

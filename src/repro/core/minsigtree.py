@@ -124,6 +124,13 @@ class MinSigTree:
         #: value its flattened arrays were compiled at and recompiles
         #: lazily when it moved.
         self.mutation_count: int = 0
+        # Touch journal: entity -> mutation_count at its last insert/remove.
+        # ``touched_entities_since`` answers "what changed since count c" for
+        # the columnar kernel's incremental patch; ``_touched_floor`` marks
+        # the oldest count the journal still covers (rebuild resets it, so
+        # consumers stamped before a rebuild fall back to a full recompile).
+        self._touched: Dict[str, int] = {}
+        self._touched_floor: int = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -173,6 +180,7 @@ class MinSigTree:
             raise ValueError(f"entity {entity!r} is already indexed; use update()")
         matrix = self._validate_matrix(entity, signature_matrix)
         self.mutation_count += 1
+        self._record_touch(entity)
         node = self.root
         for level in range(1, self.num_levels + 1):
             row = matrix[level - 1]
@@ -218,6 +226,7 @@ class MinSigTree:
         if leaf is None:
             raise KeyError(f"entity {entity!r} is not indexed")
         self.mutation_count += 1
+        self._record_touch(entity)
         del self._signatures[entity]
         leaf.entities.remove(entity)
         node: Optional[MinSigTreeNode] = leaf
@@ -257,6 +266,38 @@ class MinSigTree:
         self.loose_operations = 0
         for entity, matrix in signatures.items():
             self.insert(entity, matrix)
+        # A rebuild touches everything: reset the journal and raise its
+        # floor, so kernels compiled before it take the full-recompile
+        # (compaction) path instead of patching the whole population.
+        self._touched.clear()
+        self._touched_floor = self.mutation_count
+
+    def _record_touch(self, entity: str) -> None:
+        self._touched[entity] = self.mutation_count
+        # Overflow valve: a journal much larger than the population costs
+        # more to scan than the fallback it enables saves.  Resetting the
+        # floor makes older consumers recompile once, which is always safe.
+        if len(self._touched) > max(1024, 4 * len(self._signatures)):
+            self._touched.clear()
+            self._touched_floor = self.mutation_count
+
+    def touched_entities_since(self, mutation_count: int) -> Optional[set]:
+        """Entities inserted or removed after ``mutation_count``.
+
+        Answers from the touch journal; returns ``None`` when the journal
+        no longer reaches back that far (the count predates a
+        :meth:`rebuild` or an overflow reset), in which case callers must
+        treat *every* entity as potentially touched.
+        """
+        if mutation_count < self._touched_floor:
+            return None
+        if mutation_count >= self.mutation_count:
+            return set()
+        return {
+            entity
+            for entity, touched_at in self._touched.items()
+            if touched_at > mutation_count
+        }
 
     # ------------------------------------------------------------------
     # Structure export / import (the snapshot codec)

@@ -263,6 +263,7 @@ class TopKSearcher:
         use_full_signatures: bool = False,
         bound_mode: str = "lift",
         columnar: bool = True,
+        incremental: bool = True,
     ) -> None:
         if bound_mode not in ("lift", "per_level"):
             raise ValueError(f"unknown bound mode {bound_mode!r}")
@@ -273,6 +274,15 @@ class TopKSearcher:
         self.use_full_signatures = use_full_signatures
         self.bound_mode = bound_mode
         self.columnar = bool(columnar)
+        #: Patch a stale compiled kernel incrementally (splicing only the
+        #: touched entities' rows -- see :meth:`ColumnarTree.patch`) instead
+        #: of always recompiling from scratch.  Byte-identical either way;
+        #: a performance knob only.
+        self.incremental = bool(incremental)
+        #: Full from-scratch kernel compiles performed by this searcher.
+        self.kernel_compiles = 0
+        #: Incremental kernel patches performed by this searcher.
+        self.kernel_patches = 0
         self._compiled: Optional[ColumnarTree] = None
         self._compiled_loader: Optional[Callable[[], Optional[ColumnarTree]]] = None
         # Serialises (re)compilation so a parallel batch hitting a stale
@@ -286,9 +296,13 @@ class TopKSearcher:
         Returns ``None`` when the columnar kernel is disabled.  A compiled
         tree is reused until the MinSigTree or the dataset mutates (their
         ``mutation_count`` moved) -- streaming flushes, expiries, and
-        compactions therefore trigger a recompile on the next search.  A
+        compactions therefore trigger a refresh on the next search.  A
         deferred snapshot loader (see :meth:`adopt_compiled_loader`) is
-        consulted once before compiling from scratch.
+        consulted first; then, with :attr:`incremental` on, a stale kernel
+        is patched in place of the touched entities
+        (:meth:`ColumnarTree.patch` -- byte-identical to a fresh compile at
+        delta-proportional cost); a full from-scratch compile is the
+        fallback whenever neither applies.
         """
         if not self.columnar:
             return None
@@ -298,18 +312,40 @@ class TopKSearcher:
         with self._compile_lock:
             # Double-checked: a concurrent searcher may have finished the
             # (re)compile while this thread waited for the lock.
-            compiled = self._compiled
-            if compiled is not None and compiled.matches(self.tree, self.dataset):
-                return compiled
+            stale = self._compiled
+            if stale is not None and stale.matches(self.tree, self.dataset):
+                return stale
             compiled = None
             loader = self._compiled_loader
             if loader is not None:
                 self._compiled_loader = None
                 compiled = loader()
-            if compiled is None or not compiled.matches(self.tree, self.dataset):
+                if compiled is not None and not compiled.matches(self.tree, self.dataset):
+                    # A stale snapshot payload can still seed the patch path.
+                    stale = compiled
+                    compiled = None
+            if compiled is None and stale is not None and self.incremental:
+                compiled = stale.patch(self.tree, self.dataset)
+                if compiled is not None:
+                    self.kernel_patches += 1
+            if compiled is None:
                 compiled = ColumnarTree.compile(self.tree, self.dataset)
+                self.kernel_compiles += 1
             self._compiled = compiled
             return compiled
+
+    def refresh_compiled(self) -> Optional[ColumnarTree]:
+        """Bring the compiled kernel up to date *now*, off the query path.
+
+        ``engine.compact()`` calls this right after rebuilding the tree, so
+        the compaction -- the designated full-rebuild path -- pays the one
+        recompile itself and the first query afterwards starts instantly
+        (no second full pass when no mutations intervened).  A no-op when
+        the columnar kernel is disabled.
+        """
+        if not self.columnar:
+            return None
+        return self.compiled_tree()
 
     def carry_compiled_from(self, previous: "TopKSearcher") -> None:
         """Inherit a predecessor searcher's compiled state over the same tree.
@@ -322,9 +358,10 @@ class TopKSearcher:
         """
         if previous.tree is not self.tree:
             return
-        if previous._compiled is not None and previous._compiled.matches(
-            self.tree, self.dataset
-        ):
+        if previous._compiled is not None:
+            # Even a stale kernel is worth carrying: compiled_tree()
+            # revalidates, and with `incremental` on it seeds the patch
+            # path instead of forcing a from-scratch compile.
             self._compiled = previous._compiled
         self._compiled_loader = previous._compiled_loader
 

@@ -102,6 +102,16 @@ class TraceServer:
     tracer:
         Optional pre-built :class:`repro.obs.trace.Tracer`; overrides
         ``trace_sample`` (used by tests to control sampling seeds).
+    wal:
+        Optional :class:`~repro.streaming.wal.WriteAheadLog` the embedded
+        ingestor appends every micro-batch to before flushing it, making
+        accepted events crash-durable (``repro serve --wal``; see
+        ``docs/DURABILITY.md``).
+    stream_state:
+        Optional recovered stream state (the dict of
+        :meth:`~repro.streaming.EventIngestor.stream_state`) seeding the
+        ingestor's watermark and window position, so a restarted server
+        continues exactly where the recovered WAL ends.
     """
 
     def __init__(
@@ -113,6 +123,8 @@ class TraceServer:
         max_batch: int = 64,
         trace_sample: float = 0.0,
         tracer: Optional[Tracer] = None,
+        wal=None,
+        stream_state: Optional[Dict[str, object]] = None,
     ) -> None:
         if not engine.is_built:
             raise ValueError("TraceServer requires a built engine")
@@ -121,7 +133,13 @@ class TraceServer:
         #: appends, flushes, and stats reads that touch engine state.
         self.engine_lock = threading.RLock()
         self.metrics = ServerMetrics()
-        self.ingestor = EventIngestor(engine, config=streaming)
+        self.ingestor = EventIngestor(engine, config=streaming, wal=wal)
+        if stream_state:
+            self.ingestor.restore_stream_state(
+                watermark=int(stream_state.get("watermark", 0)),
+                window_cutoff=stream_state.get("window_cutoff"),
+                window_churn=int(stream_state.get("window_churn", 0)),
+            )
         self.coalescer = RequestCoalescer(
             engine,
             self.engine_lock,

@@ -45,7 +45,7 @@ from repro.obs.trace import SpanContext
 from repro.server import protocol
 from repro.server.app import TraceServer
 from repro.server.coalescer import QueueFullError, RequestCoalescer
-from repro.server.generation import GenerationStore
+from repro.server.generation import DELTA_CHAIN_LIMIT, GenerationStore, SnapshotDelta
 from repro.server.workers import recv_frame, send_frame
 from repro.streaming.ingestor import StreamingConfig
 
@@ -472,9 +472,11 @@ class FrontendServer:
     and the CLI wrap it unchanged.  The embedded :class:`TraceServer` is the
     write owner; queries go to the worker pool.
 
-    Parameters mirror ``TraceServer`` plus ``workers`` (process count) and
+    Parameters mirror ``TraceServer`` plus ``workers`` (process count),
     ``store_root`` (generation store directory; a private temporary
-    directory, removed on close, when not given).
+    directory, removed on close, when not given), and ``delta_limit``
+    (delta-chain length before a full snapshot is forced; ``0`` publishes
+    every generation full).
     """
 
     def __init__(
@@ -488,6 +490,9 @@ class FrontendServer:
         store_root: Optional[os.PathLike] = None,
         startup_timeout: float = 60.0,
         trace_sample: float = 0.0,
+        wal=None,
+        stream_state: Optional[Dict[str, object]] = None,
+        delta_limit: int = DELTA_CHAIN_LIMIT,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -504,6 +509,8 @@ class FrontendServer:
             max_pending=max_pending,
             max_batch=max_batch,
             trace_sample=trace_sample,
+            wal=wal,
+            stream_state=stream_state,
         )
         self.engine = engine
         self.engine_lock = self.owner.engine_lock
@@ -514,13 +521,13 @@ class FrontendServer:
         #: and slow-query log.
         self.tracer = self.owner.tracer
         self.started_at = self.owner.started_at
-        self.store = GenerationStore(root)
+        self.store = GenerationStore(root, delta_limit=delta_limit)
         self._closed = False
         try:
             # Initial generation: the engine as loaded, before any stream
             # write, so workers have something to adopt at spawn.
             with self.engine_lock:
-                self.store.publish(engine)
+                self.store.publish(engine, extra_meta=self._durability_meta())
             self.ingestor.add_flush_hook(self._publish_after_flush)
             self.pool = WorkerPool(root, workers, startup_timeout=startup_timeout)
             self.coalescer = RequestCoalescer(
@@ -542,6 +549,20 @@ class FrontendServer:
     # ------------------------------------------------------------------
     # Generation publishing (owner side)
     # ------------------------------------------------------------------
+    def _durability_meta(self) -> Dict[str, object]:
+        """WAL position and stream state stamped into every publish.
+
+        Crash recovery restores the newest generation, seeds the stream
+        state, and replays WAL records with ``seq`` greater than
+        ``wal_seq`` -- see :func:`repro.server.recovery.replay_wal_into_engine`
+        and ``docs/DURABILITY.md``.
+        """
+        wal = self.ingestor.wal
+        return {
+            "wal_seq": wal.last_seq if wal is not None else 0,
+            "stream": self.ingestor.stream_state(),
+        }
+
     def _publish_after_flush(self, report) -> None:
         """Flush hook: publish a generation when the flush changed the index.
 
@@ -550,6 +571,13 @@ class FrontendServer:
         response is written is what makes a client's read-your-write
         sequential: by the time the client learns its flush happened, every
         worker adopting at the next request boundary sees it.
+
+        Index-changing flushes publish a *delta* generation when the chain
+        allows it -- the flush's own operations as a small JSON document --
+        and a full snapshot otherwise (every
+        :data:`~repro.server.generation.DELTA_CHAIN_LIMIT` deltas, or when
+        the report cannot describe the change).  Workers standing on the
+        chain catch up in place; see :mod:`repro.server.generation`.
         """
         changed = (
             report.events
@@ -561,7 +589,14 @@ class FrontendServer:
         # publish too -- the newest generation always holds every accepted
         # write (the clean-drain guarantee the CI smoke checks).
         if changed:
-            self.store.publish(self.engine)
+            delta = SnapshotDelta(
+                events=list(report.appended),
+                cutoff=report.cutoff,
+                compacted=bool(report.compacted),
+            )
+            self.store.publish_update(
+                self.engine, delta=delta, extra_meta=self._durability_meta()
+            )
 
     # ------------------------------------------------------------------
     # Endpoint handlers (same surface as TraceServer)

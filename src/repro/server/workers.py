@@ -55,6 +55,7 @@ from typing import Dict, List, Optional
 from repro.obs.trace import ActiveTrace
 from repro.server import protocol
 from repro.server.generation import GenerationStore
+from repro.storage.snapshot import SnapshotError
 
 __all__ = ["QueryWorker", "main", "recv_frame", "send_frame"]
 
@@ -148,7 +149,23 @@ class QueryWorker:
         Called before computing every reply (the request-boundary adoption
         the consistency model promises) and once at start-up, where it
         blocks until the owner's initial publish appears.
+
+        When the newer generation is a delta on the chain this worker
+        already stands on, the missing delta documents are applied to the
+        loaded engine in place (:meth:`GenerationStore.catch_up`) -- one
+        flush's operations plus an incremental kernel patch instead of a
+        full snapshot reload.  Any chain discontinuity (a fresh full
+        snapshot, a pruned chain, an unreadable delta) falls back to the
+        full load path.
         """
+        if self.engine is not None:
+            try:
+                caught_up = self.store.catch_up(self.engine, self.generation)
+            except SnapshotError:
+                caught_up = None
+            if caught_up is not None:
+                self.generation = caught_up
+                return
         loaded = self.store.load_current(newer_than=self.generation, timeout=timeout)
         if loaded is not None:
             self.generation, self.engine = loaded

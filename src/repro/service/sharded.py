@@ -616,12 +616,14 @@ class ShardedEngine:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: PathLike) -> Path:
+    def save(self, path: PathLike, extra_meta: Optional[Dict[str, object]] = None) -> Path:
         """Write per-shard snapshots plus a routing manifest; returns the dir.
 
         Layout: ``manifest.json`` (format, shard count, partitioner state)
         and one engine snapshot per shard under ``shard-00/``, ``shard-01``,
-        ...  Restorable with :meth:`load` in another process.
+        ...  Restorable with :meth:`load` in another process.  ``extra_meta``
+        is stored verbatim under the manifest's ``"extra"`` key, mirroring
+        :func:`repro.storage.snapshot.save_engine_snapshot`.
         """
         self._require_built()
         # Fail on an unserializable measure before any I/O happens.
@@ -651,6 +653,8 @@ class ShardedEngine:
                 },
                 "fingerprint": self.config.fingerprint(),
             }
+            if extra_meta is not None:
+                manifest["extra"] = dict(extra_meta)
             with open(directory / _MANIFEST_NAME, "w", encoding="utf-8") as handle:
                 json.dump(manifest, handle, indent=2)
         return final

@@ -239,25 +239,38 @@ def index_fingerprint(
 # ----------------------------------------------------------------------
 # Save
 # ----------------------------------------------------------------------
-def save_engine_snapshot(engine: TraceQueryEngine, path: PathLike) -> Path:
+def save_engine_snapshot(
+    engine: TraceQueryEngine,
+    path: PathLike,
+    extra_meta: Optional[Dict[str, object]] = None,
+) -> Path:
     """Write a built engine to a snapshot directory; returns the directory.
 
     The write is staged and swapped into place atomically on success (see
     :func:`snapshot_staging`): an existing snapshot is overwritten, a
     non-snapshot directory is refused, and a failed save leaves whatever
     was there before untouched.
+
+    ``extra_meta`` (a JSON-serialisable dict) is stored verbatim under the
+    manifest's ``"extra"`` key -- opaque to the loader, readable via
+    :func:`read_manifest`.  The serving tier stamps its WAL position and
+    stream state there so crash recovery knows where replay must resume
+    (see :mod:`repro.streaming.wal`).
     """
     if not engine.is_built:
         raise SnapshotError("cannot snapshot an engine before build(); call build() first")
     measure_payload = _measure_payload(engine.measure)
     final = Path(path)
     with snapshot_staging(final) as directory:
-        _write_engine_snapshot(engine, directory, measure_payload)
+        _write_engine_snapshot(engine, directory, measure_payload, extra_meta)
     return final
 
 
 def _write_engine_snapshot(
-    engine: TraceQueryEngine, directory: Path, measure_payload: Dict[str, object]
+    engine: TraceQueryEngine,
+    directory: Path,
+    measure_payload: Dict[str, object],
+    extra_meta: Optional[Dict[str, object]] = None,
 ) -> None:
     """Write every snapshot artifact of ``engine`` into ``directory``."""
     dataset = engine.dataset
@@ -369,6 +382,8 @@ def _write_engine_snapshot(
         },
         "fingerprint": index_fingerprint(engine.config, measure_payload, hash_family_meta),
     }
+    if extra_meta is not None:
+        manifest["extra"] = dict(extra_meta)
     with open(directory / _MANIFEST_NAME, "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2)
 

@@ -17,7 +17,11 @@ Three pieces compose, smallest to largest:
   advancing the window at every flush (:mod:`repro.streaming.ingestor`);
 * :func:`replay_events` -- drives an event log through an ingestor at a
   target rate with interleaved top-k queries, which is what the ``repro
-  stream`` CLI mode runs (:mod:`repro.streaming.replay`).
+  stream`` CLI mode runs (:mod:`repro.streaming.replay`);
+* :class:`WriteAheadLog` -- a checksummed, segmented durable log the
+  ingestor appends every micro-batch to *before* it mutates the engine, so
+  a crashed process replays the acknowledged suffix of the stream instead
+  of losing it (:mod:`repro.streaming.wal`, ``docs/DURABILITY.md``).
 
 Everything works identically over a :class:`~repro.core.engine.TraceQueryEngine`
 and a :class:`~repro.service.sharded.ShardedEngine` -- both expose the same
@@ -35,6 +39,14 @@ horizon (exactly, under an admissible bound; see ``docs/ARCHITECTURE.md``).
 from repro.core.engine import ExpiryReport
 from repro.streaming.ingestor import EventIngestor, FlushReport, IngestStats, StreamingConfig
 from repro.streaming.replay import ReplayReport, read_event_log, replay_events
+from repro.streaming.wal import (
+    ReplaySummary,
+    WalRecord,
+    WalScanReport,
+    WriteAheadLog,
+    replay_into,
+    scan_wal,
+)
 from repro.streaming.window import SlidingWindow, WindowStats
 
 __all__ = [
@@ -43,9 +55,15 @@ __all__ = [
     "FlushReport",
     "IngestStats",
     "ReplayReport",
+    "ReplaySummary",
     "SlidingWindow",
     "StreamingConfig",
+    "WalRecord",
+    "WalScanReport",
     "WindowStats",
+    "WriteAheadLog",
     "read_event_log",
     "replay_events",
+    "replay_into",
+    "scan_wal",
 ]

@@ -20,11 +20,14 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
 
 from repro.core.engine import ExpiryReport
 from repro.streaming.window import SlidingWindow, StreamingEngine
 from repro.traces.events import PresenceInstance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.streaming.wal import WriteAheadLog
 
 __all__ = ["EventIngestor", "FlushReport", "IngestStats", "StreamingConfig"]
 
@@ -70,9 +73,17 @@ class FlushReport:
     events: int = 0
     #: Entities re-signed or inserted by the append, in first-seen order.
     affected_entities: List[str] = field(default_factory=list)
+    #: The appended events themselves (post late-filter, submission order).
+    #: The serving front-end turns these into a delta generation -- together
+    #: with :attr:`cutoff` and :attr:`compacted` they describe the flush's
+    #: engine mutations completely (see
+    #: :class:`repro.server.generation.SnapshotDelta`).
+    appended: List[PresenceInstance] = field(default_factory=list)
     #: Buffered events discarded instead of appended because their period
     #: already lies outside the sliding window (late arrivals).
     dropped_late: int = 0
+    #: The expiry cutoff this flush applied, ``None`` when no expiry ran.
+    cutoff: Optional[int] = None
     #: The expiry triggered by the watermark advance, if any.
     expiry: Optional[ExpiryReport] = None
     #: Whether a compaction ran as part of this flush.
@@ -167,6 +178,7 @@ class EventIngestor:
         self,
         engine: StreamingEngine,
         config: Optional[StreamingConfig] = None,
+        wal: Optional["WriteAheadLog"] = None,
         **overrides: object,
     ) -> None:
         if config is None:
@@ -179,6 +191,11 @@ class EventIngestor:
             config = dataclasses.replace(config, **overrides)
         self.engine = engine
         self.config = config
+        #: Optional :class:`~repro.streaming.wal.WriteAheadLog`; when set,
+        #: every flush durably appends its raw buffer *before* touching the
+        #: engine, so a crashed process can replay the suffix of the stream
+        #: it had already acknowledged (see :mod:`repro.streaming.wal`).
+        self.wal = wal
         self.window = SlidingWindow(
             engine, length=config.window, compact_after=config.compact_after
         )
@@ -238,6 +255,65 @@ class EventIngestor:
                 reports.append(report)
         return reports
 
+    def ingest_batch(
+        self,
+        events: Iterable[PresenceInstance],
+        watermark: Optional[int] = None,
+    ) -> FlushReport:
+        """Buffer ``events`` and flush them as *one* micro-batch.
+
+        This is the WAL replay primitive: a
+        :class:`~repro.streaming.wal.WalRecord` holds the exact buffer one
+        original flush saw, and pushing it through a single flush --
+        regardless of the ``max_batch_events`` configured now -- reproduces
+        that flush's drop-late decisions, window advance, and
+        auto-compaction bit for bit.  ``watermark`` (when given) is applied
+        after the events, so a replayed flush stands at the same watermark
+        as the original even if later submissions had advanced it.
+        """
+        for presence in events:
+            self._buffer.append(presence)
+            self.stats.events_submitted += 1
+            if presence.end > self._watermark:
+                self._watermark = presence.end
+        if watermark is not None and watermark > self._watermark:
+            self._watermark = watermark
+        return self.flush()
+
+    def restore_stream_state(
+        self,
+        watermark: int = 0,
+        window_cutoff: Optional[int] = None,
+        window_churn: int = 0,
+    ) -> None:
+        """Seed watermark and window state from a snapshot (recovery path).
+
+        A snapshot taken mid-stream embeds the owner's watermark, the last
+        applied expiry cutoff, and the churn accumulated towards the next
+        auto-compaction (see ``stream_state`` in the snapshot meta).
+        Restoring them before WAL replay makes the recovered process expire
+        and compact at exactly the same points the crashed one would have --
+        without this, a fresh churn counter could defer a compaction and
+        leave the rebuilt tree in a different (equivalent but not
+        byte-identical) shape.
+        """
+        if self._buffer:
+            raise RuntimeError("cannot restore stream state with events buffered")
+        if watermark > self._watermark:
+            self._watermark = int(watermark)
+        if window_cutoff is not None:
+            self.window.restore_state(cutoff=window_cutoff, churn=window_churn)
+        else:
+            self.window.restore_state(churn=window_churn)
+
+    def stream_state(self) -> dict:
+        """The durable counterpart of :meth:`restore_stream_state`."""
+        return {
+            "watermark": self._watermark,
+            "window_cutoff": self.window.cutoff,
+            "window_churn": self.window.churn_since_compaction,
+        }
+
     def flush(self) -> FlushReport:
         """Append the buffered micro-batch and advance the window.
 
@@ -255,6 +331,13 @@ class EventIngestor:
         """
         started = time.perf_counter()
         report = FlushReport()
+        if self._buffer and self.wal is not None:
+            # Write-ahead: the raw buffer (pre-filter) plus the watermark is
+            # exactly what ``ingest_batch`` needs to reproduce this flush --
+            # including its drop-late decisions -- after a crash.  Empty
+            # flushes are provably no-ops (the watermark cannot have moved
+            # without buffering an event) and are not logged.
+            self.wal.append(self._buffer, self._watermark)
         if self._buffer:
             kept = self._buffer
             if self.window.length is not None:
@@ -263,10 +346,13 @@ class EventIngestor:
                 report.dropped_late = len(self._buffer) - len(kept)
             report.events = len(kept)
             if kept:
+                report.appended = list(kept)
                 report.affected_entities = self.engine.add_records(kept)
             self._buffer.clear()
         compactions_before = self.window.stats.compactions
         report.expiry = self.window.advance(self._watermark)
+        if report.expiry is not None:
+            report.cutoff = self.window.cutoff
         report.compacted = self.window.stats.compactions > compactions_before
         report.seconds = time.perf_counter() - started
         if report.events:

@@ -1,0 +1,482 @@
+"""Durable write-ahead log for the streaming ingest path.
+
+The streaming subsystem keeps the index queryable while events arrive, but
+until this module everything lived in memory: a crashed process lost every
+event since the last snapshot and had to re-ingest the stream from scratch.
+:class:`WriteAheadLog` closes that gap with the classic recipe -- append the
+micro-batch to a durable log *before* it mutates the engine, and on restart
+replay the suffix of the log that postdates the last snapshot.
+
+Format
+------
+The log is a directory of *segments* named ``wal-%08d.log`` after the
+sequence number of their first record.  Every segment starts with the magic
+line ``REPROWAL1\\n``; after it, records are framed as::
+
+    <payload_len: u32 le> <crc32(payload): u32 le> <payload bytes>
+
+where the payload is compact UTF-8 JSON::
+
+    {"seq": N, "watermark": W, "events": [[entity, unit, start, end], ...]}
+
+``seq`` numbers records ``1, 2, 3, ...`` across segments with no gaps;
+``watermark`` is the ingestor's stream watermark at flush time; ``events``
+is the raw flush buffer *before* the late-arrival filter, so replaying a
+record through :meth:`~repro.streaming.ingestor.EventIngestor.ingest_batch`
+reproduces the original flush exactly -- including its drop-late decisions,
+window advance, and auto-compaction.
+
+Recovery semantics
+------------------
+A crash can tear the tail of the last segment (truncated header, truncated
+payload, or a payload whose CRC does not match).  :meth:`WriteAheadLog.open`
+scans the log, truncates the last segment back to its longest valid prefix,
+and resumes appending after the last intact record; :meth:`records` stops
+cleanly at the first invalid or out-of-sequence record wherever it appears,
+so a reader never acts on half-written state.  Together with the delta
+snapshots of :mod:`repro.server.generation` this gives the serving tiers
+exact crash recovery: restore the newest snapshot, then replay every WAL
+record with ``seq`` greater than the snapshot's recorded ``wal_seq``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
+
+from repro.traces.events import PresenceInstance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.streaming.ingestor import EventIngestor
+
+__all__ = [
+    "ReplaySummary",
+    "SegmentInfo",
+    "WalRecord",
+    "WalScanReport",
+    "WriteAheadLog",
+    "replay_into",
+    "scan_wal",
+]
+
+#: First bytes of every segment file.
+MAGIC = b"REPROWAL1\n"
+
+#: Record framing: payload length and CRC-32 of the payload, little-endian.
+_HEADER = struct.Struct("<II")
+
+#: Upper bound on a single payload; anything larger is treated as corruption
+#: (a torn length field can otherwise request a multi-gigabyte read).
+_MAX_PAYLOAD_BYTES = 64 * 1024 * 1024
+
+_SEGMENT_RE = re.compile(r"^wal-(\d{8})\.log$")
+
+
+def _segment_name(first_seq: int) -> str:
+    return f"wal-{first_seq:08d}.log"
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durably logged micro-batch."""
+
+    #: Position in the global record sequence (1-based, gap-free).
+    seq: int
+    #: Stream watermark at the moment the batch was flushed.
+    watermark: int
+    #: The raw flush buffer, pre-filter, in submission order.
+    events: Tuple[PresenceInstance, ...]
+
+    def encode(self) -> bytes:
+        """Frame the record as length + CRC32 header followed by JSON payload."""
+        payload = json.dumps(
+            {
+                "seq": self.seq,
+                "watermark": self.watermark,
+                "events": [
+                    [presence.entity, presence.unit, presence.start, presence.end]
+                    for presence in self.events
+                ],
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+    @staticmethod
+    def decode(payload: bytes) -> "WalRecord":
+        """Parse a checksum-verified payload back into a :class:`WalRecord`."""
+        doc = json.loads(payload.decode("utf-8"))
+        events = tuple(
+            PresenceInstance(entity=entity, unit=unit, start=start, end=end)
+            for entity, unit, start, end in doc["events"]
+        )
+        return WalRecord(seq=int(doc["seq"]), watermark=int(doc["watermark"]), events=events)
+
+
+@dataclass
+class SegmentInfo:
+    """Scan outcome for one segment file."""
+
+    path: Path
+    first_seq: int
+    #: Valid records found (stops at the first invalid one).
+    records: int = 0
+    #: Byte length of the valid prefix (magic plus intact records).
+    valid_bytes: int = 0
+    #: Actual file size on disk.
+    total_bytes: int = 0
+    #: What stopped the scan early, ``None`` for a fully valid segment.
+    error: Optional[str] = None
+
+    @property
+    def truncated(self) -> bool:
+        """Whether the file holds bytes beyond its valid prefix."""
+        return self.total_bytes > self.valid_bytes
+
+
+@dataclass
+class WalScanReport:
+    """Outcome of a full log scan (``repro wal inspect``)."""
+
+    directory: Path
+    segments: List[SegmentInfo] = field(default_factory=list)
+    #: Sequence number of the last valid record, 0 for an empty log.
+    last_seq: int = 0
+    #: Valid records across all segments (replayable prefix).
+    total_records: int = 0
+    #: Events carried by those records.
+    total_events: int = 0
+
+    @property
+    def corrupt(self) -> bool:
+        """Whether any segment holds bytes that cannot be replayed."""
+        return any(segment.error is not None for segment in self.segments)
+
+    def to_dict(self) -> dict:
+        """JSON form of the report, as emitted by ``repro wal inspect --json``."""
+        return {
+            "directory": str(self.directory),
+            "last_seq": self.last_seq,
+            "total_records": self.total_records,
+            "total_events": self.total_events,
+            "corrupt": self.corrupt,
+            "segments": [
+                {
+                    "file": segment.path.name,
+                    "first_seq": segment.first_seq,
+                    "records": segment.records,
+                    "valid_bytes": segment.valid_bytes,
+                    "total_bytes": segment.total_bytes,
+                    "error": segment.error,
+                }
+                for segment in self.segments
+            ],
+        }
+
+
+@dataclass
+class ReplaySummary:
+    """Outcome of :func:`replay_into`."""
+
+    #: WAL records replayed.
+    records: int = 0
+    #: Events carried by those records (pre-filter counts).
+    events: int = 0
+    #: Sequence number of the last record replayed (0 if none matched).
+    last_seq: int = 0
+
+
+def _list_segments(directory: Path) -> List[Tuple[int, Path]]:
+    found = []
+    for path in directory.iterdir():
+        match = _SEGMENT_RE.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    found.sort()
+    return found
+
+
+def scan_wal(directory: os.PathLike) -> WalScanReport:
+    """Read-only integrity walk over every segment of a log, in order.
+
+    Never modifies the log (``repro wal inspect`` runs this; repairing a
+    torn tail is :class:`WriteAheadLog`'s open-time job).  Segments after a
+    defective one are reported but carry ``error="unreachable"`` -- replay
+    can never get past the defect, so their contents (valid or not) are
+    outside the replayable prefix.
+    """
+    root = Path(directory)
+    report = WalScanReport(directory=root)
+    expected = 1
+    blocked = False
+    for first_seq, path in _list_segments(root):
+        if blocked:
+            info = SegmentInfo(path=path, first_seq=first_seq)
+            info.total_bytes = path.stat().st_size
+            info.error = "unreachable"
+            report.segments.append(info)
+            continue
+        if first_seq != expected:
+            info = SegmentInfo(path=path, first_seq=first_seq)
+            info.total_bytes = path.stat().st_size
+            info.error = f"sequence gap (expected segment {expected})"
+            report.segments.append(info)
+            blocked = True
+            continue
+        info, records = WriteAheadLog._scan_segment(path, first_seq)
+        report.segments.append(info)
+        report.total_records += info.records
+        report.total_events += sum(len(record.events) for record in records)
+        if info.records:
+            report.last_seq = records[-1].seq
+        expected = first_seq + info.records
+        if info.error is not None:
+            blocked = True
+    return report
+
+
+class WriteAheadLog:
+    """Checksummed, segmented append-only event log.
+
+    Parameters
+    ----------
+    directory:
+        Directory holding the segments; created if missing.
+    segment_max_bytes:
+        Roll to a new segment once the current one reaches this size
+        (checked before each append, so segments overshoot by at most one
+        record).
+    fsync:
+        Force every append to stable storage (default).  ``False`` trades
+        durability of the last few records for throughput -- the log stays
+        *consistent* either way, recovery just resumes from an earlier
+        record after a power loss.
+
+    The constructor scans the existing log, truncates any torn tail of the
+    last segment, and resumes the sequence after the last intact record;
+    use :meth:`scan` for a read-only report instead.
+    """
+
+    def __init__(
+        self,
+        directory: os.PathLike,
+        segment_max_bytes: int = 4 * 1024 * 1024,
+        fsync: bool = True,
+    ) -> None:
+        if segment_max_bytes < len(MAGIC) + _HEADER.size:
+            raise ValueError(f"segment_max_bytes too small: {segment_max_bytes}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_max_bytes = int(segment_max_bytes)
+        self.fsync = bool(fsync)
+        self._handle: Optional[IO[bytes]] = None
+        self._handle_path: Optional[Path] = None
+        self._last_seq = 0
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # Scanning and recovery
+    # ------------------------------------------------------------------
+    def _segment_paths(self) -> List[Tuple[int, Path]]:
+        return _list_segments(self.directory)
+
+    @staticmethod
+    def _scan_segment(path: Path, first_seq: int) -> Tuple[SegmentInfo, List[WalRecord]]:
+        """Walk one segment, collecting records until the first defect."""
+        info = SegmentInfo(path=path, first_seq=first_seq)
+        records: List[WalRecord] = []
+        data = path.read_bytes()
+        info.total_bytes = len(data)
+        if not data.startswith(MAGIC):
+            info.error = "bad magic"
+            return info, records
+        offset = len(MAGIC)
+        info.valid_bytes = offset
+        expected = first_seq
+        while offset < len(data):
+            if offset + _HEADER.size > len(data):
+                info.error = "truncated header"
+                break
+            length, crc = _HEADER.unpack_from(data, offset)
+            if length > _MAX_PAYLOAD_BYTES:
+                info.error = "implausible payload length"
+                break
+            payload_start = offset + _HEADER.size
+            payload_end = payload_start + length
+            if payload_end > len(data):
+                info.error = "truncated payload"
+                break
+            payload = data[payload_start:payload_end]
+            if zlib.crc32(payload) != crc:
+                info.error = "checksum mismatch"
+                break
+            try:
+                record = WalRecord.decode(payload)
+            except (ValueError, KeyError, TypeError):
+                info.error = "undecodable payload"
+                break
+            if record.seq != expected:
+                info.error = f"sequence discontinuity (expected {expected}, got {record.seq})"
+                break
+            records.append(record)
+            expected += 1
+            offset = payload_end
+            info.records += 1
+            info.valid_bytes = offset
+        return info, records
+
+    def scan(self) -> WalScanReport:
+        """Read-only integrity walk over every segment (see :func:`scan_wal`)."""
+        return scan_wal(self.directory)
+
+    def _recover(self) -> None:
+        """Truncate a torn tail of the last segment and resume the sequence."""
+        report = self.scan()
+        self._last_seq = report.last_seq
+        if not report.segments:
+            return
+        last = report.segments[-1]
+        if last.error in (None, "unreachable") or last.first_seq > report.last_seq + 1:
+            # Either intact, or the defect is structural (gap / unreachable
+            # segment): appends go to a fresh segment after last_seq and
+            # replay stops at the defect regardless -- nothing to repair.
+            return
+        # Tear in the active segment: drop the invalid suffix so appends
+        # continue a log whose every byte is valid.
+        with open(last.path, "r+b") as handle:
+            handle.truncate(last.valid_bytes if last.valid_bytes >= len(MAGIC) else 0)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if last.valid_bytes < len(MAGIC):
+            # Not even the magic survived; remove the unusable file.
+            last.path.unlink()
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the last durably appended record (0 if none)."""
+        return self._last_seq
+
+    def _open_for_append(self) -> IO[bytes]:
+        if self._handle is not None and not self._handle.closed:
+            if self._handle.tell() < self.segment_max_bytes:
+                return self._handle
+            self._close_handle()
+        # Reuse the newest on-disk segment while it has room, else roll.
+        paths = self._segment_paths()
+        if paths:
+            _, newest = paths[-1]
+            if newest.stat().st_size < self.segment_max_bytes:
+                handle = open(newest, "ab")
+                self._handle, self._handle_path = handle, newest
+                return handle
+        path = self.directory / _segment_name(self._last_seq + 1)
+        handle = open(path, "ab")
+        if handle.tell() == 0:
+            handle.write(MAGIC)
+        self._handle, self._handle_path = handle, path
+        return handle
+
+    def append(self, events: Sequence[PresenceInstance], watermark: int) -> int:
+        """Durably log one micro-batch; returns its sequence number.
+
+        Must be called *before* the batch mutates the engine -- the whole
+        point of a write-ahead log -- which is exactly where
+        :meth:`EventIngestor.flush` places it.
+        """
+        record = WalRecord(
+            seq=self._last_seq + 1,
+            watermark=int(watermark),
+            events=tuple(events),
+        )
+        handle = self._open_for_append()
+        handle.write(record.encode())
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+        self._last_seq = record.seq
+        return record.seq
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def records(self, start_seq: int = 1) -> Iterator[WalRecord]:
+        """Yield valid records with ``seq >= start_seq``, in order.
+
+        Iteration stops cleanly at the first invalid, torn, or
+        out-of-sequence record -- everything yielded is safe to replay.
+        """
+        expected = 1
+        for first_seq, path in self._segment_paths():
+            if first_seq != expected:
+                return
+            info, records = self._scan_segment(path, first_seq)
+            for record in records:
+                if record.seq >= start_seq:
+                    yield record
+            expected = first_seq + info.records
+            if info.error is not None:
+                return
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _close_handle(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+        self._handle = None
+        self._handle_path = None
+
+    def close(self) -> None:
+        """Flush and close the append handle (reads stay available)."""
+        self._close_handle()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WriteAheadLog({str(self.directory)!r}, last_seq={self._last_seq}, "
+            f"fsync={self.fsync})"
+        )
+
+
+def replay_into(
+    ingestor: "EventIngestor",
+    wal: WriteAheadLog,
+    start_seq: int = 1,
+) -> ReplaySummary:
+    """Drive WAL records with ``seq >= start_seq`` through ``ingestor``.
+
+    Each record is applied with
+    :meth:`~repro.streaming.ingestor.EventIngestor.ingest_batch`, which
+    reproduces the original flush boundaries exactly (one flush per WAL
+    record, whatever ``max_batch_events`` is configured now).  The
+    ingestor's own WAL is suspended for the duration so replay does not
+    re-append what is already durable.
+    """
+    summary = ReplaySummary()
+    suspended = ingestor.wal
+    ingestor.wal = None
+    try:
+        for record in wal.records(start_seq):
+            ingestor.ingest_batch(record.events, watermark=record.watermark)
+            summary.records += 1
+            summary.events += len(record.events)
+            summary.last_seq = record.seq
+    finally:
+        ingestor.wal = suspended
+    return summary

@@ -154,6 +154,18 @@ class SlidingWindow:
         """Index-changing retractions accumulated since the last compaction."""
         return self._churn_since_compaction
 
+    def restore_state(self, cutoff: Optional[int] = None, churn: int = 0) -> None:
+        """Seed cutoff and churn from persisted state (crash recovery).
+
+        Used by :meth:`~repro.streaming.ingestor.EventIngestor.restore_stream_state`
+        so a process restarted from a snapshot advances, expires, and
+        auto-compacts at exactly the points the original would have.
+        Cutoffs stay monotone: a restore can only move the cutoff forward.
+        """
+        if cutoff is not None and (self._cutoff is None or cutoff > self._cutoff):
+            self._cutoff = int(cutoff)
+        self._churn_since_compaction = int(churn)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SlidingWindow(length={self.length}, cutoff={self._cutoff}, "

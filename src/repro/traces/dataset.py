@@ -48,6 +48,12 @@ class TraceDataset:
         #: cell-membership arrays -- record the value they were compiled at
         #: and recompile lazily when it moved.
         self.mutation_count: int = 0
+        # Touch journal mirroring MinSigTree's: entity -> mutation_count at
+        # its last mutation, with a floor below which the journal cannot
+        # answer.  The columnar kernel's incremental patch unions this with
+        # the tree's journal to find the rows it must recompute.
+        self._touched: Dict[str, int] = {}
+        self._touched_floor: int = 0
 
     # ------------------------------------------------------------------
     # Construction and mutation
@@ -158,10 +164,33 @@ class TraceDataset:
 
     def _invalidate(self, entity: str) -> None:
         self.mutation_count += 1
+        self._touched[entity] = self.mutation_count
+        # Overflow valve (see MinSigTree._record_touch): reset rather than
+        # scan an unbounded journal; consumers recompile once, always safe.
+        if len(self._touched) > max(1024, 4 * len(self._presences)):
+            self._touched.clear()
+            self._touched_floor = self.mutation_count
         self._sequence_cache.pop(entity, None)
         # The inverted indexes are rebuilt from scratch on next use; updates
         # are rare compared to reads in every workload we model.
         self._cell_index.clear()
+
+    def touched_entities_since(self, mutation_count: int) -> Optional[Set[str]]:
+        """Entities mutated after ``mutation_count``, or ``None``.
+
+        ``None`` means the touch journal no longer reaches back that far
+        (an overflow reset raised its floor); callers must then treat every
+        entity as potentially changed.
+        """
+        if mutation_count < self._touched_floor:
+            return None
+        if mutation_count >= self.mutation_count:
+            return set()
+        return {
+            entity
+            for entity, touched_at in self._touched.items()
+            if touched_at > mutation_count
+        }
 
     # ------------------------------------------------------------------
     # Introspection

@@ -30,6 +30,7 @@ from repro import (
     TraceDataset,
     TraceQueryEngine,
 )
+from repro.core.columnar import ColumnarTree
 from repro.measures.adm import ExampleDiceADM, HierarchicalADM
 from repro.measures.setsim import DiceADM, FScoreADM, JaccardADM, OverlapADM
 
@@ -279,6 +280,99 @@ class TestStreamingInterleavings:
         assert_engines_identical(reference, columnar, k_values=(1, 5))
         # The mutations must have invalidated the compiled arrays.
         assert columnar.searcher.compiled_tree() is not compiled_before
+
+
+class TestIncrementalPatch:
+    """The delta-patch maintenance path (``EngineConfig.incremental_recompile``).
+
+    A stale compiled kernel is *patched* -- membership rows spliced, leaf
+    spans and tree paths rewritten for touched entities only -- instead of
+    recompiled, and the patched arrays must be byte-identical to what a
+    from-scratch compile would produce.  Bulk churn falls back to a full
+    recompile; either way the arrays below must match a fresh compile.
+    """
+
+    def fresh_arrays(self, engine):
+        return ColumnarTree.compile(engine._tree, engine.dataset).export_arrays()
+
+    def assert_kernel_matches_fresh(self, engine):
+        live = engine.searcher.compiled_tree().export_arrays()
+        fresh = self.fresh_arrays(engine)
+        assert sorted(live) == sorted(fresh)
+        for name, array in live.items():
+            assert array.dtype == fresh[name].dtype, name
+            assert array.tobytes() == fresh[name].tobytes(), name
+
+    def test_patched_arrays_byte_identical_after_each_mutation(
+        self, hierarchy, seeded_rng
+    ):
+        rng = seeded_rng(101)
+        events = random_events(hierarchy, rng, num_entities=16)
+        engine = TraceQueryEngine(
+            dataset_from(hierarchy, events), num_hashes=24, seed=5
+        ).build()
+        engine.top_k("e0", k=3)  # first query pays the one full compile
+        assert engine.searcher.kernel_compiles == 1
+        mutations = [
+            lambda: engine.add_records(
+                [PresenceInstance("e3", hierarchy.base_units[2], 91, 94)]
+            ),
+            lambda: engine.add_records(
+                [PresenceInstance("newcomer", hierarchy.base_units[-1], 50, 53)]
+            ),
+            lambda: engine.remove_entity("e7"),
+            lambda: engine.add_records(
+                [PresenceInstance("e5", hierarchy.base_units[0], 2, 4)]
+            ),
+        ]
+        for index, mutate in enumerate(mutations, start=1):
+            mutate()
+            engine.top_k("e0", k=3)
+            assert engine.searcher.kernel_patches == index  # patched, not recompiled
+            assert engine.searcher.kernel_compiles == 1
+            self.assert_kernel_matches_fresh(engine)
+
+    def test_bulk_churn_falls_back_to_full_recompile(self, hierarchy, seeded_rng):
+        rng = seeded_rng(103)
+        events = random_events(hierarchy, rng, num_entities=16)
+        engine = TraceQueryEngine(
+            dataset_from(hierarchy, events), num_hashes=24, seed=5
+        ).build()
+        engine.top_k("e0", k=3)
+        # Expiry touches most of the population: over the staleness
+        # threshold, the patch path must decline and recompile instead.
+        engine.expire_events(60)
+        engine.top_k("e0", k=3)
+        assert engine.searcher.kernel_compiles == 2
+        assert engine.searcher.kernel_patches == 0
+        self.assert_kernel_matches_fresh(engine)
+
+    def test_first_query_after_compact_does_not_recompile(
+        self, hierarchy, seeded_rng, monkeypatch
+    ):
+        """Regression: ``compact()`` used to leave the kernel stale, so the
+        rebuild's recompile was paid *again* by the first query after it.
+        Compaction now refreshes the kernel itself; the next query must not
+        touch ``ColumnarTree.compile`` at all."""
+        rng = seeded_rng(107)
+        events = random_events(hierarchy, rng, num_entities=12)
+        engine = TraceQueryEngine(
+            dataset_from(hierarchy, events), num_hashes=24, seed=5
+        ).build()
+        engine.top_k("e0", k=3)
+        engine.expire_events(30)
+        engine.compact()  # rebuild + the one recompile, paid here
+        compiles_after_compact = engine.searcher.kernel_compiles
+
+        def no_compile(*args, **kwargs):  # pragma: no cover - guard only
+            raise AssertionError("first query after compact() recompiled the kernel")
+
+        monkeypatch.setattr(ColumnarTree, "compile", no_compile)
+        result = engine.top_k("e0", k=3)
+        assert result.items is not None
+        assert engine.searcher.kernel_compiles == compiles_after_compact
+        monkeypatch.undo()
+        self.assert_kernel_matches_fresh(engine)
 
 
 class TestShardedEquivalence:

@@ -13,8 +13,9 @@ import numpy as np
 import pytest
 
 from repro.core.columnar import load_npz_mmap
-from repro.server.generation import KEEP_GENERATIONS, GenerationStore
+from repro.server.generation import KEEP_GENERATIONS, GenerationStore, SnapshotDelta
 from repro.storage.snapshot import SnapshotError, load_engine_snapshot
+from repro.traces.events import PresenceInstance
 
 
 class TestLoadNpzMmap:
@@ -205,3 +206,141 @@ class TestGenerationStore:
         result = engine.top_k("a", k=3)
         assert result.items == baseline.items
         assert result.stats.__dict__ == baseline.stats.__dict__
+
+
+class TestDeltaGenerations:
+    """Delta publishes: one flush's operations as a small JSON document.
+
+    A reader standing on the chain applies the missing deltas in place
+    (:meth:`GenerationStore.catch_up`); a cold reader materialises the full
+    base plus the chain (:meth:`GenerationStore.load_current`); the chain's
+    length is bounded by ``delta_limit``, after which a full snapshot is
+    forced and older chains pruned.
+    """
+
+    def delta_for(self, engine, events, cutoff=None, compacted=False):
+        """Mutate ``engine`` as one flush would, and describe it as a delta."""
+        delta = SnapshotDelta(events=list(events), cutoff=cutoff, compacted=compacted)
+        delta.apply(engine)
+        return delta
+
+    def new_event(self, engine, index):
+        unit = engine.dataset.hierarchy.base_units[index % 4]
+        return PresenceInstance(f"fresh-{index}", unit, 30 + index, 33 + index)
+
+    def test_publish_update_writes_delta_documents(self, small_engine, tmp_path):
+        store = GenerationStore(tmp_path, delta_limit=4)
+        store.publish(small_engine)
+        delta = self.delta_for(small_engine, [self.new_event(small_engine, 0)])
+        assert store.publish_update(small_engine, delta=delta) == 2
+        assert (tmp_path / "delta-000002.json").exists()
+        assert not (tmp_path / "gen-000002").exists()
+        number, path = store.current()
+        assert number == 2 and path.name == "delta-000002.json"
+
+    def test_cold_load_materialises_base_plus_chain(self, small_engine, tmp_path):
+        store = GenerationStore(tmp_path, delta_limit=4)
+        store.publish(small_engine)
+        for index in range(2):
+            delta = self.delta_for(
+                small_engine, [self.new_event(small_engine, index)], cutoff=4 + index
+            )
+            store.publish_update(small_engine, delta=delta)
+        reader = GenerationStore(tmp_path, delta_limit=4)
+        generation, engine = reader.load_current(timeout=5)
+        assert generation == 3
+        assert sorted(engine.dataset.entities) == sorted(small_engine.dataset.entities)
+        for entity in sorted(small_engine.dataset.entities):
+            assert engine.top_k(entity, k=3).items == small_engine.top_k(entity, k=3).items
+
+    def test_catch_up_applies_the_delta_suffix_in_place(self, small_engine, tmp_path):
+        store = GenerationStore(tmp_path, delta_limit=8)
+        store.publish(small_engine)
+        reader = GenerationStore(tmp_path, delta_limit=8)
+        generation, engine = reader.load_current(timeout=5)
+        assert generation == 1
+        assert reader.catch_up(engine, generation) is None  # nothing newer
+
+        for index in range(3):
+            delta = self.delta_for(small_engine, [self.new_event(small_engine, index)])
+            store.publish_update(small_engine, delta=delta)
+        caught_up = reader.catch_up(engine, generation)
+        assert caught_up == 4
+        for entity in sorted(small_engine.dataset.entities):
+            assert engine.top_k(entity, k=3).items == small_engine.top_k(entity, k=3).items
+        # Standing at the newest generation now: a further catch-up no-ops.
+        assert reader.catch_up(engine, caught_up) is None
+
+    def test_catch_up_declines_across_a_full_snapshot(self, small_engine, tmp_path):
+        store = GenerationStore(tmp_path, delta_limit=8)
+        store.publish(small_engine)
+        store.publish(small_engine)  # newest is full: readers must reload
+        reader = GenerationStore(tmp_path, delta_limit=8)
+        assert reader.catch_up(object(), 1) is None
+
+    def test_chain_limit_forces_a_full_snapshot(self, small_engine, tmp_path):
+        store = GenerationStore(tmp_path, delta_limit=2)
+        store.publish(small_engine)
+        for index in range(3):
+            delta = self.delta_for(small_engine, [self.new_event(small_engine, index)])
+            store.publish_update(small_engine, delta=delta)
+        # Generations 2 and 3 were deltas; 4 hit the limit and went full.
+        assert (tmp_path / "delta-000002.json").exists()
+        assert (tmp_path / "delta-000003.json").exists()
+        assert (tmp_path / "gen-000004").exists()
+        number, path = store.current()
+        assert number == 4 and path.name == "gen-000004"
+        # The next update chains off the new full base.
+        delta = self.delta_for(small_engine, [self.new_event(small_engine, 9)])
+        assert store.publish_update(small_engine, delta=delta) == 5
+        assert (tmp_path / "delta-000005.json").exists()
+
+    def test_delta_limit_zero_publishes_every_generation_full(
+        self, small_engine, tmp_path
+    ):
+        store = GenerationStore(tmp_path, delta_limit=0)
+        store.publish(small_engine)
+        delta = self.delta_for(small_engine, [self.new_event(small_engine, 0)])
+        assert store.publish_update(small_engine, delta=delta) == 2
+        assert (tmp_path / "gen-000002").exists()
+        assert not (tmp_path / "delta-000002.json").exists()
+
+    def test_full_publish_prunes_chains_older_than_the_previous_full(
+        self, small_engine, tmp_path
+    ):
+        store = GenerationStore(tmp_path, delta_limit=2)
+        store.publish(small_engine)  # gen 1 full
+        # Updates produce: deltas 2,3 -> full 4 -> deltas 5,6 -> full 7.
+        for index in range(6):
+            delta = self.delta_for(small_engine, [self.new_event(small_engine, index)])
+            store.publish_update(small_engine, delta=delta)
+        assert store.generation == 7
+        names = set(p.name for p in tmp_path.iterdir() if p.name != "CURRENT")
+        # The second full publish (7) prunes everything below the previous
+        # full (4): generation 1's chain is unreachable and gone, while the
+        # previous chain (full 4 + deltas 5,6) survives for readers that
+        # just fetched the old CURRENT.
+        assert "gen-000001" not in names
+        assert "delta-000002.json" not in names
+        assert "delta-000003.json" not in names
+        assert {"gen-000004", "delta-000005.json", "delta-000006.json", "gen-000007"} <= names
+
+    def test_current_meta_reads_extra_from_either_kind(self, small_engine, tmp_path):
+        store = GenerationStore(tmp_path, delta_limit=4)
+        store.publish(small_engine, extra_meta={"wal_seq": 3, "stream": {"watermark": 7}})
+        assert store.current_meta() == {"wal_seq": 3, "stream": {"watermark": 7}}
+        delta = self.delta_for(small_engine, [self.new_event(small_engine, 0)])
+        store.publish_update(
+            small_engine, delta=delta, extra_meta={"wal_seq": 4, "stream": {"watermark": 9}}
+        )
+        assert store.current_meta() == {"wal_seq": 4, "stream": {"watermark": 9}}
+
+    def test_delta_payload_round_trips(self, small_engine, tmp_path):
+        events = [self.new_event(small_engine, 0), self.new_event(small_engine, 1)]
+        delta = SnapshotDelta(events=events, cutoff=12, compacted=True)
+        clone = SnapshotDelta.from_payload(delta.to_payload())
+        assert clone.events == events
+        assert clone.cutoff == 12
+        assert clone.compacted is True
+        assert not delta.is_empty()
+        assert SnapshotDelta().is_empty()

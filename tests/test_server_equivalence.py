@@ -503,3 +503,140 @@ def test_multiprocess_daemon_matches_serial_engine_byte_for_byte(kind):
         httpd.server_close()
         frontend.close()
         server_thread.join(timeout=10)
+
+
+def test_sigkilled_frontend_recovers_byte_identically_by_wal_replay(tmp_path):
+    """Crash injection: SIGKILL the frontend *mid-publish*, recover, compare.
+
+    A forked child runs a ``--workers 1`` :class:`FrontendServer` over a
+    generation store and a write-ahead log, ingesting phased events.  At the
+    final phase's publish the child SIGKILLs itself at the worst possible
+    instant -- after the flush mutated the engine and wrote its delta
+    document, but *before* the ``CURRENT`` pointer swap -- leaving a torn
+    publish on disk and an acknowledged flush that exists only in the WAL.
+
+    The parent then recovers exactly as a restarted ``repro serve`` would
+    (:func:`recover_engine_from_store` + :func:`replay_wal_into_engine`),
+    boots a fresh frontend from the recovered state, and every response it
+    serves must be byte-identical to a never-crashed oracle fed the same
+    events.
+    """
+    from repro.server.generation import GenerationStore
+    from repro.server.recovery import recover_engine_from_store, replay_wal_into_engine
+    from repro.streaming.wal import WriteAheadLog, scan_wal
+
+    store_root = tmp_path / "store"
+    wal_root = tmp_path / "wal"
+    pids_path = tmp_path / "worker-pids.json"
+    marker_path = tmp_path / "crash-marker"
+    crash_phase = NUM_PHASES - 1
+    streaming = StreamingConfig(max_batch_events=10_000)
+
+    child = os.fork()
+    if child == 0:
+        # -------- child: the serving process that will be SIGKILLed --------
+        try:
+            engine = make_engine("single")
+            wal = WriteAheadLog(wal_root)
+            frontend = FrontendServer(
+                engine,
+                streaming=streaming,
+                workers=1,
+                store_root=store_root,
+                wal=wal,
+            )
+            pids_path.write_text(json.dumps(frontend.pool.worker_pids))
+
+            def killing_swap(document):
+                # The delta document is already on disk; dying before the
+                # CURRENT swap is the worst-case torn publish.
+                marker_path.write_text(str(os.getpid()))
+                os.kill(os.getpid(), signal.SIGKILL)
+
+            for phase in range(NUM_PHASES):
+                for thread in range(NUM_THREADS):
+                    for event in phase_events(phase, thread):
+                        frontend.ingestor.submit(event)
+                if phase == crash_phase:
+                    frontend.store._swap_current = killing_swap
+                frontend.ingestor.flush()
+        finally:
+            os._exit(1)  # any path that survives the SIGKILL is a failure
+
+    # -------- parent: wait for the crash, then recover --------
+    try:
+        _, status = os.waitpid(child, 0)
+        assert os.WIFSIGNALED(status) and os.WTERMSIG(status) == signal.SIGKILL
+        assert marker_path.exists(), "child died before the injected point"
+
+        # The torn publish: the crashed flush's delta document reached the
+        # store, but CURRENT still names the previous generation.
+        store = GenerationStore(store_root)
+        current, _ = store.current()
+        assert current == 1 + crash_phase  # initial publish + earlier phases
+        assert (store_root / f"delta-{current + 1:06d}.json").exists()
+
+        # The WAL holds every acknowledged flush, including the crashed one.
+        report = scan_wal(wal_root)
+        assert not report.corrupt
+        assert report.total_records == NUM_PHASES
+
+        recovered = recover_engine_from_store(store_root)
+        assert recovered is not None
+        engine, meta, generation = recovered
+        assert generation == current
+        assert meta["wal_seq"] == NUM_PHASES - 1
+        summary, stream_state = replay_wal_into_engine(
+            engine, WriteAheadLog(wal_root), streaming=streaming, meta=meta
+        )
+        assert summary.records == 1  # exactly the crashed flush replays
+        assert summary.last_seq == NUM_PHASES
+
+        # Never-crashed oracle: the same phased ingest, serially.
+        oracle = make_engine("single")
+        oracle_ingestor = EventIngestor(oracle, streaming)
+        for phase in range(NUM_PHASES):
+            for thread in range(NUM_THREADS):
+                for event in phase_events(phase, thread):
+                    oracle_ingestor.submit(event)
+            oracle_ingestor.flush()
+        assert stream_state == oracle_ingestor.stream_state()
+
+        # Boot a replacement frontend from the recovered state -- the same
+        # construction ``repro serve --workers N --store ... --wal ...``
+        # performs -- and face it off byte-for-byte against the oracle.
+        frontend = FrontendServer(
+            engine,
+            streaming=streaming,
+            workers=1,
+            store_root=store_root,
+            wal=WriteAheadLog(wal_root),
+            stream_state=stream_state,
+        )
+        try:
+            entities = sorted(oracle.dataset.entities)
+            assert sorted(engine.dataset.entities) == entities
+            for entity in entities:
+                for k in (1, 3, 5):
+                    request = parse_topk_request({"entity": entity, "k": k})
+                    expected = dumps(
+                        topk_payload(request, [oracle.top_k(entity, k=k)])
+                    )
+                    status_code, payload = frontend.handle_topk(
+                        {"entity": entity, "k": k}
+                    )
+                    assert status_code == 200, payload
+                    assert dumps(payload) == expected, (
+                        f"recovered frontend diverged for {entity!r} k={k}"
+                    )
+        finally:
+            frontend.close()
+    finally:
+        # The SIGKILLed child never cleaned up its query worker; reap it.
+        if pids_path.exists():
+            for pid in json.loads(pids_path.read_text()):
+                if pid:
+                    try:
+                        os.kill(pid, signal.SIGKILL)
+                    except ProcessLookupError:
+                        pass

@@ -26,6 +26,7 @@ from repro import (
     TraceDataset,
     TraceQueryEngine,
 )
+from repro.core.columnar import ColumnarTree
 
 HORIZON = 120
 KNOBS = dict(num_hashes=32, seed=7, bound_mode="per_level")
@@ -219,3 +220,86 @@ class TestShardedFuzz:
         ingestor.close()
         scratch = scratch_engine(hierarchy, surviving(events, ingestor.window.cutoff))
         assert_streamed_matches_scratch(sharded, scratch)
+
+
+class TestIncrementalRecompileFuzz:
+    """The delta-patch kernel maintenance path, under streamed mutations.
+
+    ``incremental_recompile=True`` is the default, so every fuzz above
+    already answers through patched kernels; this class pins the *stronger*
+    guarantee the patch path promises: at every checkpoint the live
+    (possibly patched) kernel's exported arrays are **byte-identical** to a
+    from-scratch :meth:`ColumnarTree.compile` over the same tree and
+    dataset -- and at least one checkpoint was actually served by a patch,
+    so the assertion exercises the splice, not just the fallback.
+    """
+
+    @pytest.mark.parametrize("fuzz_seed", [17, 29, 53])
+    def test_patched_kernel_byte_identical_to_fresh_compile(
+        self, hierarchy, fuzz_seed, seeded_rng
+    ):
+        rng = seeded_rng(fuzz_seed)
+        # Small micro-batches over a wider population keep per-flush churn
+        # under the staleness threshold, so flushes patch instead of
+        # falling back to a full recompile.
+        events = make_stream(hierarchy, rng, count=240, num_entities=24)
+        engine = scratch_engine(hierarchy, [])
+        assert engine.config.incremental_recompile  # the default, explicit
+        ingestor = EventIngestor(
+            engine,
+            max_batch_events=rng.choice([1, 2, 3]),
+            window=rng.choice([30, 45]),
+            compact_after=rng.choice([0, 6]),
+        )
+        checkpoints = 0
+        for index, event in enumerate(events, start=1):
+            ingestor.submit(event)
+            if rng.random() < 0.06:
+                ingestor.flush()
+                if not engine.dataset.entities:
+                    continue
+                # Serve one query so the kernel refreshes (patch or
+                # recompile), then face the live arrays off against a
+                # from-scratch compile of the very same tree.
+                engine.top_k(sorted(engine.dataset.entities)[0], k=3)
+                live = engine.searcher.compiled_tree().export_arrays()
+                fresh = ColumnarTree.compile(engine._tree, engine.dataset).export_arrays()
+                assert sorted(live) == sorted(fresh)
+                for name, array in live.items():
+                    assert array.dtype == fresh[name].dtype, name
+                    assert array.tobytes() == fresh[name].tobytes(), (
+                        f"seed {fuzz_seed}: array {name!r} diverged after "
+                        f"{index} events ({engine.searcher.kernel_patches} patches, "
+                        f"{engine.searcher.kernel_compiles} compiles)"
+                    )
+                checkpoints += 1
+        ingestor.close()
+        assert checkpoints >= 4  # the 6% checkpoint coin actually fired
+        assert engine.searcher.kernel_patches > 0  # the splice path really ran
+        scratch = scratch_engine(hierarchy, surviving(events, ingestor.window.cutoff))
+        assert_streamed_matches_scratch(engine, scratch)
+
+    @pytest.mark.parametrize("fuzz_seed", [19, 37])
+    def test_incremental_on_and_off_answer_identically(
+        self, hierarchy, fuzz_seed, seeded_rng
+    ):
+        """Same interleaving, twice: patched kernels vs always-recompile."""
+        rng = seeded_rng(fuzz_seed)
+        events = make_stream(hierarchy, rng, count=200, num_entities=24)
+        patched = scratch_engine(hierarchy, [])
+        recompiled = scratch_engine(hierarchy, [], incremental_recompile=False)
+        knobs = dict(max_batch_events=2, window=40, compact_after=7)
+        left = EventIngestor(patched, **knobs)
+        right = EventIngestor(recompiled, **knobs)
+        for index, event in enumerate(events, start=1):
+            left.submit(event)
+            right.submit(event)
+            if index % 50 == 0:
+                left.flush()
+                right.flush()
+                assert_streamed_matches_scratch(patched, recompiled, k_values=(3,))
+        left.close()
+        right.close()
+        assert patched.searcher.kernel_patches > 0
+        assert recompiled.searcher.kernel_patches == 0
+        assert_streamed_matches_scratch(patched, recompiled)
