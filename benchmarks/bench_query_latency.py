@@ -60,6 +60,23 @@ _K = 10
 MULTI_CLIENT_WORKER_COUNTS = (0, 1, 2, 4)
 MULTI_CLIENT_THREADS = 8
 
+#: Client discipline for the multi-client mode: a connect that hangs is a
+#: different failure from a slow answer, so the budgets are split; both are
+#: overridable from the command line (``--http-connect-timeout`` /
+#: ``--http-read-timeout``).
+HTTP_CONNECT_TIMEOUT = 10.0
+HTTP_READ_TIMEOUT = 120.0
+
+#: Connection-level failures worth one reconnect-and-resend: the peer reset
+#: or dropped the keep-alive socket before a response was read (mirrors
+#: ``repro.server.httpclient``, which the scenario backends use).
+_RESET_ERRORS = (
+    ConnectionResetError,
+    ConnectionAbortedError,
+    BrokenPipeError,
+    http.client.RemoteDisconnected,
+)
+
 
 def _percentile(samples, fraction):
     ordered = sorted(samples)
@@ -106,34 +123,60 @@ def _engine_pair(dataset, num_shards, knobs):
     return reference, columnar
 
 
-def _measure_http_qps(port, queries, clients, requests_per_client):
+def _http_connect(port, connect_timeout, read_timeout):
+    """Keep-alive connection with split connect/read budgets."""
+    connection = http.client.HTTPConnection(
+        "127.0.0.1", port, timeout=connect_timeout
+    )
+    connection.connect()
+    connection.sock.settimeout(read_timeout)
+    return connection
+
+
+def _measure_http_qps(
+    port,
+    queries,
+    clients,
+    requests_per_client,
+    connect_timeout=HTTP_CONNECT_TIMEOUT,
+    read_timeout=HTTP_READ_TIMEOUT,
+):
     """Saturate a live daemon with keep-alive clients; return aggregate QPS.
 
     Every client holds one HTTP/1.1 connection and issues its requests
     back-to-back (closed-loop saturation); the wall clock runs from the
-    post-warm-up barrier to the last response.
+    post-warm-up barrier to the last response.  A reset keep-alive socket
+    (daemon restart, dying worker) gets one reconnect-and-resend instead of
+    failing the whole measurement; timeouts and HTTP errors still fail it.
     """
     barrier = threading.Barrier(clients + 1)
     errors = []
     headers = {"Content-Type": "application/json"}
 
+    def exchange(connection, body):
+        connection.request("POST", "/v1/topk", body=body, headers=headers)
+        response = connection.getresponse()
+        return response.status, response.read()
+
     def client(index):
-        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        connection = _http_connect(port, connect_timeout, read_timeout)
         try:
             # Warm up: establish the connection (and the kernel compile /
             # worker adoption on the far side) outside the timed window.
             warm = json.dumps({"entity": queries[index % len(queries)], "k": _K})
-            connection.request("POST", "/v1/topk", body=warm, headers=headers)
-            connection.getresponse().read()
+            exchange(connection, warm)
             barrier.wait()
             for number in range(requests_per_client):
                 entity = queries[(index + number) % len(queries)]
                 body = json.dumps({"entity": entity, "k": _K})
-                connection.request("POST", "/v1/topk", body=body, headers=headers)
-                response = connection.getresponse()
-                payload = response.read()
-                if response.status != 200:
-                    errors.append((response.status, payload))
+                try:
+                    status, payload = exchange(connection, body)
+                except _RESET_ERRORS:
+                    connection.close()
+                    connection = _http_connect(port, connect_timeout, read_timeout)
+                    status, payload = exchange(connection, body)
+                if status != 200:
+                    errors.append((status, payload))
                     return
             barrier.wait()
         except Exception as exc:  # noqa: BLE001 - surfaced to the caller
@@ -164,7 +207,14 @@ def _measure_http_qps(port, queries, clients, requests_per_client):
     return (clients * requests_per_client) / elapsed
 
 
-def run_multi_client(dataset, scale, smoke=False, worker_counts=MULTI_CLIENT_WORKER_COUNTS):
+def run_multi_client(
+    dataset,
+    scale,
+    smoke=False,
+    worker_counts=MULTI_CLIENT_WORKER_COUNTS,
+    connect_timeout=HTTP_CONNECT_TIMEOUT,
+    read_timeout=HTTP_READ_TIMEOUT,
+):
     """QPS versus ``--workers N`` under saturating concurrent clients.
 
     Returns the ``multi_client`` document section.  The section is
@@ -199,7 +249,12 @@ def run_multi_client(dataset, scale, smoke=False, worker_counts=MULTI_CLIENT_WOR
         serve_thread.start()
         try:
             qps = _measure_http_qps(
-                port, queries, MULTI_CLIENT_THREADS, requests_per_client
+                port,
+                queries,
+                MULTI_CLIENT_THREADS,
+                requests_per_client,
+                connect_timeout=connect_timeout,
+                read_timeout=read_timeout,
             )
         finally:
             httpd.shutdown()
@@ -266,7 +321,13 @@ def run_tracing_overhead(dataset, scale, smoke=False):
     return section
 
 
-def run_query_latency(scale=None, rounds=None, smoke=False) -> ExperimentResult:
+def run_query_latency(
+    scale=None,
+    rounds=None,
+    smoke=False,
+    connect_timeout=HTTP_CONNECT_TIMEOUT,
+    read_timeout=HTTP_READ_TIMEOUT,
+) -> ExperimentResult:
     """Measure every (deployment, engine) combination and return the table."""
     scale = resolve_scale(scale)
     if rounds is None:
@@ -337,7 +398,13 @@ def run_query_latency(scale=None, rounds=None, smoke=False) -> ExperimentResult:
     )
     # Informational only (host-dependent): never feeds document["passed"].
     document["tracing"] = run_tracing_overhead(dataset, scale, smoke=smoke)
-    document["multi_client"] = run_multi_client(dataset, scale, smoke=smoke)
+    document["multi_client"] = run_multi_client(
+        dataset,
+        scale,
+        smoke=smoke,
+        connect_timeout=connect_timeout,
+        read_timeout=read_timeout,
+    )
     result.metadata["speedup_single_p50"] = single["latency_p50"]
     result.metadata["speedup_batch"] = single["batch_throughput"]
     result.metadata["passed"] = document["passed"]
@@ -382,9 +449,27 @@ if __name__ == "__main__":
         action="store_true",
         help="down-scaled CI run: only asserts columnar >= reference",
     )
+    parser.add_argument(
+        "--http-connect-timeout",
+        type=float,
+        default=HTTP_CONNECT_TIMEOUT,
+        help="seconds allowed for the multi-client mode's TCP connects",
+    )
+    parser.add_argument(
+        "--http-read-timeout",
+        type=float,
+        default=HTTP_READ_TIMEOUT,
+        help="seconds allowed for each multi-client response",
+    )
     arguments = parser.parse_args()
     scale = arguments.scale or ("tiny" if arguments.smoke else None)
     outcome = _finalise(
-        run_query_latency(scale, rounds=arguments.rounds, smoke=arguments.smoke)
+        run_query_latency(
+            scale,
+            rounds=arguments.rounds,
+            smoke=arguments.smoke,
+            connect_timeout=arguments.http_connect_timeout,
+            read_timeout=arguments.http_read_timeout,
+        )
     )
     raise SystemExit(0 if outcome.metadata["passed"] else 1)

@@ -155,9 +155,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--partitioner",
-        choices=["hash", "round_robin"],
+        choices=["hash", "round_robin", "consistent_hash"],
         default=None,
-        help="entity partitioning strategy for --shards (default: hash)",
+        help="entity partitioning strategy for --shards (default: hash; "
+        "consistent_hash minimises reassignment when shard counts change)",
     )
     _add_index_arguments(query, defaults=False)
     query.add_argument(
@@ -198,9 +199,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     index_build.add_argument(
         "--partitioner",
-        choices=["hash", "round_robin"],
+        choices=["hash", "round_robin", "consistent_hash"],
         default=None,
-        help="entity partitioning strategy for --shards (default: hash)",
+        help="entity partitioning strategy for --shards (default: hash; "
+        "consistent_hash minimises reassignment when shard counts change)",
     )
     _add_index_arguments(index_build, defaults=True)
 
@@ -265,9 +267,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument(
         "--partitioner",
-        choices=["hash", "round_robin"],
+        choices=["hash", "round_robin", "consistent_hash"],
         default=None,
-        help="entity partitioning strategy for --shards (default: hash)",
+        help="entity partitioning strategy for --shards (default: hash; "
+        "consistent_hash minimises reassignment when shard counts change)",
     )
     _add_index_arguments(stream, defaults=True)
     _add_columnar_argument(stream)
@@ -296,9 +299,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--partitioner",
-        choices=["hash", "round_robin"],
+        choices=["hash", "round_robin", "consistent_hash"],
         default=None,
-        help="entity partitioning strategy for --shards (default: hash)",
+        help="entity partitioning strategy for --shards (default: hash; "
+        "consistent_hash minimises reassignment when shard counts change)",
     )
     serve.add_argument(
         "--horizon",
@@ -359,6 +363,15 @@ def build_parser() -> argparse.ArgumentParser:
         "see docs/SERVING.md)",
     )
     serve.add_argument(
+        "--cluster",
+        type=int,
+        default=0,
+        metavar="R",
+        help="serve through the distributed tier: R shard-server replica "
+        "processes per shard group, with hedged failover and degraded-answer "
+        "marking (requires --shards; see docs/DISTRIBUTED.md)",
+    )
+    serve.add_argument(
         "--wal",
         default=None,
         metavar="DIR",
@@ -393,6 +406,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_index_arguments(serve, defaults=False)
     _add_columnar_argument(serve)
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="distributed serving utilities: shard servers and the chaos "
+        "battery (see docs/DISTRIBUTED.md)",
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    cluster_shard = cluster_sub.add_parser(
+        "shard",
+        help="run one shard-server replica over a shard's generation store "
+        "(normally spawned by `repro serve --cluster`)",
+    )
+    cluster_shard.add_argument(
+        "--store", required=True, help="shard generation-store directory"
+    )
+    cluster_shard.add_argument(
+        "--shard", default="shard-000", help="shard name (for status/metrics)"
+    )
+    cluster_shard.add_argument("--host", default="127.0.0.1")
+    cluster_shard.add_argument(
+        "--port", type=int, default=0, help="TCP port to bind (0 = ephemeral)"
+    )
+    cluster_shard.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port here (atomic) so parents can discover it",
+    )
+    cluster_shard.add_argument(
+        "--startup-timeout",
+        type=float,
+        default=60.0,
+        help="seconds to wait for the first published generation",
+    )
+
+    cluster_chaos = cluster_sub.add_parser(
+        "chaos",
+        help="run the chaos battery: interleaved queries and ingest across "
+        "kill/restart cycles, gated on exactness against a single-engine "
+        "oracle (exit 0 = every gate held)",
+    )
+    cluster_chaos.add_argument(
+        "--smoke", action="store_true", help="CI-sized workload (same fault schedule)"
+    )
+    cluster_chaos.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    cluster_chaos.add_argument("--seed", type=int, default=7, help="workload seed")
+    cluster_chaos.add_argument(
+        "--shards", type=int, default=2, help="shard groups (default 2)"
+    )
+    cluster_chaos.add_argument(
+        "--replication", type=int, default=2, help="replicas per group (default 2)"
+    )
 
     wal = subparsers.add_parser(
         "wal",
@@ -1202,6 +1269,12 @@ def _command_serve(args: argparse.Namespace) -> int:
         return _error(f"--cache must be >= 0, got {args.cache}")
     if args.workers < 0:
         return _error(f"--workers must be >= 0, got {args.workers}")
+    if args.cluster < 0:
+        return _error(f"--cluster must be >= 0, got {args.cluster}")
+    if args.cluster and not args.shards:
+        return _error("--cluster needs --shards (one replica group per shard)")
+    if args.cluster and args.workers:
+        return _error("--cluster and --workers are mutually exclusive tiers")
     if not (0.0 <= args.trace_sample <= 1.0):
         return _error(f"--trace-sample must be within [0, 1], got {args.trace_sample}")
 
@@ -1271,7 +1344,27 @@ def _run_server(engine, args: argparse.Namespace) -> int:
             stream_state = meta.get("stream")
             print(f"recovered generation {generation} from {store_root}", flush=True)
 
-    if workers:
+    cluster = getattr(args, "cluster", 0)
+    if cluster:
+        from repro.cluster.frontend import ClusterServer
+
+        try:
+            server = ClusterServer(
+                engine,
+                streaming=streaming,
+                replication=cluster,
+                coalesce_window=args.coalesce_window / 1000.0,
+                max_pending=args.max_pending,
+                max_batch=args.max_batch,
+                store_root=store_root,
+                trace_sample=args.trace_sample,
+                wal=wal,
+                stream_state=stream_state,
+                delta_limit=getattr(args, "delta_limit", 8),
+            )
+        except (OSError, RuntimeError, ValueError) as exc:
+            return _error(f"cannot start the cluster tier: {exc}")
+    elif workers:
         from repro.server.frontend import FrontendServer
 
         try:
@@ -1329,6 +1422,16 @@ def _run_server(engine, args: argparse.Namespace) -> int:
         print(
             f"multi-process tier: {workers} query workers (pids {pids}) over "
             f"generation store {server.store.root}",
+            flush=True,
+        )
+    if cluster:
+        fleet = ", ".join(
+            f"{name} (pid {replica.process.pid}, port {replica.port})"
+            for name, replica in sorted(server.managed.items())
+        )
+        print(
+            f"distributed tier: {stats['num_shards']} shard groups x "
+            f"{cluster} replicas over {server.root}: {fleet}",
             flush=True,
         )
 
@@ -1602,6 +1705,46 @@ def _command_scenario_report(args: argparse.Namespace) -> int:
     return 0 if summary["all_passed"] else 1
 
 
+def _command_cluster(args: argparse.Namespace) -> int:
+    if args.cluster_command == "shard":
+        from repro.cluster.shard_server import main as shard_main
+
+        argv = ["--store", args.store, "--shard", args.shard, "--host", args.host,
+                "--port", str(args.port), "--startup-timeout", str(args.startup_timeout)]
+        if args.port_file:
+            argv += ["--port-file", args.port_file]
+        return shard_main(argv)
+    # chaos battery
+    if args.shards < 1:
+        return _error(f"--shards must be >= 1, got {args.shards}")
+    if args.replication < 1:
+        return _error(f"--replication must be >= 1, got {args.replication}")
+    from repro.cluster.battery import run_battery
+
+    report = run_battery(
+        smoke=args.smoke,
+        seed=args.seed,
+        shards=args.shards,
+        replication=args.replication,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    verdict = "PASS" if report["passed"] else "FAIL"
+    checks = report["checks"]
+    print(
+        f"{verdict}: {checks['exact_items']} exact answers, "
+        f"{checks['byte_identical']} byte-identical payloads, "
+        f"{checks['degraded_marked']} degraded-marking gates, "
+        f"{len(report['failures'])} failures across "
+        f"{len(report['rounds'])} rounds "
+        f"({report['shards']} shards x {report['replication']} replicas)",
+        file=sys.stderr,
+    )
+    for failure in report["failures"]:
+        print(f"  gate failed: {failure}", file=sys.stderr)
+    return 0 if report["passed"] else 1
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "stats": _command_stats,
@@ -1609,6 +1752,7 @@ _COMMANDS = {
     "index": _command_index,
     "stream": _command_stream,
     "serve": _command_serve,
+    "cluster": _command_cluster,
     "wal": _command_wal,
     "trace": _command_trace,
     "figures": _command_figures,

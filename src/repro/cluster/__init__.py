@@ -1,0 +1,27 @@
+"""Distributed serving tier: shard servers, replica groups, a coordinator.
+
+The package promotes the shard boundary from threads in one process
+(:class:`~repro.service.sharded.ShardedEngine`) to processes on a network:
+
+- :mod:`repro.cluster.hashring` -- deterministic consistent-hash ring the
+  :class:`~repro.service.partition.ConsistentHashPartitioner` is built on;
+- :mod:`repro.cluster.wire` -- the cluster's length-prefixed socket ops
+  (reusing the worker protocol's framing) plus the query-sequence codec;
+- :mod:`repro.cluster.shard_server` -- one process serving one shard's
+  snapshot generations over TCP, with built-in fault injection hooks;
+- :mod:`repro.cluster.replica` -- replica clients and R-way replica
+  groups: retry with backoff, hedged failover, catch-up verified rejoin;
+- :mod:`repro.cluster.coordinator` -- fan-out/merge with per-shard
+  deadlines and explicit degraded answers when a whole group is down;
+- :mod:`repro.cluster.frontend` -- the HTTP-facing ``ClusterServer``
+  (same handler surface as :class:`~repro.server.app.TraceServer`);
+- :mod:`repro.cluster.chaos` / :mod:`repro.cluster.battery` -- fault
+  injection and the exactness-under-faults chaos battery.
+
+See ``docs/DISTRIBUTED.md`` for topology, failover semantics, the
+degraded-answer contract, and the catch-up protocol.
+"""
+
+from repro.cluster.hashring import ConsistentHashRing
+
+__all__ = ["ConsistentHashRing"]

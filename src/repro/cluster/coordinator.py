@@ -1,0 +1,149 @@
+"""Fan-out/merge over replica groups, with explicit degraded answers.
+
+The coordinator is the cluster's query brain: every top-k query fans out
+to all ``S`` shard groups (each shard searches its own entity partition
+for candidates -- the same scatter the in-process
+:class:`~repro.service.sharded.ShardedEngine` does over threads), and the
+per-shard wire payloads merge through
+:func:`repro.service.merge.merge_topk_payloads` -- the shared
+deterministic merge -- so a fully-live cluster's answers are
+byte-identical to the in-process sharded engine's, and item-identical to
+a single unsharded engine's (the chaos battery's oracle gate).
+
+The query's ST-cell sequence is resolved once against the coordinator's
+routing dataset and shipped with every shard request, because a shard's
+dataset holds only its own partition.
+
+**Degraded answers are marked, never silent.**  When a whole replica
+group is down (:class:`~repro.cluster.replica.ShardUnavailable` after
+retries, hedging, and the per-shard deadline), the coordinator still
+answers from the shards it reached, but the payload carries
+``"degraded": true`` and ``"missing_shards": [ids]``, and the
+``degraded_queries`` counter feeds ``/metrics`` -- the consistent-query-
+answering stance: a possibly-incomplete answer must say so on the wire.
+Only when *every* shard is unreachable does the query fail outright.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.replica import ReplicaGroup, ShardUnavailable
+from repro.cluster.wire import encode_sequence
+from repro.service.merge import merge_topk_payloads
+
+__all__ = ["ClusterCoordinator", "CoordinatorError"]
+
+
+class CoordinatorError(RuntimeError):
+    """A query no shard could answer (or a shard answered with an error)."""
+
+
+class ClusterCoordinator:
+    """Scatter queries over shard groups; merge with explicit degradation."""
+
+    def __init__(self, dataset, groups: Sequence[ReplicaGroup]) -> None:
+        #: The routing dataset (every entity's trace): query sequences are
+        #: resolved here and travel with the request.
+        self.dataset = dataset
+        self.groups = list(groups)
+        self.counters = {"queries": 0, "degraded_queries": 0, "failed_queries": 0}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # The fan-out
+    # ------------------------------------------------------------------
+    def topk_payloads(
+        self, entities: Sequence[str], k: int, approximation: float = 0.0
+    ) -> List[Dict[str, object]]:
+        """One merged ``topk_result_payload`` per query entity, in order.
+
+        Raises ``KeyError`` for a query entity missing from the routing
+        dataset and :class:`CoordinatorError` when no shard at all
+        answered (or a shard reported a query error).
+        """
+        queries = [
+            {
+                "entity": entity,
+                "sequence": encode_sequence(self.dataset.cell_sequence(entity)),
+            }
+            for entity in entities
+        ]
+        request = {
+            "op": "topk",
+            "queries": queries,
+            "k": int(k),
+            "approximation": float(approximation),
+        }
+        replies: List[Optional[Dict[str, object]]] = [None] * len(self.groups)
+
+        def ask(shard_index: int) -> None:
+            try:
+                replies[shard_index] = self.groups[shard_index].request(request)
+            except ShardUnavailable:
+                replies[shard_index] = None
+
+        threads = [
+            threading.Thread(target=ask, args=(index,), name=f"fanout-{index}")
+            for index in range(1, len(self.groups))
+        ]
+        for thread in threads:
+            thread.start()
+        ask(0)
+        for thread in threads:
+            thread.join()
+
+        missing = [index for index, reply in enumerate(replies) if reply is None]
+        with self._lock:
+            self.counters["queries"] += len(entities)
+        if len(missing) == len(self.groups):
+            with self._lock:
+                self.counters["failed_queries"] += len(entities)
+            raise CoordinatorError(
+                f"every shard group unavailable ({len(self.groups)} shards)"
+            )
+        answered = []
+        for reply in replies:
+            if reply is None:
+                continue
+            error = reply.get("error")
+            if error is not None:
+                # A shard-level query error (not a transport failure) is a
+                # real answer -- "this query is broken" -- not degradation.
+                with self._lock:
+                    self.counters["failed_queries"] += len(entities)
+                raise CoordinatorError(str(error))
+            answered.append(reply)
+
+        merged: List[Dict[str, object]] = []
+        for position, entity in enumerate(entities):
+            payload = merge_topk_payloads(
+                entity, [reply["results"][position] for reply in answered], k
+            )
+            if missing:
+                payload["degraded"] = True
+                payload["missing_shards"] = missing
+            merged.append(payload)
+        if missing:
+            with self._lock:
+                self.counters["degraded_queries"] += len(entities)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Counters and per-group state for ``/v1/stats`` and ``/metrics``."""
+        with self._lock:
+            counters = dict(self.counters)
+        return {
+            "shards": len(self.groups),
+            "counters": counters,
+            "groups": [group.snapshot() for group in self.groups],
+        }
+
+    def close(self) -> None:
+        """Close every replica group's persistent connections."""
+        for group in self.groups:
+            group.close()

@@ -1,0 +1,91 @@
+"""A deterministic consistent-hash ring over stable BLAKE2b points.
+
+The cluster's partitioner must agree byte-for-byte across every process
+that touches routing -- the coordinator, each shard server, and any tool
+that inspects a sharded snapshot -- so the ring is built exclusively from
+stable digests (never Python's salted ``hash()``) and its construction is
+a pure function of ``(node names, virtual-node count)``.
+
+Each node contributes ``virtual_nodes`` points at
+``blake2b(f"{node}#{replica}")``; a key routes to the first point
+clockwise from ``blake2b(key)``.  Virtual nodes smooth the load split;
+128 per node keeps the max/min shard-size ratio within a few percent for
+the dataset sizes this repo serves while keeping ring construction
+trivially cheap.
+
+Consistent hashing (vs modulo hashing) matters for the *remap bound*:
+adding or removing one node moves only the keys in the arcs that node
+owned -- about ``1/N`` of the keyspace -- instead of reshuffling nearly
+everything.  :meth:`ConsistentHashRing.assignments_moved` measures that
+bound directly and is pinned by the cluster tests.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ConsistentHashRing"]
+
+
+def _point(token: str) -> int:
+    """A stable 64-bit ring position for a token."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ConsistentHashRing:
+    """Deterministic consistent hashing with virtual nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Node names (shard identifiers).  Order does not affect routing --
+        the ring sorts by hash point -- but duplicate names are rejected.
+    virtual_nodes:
+        Ring points per node.
+    """
+
+    def __init__(self, nodes: Sequence[str], virtual_nodes: int = 128) -> None:
+        if not nodes:
+            raise ValueError("ring needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError(f"duplicate node names: {sorted(nodes)}")
+        if virtual_nodes < 1:
+            raise ValueError(f"virtual_nodes must be >= 1, got {virtual_nodes}")
+        self.nodes: Tuple[str, ...] = tuple(nodes)
+        self.virtual_nodes = int(virtual_nodes)
+        points: List[Tuple[int, str]] = []
+        for node in self.nodes:
+            for replica in range(self.virtual_nodes):
+                points.append((_point(f"{node}#{replica}"), node))
+        # Ties between distinct (node, replica) tokens are astronomically
+        # unlikely at 64 bits but must still be deterministic: break by name.
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [node for _, node in points]
+
+    def node_for(self, key: str) -> str:
+        """The node owning ``key``: first ring point clockwise from its hash."""
+        position = bisect.bisect_right(self._points, _point(key))
+        if position == len(self._points):
+            position = 0  # wrap past the top of the ring
+        return self._owners[position]
+
+    def distribution(self, keys: Sequence[str]) -> Dict[str, int]:
+        """How many of ``keys`` each node owns (all nodes present, 0 included)."""
+        counts = {node: 0 for node in self.nodes}
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return counts
+
+    def assignments_moved(self, other: "ConsistentHashRing", keys: Sequence[str]) -> int:
+        """How many of ``keys`` route differently on ``other`` -- the remap cost."""
+        return sum(1 for key in keys if self.node_for(key) != other.node_for(key))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConsistentHashRing(nodes={len(self.nodes)}, "
+            f"virtual_nodes={self.virtual_nodes})"
+        )

@@ -12,6 +12,9 @@ import *from* it, never the other way around.  Two modules:
 - :mod:`repro.obs.exposition` -- Prometheus text exposition (format
   0.0.4) rendering plus a strict pure-python parser used by tests and CI
   to validate what ``GET /metrics`` serves.
+- :mod:`repro.obs.health` -- the per-node health state machine
+  (``live``/``suspect``/``down``/``catching_up``) the cluster tier's
+  replica groups report through ``/metrics``.
 
 See ``docs/OBSERVABILITY.md`` for the span taxonomy and metric names.
 """
@@ -23,6 +26,7 @@ from repro.obs.exposition import (
     parse_exposition,
     render_exposition,
 )
+from repro.obs.health import NodeHealth
 from repro.obs.trace import (
     LATENCY_BUCKETS,
     ActiveTrace,
@@ -38,6 +42,7 @@ __all__ = [
     "ExpositionError",
     "LATENCY_BUCKETS",
     "MetricFamily",
+    "NodeHealth",
     "Span",
     "SpanContext",
     "Tracer",

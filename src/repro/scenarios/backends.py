@@ -15,7 +15,12 @@ can score every deployment against the same brute-force ground truth:
   (``POST /v1/topk`` / ``POST /v1/events``);
 * ``http_workers`` -- the multi-process tier: a
   :class:`~repro.server.frontend.FrontendServer` with two query worker
-  processes over mmap'd snapshot generations, behind the same HTTP surface.
+  processes over mmap'd snapshot generations, behind the same HTTP surface;
+* ``cluster`` -- the chaos backend: the distributed tier
+  (:class:`~repro.cluster.frontend.ClusterServer`, 2 shard groups x 2
+  shard-server replicas) behind HTTP, with one replica per group
+  SIGKILLed mid-scenario -- exactness under faults, scored by the same
+  oracle.
 
 The HTTP adapters go through real sockets and JSON on purpose: scenario
 accuracy then covers serialisation, routing, the coalescer, and (for
@@ -24,14 +29,13 @@ accuracy then covers serialisation, routing, the coalescer, and (for
 
 from __future__ import annotations
 
-import http.client
-import json
 import threading
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.engine import TraceQueryEngine
 from repro.measures.adm import HierarchicalADM
 from repro.scenarios.spec import ChurnProfile, EngineProfile
+from repro.server.httpclient import HttpClientError, JsonHttpClient
 from repro.service.sharded import ShardedEngine
 from repro.streaming.ingestor import EventIngestor, StreamingConfig
 from repro.traces.dataset import TraceDataset
@@ -39,6 +43,7 @@ from repro.traces.events import PresenceInstance
 
 __all__ = [
     "BACKENDS",
+    "ClusterBackend",
     "DEFAULT_BACKENDS",
     "HttpBackend",
     "InProcessBackend",
@@ -194,11 +199,20 @@ class HttpBackend(ScenarioBackend):
 
     name = "http"
 
-    def __init__(self, workers: int = 0) -> None:
+    def __init__(
+        self,
+        workers: int = 0,
+        connect_timeout: float = 10.0,
+        read_timeout: float = 60.0,
+    ) -> None:
         super().__init__()
         self.workers = workers
         if workers:
             self.name = "http_workers"
+        #: Client discipline (see :class:`~repro.server.httpclient.JsonHttpClient`):
+        #: explicit connect/read budgets plus one retry on a reset connection.
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
         self._trace_server = None
         self._httpd = None
         self._thread: Optional[threading.Thread] = None
@@ -241,22 +255,16 @@ class HttpBackend(ScenarioBackend):
     def _post(self, path: str, payload: Dict[str, object]) -> Dict[str, object]:
         assert self._address is not None, "start() must run before requests"
         host, port = self._address
-        connection = http.client.HTTPConnection(host, port, timeout=60)
+        client = JsonHttpClient(
+            host,
+            port,
+            connect_timeout=self.connect_timeout,
+            read_timeout=self.read_timeout,
+        )
         try:
-            body = json.dumps(payload).encode("utf-8")
-            connection.request(
-                "POST", path, body=body, headers={"Content-Type": "application/json"}
-            )
-            response = connection.getresponse()
-            data = response.read()
-            if response.status != 200:
-                raise RuntimeError(
-                    f"{self.name} backend: POST {path} -> {response.status}: "
-                    f"{data[:200]!r}"
-                )
-            return json.loads(data)
-        finally:
-            connection.close()
+            return client.post_json(path, payload)
+        except HttpClientError as exc:
+            raise RuntimeError(f"{self.name} backend: POST {path} failed: {exc}") from exc
 
     def ingest(self, chunk: Sequence[PresenceInstance]) -> None:
         """``POST /v1/events`` with an explicit flush."""
@@ -296,12 +304,101 @@ class HttpBackend(ScenarioBackend):
         self._address = None
 
 
+class ClusterBackend(HttpBackend):
+    """The distributed tier under fault injection -- the chaos backend.
+
+    A 2-shard x 2-replica :class:`~repro.cluster.frontend.ClusterServer`
+    (real shard-server subprocesses, consistent-hash partitioning) behind
+    the same HTTP surface.  After the first churn micro-batch one replica
+    per group is SIGKILLed mid-scenario; the supervisor respawns it with
+    catch-up verification while queries keep flowing.  The runner's
+    oracle scoring therefore asserts the distributed tier's core claim:
+    crashes with a surviving replica never change an answer.
+    """
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        num_shards: int = 2,
+        replication: int = 2,
+        chaos: bool = True,
+        connect_timeout: float = 10.0,
+        read_timeout: float = 60.0,
+    ) -> None:
+        super().__init__(
+            workers=0, connect_timeout=connect_timeout, read_timeout=read_timeout
+        )
+        self.name = "cluster"
+        self.num_shards = num_shards
+        self.replication = replication
+        self.chaos = chaos
+        self._chunks_ingested = 0
+        self._killed: List[str] = []
+
+    def start(
+        self,
+        dataset: TraceDataset,
+        engine: EngineProfile,
+        churn: ChurnProfile,
+    ) -> None:
+        """Build the cluster fleet and bind the HTTP front door."""
+        from repro.cluster.frontend import ClusterServer
+        from repro.server.app import build_http_server
+
+        built = ShardedEngine(
+            dataset,
+            _measure_for(dataset, engine),
+            num_shards=self.num_shards,
+            partitioner="consistent_hash",
+            num_hashes=engine.num_hashes,
+            seed=engine.seed,
+            bound_mode=engine.bound_mode,
+        ).build()
+        self._trace_server = ClusterServer(
+            built,
+            streaming=_streaming_config(churn),
+            replication=self.replication,
+        )
+        self._httpd = build_http_server(self._trace_server, host="127.0.0.1", port=0)
+        self._address = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name=f"scenario-{self.name}", daemon=True
+        )
+        self._thread.start()
+
+    def ingest(self, chunk: Sequence[PresenceInstance]) -> None:
+        """Replay churn over HTTP; inject the crash after the first chunk."""
+        super().ingest(chunk)
+        self._chunks_ingested += 1
+        if self.chaos and self._chunks_ingested == 1 and self.replication > 1:
+            from repro.cluster.chaos import ChaosController
+
+            self._killed = ChaosController(self._trace_server).kill_one_per_group()
+
+    def stats(self) -> Dict[str, object]:
+        """Deployment shape plus the faults injected and recovery counters."""
+        facts: Dict[str, object] = {
+            "deployment": "cluster",
+            "num_shards": self.num_shards,
+            "replication": self.replication,
+            "replicas_killed": list(self._killed),
+        }
+        if self._trace_server is not None:
+            supervisor = self._trace_server.supervisor.snapshot()
+            coordinator = self._trace_server.coordinator.snapshot()
+            facts["respawns"] = sum(supervisor["respawns"].values())
+            facts["degraded_queries"] = coordinator["counters"]["degraded_queries"]
+        return facts
+
+
 #: Named backend factories the runner and CLI resolve against.
 BACKENDS: Dict[str, Callable[[], ScenarioBackend]] = {
     "in_process": InProcessBackend,
     "sharded": ShardedBackend,
     "http": HttpBackend,
     "http_workers": lambda: HttpBackend(workers=2),
+    "cluster": ClusterBackend,
 }
 
 #: The set ``repro scenario run`` exercises when ``--backends`` is omitted:

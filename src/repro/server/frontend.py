@@ -44,6 +44,7 @@ from repro.obs import exposition
 from repro.obs.trace import SpanContext
 from repro.server import protocol
 from repro.server.app import TraceServer
+from repro.server.backoff import ExponentialBackoff
 from repro.server.coalescer import QueueFullError, RequestCoalescer
 from repro.server.generation import DELTA_CHAIN_LIMIT, GenerationStore, SnapshotDelta
 from repro.server.workers import recv_frame, send_frame
@@ -182,11 +183,22 @@ class WorkerPool:
     cannot retry forever.
     """
 
-    def __init__(self, store_root: PathLikeT, num_workers: int, startup_timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        store_root: PathLikeT,
+        num_workers: int,
+        startup_timeout: float = 60.0,
+        respawn_backoff_base: float = 0.2,
+        respawn_backoff_cap: float = 10.0,
+    ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.store_root = Path(store_root)
         self.num_workers = num_workers
+        #: Backoff envelope of the respawn loop (see :meth:`_revive`); tests
+        #: shrink these to keep the crash-loop regression fast.
+        self.respawn_backoff_base = respawn_backoff_base
+        self.respawn_backoff_cap = respawn_backoff_cap
         # Spawned via -c rather than -m: `python -m repro.server.workers`
         # would import the repro.server package (which itself imports the
         # workers module) before runpy re-executes it as __main__, tripping
@@ -208,6 +220,7 @@ class WorkerPool:
         self._stats_lock = threading.Lock()
         self._requests = 0
         self._retries = 0
+        self._respawn_storms = 0
         self._closed = False
         for handle in self._handles:
             handle.spawn()
@@ -337,14 +350,32 @@ class WorkerPool:
             span.end(generation=generation)
 
     def _revive(self, handle: _WorkerHandle) -> None:
-        """Respawn a dead worker and return it to the idle queue when ready."""
+        """Respawn a dead worker and return it to the idle queue when ready.
+
+        A worker that dies *on startup* (broken interpreter, missing store,
+        exhausted memory) would otherwise be respawned in a hot loop;
+        consecutive failures instead back off exponentially (with jitter, so
+        several reviving slots do not synchronise) and a streak long enough
+        to count as a respawn storm increments the pool's
+        ``respawn_storms`` counter -- visible in ``/v1/stats`` and
+        ``/metrics`` so operators see the crash loop instead of the load
+        average.
+        """
+        backoff = ExponentialBackoff(
+            base=self.respawn_backoff_base, cap=self.respawn_backoff_cap
+        )
         while not self._closed:
             try:
                 handle.spawn()
                 handle.request({"op": "ping"}, connect_timeout=60.0)
-            except (WorkerDiedError, OSError):  # pragma: no cover - spawn storm
-                # Leave a beat and try again; a worker slot must not leak.
-                time.sleep(0.2)
+            except (WorkerDiedError, OSError):
+                # Leave a (growing) beat and try again; a worker slot must
+                # not leak even when the binary is persistently broken.
+                delay = backoff.next_delay()
+                if backoff.failures == ExponentialBackoff.STORM_THRESHOLD:
+                    with self._stats_lock:
+                        self._respawn_storms += 1
+                time.sleep(delay)
                 continue
             break
         if self._closed:
@@ -407,13 +438,14 @@ class WorkerPool:
         return gathered
 
     def stats_snapshot(self) -> Dict[str, object]:
-        """Pool counters for ``/v1/stats``: requests, retries, respawns."""
+        """Pool counters for ``/v1/stats``: requests, retries, respawns, storms."""
         with self._stats_lock:
             return {
                 "workers": self.num_workers,
                 "requests": self._requests,
                 "retries": self._retries,
                 "respawns": sum(max(handle.respawns, 0) for handle in self._handles),
+                "respawn_storms": self._respawn_storms,
             }
 
     def close(self) -> None:
@@ -727,11 +759,13 @@ class FrontendServer:
                 name="repro_worker_events_total",
                 kind="counter",
                 help="Worker pool activity: answered requests, retries after a "
-                "worker death, respawned workers.",
+                "worker death, respawned workers, respawn storms (a worker "
+                "repeatedly dying on startup).",
                 samples=[
                     ("", {"event": "requests"}, float(pool_stats["requests"])),
                     ("", {"event": "retries"}, float(pool_stats["retries"])),
                     ("", {"event": "respawns"}, float(pool_stats["respawns"])),
+                    ("", {"event": "respawn_storms"}, float(pool_stats["respawn_storms"])),
                 ],
             )
         )

@@ -1,0 +1,161 @@
+"""A small, honest HTTP/JSON client for scenarios, benchmarks, and tools.
+
+The scenario backends and the latency benchmarks talk to live daemons over
+real sockets on purpose -- but until this module each call site hand-rolled
+its own ``http.client`` plumbing with an arbitrary timeout and surfaced raw
+socket errors.  :class:`JsonHttpClient` centralises the client discipline:
+
+* separate, configurable **connect** and **read** timeouts (a daemon that
+  is slow to accept is a different failure from one that is slow to
+  answer);
+* **one retry on a reset connection** (``ECONNRESET`` / an aborted
+  keep-alive socket): serving daemons drop idle connections on graceful
+  restart and workers can die mid-exchange, and a single reconnect-and-
+  retry hides exactly that transient without masking real failures --
+  the retry only fires for connection-level errors *before a response was
+  read*, never for HTTP error statuses;
+* uniform error reporting: :class:`HttpClientError` carries the method,
+  path, and underlying cause.
+
+POST bodies and responses are JSON; callers get decoded documents back.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Dict, Optional, Tuple
+
+__all__ = ["HttpClientError", "JsonHttpClient"]
+
+#: Connection-level failures worth one reconnect-and-retry: the peer reset
+#: or dropped the connection before we read a response.
+_RETRYABLE = (
+    ConnectionResetError,
+    ConnectionAbortedError,
+    BrokenPipeError,
+    http.client.RemoteDisconnected,
+)
+
+
+class HttpClientError(RuntimeError):
+    """A request that could not produce a decoded response.
+
+    ``status`` is the HTTP status when the server answered with an error
+    document, ``None`` for transport-level failures.
+    """
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class JsonHttpClient:
+    """JSON-over-HTTP client with explicit timeouts and one reset retry.
+
+    Parameters
+    ----------
+    host, port:
+        The daemon's address.
+    connect_timeout:
+        Seconds allowed for the TCP connect (and for the whole exchange on
+        the first socket operation -- stdlib ``http.client`` has a single
+        socket timeout, so the connect and read budgets are applied by
+        swapping the socket timeout between phases).
+    read_timeout:
+        Seconds allowed for the server to produce a response once the
+        request was written.
+    retry_resets:
+        Number of reconnect-and-retry attempts after a reset connection
+        (default 1; ``0`` restores surface-the-raw-error behaviour).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 10.0,
+        read_timeout: float = 60.0,
+        retry_resets: int = 1,
+    ) -> None:
+        if connect_timeout <= 0 or read_timeout <= 0:
+            raise ValueError("timeouts must be > 0")
+        if retry_resets < 0:
+            raise ValueError(f"retry_resets must be >= 0, got {retry_resets}")
+        self.host = host
+        self.port = int(port)
+        self.connect_timeout = float(connect_timeout)
+        self.read_timeout = float(read_timeout)
+        self.retry_resets = int(retry_resets)
+
+    # ------------------------------------------------------------------
+    # One exchange
+    # ------------------------------------------------------------------
+    def _exchange(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Tuple[int, bytes]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.connect_timeout
+        )
+        try:
+            connection.connect()
+            # Connected: the remaining budget is the read timeout.
+            if connection.sock is not None:  # pragma: no branch - connected above
+                connection.sock.settimeout(self.read_timeout)
+            headers = {"Content-Type": "application/json"} if body is not None else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    def request_json(
+        self, method: str, path: str, payload: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        """One JSON exchange; decoded body on HTTP 200, errors otherwise.
+
+        Reset connections (``ECONNRESET`` and friends) are retried once by
+        reconnecting -- the daemons' request handlers are idempotent for
+        reads and event appends are acknowledged only after they are
+        applied, so a reset *before the response* means the request may be
+        safely re-sent.  Timeouts and HTTP error statuses are never
+        retried.
+        """
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        attempts = 1 + self.retry_resets
+        last_reset: Optional[BaseException] = None
+        for _attempt in range(attempts):
+            try:
+                status, data = self._exchange(method, path, body)
+            except _RETRYABLE as exc:
+                last_reset = exc
+                continue
+            except socket.timeout as exc:
+                raise HttpClientError(
+                    f"{method} {path} timed out after {self.read_timeout:.0f}s: {exc}"
+                ) from exc
+            except OSError as exc:
+                raise HttpClientError(f"{method} {path} failed: {exc}") from exc
+            if status != 200:
+                raise HttpClientError(
+                    f"{method} {path} -> {status}: {data[:200]!r}", status=status
+                )
+            try:
+                return json.loads(data)
+            except json.JSONDecodeError as exc:
+                raise HttpClientError(
+                    f"{method} {path} returned undecodable JSON: {exc}"
+                ) from exc
+        raise HttpClientError(
+            f"{method} {path} failed after {attempts} attempts "
+            f"(connection reset: {last_reset})"
+        )
+
+    def post_json(self, path: str, payload: Dict[str, object]) -> Dict[str, object]:
+        """``POST`` a JSON document, returning the decoded 200 response."""
+        return self.request_json("POST", path, payload)
+
+    def get_json(self, path: str) -> Dict[str, object]:
+        """``GET`` a JSON document, returning the decoded 200 response."""
+        return self.request_json("GET", path)

@@ -4,7 +4,9 @@ This package turns the single in-memory :class:`~repro.core.engine.TraceQueryEng
 into a servable deployment:
 
 * :mod:`~repro.service.partition` -- deterministic entity-to-shard
-  assignment (stable hash or round-robin);
+  assignment (stable hash, round-robin, or consistent hashing);
+* :mod:`~repro.service.merge` -- the deterministic top-k merge shared by
+  the in-process sharded engine and the cluster coordinator;
 * :mod:`~repro.service.sharded` -- :class:`ShardedEngine`, which builds N
   entity partitions in parallel, routes updates to the owning shard, and
   merges per-shard top-k results into exact global answers;
@@ -17,7 +19,9 @@ two (per-shard snapshots plus a routing manifest).
 """
 
 from repro.service.cache import CacheStats, QueryResultCache
+from repro.service.merge import merge_topk_items, merge_topk_payloads, merge_topk_results
 from repro.service.partition import (
+    ConsistentHashPartitioner,
     HashPartitioner,
     Partitioner,
     RoundRobinPartitioner,
@@ -27,10 +31,14 @@ from repro.service.sharded import ShardedEngine
 
 __all__ = [
     "CacheStats",
+    "ConsistentHashPartitioner",
     "HashPartitioner",
     "Partitioner",
     "QueryResultCache",
     "RoundRobinPartitioner",
     "ShardedEngine",
     "make_partitioner",
+    "merge_topk_items",
+    "merge_topk_payloads",
+    "merge_topk_results",
 ]

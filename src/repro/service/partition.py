@@ -10,6 +10,11 @@ holds an entity:
 * :class:`RoundRobinPartitioner` deals new entities out in rotation, which
   balances shard sizes exactly; its rotation cursor is part of the sharded
   snapshot so restored deployments keep assigning consistently.
+* :class:`ConsistentHashPartitioner` routes over a
+  :class:`~repro.cluster.hashring.ConsistentHashRing` (virtual-node
+  consistent hashing), the cluster tier's partitioner: growing or
+  shrinking the shard count remaps only ``~1/N`` of the entities, where
+  :class:`HashPartitioner`'s modulo reduction would remap nearly all.
 """
 
 from __future__ import annotations
@@ -17,7 +22,13 @@ from __future__ import annotations
 import hashlib
 from typing import Union
 
-__all__ = ["HashPartitioner", "Partitioner", "RoundRobinPartitioner", "make_partitioner"]
+__all__ = [
+    "ConsistentHashPartitioner",
+    "HashPartitioner",
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "make_partitioner",
+]
 
 
 class Partitioner:
@@ -80,7 +91,35 @@ class RoundRobinPartitioner(Partitioner):
         return shard
 
 
-_PARTITIONER_KINDS = {cls.kind: cls for cls in (HashPartitioner, RoundRobinPartitioner)}
+class ConsistentHashPartitioner(Partitioner):
+    """Consistent hashing over virtual nodes -- the cluster tier's router.
+
+    Shard ``i`` is ring node ``shard-NNN``; assignments are a pure function
+    of ``(entity, num_shards)``, so the coordinator, every shard server,
+    and a restored snapshot all route identically.  Compared with
+    :class:`HashPartitioner`, re-sharding from ``N`` to ``N+1`` moves only
+    about ``1/(N+1)`` of the entities (pinned by the cluster tests).
+    """
+
+    kind = "consistent_hash"
+
+    def __init__(self, num_shards: int, virtual_nodes: int = 128) -> None:
+        super().__init__(num_shards)
+        from repro.cluster.hashring import ConsistentHashRing
+
+        self._names = [f"shard-{index:03d}" for index in range(self.num_shards)]
+        self._ring = ConsistentHashRing(self._names, virtual_nodes=virtual_nodes)
+        self._index = {name: index for index, name in enumerate(self._names)}
+
+    def assign(self, entity: str) -> int:
+        """The ring owner of the entity's stable hash point."""
+        return self._index[self._ring.node_for(entity)]
+
+
+_PARTITIONER_KINDS = {
+    cls.kind: cls
+    for cls in (HashPartitioner, RoundRobinPartitioner, ConsistentHashPartitioner)
+}
 
 
 def make_partitioner(kind: Union[str, Partitioner], num_shards: int) -> Partitioner:

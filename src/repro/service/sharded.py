@@ -57,11 +57,12 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.engine import EngineConfig, ExpiryReport, TraceQueryEngine
-from repro.core.query import BatchTopKResult, QueryStats, TopKResult, fan_out_queries
+from repro.core.query import BatchTopKResult, TopKResult, fan_out_queries
 from repro.measures.adm import HierarchicalADM
 from repro.measures.base import AssociationMeasure
 from repro.obs.trace import SpanContext
 from repro.service.cache import QueryResultCache
+from repro.service.merge import merge_topk_results
 from repro.service.partition import Partitioner, RoundRobinPartitioner, make_partitioner
 from repro.storage.snapshot import (
     SHARDED_SNAPSHOT_FORMAT,
@@ -103,8 +104,8 @@ class ShardedEngine:
     num_shards:
         Number of entity partitions.
     partitioner:
-        ``"hash"`` (default), ``"round_robin"``, or a
-        :class:`~repro.service.partition.Partitioner` instance.
+        ``"hash"`` (default), ``"round_robin"``, ``"consistent_hash"``, or
+        a :class:`~repro.service.partition.Partitioner` instance.
 
     Invariants
     ----------
@@ -422,20 +423,13 @@ class ShardedEngine:
     def _merge_results(
         query_entity: str, shard_results: Sequence[TopKResult], k: int
     ) -> TopKResult:
-        """Merge exact per-shard top-k lists into the global top-k."""
-        items: List[Tuple[str, float]] = []
-        stats = QueryStats(k=k)
-        for shard_result in shard_results:
-            items.extend(shard_result.items)
-            shard_stats = shard_result.stats
-            stats.entities_scored += shard_stats.entities_scored
-            stats.nodes_visited += shard_stats.nodes_visited
-            stats.leaves_visited += shard_stats.leaves_visited
-            stats.bound_computations += shard_stats.bound_computations
-            stats.population += shard_stats.population
-            stats.terminated_early = stats.terminated_early or shard_stats.terminated_early
-        items.sort(key=lambda pair: (-pair[1], pair[0]))
-        return TopKResult(query_entity=query_entity, items=items[:k], stats=stats)
+        """Merge exact per-shard top-k lists into the global top-k.
+
+        Delegates to :func:`repro.service.merge.merge_topk_results` -- the
+        single merge/tie-break shared with the cluster coordinator, so
+        in-process and multi-node deployments rank identically.
+        """
+        return merge_topk_results(query_entity, shard_results, k)
 
     def top_k_many(
         self, query_entities: Sequence[str], k: int = 10, workers: Optional[int] = None

@@ -1,0 +1,369 @@
+"""Unit tests for the distributed serving tier's building blocks.
+
+Each layer of :mod:`repro.cluster` is pinned in isolation here -- the
+consistent-hash ring and its remap bound, the partitioner that routes
+entities to shard groups, the wire codec that ships query sequences, the
+per-replica health state machine, the shard server's operation handling,
+and the replica group's failover/hedging policy (against in-test framed
+TCP servers, no subprocesses).  The end-to-end behaviour -- real shard
+server processes, kills, catch-up, degraded answers -- is exercised by
+the chaos battery (``test_cluster_chaos.py``) and by
+``repro cluster chaos`` in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cluster.hashring import ConsistentHashRing
+from repro.cluster.replica import (
+    ClusterConfig,
+    ReplicaClient,
+    ReplicaGroup,
+    ShardUnavailable,
+)
+from repro.cluster.shard_server import ShardServer
+from repro.cluster.wire import decode_sequence, encode_sequence
+from repro.obs.health import SUSPECT_THRESHOLD, NodeHealth
+from repro.server import protocol
+from repro.server.generation import GenerationStore
+from repro.server.workers import recv_frame, send_frame
+from repro.service.partition import ConsistentHashPartitioner, make_partitioner
+
+
+class TestConsistentHashRing:
+    def test_routing_is_deterministic_across_instances(self):
+        nodes = [f"shard-{index:03d}" for index in range(4)]
+        first = ConsistentHashRing(nodes)
+        second = ConsistentHashRing(list(reversed(nodes)))  # order-insensitive
+        keys = [f"entity-{index}" for index in range(500)]
+        assert [first.node_for(key) for key in keys] == [
+            second.node_for(key) for key in keys
+        ]
+
+    def test_every_node_owns_a_reasonable_share(self):
+        nodes = [f"shard-{index:03d}" for index in range(4)]
+        ring = ConsistentHashRing(nodes)
+        keys = [f"entity-{index}" for index in range(2000)]
+        counts = ring.distribution(keys)
+        assert set(counts) == set(nodes)
+        fair = len(keys) / len(nodes)
+        assert min(counts.values()) > 0
+        # Virtual nodes keep the split within a loose envelope of fair.
+        assert max(counts.values()) < 2 * fair
+
+    def test_adding_a_node_moves_only_a_minority_of_keys(self):
+        keys = [f"entity-{index}" for index in range(1000)]
+        four = ConsistentHashRing([f"shard-{index:03d}" for index in range(4)])
+        five = ConsistentHashRing([f"shard-{index:03d}" for index in range(5)])
+        moved = four.assignments_moved(five, keys)
+        # Consistent hashing's remap bound: about 1/5 of the keyspace, and
+        # certainly nowhere near the ~4/5 a modulo rehash would shuffle.
+        assert 0 < moved < len(keys) // 2
+        # Keys that did not move still route to their old node.
+        stayed = [key for key in keys if four.node_for(key) == five.node_for(key)]
+        assert len(stayed) == len(keys) - moved
+
+    def test_construction_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            ConsistentHashRing([])
+        with pytest.raises(ValueError, match="duplicate"):
+            ConsistentHashRing(["a", "a"])
+        with pytest.raises(ValueError, match="virtual_nodes"):
+            ConsistentHashRing(["a"], virtual_nodes=0)
+
+
+class TestConsistentHashPartitioner:
+    def test_matches_the_ring_assignment(self):
+        partitioner = ConsistentHashPartitioner(4)
+        ring = ConsistentHashRing([f"shard-{index:03d}" for index in range(4)])
+        for index in range(200):
+            entity = f"entity-{index}"
+            assert f"shard-{partitioner.assign(entity):03d}" == ring.node_for(entity)
+
+    def test_assignments_are_stable_across_instances(self):
+        entities = [f"entity-{index}" for index in range(300)]
+        first = ConsistentHashPartitioner(3)
+        second = ConsistentHashPartitioner(3)
+        assert [first.assign(e) for e in entities] == [second.assign(e) for e in entities]
+
+    def test_resharding_moves_a_minority_of_entities(self):
+        entities = [f"entity-{index}" for index in range(1000)]
+        three = ConsistentHashPartitioner(3)
+        four = ConsistentHashPartitioner(4)
+        moved = sum(1 for e in entities if three.assign(e) != four.assign(e))
+        assert 0 < moved < len(entities) // 2
+
+    def test_registered_with_make_partitioner(self):
+        partitioner = make_partitioner("consistent_hash", 3)
+        assert isinstance(partitioner, ConsistentHashPartitioner)
+        assert partitioner.kind == "consistent_hash"
+        assert partitioner.num_shards == 3
+
+
+class TestWireCodec:
+    def test_sequence_round_trips_exactly(self, small_dataset):
+        for entity in ("a", "b", "e"):
+            sequence = small_dataset.cell_sequence(entity)
+            assert decode_sequence(encode_sequence(sequence)) == sequence
+
+    def test_encoding_is_deterministic(self, small_dataset):
+        sequence = small_dataset.cell_sequence("a")
+        first = json.dumps(encode_sequence(sequence))
+        second = json.dumps(encode_sequence(decode_sequence(encode_sequence(sequence))))
+        assert first == second
+
+
+class TestNodeHealth:
+    def test_failures_escalate_live_to_suspect_to_down(self):
+        health = NodeHealth("r0")
+        health.record_failure()
+        assert health.state == "suspect"
+        assert health.is_usable and not health.is_live
+        for _ in range(SUSPECT_THRESHOLD - 1):
+            health.record_failure()
+        assert health.state == "down"
+        assert not health.is_usable
+
+    def test_success_recovers_a_suspect(self):
+        health = NodeHealth("r0")
+        health.record_failure()
+        health.record_success()
+        assert health.state == "live"
+        assert health.consecutive_failures == 0
+        assert health.recoveries_total == 1
+
+    def test_catching_up_is_a_rejoin_gate(self):
+        health = NodeHealth("r0")
+        health.mark_catching_up()
+        # Answering a probe is not proof of catch-up: only mark_live (called
+        # after generation verification) returns the node to rotation.
+        health.record_success()
+        assert health.state == "catching_up"
+        assert not health.is_usable
+        health.mark_live()
+        assert health.is_live
+        assert health.recoveries_total == 1
+
+    def test_mark_down_records_an_observed_kill(self):
+        health = NodeHealth("r0")
+        health.mark_down()
+        assert health.state == "down"
+        assert not health.is_usable
+
+
+class TestShardServerHandle:
+    @pytest.fixture
+    def shard_server(self, small_engine, tmp_path):
+        store = GenerationStore(tmp_path / "shard-000")
+        store.publish(small_engine)
+        return ShardServer(str(tmp_path / "shard-000"), shard="shard-000")
+
+    def test_ping_and_status(self, shard_server):
+        ping = shard_server.handle({"op": "ping"})
+        assert ping["ok"] and ping["generation"] == 0  # nothing adopted yet
+        status = shard_server.handle({"op": "status"})
+        assert status["shard"] == "shard-000"
+        assert status["chaos"] == {"delay": 0.0, "drop": 0, "refuse": False}
+
+    def test_sync_adopts_and_verifies_the_generation(self, shard_server):
+        reply = shard_server.handle({"op": "sync", "min_generation": 1})
+        assert reply == {"ok": True, "generation": 1}
+        # A generation the store has not published cannot be verified.
+        behind = shard_server.handle({"op": "sync", "min_generation": 99})
+        assert behind == {"ok": False, "generation": 1}
+
+    def test_topk_answers_match_the_source_engine(
+        self, shard_server, small_engine, small_dataset
+    ):
+        request = {
+            "op": "topk",
+            "queries": [
+                {
+                    "entity": "a",
+                    "sequence": encode_sequence(small_dataset.cell_sequence("a")),
+                }
+            ],
+            "k": 3,
+            "approximation": 0.0,
+        }
+        reply = shard_server.handle(request)
+        assert "error" not in reply
+        expected = protocol.topk_result_payload(small_engine.top_k("a", k=3))
+        assert reply["results"][0]["query"] == "a"
+        assert reply["results"][0]["results"] == expected["results"]
+
+    def test_unknown_op_is_a_400(self, shard_server):
+        reply = shard_server.handle({"op": "frobnicate"})
+        assert reply["status"] == 400
+        assert "unknown op" in reply["error"]
+
+    def test_chaos_flags_round_trip(self, shard_server):
+        reply = shard_server.handle(
+            {"op": "chaos", "delay": 0.25, "drop": 2, "refuse": True}
+        )
+        assert reply["chaos"] == {"delay": 0.25, "drop": 2, "refuse": True}
+        assert shard_server.chaos.should_refuse()
+        assert shard_server.chaos.take_drop() and shard_server.chaos.take_drop()
+        assert not shard_server.chaos.take_drop()  # tokens consumed
+        shard_server.handle({"op": "chaos", "delay": 0.0, "drop": 0, "refuse": False})
+        assert shard_server.chaos.snapshot() == {
+            "delay": 0.0,
+            "drop": 0,
+            "refuse": False,
+        }
+
+
+# ----------------------------------------------------------------------
+# Replica group failover against in-test framed TCP servers
+# ----------------------------------------------------------------------
+class _FakeShardServer:
+    """A framed TCP peer answering with ``reply_fn(request)`` per frame."""
+
+    def __init__(self, reply_fn):
+        self._reply_fn = reply_fn
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.port = self._listener.getsockname()[1]
+        self._closed = False
+        threading.Thread(target=self._accept_loop, daemon=True).start()
+
+    def _accept_loop(self):
+        while not self._closed:
+            try:
+                connection, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve, args=(connection,), daemon=True
+            ).start()
+
+    def _serve(self, connection):
+        with connection:
+            while True:
+                try:
+                    request = recv_frame(connection)
+                except (ConnectionError, OSError, ValueError):
+                    return
+                if request is None:
+                    return
+                try:
+                    send_frame(connection, self._reply_fn(request))
+                except OSError:
+                    return
+
+    def close(self):
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+def _dead_port() -> int:
+    """A port with no listener: connects are refused."""
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def _fast_config(**overrides) -> ClusterConfig:
+    base = dict(
+        connect_timeout=0.5,
+        request_timeout=2.0,
+        shard_deadline=5.0,
+        hedge_delay=0.05,
+        backoff_base=0.01,
+        backoff_cap=0.05,
+        max_attempts=3,
+    )
+    base.update(overrides)
+    return ClusterConfig(**base)
+
+
+class TestReplicaGroup:
+    def test_fails_over_from_a_dead_primary(self):
+        live = _FakeShardServer(lambda request: {"ok": True, "server": "r1"})
+        try:
+            config = _fast_config()
+            dead = ReplicaClient("r0", "127.0.0.1", _dead_port(), config=config)
+            alive = ReplicaClient("r1", "127.0.0.1", live.port, config=config)
+            group = ReplicaGroup("shard-000", [dead, alive], config=config)
+            reply = group.request({"op": "ping"})
+            assert reply["server"] == "r1"
+            # The hedge answered after the primary failed: a failover.
+            assert group.counters["failovers"] >= 1
+            assert dead.health.state != "live"
+            assert alive.health.is_live
+        finally:
+            live.close()
+
+    def test_hedges_to_a_second_replica_when_the_primary_is_slow(self):
+        def slow_reply(request):
+            time.sleep(0.5)
+            return {"ok": True, "server": "r0"}
+
+        slow = _FakeShardServer(slow_reply)
+        fast = _FakeShardServer(lambda request: {"ok": True, "server": "r1"})
+        try:
+            config = _fast_config()
+            clients = [
+                ReplicaClient("r0", "127.0.0.1", slow.port, config=config),
+                ReplicaClient("r1", "127.0.0.1", fast.port, config=config),
+            ]
+            group = ReplicaGroup("shard-000", clients, config=config)
+            reply = group.request({"op": "ping"})
+            assert reply["server"] == "r1"  # the hedge won
+            assert group.counters["hedges"] >= 1
+            assert group.counters["failovers"] >= 1
+        finally:
+            slow.close()
+            fast.close()
+
+    def test_catching_up_replicas_are_excluded_from_rotation(self):
+        served = []
+
+        def record(request):
+            served.append("r1")
+            return {"ok": True, "server": "r1"}
+
+        stale = _FakeShardServer(lambda request: {"ok": True, "server": "r0"})
+        fresh = _FakeShardServer(record)
+        try:
+            config = _fast_config()
+            clients = [
+                ReplicaClient("r0", "127.0.0.1", stale.port, config=config),
+                ReplicaClient("r1", "127.0.0.1", fresh.port, config=config),
+            ]
+            clients[0].health.mark_catching_up()
+            group = ReplicaGroup("shard-000", clients, config=config)
+            for _ in range(4):
+                assert group.request({"op": "ping"})["server"] == "r1"
+            assert len(served) == 4  # every exchange went to the live replica
+        finally:
+            stale.close()
+            fresh.close()
+
+    def test_every_replica_dead_raises_shard_unavailable(self):
+        config = _fast_config(shard_deadline=1.0, max_attempts=2)
+        clients = [
+            ReplicaClient("r0", "127.0.0.1", _dead_port(), config=config),
+            ReplicaClient("r1", "127.0.0.1", _dead_port(), config=config),
+        ]
+        group = ReplicaGroup("shard-000", clients, config=config)
+        with pytest.raises(ShardUnavailable, match="shard-000"):
+            group.request({"op": "ping"})
+        assert group.counters["retries"] >= 1
+
+    def test_group_requires_at_least_one_replica(self):
+        with pytest.raises(ValueError, match="needs >= 1 replica"):
+            ReplicaGroup("shard-000", [])

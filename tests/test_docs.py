@@ -68,7 +68,8 @@ MUST_HAVE_EXAMPLES = {
 #: public module-level class and function, and every public method defined
 #: on a public class (inherited members are the parent's responsibility).
 DOCSTRING_COVERED_PACKAGES = [
-    "repro.obs", "repro.scenarios", "repro.server", "repro.service", "repro.streaming",
+    "repro.cluster", "repro.obs", "repro.scenarios", "repro.server", "repro.service",
+    "repro.streaming",
 ]
 
 

@@ -9,6 +9,10 @@ generations mid-traffic, byte-identical responses) is pinned by
 ``test_server_equivalence.py``; this module covers the pieces in isolation.
 """
 
+import shutil
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -344,3 +348,85 @@ class TestDeltaGenerations:
         assert clone.compacted is True
         assert not delta.is_empty()
         assert SnapshotDelta().is_empty()
+
+
+class TestCurrentRecovery:
+    """Recovery when ``CURRENT`` names a pruned or half-deleted generation.
+
+    The publish protocol never *creates* this state (directories are
+    complete before ``CURRENT`` swaps, pruning only drops unreachable
+    chains), but crashes and operator mistakes can: a reader must neither
+    hang forever nor serve a torn snapshot.  The contract is bounded
+    retry -- long enough for a concurrent publish to repair the store,
+    then a clean :class:`SnapshotError`.
+    """
+
+    def test_current_naming_a_pruned_directory_raises_after_bounded_retry(
+        self, small_engine, tmp_path
+    ):
+        store = GenerationStore(tmp_path)
+        store.publish(small_engine)
+        _, directory = store.current()
+        shutil.rmtree(directory)  # the directory CURRENT names is gone
+        reader = GenerationStore(tmp_path)
+        started = time.monotonic()
+        with pytest.raises(SnapshotError):
+            reader.load_current(timeout=0.3)
+        # It kept retrying (a publish could have repaired the store) and
+        # gave up only once the budget was spent -- no instant failure,
+        # no unbounded hang.
+        assert 0.25 <= time.monotonic() - started < 5.0
+
+    def test_current_naming_a_half_deleted_directory_raises(
+        self, small_engine, tmp_path
+    ):
+        store = GenerationStore(tmp_path)
+        store.publish(small_engine)
+        _, directory = store.current()
+        # A partially deleted generation: the directory exists but its
+        # files are gone -- indistinguishable from a torn snapshot.
+        for entry in list(directory.iterdir()):
+            if entry.is_file():
+                entry.unlink()
+        reader = GenerationStore(tmp_path)
+        with pytest.raises(SnapshotError):
+            reader.load_current(timeout=0.3)
+
+    def test_reader_recovers_when_a_publish_lands_during_the_retry_window(
+        self, small_engine, tmp_path
+    ):
+        store = GenerationStore(tmp_path)
+        store.publish(small_engine)
+        _, directory = store.current()
+        shutil.rmtree(directory)
+
+        def repair():
+            time.sleep(0.25)
+            store.publish(small_engine)  # generation 2, CURRENT re-swapped
+
+        repairer = threading.Thread(target=repair)
+        repairer.start()
+        try:
+            reader = GenerationStore(tmp_path)
+            loaded = reader.load_current(timeout=10.0)
+        finally:
+            repairer.join()
+        assert loaded is not None
+        generation, engine = loaded
+        assert generation == 2
+        assert engine.top_k("a", k=3).items == small_engine.top_k("a", k=3).items
+
+    def test_vanished_current_with_a_prior_generation_is_fatal_immediately(
+        self, small_engine, tmp_path
+    ):
+        store = GenerationStore(tmp_path)
+        store.publish(small_engine)
+        (tmp_path / "CURRENT").unlink()
+        reader = GenerationStore(tmp_path)
+        # A store that once had generations never legitimately returns to
+        # having none: a reader standing at generation 1 fails fast
+        # instead of burning its whole retry budget.
+        started = time.monotonic()
+        with pytest.raises(SnapshotError, match="lost its CURRENT"):
+            reader.load_current(newer_than=1, timeout=30.0)
+        assert time.monotonic() - started < 1.0

@@ -1,0 +1,198 @@
+"""Unit tests for :class:`repro.server.httpclient.JsonHttpClient`.
+
+The client's contract, pinned against scripted in-test TCP servers:
+
+- a **reset connection** (the peer RSTs or closes before a response) is
+  retried exactly once by reconnecting -- the transient that graceful
+  daemon restarts and dying workers produce;
+- **timeouts and HTTP error statuses are never retried** -- a slow or
+  erroring request must not silently double its load on the daemon;
+- exhausted retries, undecodable bodies, and transport failures all
+  surface as :class:`HttpClientError` with context.
+
+The scripted server takes a list of per-connection behaviours, so each
+test states its fault schedule up front and asserts how many connections
+the client actually opened.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.server.httpclient import HttpClientError, JsonHttpClient
+
+_OK_DOCUMENT = {"ok": True}
+
+
+class _ScriptedHttpServer:
+    """Answer each accepted connection per a scripted behaviour.
+
+    Behaviours: ``"ok"`` (read the request, answer 200 JSON), ``"reset"``
+    (RST-close before answering), ``"error"`` (answer 500), ``"stall"``
+    (read the request, never answer).  The last behaviour repeats for any
+    extra connections.
+    """
+
+    def __init__(self, behaviours):
+        self.behaviours = list(behaviours)
+        self.connections = 0
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.port = self._listener.getsockname()[1]
+        self._closed = False
+        self._stalled = []
+        threading.Thread(target=self._accept_loop, daemon=True).start()
+
+    def _accept_loop(self):
+        while not self._closed:
+            try:
+                connection, _ = self._listener.accept()
+            except OSError:
+                return
+            index = self.connections
+            self.connections += 1
+            behaviour = self.behaviours[min(index, len(self.behaviours) - 1)]
+            threading.Thread(
+                target=self._serve, args=(connection, behaviour), daemon=True
+            ).start()
+
+    def _read_request(self, connection):
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = connection.recv(4096)
+            if not chunk:
+                return
+            data += chunk
+        head, _, body = data.partition(b"\r\n\r\n")
+        for line in head.split(b"\r\n"):
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+                while len(body) < length:
+                    chunk = connection.recv(4096)
+                    if not chunk:
+                        return
+                    body += chunk
+
+    def _serve(self, connection, behaviour):
+        try:
+            if behaviour == "reset":
+                # SO_LINGER with zero timeout turns close() into an RST:
+                # the client observes ECONNRESET, not a clean EOF.
+                connection.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+                )
+                connection.recv(1)
+                connection.close()
+                return
+            self._read_request(connection)
+            if behaviour == "stall":
+                self._stalled.append(connection)  # keep open, never answer
+                return
+            if behaviour == "error":
+                status, payload = b"500 Internal Server Error", {"error": "boom"}
+            else:
+                status, payload = b"200 OK", _OK_DOCUMENT
+            body = json.dumps(payload).encode("utf-8")
+            connection.sendall(
+                b"HTTP/1.1 " + status + b"\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                b"Connection: close\r\n\r\n" + body
+            )
+            connection.close()
+        except OSError:
+            pass
+
+    def close(self):
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for connection in self._stalled:
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+
+@pytest.fixture
+def scripted():
+    servers = []
+
+    def start(behaviours):
+        server = _ScriptedHttpServer(behaviours)
+        servers.append(server)
+        return server
+
+    yield start
+    for server in servers:
+        server.close()
+
+
+class TestJsonHttpClient:
+    def test_round_trip(self, scripted):
+        server = scripted(["ok"])
+        client = JsonHttpClient("127.0.0.1", server.port)
+        assert client.post_json("/v1/topk", {"entity": "a"}) == _OK_DOCUMENT
+        assert client.get_json("/v1/healthz") == _OK_DOCUMENT
+
+    def test_reset_connection_is_retried_once(self, scripted):
+        server = scripted(["reset", "ok"])
+        client = JsonHttpClient("127.0.0.1", server.port)
+        assert client.post_json("/v1/topk", {"entity": "a"}) == _OK_DOCUMENT
+        assert server.connections == 2  # the reset, then the retry
+
+    def test_persistent_resets_exhaust_the_retry_budget(self, scripted):
+        server = scripted(["reset"])
+        client = JsonHttpClient("127.0.0.1", server.port)
+        with pytest.raises(HttpClientError, match="2 attempts"):
+            client.post_json("/v1/topk", {"entity": "a"})
+        assert server.connections == 2  # default retry_resets=1
+
+    def test_retry_resets_zero_surfaces_the_raw_failure(self, scripted):
+        server = scripted(["reset"])
+        client = JsonHttpClient("127.0.0.1", server.port, retry_resets=0)
+        with pytest.raises(HttpClientError, match="1 attempts"):
+            client.get_json("/v1/stats")
+        assert server.connections == 1
+
+    def test_http_error_status_is_not_retried(self, scripted):
+        server = scripted(["error", "ok"])
+        client = JsonHttpClient("127.0.0.1", server.port)
+        with pytest.raises(HttpClientError) as excinfo:
+            client.post_json("/v1/topk", {"entity": "a"})
+        assert excinfo.value.status == 500
+        assert server.connections == 1  # no second connection
+
+    def test_read_timeout_is_not_retried(self, scripted):
+        server = scripted(["stall", "ok"])
+        client = JsonHttpClient("127.0.0.1", server.port, read_timeout=0.2)
+        with pytest.raises(HttpClientError, match="timed out") as excinfo:
+            client.get_json("/v1/stats")
+        assert server.connections == 1
+        assert excinfo.value.status is None  # transport-level, no HTTP status
+
+    def test_connect_refused_is_a_transport_error(self):
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = JsonHttpClient("127.0.0.1", port, connect_timeout=0.5)
+        with pytest.raises(HttpClientError, match="failed"):
+            client.get_json("/v1/healthz")
+
+    def test_invalid_parameters_are_rejected(self):
+        with pytest.raises(ValueError, match="timeouts"):
+            JsonHttpClient("127.0.0.1", 1, connect_timeout=0.0)
+        with pytest.raises(ValueError, match="timeouts"):
+            JsonHttpClient("127.0.0.1", 1, read_timeout=-1.0)
+        with pytest.raises(ValueError, match="retry_resets"):
+            JsonHttpClient("127.0.0.1", 1, retry_resets=-1)
